@@ -1,0 +1,68 @@
+//! Post-processing costs (§4): cycle discovery, time propagation, and the
+//! whole analyze pipeline, as graph size grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphprof_callgraph::{propagate, CallGraph, NodeId, SccResult};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::synthetic::{layered_dag, DagParams};
+
+/// A seeded pseudo-random graph with roughly 3 arcs per node.
+fn random_graph(n: u32, seed: u64) -> CallGraph {
+    let mut graph = CallGraph::with_nodes((0..n).map(|i| format!("f{i}")));
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for _ in 0..n * 3 {
+        let a = NodeId::new(next() % n);
+        let b = NodeId::new(next() % n);
+        graph.add_arc(a, b, u64::from(next() % 100 + 1));
+    }
+    graph
+}
+
+fn bench_tarjan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tarjan_scc");
+    for &n in &[100u32, 1_000, 10_000] {
+        let graph = random_graph(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| black_box(SccResult::analyze(g).comp_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate");
+    for &n in &[100u32, 1_000, 10_000] {
+        let graph = random_graph(n, 42);
+        let scc = SccResult::analyze(&graph);
+        let self_times: Vec<f64> = (0..n).map(f64::from).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let p = propagate(&graph, &scc, &self_times);
+                black_box(p.comp_total(scc.comps().next().expect("nonempty")))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let params = DagParams { layers: 5, width: 8, ..DagParams::default() };
+    let exe = layered_dag(3, params)
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 25).expect("runs");
+    c.bench_function("analyze_pipeline_41_routines", |b| {
+        b.iter(|| {
+            let analysis = graphprof::analyze(&exe, &gmon).expect("analyzes");
+            black_box(analysis.call_graph().entries().len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_tarjan, bench_propagate, bench_full_pipeline);
+criterion_main!(benches);

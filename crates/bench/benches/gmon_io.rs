@@ -1,0 +1,54 @@
+//! Profile file condensing and reading (§3): the write happens "as the
+//! profiled program exits" and the read once per analysis, so neither is
+//! hot — but both scale with text size and arc count, and summation over
+//! many runs multiplies the read cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphprof::sum_profiles;
+use graphprof_machine::Addr;
+use graphprof_monitor::{GmonData, Histogram, RawArc};
+
+fn synthetic_profile(arcs: u32, seed: u64) -> GmonData {
+    let mut h = Histogram::new(Addr::new(0x1000), 1 << 16, 0);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for _ in 0..10_000 {
+        h.record(Addr::new(0x1000 + next() % (1 << 16)), 1);
+    }
+    let raw: Vec<RawArc> = (0..arcs)
+        .map(|i| RawArc {
+            from_pc: Addr::new(0x1000 + i * 16),
+            self_pc: Addr::new(0x1000 + (next() % 4096) * 16),
+            count: u64::from(next() % 10_000),
+        })
+        .collect();
+    GmonData::new(10, h, raw)
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmon_io");
+    for &arcs in &[100u32, 1_000] {
+        let data = synthetic_profile(arcs, 7);
+        group.bench_with_input(BenchmarkId::new("to_bytes", arcs), &data, |b, d| {
+            b.iter(|| black_box(d.to_bytes().len()));
+        });
+        let bytes = data.to_bytes();
+        group.bench_with_input(BenchmarkId::new("from_bytes", arcs), &bytes, |b, bytes| {
+            b.iter(|| black_box(GmonData::from_bytes(bytes).expect("valid").arcs().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let runs: Vec<GmonData> = (0..16).map(|i| synthetic_profile(500, i)).collect();
+    c.bench_function("sum_16_profiles_500_arcs", |b| {
+        b.iter(|| black_box(sum_profiles(runs.iter()).expect("merges").arcs().len()));
+    });
+}
+
+criterion_group!(benches, bench_serialize, bench_merge);
+criterion_main!(benches);

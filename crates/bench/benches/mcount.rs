@@ -1,0 +1,74 @@
+//! The monitoring-routine hot path (§3.1): "access to it must be as fast
+//! as possible so as not to overwhelm the time required to execute the
+//! program."
+//!
+//! Benchmarks arc recording under both hash organizations, on the hit
+//! path (arc already present), the miss path (new arcs), and under fan-in
+//! (many sites calling one routine) where callee-primary chains grow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphprof_machine::Addr;
+use graphprof_monitor::{ArcRecorder, CallSiteTable, CalleeTable};
+
+const BASE: Addr = Addr::new(0x1000);
+const TEXT: u32 = 1 << 16;
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_hit");
+    group.bench_function("call_site_primary", |b| {
+        let mut table = CallSiteTable::new(BASE, TEXT);
+        table.record(Addr::new(0x1100), Addr::new(0x2000));
+        b.iter(|| table.record(black_box(Addr::new(0x1100)), black_box(Addr::new(0x2000))));
+    });
+    group.bench_function("callee_primary", |b| {
+        let mut table = CalleeTable::new(BASE, TEXT);
+        table.record(Addr::new(0x1100), Addr::new(0x2000));
+        b.iter(|| table.record(black_box(Addr::new(0x1100)), black_box(Addr::new(0x2000))));
+    });
+    group.finish();
+}
+
+fn bench_fan_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_fan_in_64_sites");
+    let sites: Vec<Addr> = (0..64u32).map(|i| Addr::new(0x1100 + i * 8)).collect();
+    group.bench_function("call_site_primary", |b| {
+        let mut table = CallSiteTable::new(BASE, TEXT);
+        for &s in &sites {
+            table.record(s, Addr::new(0x2000));
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sites.len();
+            table.record(black_box(sites[i]), black_box(Addr::new(0x2000)))
+        });
+    });
+    group.bench_function("callee_primary", |b| {
+        let mut table = CalleeTable::new(BASE, TEXT);
+        for &s in &sites {
+            table.record(s, Addr::new(0x2000));
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sites.len();
+            table.record(black_box(sites[i]), black_box(Addr::new(0x2000)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_miss_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_growth_4096_arcs");
+    group.bench_function("call_site_primary", |b| {
+        b.iter(|| {
+            let mut table = CallSiteTable::new(BASE, TEXT);
+            for i in 0..4096u32 {
+                table.record(Addr::new(0x1000 + (i % 1024) * 16), Addr::new(0x9000 + (i / 1024) * 32));
+            }
+            black_box(table.stats().arcs)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_path, bench_fan_in, bench_miss_path);
+criterion_main!(benches);

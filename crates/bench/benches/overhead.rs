@@ -1,0 +1,52 @@
+//! Wall-clock cost of running the simulated machine with and without the
+//! monitoring routine installed. The §7 overhead *in simulated cycles* is
+//! an experiment (`experiments overhead`); this bench tracks what the
+//! instrumentation costs the simulator itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphprof_machine::{
+    CompileOptions, Machine, MachineConfig, NoHooks,
+};
+use graphprof_monitor::RuntimeProfiler;
+use graphprof_workloads::synthetic::call_density_program;
+
+fn bench_machine_run(c: &mut Criterion) {
+    let program = call_density_program(2_000, 50);
+    let plain = program.compile(&CompileOptions::default()).expect("compiles");
+    let instrumented = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let config = MachineConfig { collect_ground_truth: false, ..MachineConfig::default() };
+
+    let mut group = c.benchmark_group("machine_run_2000_calls");
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_config(plain.clone(), config);
+            black_box(m.run(&mut NoHooks).expect("runs").clock)
+        });
+    });
+    group.bench_function("mcount_instrumented", |b| {
+        b.iter(|| {
+            let mut profiler = RuntimeProfiler::new(&instrumented, 0);
+            let mut m = Machine::with_config(instrumented.clone(), config);
+            black_box(m.run(&mut profiler).expect("runs").clock)
+        });
+    });
+    group.bench_function("mcount_plus_sampling", |b| {
+        let sampled = MachineConfig { cycles_per_tick: 64, ..config };
+        b.iter(|| {
+            let mut profiler = RuntimeProfiler::new(&instrumented, 64);
+            let mut m = Machine::with_config(instrumented.clone(), sampled);
+            black_box(m.run(&mut profiler).expect("runs").clock)
+        });
+    });
+    group.bench_function("ground_truth_collection", |b| {
+        let with_truth = MachineConfig { collect_ground_truth: true, ..config };
+        b.iter(|| {
+            let mut m = Machine::with_config(plain.clone(), with_truth);
+            black_box(m.run(&mut NoHooks).expect("runs").clock)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine_run);
+criterion_main!(benches);

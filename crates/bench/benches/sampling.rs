@@ -1,0 +1,88 @@
+//! Histogram costs: the per-tick record (which the paper's kernel did at
+//! every clock tick, so it had to be nearly free) and the post-processing
+//! sample-to-routine assignment at several granularities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphprof::profile::assign_self_cycles;
+use graphprof_machine::{Addr, Symbol, SymbolTable};
+use graphprof_monitor::Histogram;
+
+const BASE: Addr = Addr::new(0x1000);
+const TEXT: u32 = 1 << 16;
+
+fn bench_record(c: &mut Criterion) {
+    c.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new(BASE, TEXT, 0);
+        let mut pc = 0x1000u32;
+        b.iter(|| {
+            pc = 0x1000 + (pc.wrapping_mul(1103515245).wrapping_add(12345) % TEXT);
+            h.record(black_box(Addr::new(pc)), 1);
+        });
+    });
+}
+
+fn synthetic_symbols(count: u32) -> SymbolTable {
+    let size = TEXT / count;
+    SymbolTable::new(
+        (0..count)
+            .map(|i| Symbol::new(format!("f{i}"), BASE.offset(i * size), size, true))
+            .collect(),
+    )
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let symbols = synthetic_symbols(256);
+    let mut group = c.benchmark_group("assign_self_cycles_256_routines");
+    for &shift in &[0u8, 4, 8] {
+        let mut h = Histogram::new(BASE, TEXT, shift);
+        let mut pc = 0x1000u32;
+        for _ in 0..100_000 {
+            pc = 0x1000 + (pc.wrapping_mul(1103515245).wrapping_add(12345) % TEXT);
+            h.record(Addr::new(pc), 1);
+        }
+        group.bench_with_input(BenchmarkId::new("shift", shift), &h, |b, h| {
+            b.iter(|| {
+                let (cycles, missed) = assign_self_cycles(h, &symbols, 10);
+                black_box((cycles.len(), missed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stack_sampling(c: &mut Criterion) {
+    use graphprof_machine::{CompileOptions, Machine, MachineConfig, NoHooks};
+    use graphprof_monitor::StackProfiler;
+    use graphprof_workloads::apps::compiler_pipeline;
+
+    let exe = compiler_pipeline(2)
+        .compile(&CompileOptions::default())
+        .expect("compiles");
+    let mut group = c.benchmark_group("stack_sampling_run");
+    for &tick in &[16u64, 128] {
+        let config = MachineConfig {
+            cycles_per_tick: tick,
+            collect_ground_truth: false,
+            ..MachineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("with_stacks", tick), &tick, |b, &tick| {
+            b.iter(|| {
+                let mut profiler = StackProfiler::new(&exe, tick);
+                let mut m = Machine::with_config(exe.clone(), config);
+                m.run(&mut profiler).expect("runs");
+                black_box(profiler.finish().samples())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("no_sampling", tick), &tick, |b, _| {
+            let quiet = MachineConfig { cycles_per_tick: 0, ..config };
+            b.iter(|| {
+                let mut m = Machine::with_config(exe.clone(), quiet);
+                black_box(m.run(&mut NoHooks).expect("runs").clock)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_assignment, bench_stack_sampling);
+criterion_main!(benches);

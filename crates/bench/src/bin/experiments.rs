@@ -1,0 +1,45 @@
+//! Prints the reproduction of every figure and evaluation claim in the
+//! paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments              # run everything
+//! experiments list         # list experiment names
+//! experiments fig4 sec6    # run a selection
+//! ```
+
+use graphprof_bench::{all_experiments, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("list") {
+        for e in all_experiments() {
+            println!("{:<12} {}", e.name, e.reproduces);
+        }
+        return;
+    }
+    let selected: Vec<String> = if args.is_empty() {
+        all_experiments().iter().map(|e| e.name.to_string()).collect()
+    } else {
+        args
+    };
+    let mut failed = false;
+    for name in &selected {
+        match run_experiment(name) {
+            Some(report) => {
+                println!("================================================================");
+                println!("experiment: {name}");
+                println!("================================================================");
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment `{name}` (try `experiments list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Reproductions of the paper's figures and the §6 case study.
+
+use std::fmt::Write as _;
+
+use graphprof::{CallGraphProfile, Entry, FlatProfile};
+use graphprof_callgraph::{propagate, CallGraph, NodeId, SccResult};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::paper;
+
+/// Figure 1: topological numbering of the example DAG.
+///
+/// "The topological numbering ensures that all edges in the graph go from
+/// higher numbered nodes to lower numbered nodes."
+pub fn fig1() -> String {
+    let graph = paper::fig1_graph();
+    let scc = SccResult::analyze(&graph);
+    let mut out = String::new();
+    out.push_str("Figure 1: topological ordering of the example graph\n\n");
+    out.push_str("node   topo number\n");
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    nodes.sort_by_key(|&n| std::cmp::Reverse(scc.topo_number(n)));
+    for node in nodes {
+        let _ = writeln!(out, "{:<6} {}", graph.name(node), scc.topo_number(node));
+    }
+    out.push_str("\narcs (all descend in number):\n");
+    let mut violations = 0;
+    for (_, arc) in graph.arcs() {
+        let ok = scc.topo_number(arc.from) > scc.topo_number(arc.to);
+        if !ok {
+            violations += 1;
+        }
+        let _ = writeln!(
+            out,
+            "  {} ({}) -> {} ({}){}",
+            graph.name(arc.from),
+            scc.topo_number(arc.from),
+            graph.name(arc.to),
+            scc.topo_number(arc.to),
+            if ok { "" } else { "  VIOLATION" },
+        );
+    }
+    let _ = writeln!(out, "\nviolations: {violations} (paper: 0)");
+    out
+}
+
+/// Figures 2 and 3: nodes 3 and 7 become mutually recursive; the cycle is
+/// collapsed and the collapsed graph renumbered.
+pub fn fig2_3() -> String {
+    let graph = paper::fig2_graph();
+    let scc = SccResult::analyze(&graph);
+    let mut out = String::new();
+    out.push_str("Figure 2: the example graph with r3 and r7 mutually recursive\n");
+    out.push_str("Figure 3: topological numbering after cycle collapse\n\n");
+    let cycles = scc.cycles();
+    let _ = writeln!(out, "strongly connected components: {}", scc.comp_count());
+    for comp in &cycles {
+        let members: Vec<&str> =
+            scc.members(*comp).iter().map(|&m| graph.name(m)).collect();
+        let _ = writeln!(out, "cycle found: {{{}}}", members.join(", "));
+    }
+    out.push_str("\nnode   comp number (cycle members share one)\n");
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    nodes.sort_by_key(|&n| std::cmp::Reverse(scc.topo_number(n)));
+    for node in nodes {
+        let _ = writeln!(out, "{:<6} {}", graph.name(node), scc.topo_number(node));
+    }
+    let mut violations = 0;
+    for (_, arc) in graph.arcs() {
+        if scc.comp(arc.from) != scc.comp(arc.to)
+            && scc.topo_number(arc.from) <= scc.topo_number(arc.to)
+        {
+            violations += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\ninter-component arcs violating the numbering: {violations} (paper: 0)"
+    );
+    out
+}
+
+/// The synthetic inputs that reproduce Figure 4's EXAMPLE entry exactly.
+///
+/// Returns the profile, ready for inspection, plus the flat profile of the
+/// same inputs.
+pub fn fig4_profile() -> (CallGraphProfile, FlatProfile) {
+    let mut graph = CallGraph::with_nodes([
+        "CALLER1",
+        "CALLER2",
+        "EXAMPLE",
+        "SUB1",
+        "SUB1B",
+        "SUB2",
+        "SUB3",
+        "CYCLEAF",
+        "LEAF2",
+        "OTHER",
+    ]);
+    let spont = graph.add_node("<spontaneous>");
+    let n = |name: &str| graph.node_by_name(name).expect("node exists");
+    let (caller1, caller2, example) = (n("CALLER1"), n("CALLER2"), n("EXAMPLE"));
+    let (sub1, sub1b, sub2, sub3) = (n("SUB1"), n("SUB1B"), n("SUB2"), n("SUB3"));
+    let (cycleaf, leaf2, other) = (n("CYCLEAF"), n("LEAF2"), n("OTHER"));
+
+    graph.add_arc(spont, caller1, 1);
+    graph.add_arc(spont, caller2, 1);
+    graph.add_arc(spont, other, 1);
+    // EXAMPLE is called four times by CALLER1, six by CALLER2, and calls
+    // itself recursively four times (the "10+4").
+    graph.add_arc(caller1, example, 4);
+    graph.add_arc(caller2, example, 6);
+    graph.add_arc(example, example, 4);
+    // SUB1 is a member of cycle 1 (with SUB1B); EXAMPLE provides 20 of the
+    // cycle's 40 external calls ("20/40"); OTHER provides the rest.
+    graph.add_arc(example, sub1, 20);
+    graph.add_arc(other, sub1, 12);
+    graph.add_arc(other, sub1b, 8);
+    graph.add_arc(sub1, sub1b, 5);
+    graph.add_arc(sub1b, sub1, 3);
+    // The cycle's descendant time comes from CYCLEAF.
+    graph.add_arc(sub1b, cycleaf, 7);
+    // SUB2 is called once by EXAMPLE out of five total ("1/5").
+    graph.add_arc(example, sub2, 1);
+    graph.add_arc(other, sub2, 4);
+    graph.add_arc(sub2, leaf2, 3);
+    // EXAMPLE never calls SUB3, but the arc is apparent in the code:
+    // a static-only arc ("0/5"); SUB3's five calls come from OTHER.
+    graph.add_arc(example, sub3, 0);
+    graph.add_arc(other, sub3, 5);
+
+    // Self times chosen so the entry reads exactly as in Figure 4:
+    //   EXAMPLE self 0.50; cycle pools 3.00 self and 2.00 descendants;
+    //   SUB2 has no self time but 2.50 of descendants; the leftover
+    //   routines absorb enough time that EXAMPLE's 3.50 total is 41.5 %.
+    let total_for_percent = 3.5 / 0.415;
+    let mut self_cycles = vec![0.0; graph.node_count()];
+    self_cycles[example.index()] = 0.5;
+    self_cycles[sub1.index()] = 1.8;
+    self_cycles[sub1b.index()] = 1.2;
+    self_cycles[cycleaf.index()] = 2.0;
+    self_cycles[leaf2.index()] = 2.5;
+    self_cycles[sub3.index()] = 0.1;
+    self_cycles[caller1.index()] = 0.1;
+    self_cycles[caller2.index()] = 0.1;
+    let assigned: f64 = self_cycles.iter().sum();
+    self_cycles[other.index()] = total_for_percent - assigned;
+
+    let scc = SccResult::analyze(&graph);
+    let prop = propagate(&graph, &scc, &self_cycles);
+    let cg = CallGraphProfile::build(&graph, spont, &scc, &prop, &self_cycles, 1.0);
+    let instrumented = vec![true; graph.node_count()];
+    let flat =
+        FlatProfile::build(&graph, spont, &self_cycles, &prop, &instrumented, 1.0);
+    (cg, flat)
+}
+
+/// Renders the reproduced EXAMPLE entry next to the paper's values.
+pub fn fig4() -> String {
+    let (profile, _) = fig4_profile();
+    let example = profile.entry("EXAMPLE").expect("EXAMPLE has an entry");
+    let mut out = String::new();
+    out.push_str("Figure 4: profile entry for EXAMPLE\n\n");
+    out.push_str("paper:\n");
+    out.push_str(
+        "  index %time  self  desc   called/total     name\n\
+         \x20       0.20  1.20      4/10         CALLER1\n\
+         \x20       0.30  1.80      6/10         CALLER2\n\
+         \x20 [2]   41.5  0.50  3.00  10+4       EXAMPLE\n\
+         \x20       1.50  1.00     20/40         SUB1 <cycle1>\n\
+         \x20       0.00  0.50      1/5          SUB2\n\
+         \x20       0.00  0.00      0/5          SUB3\n\n",
+    );
+    out.push_str("reproduced:\n");
+    out.push_str(&graphprof::render::render_call_graph_entries(&[example]));
+    let _ = writeln!(
+        out,
+        "\nchecks: %time={:.1} self={:.2} desc={:.2} calls={}+{}",
+        example.percent,
+        example.self_seconds,
+        example.desc_seconds,
+        example.calls.external,
+        example.calls.recursive,
+    );
+    out
+}
+
+/// The Figure 4 entry, for assertions in tests.
+pub fn fig4_example_entry() -> Entry {
+    let (profile, _) = fig4_profile();
+    profile.entry("EXAMPLE").expect("EXAMPLE has an entry").clone()
+}
+
+/// §6: using the call graph profile to navigate an unfamiliar program.
+///
+/// "Initially you look through the gprof output for the system call WRITE.
+/// The format routine you will need to change is probably among the
+/// parents of the WRITE procedure."
+pub fn sec6() -> String {
+    let exe = paper::output_program()
+        .compile(&CompileOptions::profiled())
+        .expect("workload compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 10).expect("workload runs");
+    // The demo run is a few thousand cycles; display with a 1 kHz "clock"
+    // so the seconds columns are legible.
+    let analysis = graphprof::Gprof::new(
+        graphprof::Options::default().cycles_per_second(1_000.0),
+    )
+    .analyze(&exe, &gmon)
+    .expect("profile analyzes");
+    let cg = analysis.call_graph();
+    let mut out = String::new();
+    out.push_str("Section 6: navigating the output portion of an unfamiliar program\n\n");
+
+    let write = cg.entry("write").expect("write has an entry");
+    out.push_str("step 1 - the entry for `write`; its parents are the format routines:\n");
+    out.push_str(&graphprof::render::render_call_graph_entries(&[write]));
+
+    out.push_str("\nstep 2 - the parents of each format routine are the calcs:\n");
+    for name in ["format1", "format2"] {
+        let entry = cg.entry(name).expect("format entries exist");
+        out.push_str(&graphprof::render::render_call_graph_entries(&[entry]));
+    }
+
+    let format2 = cg.entry("format2").expect("format2 entry");
+    let parents: Vec<&str> = format2.parents.iter().map(|p| p.name.as_str()).collect();
+    let _ = writeln!(
+        out,
+        "\nformat2 is shared by {parents:?}: changing calc2's output alone\n\
+         requires splitting format2, exactly the paper's conclusion."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 5e-3
+    }
+
+    #[test]
+    fn fig4_primary_line_matches_paper() {
+        let e = fig4_example_entry();
+        assert!(close(e.self_seconds, 0.50), "self {}", e.self_seconds);
+        assert!(close(e.desc_seconds, 3.00), "desc {}", e.desc_seconds);
+        assert_eq!(e.calls.external, 10);
+        assert_eq!(e.calls.recursive, 4);
+        assert!((e.percent - 41.5).abs() < 0.05, "{}", e.percent);
+    }
+
+    #[test]
+    fn fig4_parent_lines_match_paper() {
+        let e = fig4_example_entry();
+        let c1 = e.parents.iter().find(|p| p.name == "CALLER1").unwrap();
+        assert!(close(c1.self_seconds, 0.20) && close(c1.desc_seconds, 1.20));
+        assert_eq!((c1.count, c1.denom), (4, Some(10)));
+        let c2 = e.parents.iter().find(|p| p.name == "CALLER2").unwrap();
+        assert!(close(c2.self_seconds, 0.30) && close(c2.desc_seconds, 1.80));
+        assert_eq!((c2.count, c2.denom), (6, Some(10)));
+    }
+
+    #[test]
+    fn fig4_child_lines_match_paper() {
+        let e = fig4_example_entry();
+        let sub1 = e.children.iter().find(|c| c.name.starts_with("SUB1 ")).unwrap();
+        assert!(sub1.name.contains("<cycle1>"), "{}", sub1.name);
+        assert!(close(sub1.self_seconds, 1.50) && close(sub1.desc_seconds, 1.00));
+        assert_eq!((sub1.count, sub1.denom), (20, Some(40)));
+        let sub2 = e.children.iter().find(|c| c.name == "SUB2").unwrap();
+        assert!(close(sub2.self_seconds, 0.00) && close(sub2.desc_seconds, 0.50));
+        assert_eq!((sub2.count, sub2.denom), (1, Some(5)));
+        let sub3 = e.children.iter().find(|c| c.name == "SUB3").unwrap();
+        assert!(close(sub3.self_seconds, 0.00) && close(sub3.desc_seconds, 0.00));
+        assert_eq!((sub3.count, sub3.denom), (0, Some(5)));
+    }
+
+    #[test]
+    fn fig1_report_has_no_violations() {
+        let report = fig1();
+        assert!(report.contains("violations: 0"));
+    }
+
+    #[test]
+    fn fig2_3_report_finds_the_cycle() {
+        let report = fig2_3();
+        assert!(report.contains("cycle found: {r3, r7}"));
+        assert!(report.contains("arcs violating the numbering: 0"));
+    }
+
+    #[test]
+    fn sec6_report_traces_write_to_formats() {
+        let report = sec6();
+        assert!(report.contains("write"));
+        assert!(report.contains("format1"));
+        assert!(report.contains("format2"));
+        assert!(report.contains("calc2"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The experiment registry.
+//!
+//! Each experiment regenerates one figure or claim from the paper. All
+//! experiments are deterministic (fixed seeds, simulated cycles), so their
+//! output is stable across machines.
+
+pub mod accuracy;
+pub mod figures;
+pub mod iterate;
+pub mod modern;
+pub mod overhead;
+pub mod tables;
+
+/// A named, runnable experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Short identifier (the CLI argument).
+    pub name: &'static str,
+    /// The paper artifact it reproduces.
+    pub reproduces: &'static str,
+    /// Runs the experiment, returning its printable report.
+    pub run: fn() -> String,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .field("reproduces", &self.reproduces)
+            .finish()
+    }
+}
+
+/// Every experiment, in presentation order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig1",
+            reproduces: "Figure 1: topological ordering",
+            run: figures::fig1,
+        },
+        Experiment {
+            name: "fig2_3",
+            reproduces: "Figures 2-3: cycle collapse and renumbering",
+            run: figures::fig2_3,
+        },
+        Experiment {
+            name: "fig4",
+            reproduces: "Figure 4: profile entry for EXAMPLE",
+            run: figures::fig4,
+        },
+        Experiment {
+            name: "sec6",
+            reproduces: "Section 6: navigating an unfamiliar program",
+            run: figures::sec6,
+        },
+        Experiment {
+            name: "overhead",
+            reproduces: "Section 7: five to thirty percent execution overhead",
+            run: overhead::overhead,
+        },
+        Experiment {
+            name: "sampling",
+            reproduces: "Section 3.2: sampling is a statistical approximation",
+            run: accuracy::sampling,
+        },
+        Experiment {
+            name: "avgtime",
+            reproduces: "Section 4 pitfall: average time per call",
+            run: accuracy::avgtime,
+        },
+        Experiment {
+            name: "multirun",
+            reproduces: "Retrospective: summing profiles over several runs",
+            run: accuracy::multirun,
+        },
+        Experiment {
+            name: "hashorg",
+            reproduces: "Section 3.1: arc hash table organization",
+            run: tables::hashorg,
+        },
+        Experiment {
+            name: "arcremoval",
+            reproduces: "Retrospective: bounded cycle-breaking arc removal",
+            run: tables::arcremoval,
+        },
+        Experiment {
+            name: "abstraction",
+            reproduces: "Sections 1-2: abstraction costs, prof vs gprof",
+            run: tables::abstraction,
+        },
+        Experiment {
+            name: "staticarcs",
+            reproduces: "Section 4: static arcs stabilize cycle membership",
+            run: tables::staticarcs,
+        },
+        Experiment {
+            name: "perturb",
+            reproduces: "Section 7 trade-off: instrumentation perturbs the program",
+            run: accuracy::perturbation,
+        },
+        Experiment {
+            name: "iterate",
+            reproduces: "Section 6: the iterative optimization workflow",
+            run: iterate::iterate,
+        },
+        Experiment {
+            name: "modern",
+            reproduces: "Retrospective: complete-call-stack sampling vs gprof",
+            run: modern::modern,
+        },
+        Experiment {
+            name: "granularity",
+            reproduces: "Section 3.2 / retrospective: histogram granularity trade",
+            run: accuracy::granularity,
+        },
+    ]
+}
+
+/// Runs the experiment with the given name.
+pub fn run_experiment(name: &str) -> Option<String> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.name == name)
+        .map(|e| (e.run)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all_experiments().iter().map(|e| e.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("nope").is_none());
+    }
+}

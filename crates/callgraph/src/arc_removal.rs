@@ -1,0 +1,355 @@
+//! Cycle-breaking arc removal (retrospective).
+//!
+//! "Because of the interactions of the kernel's major subsystems, there
+//! were several large cycles in the profiles. [...] When we looked at the
+//! profiles there were just a few arcs — with low traversal counts — that
+//! closed the cycles. We added an option to specify a set of arcs to be
+//! removed from the analysis. [...] To aid users unable or unwilling to
+//! find an arc set for themselves, we added a heuristic to help choose
+//! arcs to remove. The underlying problem is NP-complete, so we added a
+//! bound on the number of arcs the tool would attempt to remove."
+//!
+//! The underlying problem is minimum feedback arc set. Two searches are
+//! provided:
+//!
+//! * [`break_cycles_greedy`] — the production heuristic: repeatedly remove
+//!   the lowest-count arc participating in a cycle, up to a bound;
+//! * [`break_cycles_exact`] — a bounded exhaustive search over candidate
+//!   arc subsets, usable on the small cycle cores where exactness is
+//!   affordable, for scoring the heuristic.
+//!
+//! Self-arcs never count: a self-recursive routine is already excluded
+//! from propagation, so removing its self-arc breaks nothing.
+
+use crate::graph::{CallGraph, NodeId};
+use crate::tarjan::SccResult;
+
+/// The result of a bounded cycle-breaking search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovalOutcome {
+    /// The ordered pairs removed, in removal order.
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// Whether the resulting graph is free of multi-node cycles. `false`
+    /// means the bound was hit first.
+    pub complete: bool,
+    /// Total traversal count of the removed arcs — the "information lost"
+    /// by omitting them from propagation.
+    pub count_removed: u64,
+}
+
+fn has_multi_node_cycle(scc: &SccResult) -> bool {
+    scc.comps().any(|c| scc.is_cycle(c))
+}
+
+/// Returns `true` when the graph contains no cycle of two or more nodes.
+pub fn is_propagation_acyclic(graph: &CallGraph) -> bool {
+    !has_multi_node_cycle(&SccResult::analyze(graph))
+}
+
+/// The retrospective's heuristic: while a multi-node cycle remains and the
+/// bound allows, remove the cycle-internal arc with the lowest traversal
+/// count (ties broken toward the lexically smaller node pair, for
+/// determinism).
+///
+/// ```
+/// use graphprof_callgraph::{break_cycles_greedy, CallGraph};
+///
+/// // A hot service arc and a rare wakeup arc closing the cycle.
+/// let mut graph = CallGraph::with_nodes(["sched", "worker"]);
+/// let ids: Vec<_> = graph.nodes().collect();
+/// graph.add_arc(ids[0], ids[1], 1_000);
+/// graph.add_arc(ids[1], ids[0], 2);
+/// let outcome = break_cycles_greedy(&graph, 8);
+/// assert!(outcome.complete);
+/// assert_eq!(outcome.removed, vec![(ids[1], ids[0])]);
+/// assert_eq!(outcome.count_removed, 2, "only the rare arc is lost");
+/// ```
+pub fn break_cycles_greedy(graph: &CallGraph, max_arcs: usize) -> RemovalOutcome {
+    let mut removed: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut count_removed = 0u64;
+    let mut current = graph.clone();
+    loop {
+        let scc = SccResult::analyze(&current);
+        if !has_multi_node_cycle(&scc) {
+            return RemovalOutcome { removed, complete: true, count_removed };
+        }
+        if removed.len() >= max_arcs {
+            return RemovalOutcome { removed, complete: false, count_removed };
+        }
+        // Candidate arcs: non-self arcs internal to some cycle component.
+        let victim = current
+            .arcs()
+            .filter(|(_, a)| {
+                !a.is_self()
+                    && scc.comp(a.from) == scc.comp(a.to)
+                    && scc.is_cycle(scc.comp(a.from))
+            })
+            .min_by_key(|(_, a)| (a.count, a.from, a.to))
+            .map(|(_, a)| a);
+        match victim {
+            Some(arc) => {
+                removed.push((arc.from, arc.to));
+                count_removed += arc.count;
+                current = current.without_arcs(&[(arc.from, arc.to)]);
+            }
+            None => {
+                // Unreachable in practice: a cycle component always has an
+                // internal non-self arc. Guard against an infinite loop.
+                return RemovalOutcome { removed, complete: false, count_removed };
+            }
+        }
+    }
+}
+
+/// Maximum number of candidate arcs the exact search will consider; beyond
+/// this the subset enumeration is hopeless and the caller should fall back
+/// to [`break_cycles_greedy`].
+pub const EXACT_CANDIDATE_LIMIT: usize = 20;
+
+/// Bounded exhaustive minimum-weight feedback arc set.
+///
+/// Searches every subset of up to `max_arcs` cycle-internal arcs and
+/// returns the one of minimum total traversal count (ties broken toward
+/// fewer arcs) whose removal leaves the graph free of multi-node cycles.
+/// Minimizing the *count* removed minimizes the information the profile
+/// loses — the retrospective's observation was that "the information lost
+/// by omitting these arcs was far less than the information gained".
+///
+/// Returns `None` when no subset within `max_arcs` works, or when the
+/// candidate set exceeds [`EXACT_CANDIDATE_LIMIT`].
+pub fn break_cycles_exact(
+    graph: &CallGraph,
+    max_arcs: usize,
+) -> Option<RemovalOutcome> {
+    let scc = SccResult::analyze(graph);
+    if !has_multi_node_cycle(&scc) {
+        return Some(RemovalOutcome { removed: Vec::new(), complete: true, count_removed: 0 });
+    }
+    let candidates: Vec<(NodeId, NodeId, u64)> = graph
+        .arcs()
+        .filter(|(_, a)| {
+            !a.is_self()
+                && scc.comp(a.from) == scc.comp(a.to)
+                && scc.is_cycle(scc.comp(a.from))
+        })
+        .map(|(_, a)| (a.from, a.to, a.count))
+        .collect();
+    if candidates.len() > EXACT_CANDIDATE_LIMIT {
+        return None;
+    }
+    let mut best: Option<RemovalOutcome> = None;
+    for k in 1..=max_arcs.min(candidates.len()) {
+        let mut indices: Vec<usize> = (0..k).collect();
+        loop {
+            let pairs: Vec<(NodeId, NodeId)> =
+                indices.iter().map(|&i| (candidates[i].0, candidates[i].1)).collect();
+            let count: u64 = indices.iter().map(|&i| candidates[i].2).sum();
+            let improves = best
+                .as_ref()
+                .map(|b| (count, k) < (b.count_removed, b.removed.len()))
+                .unwrap_or(true);
+            if improves && is_propagation_acyclic(&graph.without_arcs(&pairs)) {
+                best = Some(RemovalOutcome {
+                    removed: pairs,
+                    complete: true,
+                    count_removed: count,
+                });
+            }
+            if !next_combination(&mut indices, candidates.len()) {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Advances `indices` to the next k-combination of `0..n`; returns `false`
+/// when exhausted.
+fn next_combination(indices: &mut [usize], n: usize) -> bool {
+    let k = indices.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if indices[i] != i + n - k {
+            indices[i] += 1;
+            for j in i + 1..k {
+                indices[j] = indices[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two subsystems joined into one cycle by two low-count arcs — the
+    /// kernel shape from the retrospective.
+    fn kernel_like() -> (CallGraph, Vec<NodeId>) {
+        let mut g = CallGraph::with_nodes(["net_in", "net_out", "disk_rw", "buf"]);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_arc(n[0], n[1], 500); // net_in -> net_out
+        g.add_arc(n[1], n[2], 400); // net_out -> disk_rw
+        g.add_arc(n[2], n[3], 300); // disk_rw -> buf
+        g.add_arc(n[3], n[0], 2); // buf -> net_in   (low-count closer)
+        g.add_arc(n[1], n[0], 3); // net_out -> net_in (low-count closer)
+        (g, n)
+    }
+
+    #[test]
+    fn acyclic_graph_needs_no_removal() {
+        let mut g = CallGraph::with_nodes(["a", "b"]);
+        g.add_arc(NodeId::new(0), NodeId::new(1), 5);
+        assert!(is_propagation_acyclic(&g));
+        let out = break_cycles_greedy(&g, 10);
+        assert!(out.complete);
+        assert!(out.removed.is_empty());
+        let exact = break_cycles_exact(&g, 10).unwrap();
+        assert!(exact.removed.is_empty());
+    }
+
+    #[test]
+    fn greedy_removes_the_low_count_closers() {
+        let (g, n) = kernel_like();
+        let out = break_cycles_greedy(&g, 10);
+        assert!(out.complete);
+        let mut removed = out.removed.clone();
+        removed.sort_unstable();
+        let mut expected = vec![(n[3], n[0]), (n[1], n[0])];
+        expected.sort_unstable();
+        assert_eq!(removed, expected);
+        assert_eq!(out.count_removed, 5);
+        assert!(is_propagation_acyclic(&g.without_arcs(&out.removed)));
+    }
+
+    #[test]
+    fn greedy_respects_the_bound() {
+        let (g, _) = kernel_like();
+        let out = break_cycles_greedy(&g, 1);
+        assert!(!out.complete);
+        assert_eq!(out.removed.len(), 1);
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_the_kernel_shape() {
+        let (g, _) = kernel_like();
+        let exact = break_cycles_exact(&g, 5).unwrap();
+        assert!(exact.complete);
+        assert_eq!(exact.removed.len(), 2);
+        assert_eq!(exact.count_removed, 5);
+    }
+
+    #[test]
+    fn exact_beats_greedy_via_a_shared_arc() {
+        // Figure-eight sharing arc a->b: cycles a->b->a and a->b->c->a.
+        // Greedy takes the locally cheapest arcs one at a time (b->a then
+        // b->c, cost 6); removing the single shared arc a->b costs 5.
+        let mut g = CallGraph::with_nodes(["a", "b", "c"]);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let c = NodeId::new(2);
+        g.add_arc(a, b, 5); // shared by both cycles
+        g.add_arc(b, a, 3);
+        g.add_arc(b, c, 3);
+        g.add_arc(c, a, 10);
+        let exact = break_cycles_exact(&g, 3).unwrap();
+        assert_eq!(exact.removed, vec![(a, b)], "one shared arc breaks both");
+        assert_eq!(exact.count_removed, 5);
+        let greedy = break_cycles_greedy(&g, 3);
+        assert!(greedy.complete);
+        assert_eq!(greedy.count_removed, 6, "greedy pays more");
+        assert!(greedy.removed.len() > exact.removed.len());
+    }
+
+    #[test]
+    fn exact_prefers_cheap_pair_over_expensive_single() {
+        // Same shape, but the shared arc is expensive: the two cheap
+        // closers win on total count even though they are two arcs.
+        let mut g = CallGraph::with_nodes(["a", "b", "c"]);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let c = NodeId::new(2);
+        g.add_arc(a, b, 500);
+        g.add_arc(b, a, 1);
+        g.add_arc(b, c, 2);
+        g.add_arc(c, a, 9);
+        let exact = break_cycles_exact(&g, 3).unwrap();
+        let mut removed = exact.removed.clone();
+        removed.sort_unstable();
+        assert_eq!(removed, vec![(b, a), (b, c)]);
+        assert_eq!(exact.count_removed, 3);
+    }
+
+    #[test]
+    fn exact_minimizes_count_among_equal_cardinality() {
+        // One two-node cycle: either direction breaks it; the cheaper arc
+        // must be chosen.
+        let mut g = CallGraph::with_nodes(["x", "y"]);
+        let x = NodeId::new(0);
+        let y = NodeId::new(1);
+        g.add_arc(x, y, 100);
+        g.add_arc(y, x, 7);
+        let exact = break_cycles_exact(&g, 2).unwrap();
+        assert_eq!(exact.removed, vec![(y, x)]);
+        assert_eq!(exact.count_removed, 7);
+    }
+
+    #[test]
+    fn exact_gives_up_beyond_bound() {
+        // Two disjoint 2-cycles need two removals; bound of one fails.
+        let mut g = CallGraph::with_nodes(["a", "b", "c", "d"]);
+        let n: Vec<NodeId> = g.nodes().collect();
+        g.add_arc(n[0], n[1], 1);
+        g.add_arc(n[1], n[0], 1);
+        g.add_arc(n[2], n[3], 1);
+        g.add_arc(n[3], n[2], 1);
+        assert!(break_cycles_exact(&g, 1).is_none());
+        assert!(break_cycles_exact(&g, 2).is_some());
+    }
+
+    #[test]
+    fn exact_refuses_huge_candidate_sets() {
+        // A large complete-ish cycle exceeds the candidate limit.
+        let n = 6;
+        let mut g = CallGraph::with_nodes((0..n).map(|i| format!("f{i}")));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.add_arc(NodeId::new(i), NodeId::new(j), 1);
+                }
+            }
+        }
+        assert!(g.arc_count() > EXACT_CANDIDATE_LIMIT);
+        assert!(break_cycles_exact(&g, 3).is_none());
+        // Greedy still makes progress on the same graph.
+        let out = break_cycles_greedy(&g, 100);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn self_arcs_are_never_removed() {
+        let mut g = CallGraph::with_nodes(["main", "rec"]);
+        let main = NodeId::new(0);
+        let rec = NodeId::new(1);
+        g.add_arc(main, rec, 1);
+        g.add_arc(rec, rec, 1000);
+        assert!(is_propagation_acyclic(&g));
+        let out = break_cycles_greedy(&g, 10);
+        assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn next_combination_enumerates_all() {
+        let mut indices = vec![0, 1];
+        let mut seen = vec![indices.clone()];
+        while next_combination(&mut indices, 4) {
+            seen.push(indices.clone());
+        }
+        assert_eq!(seen, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+    }
+}

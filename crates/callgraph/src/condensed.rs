@@ -1,0 +1,228 @@
+//! The condensed (component) graph: cycles collapsed to single nodes.
+//!
+//! "In these cases, we discover strongly-connected components in the call
+//! graph, treat each such component as a single node, and then sort the
+//! resulting graph" (§4). [`propagate`](crate::propagate) walks components
+//! implicitly; this module materializes the condensation as a graph in its
+//! own right, for consumers that want to inspect or traverse the collapsed
+//! structure (visualization, reachability queries over abstractions,
+//! experiment analysis).
+
+use std::collections::HashMap;
+
+use crate::graph::CallGraph;
+use crate::tarjan::{CompId, SccResult};
+
+/// An aggregated arc of the condensation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondensedArc {
+    /// Source component.
+    pub from: CompId,
+    /// Target component.
+    pub to: CompId,
+    /// Sum of the traversal counts of the underlying call-graph arcs.
+    pub count: u64,
+    /// How many distinct call-graph arcs were merged into this one.
+    pub merged: u32,
+}
+
+/// The condensation of a [`CallGraph`]: one node per strongly-connected
+/// component, arcs aggregated across members, self-arcs (intra-component
+/// calls) dropped.
+///
+/// By construction the condensation is acyclic, and iterating components
+/// in their natural order ([`SccResult::comps`]) visits callees before
+/// callers.
+///
+/// ```
+/// use graphprof_callgraph::{CallGraph, CondensedGraph, SccResult};
+///
+/// // main -> x <-> y: the cycle condenses to one node.
+/// let mut graph = CallGraph::with_nodes(["main", "x", "y"]);
+/// let ids: Vec<_> = graph.nodes().collect();
+/// graph.add_arc(ids[0], ids[1], 5);
+/// graph.add_arc(ids[1], ids[2], 9);
+/// graph.add_arc(ids[2], ids[1], 8);
+/// let scc = SccResult::analyze(&graph);
+/// let cond = CondensedGraph::new(&graph, &scc);
+/// assert_eq!(cond.comp_count(), 2);
+/// assert!(cond.is_topologically_consistent());
+/// let cycle = scc.comp(ids[1]);
+/// assert_eq!(cond.internal_count(cycle), 17);
+/// assert_eq!(cond.external_calls_into(cycle), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CondensedGraph {
+    arcs: Vec<CondensedArc>,
+    out: Vec<Vec<usize>>,
+    into: Vec<Vec<usize>>,
+    internal_counts: Vec<u64>,
+    comp_count: usize,
+}
+
+impl CondensedGraph {
+    /// Builds the condensation.
+    pub fn new(graph: &CallGraph, scc: &SccResult) -> CondensedGraph {
+        let n = scc.comp_count();
+        let mut by_pair: HashMap<(CompId, CompId), usize> = HashMap::new();
+        let mut arcs: Vec<CondensedArc> = Vec::new();
+        let mut internal_counts = vec![0u64; n];
+        for (_, arc) in graph.arcs() {
+            let from = scc.comp(arc.from);
+            let to = scc.comp(arc.to);
+            if from == to {
+                internal_counts[from.index()] += arc.count;
+                continue;
+            }
+            match by_pair.get(&(from, to)) {
+                Some(&i) => {
+                    arcs[i].count += arc.count;
+                    arcs[i].merged += 1;
+                }
+                None => {
+                    by_pair.insert((from, to), arcs.len());
+                    arcs.push(CondensedArc { from, to, count: arc.count, merged: 1 });
+                }
+            }
+        }
+        let mut out = vec![Vec::new(); n];
+        let mut into = vec![Vec::new(); n];
+        for (i, arc) in arcs.iter().enumerate() {
+            out[arc.from.index()].push(i);
+            into[arc.to.index()].push(i);
+        }
+        CondensedGraph { arcs, out, into, internal_counts, comp_count: n }
+    }
+
+    /// Number of component nodes.
+    pub fn comp_count(&self) -> usize {
+        self.comp_count
+    }
+
+    /// All aggregated arcs.
+    pub fn arcs(&self) -> &[CondensedArc] {
+        &self.arcs
+    }
+
+    /// Arcs leaving a component.
+    pub fn out_arcs(&self, comp: CompId) -> impl Iterator<Item = &CondensedArc> {
+        self.out[comp.index()].iter().map(|&i| &self.arcs[i])
+    }
+
+    /// Arcs entering a component.
+    pub fn in_arcs(&self, comp: CompId) -> impl Iterator<Item = &CondensedArc> {
+        self.into[comp.index()].iter().map(|&i| &self.arcs[i])
+    }
+
+    /// Traversals among a component's own members (including self-arcs);
+    /// the calls that "do not participate in time propagation".
+    pub fn internal_count(&self, comp: CompId) -> u64 {
+        self.internal_counts[comp.index()]
+    }
+
+    /// Total external traversals into a component — the denominator of
+    /// the propagation fraction.
+    pub fn external_calls_into(&self, comp: CompId) -> u64 {
+        self.in_arcs(comp).map(|a| a.count).sum()
+    }
+
+    /// Components with no inbound arcs (the roots of the program).
+    pub fn roots(&self) -> Vec<CompId> {
+        (0..self.comp_count as u32)
+            .map(CompId::from_raw)
+            .filter(|&c| self.into[c.index()].is_empty())
+            .collect()
+    }
+
+    /// Components with no outbound arcs (the leaves).
+    pub fn leaves(&self) -> Vec<CompId> {
+        (0..self.comp_count as u32)
+            .map(CompId::from_raw)
+            .filter(|&c| self.out[c.index()].is_empty())
+            .collect()
+    }
+
+    /// Verifies the defining property: every arc goes from a later-popped
+    /// component to an earlier one (the topological ordering of §4).
+    pub fn is_topologically_consistent(&self) -> bool {
+        self.arcs.iter().all(|a| a.to < a.from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn cyclic_fixture() -> (CallGraph, SccResult) {
+        // main -> x <-> y -> leaf, plus main -> leaf directly.
+        let mut g = CallGraph::with_nodes(["main", "x", "y", "leaf"]);
+        let ids: Vec<NodeId> = g.nodes().collect();
+        g.add_arc(ids[0], ids[1], 5);
+        g.add_arc(ids[1], ids[2], 7);
+        g.add_arc(ids[2], ids[1], 6);
+        g.add_arc(ids[2], ids[3], 3);
+        g.add_arc(ids[0], ids[3], 2);
+        let scc = SccResult::analyze(&g);
+        (g, scc)
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_ordered() {
+        let (g, scc) = cyclic_fixture();
+        let cond = CondensedGraph::new(&g, &scc);
+        assert_eq!(cond.comp_count(), 3);
+        assert!(cond.is_topologically_consistent());
+    }
+
+    #[test]
+    fn intra_cycle_counts_are_separated() {
+        let (g, scc) = cyclic_fixture();
+        let cond = CondensedGraph::new(&g, &scc);
+        let x = g.node_by_name("x").unwrap();
+        let cycle = scc.comp(x);
+        assert_eq!(cond.internal_count(cycle), 13, "x->y 7 + y->x 6");
+        assert_eq!(cond.external_calls_into(cycle), 5, "only main's calls");
+    }
+
+    #[test]
+    fn parallel_arcs_merge() {
+        // Two members of a cycle both call the same outside leaf.
+        let mut g = CallGraph::with_nodes(["a", "b", "leaf"]);
+        let ids: Vec<NodeId> = g.nodes().collect();
+        g.add_arc(ids[0], ids[1], 1);
+        g.add_arc(ids[1], ids[0], 1);
+        g.add_arc(ids[0], ids[2], 4);
+        g.add_arc(ids[1], ids[2], 6);
+        let scc = SccResult::analyze(&g);
+        let cond = CondensedGraph::new(&g, &scc);
+        assert_eq!(cond.arcs().len(), 1);
+        assert_eq!(cond.arcs()[0].count, 10);
+        assert_eq!(cond.arcs()[0].merged, 2);
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let (g, scc) = cyclic_fixture();
+        let cond = CondensedGraph::new(&g, &scc);
+        let main_comp = scc.comp(g.node_by_name("main").unwrap());
+        let leaf_comp = scc.comp(g.node_by_name("leaf").unwrap());
+        assert_eq!(cond.roots(), vec![main_comp]);
+        assert_eq!(cond.leaves(), vec![leaf_comp]);
+    }
+
+    #[test]
+    fn external_calls_agree_with_propagation() {
+        let (g, scc) = cyclic_fixture();
+        let cond = CondensedGraph::new(&g, &scc);
+        let times: Vec<f64> = (0..g.node_count()).map(|i| i as f64).collect();
+        let prop = crate::propagate(&g, &scc, &times);
+        for comp in scc.comps() {
+            assert_eq!(
+                cond.external_calls_into(comp),
+                prop.external_calls_into(comp),
+                "{comp}"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Static call graph discovery (§4).
+//!
+//! "In our programming system, the static calling information is also
+//! contained in the executable version of the program [...] One can
+//! examine the instructions in the object program, looking for calls to
+//! routines, and note which routines can be called."
+//!
+//! The crawl disassembles each routine linearly from its symbol-table
+//! boundary (guaranteeing instruction alignment) and collects the targets
+//! of direct `call` instructions. Indirect calls — the machine's
+//! functional parameters and variables — are invisible, exactly the blind
+//! spot the paper describes: the *dynamic* graph "may include arcs to
+//! functional parameters or variables that the static call graph may
+//! omit" (§2).
+//!
+//! Discovered arcs are keyed by the *return address* of the call (the
+//! address after the `call` instruction) so they merge with the arcs the
+//! monitoring routine records at run time.
+
+use graphprof_machine::{encoded_len, Addr, DecodeError, Executable};
+
+/// A statically apparent call: `(return_address, callee_entry)`.
+///
+/// The return address identifies the call site with the same convention as
+/// the monitoring routine's `from_pc`, so a statically discovered arc that
+/// was also traversed dynamically resolves to the same arc.
+pub type StaticArc = (Addr, Addr);
+
+/// Crawls the executable text for direct calls.
+///
+/// Returns one entry per call instruction, in address order; the same
+/// caller→callee pair appears once per call site.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the text segment is malformed.
+pub fn discover_static_arcs(exe: &Executable) -> Result<Vec<StaticArc>, DecodeError> {
+    let mut arcs = Vec::new();
+    for (id, _) in exe.symbols().iter() {
+        for (addr, inst) in exe.disassemble_symbol(id)? {
+            if let Some(target) = inst.direct_call_target() {
+                arcs.push((addr.offset(encoded_len(inst)), target));
+            }
+        }
+    }
+    Ok(arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+
+    fn compile(source: &str) -> Executable {
+        graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_every_direct_call_site() {
+        let exe = compile(
+            "routine main { call a call b call a }
+             routine a { work 1 }
+             routine b { call a }",
+        );
+        let a = exe.symbols().by_name("a").unwrap().1.addr();
+        let b = exe.symbols().by_name("b").unwrap().1.addr();
+        let arcs = discover_static_arcs(&exe).unwrap();
+        assert_eq!(arcs.len(), 4);
+        let into_a = arcs.iter().filter(|(_, t)| *t == a).count();
+        let into_b = arcs.iter().filter(|(_, t)| *t == b).count();
+        assert_eq!(into_a, 3);
+        assert_eq!(into_b, 1);
+    }
+
+    #[test]
+    fn indirect_calls_are_invisible() {
+        let exe = compile(
+            "routine main { setslot 0, hidden calli 0 }
+             routine hidden { work 1 }",
+        );
+        let arcs = discover_static_arcs(&exe).unwrap();
+        assert!(arcs.is_empty(), "indirect call must not appear statically");
+    }
+
+    #[test]
+    fn loops_do_not_multiply_static_arcs() {
+        let exe = compile(
+            "routine main { loop 100 { call leaf } }
+             routine leaf { work 1 }",
+        );
+        let arcs = discover_static_arcs(&exe).unwrap();
+        assert_eq!(arcs.len(), 1, "one call site regardless of trip count");
+    }
+
+    #[test]
+    fn return_addresses_match_mcount_convention() {
+        use graphprof_machine::{Machine, MachineConfig, ProfilingHooks};
+        #[derive(Default)]
+        struct Collect(Vec<(Addr, Addr)>);
+        impl ProfilingHooks for Collect {
+            fn on_mcount(&mut self, from: Addr, callee: Addr) -> u64 {
+                if !from.is_null() {
+                    self.0.push((from, callee));
+                }
+                0
+            }
+        }
+        let exe = compile(
+            "routine main { call leaf }
+             routine leaf { work 1 }",
+        );
+        let static_arcs = discover_static_arcs(&exe).unwrap();
+        let mut hooks = Collect::default();
+        let mut m = Machine::with_config(exe, MachineConfig::default());
+        m.run(&mut hooks).unwrap();
+        assert_eq!(static_arcs, hooks.0, "static and dynamic keys coincide");
+    }
+
+    #[test]
+    fn covers_calls_in_every_routine() {
+        let exe = compile(
+            "routine main { call a }
+             routine a { call b }
+             routine b { call c }
+             routine c { work 1 }",
+        );
+        let arcs = discover_static_arcs(&exe).unwrap();
+        assert_eq!(arcs.len(), 3);
+        // Arcs are in address order.
+        for pair in arcs.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the call graph algorithms: Tarjan against a
+//! naive reachability model, propagation conservation laws, and cycle
+//! breaking.
+
+use proptest::prelude::*;
+
+use graphprof_callgraph::{
+    break_cycles_exact, break_cycles_greedy, propagate, CallGraph, NodeId, SccResult,
+};
+use graphprof_callgraph::arc_removal::is_propagation_acyclic;
+
+fn arb_graph() -> impl Strategy<Value = CallGraph> {
+    (2usize..10).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u64..50), 0..(3 * n)).prop_map(
+            move |arcs| {
+                let mut g = CallGraph::with_nodes((0..n).map(|i| format!("f{i}")));
+                for (a, b, count) in arcs {
+                    g.add_arc(NodeId::new(a as u32), NodeId::new(b as u32), count);
+                }
+                g
+            },
+        )
+    })
+}
+
+/// A random single-root DAG: arcs only go from lower to higher indices,
+/// and every non-root node has at least one caller.
+fn arb_dag() -> impl Strategy<Value = CallGraph> {
+    (2usize..10).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n, 1u64..20), 0..(2 * n));
+        let spine = proptest::collection::vec(1u64..20, n - 1);
+        (Just(n), spine, extra).prop_map(move |(n, spine, extra)| {
+            let mut g = CallGraph::with_nodes((0..n).map(|i| format!("f{i}")));
+            // Spine guarantees reachability from the root.
+            for (i, count) in spine.into_iter().enumerate() {
+                g.add_arc(NodeId::new(i as u32), NodeId::new(i as u32 + 1), count);
+            }
+            for (a, b, count) in extra {
+                if a < b {
+                    g.add_arc(NodeId::new(a as u32), NodeId::new(b as u32), count);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn reaches(g: &CallGraph, from: NodeId, to: NodeId) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        if v == to {
+            return true;
+        }
+        if std::mem::replace(&mut seen[v.index()], true) {
+            continue;
+        }
+        for &a in g.out_arcs(v) {
+            stack.push(g.arc(a).to);
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tarjan's components equal the naive mutual-reachability relation,
+    /// and the topological numbering descends along inter-component arcs.
+    #[test]
+    fn tarjan_matches_reachability_model(g in arb_graph()) {
+        let scc = SccResult::analyze(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let same = a == b || (reaches(&g, a, b) && reaches(&g, b, a));
+                prop_assert_eq!(scc.comp(a) == scc.comp(b), same, "{} {}", a, b);
+            }
+        }
+        for (_, arc) in g.arcs() {
+            if scc.comp(arc.from) != scc.comp(arc.to) {
+                prop_assert!(scc.topo_number(arc.from) > scc.topo_number(arc.to));
+            }
+        }
+        // Components partition the nodes.
+        let total: usize = scc.comps().map(|c| scc.members(c).len()).sum();
+        prop_assert_eq!(total, g.node_count());
+    }
+
+    /// Propagation invariants that hold on any graph:
+    /// * a component's descendant time equals the flows its members
+    ///   received;
+    /// * flows out of a component never exceed its total;
+    /// * intra-component arcs carry nothing.
+    #[test]
+    fn propagation_invariants(g in arb_graph()) {
+        let scc = SccResult::analyze(&g);
+        let self_times: Vec<f64> =
+            (0..g.node_count()).map(|i| (i as f64 + 1.0) * 10.0).collect();
+        let p = propagate(&g, &scc, &self_times);
+        for comp in scc.comps() {
+            let member_desc: f64 =
+                scc.members(comp).iter().map(|&m| p.node_desc(m)).sum();
+            prop_assert!((member_desc - p.comp_desc(comp)).abs() < 1e-9);
+            // Total outflow <= comp total (equality only when every
+            // external call into the component propagates).
+            let outflow: f64 = g
+                .arcs()
+                .filter(|(_, a)| {
+                    scc.comp(a.to) == comp && scc.comp(a.from) != comp
+                })
+                .map(|(id, _)| p.arc_flow(id))
+                .sum();
+            prop_assert!(outflow <= p.comp_total(comp) + 1e-9);
+        }
+        for (id, arc) in g.arcs() {
+            if scc.comp(arc.from) == scc.comp(arc.to) {
+                prop_assert_eq!(p.arc_flow(id), 0.0);
+            }
+            prop_assert!(p.arc_self_flow(id) >= 0.0);
+            prop_assert!(p.arc_desc_flow(id) >= 0.0);
+        }
+    }
+
+    /// On a single-root DAG where every call is dynamic, the root's total
+    /// equals the whole program: time is conserved up the graph.
+    #[test]
+    fn dag_conservation(g in arb_dag()) {
+        let scc = SccResult::analyze(&g);
+        let self_times: Vec<f64> =
+            (0..g.node_count()).map(|i| (i as f64 + 1.0) * 7.0).collect();
+        let total: f64 = self_times.iter().sum();
+        let p = propagate(&g, &scc, &self_times);
+        let root = NodeId::new(0);
+        prop_assert!((p.node_total(root) - total).abs() < 1e-6,
+            "root {} vs total {}", p.node_total(root), total);
+    }
+
+    /// Greedy cycle breaking with a generous bound always succeeds, and
+    /// the exact search never removes more traversals than greedy.
+    #[test]
+    fn cycle_breaking_terminates_and_exact_is_optimal(g in arb_graph()) {
+        let bound = g.arc_count() + 1;
+        let greedy = break_cycles_greedy(&g, bound);
+        prop_assert!(greedy.complete);
+        prop_assert!(is_propagation_acyclic(&g.without_arcs(&greedy.removed)));
+        if let Some(exact) = break_cycles_exact(&g, bound) {
+            prop_assert!(exact.complete);
+            prop_assert!(exact.count_removed <= greedy.count_removed);
+            prop_assert!(is_propagation_acyclic(&g.without_arcs(&exact.removed)));
+        }
+    }
+
+    /// `without_arcs` only ever removes what it is told: node set and the
+    /// other arcs survive with their counts.
+    #[test]
+    fn without_arcs_is_surgical(g in arb_graph()) {
+        let victims: Vec<(NodeId, NodeId)> = g
+            .arcs()
+            .take(2)
+            .map(|(_, a)| (a.from, a.to))
+            .collect();
+        let cut = g.without_arcs(&victims);
+        prop_assert_eq!(cut.node_count(), g.node_count());
+        for (_, arc) in g.arcs() {
+            let removed = victims.contains(&(arc.from, arc.to));
+            match cut.arc_between(arc.from, arc.to) {
+                Some(id) => {
+                    prop_assert!(!removed);
+                    prop_assert_eq!(cut.arc(id).count, arc.count);
+                }
+                None => prop_assert!(removed),
+            }
+        }
+    }
+}

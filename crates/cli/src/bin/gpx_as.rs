@@ -1,0 +1,25 @@
+//! The assembler: source text → executable, optionally instrumented
+//! (`--instrument gprof` is this toolchain's `cc -pg`).
+
+use graphprof_cli::{assemble, Args, CliError};
+
+const USAGE: &str = "gpx-as <input.s> [--out file.gpx] \
+                     [--instrument none|gprof|prof] [--base ADDR] \
+                     [--only a,b] [--except a,b]";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(&argv, &["out", "instrument", "base", "only", "except"], &[])
+        .and_then(|args| assemble(&args));
+    match result {
+        Ok(summary) => println!("{summary}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("gpx-as: {e}");
+            std::process::exit(1);
+        }
+    }
+}

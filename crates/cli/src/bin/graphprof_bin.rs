@@ -1,0 +1,32 @@
+//! The post-processor: executable + profile data → flat profile and call
+//! graph profile. Multiple gmon files are summed; analysis options mirror
+//! the paper and retrospective.
+
+use graphprof_cli::{report, Args, CliError};
+
+const USAGE: &str = "graphprof <prog.gpx> <gmon.out> [more gmon files...] \
+                     [--flat-only|--graph-only] [--no-static] \
+                     [--exclude from:to]... [--break-cycles N] \
+                     [--min-percent P | --focus NAME | --keep a,b,c | --hide a,b,c] \
+                     [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix]";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(
+        &argv,
+        &["exclude", "break-cycles", "min-percent", "focus", "keep", "hide", "cps", "sum", "dot", "tsv"],
+        &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
+    )
+    .and_then(|args| report(&args));
+    match result {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("graphprof: {e}");
+            std::process::exit(1);
+        }
+    }
+}

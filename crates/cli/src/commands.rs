@@ -1,0 +1,507 @@
+//! Implementations of the four command-line tools.
+
+use std::fs;
+use std::path::Path;
+
+use graphprof::{Filter, Gprof, Options};
+use graphprof_machine::{
+    asm, disasm, objfile, CompileOptions, Instrumentation, Machine, MachineConfig,
+    ProfileSelection, RunStatus,
+};
+use graphprof_monitor::RuntimeProfiler;
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// Alias so the `use` above stays tidy.
+type Gmon = graphprof_monitor::GmonData;
+
+fn read(path: &str) -> Result<Vec<u8>, CliError> {
+    fs::read(path).map_err(|e| CliError::io(path, e))
+}
+
+fn read_text(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::io(path, e))
+}
+
+fn write(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    fs::write(path, bytes).map_err(|e| CliError::io(path, e))
+}
+
+fn load_executable(path: &str) -> Result<graphprof_machine::Executable, CliError> {
+    let exe = objfile::read_executable(&read(path)?)?;
+    if let Some(issue) = graphprof_machine::verify_executable(&exe)
+        .into_iter()
+        .find(graphprof_machine::VerifyIssue::is_error)
+    {
+        return Err(CliError::Usage(format!("{path}: {issue}")));
+    }
+    Ok(exe)
+}
+
+fn comma_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// `gpx-as <input.s> [--out file.gpx] [--instrument none|gprof|prof]
+/// [--base ADDR] [--only a,b] [--except a,b]`
+///
+/// Assembles source text and writes an executable. `--instrument gprof`
+/// is the `cc -pg` of the toolchain; `--only`/`--except` restrict which
+/// routines get the monitoring prologue.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, parse, compile, or I/O problems.
+pub fn assemble(args: &Args) -> Result<String, CliError> {
+    let [input] = args.positionals() else {
+        return Err(CliError::Usage("gpx-as <input.s> [--out file.gpx]".to_string()));
+    };
+    let source = read_text(input)?;
+    let program = asm::parse(&source)?;
+
+    let instrumentation = match args.value("instrument").unwrap_or("gprof") {
+        "none" => Instrumentation::None,
+        "gprof" => Instrumentation::CallGraph,
+        "prof" => Instrumentation::Counts,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--instrument must be none, gprof, or prof (got `{other}`)"
+            )))
+        }
+    };
+    let profile = match (args.value("only"), args.value("except")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage("--only and --except are exclusive".to_string()))
+        }
+        (Some(only), None) => ProfileSelection::Only(comma_list(only)),
+        (None, Some(except)) => ProfileSelection::Except(comma_list(except)),
+        (None, None) => ProfileSelection::All,
+    };
+    let mut options = CompileOptions { instrumentation, profile, ..CompileOptions::default() };
+    if let Some(base) = args.int_value("base")? {
+        options.base = graphprof_machine::Addr::new(base as u32);
+    }
+
+    let exe = program.compile(&options)?;
+    // The compiler's output is verified before it is written; lints
+    // (unreachable routines) are reported but do not fail the build.
+    let issues = graphprof_machine::verify_executable(&exe);
+    debug_assert!(
+        issues.iter().all(|i| !i.is_error()),
+        "compiler emitted an invalid executable: {issues:?}"
+    );
+    let out_path = match args.value("out") {
+        Some(path) => path.to_string(),
+        None => Path::new(input).with_extension("gpx").to_string_lossy().into_owned(),
+    };
+    write(&out_path, &objfile::write_executable(&exe))?;
+    let mut summary = format!(
+        "{out_path}: {} routines, {} bytes of text, entry {}",
+        exe.symbols().len(),
+        exe.text().len(),
+        exe.entry(),
+    );
+    for issue in issues {
+        summary.push_str(&format!("\nwarning: {issue}"));
+    }
+    Ok(summary)
+}
+
+/// `gpx-run <prog.gpx> [--profile gmon.out] [--tick N] [--shift N]
+/// [--max-cycles N] [--monitor-only routine] [--no-profile]`
+///
+/// Runs an executable under the monitoring runtime and condenses the
+/// profile data to a file at exit, like a `-pg` program writing
+/// `gmon.out`. `--monitor-only` restricts recording to one routine's
+/// address range (the moncontrol(3) facility).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, I/O, or run-time faults.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let [input] = args.positionals() else {
+        return Err(CliError::Usage("gpx-run <prog.gpx> [--profile gmon.out]".to_string()));
+    };
+    let exe = load_executable(input)?;
+    let tick = args.int_value("tick")?.unwrap_or(100);
+    let shift = args.int_value("shift")?.unwrap_or(0) as u8;
+    let budget = args.int_value("max-cycles")?;
+    let profiling = !args.switch("no-profile");
+
+    let config = MachineConfig {
+        cycles_per_tick: if profiling { tick } else { 0 },
+        collect_ground_truth: false,
+        ..MachineConfig::default()
+    };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let mut profiler = RuntimeProfiler::with_granularity(&exe, tick, shift);
+    if let Some(name) = args.value("monitor-only") {
+        let Some((_, sym)) = exe.symbols().by_name(name) else {
+            return Err(CliError::Usage(format!(
+                "--monitor-only names unknown routine `{name}`"
+            )));
+        };
+        profiler.set_monitor_range(Some((sym.addr(), sym.end())));
+    }
+
+    let status = match budget {
+        Some(cycles) if profiling => machine.run_for(&mut profiler, cycles)?,
+        Some(cycles) => machine.run_for(&mut graphprof_machine::NoHooks, cycles)?,
+        None if profiling => {
+            machine.run(&mut profiler)?;
+            RunStatus::Halted
+        }
+        None => {
+            machine.run(&mut graphprof_machine::NoHooks)?;
+            RunStatus::Halted
+        }
+    };
+
+    let mut summary = format!(
+        "{input}: {} in {} cycles, {} instructions",
+        match status {
+            RunStatus::Halted => "halted",
+            RunStatus::Paused => "paused (cycle budget reached)",
+        },
+        machine.clock(),
+        machine.instructions(),
+    );
+    if profiling {
+        let gmon = profiler.finish();
+        let out_path = args.value("profile").unwrap_or("gmon.out");
+        write(out_path, &gmon.to_bytes())?;
+        summary.push_str(&format!(
+            "\n{out_path}: {} samples, {} arcs",
+            gmon.histogram().total(),
+            gmon.arcs().len(),
+        ));
+    }
+    Ok(summary)
+}
+
+/// `gpx-dis <prog.gpx>` — prints a symbol-annotated disassembly listing.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, I/O, or malformed text.
+pub fn disassemble(args: &Args) -> Result<String, CliError> {
+    let [input] = args.positionals() else {
+        return Err(CliError::Usage("gpx-dis <prog.gpx>".to_string()));
+    };
+    let exe = load_executable(input)?;
+    Ok(disasm::disassemble(&exe)?)
+}
+
+/// `graphprof <prog.gpx> <gmon...> [--flat-only|--graph-only]
+/// [--no-static] [--exclude from:to]... [--break-cycles N]
+/// [--min-percent P] [--focus NAME] [--keep a,b,c] [--cps N] [--sum file]`
+///
+/// The post-processor. Multiple gmon files are summed (the paper's
+/// several-runs feature); `--sum` additionally writes the merged profile
+/// back out, like `gprof -s`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, I/O, merge, or analysis problems.
+pub fn report(args: &Args) -> Result<String, CliError> {
+    let [exe_path, gmon_paths @ ..] = args.positionals() else {
+        return Err(CliError::Usage(
+            "graphprof <prog.gpx> <gmon.out> [more gmon files...]".to_string(),
+        ));
+    };
+    if gmon_paths.is_empty() {
+        return Err(CliError::Usage(
+            "graphprof <prog.gpx> <gmon.out> [more gmon files...]".to_string(),
+        ));
+    }
+    let exe = load_executable(exe_path)?;
+    let mut profiles = Vec::with_capacity(gmon_paths.len());
+    for path in gmon_paths {
+        profiles.push(Gmon::from_bytes(&read(path)?)?);
+    }
+    let gmon = graphprof::sum_profiles(profiles.iter())?;
+    if let Some(sum_path) = args.value("sum") {
+        write(sum_path, &gmon.to_bytes())?;
+    }
+
+    let mut options = Options::default().static_graph(!args.switch("no-static"));
+    for pair in args.values("exclude") {
+        let Some((from, to)) = pair.split_once(':') else {
+            return Err(CliError::Usage(format!(
+                "--exclude expects caller:callee, got `{pair}`"
+            )));
+        };
+        options = options.exclude_arc(from.trim(), to.trim());
+    }
+    if let Some(bound) = args.int_value("break-cycles")? {
+        options = options.break_cycles(bound as usize);
+    }
+    if let Some(cps) = args.int_value("cps")? {
+        options = options.cycles_per_second(cps as f64);
+    }
+    let filters_given = [
+        args.value("min-percent").is_some(),
+        args.value("focus").is_some(),
+        args.value("keep").is_some(),
+        args.value("hide").is_some(),
+    ]
+    .iter()
+    .filter(|&&b| b)
+    .count();
+    if filters_given > 1 {
+        return Err(CliError::Usage(
+            "--min-percent, --focus, --keep, and --hide are exclusive".to_string(),
+        ));
+    }
+    if let Some(pct) = args.value("min-percent") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--min-percent expects a number, got `{pct}`")))?;
+        options = options.filter(Filter::MinPercent(pct));
+    }
+    if let Some(name) = args.value("focus") {
+        options = options.filter(Filter::Focus(name.to_string()));
+    }
+    if let Some(names) = args.value("keep") {
+        options = options.filter(Filter::Keep(comma_list(names)));
+    }
+    if let Some(names) = args.value("hide") {
+        options = options.filter(Filter::Exclude(comma_list(names)));
+    }
+
+    let analysis = Gprof::new(options).analyze(&exe, &gmon)?;
+    let mut out = String::new();
+    if !args.switch("graph-only") {
+        out.push_str(&analysis.render_flat());
+        out.push('\n');
+    }
+    if !args.switch("flat-only") {
+        if !args.switch("brief") {
+            out.push_str(graphprof::render::render_legend());
+            out.push('\n');
+        }
+        out.push_str(&analysis.render_call_graph());
+    }
+    if args.switch("coverage") {
+        out.push('\n');
+        out.push_str(&graphprof::coverage(&analysis).render());
+    }
+    if let Some(dot_path) = args.value("dot") {
+        write(dot_path, graphprof::render_dot(&analysis).as_bytes())?;
+    }
+    if let Some(prefix) = args.value("tsv") {
+        write(
+            &format!("{prefix}.flat.tsv"),
+            graphprof::flat_to_tsv(analysis.flat()).as_bytes(),
+        )?;
+        write(
+            &format!("{prefix}.cg.tsv"),
+            graphprof::call_graph_to_tsv(analysis.call_graph()).as_bytes(),
+        )?;
+    }
+    if args.switch("annotate") {
+        out.push('\n');
+        out.push_str(&graphprof::annotate(&exe, gmon.histogram())?.render());
+    }
+    if !analysis.removed_arcs().is_empty() {
+        out.push_str("\narcs removed by the cycle-breaking heuristic:\n");
+        for (from, to) in analysis.removed_arcs() {
+            out.push_str(&format!("    {from} -> {to}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "graphprof-cli-{tag}-{}",
+                std::process::id()
+            ));
+            fs::create_dir_all(&dir).expect("temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self, name: &str) -> String {
+            self.0.join(name).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const SOURCE: &str = "
+        routine main { loop 10 { call work } }
+        routine work { work 500 call helper }
+        routine helper { work 100 }
+    ";
+
+    fn parse(argv: &[String], values: &[&str], switches: &[&str]) -> Args {
+        Args::parse(argv, values, switches).expect("parses")
+    }
+
+    fn assemble_sample(dir: &TempDir) -> String {
+        let src = dir.path("prog.s");
+        fs::write(&src, SOURCE).expect("writes");
+        let exe = dir.path("prog.gpx");
+        let argv = vec![src, "--out".to_string(), exe.clone()];
+        let args = parse(&argv, &["out", "instrument", "base", "only", "except"], &[]);
+        assemble(&args).expect("assembles");
+        exe
+    }
+
+    #[test]
+    fn assemble_run_report_round_trip() {
+        let dir = TempDir::new("pipeline");
+        let exe = assemble_sample(&dir);
+        let gmon = dir.path("gmon.out");
+
+        let argv = vec![exe.clone(), "--profile".to_string(), gmon.clone(),
+                        "--tick".to_string(), "10".to_string()];
+        let args = parse(
+            &argv,
+            &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+            &["no-profile"],
+        );
+        let summary = run(&args).expect("runs");
+        assert!(summary.contains("halted"), "{summary}");
+        assert!(summary.contains("samples"), "{summary}");
+
+        let argv = vec![exe, gmon];
+        let args = parse(
+            &argv,
+            &[
+                "exclude", "break-cycles", "min-percent", "focus", "keep", "cps", "sum",
+            ],
+            &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
+        );
+        let output = report(&args).expect("reports");
+        assert!(output.contains("flat profile:"));
+        assert!(output.contains("call graph profile:"));
+        assert!(output.contains("work"));
+        assert!(output.contains("10/10"));
+    }
+
+    #[test]
+    fn report_sums_multiple_gmon_files() {
+        let dir = TempDir::new("sum");
+        let exe = assemble_sample(&dir);
+        let mut gmons = Vec::new();
+        for i in 0..3 {
+            let gmon = dir.path(&format!("gmon.{i}"));
+            let argv = vec![exe.clone(), "--profile".to_string(), gmon.clone(),
+                            "--tick".to_string(), "10".to_string()];
+            let args = parse(&argv, &["profile", "tick", "shift", "max-cycles", "monitor-only"], &["no-profile"]);
+            run(&args).expect("runs");
+            gmons.push(gmon);
+        }
+        let sum_out = dir.path("gmon.sum");
+        let mut argv = vec![exe];
+        argv.extend(gmons);
+        argv.push("--sum".to_string());
+        argv.push(sum_out.clone());
+        argv.push("--flat-only".to_string());
+        let args = parse(
+            &argv,
+            &["exclude", "break-cycles", "min-percent", "focus", "keep", "hide", "cps", "sum", "dot", "tsv"],
+            &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
+        );
+        let output = report(&args).expect("reports");
+        // Three identical runs: 30 calls of work.
+        assert!(output.contains("30"), "{output}");
+        let summed = Gmon::from_bytes(&fs::read(&sum_out).expect("reads")).expect("parses");
+        assert!(summed.histogram().total() > 0);
+    }
+
+    #[test]
+    fn disassemble_lists_routines() {
+        let dir = TempDir::new("dis");
+        let exe = assemble_sample(&dir);
+        let argv = vec![exe];
+        let args = parse(&argv, &[], &[]);
+        let listing = disassemble(&args).expect("disassembles");
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("mcount"));
+        assert!(listing.contains("; work"), "{listing}");
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        let args = parse(&[], &[], &[]);
+        assert!(matches!(assemble(&args), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        assert!(matches!(disassemble(&args), Err(CliError::Usage(_))));
+        assert!(matches!(report(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_instrument_value_is_reported() {
+        let dir = TempDir::new("badinst");
+        let src = dir.path("prog.s");
+        fs::write(&src, SOURCE).expect("writes");
+        let argv = vec![src, "--instrument".to_string(), "everything".to_string()];
+        let args = parse(&argv, &["out", "instrument", "base", "only", "except"], &[]);
+        assert!(matches!(assemble(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_input_file_is_an_io_error() {
+        let argv = vec!["does-not-exist.s".to_string()];
+        let args = parse(&argv, &["out", "instrument", "base", "only", "except"], &[]);
+        assert!(matches!(assemble(&args), Err(CliError::Io { .. })));
+    }
+
+    #[test]
+    fn exclude_flag_validates_shape() {
+        let dir = TempDir::new("excl");
+        let exe = assemble_sample(&dir);
+        let gmon = dir.path("gmon.out");
+        let argv = vec![exe.clone(), "--profile".to_string(), gmon.clone(),
+                        "--tick".to_string(), "10".to_string()];
+        let args = parse(&argv, &["profile", "tick", "shift", "max-cycles", "monitor-only"], &["no-profile"]);
+        run(&args).expect("runs");
+
+        let argv = vec![exe, gmon, "--exclude".to_string(), "nocolon".to_string()];
+        let args = parse(
+            &argv,
+            &["exclude", "break-cycles", "min-percent", "focus", "keep", "hide", "cps", "sum", "dot", "tsv"],
+            &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
+        );
+        assert!(matches!(report(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_with_budget_pauses() {
+        let dir = TempDir::new("budget");
+        let exe = assemble_sample(&dir);
+        let gmon = dir.path("gmon.out");
+        let argv = vec![
+            exe,
+            "--profile".to_string(),
+            gmon,
+            "--tick".to_string(),
+            "10".to_string(),
+            "--max-cycles".to_string(),
+            "100".to_string(),
+        ];
+        let args = parse(&argv, &["profile", "tick", "shift", "max-cycles", "monitor-only"], &["no-profile"]);
+        let summary = run(&args).expect("runs");
+        assert!(summary.contains("paused"), "{summary}");
+    }
+}

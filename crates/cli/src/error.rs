@@ -1,0 +1,113 @@
+//! Errors shared by the command-line tools.
+
+use std::error::Error;
+use std::fmt;
+
+use graphprof::AnalyzeError;
+use graphprof_machine::{AsmError, CompileError, DecodeError, InterpError, ObjFileError};
+use graphprof_monitor::GmonError;
+
+/// Any failure a command-line tool can report.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was wrong.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Assembly source failed to parse.
+    Asm(AsmError),
+    /// The program failed to compile.
+    Compile(CompileError),
+    /// An executable file was unreadable.
+    ObjFile(ObjFileError),
+    /// A profile file was unreadable or unmergeable.
+    Gmon(GmonError),
+    /// The machine faulted at run time.
+    Interp(InterpError),
+    /// The executable text was malformed.
+    Decode(DecodeError),
+    /// The analysis failed.
+    Analyze(AnalyzeError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage: {msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Asm(e) => write!(f, "assembly error: {e}"),
+            CliError::Compile(e) => write!(f, "compile error: {e}"),
+            CliError::ObjFile(e) => write!(f, "executable error: {e}"),
+            CliError::Gmon(e) => write!(f, "profile error: {e}"),
+            CliError::Interp(e) => write!(f, "run-time fault: {e}"),
+            CliError::Decode(e) => write!(f, "text error: {e}"),
+            CliError::Analyze(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io { source, .. } => Some(source),
+            CliError::Asm(e) => Some(e),
+            CliError::Compile(e) => Some(e),
+            CliError::ObjFile(e) => Some(e),
+            CliError::Gmon(e) => Some(e),
+            CliError::Interp(e) => Some(e),
+            CliError::Decode(e) => Some(e),
+            CliError::Analyze(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Asm, AsmError);
+from_error!(Compile, CompileError);
+from_error!(ObjFile, ObjFileError);
+from_error!(Gmon, GmonError);
+from_error!(Interp, InterpError);
+from_error!(Decode, DecodeError);
+from_error!(Analyze, AnalyzeError);
+
+impl CliError {
+    /// Wraps an I/O error with the path it concerned.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io { path: path.into(), source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed_by_domain() {
+        let e = CliError::Usage("gpx-as <input>".to_string());
+        assert!(e.to_string().starts_with("usage:"));
+        let e = CliError::io("x.gpx", std::io::Error::other("denied"));
+        assert!(e.to_string().starts_with("x.gpx:"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = CliError::from(GmonError::BadMagic);
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CliError::Usage(String::new())).is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! The graphprof command-line toolchain.
+//!
+//! Four tools mirror the 1982 workflow:
+//!
+//! * `gpx-as` — the assembler/"compiler": source text → executable, with
+//!   `--instrument gprof` playing the role of `cc -pg`;
+//! * `gpx-run` — the machine plus the monitoring runtime: runs an
+//!   executable and condenses the profile data to a gmon file at exit;
+//! * `gpx-dis` — a symbol-annotated disassembler;
+//! * `graphprof` — the post-processor: executable + gmon file(s) → flat
+//!   profile and call graph profile, with the paper's and retrospective's
+//!   options (static graph, arc exclusion, bounded cycle breaking,
+//!   filtering, multi-run summation).
+//!
+//! The command implementations live here as library functions that take
+//! parsed arguments and return the produced output, so they are testable
+//! without spawning processes; the binaries are thin wrappers.
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::Args;
+pub use commands::{assemble, disassemble, report, run};
+pub use error::CliError;

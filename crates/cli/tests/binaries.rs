@@ -1,0 +1,333 @@
+//! End-to-end tests of the installed binaries, spawned as real processes:
+//! the full 1982 workflow — assemble with instrumentation, run (writing
+//! gmon.out at exit), and post-process — plus its failure modes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir()
+            .join(format!("graphprof-bin-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_bin(bin: &str, args: &[&str]) -> Output {
+    let path = match bin {
+        "gpx-as" => env!("CARGO_BIN_EXE_gpx-as"),
+        "gpx-run" => env!("CARGO_BIN_EXE_gpx-run"),
+        "gpx-dis" => env!("CARGO_BIN_EXE_gpx-dis"),
+        "graphprof" => env!("CARGO_BIN_EXE_graphprof"),
+        other => panic!("unknown binary {other}"),
+    };
+    Command::new(path).args(args).output().expect("binary spawns")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+const SOURCE: &str = "
+    ; a small pipeline: main drives two phases sharing a helper
+    routine main { loop 5 { call phase1 call phase2 } }
+    routine phase1 { work 200 loop 2 { call helper } }
+    routine phase2 { work 100 loop 6 { call helper } }
+    routine helper { work 150 }
+";
+
+#[test]
+fn full_workflow_through_the_binaries() {
+    let dir = TempDir::new("workflow");
+    let src = dir.path("pipeline.s");
+    let exe = dir.path("pipeline.gpx");
+    let gmon = dir.path("gmon.out");
+    fs::write(&src, SOURCE).expect("write source");
+
+    // Assemble with gprof instrumentation (the default).
+    let out = run_bin("gpx-as", &[&src, "--out", &exe]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("4 routines"), "{}", stdout(&out));
+
+    // Run, writing profile data at exit.
+    let out = run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("halted"), "{text}");
+    assert!(text.contains("arcs"), "{text}");
+
+    // Post-process.
+    let out = run_bin("graphprof", &[&exe, &gmon]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("flat profile:"), "{text}");
+    assert!(text.contains("call graph profile:"), "{text}");
+    // helper: 5*(2+6) = 40 calls, split 10/40 and 30/40.
+    assert!(text.contains("10/40"), "{text}");
+    assert!(text.contains("30/40"), "{text}");
+
+    // Disassemble.
+    let out = run_bin("gpx-dis", &[&exe]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("phase1:"), "{text}");
+    assert!(text.contains("mcount"), "{text}");
+}
+
+#[test]
+fn graphprof_sums_runs_and_filters() {
+    let dir = TempDir::new("sumfilter");
+    let src = dir.path("pipeline.s");
+    let exe = dir.path("pipeline.gpx");
+    fs::write(&src, SOURCE).expect("write source");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+
+    let mut gmons = Vec::new();
+    for i in 0..2 {
+        let gmon = dir.path(&format!("gmon.{i}"));
+        assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"])
+            .status
+            .success());
+        gmons.push(gmon);
+    }
+    let out = run_bin(
+        "graphprof",
+        &[
+            &exe,
+            &gmons[0],
+            &gmons[1],
+            "--graph-only",
+            "--focus",
+            "helper",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Two summed runs double the counts: 80 calls of helper.
+    assert!(text.contains("20/80"), "{text}");
+    assert!(text.contains("60/80"), "{text}");
+    assert!(!text.contains("flat profile:"), "{text}");
+}
+
+#[test]
+fn coverage_switch_reports_dead_code() {
+    let dir = TempDir::new("coverage");
+    let src = dir.path("prog.s");
+    fs::write(
+        &src,
+        "routine main { call used callwhile 7, rare }
+         routine used { work 100 }
+         routine rare { work 100 }",
+    )
+    .expect("write source");
+    let exe = dir.path("prog.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5"])
+        .status
+        .success());
+    let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--coverage"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("coverage:"), "{text}");
+    assert!(text.contains("never made"), "{text}");
+    assert!(text.contains("main -> rare"), "{text}");
+}
+
+#[test]
+fn dot_export_writes_a_digraph() {
+    let dir = TempDir::new("dot");
+    let src = dir.path("prog.s");
+    fs::write(&src, SOURCE).expect("write source");
+    let exe = dir.path("prog.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"])
+        .status
+        .success());
+    let dot = dir.path("graph.dot");
+    let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--dot", &dot]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = fs::read_to_string(&dot).expect("dot written");
+    assert!(text.starts_with("digraph callgraph {"), "{text}");
+    assert!(text.contains("\"helper\""), "{text}");
+}
+
+#[test]
+fn monitor_only_restricts_profiling_to_one_routine() {
+    let dir = TempDir::new("mononly");
+    let src = dir.path("prog.s");
+    fs::write(&src, SOURCE).expect("write source");
+    let exe = dir.path("prog.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    let out = run_bin(
+        "gpx-run",
+        &[&exe, "--profile", &gmon, "--tick", "5", "--monitor-only", "helper"],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report = run_bin("graphprof", &[&exe, &gmon, "--graph-only"]);
+    let text = stdout(&report);
+    // Only helper has recorded activity: its entry exists with calls...
+    assert!(text.contains("helper ["), "{text}");
+    // ...while the phases appear only as parents (no samples, no arcs in).
+    let phase_primary = text
+        .lines()
+        .find(|l| l.starts_with('[') && l.contains("phase1"));
+    if let Some(line) = phase_primary {
+        assert!(line.contains(" 0 "), "phase1 has no recorded calls: {line}");
+    }
+
+    // An unknown routine name is a usage error.
+    let out = run_bin(
+        "gpx-run",
+        &[&exe, "--profile", &gmon, "--monitor-only", "ghost"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn annotate_switch_projects_samples_onto_instructions() {
+    let dir = TempDir::new("annotate");
+    let src = dir.path("prog.s");
+    fs::write(&src, SOURCE).expect("write source");
+    let exe = dir.path("prog.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5"])
+        .status
+        .success());
+    let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--annotate"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("annotated listing"), "{text}");
+    assert!(text.contains("work 150"), "{text}");
+    // The hot helper body carries a percentage annotation.
+    let hot = text.lines().find(|l| l.contains("work 150")).unwrap();
+    assert!(hot.contains('%'), "{hot}");
+}
+
+#[test]
+fn brief_suppresses_the_legend() {
+    let dir = TempDir::new("brief");
+    let src = dir.path("prog.s");
+    fs::write(&src, SOURCE).expect("write source");
+    let exe = dir.path("prog.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon]).status.success());
+    let verbose = stdout(&run_bin("graphprof", &[&exe, &gmon]));
+    assert!(verbose.contains("Each entry of the call graph profile"), "{verbose}");
+    let brief = stdout(&run_bin("graphprof", &[&exe, &gmon, "--brief"]));
+    assert!(!brief.contains("Each entry of the call graph profile"), "{brief}");
+    assert!(brief.contains("call graph profile:"));
+}
+
+#[test]
+fn tsv_export_writes_both_tables() {
+    let dir = TempDir::new("tsv");
+    let src = dir.path("prog.s");
+    fs::write(&src, SOURCE).expect("write source");
+    let exe = dir.path("prog.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon]).status.success());
+    let prefix = dir.path("profile");
+    let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--tsv", &prefix]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let flat = fs::read_to_string(format!("{prefix}.flat.tsv")).expect("flat tsv");
+    assert!(flat.starts_with("name\tpercent"), "{flat}");
+    assert!(flat.contains("helper\t"));
+    let cg = fs::read_to_string(format!("{prefix}.cg.tsv")).expect("cg tsv");
+    assert!(cg.contains("\tprimary\t"), "{cg}");
+    assert!(cg.contains("\tparent\t"), "{cg}");
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage_text() {
+    for bin in ["gpx-as", "gpx-run", "gpx-dis", "graphprof"] {
+        let out = run_bin(bin, &[]);
+        assert_eq!(out.status.code(), Some(2), "{bin}");
+        assert!(stderr(&out).contains(bin), "{bin}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn runtime_errors_exit_1_with_message() {
+    let dir = TempDir::new("errors");
+    // gpx-as on a missing file.
+    let out = run_bin("gpx-as", &[&dir.path("nope.s")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("nope.s"));
+
+    // gpx-run on a non-executable file.
+    let junk = dir.path("junk.gpx");
+    fs::write(&junk, b"not an executable").expect("write junk");
+    let out = run_bin("gpx-run", &[&junk]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("magic"), "{}", stderr(&out));
+
+    // graphprof with a profile from a different program.
+    let src = dir.path("a.s");
+    fs::write(&src, "routine main { work 100 }").expect("write");
+    let exe_a = dir.path("a.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe_a]).status.success());
+    let gmon_a = dir.path("gmon.a");
+    assert!(run_bin("gpx-run", &[&exe_a, "--profile", &gmon_a]).status.success());
+
+    let src_b = dir.path("b.s");
+    fs::write(&src_b, SOURCE).expect("write");
+    let exe_b = dir.path("b.gpx");
+    assert!(run_bin("gpx-as", &[&src_b, "--out", &exe_b]).status.success());
+    let out = run_bin("graphprof", &[&exe_b, &gmon_a]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("does not match"), "{}", stderr(&out));
+}
+
+#[test]
+fn assembly_errors_carry_positions() {
+    let dir = TempDir::new("asmerr");
+    let src = dir.path("bad.s");
+    fs::write(&src, "routine main {\n  wurk 10\n}").expect("write");
+    let out = run_bin("gpx-as", &[&src]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("2:"), "line number in: {err}");
+    assert!(err.contains("wurk"), "{err}");
+}
+
+#[test]
+fn prof_style_instrumentation_and_selection() {
+    let dir = TempDir::new("profsel");
+    let src = dir.path("pipeline.s");
+    let exe = dir.path("pipeline.gpx");
+    fs::write(&src, SOURCE).expect("write source");
+    // Instrument only phase1 and helper.
+    let out = run_bin(
+        "gpx-as",
+        &[&src, "--out", &exe, "--only", "phase1,helper"],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let listing = stdout(&run_bin("gpx-dis", &[&exe]));
+    let mcounts = listing.matches("mcount").count();
+    assert_eq!(mcounts, 2, "{listing}");
+}

@@ -1,0 +1,285 @@
+//! Annotated listings: the profile projected back onto the code.
+//!
+//! The paper's §2 taxonomy distinguishes profiles "presented in tabular
+//! form, often in parallel with a listing of the source code". prof(1)
+//! had `-a` for exactly this; here the "source" is the executable's
+//! disassembly, and each instruction is annotated with the samples that
+//! landed on it and its share of total time. Because `work` occupies the
+//! program counter for its whole duration, hot spots show up on the
+//! instruction that caused them — including monitoring overhead on the
+//! `mcount` prologues themselves.
+
+use std::fmt::Write as _;
+
+use graphprof_machine::{DecodeError, Executable};
+use graphprof_monitor::Histogram;
+
+/// One annotated instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedInst {
+    /// The instruction's address.
+    pub addr: graphprof_machine::Addr,
+    /// Rendered instruction text.
+    pub text: String,
+    /// Samples attributed to this instruction's byte range.
+    pub samples: f64,
+    /// Percent of all in-range samples.
+    pub percent: f64,
+}
+
+/// An annotated routine: its instructions with sample attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedRoutine {
+    /// Routine name.
+    pub name: String,
+    /// Samples over the whole routine.
+    pub samples: f64,
+    /// Percent of all in-range samples.
+    pub percent: f64,
+    /// The instructions, in address order.
+    pub instructions: Vec<AnnotatedInst>,
+}
+
+/// An annotated listing of the whole executable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedListing {
+    routines: Vec<AnnotatedRoutine>,
+    total_samples: u64,
+}
+
+impl AnnotatedListing {
+    /// The routines, in address order.
+    pub fn routines(&self) -> &[AnnotatedRoutine] {
+        &self.routines
+    }
+
+    /// Total in-range samples in the histogram.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Finds a routine's annotation by name.
+    pub fn routine(&self, name: &str) -> Option<&AnnotatedRoutine> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the listing; instructions that attracted no samples are
+    /// shown without numbers so the hot spots stand out.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "annotated listing ({} samples):", self.total_samples);
+        for routine in &self.routines {
+            let _ = writeln!(
+                out,
+                "\n{}: {:.0} samples ({:.1}%)",
+                routine.name, routine.samples, routine.percent
+            );
+            for inst in &routine.instructions {
+                if inst.samples > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "  {}  {:<24} {:>8.0} {:>6.1}%",
+                        inst.addr, inst.text, inst.samples, inst.percent
+                    );
+                } else {
+                    let _ = writeln!(out, "  {}  {}", inst.addr, inst.text);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds an annotated listing from an executable and the histogram of a
+/// run of it.
+///
+/// With one-to-one histogram granularity the attribution is exact; with
+/// coarser buckets each bucket's samples are apportioned over the
+/// instructions it covers by byte overlap, mirroring the routine-level
+/// assignment in [`profile`](crate::profile).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the executable text is malformed.
+pub fn annotate(
+    exe: &Executable,
+    histogram: &Histogram,
+) -> Result<AnnotatedListing, DecodeError> {
+    let total_samples = histogram.total();
+    let denom = if total_samples == 0 { 1.0 } else { total_samples as f64 };
+    // Per-byte sample density from the histogram.
+    let sample_share = |lo: graphprof_machine::Addr, hi: graphprof_machine::Addr| -> f64 {
+        let mut sum = 0.0;
+        // Walk the buckets overlapping [lo, hi).
+        for (i, count) in histogram.iter_nonzero() {
+            let (bs, be) = histogram.bucket_range(i);
+            let ov_lo = bs.max(lo);
+            let ov_hi = be.min(hi);
+            if ov_lo < ov_hi {
+                let bucket_len = f64::from(be.get() - bs.get());
+                let overlap = f64::from(ov_hi.get() - ov_lo.get());
+                sum += count as f64 * overlap / bucket_len;
+            }
+        }
+        sum
+    };
+    let mut routines = Vec::with_capacity(exe.symbols().len());
+    for (id, sym) in exe.symbols().iter() {
+        let mut instructions = Vec::new();
+        let mut routine_samples = 0.0;
+        for (addr, inst) in exe.disassemble_symbol(id)? {
+            let len = graphprof_machine::encoded_len(inst);
+            let samples = sample_share(addr, addr.offset(len));
+            routine_samples += samples;
+            instructions.push(AnnotatedInst {
+                addr,
+                text: inst.to_string(),
+                samples,
+                percent: 100.0 * samples / denom,
+            });
+        }
+        routines.push(AnnotatedRoutine {
+            name: sym.name().to_string(),
+            samples: routine_samples,
+            percent: 100.0 * routine_samples / denom,
+            instructions,
+        });
+    }
+    Ok(AnnotatedListing { routines, total_samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+
+    fn listing_for(source: &str, tick: u64) -> AnnotatedListing {
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), tick).unwrap();
+        annotate(&exe, gmon.histogram()).unwrap()
+    }
+
+    #[test]
+    fn samples_land_on_the_work_instructions() {
+        let listing = listing_for(
+            "routine main { work 50 call leaf work 950 }
+             routine leaf { work 3000 }",
+            1,
+        );
+        let main = listing.routine("main").unwrap();
+        // The hottest instruction in main is the 950-cycle work.
+        let hottest = main
+            .instructions
+            .iter()
+            .max_by(|a, b| a.samples.partial_cmp(&b.samples).unwrap())
+            .unwrap();
+        assert!(hottest.text.starts_with("work 950"), "{}", hottest.text);
+        let leaf = listing.routine("leaf").unwrap();
+        assert!(leaf.percent > main.percent);
+    }
+
+    #[test]
+    fn instruction_samples_sum_to_total() {
+        let listing = listing_for(
+            "routine main { loop 10 { call leaf } work 777 }
+             routine leaf { work 123 }",
+            3,
+        );
+        let sum: f64 = listing
+            .routines()
+            .iter()
+            .flat_map(|r| &r.instructions)
+            .map(|i| i.samples)
+            .sum();
+        assert!((sum - listing.total_samples() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mcount_overhead_is_visible_on_the_prologue() {
+        // A call-dense routine accumulates samples on its mcount.
+        let listing = listing_for(
+            "routine main { loop 200 { call leaf } }
+             routine leaf { work 5 }",
+            1,
+        );
+        let leaf = listing.routine("leaf").unwrap();
+        let mcount = leaf
+            .instructions
+            .iter()
+            .find(|i| i.text == "mcount")
+            .expect("profiled build has a prologue");
+        let work = leaf.instructions.iter().find(|i| i.text.starts_with("work")).unwrap();
+        assert!(
+            mcount.samples > work.samples,
+            "monitoring dominates a 5-cycle body: {} vs {}",
+            mcount.samples,
+            work.samples
+        );
+    }
+
+    #[test]
+    fn render_shows_hot_lines_with_numbers_only() {
+        let listing = listing_for(
+            "routine main { work 10000 ret }
+             routine never { work 5 }",
+            7,
+        );
+        let text = listing.render();
+        assert!(text.contains("annotated listing"));
+        let work_line = text.lines().find(|l| l.contains("work 10000")).unwrap();
+        assert!(work_line.contains('%'), "{work_line}");
+        let never_work = text.lines().find(|l| l.contains("work 5")).unwrap();
+        assert!(!never_work.contains('%'), "{never_work}");
+    }
+
+    #[test]
+    fn coarse_buckets_apportion_across_instructions() {
+        let exe = graphprof_machine::asm::parse(
+            "routine main { work 100 work 100 }",
+        )
+        .unwrap()
+        .compile(&CompileOptions::default())
+        .unwrap();
+        use graphprof_machine::{Machine, MachineConfig};
+        use graphprof_monitor::RuntimeProfiler;
+        let mut profiler = RuntimeProfiler::with_granularity(&exe, 1, 6); // 64-byte buckets
+        let config = MachineConfig { cycles_per_tick: 1, ..MachineConfig::default() };
+        let mut machine = Machine::with_config(exe.clone(), config);
+        machine.run(&mut profiler).unwrap();
+        let gmon = profiler.finish();
+        let listing = annotate(&exe, gmon.histogram()).unwrap();
+        let sum: f64 = listing
+            .routines()
+            .iter()
+            .flat_map(|r| &r.instructions)
+            .map(|i| i.samples)
+            .sum();
+        assert!((sum - listing.total_samples() as f64).abs() < 1e-6);
+        // Both work instructions got a share despite sharing a bucket.
+        let main = listing.routine("main").unwrap();
+        let works: Vec<&AnnotatedInst> = main
+            .instructions
+            .iter()
+            .filter(|i| i.text.starts_with("work"))
+            .collect();
+        assert_eq!(works.len(), 2);
+        assert!(works.iter().all(|i| i.samples > 0.0));
+    }
+
+    #[test]
+    fn empty_histogram_annotates_to_zeros() {
+        let exe = graphprof_machine::asm::parse("routine main { work 10 }")
+            .unwrap()
+            .compile(&CompileOptions::default())
+            .unwrap();
+        let text_len = exe.end().checked_sub(exe.base()).unwrap();
+        let h = Histogram::new(exe.base(), text_len, 0);
+        let listing = annotate(&exe, &h).unwrap();
+        assert_eq!(listing.total_samples(), 0);
+        assert_eq!(listing.routine("main").unwrap().percent, 0.0);
+    }
+}

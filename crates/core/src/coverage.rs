@@ -1,0 +1,233 @@
+//! Coverage reporting (§2).
+//!
+//! "Another view of such counters is as boolean values. One may be
+//! interested that a portion of code has executed at all, for exhaustive
+//! testing, or to check that one implementation of an abstraction
+//! completely replaces a previous one."
+//!
+//! The report treats the analysis graph as the universe: routines from
+//! the symbol table, arcs from the union of the dynamic call graph and
+//! the statically discovered one. A statically apparent arc that was
+//! never traversed is exactly the §2 signal — code that exists but did
+//! not execute under this workload.
+
+use std::fmt::Write as _;
+
+use graphprof_callgraph::NodeId;
+
+use crate::gprof::Analysis;
+
+/// Coverage of one caller→callee arc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArcCoverage {
+    /// Caller routine name.
+    pub caller: String,
+    /// Callee routine name.
+    pub callee: String,
+    /// Traversals observed.
+    pub count: u64,
+}
+
+/// A routine/arc coverage report derived from an [`Analysis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    routines_total: usize,
+    executed: Vec<String>,
+    never_called: Vec<String>,
+    covered_arcs: usize,
+    uncovered_arcs: Vec<ArcCoverage>,
+}
+
+impl CoverageReport {
+    /// Total number of routines in the executable.
+    pub fn routines_total(&self) -> usize {
+        self.routines_total
+    }
+
+    /// Names of routines that executed (called at least once, or sampled).
+    pub fn executed(&self) -> &[String] {
+        &self.executed
+    }
+
+    /// Names of routines that never executed.
+    pub fn never_called(&self) -> &[String] {
+        &self.never_called
+    }
+
+    /// Number of known arcs that were traversed at least once.
+    pub fn covered_arcs(&self) -> usize {
+        self.covered_arcs
+    }
+
+    /// Known arcs never traversed by this execution, sorted by caller
+    /// then callee. With the static graph enabled this is the §2
+    /// exhaustiveness signal; without it the list is empty by definition.
+    pub fn uncovered_arcs(&self) -> &[ArcCoverage] {
+        &self.uncovered_arcs
+    }
+
+    /// Fraction of routines that executed, in `0..=1`.
+    pub fn routine_coverage(&self) -> f64 {
+        if self.routines_total == 0 {
+            1.0
+        } else {
+            self.executed.len() as f64 / self.routines_total as f64
+        }
+    }
+
+    /// Fraction of known arcs that were traversed, in `0..=1`.
+    pub fn arc_coverage(&self) -> f64 {
+        let total = self.covered_arcs + self.uncovered_arcs.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.covered_arcs as f64 / total as f64
+        }
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "coverage: {}/{} routines executed ({:.0}%), {}/{} known arcs traversed ({:.0}%)",
+            self.executed.len(),
+            self.routines_total,
+            100.0 * self.routine_coverage(),
+            self.covered_arcs,
+            self.covered_arcs + self.uncovered_arcs.len(),
+            100.0 * self.arc_coverage(),
+        );
+        if !self.never_called.is_empty() {
+            let _ = writeln!(out, "\nroutines never executed:");
+            let _ = writeln!(out, "    {}", self.never_called.join(", "));
+        }
+        if !self.uncovered_arcs.is_empty() {
+            let _ = writeln!(out, "\ncalls apparent in the code but never made:");
+            for arc in &self.uncovered_arcs {
+                let _ = writeln!(out, "    {} -> {}", arc.caller, arc.callee);
+            }
+        }
+        out
+    }
+}
+
+/// Builds a coverage report from an analysis.
+pub fn coverage(analysis: &Analysis) -> CoverageReport {
+    let graph = analysis.graph();
+    let spontaneous = analysis.spontaneous_node();
+    let executed_node = |node: NodeId| {
+        graph.calls_into(node) > 0 || analysis.propagation().node_self(node) > 0.0
+    };
+    let mut executed = Vec::new();
+    let mut never_called = Vec::new();
+    for node in graph.nodes() {
+        if node == spontaneous {
+            continue;
+        }
+        if executed_node(node) {
+            executed.push(graph.name(node).to_string());
+        } else {
+            never_called.push(graph.name(node).to_string());
+        }
+    }
+    executed.sort_unstable();
+    never_called.sort_unstable();
+    let mut covered_arcs = 0;
+    let mut uncovered_arcs = Vec::new();
+    for (_, arc) in graph.arcs() {
+        if arc.from == spontaneous {
+            continue;
+        }
+        if arc.count > 0 {
+            covered_arcs += 1;
+        } else {
+            uncovered_arcs.push(ArcCoverage {
+                caller: graph.name(arc.from).to_string(),
+                callee: graph.name(arc.to).to_string(),
+                count: 0,
+            });
+        }
+    }
+    uncovered_arcs.sort_by(|a, b| (&a.caller, &a.callee).cmp(&(&b.caller, &b.callee)));
+    CoverageReport {
+        routines_total: executed.len() + never_called.len(),
+        executed,
+        never_called,
+        covered_arcs,
+        uncovered_arcs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gprof::analyze;
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+
+    fn analysis_for(source: &str) -> Analysis {
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 5).unwrap();
+        analyze(&exe, &gmon).unwrap()
+    }
+
+    #[test]
+    fn full_coverage_program() {
+        let analysis = analysis_for(
+            "routine main { call a call b }
+             routine a { work 100 }
+             routine b { work 100 }",
+        );
+        let report = coverage(&analysis);
+        assert_eq!(report.routine_coverage(), 1.0);
+        assert_eq!(report.arc_coverage(), 1.0);
+        assert!(report.never_called().is_empty());
+        assert!(report.uncovered_arcs().is_empty());
+        assert_eq!(report.routines_total(), 3);
+    }
+
+    #[test]
+    fn dead_code_and_untraversed_arcs_are_reported() {
+        let analysis = analysis_for(
+            "routine main { call a callwhile 7, b }
+             routine a { work 100 }
+             routine b { work 100 }
+             routine dead { call b }",
+        );
+        let report = coverage(&analysis);
+        assert_eq!(report.never_called(), ["b", "dead"]);
+        // Uncovered: main->b (conditional never armed) and dead->b.
+        let pairs: Vec<(&str, &str)> = report
+            .uncovered_arcs()
+            .iter()
+            .map(|a| (a.caller.as_str(), a.callee.as_str()))
+            .collect();
+        assert_eq!(pairs, [("dead", "b"), ("main", "b")]);
+        assert!(report.routine_coverage() < 1.0);
+        assert!(report.arc_coverage() < 1.0);
+    }
+
+    #[test]
+    fn render_mentions_missing_pieces() {
+        let analysis = analysis_for(
+            "routine main { work 10 }
+             routine unused { work 10 }",
+        );
+        let text = coverage(&analysis).render();
+        assert!(text.contains("1/2 routines"));
+        assert!(text.contains("unused"));
+    }
+
+    #[test]
+    fn spontaneous_arcs_do_not_count() {
+        let analysis = analysis_for("routine main { work 10 }");
+        let report = coverage(&analysis);
+        // Only real arcs counted: none here.
+        assert_eq!(report.covered_arcs(), 0);
+        assert_eq!(report.arc_coverage(), 1.0, "vacuously covered");
+    }
+}

@@ -1,0 +1,196 @@
+//! Graphviz (DOT) export of the analyzed call graph.
+//!
+//! "Ideally, we would like to print the call graph of the program, but we
+//! are limited by the two-dimensional nature of our output devices"
+//! (§5.2) — and by the character terminals of 1982. This module is the
+//! escape hatch the authors did not have: the analyzed graph, with arc
+//! counts, per-arc time flows, cycle membership, and heat shading, in a
+//! format modern layout tools consume.
+
+use std::fmt::Write as _;
+
+use graphprof_callgraph::NodeId;
+
+use crate::gprof::Analysis;
+
+fn quote(name: &str) -> String {
+    format!("\"{}\"", name.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders the analysis as a DOT digraph.
+///
+/// * Each routine node shows its self and total seconds and percentage,
+///   shaded by how hot it is.
+/// * Cycle members are grouped into `cluster_cycleN` subgraphs.
+/// * Arc labels carry traversal counts; edge weight scales with the time
+///   flowing along the arc. Static-only arcs are dashed; intra-cycle arcs
+///   are gray (they never propagate time).
+/// * The virtual `<spontaneous>` caller is omitted.
+///
+/// The output is deterministic: nodes and arcs appear in graph order.
+pub fn render_dot(analysis: &Analysis) -> String {
+    let graph = analysis.graph();
+    let scc = analysis.scc();
+    let prop = analysis.propagation();
+    let spontaneous = analysis.spontaneous_node();
+    let cps = analysis.cycles_per_second();
+    let total_seconds = analysis.total_seconds().max(f64::MIN_POSITIVE);
+
+    let mut out = String::new();
+    out.push_str("digraph callgraph {\n");
+    out.push_str("  rankdir=TB;\n");
+    out.push_str("  node [shape=box, style=filled, fontname=\"monospace\"];\n");
+
+    // Group cycle members into clusters, numbered to match the profile.
+    let mut cycles: Vec<_> = scc.cycles();
+    cycles.sort_by(|&a, &b| {
+        prop.comp_total(b)
+            .partial_cmp(&prop.comp_total(a))
+            .expect("times are finite")
+    });
+
+    let node_line = |node: NodeId| -> String {
+        let self_seconds = prop.node_self(node) / cps;
+        let node_total = prop.node_total(node) / cps;
+        let percent = 100.0 * node_total / total_seconds;
+        // Shade by heat: 0% -> white, 100% -> strong gray.
+        let shade = (95.0 - percent.clamp(0.0, 100.0) * 0.6) as u32;
+        format!(
+            "  {} [label=\"{}\\nself {:.3}s  total {:.3}s ({:.1}%)\", fillcolor=\"gray{}\"];\n",
+            quote(graph.name(node)),
+            graph.name(node),
+            self_seconds,
+            node_total,
+            percent,
+            shade.clamp(35, 100),
+        )
+    };
+
+    let mut clustered = vec![false; graph.node_count()];
+    for (i, &comp) in cycles.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_cycle{} {{", i + 1);
+        let _ = writeln!(out, "    label=\"cycle {}\";", i + 1);
+        out.push_str("    color=red;\n");
+        for &member in scc.members(comp) {
+            out.push_str(&format!("  {}", node_line(member)));
+            clustered[member.index()] = true;
+        }
+        out.push_str("  }\n");
+    }
+    for node in graph.nodes() {
+        if node == spontaneous || clustered[node.index()] {
+            continue;
+        }
+        out.push_str(&node_line(node));
+    }
+
+    for (id, arc) in graph.arcs() {
+        if arc.from == spontaneous {
+            continue;
+        }
+        let flow_seconds = prop.arc_flow(id) / cps;
+        let mut attrs = vec![format!("label=\"{}\"", arc.count)];
+        if arc.is_static_only() {
+            attrs.push("style=dashed".to_string());
+        }
+        if scc.comp(arc.from) == scc.comp(arc.to) {
+            attrs.push("color=gray".to_string());
+        } else if flow_seconds > 0.0 {
+            let width = 1.0 + 4.0 * (flow_seconds / total_seconds).clamp(0.0, 1.0);
+            attrs.push(format!("penwidth={width:.2}"));
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [{}];",
+            quote(graph.name(arc.from)),
+            quote(graph.name(arc.to)),
+            attrs.join(", "),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gprof::analyze;
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+
+    fn analysis_for(source: &str) -> Analysis {
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 5).unwrap();
+        analyze(&exe, &gmon).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_arcs_and_counts() {
+        let analysis = analysis_for(
+            "routine main { loop 7 { call leaf } }
+             routine leaf { work 100 }",
+        );
+        let dot = render_dot(&analysis);
+        assert!(dot.starts_with("digraph callgraph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("\"main\""));
+        assert!(dot.contains("\"leaf\""));
+        assert!(dot.contains("\"main\" -> \"leaf\" [label=\"7\""), "{dot}");
+        assert!(!dot.contains("<spontaneous>"));
+    }
+
+    #[test]
+    fn cycles_become_clusters() {
+        let analysis = analysis_for(
+            "routine main { setcounter 7, 9 call ping }
+             routine ping { work 10 callwhile 7, pong }
+             routine pong { work 10 callwhile 7, ping }",
+        );
+        let dot = render_dot(&analysis);
+        assert!(dot.contains("subgraph cluster_cycle1"), "{dot}");
+        assert!(dot.contains("label=\"cycle 1\""));
+        // Intra-cycle arcs are gray.
+        let intra = dot
+            .lines()
+            .find(|l| l.contains("\"ping\" -> \"pong\""))
+            .expect("intra arc present");
+        assert!(intra.contains("color=gray"), "{intra}");
+    }
+
+    #[test]
+    fn static_only_arcs_are_dashed() {
+        let analysis = analysis_for(
+            "routine main { call used callwhile 7, rare }
+             routine used { work 50 }
+             routine rare { work 50 }",
+        );
+        let dot = render_dot(&analysis);
+        let line = dot
+            .lines()
+            .find(|l| l.contains("\"main\" -> \"rare\""))
+            .expect("static arc present");
+        assert!(line.contains("style=dashed"), "{line}");
+        assert!(line.contains("label=\"0\""), "{line}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let source = "routine main { call a call b }
+                      routine a { work 60 }
+                      routine b { work 40 }";
+        let a = render_dot(&analysis_for(source));
+        let b = render_dot(&analysis_for(source));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        // Routine names from the assembler are identifiers, but the
+        // renderer must stay safe for any graph.
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote("a\\b"), "\"a\\\\b\"");
+    }
+}

@@ -1,0 +1,161 @@
+//! Machine-readable (tab-separated) exports of the profiles.
+//!
+//! The paper's listings were designed for humans at character terminals;
+//! downstream tooling wants columns it can parse without knowing the
+//! Figure-4 layout. One row per routine (flat) or per entry line (call
+//! graph), tab-separated, header first, stable column order. Numeric
+//! fields use plain decimal; absent values are empty fields.
+
+use std::fmt::Write as _;
+
+use crate::cg::{CallGraphProfile, EntryKind};
+use crate::flat::FlatProfile;
+
+fn tsv_escape(field: &str) -> String {
+    // Routine names contain no tabs or newlines by construction, but the
+    // export must never produce a malformed row regardless.
+    field.replace(['\t', '\n'], " ")
+}
+
+/// Exports the flat profile as TSV.
+///
+/// Columns: `name`, `percent`, `cumulative_seconds`, `self_seconds`,
+/// `calls`, `self_ms_per_call`, `total_ms_per_call`.
+pub fn flat_to_tsv(flat: &FlatProfile) -> String {
+    let mut out = String::from(
+        "name\tpercent\tcumulative_seconds\tself_seconds\tcalls\tself_ms_per_call\ttotal_ms_per_call\n",
+    );
+    for row in flat.rows() {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            tsv_escape(&row.name),
+            row.percent,
+            row.cumulative_seconds,
+            row.self_seconds,
+            row.calls.map(|c| c.to_string()).unwrap_or_default(),
+            row.self_ms_per_call.map(|v| v.to_string()).unwrap_or_default(),
+            row.total_ms_per_call.map(|v| v.to_string()).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Exports the call graph profile as TSV, one row per listing line.
+///
+/// Columns: `entry_index`, `kind` (`primary`/`parent`/`child`), `name`,
+/// `cycle`, `percent` (primary only), `self_seconds`, `desc_seconds`,
+/// `count`, `denom`. Parent and child rows describe the arcs of the entry
+/// whose index is in the first column.
+pub fn call_graph_to_tsv(profile: &CallGraphProfile) -> String {
+    let mut out = String::from(
+        "entry_index\tkind\tname\tcycle\tpercent\tself_seconds\tdesc_seconds\tcount\tdenom\n",
+    );
+    for entry in profile.entries() {
+        let cycle = entry.cycle.map(|c| c.to_string()).unwrap_or_default();
+        for parent in &entry.parents {
+            let _ = writeln!(
+                out,
+                "{}\tparent\t{}\t{}\t\t{}\t{}\t{}\t{}",
+                entry.index,
+                tsv_escape(&parent.name),
+                parent.cycle.map(|c| c.to_string()).unwrap_or_default(),
+                parent.self_seconds,
+                parent.desc_seconds,
+                parent.count,
+                parent.denom.map(|d| d.to_string()).unwrap_or_default(),
+            );
+        }
+        let kind = match entry.kind {
+            EntryKind::Routine(_) => "primary",
+            EntryKind::CycleWhole(_) => "cycle",
+        };
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            entry.index,
+            kind,
+            tsv_escape(&entry.name),
+            cycle,
+            entry.percent,
+            entry.self_seconds,
+            entry.desc_seconds,
+            entry.calls.external,
+            entry.calls.recursive,
+        );
+        for child in &entry.children {
+            let _ = writeln!(
+                out,
+                "{}\tchild\t{}\t{}\t\t{}\t{}\t{}\t{}",
+                entry.index,
+                tsv_escape(&child.name),
+                child.cycle.map(|c| c.to_string()).unwrap_or_default(),
+                child.self_seconds,
+                child.desc_seconds,
+                child.count,
+                child.denom.map(|d| d.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gprof::{analyze, Analysis};
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+
+    fn analysis() -> Analysis {
+        let exe = graphprof_machine::asm::parse(
+            "routine main { loop 4 { call leaf } }
+             routine leaf { work 500 }",
+        )
+        .unwrap()
+        .compile(&CompileOptions::profiled())
+        .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 5).unwrap();
+        analyze(&exe, &gmon).unwrap()
+    }
+
+    #[test]
+    fn flat_tsv_has_header_and_one_row_per_routine() {
+        let a = analysis();
+        let tsv = flat_to_tsv(a.flat());
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 1 + a.flat().rows().len());
+        assert!(lines[0].starts_with("name\tpercent"));
+        let columns = lines[0].split('\t').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split('\t').count(), columns, "{line}");
+        }
+        assert!(tsv.contains("leaf\t"));
+    }
+
+    #[test]
+    fn call_graph_tsv_rows_are_structurally_sound() {
+        let a = analysis();
+        let tsv = call_graph_to_tsv(a.call_graph());
+        let lines: Vec<&str> = tsv.lines().collect();
+        let columns = lines[0].split('\t').count();
+        let mut primaries = 0;
+        for line in &lines[1..] {
+            assert_eq!(line.split('\t').count(), columns, "{line}");
+            if line.split('\t').nth(1) == Some("primary") {
+                primaries += 1;
+            }
+        }
+        assert_eq!(primaries, a.call_graph().entries().len());
+        // leaf's parent row names main with the 4/4 fraction.
+        assert!(
+            lines.iter().any(|l| l.contains("parent\tmain") && l.ends_with("4\t4")),
+            "{tsv}"
+        );
+    }
+
+    #[test]
+    fn tsv_escape_strips_separators() {
+        assert_eq!(tsv_escape("a\tb\nc"), "a b c");
+    }
+}

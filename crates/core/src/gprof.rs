@@ -1,0 +1,583 @@
+//! The analysis driver: from `(executable, profile data)` to profiles.
+
+use std::collections::HashSet;
+
+use graphprof_callgraph::{
+    break_cycles_greedy, discover_static_arcs, propagate, CallGraph, NodeId,
+    Propagation, SccResult,
+};
+use graphprof_machine::Executable;
+use graphprof_monitor::GmonData;
+
+use crate::cg::{CallGraphProfile, Entry, EntryKind};
+use crate::error::AnalyzeError;
+use crate::filter::Filter;
+use crate::flat::FlatProfile;
+use crate::options::Options;
+use crate::profile::{assign_self_cycles, build_graph};
+use crate::render;
+
+/// The gprof post-processor.
+///
+/// ```
+/// use graphprof::{Gprof, Options};
+/// use graphprof_machine::{CompileOptions, Program};
+/// use graphprof_monitor::profiler::profile_to_completion;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Program::builder();
+/// b.routine("main", |r| r.call_n("leaf", 10));
+/// b.routine("leaf", |r| r.work(100));
+/// let exe = b.build()?.compile(&CompileOptions::profiled())?;
+/// let (gmon, _) = profile_to_completion(exe.clone(), 10)?;
+/// let analysis = Gprof::new(Options::default()).analyze(&exe, &gmon)?;
+/// let leaf = analysis.call_graph().entry("leaf").unwrap();
+/// assert_eq!(leaf.calls.external, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gprof {
+    options: Options,
+}
+
+impl Gprof {
+    /// Creates a post-processor with the given options.
+    pub fn new(options: Options) -> Self {
+        Gprof { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// Analyzes one profile against its executable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalyzeError`] when the profile does not match the
+    /// executable, the text cannot be disassembled, or an option names an
+    /// unknown routine.
+    pub fn analyze(&self, exe: &Executable, gmon: &GmonData) -> Result<Analysis, AnalyzeError> {
+        let text_len = exe.end().checked_sub(exe.base()).expect("end >= base");
+        let histogram = gmon.histogram();
+        if histogram.base() != exe.base() || histogram.text_len() != text_len {
+            return Err(AnalyzeError::ExecutableMismatch {
+                reason: format!(
+                    "profile covers {}+{}, executable is {}+{}",
+                    histogram.base(),
+                    histogram.text_len(),
+                    exe.base(),
+                    text_len
+                ),
+            });
+        }
+
+        // Histogram -> per-routine self time.
+        let (mut self_cycles, unattributed_cycles) =
+            assign_self_cycles(histogram, exe.symbols(), gmon.cycles_per_tick());
+
+        // Arcs -> call graph (+ static arcs).
+        let static_arcs = if self.options.use_static_graph {
+            discover_static_arcs(exe)?
+        } else {
+            Vec::new()
+        };
+        let resolved = build_graph(exe, gmon.arcs(), &static_arcs);
+        let spontaneous = resolved.spontaneous;
+        let mut graph = resolved.graph;
+        self_cycles.push(0.0); // the virtual spontaneous node
+
+        // Manual arc exclusions.
+        if !self.options.excluded_arcs.is_empty() {
+            let mut pairs = Vec::new();
+            for (from, to) in &self.options.excluded_arcs {
+                let f = graph
+                    .node_by_name(from)
+                    .ok_or_else(|| AnalyzeError::UnknownRoutine { name: from.clone() })?;
+                let t = graph
+                    .node_by_name(to)
+                    .ok_or_else(|| AnalyzeError::UnknownRoutine { name: to.clone() })?;
+                pairs.push((f, t));
+            }
+            graph = graph.without_arcs(&pairs);
+        }
+
+        // Bounded heuristic cycle breaking.
+        let mut removed_arcs = Vec::new();
+        if let Some(bound) = self.options.auto_break_cycles {
+            let outcome = break_cycles_greedy(&graph, bound);
+            if !outcome.removed.is_empty() {
+                graph = graph.without_arcs(&outcome.removed);
+                removed_arcs = outcome
+                    .removed
+                    .iter()
+                    .map(|&(f, t)| (graph.name(f).to_string(), graph.name(t).to_string()))
+                    .collect();
+            }
+        }
+
+        let scc = SccResult::analyze(&graph);
+        let propagation = propagate(&graph, &scc, &self_cycles);
+
+        let mut instrumented: Vec<bool> =
+            exe.symbols().iter().map(|(_, s)| s.profiled()).collect();
+        instrumented.push(false); // spontaneous node
+
+        let flat = FlatProfile::build(
+            &graph,
+            spontaneous,
+            &self_cycles,
+            &propagation,
+            &instrumented,
+            self.options.cycles_per_second,
+        );
+        let callgraph = CallGraphProfile::build(
+            &graph,
+            spontaneous,
+            &scc,
+            &propagation,
+            &self_cycles,
+            self.options.cycles_per_second,
+        );
+
+        Ok(Analysis {
+            options: self.options.clone(),
+            flat,
+            callgraph,
+            graph,
+            scc,
+            propagation,
+            spontaneous,
+            removed_arcs,
+            unattributed_seconds: unattributed_cycles / self.options.cycles_per_second,
+            dropped_arcs: resolved.dropped_arcs,
+        })
+    }
+}
+
+/// Analyzes with default [`Options`].
+///
+/// # Errors
+///
+/// See [`Gprof::analyze`].
+pub fn analyze(exe: &Executable, gmon: &GmonData) -> Result<Analysis, AnalyzeError> {
+    Gprof::default().analyze(exe, gmon)
+}
+
+/// A completed analysis: both profiles plus the underlying graph data.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    options: Options,
+    flat: FlatProfile,
+    callgraph: CallGraphProfile,
+    graph: CallGraph,
+    scc: SccResult,
+    propagation: Propagation,
+    spontaneous: NodeId,
+    removed_arcs: Vec<(String, String)>,
+    unattributed_seconds: f64,
+    dropped_arcs: u64,
+}
+
+impl Analysis {
+    /// The flat profile (§5.1).
+    pub fn flat(&self) -> &FlatProfile {
+        &self.flat
+    }
+
+    /// The call graph profile (§5.2).
+    pub fn call_graph(&self) -> &CallGraphProfile {
+        &self.callgraph
+    }
+
+    /// The merged call graph the analysis ran over (after exclusions).
+    pub fn graph(&self) -> &CallGraph {
+        &self.graph
+    }
+
+    /// The cycle structure.
+    pub fn scc(&self) -> &SccResult {
+        &self.scc
+    }
+
+    /// The raw propagation results.
+    pub fn propagation(&self) -> &Propagation {
+        &self.propagation
+    }
+
+    /// The virtual node standing for spontaneous callers.
+    pub fn spontaneous_node(&self) -> NodeId {
+        self.spontaneous
+    }
+
+    /// Arcs removed by the bounded cycle-breaking heuristic, as
+    /// `(caller, callee)` names.
+    pub fn removed_arcs(&self) -> &[(String, String)] {
+        &self.removed_arcs
+    }
+
+    /// Sampled time that could not be attributed to any routine.
+    pub fn unattributed_seconds(&self) -> f64 {
+        self.unattributed_seconds
+    }
+
+    /// Dynamic arc records whose callee resolved to no routine.
+    pub fn dropped_arcs(&self) -> u64 {
+        self.dropped_arcs
+    }
+
+    /// Total program time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.flat.total_seconds()
+    }
+
+    /// The cycles→seconds conversion the analysis was displayed with.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.options.cycles_per_second
+    }
+
+    /// The call-graph-profile entries selected by the options' filter.
+    pub fn selected_entries(&self) -> Vec<&Entry> {
+        let entries = self.callgraph.entries();
+        match &self.options.filter {
+            Filter::All => entries.iter().collect(),
+            Filter::MinPercent(p) => entries.iter().filter(|e| e.percent >= *p).collect(),
+            Filter::Keep(names) => entries
+                .iter()
+                .filter(|e| match e.kind {
+                    EntryKind::Routine(node) => {
+                        names.iter().any(|n| n == self.graph.name(node))
+                    }
+                    EntryKind::CycleWhole(_) => false,
+                })
+                .collect(),
+            Filter::Exclude(names) => entries
+                .iter()
+                .filter(|e| match e.kind {
+                    EntryKind::Routine(node) => {
+                        !names.iter().any(|n| n == self.graph.name(node))
+                    }
+                    EntryKind::CycleWhole(_) => true,
+                })
+                .collect(),
+            Filter::Focus(name) => {
+                let Some(focus) = self.graph.node_by_name(name) else {
+                    return Vec::new();
+                };
+                let mut keep: HashSet<NodeId> = HashSet::new();
+                keep.insert(focus);
+                // Descendants.
+                let mut stack = vec![focus];
+                while let Some(v) = stack.pop() {
+                    for &a in self.graph.out_arcs(v) {
+                        let w = self.graph.arc(a).to;
+                        if keep.insert(w) {
+                            stack.push(w);
+                        }
+                    }
+                }
+                // Ancestors.
+                let mut stack = vec![focus];
+                let mut seen: HashSet<NodeId> = HashSet::new();
+                seen.insert(focus);
+                while let Some(v) = stack.pop() {
+                    for &a in self.graph.in_arcs(v) {
+                        let w = self.graph.arc(a).from;
+                        if seen.insert(w) {
+                            keep.insert(w);
+                            stack.push(w);
+                        }
+                    }
+                }
+                entries
+                    .iter()
+                    .filter(|e| match e.kind {
+                        EntryKind::Routine(node) => keep.contains(&node),
+                        EntryKind::CycleWhole(comp) => {
+                            self.scc.members(comp).iter().any(|m| keep.contains(m))
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// A one-paragraph summary of the analysis: totals, entry counts,
+    /// cycles, and anything dropped or unattributed.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:.2} seconds across {} routines ({} never called); {} cycle(s)",
+            self.total_seconds(),
+            self.flat.rows().len() + self.flat.never_called().len(),
+            self.flat.never_called().len(),
+            self.callgraph.cycle_count(),
+        );
+        if self.unattributed_seconds > 0.0 {
+            let _ = writeln!(
+                out,
+                "{:.2} seconds sampled outside any routine",
+                self.unattributed_seconds
+            );
+        }
+        if self.dropped_arcs > 0 {
+            let _ = writeln!(out, "{} arc record(s) resolved to no routine", self.dropped_arcs);
+        }
+        if !self.removed_arcs.is_empty() {
+            let names: Vec<String> = self
+                .removed_arcs
+                .iter()
+                .map(|(a, b)| format!("{a}->{b}"))
+                .collect();
+            let _ = writeln!(out, "cycle-breaking removed: {}", names.join(", "));
+        }
+        out
+    }
+
+    /// Renders the flat profile as text.
+    pub fn render_flat(&self) -> String {
+        render::render_flat(&self.flat)
+    }
+
+    /// Renders the call graph profile as text, honoring the display
+    /// filter.
+    pub fn render_call_graph(&self) -> String {
+        render::render_call_graph_entries(&self.selected_entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+
+    fn compile_and_profile(
+        source: &str,
+        tick: u64,
+    ) -> (Executable, GmonData) {
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), tick).unwrap();
+        (exe, gmon)
+    }
+
+    const ABSTRACTION: &str = "
+        routine main { call producer call consumer }
+        routine producer { loop 10 { call buffer } }
+        routine consumer { loop 30 { call buffer } }
+        routine buffer { work 100 }
+    ";
+
+    #[test]
+    fn end_to_end_attribution() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let analysis = analyze(&exe, &gmon).unwrap();
+        let buffer = analysis.call_graph().entry("buffer").unwrap();
+        assert_eq!(buffer.calls.external, 40);
+        // consumer gets ~3/4 of buffer's time, producer ~1/4.
+        let producer = buffer.parents.iter().find(|p| p.name == "producer").unwrap();
+        let consumer = buffer.parents.iter().find(|p| p.name == "consumer").unwrap();
+        assert_eq!((producer.count, producer.denom), (10, Some(40)));
+        assert_eq!((consumer.count, consumer.denom), (30, Some(40)));
+        assert!(consumer.flow() > 2.5 * producer.flow());
+        // consumer's entry total exceeds producer's.
+        let p_entry = analysis.call_graph().entry("producer").unwrap();
+        let c_entry = analysis.call_graph().entry("consumer").unwrap();
+        assert!(c_entry.total_seconds() > p_entry.total_seconds());
+    }
+
+    #[test]
+    fn mismatched_executable_is_rejected() {
+        let (_, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let other = graphprof_machine::asm::parse("routine main { work 5 }")
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        assert!(matches!(
+            analyze(&other, &gmon),
+            Err(AnalyzeError::ExecutableMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_excluded_routine_is_rejected() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let gprof = Gprof::new(Options::default().exclude_arc("ghost", "main"));
+        assert!(matches!(
+            gprof.analyze(&exe, &gmon),
+            Err(AnalyzeError::UnknownRoutine { .. })
+        ));
+    }
+
+    #[test]
+    fn excluding_an_arc_redirects_time() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let gprof = Gprof::new(Options::default().exclude_arc("producer", "buffer"));
+        let analysis = gprof.analyze(&exe, &gmon).unwrap();
+        let buffer = analysis.call_graph().entry("buffer").unwrap();
+        // With producer's arc gone, consumer is the only caller and
+        // inherits everything.
+        assert_eq!(buffer.calls.external, 30);
+        let consumer = buffer.parents.iter().find(|p| p.name == "consumer").unwrap();
+        assert_eq!(consumer.denom, Some(30));
+    }
+
+    #[test]
+    fn static_graph_completes_cycles() {
+        // An untraversed closing arc: b's conditional call back to a sits
+        // behind a counter that this run never arms, so the arc exists in
+        // the text but not in the dynamic graph.
+        let source = "
+            routine main { call a }
+            routine a { work 50 call b }
+            routine b { work 50 callwhile 7, a }
+        ";
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
+
+        let with_static = analyze(&exe, &gmon).unwrap();
+        assert_eq!(with_static.call_graph().cycle_count(), 1, "static arc closes the cycle");
+
+        let without = Gprof::new(Options::default().static_graph(false))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        assert_eq!(without.call_graph().cycle_count(), 0);
+    }
+
+    #[test]
+    fn auto_cycle_breaking_records_removed_arcs() {
+        // Terminating mutual recursion: x <-> y, bounded by a counter.
+        let source = "
+            routine main { setcounter 7, 20 call x }
+            routine x { work 10 callwhile 7, y }
+            routine y { work 10 callwhile 7, x }
+        ";
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
+        let plain = analyze(&exe, &gmon).unwrap();
+        assert_eq!(plain.call_graph().cycle_count(), 1);
+
+        let broken = Gprof::new(Options::default().break_cycles(4))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        assert_eq!(broken.call_graph().cycle_count(), 0);
+        assert!(!broken.removed_arcs().is_empty());
+    }
+
+    #[test]
+    fn filters_select_entries() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let keep = Gprof::new(Options::default().filter(Filter::keep(["buffer"])))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        assert_eq!(keep.selected_entries().len(), 1);
+
+        let focus = Gprof::new(Options::default().filter(Filter::Focus("producer".into())))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        let names: Vec<&str> =
+            focus.selected_entries().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"producer"));
+        assert!(names.contains(&"buffer"), "descendant");
+        assert!(names.contains(&"main"), "ancestor");
+        assert!(!names.contains(&"consumer"), "sibling excluded: {names:?}");
+
+        let hot = Gprof::new(Options::default().filter(Filter::MinPercent(50.0)))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        assert!(!hot.selected_entries().is_empty());
+        assert!(hot.selected_entries().len() < hot.call_graph().entries().len());
+    }
+
+    #[test]
+    fn exclude_filter_hides_named_entries_only() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let analysis = Gprof::new(Options::default().filter(Filter::exclude(["buffer"])))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        let names: Vec<&str> =
+            analysis.selected_entries().iter().map(|e| e.name.as_str()).collect();
+        assert!(!names.contains(&"buffer"), "{names:?}");
+        assert!(names.contains(&"producer"));
+        // buffer still shows up as a child line of its callers.
+        let text = analysis.render_call_graph();
+        assert!(text.contains("buffer ["), "{text}");
+    }
+
+    #[test]
+    fn summary_reports_totals_and_cycles() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let analysis = analyze(&exe, &gmon).unwrap();
+        let summary = analysis.render_summary();
+        assert!(summary.contains("4 routines"), "{summary}");
+        assert!(summary.contains("0 cycle(s)"), "{summary}");
+        // With the heuristic engaged on a cyclic program, removals appear.
+        let source = "
+            routine main { setcounter 7, 20 call x }
+            routine x { work 10 callwhile 7, y }
+            routine y { work 10 callwhile 7, x }
+        ";
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
+        let broken = Gprof::new(Options::default().break_cycles(4))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        let summary = broken.render_summary();
+        assert!(summary.contains("cycle-breaking removed:"), "{summary}");
+    }
+
+    #[test]
+    fn focus_on_unknown_routine_selects_nothing() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let a = Gprof::new(Options::default().filter(Filter::Focus("ghost".into())))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        assert!(a.selected_entries().is_empty());
+    }
+
+    #[test]
+    fn renders_are_consistent_with_filter() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let analysis = Gprof::new(Options::default().filter(Filter::keep(["buffer"])))
+            .analyze(&exe, &gmon)
+            .unwrap();
+        let text = analysis.render_call_graph();
+        assert!(text.contains("buffer"));
+        // consumer still appears as a parent *line* of buffer, but gets no
+        // entry of its own (no primary line, which starts with `[`).
+        assert!(
+            !text.lines().any(|l| l.starts_with('[') && l.contains("consumer")),
+            "{text}"
+        );
+        let flat = analysis.render_flat();
+        assert!(flat.contains("buffer"));
+    }
+
+    #[test]
+    fn self_times_sum_to_machine_clock() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        let analysis = analyze(&exe, &gmon).unwrap();
+        // Every tick lands inside a routine (the text has no gaps), so the
+        // sampled total matches the flat profile total exactly.
+        let sampled = gmon.sampled_cycles() as f64 / 1e6;
+        assert!((analysis.total_seconds() - sampled).abs() < 1e-9);
+        assert_eq!(analysis.unattributed_seconds(), 0.0);
+        assert_eq!(analysis.dropped_arcs(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Character-based rendering of the profiles (§5).
+//!
+//! "We were limited by the output devices of the time to character-based
+//! formatting. We ended up with a rather dense display of the information
+//! at each node, and a view of the arcs into and out of that node."
+//!
+//! The call graph listing follows the Figure-4 layout: parent lines above
+//! the primary line, child (or cycle-member) lines below, a
+//! `called/total` fraction for propagating arcs, `called+self` on the
+//! primary line, and a bracketed index after every name "to help us
+//! navigate the output in the visual editors becoming popular at that
+//! time".
+
+use std::fmt::Write as _;
+
+use crate::cg::{ArcLine, CallGraphProfile, Entry};
+use crate::flat::FlatProfile;
+
+/// Renders the flat profile as text.
+pub fn render_flat(flat: &FlatProfile) -> String {
+    let mut out = String::new();
+    out.push_str("flat profile:\n\n");
+    out.push_str(" %time  cumulative      self                 self     total\n");
+    out.push_str("           seconds   seconds      calls  ms/call   ms/call  name\n");
+    for row in flat.rows() {
+        let calls = row
+            .calls
+            .map(|c| c.to_string())
+            .unwrap_or_default();
+        let self_ms = row
+            .self_ms_per_call
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_default();
+        let total_ms = row
+            .total_ms_per_call
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:>6.1}  {:>10.2} {:>9.2} {:>10} {:>9} {:>9}  {}",
+            row.percent,
+            row.cumulative_seconds,
+            row.self_seconds,
+            calls,
+            self_ms,
+            total_ms,
+            row.name,
+        );
+    }
+    let _ = writeln!(out, "\ntotal: {:.2} seconds", flat.total_seconds());
+    if !flat.never_called().is_empty() {
+        out.push_str("\nroutines never called:\n");
+        let _ = writeln!(out, "    {}", flat.never_called().join(", "));
+    }
+    out
+}
+
+/// The explanation of the call-graph-profile fields that gprof prints
+/// ahead of the listing (its `-b` flag suppresses it). Line-for-line
+/// paraphrase of §5.2 and Figure 4's caption.
+pub fn render_legend() -> &'static str {
+    "\
+Each entry of the call graph profile describes one routine, between rules.
+The primary line is the routine itself:
+  index        where the routine appears in the listing; bracketed
+               references after names navigate to that entry
+  %time        the share of total time accounted to this routine and its
+               descendants (the listing is sorted on this)
+  self         seconds spent in the routine itself
+  descendants  seconds propagated to the routine from the routines it
+               calls, each callee's time shared among its callers in
+               proportion to their call counts
+  called+self  times called from other routines, plus self-recursive calls
+               (recursive calls are listed but never propagate time)
+Lines above the primary line are parents; their self/descendants columns
+show the share of THIS routine's time each parent receives, and called/total
+gives this parent's calls over all non-recursive calls to the routine.
+Lines below are children; their columns show the share of each child's time
+this routine receives, over the child's total non-recursive calls.
+Cycles are single entities: a <cycle N as a whole> entry lists the members
+in place of children, with their calls from within the cycle; calls among
+members never propagate time. Arcs discovered only in the program text
+appear with a count of zero and propagate nothing.
+<spontaneous> marks activations with no identifiable caller.
+"
+}
+
+/// Renders the complete call graph profile as text.
+pub fn render_call_graph(profile: &CallGraphProfile) -> String {
+    let all: Vec<&Entry> = profile.entries().iter().collect();
+    render_call_graph_entries(&all)
+}
+
+/// Renders a selected subset of entries (after filtering) as text.
+pub fn render_call_graph_entries(entries: &[&Entry]) -> String {
+    let mut out = String::new();
+    out.push_str("call graph profile:\n\n");
+    out.push_str("                                         called/total      parents\n");
+    out.push_str("index  %time     self  descendants   called+self     name      index\n");
+    out.push_str("                                         called/total      children\n\n");
+    for entry in entries {
+        for parent in &entry.parents {
+            render_arc_line(&mut out, parent);
+        }
+        let calls = if entry.calls.recursive > 0 {
+            format!("{}+{}", entry.calls.external, entry.calls.recursive)
+        } else {
+            entry.calls.external.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "[{:<4}{:>7.1} {:>8.2} {:>12.2} {:>13}     {} [{}]",
+            format!("{}]", entry.index),
+            entry.percent,
+            entry.self_seconds,
+            entry.desc_seconds,
+            calls,
+            entry.name,
+            entry.index,
+        );
+        for child in &entry.children {
+            render_arc_line(&mut out, child);
+        }
+        out.push_str("-----------------------------------------------------------------\n");
+    }
+    out
+}
+
+fn render_arc_line(out: &mut String, line: &ArcLine) {
+    let calls = match line.denom {
+        Some(denom) => format!("{}/{}", line.count, denom),
+        None => line.count.to_string(),
+    };
+    let index = line
+        .entry_index
+        .map(|i| format!(" [{i}]"))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "            {:>8.2} {:>12.2} {:>13}         {}{}",
+        line.self_seconds, line.desc_seconds, calls, line.name, index,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cg::{ArcLine, CallsDisplay, CallGraphProfile, Entry, EntryKind};
+    use graphprof_callgraph::{propagate, CallGraph, NodeId, SccResult};
+
+    use super::*;
+
+    fn sample_profile() -> (crate::flat::FlatProfile, CallGraphProfile) {
+        let mut graph = CallGraph::with_nodes(["main", "worker", "idle"]);
+        let spont = graph.add_node("<spontaneous>");
+        let main = NodeId::new(0);
+        let worker = NodeId::new(1);
+        graph.add_arc(spont, main, 1);
+        graph.add_arc(main, worker, 12);
+        let self_cycles = [2.5e6, 7.5e6, 0.0, 0.0];
+        let scc = SccResult::analyze(&graph);
+        let prop = propagate(&graph, &scc, &self_cycles);
+        let flat = crate::flat::FlatProfile::build(
+            &graph,
+            spont,
+            &self_cycles,
+            &prop,
+            &[true, true, true, false],
+            1e6,
+        );
+        let cg = CallGraphProfile::build(&graph, spont, &scc, &prop, &self_cycles, 1e6);
+        (flat, cg)
+    }
+
+    #[test]
+    fn flat_render_contains_rows_and_total() {
+        let (flat, _) = sample_profile();
+        let text = render_flat(&flat);
+        assert!(text.contains("flat profile:"));
+        assert!(text.contains("worker"));
+        assert!(text.contains("75.0"));
+        assert!(text.contains("total: 10.00 seconds"));
+        assert!(text.contains("routines never called:"));
+        assert!(text.contains("idle"));
+    }
+
+    #[test]
+    fn call_graph_render_shows_primary_and_arc_lines() {
+        let (_, cg) = sample_profile();
+        let text = render_call_graph(&cg);
+        assert!(text.contains("call graph profile:"));
+        // Primary line of main with its index.
+        assert!(text.contains("main [1]"), "{text}");
+        // worker as a child of main with 12/12.
+        assert!(text.contains("12/12"), "{text}");
+        // Separator after each entry.
+        assert!(text.matches("-----").count() >= 2);
+        // <spontaneous> has no index.
+        assert!(text.contains("<spontaneous>\n"), "{text}");
+    }
+
+    #[test]
+    fn recursive_calls_render_with_plus() {
+        let entry = Entry {
+            index: 2,
+            kind: EntryKind::Routine(NodeId::new(0)),
+            name: "EXAMPLE".to_string(),
+            cycle: None,
+            percent: 41.5,
+            self_seconds: 0.5,
+            desc_seconds: 3.0,
+            calls: CallsDisplay { external: 10, recursive: 4 },
+            parents: vec![ArcLine {
+                name: "CALLER1".to_string(),
+                node: None,
+                entry_index: Some(7),
+                cycle: None,
+                self_seconds: 0.2,
+                desc_seconds: 1.2,
+                count: 4,
+                denom: Some(10),
+            }],
+            children: vec![],
+        };
+        let text = render_call_graph_entries(&[&entry]);
+        assert!(text.contains("10+4"), "{text}");
+        assert!(text.contains("4/10"), "{text}");
+        assert!(text.contains("EXAMPLE [2]"), "{text}");
+        assert!(text.contains("CALLER1 [7]"), "{text}");
+        assert!(text.contains("41.5"), "{text}");
+    }
+
+    #[test]
+    fn legend_explains_every_column() {
+        let legend = render_legend();
+        for term in ["index", "%time", "self", "descendants", "called+self",
+                     "parents", "children", "cycle", "<spontaneous>"] {
+            assert!(legend.contains(term), "missing {term}");
+        }
+    }
+
+    #[test]
+    fn intra_cycle_lines_render_bare_counts() {
+        let entry = Entry {
+            index: 3,
+            kind: EntryKind::Routine(NodeId::new(0)),
+            name: "x <cycle1>".to_string(),
+            cycle: Some(1),
+            percent: 10.0,
+            self_seconds: 1.0,
+            desc_seconds: 0.0,
+            calls: CallsDisplay { external: 99, recursive: 0 },
+            parents: vec![ArcLine {
+                name: "y <cycle1>".to_string(),
+                node: None,
+                entry_index: Some(4),
+                cycle: Some(1),
+                self_seconds: 0.0,
+                desc_seconds: 0.0,
+                count: 99,
+                denom: None,
+            }],
+            children: vec![],
+        };
+        let text = render_call_graph_entries(&[&entry]);
+        // A bare count with no slash for the intra-cycle arc line:
+        // the line containing "y <cycle1>" must show "99" without "/".
+        let line = text.lines().find(|l| l.contains("y <cycle1>")).unwrap();
+        assert!(line.contains("99"));
+        assert!(!line.contains('/'), "{line}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Summing profile data over several runs (§3, retrospective).
+//!
+//! "An advantage of this approach is that the profile data for several
+//! executions of a program can be combined by the post-processing to
+//! provide a profile of many executions" — and, per the retrospective,
+//! summation lets short-running routines "accumulate enough time [...] to
+//! get an idea of their performance".
+
+use graphprof_monitor::GmonData;
+
+use crate::error::AnalyzeError;
+
+/// Sums any number of profile files into one.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::NoProfiles`] for an empty input, or a merge
+/// mismatch when the profiles come from different executables or sampling
+/// configurations.
+pub fn sum_profiles<'a, I>(profiles: I) -> Result<GmonData, AnalyzeError>
+where
+    I: IntoIterator<Item = &'a GmonData>,
+{
+    let mut iter = profiles.into_iter();
+    let mut acc = iter.next().ok_or(AnalyzeError::NoProfiles)?.clone();
+    for p in iter {
+        acc.merge(p)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::Addr;
+    use graphprof_monitor::{Histogram, RawArc};
+
+    fn profile(samples: u64, count: u64) -> GmonData {
+        let mut h = Histogram::new(Addr::new(0x1000), 32, 0);
+        h.record(Addr::new(0x1004), samples);
+        GmonData::new(
+            50,
+            h,
+            vec![RawArc { from_pc: Addr::NULL, self_pc: Addr::new(0x1000), count }],
+        )
+    }
+
+    #[test]
+    fn sums_many_runs() {
+        let runs: Vec<GmonData> = (1..=4).map(|i| profile(i, 10 * i)).collect();
+        let total = sum_profiles(&runs).unwrap();
+        assert_eq!(total.histogram().total(), 10);
+        assert_eq!(total.arcs()[0].count, 100);
+    }
+
+    #[test]
+    fn single_run_is_identity() {
+        let p = profile(3, 7);
+        assert_eq!(sum_profiles([&p]).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(
+            sum_profiles(std::iter::empty::<&GmonData>()).unwrap_err(),
+            AnalyzeError::NoProfiles
+        );
+    }
+
+    #[test]
+    fn mismatched_profiles_are_rejected() {
+        let a = profile(1, 1);
+        let b = GmonData::new(99, Histogram::new(Addr::new(0x1000), 32, 0), vec![]);
+        assert!(matches!(
+            sum_profiles([&a, &b]),
+            Err(AnalyzeError::Gmon(_))
+        ));
+    }
+}

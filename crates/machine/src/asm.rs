@@ -1,0 +1,433 @@
+//! A small textual assembly language for workload programs.
+//!
+//! Workloads can be written as text and parsed into a [`Program`]:
+//!
+//! ```
+//! use graphprof_machine::asm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = asm::parse(
+//!     r#"
+//!     ; the motivating shape: an abstraction used from two places
+//!     routine main {
+//!         call producer
+//!         call consumer
+//!     }
+//!     routine producer { loop 10 { call buffer } }
+//!     routine consumer { loop 20 { call buffer } }
+//!     noprofile routine buffer { work 100 }
+//!     entry main
+//!     "#,
+//! )?;
+//! assert_eq!(program.routines().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Grammar (comments run from `;` to end of line):
+//!
+//! ```text
+//! program  := item*
+//! item     := ["noprofile"] "routine" IDENT "{" stmt* "}"
+//!           | "entry" IDENT
+//! stmt     := "work" NUMBER
+//!           | "call" IDENT
+//!           | "calli" NUMBER
+//!           | "setslot" NUMBER "," IDENT
+//!           | "loop" NUMBER "{" stmt* "}"
+//!           | "setcounter" NUMBER "," NUMBER
+//!           | "callwhile" NUMBER "," IDENT
+//!           | "ret" | "halt"
+//! ```
+
+use crate::error::{AsmError, CompileError};
+use crate::program::{Program, Routine, Stmt};
+
+/// Parses assembly text into a [`Program`].
+///
+/// The entry point defaults to `main` (or the first routine) when no
+/// `entry` directive appears, matching [`Program::builder`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with a line/column position for syntax errors,
+/// and wraps semantic errors (unknown routines, duplicates) from
+/// [`Program::new`] with the position of the end of input.
+pub fn parse(source: &str) -> Result<Program, AsmError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program(source)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    Ident(String),
+    Number(u32),
+    LBrace,
+    RBrace,
+    Comma,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokenKind,
+    line: usize,
+    col: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
+            let c = chars.next().expect("peeked");
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(&mut chars);
+            }
+            ';' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump(&mut chars);
+                }
+            }
+            '{' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::LBrace, line: tl, col: tc });
+            }
+            '}' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::RBrace, line: tl, col: tc });
+            }
+            ',' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        if c != '_' {
+                            text.push(c);
+                        }
+                        bump(&mut chars);
+                    } else {
+                        break;
+                    }
+                }
+                let value = text.parse::<u32>().map_err(|_| AsmError {
+                    line: tl,
+                    col: tc,
+                    message: format!("number `{text}` does not fit in 32 bits"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), line: tl, col: tc });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        bump(&mut chars);
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(text), line: tl, col: tc });
+            }
+            other => {
+                return Err(AsmError {
+                    line: tl,
+                    col: tc,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, token: &Token, message: impl Into<String>) -> AsmError {
+        AsmError { line: token.line, col: token.col, message: message.into() }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, AsmError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Ident(name) => Ok(name),
+            _ => Err(self.error(&t, format!("expected {what}"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<u32, AsmError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Number(n) => Ok(n),
+            _ => Err(self.error(&t, format!("expected {what}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), AsmError> {
+        let t = self.advance();
+        if t.kind == kind {
+            Ok(())
+        } else {
+            Err(self.error(&t, format!("expected {what}")))
+        }
+    }
+
+    fn program(&mut self, source: &str) -> Result<Program, AsmError> {
+        let mut routines = Vec::new();
+        let mut entry: Option<String> = None;
+        loop {
+            let t = self.advance();
+            match &t.kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) if word == "routine" => {
+                    routines.push(self.routine(true)?);
+                }
+                TokenKind::Ident(word) if word == "noprofile" => {
+                    let next = self.advance();
+                    match &next.kind {
+                        TokenKind::Ident(w) if w == "routine" => {
+                            routines.push(self.routine(false)?);
+                        }
+                        _ => {
+                            return Err(
+                                self.error(&next, "expected `routine` after `noprofile`")
+                            )
+                        }
+                    }
+                }
+                TokenKind::Ident(word) if word == "entry" => {
+                    let name = self.expect_ident("entry routine name")?;
+                    if entry.replace(name).is_some() {
+                        return Err(self.error(&t, "duplicate `entry` directive"));
+                    }
+                }
+                _ => {
+                    return Err(self.error(
+                        &t,
+                        "expected `routine`, `noprofile routine`, or `entry`",
+                    ))
+                }
+            }
+        }
+        let entry = entry.unwrap_or_else(|| {
+            if routines.iter().any(|r: &Routine| r.name() == "main") {
+                "main".to_string()
+            } else {
+                routines.first().map(|r| r.name().to_string()).unwrap_or_default()
+            }
+        });
+        let last_line = source.lines().count().max(1);
+        Program::new(routines, entry).map_err(|e: CompileError| AsmError {
+            line: last_line,
+            col: 1,
+            message: e.to_string(),
+        })
+    }
+
+    fn routine(&mut self, profiled: bool) -> Result<Routine, AsmError> {
+        let name = self.expect_ident("routine name")?;
+        self.expect(TokenKind::LBrace, "`{` to open routine body")?;
+        let body = self.block()?;
+        Ok(Routine::new(name, body, profiled))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, AsmError> {
+        let mut stmts = Vec::new();
+        loop {
+            let t = self.advance();
+            match &t.kind {
+                TokenKind::RBrace => return Ok(stmts),
+                TokenKind::Eof => {
+                    return Err(self.error(&t, "unterminated block: expected `}`"))
+                }
+                TokenKind::Ident(word) => match word.as_str() {
+                    "work" => stmts.push(Stmt::Work(self.expect_number("cycle count")?)),
+                    "call" => stmts.push(Stmt::Call(self.expect_ident("routine name")?)),
+                    "calli" => {
+                        let slot = self.expect_number("slot index")?;
+                        let slot = u8::try_from(slot)
+                            .map_err(|_| self.error(&t, "slot index out of range"))?;
+                        stmts.push(Stmt::CallIndirect(slot));
+                    }
+                    "setslot" => {
+                        let slot = self.expect_number("slot index")?;
+                        let slot = u8::try_from(slot)
+                            .map_err(|_| self.error(&t, "slot index out of range"))?;
+                        self.expect(TokenKind::Comma, "`,` between slot and routine")?;
+                        let name = self.expect_ident("routine name")?;
+                        stmts.push(Stmt::SetSlot(slot, name));
+                    }
+                    "loop" => {
+                        let count = self.expect_number("iteration count")?;
+                        self.expect(TokenKind::LBrace, "`{` to open loop body")?;
+                        let body = self.block()?;
+                        stmts.push(Stmt::Loop { count, body });
+                    }
+                    "setcounter" => {
+                        let reg = self.expect_number("register index")?;
+                        let reg = u8::try_from(reg)
+                            .map_err(|_| self.error(&t, "register index out of range"))?;
+                        self.expect(TokenKind::Comma, "`,` between register and value")?;
+                        let value = self.expect_number("counter value")?;
+                        stmts.push(Stmt::SetCounter(reg, value));
+                    }
+                    "callwhile" => {
+                        let reg = self.expect_number("register index")?;
+                        let reg = u8::try_from(reg)
+                            .map_err(|_| self.error(&t, "register index out of range"))?;
+                        self.expect(TokenKind::Comma, "`,` between register and routine")?;
+                        let name = self.expect_ident("routine name")?;
+                        stmts.push(Stmt::CallWhile(reg, name));
+                    }
+                    "ret" => stmts.push(Stmt::Ret),
+                    "halt" => stmts.push(Stmt::Halt),
+                    other => {
+                        return Err(self.error(&t, format!("unknown statement `{other}`")))
+                    }
+                },
+                _ => return Err(self.error(&t, "expected a statement or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Stmt;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("routine main { work 10 }").unwrap();
+        assert_eq!(p.entry(), "main");
+        assert_eq!(p.routines()[0].body(), &[Stmt::Work(10)]);
+    }
+
+    #[test]
+    fn parses_all_statement_forms() {
+        let p = parse(
+            "routine main {
+                work 1
+                call f
+                setslot 2, f
+                calli 2
+                loop 3 { call f }
+                ret
+                halt
+             }
+             routine f { work 1 }",
+        )
+        .unwrap();
+        let body = p.routines()[0].body();
+        assert_eq!(body.len(), 7);
+        assert!(matches!(&body[4], Stmt::Loop { count: 3, .. }));
+    }
+
+    #[test]
+    fn entry_directive_overrides_default() {
+        let p = parse("routine a { work 1 } routine b { work 2 } entry b").unwrap();
+        assert_eq!(p.entry(), "b");
+    }
+
+    #[test]
+    fn noprofile_routine_flag() {
+        let p = parse("routine main { call lib } noprofile routine lib { work 1 }").unwrap();
+        assert!(p.routines()[0].profiled());
+        assert!(!p.routines()[1].profiled());
+    }
+
+    #[test]
+    fn comments_and_underscored_numbers() {
+        let p = parse(
+            "; heading comment\nroutine main { work 1_000 ; inline comment\n }",
+        )
+        .unwrap();
+        assert_eq!(p.routines()[0].body(), &[Stmt::Work(1000)]);
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = parse("routine main {\n  wurk 10\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("wurk"));
+    }
+
+    #[test]
+    fn unterminated_block_is_reported() {
+        let err = parse("routine main { work 1").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_call_target_is_reported() {
+        let err = parse("routine main { call ghost }").unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_entry_directive_is_rejected() {
+        let err = parse("routine a { work 1 } entry a entry a").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn stray_character_is_rejected_with_position() {
+        let err = parse("routine main { work 1 } #").unwrap_err();
+        assert!(err.message.contains('#'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn huge_number_is_rejected() {
+        let err = parse("routine main { work 99999999999 }").unwrap_err();
+        assert!(err.message.contains("32 bits"));
+    }
+
+    #[test]
+    fn parsed_program_compiles_and_runs() {
+        use crate::{CompileOptions, Machine, NoHooks};
+        let p = parse(
+            "routine main { loop 5 { call leaf } }
+             routine leaf { work 10 }",
+        )
+        .unwrap();
+        let exe = p.compile(&CompileOptions::default()).unwrap();
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        assert!(summary.halted);
+        let truth = m.ground_truth().unwrap();
+        assert_eq!(truth.routine("leaf").unwrap().calls, 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! The machine's cycle cost model.
+//!
+//! Costs are deliberately explicit and configurable: the paper's §7 claim —
+//! that profiling "adds only five to thirty percent execution overhead" — is
+//! a statement about the *ratio* of monitoring-routine cycles to useful
+//! work, and the overhead experiment sweeps that ratio. The monitoring
+//! instructions themselves ([`Instruction::Mcount`] and
+//! [`Instruction::CountCall`]) have no fixed cost here; their cost is
+//! whatever the profiling hook returns, so the monitor implementation (hash
+//! probes and all) decides what it charges to the clock.
+//!
+//! [`Instruction::Mcount`]: crate::Instruction::Mcount
+//! [`Instruction::CountCall`]: crate::Instruction::CountCall
+
+/// Per-instruction cycle costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of a direct `call` (push return address, jump).
+    pub call: u64,
+    /// Cost of an indirect `calli` (slot load, push, jump).
+    pub call_indirect: u64,
+    /// Cost of `ret`.
+    pub ret: u64,
+    /// Cost of `jmp` and `decjnz`.
+    pub branch: u64,
+    /// Cost of `setreg` and `setslot`.
+    pub set: u64,
+    /// Cost of `nop`.
+    pub nop: u64,
+}
+
+impl CostModel {
+    /// A model loosely shaped like a 1980s minicomputer: calls and returns
+    /// cost a few cycles, register operations one.
+    pub const fn classic() -> Self {
+        CostModel { call: 4, call_indirect: 6, ret: 4, branch: 1, set: 1, nop: 1 }
+    }
+
+    /// A RISC-flavored model: one-cycle calls and returns. With calls this
+    /// cheap, the monitoring routine's fixed cost looms much larger — the
+    /// cost-model ablation of the §7 overhead claim.
+    pub const fn risc() -> Self {
+        CostModel { call: 1, call_indirect: 2, ret: 1, branch: 1, set: 1, nop: 1 }
+    }
+
+    /// A heavily microcoded model: calls and returns cost a dozen cycles
+    /// (VAX `CALLS` territory), which *hides* monitoring cost.
+    pub const fn cisc() -> Self {
+        CostModel { call: 12, call_indirect: 16, ret: 12, branch: 2, set: 2, nop: 1 }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::classic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_classic() {
+        assert_eq!(CostModel::default(), CostModel::classic());
+    }
+
+    #[test]
+    fn classic_costs_are_nonzero_where_it_matters() {
+        let c = CostModel::classic();
+        assert!(c.call > 0 && c.ret > 0);
+        assert!(c.call_indirect >= c.call);
+    }
+
+    #[test]
+    fn presets_order_call_costs() {
+        assert!(CostModel::risc().call < CostModel::classic().call);
+        assert!(CostModel::classic().call < CostModel::cisc().call);
+    }
+}

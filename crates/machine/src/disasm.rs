@@ -1,0 +1,102 @@
+//! Disassembly listings of executable text.
+//!
+//! Used by the `gpx-dis` tool and handy in tests and examples: a
+//! symbol-annotated, address-ordered listing of every instruction, in the
+//! same left-to-right form the assembler accepts.
+
+use std::fmt::Write as _;
+
+use crate::error::DecodeError;
+use crate::image::Executable;
+use crate::isa::Instruction;
+
+/// Renders a full disassembly listing of the executable.
+///
+/// Each routine is introduced by its symbol line (`name: addr size
+/// [profiled]`); call targets are annotated with the callee's name when
+/// it is a known routine entry.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the text is malformed.
+pub fn disassemble(exe: &Executable) -> Result<String, DecodeError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "text {}..{} entry {}",
+        exe.base(),
+        exe.end(),
+        exe.entry()
+    );
+    for (id, sym) in exe.symbols().iter() {
+        let _ = writeln!(
+            out,
+            "\n{}: {} +{}{}",
+            sym.name(),
+            sym.addr(),
+            sym.size(),
+            if sym.profiled() { " [profiled]" } else { "" },
+        );
+        for (addr, inst) in exe.disassemble_symbol(id)? {
+            let annotation = match annotated_target(inst) {
+                Some(target) => exe
+                    .symbols()
+                    .lookup_pc(target)
+                    .filter(|(_, s)| s.addr() == target)
+                    .map(|(_, s)| format!("  ; {}", s.name()))
+                    .unwrap_or_default(),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "  {addr}  {inst}{annotation}");
+        }
+    }
+    Ok(out)
+}
+
+fn annotated_target(inst: Instruction) -> Option<crate::isa::Addr> {
+    match inst {
+        Instruction::Call(t) | Instruction::SetSlot(_, t) => Some(t),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CompileOptions, Program};
+
+    fn sample() -> Executable {
+        let mut b = Program::builder();
+        b.routine("main", |r| r.work(10).call("leaf").set_slot(0, "leaf"));
+        b.noprofile_routine("leaf", |r| r.work(50));
+        b.build().unwrap().compile(&CompileOptions::profiled()).unwrap()
+    }
+
+    #[test]
+    fn listing_contains_every_routine_and_instruction() {
+        let text = disassemble(&sample()).unwrap();
+        assert!(text.contains("main: 0x1000"));
+        assert!(text.contains("[profiled]"));
+        assert!(text.contains("leaf:"));
+        assert!(text.contains("mcount"));
+        assert!(text.contains("work 10"));
+        assert!(text.contains("work 50"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn call_targets_are_annotated_with_names() {
+        let text = disassemble(&sample()).unwrap();
+        let call_line = text.lines().find(|l| l.contains("call 0x")).unwrap();
+        assert!(call_line.ends_with("; leaf"), "{call_line}");
+        let slot_line = text.lines().find(|l| l.contains("setslot")).unwrap();
+        assert!(slot_line.ends_with("; leaf"), "{slot_line}");
+    }
+
+    #[test]
+    fn unprofiled_routine_is_not_marked() {
+        let text = disassemble(&sample()).unwrap();
+        let leaf_header = text.lines().find(|l| l.starts_with("leaf:")).unwrap();
+        assert!(!leaf_header.contains("[profiled]"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Executable images and symbol tables.
+//!
+//! An [`Executable`] plays the role of the UNIX `a.out` file in the paper:
+//! a text segment of encoded instructions plus a symbol table mapping
+//! routine names to address ranges. The profiler post-processor uses the
+//! symbol table both to assign histogram samples to routines and to resolve
+//! arc endpoints, and the static call graph pass disassembles the text from
+//! symbol boundaries.
+
+use std::fmt;
+
+use crate::encode::decode_at;
+use crate::error::DecodeError;
+use crate::isa::{Addr, Instruction};
+
+/// Index of a symbol within its [`SymbolTable`].
+///
+/// Symbol ids are dense (0-based) and follow text-segment address order, so
+/// they double as array indices in the profiler's per-routine accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// Creates a symbol id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        SymbolId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One routine in the symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    name: String,
+    addr: Addr,
+    size: u32,
+    profiled: bool,
+}
+
+impl Symbol {
+    /// Creates a symbol covering `[addr, addr + size)`.
+    pub fn new(name: impl Into<String>, addr: Addr, size: u32, profiled: bool) -> Self {
+        Symbol { name: name.into(), addr, size, profiled }
+    }
+
+    /// The routine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The routine's entry address (start of its prologue).
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The routine's size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// One past the last address of the routine.
+    pub fn end(&self) -> Addr {
+        self.addr.offset(self.size)
+    }
+
+    /// Whether the routine was compiled with a profiling prologue.
+    ///
+    /// Unprofiled routines "run at full speed" (§3.1) and never record
+    /// incoming arcs.
+    pub fn profiled(&self) -> bool {
+        self.profiled
+    }
+
+    /// Returns `true` if `pc` falls inside this routine.
+    pub fn contains(&self, pc: Addr) -> bool {
+        pc >= self.addr && pc < self.end()
+    }
+}
+
+/// A symbol table: routines sorted by entry address.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+}
+
+impl SymbolTable {
+    /// Builds a table from symbols, sorting them by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two symbols overlap; the compiler never produces
+    /// overlapping routines.
+    pub fn new(mut symbols: Vec<Symbol>) -> Self {
+        symbols.sort_by_key(|s| s.addr);
+        for pair in symbols.windows(2) {
+            assert!(
+                pair[0].end() <= pair[1].addr,
+                "overlapping symbols {} and {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        SymbolTable { symbols }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` when the table has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.index()]
+    }
+
+    /// Looks a symbol up by name.
+    pub fn by_name(&self, name: &str) -> Option<(SymbolId, &Symbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == name)
+            .map(|(i, s)| (SymbolId::new(i as u32), s))
+    }
+
+    /// Finds the routine containing `pc`, if any.
+    ///
+    /// This is the mapping used to attribute histogram samples and resolve
+    /// arc endpoints; it is a binary search over the sorted address ranges.
+    pub fn lookup_pc(&self, pc: Addr) -> Option<(SymbolId, &Symbol)> {
+        if self.symbols.is_empty() {
+            return None;
+        }
+        let idx = match self.symbols.binary_search_by(|s| s.addr.cmp(&pc)) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let sym = &self.symbols[idx];
+        sym.contains(pc).then_some((SymbolId::new(idx as u32), sym))
+    }
+
+    /// Iterates over `(id, symbol)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId::new(i as u32), s))
+    }
+}
+
+/// A loaded executable: text segment, symbol table, and entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executable {
+    base: Addr,
+    text: Vec<u8>,
+    symbols: SymbolTable,
+    entry: Addr,
+}
+
+impl Executable {
+    /// Assembles an executable from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry point lies outside the text segment.
+    pub fn new(base: Addr, text: Vec<u8>, symbols: SymbolTable, entry: Addr) -> Self {
+        assert!(
+            entry >= base && entry.checked_sub(base).map(|o| (o as usize) < text.len()).unwrap_or(false),
+            "entry point {entry} outside text segment"
+        );
+        Executable { base, text, symbols, entry }
+    }
+
+    /// First address of the text segment.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// One past the last text address.
+    pub fn end(&self) -> Addr {
+        self.base.offset(self.text.len() as u32)
+    }
+
+    /// The raw text segment bytes.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The entry point address.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// Returns `true` if `pc` lies within the text segment.
+    pub fn contains(&self, pc: Addr) -> bool {
+        pc >= self.base && pc < self.end()
+    }
+
+    /// Decodes the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if `pc` is outside the text segment or the
+    /// bytes there do not form a valid instruction.
+    pub fn decode(&self, pc: Addr) -> Result<(Instruction, u32), DecodeError> {
+        let offset = pc
+            .checked_sub(self.base)
+            .filter(|&o| (o as usize) < self.text.len())
+            .ok_or(DecodeError::Truncated { offset: self.text.len() })?;
+        decode_at(&self.text, offset as usize)
+    }
+
+    /// Linearly disassembles one routine from its entry address, stopping at
+    /// the routine's end.
+    ///
+    /// This is the primitive used by static call graph discovery: starting
+    /// from symbol boundaries guarantees correct instruction alignment, just
+    /// as gprof's crawl of object text relies on the symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed text.
+    pub fn disassemble_symbol(
+        &self,
+        id: SymbolId,
+    ) -> Result<Vec<(Addr, Instruction)>, DecodeError> {
+        let sym = self.symbols.symbol(id);
+        let mut pc = sym.addr();
+        let mut out = Vec::new();
+        while pc < sym.end() {
+            let (inst, len) = self.decode(pc)?;
+            out.push((pc, inst));
+            pc = pc.offset(len);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_into;
+
+    fn table() -> SymbolTable {
+        SymbolTable::new(vec![
+            Symbol::new("b", Addr::new(0x1010), 0x10, true),
+            Symbol::new("a", Addr::new(0x1000), 0x10, true),
+            Symbol::new("c", Addr::new(0x1020), 0x08, false),
+        ])
+    }
+
+    #[test]
+    fn symbols_are_sorted_by_address() {
+        let t = table();
+        let names: Vec<_> = t.iter().map(|(_, s)| s.name().to_string()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lookup_pc_finds_containing_routine() {
+        let t = table();
+        assert_eq!(t.lookup_pc(Addr::new(0x1000)).unwrap().1.name(), "a");
+        assert_eq!(t.lookup_pc(Addr::new(0x100f)).unwrap().1.name(), "a");
+        assert_eq!(t.lookup_pc(Addr::new(0x1010)).unwrap().1.name(), "b");
+        assert_eq!(t.lookup_pc(Addr::new(0x1027)).unwrap().1.name(), "c");
+    }
+
+    #[test]
+    fn lookup_pc_misses_outside_ranges() {
+        let t = table();
+        assert!(t.lookup_pc(Addr::new(0x0fff)).is_none());
+        assert!(t.lookup_pc(Addr::new(0x1028)).is_none());
+        assert!(SymbolTable::default().lookup_pc(Addr::new(0x1000)).is_none());
+    }
+
+    #[test]
+    fn by_name_returns_matching_id() {
+        let t = table();
+        let (id, sym) = t.by_name("b").unwrap();
+        assert_eq!(t.symbol(id).name(), "b");
+        assert_eq!(sym.addr(), Addr::new(0x1010));
+        assert!(t.by_name("zzz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping symbols")]
+    fn overlapping_symbols_panic() {
+        SymbolTable::new(vec![
+            Symbol::new("a", Addr::new(0x1000), 0x20, true),
+            Symbol::new("b", Addr::new(0x1010), 0x10, true),
+        ]);
+    }
+
+    #[test]
+    fn executable_decode_and_bounds() {
+        let mut text = Vec::new();
+        encode_into(Instruction::Work(5), &mut text);
+        encode_into(Instruction::Halt, &mut text);
+        let size = text.len() as u32;
+        let symbols =
+            SymbolTable::new(vec![Symbol::new("main", Addr::new(0x1000), size, true)]);
+        let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
+        assert!(exe.contains(Addr::new(0x1000)));
+        assert!(!exe.contains(exe.end()));
+        let (inst, len) = exe.decode(Addr::new(0x1000)).unwrap();
+        assert_eq!(inst, Instruction::Work(5));
+        assert_eq!(len, 5);
+        assert!(exe.decode(Addr::new(0x0)).is_err());
+    }
+
+    #[test]
+    fn disassemble_symbol_walks_whole_routine() {
+        let mut text = Vec::new();
+        encode_into(Instruction::Work(1), &mut text);
+        encode_into(Instruction::Call(Addr::new(0x1000)), &mut text);
+        encode_into(Instruction::Ret, &mut text);
+        let size = text.len() as u32;
+        let symbols =
+            SymbolTable::new(vec![Symbol::new("f", Addr::new(0x1000), size, true)]);
+        let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
+        let insts = exe.disassemble_symbol(SymbolId::new(0)).unwrap();
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[0].0, Addr::new(0x1000));
+        assert_eq!(insts[1].1, Instruction::Call(Addr::new(0x1000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry point")]
+    fn entry_outside_text_panics() {
+        let symbols = SymbolTable::default();
+        Executable::new(Addr::new(0x1000), vec![0x0c], symbols, Addr::new(0x2000));
+    }
+}

@@ -1,0 +1,1067 @@
+//! The cycle-accurate interpreter with profiling hooks.
+//!
+//! The interpreter reproduces the two measurement channels of §3:
+//!
+//! * **Execution counts / arcs** — executing an [`Instruction::Mcount`]
+//!   prologue invokes [`ProfilingHooks::on_mcount`] with exactly the two
+//!   addresses the paper's monitoring routine discovers "in a
+//!   machine-dependent fashion": the caller's return address (the call
+//!   site) and the entry address of the routine whose prologue is running
+//!   (the callee). If the call stack is empty the caller address is the
+//!   null address — the "spontaneous" case. The hook returns the number of
+//!   cycles the monitoring routine took, and the interpreter charges them
+//!   to the clock *inside the callee's prologue*, so profiling overhead
+//!   perturbs the measured program the same way it did in 1982.
+//!
+//! * **Execution times** — when `cycles_per_tick` is nonzero, every clock
+//!   tick delivers the current program counter to
+//!   [`ProfilingHooks::on_tick`], which the monitor uses to maintain the PC
+//!   histogram. Sampling costs nothing here, matching the paper's
+//!   observation that the kernel's histogram increment "had an almost
+//!   negligible overhead".
+//!
+//! Independently of the hooks, the interpreter keeps exact ground-truth
+//! accounting (see [`GroundTruth`]) for scoring the profiler's estimates.
+
+use crate::cost::CostModel;
+use crate::error::InterpError;
+use crate::image::{Executable, SymbolId};
+use crate::isa::{Addr, Instruction, NUM_COUNTERS, NUM_REGS, NUM_SLOTS};
+use crate::truth::{ArcTruth, GroundTruth, RoutineTruth};
+
+use std::collections::HashMap;
+
+/// Receiver of the machine's profiling events.
+///
+/// The default implementations ignore every event and charge no cycles, so
+/// an uninstrumented run can pass [`NoHooks`].
+pub trait ProfilingHooks {
+    /// The gprof monitoring routine: called from a profiled routine's
+    /// prologue with the caller's return address (`from_pc`; null when the
+    /// activation is spontaneous) and the callee's entry address
+    /// (`self_pc`). Returns the cycle cost to charge to the clock.
+    fn on_mcount(&mut self, from_pc: Addr, self_pc: Addr) -> u64 {
+        let _ = (from_pc, self_pc);
+        0
+    }
+
+    /// The prof(1)-style counter bump for the routine entered at `self_pc`.
+    /// Returns the cycle cost to charge to the clock.
+    fn on_count_call(&mut self, self_pc: Addr) -> u64 {
+        let _ = self_pc;
+        0
+    }
+
+    /// `ticks` clock ticks elapsed while the program counter was at `pc`.
+    fn on_tick(&mut self, pc: Addr, ticks: u64) {
+        let _ = (pc, ticks);
+    }
+
+    /// Whether the sampler wants complete call stacks at every tick.
+    ///
+    /// The retrospective: "Modern profilers solve both these problems by
+    /// periodically gathering not just isolated program counter samples
+    /// and isolated call graph arcs, but complete call stacks. [...]
+    /// Gathering complete call stacks depends on being able to find the
+    /// return addresses all the way up the stack" — which this machine's
+    /// frame layout provides, as the debugging convention did in 1982.
+    /// Stack delivery costs the interpreter a buffer walk per tick, so it
+    /// is opt-in.
+    fn wants_stack_samples(&self) -> bool {
+        false
+    }
+
+    /// A complete stack sample: `stack[0]` is the current program
+    /// counter, followed by the return addresses of every live frame from
+    /// innermost to outermost. Only delivered when
+    /// [`ProfilingHooks::wants_stack_samples`] returns `true`.
+    fn on_stack_sample(&mut self, stack: &[Addr], ticks: u64) {
+        let _ = (stack, ticks);
+    }
+}
+
+/// Hooks that ignore everything: a plain, unprofiled run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl ProfilingHooks for NoHooks {}
+
+/// Configuration of a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Cycles between clock ticks; `0` disables sampling. The paper's
+    /// environment ticked at 1/60 s — the profiler chooses a value and
+    /// records it in the profile file so times can be converted to seconds.
+    pub cycles_per_tick: u64,
+    /// Maximum call stack depth before [`InterpError::StackOverflow`].
+    pub max_call_depth: usize,
+    /// Per-instruction cycle costs.
+    pub cost: CostModel,
+    /// Whether to collect exact ground-truth accounting (small constant
+    /// overhead per call; disable for the largest benchmark runs).
+    pub collect_ground_truth: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cycles_per_tick: 0,
+            max_call_depth: 1 << 16,
+            cost: CostModel::classic(),
+            collect_ground_truth: true,
+        }
+    }
+}
+
+/// Summary of a completed [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Whether the program halted (always `true` for `run`).
+    pub halted: bool,
+    /// Final clock value in cycles.
+    pub clock: u64,
+    /// Number of instructions executed.
+    pub instructions: u64,
+}
+
+/// Result of a bounded [`Machine::run_for`] slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The program halted within the slice.
+    Halted,
+    /// The cycle budget was exhausted; the machine can be resumed.
+    Paused,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    return_pc: Addr,
+    /// Symbol we return into (caller's routine) for self-time accounting.
+    caller_sym: Option<SymbolId>,
+    /// Symbol entered by the call, for on-stack accounting.
+    callee_sym: Option<SymbolId>,
+    /// Ground-truth arc key `(from_pc, callee_entry)`.
+    arc_key: Option<(Addr, Addr)>,
+    enter_clock: u64,
+    /// The caller's register file, restored on return (registers are
+    /// caller-saved by the hardware so callee loops never disturb them).
+    saved_regs: [u32; NUM_REGS],
+}
+
+#[derive(Debug, Clone, Default)]
+struct TruthCollector {
+    calls: Vec<u64>,
+    self_cycles: Vec<u64>,
+    total_cycles: Vec<u64>,
+    on_stack: Vec<u32>,
+    first_enter: Vec<u64>,
+    arcs: HashMap<(Addr, Addr), (u64, u64)>,
+}
+
+impl TruthCollector {
+    fn new(n: usize) -> Self {
+        TruthCollector {
+            calls: vec![0; n],
+            self_cycles: vec![0; n],
+            total_cycles: vec![0; n],
+            on_stack: vec![0; n],
+            first_enter: vec![0; n],
+            arcs: HashMap::new(),
+        }
+    }
+
+    fn enter(&mut self, sym: SymbolId, clock: u64) {
+        let i = sym.index();
+        self.calls[i] += 1;
+        if self.on_stack[i] == 0 {
+            self.first_enter[i] = clock;
+        }
+        self.on_stack[i] += 1;
+    }
+
+    fn exit(&mut self, sym: SymbolId, clock: u64) {
+        let i = sym.index();
+        debug_assert!(self.on_stack[i] > 0, "unbalanced routine exit");
+        self.on_stack[i] -= 1;
+        if self.on_stack[i] == 0 {
+            self.total_cycles[i] += clock - self.first_enter[i];
+        }
+    }
+}
+
+/// The virtual machine: a loaded executable plus execution state.
+///
+/// ```
+/// use graphprof_machine::{CompileOptions, Machine, NoHooks, Program};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Program::builder();
+/// b.routine("main", |r| r.call_n("leaf", 3));
+/// b.routine("leaf", |r| r.work(100));
+/// let exe = b.build()?.compile(&CompileOptions::default())?;
+/// let mut machine = Machine::new(exe);
+/// let summary = machine.run(&mut NoHooks)?;
+/// assert!(summary.halted);
+/// // The machine keeps exact ground truth alongside execution.
+/// let truth = machine.ground_truth().expect("enabled by default");
+/// assert_eq!(truth.routine("leaf").unwrap().calls, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    exe: Executable,
+    config: MachineConfig,
+    pc: Addr,
+    regs: [u32; NUM_REGS],
+    counters: [u32; NUM_COUNTERS],
+    slots: [u32; NUM_SLOTS],
+    stack: Vec<Frame>,
+    clock: u64,
+    instructions: u64,
+    halted: bool,
+    cur_sym: Option<SymbolId>,
+    truth: Option<TruthCollector>,
+    /// Scratch buffer for stack-sample delivery.
+    stack_scratch: Vec<Addr>,
+}
+
+impl Machine {
+    /// Loads an executable with the default configuration.
+    pub fn new(exe: Executable) -> Self {
+        Machine::with_config(exe, MachineConfig::default())
+    }
+
+    /// Loads an executable with an explicit configuration.
+    pub fn with_config(exe: Executable, config: MachineConfig) -> Self {
+        let truth = config
+            .collect_ground_truth
+            .then(|| TruthCollector::new(exe.symbols().len()));
+        let entry = exe.entry();
+        let cur_sym = exe.symbols().lookup_pc(entry).map(|(id, _)| id);
+        let mut machine = Machine {
+            exe,
+            config,
+            pc: entry,
+            regs: [0; NUM_REGS],
+            counters: [0; NUM_COUNTERS],
+            slots: [0; NUM_SLOTS],
+            stack: Vec::new(),
+            clock: 0,
+            instructions: 0,
+            halted: false,
+            cur_sym,
+            truth,
+            stack_scratch: Vec::new(),
+        };
+        // The entry routine's activation is spontaneous: count it as one
+        // call entered at clock zero.
+        if let (Some(t), Some(sym)) = (machine.truth.as_mut(), cur_sym) {
+            t.enter(sym, 0);
+        }
+        machine
+    }
+
+    /// The loaded executable.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current clock in cycles.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Whether the machine has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current call stack depth.
+    pub fn call_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Runs the program until it halts.
+    ///
+    /// Does not return if the program never halts; use [`Machine::run_for`]
+    /// to bound execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on a run-time fault or if the machine had
+    /// already halted.
+    pub fn run<H: ProfilingHooks>(&mut self, hooks: &mut H) -> Result<RunSummary, InterpError> {
+        if self.halted {
+            return Err(InterpError::AlreadyHalted);
+        }
+        while !self.halted {
+            self.step(hooks)?;
+        }
+        Ok(RunSummary { halted: true, clock: self.clock, instructions: self.instructions })
+    }
+
+    /// Runs for at most `cycles` additional cycles, then pauses.
+    ///
+    /// This is the primitive beneath the kernel-profiling control interface:
+    /// a long-running system is executed in slices, and the profiler can be
+    /// switched on and off or have its data extracted between slices.
+    /// A multi-cycle instruction is never split, so the slice may overshoot
+    /// by the length of one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on a run-time fault or if the machine had
+    /// already halted.
+    pub fn run_for<H: ProfilingHooks>(
+        &mut self,
+        hooks: &mut H,
+        cycles: u64,
+    ) -> Result<RunStatus, InterpError> {
+        if self.halted {
+            return Err(InterpError::AlreadyHalted);
+        }
+        let deadline = self.clock.saturating_add(cycles);
+        while !self.halted && self.clock < deadline {
+            self.step(hooks)?;
+        }
+        Ok(if self.halted { RunStatus::Halted } else { RunStatus::Paused })
+    }
+
+    /// Takes an exact accounting snapshot, closing open call frames at the
+    /// current clock.
+    ///
+    /// Returns `None` when ground-truth collection is disabled.
+    pub fn ground_truth(&self) -> Option<GroundTruth> {
+        let t = self.truth.as_ref()?;
+        let mut total = t.total_cycles.clone();
+        let mut first = t.first_enter.clone();
+        let mut on = t.on_stack.clone();
+        // Close out every routine still on the stack.
+        for (i, &count) in on.iter().enumerate() {
+            if count > 0 {
+                total[i] += self.clock - first[i];
+                first[i] = self.clock;
+            }
+        }
+        on.iter_mut().for_each(|c| *c = 0);
+        let routines = self
+            .exe
+            .symbols()
+            .iter()
+            .map(|(id, sym)| RoutineTruth {
+                name: sym.name().to_string(),
+                entry: sym.addr(),
+                calls: t.calls[id.index()],
+                self_cycles: t.self_cycles[id.index()],
+                total_cycles: total[id.index()],
+            })
+            .collect();
+        let mut arcs: HashMap<(Addr, Addr), (u64, u64)> = t.arcs.clone();
+        // Close out arcs with open frames.
+        for frame in &self.stack {
+            if let Some(key) = frame.arc_key {
+                let entry = arcs.entry(key).or_insert((0, 0));
+                entry.1 += self.clock - frame.enter_clock;
+            }
+        }
+        let arcs = arcs
+            .into_iter()
+            .map(|((from_pc, callee), (count, cycles_under))| ArcTruth {
+                from_pc,
+                callee,
+                count,
+                cycles_under,
+            })
+            .collect();
+        Some(GroundTruth::new(routines, arcs, self.clock))
+    }
+
+    /// Consumes `n` cycles with the program counter at `at_pc`, delivering
+    /// any clock ticks that elapse to the sampler hook.
+    fn consume<H: ProfilingHooks>(&mut self, hooks: &mut H, n: u64, at_pc: Addr) {
+        if n == 0 {
+            return;
+        }
+        let t = self.config.cycles_per_tick;
+        // (clippy suggests checked_div; the explicit `t > 0` test reads as
+        // "sampling enabled", which is the actual meaning of t == 0.)
+        #[allow(clippy::manual_checked_ops)]
+        if t > 0 {
+            let before = self.clock / t;
+            let after = (self.clock + n) / t;
+            if after > before {
+                let ticks = after - before;
+                hooks.on_tick(at_pc, ticks);
+                if hooks.wants_stack_samples() {
+                    self.stack_scratch.clear();
+                    self.stack_scratch.push(at_pc);
+                    self.stack_scratch
+                        .extend(self.stack.iter().rev().map(|f| f.return_pc));
+                    hooks.on_stack_sample(&self.stack_scratch, ticks);
+                }
+            }
+        }
+        self.clock += n;
+        if let (Some(truth), Some(sym)) = (self.truth.as_mut(), self.cur_sym) {
+            truth.self_cycles[sym.index()] += n;
+        }
+    }
+
+    fn jump(&mut self, from: Addr, target: Addr) -> Result<(), InterpError> {
+        if !self.exe.contains(target) {
+            return Err(InterpError::BadJump { pc: from, target });
+        }
+        self.pc = target;
+        self.cur_sym = self.exe.symbols().lookup_pc(target).map(|(id, _)| id);
+        Ok(())
+    }
+
+    fn do_call<H: ProfilingHooks>(
+        &mut self,
+        hooks: &mut H,
+        target: Addr,
+        return_pc: Addr,
+        cost: u64,
+        at_pc: Addr,
+    ) -> Result<(), InterpError> {
+        if self.stack.len() >= self.config.max_call_depth {
+            return Err(InterpError::StackOverflow { pc: at_pc, limit: self.config.max_call_depth });
+        }
+        // The call's own cost is charged in the caller, before transfer.
+        self.consume(hooks, cost, at_pc);
+        let caller_sym = self.cur_sym;
+        if !self.exe.contains(target) {
+            return Err(InterpError::BadJump { pc: at_pc, target });
+        }
+        let callee_sym = self.exe.symbols().lookup_pc(target).map(|(id, _)| id);
+        let arc_key = self.truth.is_some().then_some((return_pc, target));
+        if let Some(truth) = self.truth.as_mut() {
+            truth.arcs.entry((return_pc, target)).or_insert((0, 0)).0 += 1;
+            if let Some(sym) = callee_sym {
+                truth.enter(sym, self.clock);
+            }
+        }
+        self.stack.push(Frame {
+            return_pc,
+            caller_sym,
+            callee_sym,
+            arc_key,
+            enter_clock: self.clock,
+            saved_regs: self.regs,
+        });
+        self.regs = [0; NUM_REGS];
+        self.pc = target;
+        self.cur_sym = callee_sym;
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    fn step<H: ProfilingHooks>(&mut self, hooks: &mut H) -> Result<(), InterpError> {
+        let pc = self.pc;
+        let (inst, len) = self.exe.decode(pc)?;
+        self.instructions += 1;
+        let cost = self.config.cost;
+        match inst {
+            Instruction::Work(n) => {
+                self.consume(hooks, u64::from(n), pc);
+                self.pc = pc.offset(len);
+            }
+            Instruction::Call(target) => {
+                self.do_call(hooks, target, pc.offset(len), cost.call, pc)?;
+            }
+            Instruction::CallIndirect(slot) => {
+                let raw = self.slots[usize::from(slot)];
+                if raw == 0 {
+                    return Err(InterpError::NullSlot { pc, slot });
+                }
+                self.do_call(hooks, Addr::new(raw), pc.offset(len), cost.call_indirect, pc)?;
+            }
+            Instruction::SetSlot(slot, addr) => {
+                self.consume(hooks, cost.set, pc);
+                self.slots[usize::from(slot)] = addr.get();
+                self.pc = pc.offset(len);
+            }
+            Instruction::Ret => {
+                self.consume(hooks, cost.ret, pc);
+                match self.stack.pop() {
+                    Some(frame) => {
+                        if let Some(truth) = self.truth.as_mut() {
+                            if let Some(key) = frame.arc_key {
+                                let e = truth.arcs.entry(key).or_insert((0, 0));
+                                e.1 += self.clock - frame.enter_clock;
+                            }
+                            if let Some(sym) = frame.callee_sym {
+                                truth.exit(sym, self.clock);
+                            }
+                        }
+                        self.pc = frame.return_pc;
+                        self.cur_sym = frame.caller_sym;
+                        self.regs = frame.saved_regs;
+                    }
+                    None => {
+                        // The entry routine returned to the "operating
+                        // system": a clean halt.
+                        self.finish_entry();
+                        self.halted = true;
+                    }
+                }
+            }
+            Instruction::SetReg(reg, val) => {
+                self.consume(hooks, cost.set, pc);
+                self.regs[usize::from(reg)] = val;
+                self.pc = pc.offset(len);
+            }
+            Instruction::DecJnz(reg, target) => {
+                self.consume(hooks, cost.branch, pc);
+                let r = &mut self.regs[usize::from(reg)];
+                if *r > 0 {
+                    *r -= 1;
+                    if *r > 0 {
+                        self.jump(pc, target)?;
+                        return Ok(());
+                    }
+                }
+                self.pc = pc.offset(len);
+            }
+            Instruction::SetCtr(ctr, val) => {
+                self.consume(hooks, cost.set, pc);
+                self.counters[usize::from(ctr)] = val;
+                self.pc = pc.offset(len);
+            }
+            Instruction::DecCtrJnz(ctr, target) => {
+                self.consume(hooks, cost.branch, pc);
+                let c = &mut self.counters[usize::from(ctr)];
+                if *c > 0 {
+                    *c -= 1;
+                    if *c > 0 {
+                        self.jump(pc, target)?;
+                        return Ok(());
+                    }
+                }
+                self.pc = pc.offset(len);
+            }
+            Instruction::Jmp(target) => {
+                self.consume(hooks, cost.branch, pc);
+                self.jump(pc, target)?;
+            }
+            Instruction::Mcount => {
+                let from_pc = self.stack.last().map(|f| f.return_pc).unwrap_or(Addr::NULL);
+                let self_pc = self
+                    .exe
+                    .symbols()
+                    .lookup_pc(pc)
+                    .map(|(_, sym)| sym.addr())
+                    .unwrap_or(pc);
+                let monitor_cost = hooks.on_mcount(from_pc, self_pc);
+                self.consume(hooks, monitor_cost, pc);
+                self.pc = pc.offset(len);
+            }
+            Instruction::CountCall => {
+                let self_pc = self
+                    .exe
+                    .symbols()
+                    .lookup_pc(pc)
+                    .map(|(_, sym)| sym.addr())
+                    .unwrap_or(pc);
+                let monitor_cost = hooks.on_count_call(self_pc);
+                self.consume(hooks, monitor_cost, pc);
+                self.pc = pc.offset(len);
+            }
+            Instruction::Nop => {
+                self.consume(hooks, cost.nop, pc);
+                self.pc = pc.offset(len);
+            }
+            Instruction::Halt => {
+                self.finish_entry();
+                self.halted = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the spontaneous entry activation in the ground truth when the
+    /// machine halts cleanly via the entry routine's return. (Frames still
+    /// open at a `halt` are closed by the `ground_truth` snapshot instead,
+    /// since `halt` can fire at any depth.)
+    fn finish_entry(&mut self) {
+        if !self.stack.is_empty() {
+            return;
+        }
+        let entry_sym = self.exe.symbols().lookup_pc(self.exe.entry()).map(|(id, _)| id);
+        if let (Some(truth), Some(sym)) = (self.truth.as_mut(), entry_sym) {
+            if truth.on_stack[sym.index()] > 0 {
+                let clock = self.clock;
+                truth.exit(sym, clock);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CompileOptions, Program};
+
+    fn compile(f: impl FnOnce(&mut crate::ProgramBuilder)) -> Executable {
+        let mut b = Program::builder();
+        f(&mut b);
+        b.build().unwrap().compile(&CompileOptions::default()).unwrap()
+    }
+
+    fn compile_profiled(f: impl FnOnce(&mut crate::ProgramBuilder)) -> Executable {
+        let mut b = Program::builder();
+        f(&mut b);
+        b.build().unwrap().compile(&CompileOptions::profiled()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_program_clock() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(100));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        // work(100) + ret(4)
+        assert_eq!(summary.clock, 104);
+        assert!(summary.halted);
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn run_after_halt_is_an_error() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(1));
+        });
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.run(&mut NoHooks).unwrap_err(), InterpError::AlreadyHalted);
+    }
+
+    #[test]
+    fn calls_transfer_and_return() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("leaf").work(10));
+            b.routine("leaf", |r| r.work(50));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        // call(4) + work(50) + ret(4) + work(10) + ret(4)
+        assert_eq!(summary.clock, 72);
+    }
+
+    #[test]
+    fn loop_executes_body_count_times() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.loop_n(7, |l| l.call("leaf")));
+            b.routine("leaf", |r| r.work(1));
+        });
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        assert_eq!(t.routine("leaf").unwrap().calls, 7);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.loop_n(3, |o| o.loop_n(4, |i| i.call("leaf"))));
+            b.routine("leaf", |r| r.work(1));
+        });
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.ground_truth().unwrap().routine("leaf").unwrap().calls, 12);
+    }
+
+    #[test]
+    fn indirect_call_through_slot() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.set_slot(1, "f").call_indirect(1));
+            b.routine("f", |r| r.work(5));
+        });
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.ground_truth().unwrap().routine("f").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn unset_slot_faults() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call_indirect(3));
+        });
+        let mut m = Machine::new(exe);
+        assert!(matches!(
+            m.run(&mut NoHooks).unwrap_err(),
+            InterpError::NullSlot { slot: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn deep_recursion_overflows() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("main"));
+        });
+        let config = MachineConfig { max_call_depth: 10, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        assert!(matches!(
+            m.run(&mut NoHooks).unwrap_err(),
+            InterpError::StackOverflow { limit: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn ground_truth_self_and_total() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(10).call("mid"));
+            b.routine("mid", |r| r.work(20).call("leaf"));
+            b.routine("leaf", |r| r.work(30));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        // Every cycle is attributed to some routine.
+        assert_eq!(t.total_self_cycles(), summary.clock);
+        let main = t.routine("main").unwrap();
+        let mid = t.routine("mid").unwrap();
+        let leaf = t.routine("leaf").unwrap();
+        assert_eq!(main.total_cycles, summary.clock);
+        assert!(mid.total_cycles > leaf.total_cycles);
+        assert_eq!(leaf.self_cycles, leaf.total_cycles);
+        assert_eq!(main.calls, 1);
+        assert!(main.self_cycles >= 10);
+    }
+
+    #[test]
+    fn recursion_does_not_double_count_inclusive_time() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("rec"));
+            // rec: work, then self-call bounded by depth via loop? The ISA
+            // has no conditionals, so build bounded recursion with a chain.
+            b.routine("rec", |r| r.work(10).call("rec2"));
+            b.routine("rec2", |r| r.work(10).call("rec3"));
+            b.routine("rec3", |r| r.work(10));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        assert!(t.routine("rec").unwrap().total_cycles <= summary.clock);
+    }
+
+    #[test]
+    fn self_recursive_inclusive_counts_once() {
+        // main calls rec twice; rec calls itself via a two-deep chain
+        // emulated by direct self-call with stack bound.
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("rec"));
+            b.routine("rec", |r| r.work(10).call("leaf"));
+            b.routine("leaf", |r| r.work(5).call("rec_inner"));
+            b.routine("rec_inner", |r| r.work(1));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        let rec = t.routine("rec").unwrap();
+        assert!(rec.total_cycles < summary.clock);
+        assert!(rec.total_cycles >= 16);
+    }
+
+    #[test]
+    fn call_while_bounds_mutual_recursion() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.set_counter(7, 6).call("ping"));
+            b.routine("ping", |r| r.work(10).call_while(7, "pong"));
+            b.routine("pong", |r| r.work(20).call_while(7, "ping"));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        assert!(summary.halted);
+        let t = m.ground_truth().unwrap();
+        // Counter 6 admits five conditional calls: pong,ping,pong,ping,pong.
+        assert_eq!(t.routine("ping").unwrap().calls, 3); // 1 from main + 2
+        assert_eq!(t.routine("pong").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn call_while_with_zero_counter_never_calls() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call_while(6, "leaf").work(5));
+            b.routine("leaf", |r| r.work(100));
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        assert_eq!(t.routine("leaf").unwrap().calls, 0);
+        assert!(summary.clock < 50);
+    }
+
+    #[test]
+    fn call_while_self_recursion_terminates() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.set_counter(5, 4).call("rec"));
+            b.routine("rec", |r| r.work(10).call_while(5, "rec"));
+        });
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        // 1 call from main + 3 self-recursive calls (counter 4).
+        assert_eq!(t.routine("rec").unwrap().calls, 4);
+        assert!(t.routine("rec").unwrap().self_cycles >= 40);
+    }
+
+    #[test]
+    fn mcount_hook_sees_caller_and_callee() {
+        #[derive(Default)]
+        struct Recorder {
+            events: Vec<(Addr, Addr)>,
+        }
+        impl ProfilingHooks for Recorder {
+            fn on_mcount(&mut self, from: Addr, callee: Addr) -> u64 {
+                self.events.push((from, callee));
+                7
+            }
+        }
+        let exe = compile_profiled(|b| {
+            b.routine("main", |r| r.call("leaf").call("leaf"));
+            b.routine("leaf", |r| r.work(1));
+        });
+        let leaf_addr = exe.symbols().by_name("leaf").unwrap().1.addr();
+        let main_addr = exe.symbols().by_name("main").unwrap().1.addr();
+        let mut hooks = Recorder::default();
+        let mut m = Machine::new(exe);
+        m.run(&mut hooks).unwrap();
+        // First event: main's own prologue with a spontaneous caller.
+        assert_eq!(hooks.events[0], (Addr::NULL, main_addr));
+        // Then two activations of leaf from two different call sites.
+        assert_eq!(hooks.events.len(), 3);
+        assert_eq!(hooks.events[1].1, leaf_addr);
+        assert_eq!(hooks.events[2].1, leaf_addr);
+        assert!(!hooks.events[1].0.is_null());
+        assert_ne!(hooks.events[1].0, hooks.events[2].0, "distinct call sites");
+    }
+
+    #[test]
+    fn mcount_cost_is_charged_to_clock() {
+        struct FixedCost;
+        impl ProfilingHooks for FixedCost {
+            fn on_mcount(&mut self, _: Addr, _: Addr) -> u64 {
+                100
+            }
+        }
+        let exe_plain = compile(|b| {
+            b.routine("main", |r| r.work(10));
+        });
+        let exe_prof = compile_profiled(|b| {
+            b.routine("main", |r| r.work(10));
+        });
+        let mut plain = Machine::new(exe_plain);
+        let base = plain.run(&mut NoHooks).unwrap().clock;
+        let mut prof = Machine::new(exe_prof);
+        let with = prof.run(&mut FixedCost).unwrap().clock;
+        assert_eq!(with, base + 100);
+    }
+
+    #[test]
+    fn ticks_are_delivered_with_pc() {
+        #[derive(Default)]
+        struct Sampler {
+            samples: Vec<(Addr, u64)>,
+        }
+        impl ProfilingHooks for Sampler {
+            fn on_tick(&mut self, pc: Addr, ticks: u64) {
+                self.samples.push((pc, ticks));
+            }
+        }
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(1000));
+        });
+        let work_pc = exe.symbols().by_name("main").unwrap().1.addr();
+        let config = MachineConfig { cycles_per_tick: 100, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        let mut hooks = Sampler::default();
+        m.run(&mut hooks).unwrap();
+        let total: u64 = hooks.samples.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 10);
+        // All work happens at the single work instruction (= routine entry,
+        // since this is an unprofiled build).
+        assert!(hooks.samples.iter().all(|&(pc, _)| pc == work_pc));
+    }
+
+    #[test]
+    fn tick_count_matches_clock_over_long_run() {
+        #[derive(Default)]
+        struct Counter(u64);
+        impl ProfilingHooks for Counter {
+            fn on_tick(&mut self, _: Addr, ticks: u64) {
+                self.0 += ticks;
+            }
+        }
+        let exe = compile(|b| {
+            b.routine("main", |r| r.loop_n(100, |l| l.call("leaf").work(37)));
+            b.routine("leaf", |r| r.work(11));
+        });
+        let config = MachineConfig { cycles_per_tick: 13, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        let mut hooks = Counter::default();
+        let summary = m.run(&mut hooks).unwrap();
+        assert_eq!(hooks.0, summary.clock / 13);
+    }
+
+    #[test]
+    fn stack_samples_carry_the_whole_chain() {
+        #[derive(Default)]
+        struct StackSampler {
+            samples: Vec<Vec<Addr>>,
+        }
+        impl ProfilingHooks for StackSampler {
+            fn wants_stack_samples(&self) -> bool {
+                true
+            }
+            fn on_stack_sample(&mut self, stack: &[Addr], _ticks: u64) {
+                self.samples.push(stack.to_vec());
+            }
+        }
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("mid"));
+            b.routine("mid", |r| r.call("leaf"));
+            b.routine("leaf", |r| r.work(1000));
+        });
+        let symbols = exe.symbols().clone();
+        let config = MachineConfig { cycles_per_tick: 100, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        let mut hooks = StackSampler::default();
+        m.run(&mut hooks).unwrap();
+        assert!(!hooks.samples.is_empty());
+        // Samples taken inside leaf's work show the full chain:
+        // leaf pc, return into mid, return into main.
+        let deep: Vec<&Vec<Addr>> =
+            hooks.samples.iter().filter(|s| s.len() == 3).collect();
+        assert!(!deep.is_empty(), "{:?}", hooks.samples);
+        for stack in deep {
+            let names: Vec<&str> = stack
+                .iter()
+                .map(|&pc| symbols.lookup_pc(pc).unwrap().1.name())
+                .collect();
+            assert_eq!(names, ["leaf", "mid", "main"]);
+        }
+    }
+
+    #[test]
+    fn stack_samples_are_not_built_when_unwanted() {
+        // NoHooks leaves wants_stack_samples false; this is a smoke test
+        // that the default path still ticks correctly.
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(1000));
+        });
+        let config = MachineConfig { cycles_per_tick: 10, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.clock(), 1004);
+    }
+
+    #[test]
+    fn run_for_pauses_and_resumes() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.loop_n(100, |l| l.work(100)));
+        });
+        let mut m = Machine::new(exe);
+        let status = m.run_for(&mut NoHooks, 500).unwrap();
+        assert_eq!(status, RunStatus::Paused);
+        assert!(m.clock() >= 500);
+        assert!(!m.halted());
+        // Resume to completion.
+        let status = m.run_for(&mut NoHooks, u64::MAX).unwrap();
+        assert_eq!(status, RunStatus::Halted);
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn mid_run_ground_truth_is_consistent() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.loop_n(10, |l| l.call("leaf")));
+            b.routine("leaf", |r| r.work(1000));
+        });
+        let mut m = Machine::new(exe);
+        m.run_for(&mut NoHooks, 2500).unwrap();
+        let t = m.ground_truth().unwrap();
+        assert_eq!(t.total_self_cycles(), m.clock());
+        assert_eq!(t.routine("main").unwrap().total_cycles, m.clock());
+    }
+
+    #[test]
+    fn halt_instruction_stops_at_depth() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("stopper").work(1000));
+            b.routine("stopper", |r| r.work(10).halt());
+        });
+        let mut m = Machine::new(exe);
+        let summary = m.run(&mut NoHooks).unwrap();
+        assert!(summary.clock < 100);
+        let t = m.ground_truth().unwrap();
+        assert_eq!(t.routine("main").unwrap().total_cycles, m.clock());
+        assert_eq!(t.total_self_cycles(), m.clock());
+    }
+
+    #[test]
+    fn arc_truth_counts_and_cycles() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.call("leaf").call("leaf"));
+            b.routine("leaf", |r| r.work(25));
+        });
+        let leaf = exe.symbols().by_name("leaf").unwrap().1.addr();
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        let t = m.ground_truth().unwrap();
+        let (count, cycles) = t.arcs_into(leaf);
+        assert_eq!(count, 2);
+        // Each call spends work(25) + ret(4) beneath the arc.
+        assert_eq!(cycles, 2 * 29);
+        assert_eq!(t.arcs().len(), 2, "two distinct call sites");
+    }
+
+    #[test]
+    fn ground_truth_disabled_returns_none() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(1));
+        });
+        let config = MachineConfig { collect_ground_truth: false, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        m.run(&mut NoHooks).unwrap();
+        assert!(m.ground_truth().is_none());
+    }
+
+    #[test]
+    fn countcall_hook_fires_per_activation() {
+        #[derive(Default)]
+        struct Counter(std::collections::HashMap<Addr, u64>);
+        impl ProfilingHooks for Counter {
+            fn on_count_call(&mut self, self_pc: Addr) -> u64 {
+                *self.0.entry(self_pc).or_insert(0) += 1;
+                3
+            }
+        }
+        let mut b = Program::builder();
+        b.routine("main", |r| r.call_n("leaf", 5));
+        b.routine("leaf", |r| r.work(1));
+        let exe = b.build().unwrap().compile(&CompileOptions::counted()).unwrap();
+        let leaf = exe.symbols().by_name("leaf").unwrap().1.addr();
+        let mut hooks = Counter::default();
+        let mut m = Machine::new(exe);
+        m.run(&mut hooks).unwrap();
+        assert_eq!(hooks.0[&leaf], 5);
+    }
+}

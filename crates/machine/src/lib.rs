@@ -1,0 +1,76 @@
+//! A deterministic virtual machine substrate for the `graphprof` profiler.
+//!
+//! The 1982 gprof paper profiles programs running on a real processor under
+//! UNIX: the compiler inserts a call to a monitoring routine in every profiled
+//! routine's prologue, and the operating system histograms the program counter
+//! at every clock tick. This crate reproduces that *environment* so the
+//! profiler built on top of it has exactly the same contract — program
+//! counters, return addresses, a symbol table, and a clock — while remaining
+//! deterministic and portable.
+//!
+//! The pieces are:
+//!
+//! * an instruction set ([`Instruction`]) with a fixed byte encoding, so
+//!   programs have a real *text segment* that a static analyzer can crawl
+//!   for call instructions (as gprof does with object code);
+//! * a structured program [`builder`](ProgramBuilder) and a small textual
+//!   [assembly language](asm) for writing workloads;
+//! * a "compiler" pass ([`Program::compile`]) that lays routines out in
+//!   memory and, like `cc -pg`, optionally inserts profiling prologues;
+//! * an [`Executable`] image with a [`SymbolTable`];
+//! * a cycle-accurate interpreter ([`Machine`]) with profiling hooks
+//!   ([`ProfilingHooks`]) for the monitoring routine and the clock-tick
+//!   sampler, plus exact ground-truth accounting ([`GroundTruth`]) that the
+//!   experiments use to score the profiler's statistical estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use graphprof_machine::{Program, CompileOptions, Machine, NoHooks};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut program = Program::builder();
+//! program
+//!     .routine("main", |b| {
+//!         b.work(10).call("helper").call("helper")
+//!     })
+//!     .routine("helper", |b| b.work(50));
+//! let program = program.entry("main").build()?;
+//! let exe = program.compile(&CompileOptions::default())?;
+//! let mut machine = Machine::new(exe);
+//! let summary = machine.run(&mut NoHooks)?;
+//! assert!(summary.halted);
+//! assert!(summary.clock >= 110);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+mod cost;
+pub mod disasm;
+mod encode;
+mod error;
+mod image;
+mod interp;
+mod isa;
+pub mod objfile;
+mod program;
+mod truth;
+pub mod verify;
+
+pub use cost::CostModel;
+pub use disasm::disassemble;
+pub use encode::{decode_at, encode_into, encoded_len};
+pub use error::{AsmError, CompileError, DecodeError, InterpError};
+pub use objfile::{read_executable, write_executable, ObjFileError};
+pub use image::{Executable, Symbol, SymbolId, SymbolTable};
+pub use interp::{
+    Machine, MachineConfig, NoHooks, ProfilingHooks, RunStatus, RunSummary,
+};
+pub use isa::{Addr, Instruction, NUM_COUNTERS, NUM_REGS, NUM_SLOTS};
+pub use program::{
+    BodyBuilder, CompileOptions, Instrumentation, ProfileSelection, Program,
+    ProgramBuilder, Routine, Stmt,
+};
+pub use truth::{ArcTruth, GroundTruth, RoutineTruth};
+pub use verify::{verify_executable, VerifyIssue};

@@ -1,0 +1,167 @@
+//! Exact execution accounting ("ground truth").
+//!
+//! The machine knows things a real 1982 profiler could not afford to
+//! measure: the exact number of cycles spent in every routine, the exact
+//! inclusive time of every routine (cycles during which it was anywhere on
+//! the call stack, counted once), and the exact cycles spent beneath every
+//! individual call arc. gprof *estimates* these from a statistical PC
+//! histogram plus arc counts; the experiments score those estimates against
+//! this ground truth (sampling error, and the §4 "average time per call"
+//! assumption error).
+
+use crate::isa::Addr;
+
+/// Exact per-routine accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutineTruth {
+    /// Routine name from the symbol table.
+    pub name: String,
+    /// Routine entry address.
+    pub entry: Addr,
+    /// Number of times the routine was called (the entry routine counts
+    /// its spontaneous activation).
+    pub calls: u64,
+    /// Cycles spent executing the routine's own instructions, including
+    /// any instrumentation prologue cost charged inside it.
+    pub self_cycles: u64,
+    /// Cycles during which the routine was on the call stack at least once
+    /// (inclusive time; recursion is not double-counted).
+    pub total_cycles: u64,
+}
+
+/// Exact per-arc accounting, keyed the same way the monitoring routine keys
+/// arcs: by the caller's return address and the callee's entry address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcTruth {
+    /// Return address in the caller (identifies the call site).
+    pub from_pc: Addr,
+    /// Callee entry address.
+    pub callee: Addr,
+    /// Traversal count.
+    pub count: u64,
+    /// Cycles spent beneath this arc: from each call through its matching
+    /// return, including all descendants. For recursive arcs an outer call
+    /// includes its nested calls, by definition of "time under this call".
+    pub cycles_under: u64,
+}
+
+/// A snapshot of exact execution accounting.
+///
+/// Produced by [`Machine::ground_truth`](crate::Machine::ground_truth); open
+/// call frames are closed at the snapshot clock, so a snapshot taken mid-run
+/// is internally consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    routines: Vec<RoutineTruth>,
+    arcs: Vec<ArcTruth>,
+    clock: u64,
+}
+
+impl GroundTruth {
+    pub(crate) fn new(routines: Vec<RoutineTruth>, mut arcs: Vec<ArcTruth>, clock: u64) -> Self {
+        arcs.sort_by_key(|a| (a.from_pc, a.callee));
+        GroundTruth { routines, arcs, clock }
+    }
+
+    /// Per-routine truths, in symbol-table (address) order.
+    pub fn routines(&self) -> &[RoutineTruth] {
+        &self.routines
+    }
+
+    /// Per-arc truths, sorted by `(from_pc, callee)`.
+    pub fn arcs(&self) -> &[ArcTruth] {
+        &self.arcs
+    }
+
+    /// The machine clock at the time of the snapshot.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Looks up a routine's truth by name.
+    pub fn routine(&self, name: &str) -> Option<&RoutineTruth> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// Sums arc counts and cycles for all call sites targeting `callee`.
+    pub fn arcs_into(&self, callee: Addr) -> (u64, u64) {
+        self.arcs
+            .iter()
+            .filter(|a| a.callee == callee)
+            .fold((0, 0), |(c, cy), a| (c + a.count, cy + a.cycles_under))
+    }
+
+    /// Total self cycles across all routines; equals the snapshot clock when
+    /// every executed cycle fell inside a known symbol.
+    pub fn total_self_cycles(&self) -> u64 {
+        self.routines.iter().map(|r| r.self_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        GroundTruth::new(
+            vec![
+                RoutineTruth {
+                    name: "main".into(),
+                    entry: Addr::new(0x1000),
+                    calls: 1,
+                    self_cycles: 10,
+                    total_cycles: 100,
+                },
+                RoutineTruth {
+                    name: "leaf".into(),
+                    entry: Addr::new(0x1100),
+                    calls: 3,
+                    self_cycles: 90,
+                    total_cycles: 90,
+                },
+            ],
+            vec![
+                ArcTruth {
+                    from_pc: Addr::new(0x1010),
+                    callee: Addr::new(0x1100),
+                    count: 2,
+                    cycles_under: 60,
+                },
+                ArcTruth {
+                    from_pc: Addr::new(0x1005),
+                    callee: Addr::new(0x1100),
+                    count: 1,
+                    cycles_under: 30,
+                },
+            ],
+            100,
+        )
+    }
+
+    #[test]
+    fn arcs_are_sorted_by_site_then_callee() {
+        let t = sample();
+        assert_eq!(t.arcs()[0].from_pc, Addr::new(0x1005));
+        assert_eq!(t.arcs()[1].from_pc, Addr::new(0x1010));
+    }
+
+    #[test]
+    fn arcs_into_aggregates_sites() {
+        let t = sample();
+        assert_eq!(t.arcs_into(Addr::new(0x1100)), (3, 90));
+        assert_eq!(t.arcs_into(Addr::new(0x9999)), (0, 0));
+    }
+
+    #[test]
+    fn routine_lookup_by_name() {
+        let t = sample();
+        assert_eq!(t.routine("leaf").unwrap().calls, 3);
+        assert!(t.routine("ghost").is_none());
+    }
+
+    #[test]
+    fn total_self_cycles_matches_clock() {
+        let t = sample();
+        assert_eq!(t.total_self_cycles(), t.clock());
+    }
+}

@@ -1,0 +1,238 @@
+//! Executable verification: a linker-style sanity pass.
+//!
+//! The object-file reader validates *structure* (ranges, ordering, UTF-8);
+//! this pass validates *semantics*: every byte of text disassembles, every
+//! direct call and slot load targets a routine entry, every intra-routine
+//! branch stays inside its routine, and the entry point is a routine
+//! start. `gpx-as` runs it on everything it emits, and the profiler's
+//! static call graph discovery can assume verified inputs.
+
+use crate::encode::encoded_len;
+use crate::error::DecodeError;
+use crate::image::Executable;
+use crate::isa::{Addr, Instruction};
+
+/// A finding from [`verify_executable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyIssue {
+    /// The text failed to disassemble.
+    BadText(DecodeError),
+    /// A direct call or slot load targets something that is not a routine
+    /// entry point.
+    BadCallTarget {
+        /// Address of the offending instruction.
+        at: Addr,
+        /// The target that is not a routine entry.
+        target: Addr,
+    },
+    /// A branch (`jmp`/`decjnz`/`decctrjnz`) leaves its routine.
+    BranchEscapesRoutine {
+        /// Address of the offending instruction.
+        at: Addr,
+        /// The out-of-routine target.
+        target: Addr,
+    },
+    /// The entry point is not a routine entry.
+    BadEntry {
+        /// The executable's declared entry.
+        entry: Addr,
+    },
+    /// A routine is unreachable from the entry point through direct calls
+    /// (it may still be reached indirectly; this is a lint, not an error).
+    Unreachable {
+        /// The unreachable routine's name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for VerifyIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyIssue::BadText(e) => write!(f, "text does not disassemble: {e}"),
+            VerifyIssue::BadCallTarget { at, target } => {
+                write!(f, "call at {at} targets {target}, not a routine entry")
+            }
+            VerifyIssue::BranchEscapesRoutine { at, target } => {
+                write!(f, "branch at {at} leaves its routine (to {target})")
+            }
+            VerifyIssue::BadEntry { entry } => {
+                write!(f, "entry point {entry} is not a routine entry")
+            }
+            VerifyIssue::Unreachable { name } => {
+                write!(f, "routine `{name}` is unreachable by direct calls")
+            }
+        }
+    }
+}
+
+impl VerifyIssue {
+    /// Whether the issue is a hard error (as opposed to the reachability
+    /// lint).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, VerifyIssue::Unreachable { .. })
+    }
+}
+
+/// Verifies an executable, returning every issue found (empty = clean).
+///
+/// Unreachability is reported as a lint ([`VerifyIssue::is_error`] is
+/// `false`) because indirect calls and never-armed conditional calls are
+/// legitimate reasons for a routine to look unreachable statically — the
+/// same §2 blind spot the profiler itself has.
+pub fn verify_executable(exe: &Executable) -> Vec<VerifyIssue> {
+    let mut issues = Vec::new();
+    let symbols = exe.symbols();
+    let is_entry_point =
+        |addr: Addr| symbols.lookup_pc(addr).map(|(_, s)| s.addr() == addr).unwrap_or(false);
+
+    if !is_entry_point(exe.entry()) {
+        issues.push(VerifyIssue::BadEntry { entry: exe.entry() });
+    }
+
+    let mut callees_of: Vec<Vec<usize>> = vec![Vec::new(); symbols.len()];
+    for (id, sym) in symbols.iter() {
+        let insts = match exe.disassemble_symbol(id) {
+            Ok(insts) => insts,
+            Err(e) => {
+                issues.push(VerifyIssue::BadText(e));
+                continue;
+            }
+        };
+        for (addr, inst) in insts {
+            match inst {
+                Instruction::Call(target) | Instruction::SetSlot(_, target) => {
+                    match symbols.lookup_pc(target) {
+                        Some((callee_id, callee)) if callee.addr() == target => {
+                            callees_of[id.index()].push(callee_id.index());
+                        }
+                        _ => issues.push(VerifyIssue::BadCallTarget { at: addr, target }),
+                    }
+                }
+                Instruction::Jmp(target)
+                | Instruction::DecJnz(_, target)
+                | Instruction::DecCtrJnz(_, target) => {
+                    if !sym.contains(target) {
+                        issues.push(VerifyIssue::BranchEscapesRoutine { at: addr, target });
+                    }
+                }
+                _ => {
+                    let _ = encoded_len(inst);
+                }
+            }
+        }
+    }
+
+    // Reachability lint over direct calls from the entry routine.
+    if let Some((entry_id, _)) = symbols.lookup_pc(exe.entry()) {
+        let mut reachable = vec![false; symbols.len()];
+        let mut stack = vec![entry_id.index()];
+        reachable[entry_id.index()] = true;
+        while let Some(i) = stack.pop() {
+            for &j in &callees_of[i] {
+                if !std::mem::replace(&mut reachable[j], true) {
+                    stack.push(j);
+                }
+            }
+        }
+        for (id, sym) in symbols.iter() {
+            if !reachable[id.index()] {
+                issues.push(VerifyIssue::Unreachable { name: sym.name().to_string() });
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CompileOptions, Program};
+
+    fn compile(source: &str) -> Executable {
+        crate::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap()
+    }
+
+    #[test]
+    fn compiler_output_is_clean() {
+        let exe = compile(
+            "routine main { loop 3 { call a } setslot 0, b calli 0 }
+             routine a { work 5 callwhile 7, a }
+             routine b { work 5 }",
+        );
+        let issues = verify_executable(&exe);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn unreachable_routines_are_linted_not_errored() {
+        let exe = compile(
+            "routine main { work 5 }
+             routine island { work 5 }",
+        );
+        let issues = verify_executable(&exe);
+        assert_eq!(issues.len(), 1);
+        assert!(!issues[0].is_error());
+        assert!(matches!(&issues[0], VerifyIssue::Unreachable { name } if name == "island"));
+    }
+
+    #[test]
+    fn indirect_targets_count_as_reachable() {
+        let exe = compile(
+            "routine main { setslot 0, plugin calli 0 }
+             routine plugin { work 5 }",
+        );
+        // setslot names plugin, so the lint treats it as reachable.
+        assert!(verify_executable(&exe).is_empty());
+    }
+
+    #[test]
+    fn corrupted_call_target_is_an_error() {
+        let exe = compile(
+            "routine main { call a }
+             routine a { work 500 }",
+        );
+        // Patch the call's target to the middle of `a`.
+        let mut bytes = crate::objfile::write_executable(&exe);
+        let a = exe.symbols().by_name("a").unwrap().1.addr();
+        let mid = a.get() + 2;
+        // Find the call's 4-byte LE target within the text and overwrite.
+        let text_start = 20;
+        let text = &mut bytes[text_start..text_start + exe.text().len()];
+        let needle = a.get().to_le_bytes();
+        let pos = text
+            .windows(4)
+            .position(|w| w == needle)
+            .expect("call target in text");
+        text[pos..pos + 4].copy_from_slice(&mid.to_le_bytes());
+        let patched = crate::objfile::read_executable(&bytes).unwrap();
+        let issues = verify_executable(&patched);
+        assert!(
+            issues.iter().any(|i| matches!(i, VerifyIssue::BadCallTarget { .. })),
+            "{issues:?}"
+        );
+        assert!(issues.iter().any(VerifyIssue::is_error));
+    }
+
+    #[test]
+    fn corrupted_text_is_reported() {
+        use crate::image::{Symbol, SymbolTable};
+        let symbols =
+            SymbolTable::new(vec![Symbol::new("junk", Addr::new(0x1000), 4, false)]);
+        let exe =
+            Executable::new(Addr::new(0x1000), vec![0xee; 4], symbols, Addr::new(0x1000));
+        let issues = verify_executable(&exe);
+        assert!(issues.iter().any(|i| matches!(i, VerifyIssue::BadText(_))));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let issue = VerifyIssue::BadCallTarget {
+            at: Addr::new(0x1000),
+            target: Addr::new(0x2002),
+        };
+        assert!(issue.to_string().contains("0x2002"));
+    }
+}

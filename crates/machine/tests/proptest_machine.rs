@@ -1,0 +1,231 @@
+//! Property-based tests for the machine substrate: encoding, parsing,
+//! compilation, execution accounting, and the object file format.
+
+use proptest::prelude::*;
+
+use graphprof_machine::{
+    asm, decode_at, disassemble, encode_into, encoded_len, objfile, Addr,
+    CompileOptions, Instruction, Machine, NoHooks, Program, Routine, Stmt,
+    NUM_COUNTERS, NUM_REGS, NUM_SLOTS,
+};
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        any::<u32>().prop_map(Instruction::Work),
+        any::<u32>().prop_map(|a| Instruction::Call(Addr::new(a))),
+        (0..NUM_SLOTS as u8).prop_map(Instruction::CallIndirect),
+        ((0..NUM_SLOTS as u8), any::<u32>())
+            .prop_map(|(s, a)| Instruction::SetSlot(s, Addr::new(a))),
+        Just(Instruction::Ret),
+        ((0..NUM_REGS as u8), any::<u32>()).prop_map(|(r, v)| Instruction::SetReg(r, v)),
+        ((0..NUM_REGS as u8), any::<u32>())
+            .prop_map(|(r, a)| Instruction::DecJnz(r, Addr::new(a))),
+        ((0..NUM_COUNTERS as u8), any::<u32>()).prop_map(|(c, v)| Instruction::SetCtr(c, v)),
+        ((0..NUM_COUNTERS as u8), any::<u32>())
+            .prop_map(|(c, a)| Instruction::DecCtrJnz(c, Addr::new(a))),
+        any::<u32>().prop_map(|a| Instruction::Jmp(Addr::new(a))),
+        Just(Instruction::Mcount),
+        Just(Instruction::CountCall),
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+    ]
+}
+
+/// A random structured statement tree of bounded depth, calling only
+/// later-indexed routines so programs terminate.
+fn arb_body(max_callee: usize) -> impl Strategy<Value = Vec<Stmt>> {
+    let leaf = prop_oneof![
+        (1u32..200).prop_map(Stmt::Work),
+        (0..max_callee.max(1)).prop_map(move |i| Stmt::Call(format!("g{i}"))),
+    ];
+    proptest::collection::vec(
+        prop_oneof![
+            leaf.clone(),
+            ((1u32..4), proptest::collection::vec(leaf, 1..3))
+                .prop_map(|(count, body)| Stmt::Loop { count, body }),
+        ],
+        1..5,
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            let bodies: Vec<_> = (0..n)
+                .map(|i| {
+                    if i + 1 < n {
+                        arb_body(n - i - 1)
+                            .prop_map(move |body| {
+                                // Shift callee indices to absolute names.
+                                fn shift(stmts: Vec<Stmt>, base: usize) -> Vec<Stmt> {
+                                    stmts
+                                        .into_iter()
+                                        .map(|s| match s {
+                                            Stmt::Call(name) => {
+                                                let rel: usize = name[1..]
+                                                    .parse()
+                                                    .expect("generated name");
+                                                Stmt::Call(format!("f{}", base + rel + 1))
+                                            }
+                                            Stmt::Loop { count, body } => Stmt::Loop {
+                                                count,
+                                                body: shift(body, base),
+                                            },
+                                            other => other,
+                                        })
+                                        .collect()
+                                }
+                                shift(body, i)
+                            })
+                            .boxed()
+                    } else {
+                        proptest::collection::vec(
+                            (1u32..200).prop_map(Stmt::Work),
+                            1..3,
+                        )
+                        .boxed()
+                    }
+                })
+                .collect::<Vec<_>>();
+            (Just(n), bodies)
+        })
+        .prop_map(|(n, bodies)| {
+            let routines: Vec<Routine> = bodies
+                .into_iter()
+                .enumerate()
+                .map(|(i, body)| Routine::new(format!("f{i}"), body, true))
+                .collect();
+            let _ = n;
+            Program::new(routines, "f0").expect("generated program is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn instruction_encoding_round_trips(inst in arb_instruction()) {
+        let mut buf = Vec::new();
+        let len = encode_into(inst, &mut buf);
+        prop_assert_eq!(len, encoded_len(inst));
+        let (decoded, dlen) = decode_at(&buf, 0).expect("round trip");
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(dlen, len);
+    }
+
+    #[test]
+    fn decode_of_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        offset in 0usize..64,
+    ) {
+        let _ = decode_at(&bytes, offset);
+    }
+
+    #[test]
+    fn asm_parse_of_arbitrary_text_never_panics(text in "\\PC*") {
+        let _ = asm::parse(&text);
+    }
+
+    #[test]
+    fn asm_parse_of_token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("routine".to_string()),
+                Just("loop".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(",".to_string()),
+                Just("call".to_string()),
+                Just("work".to_string()),
+                Just("entry".to_string()),
+                Just("5".to_string()),
+                Just("main".to_string()),
+            ],
+            0..24,
+        ),
+    ) {
+        let _ = asm::parse(&tokens.join(" "));
+    }
+
+    #[test]
+    fn compiled_programs_execute_and_conserve_cycles(program in arb_program()) {
+        let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+        // Symbols tile the text exactly.
+        let mut cursor = exe.base();
+        for (_, sym) in exe.symbols().iter() {
+            prop_assert_eq!(sym.addr(), cursor);
+            cursor = sym.end();
+        }
+        prop_assert_eq!(cursor, exe.end());
+        // The whole text disassembles.
+        disassemble(&exe).expect("valid text");
+        // The program halts and every cycle lands in some routine.
+        let mut machine = Machine::new(exe);
+        let summary = machine.run(&mut NoHooks).expect("halts");
+        let truth = machine.ground_truth().expect("truth enabled");
+        prop_assert_eq!(truth.total_self_cycles(), summary.clock);
+        // Inclusive time of the entry covers the run; nothing exceeds it.
+        let root = truth.routine("f0").expect("entry routine");
+        prop_assert_eq!(root.total_cycles, summary.clock);
+        for r in truth.routines() {
+            prop_assert!(r.total_cycles <= summary.clock);
+            prop_assert!(r.self_cycles <= r.total_cycles);
+        }
+    }
+
+    #[test]
+    fn object_files_round_trip(program in arb_program()) {
+        let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+        let bytes = objfile::write_executable(&exe);
+        let back = objfile::read_executable(&bytes).expect("round trips");
+        prop_assert_eq!(back, exe);
+    }
+
+    #[test]
+    fn object_reader_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = objfile::read_executable(&bytes);
+    }
+
+    #[test]
+    fn object_reader_never_panics_on_corrupted_valid_files(
+        program in arb_program(),
+        flips in proptest::collection::vec((any::<proptest::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let exe = program.compile(&CompileOptions::default()).expect("compiles");
+        let mut bytes = objfile::write_executable(&exe);
+        for (index, xor) in flips {
+            let i = index.index(bytes.len());
+            bytes[i] ^= xor;
+        }
+        let _ = objfile::read_executable(&bytes);
+    }
+
+    #[test]
+    fn uninstrumented_and_instrumented_runs_agree_on_call_counts(
+        program in arb_program(),
+    ) {
+        use graphprof_machine::ProfilingHooks;
+        struct CostlyHooks;
+        impl ProfilingHooks for CostlyHooks {
+            fn on_mcount(&mut self, _: Addr, _: Addr) -> u64 {
+                13
+            }
+        }
+        let plain = program.compile(&CompileOptions::default()).expect("compiles");
+        let inst = program.compile(&CompileOptions::profiled()).expect("compiles");
+        let mut m1 = Machine::new(plain);
+        m1.run(&mut NoHooks).expect("halts");
+        let mut m2 = Machine::new(inst);
+        m2.run(&mut CostlyHooks).expect("halts");
+        let t1 = m1.ground_truth().expect("truth");
+        let t2 = m2.ground_truth().expect("truth");
+        // Instrumentation perturbs time, never control flow.
+        for (a, b) in t1.routines().iter().zip(t2.routines()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.calls, b.calls, "{}", a.name);
+        }
+        prop_assert!(m2.clock() >= m1.clock());
+    }
+}

@@ -1,0 +1,224 @@
+//! The programmer's control interface (retrospective).
+//!
+//! "Unlike user programs that could be run to completion, dump their
+//! profiling data to a file, and exit, we had to be able to profile events
+//! of interest in the kernel without taking the kernel down. [...] The
+//! programmer's interface allowed us to turn the profiler on and off,
+//! extract the profiling data, and reset the data."
+//!
+//! [`SharedProfiler`] is a cloneable handle around a [`RuntimeProfiler`]:
+//! one clone is installed as the running system's profiling hooks while
+//! another is held by the operator's tool, [`KgmonTool`], which can toggle,
+//! extract, and reset concurrently with execution slices.
+
+use std::sync::Arc;
+
+use graphprof_machine::{Addr, Executable, ProfilingHooks};
+use parking_lot::Mutex;
+
+use crate::gmon::GmonData;
+use crate::profiler::RuntimeProfiler;
+
+/// A cloneable, lock-protected handle to a running profiler.
+#[derive(Debug, Clone)]
+pub struct SharedProfiler {
+    inner: Arc<Mutex<RuntimeProfiler>>,
+}
+
+impl SharedProfiler {
+    /// Wraps a gprof-style profiler for `exe` sampling every
+    /// `cycles_per_tick` cycles.
+    pub fn new(exe: &Executable, cycles_per_tick: u64) -> Self {
+        SharedProfiler {
+            inner: Arc::new(Mutex::new(RuntimeProfiler::new(exe, cycles_per_tick))),
+        }
+    }
+
+    /// Runs `f` with the locked profiler.
+    pub fn with<R>(&self, f: impl FnOnce(&mut RuntimeProfiler) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl ProfilingHooks for SharedProfiler {
+    fn on_mcount(&mut self, from_pc: Addr, self_pc: Addr) -> u64 {
+        self.inner.lock().on_mcount(from_pc, self_pc)
+    }
+
+    fn on_count_call(&mut self, self_pc: Addr) -> u64 {
+        self.inner.lock().on_count_call(self_pc)
+    }
+
+    fn on_tick(&mut self, pc: Addr, ticks: u64) {
+        self.inner.lock().on_tick(pc, ticks)
+    }
+}
+
+/// The operator's tool: kgmon for the simulated kernel.
+///
+/// Holds a [`SharedProfiler`] handle and exposes the retrospective's three
+/// operations — on/off, extract, reset — without stopping the profiled
+/// system.
+///
+/// ```
+/// use graphprof_machine::{CompileOptions, Machine, MachineConfig, Program};
+/// use graphprof_monitor::{KgmonTool, SharedProfiler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Program::builder();
+/// b.routine("main", |r| r.loop_n(10_000, |l| l.call("service")));
+/// b.routine("service", |r| r.work(100));
+/// let exe = b.build()?.compile(&CompileOptions::profiled())?;
+///
+/// let mut hooks = SharedProfiler::new(&exe, 10);
+/// let kgmon = KgmonTool::attach(hooks.clone());
+/// let config = MachineConfig { cycles_per_tick: 10, ..MachineConfig::default() };
+/// let mut kernel = Machine::with_config(exe, config);
+///
+/// kernel.run_for(&mut hooks, 5_000)?;          // the system runs...
+/// let snapshot = kgmon.extract();              // ...and is profiled live
+/// assert!(snapshot.histogram().total() > 0);
+/// kgmon.reset();                               // start a fresh window
+/// assert_eq!(kgmon.extract().histogram().total(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KgmonTool {
+    handle: SharedProfiler,
+}
+
+impl KgmonTool {
+    /// Attaches the tool to a running profiler.
+    pub fn attach(handle: SharedProfiler) -> Self {
+        KgmonTool { handle }
+    }
+
+    /// Turns profiling on.
+    pub fn turn_on(&self) {
+        self.handle.with(|p| p.set_enabled(true));
+    }
+
+    /// Turns profiling off. The monitoring prologue still runs but pays
+    /// only its short-circuit cost.
+    pub fn turn_off(&self) {
+        self.handle.with(|p| p.set_enabled(false));
+    }
+
+    /// Whether profiling is currently recording.
+    pub fn is_on(&self) -> bool {
+        self.handle.with(|p| p.enabled())
+    }
+
+    /// Extracts a snapshot of the profiling data without disturbing it.
+    pub fn extract(&self) -> GmonData {
+        self.handle.with(|p| p.snapshot())
+    }
+
+    /// Resets the profiling data to empty.
+    pub fn reset(&self) {
+        self.handle.with(|p| p.reset());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::{
+        CompileOptions, Machine, MachineConfig, Program, RunStatus,
+    };
+
+    /// A "kernel": an endless service loop that must never be taken down.
+    fn kernel_exe() -> Executable {
+        let mut b = Program::builder();
+        b.routine("main", |r| {
+            r.loop_n(1_000_000, |l| l.call("service"))
+        });
+        b.routine("service", |r| r.call("net").call("disk"));
+        b.routine("net", |r| r.work(30));
+        b.routine("disk", |r| r.work(70));
+        b.build().unwrap().compile(&CompileOptions::profiled()).unwrap()
+    }
+
+    fn kernel_machine(exe: &Executable, tick: u64) -> Machine {
+        let config = MachineConfig { cycles_per_tick: tick, ..MachineConfig::default() };
+        Machine::with_config(exe.clone(), config)
+    }
+
+    #[test]
+    fn extract_while_running() {
+        let exe = kernel_exe();
+        let mut hooks = SharedProfiler::new(&exe, 10);
+        let tool = KgmonTool::attach(hooks.clone());
+        let mut machine = kernel_machine(&exe, 10);
+
+        assert_eq!(machine.run_for(&mut hooks, 50_000).unwrap(), RunStatus::Paused);
+        let first = tool.extract();
+        assert!(first.histogram().total() > 0);
+        assert!(!first.arcs().is_empty());
+
+        assert_eq!(machine.run_for(&mut hooks, 50_000).unwrap(), RunStatus::Paused);
+        let second = tool.extract();
+        assert!(second.histogram().total() > first.histogram().total());
+    }
+
+    #[test]
+    fn toggle_off_pauses_collection() {
+        let exe = kernel_exe();
+        let mut hooks = SharedProfiler::new(&exe, 10);
+        let tool = KgmonTool::attach(hooks.clone());
+        let mut machine = kernel_machine(&exe, 10);
+
+        machine.run_for(&mut hooks, 20_000).unwrap();
+        tool.turn_off();
+        assert!(!tool.is_on());
+        let before = tool.extract();
+        machine.run_for(&mut hooks, 20_000).unwrap();
+        let after = tool.extract();
+        assert_eq!(before.histogram().total(), after.histogram().total());
+        assert_eq!(before.arcs(), after.arcs());
+
+        tool.turn_on();
+        machine.run_for(&mut hooks, 20_000).unwrap();
+        assert!(tool.extract().histogram().total() > after.histogram().total());
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_window() {
+        let exe = kernel_exe();
+        let mut hooks = SharedProfiler::new(&exe, 10);
+        let tool = KgmonTool::attach(hooks.clone());
+        let mut machine = kernel_machine(&exe, 10);
+
+        machine.run_for(&mut hooks, 30_000).unwrap();
+        tool.reset();
+        let fresh = tool.extract();
+        assert_eq!(fresh.histogram().total(), 0);
+        assert!(fresh.arcs().is_empty());
+
+        machine.run_for(&mut hooks, 30_000).unwrap();
+        let window = tool.extract();
+        assert!(window.histogram().total() > 0);
+    }
+
+    #[test]
+    fn profiling_while_off_still_charges_short_circuit_cost() {
+        let exe = kernel_exe();
+        // Off-run clock vs uninstrumented clock: the prologue still costs
+        // its disabled short-circuit.
+        let mut off_hooks = SharedProfiler::new(&exe, 0);
+        KgmonTool::attach(off_hooks.clone()).turn_off();
+        let mut off_machine = kernel_machine(&exe, 0);
+        off_machine.run_for(&mut off_hooks, 100_000).unwrap();
+        let off_instructions = off_machine.instructions();
+
+        let mut on_hooks = SharedProfiler::new(&exe, 0);
+        let mut on_machine = kernel_machine(&exe, 0);
+        on_machine.run_for(&mut on_hooks, 100_000).unwrap();
+
+        // Same cycle budget: the disabled run gets *more* instructions done
+        // per cycle than the enabled one.
+        assert!(off_instructions > 0);
+        assert!(off_machine.instructions() >= on_machine.instructions());
+    }
+}

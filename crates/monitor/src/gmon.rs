@@ -1,0 +1,419 @@
+//! The condensed profile file ("gmon.out", §3).
+//!
+//! "Our solution is to gather profiling data in memory during program
+//! execution and to condense it to a file as the profiled program exits.
+//! [...] An advantage of this approach is that the profile data for
+//! several executions of a program can be combined by the post-processing
+//! to provide a profile of many executions."
+//!
+//! The format is a small versioned binary layout:
+//!
+//! ```text
+//! magic   b"GPRF"            4 bytes
+//! version u16 LE             currently 1
+//! flags   u16 LE             reserved, 0
+//! cycles_per_tick u64 LE     sampling period in machine cycles
+//! base    u32 LE             text segment base address
+//! text_len u32 LE            text segment length in bytes
+//! shift   u8                 histogram bucket shift
+//! pad     [u8; 3]
+//! missed  u64 LE             samples outside the text range
+//! nbuckets u32 LE
+//! buckets  nbuckets × u64 LE
+//! narcs    u32 LE
+//! arcs     narcs × { from u32, self u32, count u64 } LE
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use graphprof_machine::Addr;
+
+use crate::arcs::RawArc;
+use crate::histogram::Histogram;
+
+const MAGIC: &[u8; 4] = b"GPRF";
+const VERSION: u16 = 1;
+
+/// An error reading or combining profile files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmonError {
+    /// The file does not start with the profile magic.
+    BadMagic,
+    /// The file has a version this library cannot read.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u16,
+    },
+    /// The file ended before its declared contents.
+    Truncated,
+    /// A structural inconsistency in the contents.
+    Corrupt {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// Two profiles could not be merged.
+    MergeMismatch {
+        /// Description of the mismatching field.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GmonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmonError::BadMagic => write!(f, "not a profile file (bad magic)"),
+            GmonError::UnsupportedVersion { version } => {
+                write!(f, "unsupported profile version {version}")
+            }
+            GmonError::Truncated => write!(f, "profile file is truncated"),
+            GmonError::Corrupt { reason } => write!(f, "corrupt profile file: {reason}"),
+            GmonError::MergeMismatch { reason } => {
+                write!(f, "profiles are not from the same executable: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GmonError {}
+
+/// The contents of one profile file: a PC histogram plus call graph arcs.
+///
+/// ```
+/// use graphprof_machine::Addr;
+/// use graphprof_monitor::{GmonData, Histogram, RawArc};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut h = Histogram::new(Addr::new(0x1000), 64, 0);
+/// h.record(Addr::new(0x1010), 7);
+/// let arcs = vec![RawArc {
+///     from_pc: Addr::NULL, // a spontaneous activation
+///     self_pc: Addr::new(0x1000),
+///     count: 1,
+/// }];
+/// let data = GmonData::new(100, h, arcs);
+/// let bytes = data.to_bytes();
+/// assert_eq!(GmonData::from_bytes(&bytes)?, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmonData {
+    cycles_per_tick: u64,
+    histogram: Histogram,
+    arcs: Vec<RawArc>,
+}
+
+impl GmonData {
+    /// Assembles profile data from its parts. Arcs are stored sorted by
+    /// `(from_pc, self_pc)`.
+    pub fn new(cycles_per_tick: u64, histogram: Histogram, mut arcs: Vec<RawArc>) -> Self {
+        arcs.sort_by_key(|a| (a.from_pc, a.self_pc));
+        GmonData { cycles_per_tick, histogram, arcs }
+    }
+
+    /// The sampling period, in machine cycles per clock tick.
+    pub fn cycles_per_tick(&self) -> u64 {
+        self.cycles_per_tick
+    }
+
+    /// The PC histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// The recorded arcs, sorted by `(from_pc, self_pc)`.
+    pub fn arcs(&self) -> &[RawArc] {
+        &self.arcs
+    }
+
+    /// Total sampled time in cycles (in-range samples × tick period).
+    pub fn sampled_cycles(&self) -> u64 {
+        self.histogram.total() * self.cycles_per_tick
+    }
+
+    /// Serializes to the binary profile format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            40 + self.histogram.len() * 8 + self.arcs.len() * 16,
+        );
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u16_le(0);
+        out.put_u64_le(self.cycles_per_tick);
+        out.put_u32_le(self.histogram.base().get());
+        out.put_u32_le(self.histogram.text_len());
+        out.put_u8(self.histogram.shift());
+        out.put_slice(&[0u8; 3]);
+        out.put_u64_le(self.histogram.missed());
+        out.put_u32_le(self.histogram.len() as u32);
+        for &c in self.histogram.counts() {
+            out.put_u64_le(c);
+        }
+        out.put_u32_le(self.arcs.len() as u32);
+        for arc in &self.arcs {
+            out.put_u32_le(arc.from_pc.get());
+            out.put_u32_le(arc.self_pc.get());
+            out.put_u64_le(arc.count);
+        }
+        out
+    }
+
+    /// Deserializes from the binary profile format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GmonError`] describing the first problem found; trailing
+    /// garbage after the declared contents is reported as corruption.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, GmonError> {
+        fn need(data: &[u8], n: usize) -> Result<(), GmonError> {
+            if data.remaining() < n {
+                Err(GmonError::Truncated)
+            } else {
+                Ok(())
+            }
+        }
+        need(data, 8)?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(GmonError::BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(GmonError::UnsupportedVersion { version });
+        }
+        let _flags = data.get_u16_le();
+        need(data, 8 + 4 + 4 + 4 + 8 + 4)?;
+        let cycles_per_tick = data.get_u64_le();
+        let base = Addr::new(data.get_u32_le());
+        let text_len = data.get_u32_le();
+        let shift = data.get_u8();
+        data.advance(3);
+        if shift >= 32 {
+            return Err(GmonError::Corrupt { reason: format!("bucket shift {shift}") });
+        }
+        let missed = data.get_u64_le();
+        let nbuckets = data.get_u32_le() as usize;
+        need(data, nbuckets * 8)?;
+        let mut buckets = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            buckets.push(data.get_u64_le());
+        }
+        let histogram = Histogram::from_parts(base, text_len, shift, buckets, missed)
+            .map_err(|reason| GmonError::Corrupt { reason })?;
+        need(data, 4)?;
+        let narcs = data.get_u32_le() as usize;
+        need(data, narcs * 16)?;
+        let mut arcs = Vec::with_capacity(narcs);
+        let mut prev: Option<(Addr, Addr)> = None;
+        for _ in 0..narcs {
+            let from_pc = Addr::new(data.get_u32_le());
+            let self_pc = Addr::new(data.get_u32_le());
+            let count = data.get_u64_le();
+            if let Some(p) = prev {
+                if p >= (from_pc, self_pc) {
+                    return Err(GmonError::Corrupt {
+                        reason: "arcs out of order or duplicated".to_string(),
+                    });
+                }
+            }
+            prev = Some((from_pc, self_pc));
+            arcs.push(RawArc { from_pc, self_pc, count });
+        }
+        if data.has_remaining() {
+            return Err(GmonError::Corrupt {
+                reason: format!("{} trailing bytes", data.remaining()),
+            });
+        }
+        Ok(GmonData { cycles_per_tick, histogram, arcs })
+    }
+
+    /// Merges another profile into this one, summing histogram buckets and
+    /// arc counts — "the ability to sum the data over several profiled
+    /// runs, to accumulate enough time in short-running methods to get an
+    /// idea of their performance" (retrospective).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmonError::MergeMismatch`] when the profiles disagree on
+    /// text range, histogram granularity, or sampling period.
+    pub fn merge(&mut self, other: &GmonData) -> Result<(), GmonError> {
+        if self.cycles_per_tick != other.cycles_per_tick {
+            return Err(GmonError::MergeMismatch {
+                reason: format!(
+                    "sampling period {} != {}",
+                    self.cycles_per_tick, other.cycles_per_tick
+                ),
+            });
+        }
+        self.histogram
+            .merge(&other.histogram)
+            .map_err(|reason| GmonError::MergeMismatch { reason })?;
+        // Merge sorted arc lists, summing counts of equal arcs.
+        let mut merged = Vec::with_capacity(self.arcs.len() + other.arcs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.arcs.len() && j < other.arcs.len() {
+            let a = self.arcs[i];
+            let b = other.arcs[j];
+            use std::cmp::Ordering;
+            match (a.from_pc, a.self_pc).cmp(&(b.from_pc, b.self_pc)) {
+                Ordering::Less => {
+                    merged.push(a);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    merged.push(b);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    merged.push(RawArc { count: a.count + b.count, ..a });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.arcs[i..]);
+        merged.extend_from_slice(&other.arcs[j..]);
+        self.arcs = merged;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> GmonData {
+        let mut h = Histogram::new(Addr::new(0x1000), 64, 1);
+        h.record(Addr::new(0x1004), 3);
+        h.record(Addr::new(0x1020), 7);
+        h.record(Addr::new(0x0500), 1); // miss
+        GmonData::new(
+            100,
+            h,
+            vec![
+                RawArc { from_pc: Addr::new(0x1010), self_pc: Addr::new(0x1020), count: 4 },
+                RawArc { from_pc: Addr::NULL, self_pc: Addr::new(0x1000), count: 1 },
+            ],
+        )
+    }
+
+    #[test]
+    fn arcs_are_sorted_on_construction() {
+        let d = sample_data();
+        assert!(d.arcs()[0].from_pc < d.arcs()[1].from_pc);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample_data();
+        let bytes = d.to_bytes();
+        let back = GmonData::from_bytes(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.histogram().missed(), 1);
+        assert_eq!(back.sampled_cycles(), 10 * 100);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_data().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(GmonData::from_bytes(&bytes), Err(GmonError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = sample_data().to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            GmonData::from_bytes(&bytes),
+            Err(GmonError::UnsupportedVersion { version: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = sample_data().to_bytes();
+        for len in 0..bytes.len() {
+            let err = GmonData::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, GmonError::Truncated | GmonError::Corrupt { .. }),
+                "prefix of {len} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = sample_data().to_bytes();
+        bytes.push(0);
+        assert!(matches!(GmonData::from_bytes(&bytes), Err(GmonError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn out_of_order_arcs_are_detected() {
+        let d = sample_data();
+        let mut bytes = d.to_bytes();
+        // Swap the two 16-byte arc records at the tail.
+        let n = bytes.len();
+        let (a, b) = (n - 32, n - 16);
+        let mut tmp = [0u8; 16];
+        tmp.copy_from_slice(&bytes[a..a + 16]);
+        bytes.copy_within(b..b + 16, a);
+        bytes[b..b + 16].copy_from_slice(&tmp);
+        assert!(matches!(GmonData::from_bytes(&bytes), Err(GmonError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_counts() {
+        let mut a = sample_data();
+        let b = sample_data();
+        a.merge(&b).unwrap();
+        assert_eq!(a.histogram().total(), 20);
+        assert_eq!(a.arcs()[1].count, 8);
+        assert_eq!(a.arcs().len(), 2);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_arcs() {
+        let h = Histogram::new(Addr::new(0x1000), 64, 1);
+        let mut a = GmonData::new(
+            100,
+            h.clone(),
+            vec![RawArc { from_pc: Addr::new(0x1010), self_pc: Addr::new(0x1020), count: 1 }],
+        );
+        let b = GmonData::new(
+            100,
+            h,
+            vec![RawArc { from_pc: Addr::new(0x1030), self_pc: Addr::new(0x1020), count: 2 }],
+        );
+        a.merge(&b).unwrap();
+        assert_eq!(a.arcs().len(), 2);
+        let total: u64 = a.arcs().iter().map(|x| x.count).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn merge_rejects_different_sampling_period() {
+        let h = Histogram::new(Addr::new(0x1000), 64, 1);
+        let mut a = GmonData::new(100, h.clone(), vec![]);
+        let b = GmonData::new(200, h, vec![]);
+        assert!(matches!(a.merge(&b), Err(GmonError::MergeMismatch { .. })));
+    }
+
+    #[test]
+    fn merge_rejects_different_text_range() {
+        let mut a = GmonData::new(100, Histogram::new(Addr::new(0x1000), 64, 1), vec![]);
+        let b = GmonData::new(100, Histogram::new(Addr::new(0x1000), 128, 1), vec![]);
+        assert!(matches!(a.merge(&b), Err(GmonError::MergeMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_profile_round_trips() {
+        let d = GmonData::new(1, Histogram::new(Addr::new(0x1000), 0, 0), vec![]);
+        let back = GmonData::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(back, d);
+    }
+}

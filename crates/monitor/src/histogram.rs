@@ -1,0 +1,285 @@
+//! The program-counter histogram (§3.2).
+//!
+//! "In our computing environment, the operating system can provide a
+//! histogram of the location of the program counter at the end of each
+//! clock tick [...] We have adjusted the granularity of the histogram so
+//! that program counter values map one-to-one onto the histogram."
+//!
+//! The histogram covers the text segment with buckets of `1 << shift`
+//! bytes. Shift 0 is the paper's one-to-one epiphany ("a histogram array
+//! four times the size of the text segment of the program, getting a full
+//! 32-bit count for each possible program counter value"); larger shifts
+//! trade memory for boundary smearing, which the post-processor must then
+//! apportion across routines sharing a bucket.
+
+use graphprof_machine::Addr;
+
+/// A PC histogram over a text-segment address range.
+///
+/// ```
+/// use graphprof_machine::Addr;
+/// use graphprof_monitor::Histogram;
+///
+/// let mut h = Histogram::new(Addr::new(0x1000), 64, 0); // one-to-one
+/// h.record(Addr::new(0x1004), 3);
+/// h.record(Addr::new(0x9999), 1); // outside the text: a miss
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.missed(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    base: Addr,
+    text_len: u32,
+    shift: u8,
+    counts: Vec<u64>,
+    missed: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[base, base + text_len)` with buckets
+    /// of `1 << shift` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 32`.
+    pub fn new(base: Addr, text_len: u32, shift: u8) -> Self {
+        assert!(shift < 32, "bucket shift {shift} out of range");
+        let buckets = if text_len == 0 {
+            0
+        } else {
+            ((u64::from(text_len) + (1u64 << shift) - 1) >> shift) as usize
+        };
+        Histogram { base, text_len, shift, counts: vec![0; buckets], missed: 0 }
+    }
+
+    /// Base address of the covered range.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Length of the covered range in bytes.
+    pub fn text_len(&self) -> u32 {
+        self.text_len
+    }
+
+    /// The bucket-size shift: each bucket covers `1 << shift` bytes.
+    pub fn shift(&self) -> u8 {
+        self.shift
+    }
+
+    /// Bucket size in bytes.
+    pub fn bucket_size(&self) -> u32 {
+        1 << self.shift
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` when the histogram covers no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Records `ticks` samples at `pc`. Samples outside the covered range
+    /// are tallied separately as misses.
+    pub fn record(&mut self, pc: Addr, ticks: u64) {
+        match pc.checked_sub(self.base) {
+            Some(off) if off < self.text_len => {
+                self.counts[(off >> self.shift) as usize] += ticks;
+            }
+            _ => self.missed += ticks,
+        }
+    }
+
+    /// The count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The address range `[start, end)` covered by bucket `i` (clamped to
+    /// the text range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_range(&self, i: usize) -> (Addr, Addr) {
+        assert!(i < self.counts.len(), "bucket {i} out of range");
+        let start = (i as u64) << self.shift;
+        let end = ((i as u64 + 1) << self.shift).min(u64::from(self.text_len));
+        (self.base.offset(start as u32), self.base.offset(end as u32))
+    }
+
+    /// Total samples that landed in the covered range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples outside the covered range.
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+
+    /// Iterates over `(bucket_index, count)` for nonzero buckets.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().copied().enumerate().filter(|&(_, c)| c != 0)
+    }
+
+    /// Clears all counts (the control interface's "reset").
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.missed = 0;
+    }
+
+    /// Adds another histogram's counts into this one, for profile
+    /// summation over several runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description when the ranges or granularities
+    /// differ — the paper's post-processor likewise refuses to merge
+    /// profiles from different executables.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.base != other.base {
+            return Err(format!("histogram base {} != {}", self.base, other.base));
+        }
+        if self.text_len != other.text_len {
+            return Err(format!(
+                "histogram length {} != {}",
+                self.text_len, other.text_len
+            ));
+        }
+        if self.shift != other.shift {
+            return Err(format!("histogram shift {} != {}", self.shift, other.shift));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.missed += other.missed;
+        Ok(())
+    }
+
+    pub(crate) fn from_parts(
+        base: Addr,
+        text_len: u32,
+        shift: u8,
+        counts: Vec<u64>,
+        missed: u64,
+    ) -> Result<Self, String> {
+        let expected = Histogram::new(base, text_len, shift).counts.len();
+        if counts.len() != expected {
+            return Err(format!(
+                "histogram has {} buckets, expected {expected}",
+                counts.len()
+            ));
+        }
+        Ok(Histogram { base, text_len, shift, counts, missed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Addr = Addr::new(0x1000);
+
+    #[test]
+    fn one_to_one_buckets() {
+        let mut h = Histogram::new(BASE, 16, 0);
+        assert_eq!(h.len(), 16);
+        assert_eq!(h.bucket_size(), 1);
+        h.record(Addr::new(0x1003), 2);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn coarse_buckets_round_up() {
+        let h = Histogram::new(BASE, 17, 3);
+        assert_eq!(h.bucket_size(), 8);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.bucket_range(0), (Addr::new(0x1000), Addr::new(0x1008)));
+        assert_eq!(h.bucket_range(2), (Addr::new(0x1010), Addr::new(0x1011)));
+    }
+
+    #[test]
+    fn coarse_recording_shares_buckets() {
+        let mut h = Histogram::new(BASE, 32, 2);
+        h.record(Addr::new(0x1000), 1);
+        h.record(Addr::new(0x1003), 1);
+        h.record(Addr::new(0x1004), 1);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_missed() {
+        let mut h = Histogram::new(BASE, 16, 0);
+        h.record(Addr::new(0x0fff), 1);
+        h.record(Addr::new(0x1010), 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.missed(), 4);
+    }
+
+    #[test]
+    fn empty_range_histogram() {
+        let h = Histogram::new(BASE, 0, 0);
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counts_and_misses() {
+        let mut h = Histogram::new(BASE, 8, 0);
+        h.record(Addr::new(0x1001), 5);
+        h.record(Addr::new(0x9000), 1);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.missed(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(BASE, 8, 0);
+        let mut b = Histogram::new(BASE, 8, 0);
+        a.record(Addr::new(0x1001), 5);
+        b.record(Addr::new(0x1001), 7);
+        b.record(Addr::new(0x1002), 1);
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(1), 12);
+        assert_eq!(a.count(2), 1);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(BASE, 8, 0);
+        assert!(a.merge(&Histogram::new(Addr::new(0x2000), 8, 0)).is_err());
+        assert!(a.merge(&Histogram::new(BASE, 16, 0)).is_err());
+        assert!(a.merge(&Histogram::new(BASE, 8, 1)).is_err());
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let mut h = Histogram::new(BASE, 8, 0);
+        h.record(Addr::new(0x1000), 1);
+        h.record(Addr::new(0x1007), 9);
+        let nz: Vec<_> = h.iter_nonzero().collect();
+        assert_eq!(nz, vec![(0, 1), (7, 9)]);
+    }
+
+    #[test]
+    fn from_parts_validates_bucket_count() {
+        assert!(Histogram::from_parts(BASE, 8, 0, vec![0; 8], 0).is_ok());
+        assert!(Histogram::from_parts(BASE, 8, 0, vec![0; 7], 0).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! The "modern profiler" of the retrospective: complete call-stack
+//! sampling.
+//!
+//! "Modern profilers solve both these problems by periodically gathering
+//! not just isolated program counter samples and isolated call graph
+//! arcs, but complete call stacks." The two problems being solved are
+//! gprof's §4 pitfalls: the *average time per call* assumption (single
+//! arcs force proportional attribution) and *cycles* (time cannot be
+//! propagated through them, so members must be pooled).
+//!
+//! Stack samples fix both by construction:
+//!
+//! * a routine's **inclusive** time is the ticks during which it appears
+//!   anywhere on the sampled stack (counted once per sample, so recursion
+//!   and cycles need no special treatment at all);
+//! * a caller→callee **edge** carries the ticks during which the callee's
+//!   frame sat directly below the caller's — attribution by what actually
+//!   happened, not by averaged call counts.
+//!
+//! [`StackProfiler`] implements the machine's stack-sample hook and
+//! accumulates these totals; [`StackReport`] presents them. The
+//! experiment suite scores it against gprof and against ground truth.
+
+use std::collections::HashMap;
+
+use graphprof_machine::{Addr, Executable, ProfilingHooks, SymbolId, SymbolTable};
+
+/// A call-stack-sampling profiler, pluggable as machine hooks.
+///
+/// Like the histogram sampler, it records at clock ticks and charges no
+/// cycles to the program ("the additional overhead of gathering the call
+/// stack can be hidden by backing off the frequency with which the call
+/// stacks are sampled").
+///
+/// ```
+/// use graphprof_machine::{CompileOptions, Machine, MachineConfig, Program};
+/// use graphprof_monitor::StackProfiler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Program::builder();
+/// b.routine("main", |r| r.call_n("leaf", 4));
+/// b.routine("leaf", |r| r.work(250));
+/// // No instrumentation needed: a plain build.
+/// let exe = b.build()?.compile(&CompileOptions::default())?;
+/// let mut sampler = StackProfiler::new(&exe, 1);
+/// let config = MachineConfig { cycles_per_tick: 1, ..MachineConfig::default() };
+/// let mut machine = Machine::with_config(exe, config);
+/// machine.run(&mut sampler)?;
+/// let report = sampler.finish();
+/// // At tick 1, inclusive time is exact: 4 x (250 work + 4 ret).
+/// assert_eq!(report.routine("leaf").unwrap().inclusive_cycles, 1016);
+/// assert_eq!(report.edge("main", "leaf").unwrap().inclusive_cycles, 1016);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackProfiler {
+    symbols: SymbolTable,
+    cycles_per_tick: u64,
+    samples: u64,
+    exclusive: Vec<u64>,
+    inclusive: Vec<u64>,
+    /// Ticks attributed to each (caller, callee) adjacency, each pair
+    /// counted once per sample.
+    edges: HashMap<(SymbolId, SymbolId), u64>,
+    /// Scratch: which symbols appeared in the current sample.
+    seen: Vec<bool>,
+    /// Scratch: resolved symbols of the current sample's frames.
+    frames: Vec<Option<SymbolId>>,
+}
+
+impl StackProfiler {
+    /// Creates a stack profiler for `exe`, sampling every
+    /// `cycles_per_tick` cycles (configure the machine with the same
+    /// value).
+    pub fn new(exe: &Executable, cycles_per_tick: u64) -> Self {
+        let n = exe.symbols().len();
+        StackProfiler {
+            symbols: exe.symbols().clone(),
+            cycles_per_tick,
+            samples: 0,
+            exclusive: vec![0; n],
+            inclusive: vec![0; n],
+            edges: HashMap::new(),
+            seen: vec![false; n],
+            frames: Vec::new(),
+        }
+    }
+
+    /// Condenses the accumulated samples into a report.
+    pub fn finish(self) -> StackReport {
+        let mut routines: Vec<StackRow> = self
+            .symbols
+            .iter()
+            .map(|(id, sym)| StackRow {
+                name: sym.name().to_string(),
+                exclusive_cycles: self.exclusive[id.index()] * self.cycles_per_tick,
+                inclusive_cycles: self.inclusive[id.index()] * self.cycles_per_tick,
+            })
+            .collect();
+        routines.sort_by(|a, b| {
+            b.inclusive_cycles
+                .cmp(&a.inclusive_cycles)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let mut edges: Vec<StackEdge> = self
+            .edges
+            .iter()
+            .map(|(&(caller, callee), &ticks)| StackEdge {
+                caller: self.symbols.symbol(caller).name().to_string(),
+                callee: self.symbols.symbol(callee).name().to_string(),
+                inclusive_cycles: ticks * self.cycles_per_tick,
+            })
+            .collect();
+        edges.sort_by(|a, b| {
+            (&a.caller, &a.callee).cmp(&(&b.caller, &b.callee))
+        });
+        StackReport { routines, edges, samples: self.samples, cycles_per_tick: self.cycles_per_tick }
+    }
+}
+
+impl ProfilingHooks for StackProfiler {
+    fn wants_stack_samples(&self) -> bool {
+        true
+    }
+
+    fn on_stack_sample(&mut self, stack: &[Addr], ticks: u64) {
+        self.samples += ticks;
+        self.frames.clear();
+        self.frames.extend(
+            stack
+                .iter()
+                .map(|&pc| self.symbols.lookup_pc(pc).map(|(id, _)| id)),
+        );
+        // Exclusive: the innermost frame only.
+        if let Some(Some(top)) = self.frames.first() {
+            self.exclusive[top.index()] += ticks;
+        }
+        // Inclusive: each distinct routine on the stack, once.
+        self.seen.iter_mut().for_each(|s| *s = false);
+        for sym in self.frames.iter().flatten() {
+            if !std::mem::replace(&mut self.seen[sym.index()], true) {
+                self.inclusive[sym.index()] += ticks;
+            }
+        }
+        // Edges: adjacent distinct-routine pairs, each pair once per
+        // sample (self-adjacencies from recursion collapse away).
+        let mut sample_edges: Vec<(SymbolId, SymbolId)> = Vec::new();
+        for pair in self.frames.windows(2) {
+            if let [Some(callee), Some(caller)] = pair {
+                if caller != callee && !sample_edges.contains(&(*caller, *callee)) {
+                    sample_edges.push((*caller, *callee));
+                }
+            }
+        }
+        for edge in sample_edges {
+            *self.edges.entry(edge).or_insert(0) += ticks;
+        }
+    }
+}
+
+/// One routine's stack-sampled times: a passive data record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackRow {
+    /// Routine name.
+    pub name: String,
+    /// Cycles while the routine was at the top of the stack.
+    pub exclusive_cycles: u64,
+    /// Cycles while the routine was anywhere on the stack (counted once
+    /// per sample — recursion and cycles need no special handling).
+    pub inclusive_cycles: u64,
+}
+
+/// One caller→callee edge's stack-sampled attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackEdge {
+    /// Caller routine name.
+    pub caller: String,
+    /// Callee routine name.
+    pub callee: String,
+    /// Cycles while the callee's frame sat directly below the caller's.
+    pub inclusive_cycles: u64,
+}
+
+/// The condensed stack-sampling profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackReport {
+    routines: Vec<StackRow>,
+    edges: Vec<StackEdge>,
+    samples: u64,
+    cycles_per_tick: u64,
+}
+
+impl StackReport {
+    /// Rows sorted by decreasing inclusive time.
+    pub fn routines(&self) -> &[StackRow] {
+        &self.routines
+    }
+
+    /// Edges sorted by caller then callee.
+    pub fn edges(&self) -> &[StackEdge] {
+        &self.edges
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Finds a routine row by name.
+    pub fn routine(&self, name: &str) -> Option<&StackRow> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// Finds an edge by endpoint names.
+    pub fn edge(&self, caller: &str, callee: &str) -> Option<&StackEdge> {
+        self.edges
+            .iter()
+            .find(|e| e.caller == caller && e.callee == callee)
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stack-sampling profile ({} samples x {} cycles):\n",
+            self.samples, self.cycles_per_tick
+        );
+        out.push_str("  exclusive   inclusive  name\n");
+        for row in &self.routines {
+            if row.inclusive_cycles == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:>11} {:>11}  {}",
+                row.exclusive_cycles, row.inclusive_cycles, row.name
+            );
+        }
+        out.push_str("\n  inclusive  caller -> callee\n");
+        for edge in &self.edges {
+            let _ = writeln!(
+                out,
+                "{:>11}  {} -> {}",
+                edge.inclusive_cycles, edge.caller, edge.callee
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+
+    fn sample(source: &str, tick: u64) -> (StackReport, graphprof_machine::GroundTruth) {
+        // Stack sampling needs no instrumentation at all: profile an
+        // ordinary build, like a modern sampling profiler would.
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::default())
+            .unwrap();
+        let mut profiler = StackProfiler::new(&exe, tick);
+        let config = MachineConfig { cycles_per_tick: tick, ..MachineConfig::default() };
+        let mut machine = Machine::with_config(exe, config);
+        machine.run(&mut profiler).unwrap();
+        (profiler.finish(), machine.ground_truth().unwrap())
+    }
+
+    #[test]
+    fn inclusive_times_track_ground_truth() {
+        let (report, truth) = sample(
+            "routine main { work 100 call mid }
+             routine mid { work 200 call leaf }
+             routine leaf { work 700 }",
+            1,
+        );
+        for routine in truth.routines() {
+            let row = report.routine(&routine.name).unwrap();
+            let err = (row.inclusive_cycles as f64 - routine.total_cycles as f64).abs();
+            assert!(
+                err <= routine.total_cycles as f64 * 0.02 + 2.0,
+                "{}: {} vs {}",
+                routine.name,
+                row.inclusive_cycles,
+                routine.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_is_not_double_counted() {
+        let (report, truth) = sample(
+            "routine main { setcounter 7, 50 call rec }
+             routine rec { work 20 callwhile 7, rec }",
+            1,
+        );
+        let rec = report.routine("rec").unwrap();
+        let exact = truth.routine("rec").unwrap().total_cycles;
+        assert!(
+            (rec.inclusive_cycles as f64 - exact as f64).abs() < exact as f64 * 0.05 + 2.0,
+            "{} vs {exact}",
+            rec.inclusive_cycles
+        );
+        assert!(rec.inclusive_cycles <= truth.clock());
+    }
+
+    #[test]
+    fn cycles_get_per_member_inclusive_times() {
+        // The §6 failure mode gprof cannot solve: mutual recursion pools
+        // the members. Stack sampling keeps them apart.
+        let (report, truth) = sample(
+            "routine main { setcounter 7, 40 call ping }
+             routine ping { work 10 callwhile 7, pong }
+             routine pong { work 90 callwhile 7, ping }",
+            1,
+        );
+        let ping = report.routine("ping").unwrap();
+        let pong = report.routine("pong").unwrap();
+        // Distinct values, tracking their true (deduplicated) inclusive
+        // times, not a pooled total.
+        let ping_true = truth.routine("ping").unwrap().total_cycles;
+        let pong_true = truth.routine("pong").unwrap().total_cycles;
+        assert!(
+            (ping.inclusive_cycles as f64 - ping_true as f64).abs()
+                < ping_true as f64 * 0.1 + 5.0,
+            "ping {} vs {ping_true}",
+            ping.inclusive_cycles
+        );
+        assert!(
+            (pong.inclusive_cycles as f64 - pong_true as f64).abs()
+                < pong_true as f64 * 0.1 + 5.0,
+            "pong {} vs {pong_true}",
+            pong.inclusive_cycles
+        );
+    }
+
+    #[test]
+    fn edges_attribute_by_actual_stacks_not_averages() {
+        // The §4 pitfall program shape: api is cheap from one caller and
+        // expensive from the other.
+        let (report, truth) = sample(
+            "routine main { call cheap_user call costly_user }
+             routine cheap_user { loop 9 { call api } }
+             routine costly_user { loop 1 { setcounter 7, 2 call api } }
+             routine api { work 10 callwhile 7, expensive }
+             routine expensive { work 990 }",
+            1,
+        );
+        let cheap = report.edge("cheap_user", "api").unwrap().inclusive_cycles;
+        let costly = report.edge("costly_user", "api").unwrap().inclusive_cycles;
+        // Ground truth: sum cycles_under per caller routine.
+        let api_entry = truth.routine("api").unwrap().entry;
+        let (_, total_under) = truth.arcs_into(api_entry);
+        assert!(costly > 5 * cheap, "costly {costly} vs cheap {cheap}");
+        let sampled_total = cheap + costly;
+        assert!(
+            (sampled_total as f64 - total_under as f64).abs()
+                < total_under as f64 * 0.1 + 5.0,
+            "{sampled_total} vs {total_under}"
+        );
+    }
+
+    #[test]
+    fn exclusive_times_sum_to_samples() {
+        let (report, _) = sample(
+            "routine main { work 500 call leaf }
+             routine leaf { work 500 }",
+            7,
+        );
+        let sum: u64 = report.routines().iter().map(|r| r.exclusive_cycles).sum();
+        assert_eq!(sum, report.samples() * 7);
+    }
+
+    #[test]
+    fn render_lists_rows_and_edges() {
+        let (report, _) = sample(
+            "routine main { call leaf }
+             routine leaf { work 300 }",
+            3,
+        );
+        let text = report.render();
+        assert!(text.contains("stack-sampling profile"));
+        assert!(text.contains("main -> leaf"));
+        assert!(text.contains("leaf"));
+    }
+}

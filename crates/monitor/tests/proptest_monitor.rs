@@ -1,0 +1,156 @@
+//! Property-based tests for the monitoring machinery: arc tables against
+//! a model, histogram conservation, and profile-file robustness.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use graphprof_machine::Addr;
+use graphprof_monitor::{
+    ArcRecorder, CallSiteTable, CalleeTable, GmonData, Histogram, RawArc,
+};
+
+const BASE: u32 = 0x1000;
+const TEXT: u32 = 0x800;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    // (site offset, callee offset); a few distinct values so counts grow.
+    proptest::collection::vec((0u32..48, 0u32..16), 0..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both table organizations agree with a plain map model — same arcs,
+    /// same counts — on any record stream.
+    #[test]
+    fn tables_match_model(stream in arb_stream()) {
+        let mut call_site = CallSiteTable::new(Addr::new(BASE), TEXT);
+        let mut callee = CalleeTable::new(Addr::new(BASE), TEXT);
+        let mut model: HashMap<(u32, u32), u64> = HashMap::new();
+        for &(site, dest) in &stream {
+            let from = Addr::new(BASE + site * 8);
+            let to = Addr::new(BASE + 0x400 + dest * 16);
+            call_site.record(from, to);
+            callee.record(from, to);
+            *model.entry((from.get(), to.get())).or_insert(0) += 1;
+        }
+        let mut expected: Vec<RawArc> = model
+            .into_iter()
+            .map(|((f, t), count)| RawArc {
+                from_pc: Addr::new(f),
+                self_pc: Addr::new(t),
+                count,
+            })
+            .collect();
+        expected.sort_by_key(|a| (a.from_pc, a.self_pc));
+        prop_assert_eq!(call_site.arcs(), expected.clone());
+        prop_assert_eq!(callee.arcs(), expected);
+        // Probe accounting: every record costs at least one probe.
+        prop_assert!(call_site.stats().probes >= stream.len() as u64);
+        prop_assert_eq!(call_site.stats().records, stream.len() as u64);
+    }
+
+    /// Reset returns the table to a state indistinguishable from new.
+    #[test]
+    fn reset_is_total(stream in arb_stream()) {
+        let mut table = CallSiteTable::new(Addr::new(BASE), TEXT);
+        for &(site, dest) in &stream {
+            table.record(Addr::new(BASE + site * 8), Addr::new(BASE + dest * 16));
+        }
+        table.reset();
+        prop_assert!(table.arcs().is_empty());
+        // Re-recording behaves like a fresh table.
+        table.record(Addr::new(BASE + 4), Addr::new(BASE + 8));
+        prop_assert_eq!(table.arcs().len(), 1);
+        prop_assert_eq!(table.stats().records, 1);
+    }
+
+    /// Histogram totals conserve every recorded tick: in-range samples
+    /// land in buckets, out-of-range samples in `missed`.
+    #[test]
+    fn histogram_conserves_ticks(
+        shift in 0u8..8,
+        samples in proptest::collection::vec((any::<u32>(), 1u64..50), 0..200),
+    ) {
+        let mut h = Histogram::new(Addr::new(BASE), TEXT, shift);
+        let mut expected = 0u64;
+        for &(pc, ticks) in &samples {
+            h.record(Addr::new(pc), ticks);
+            expected += ticks;
+        }
+        prop_assert_eq!(h.total() + h.missed(), expected);
+        // Bucket ranges tile the text without overlap.
+        let mut cursor = Addr::new(BASE);
+        for i in 0..h.len() {
+            let (lo, hi) = h.bucket_range(i);
+            prop_assert_eq!(lo, cursor);
+            prop_assert!(hi > lo);
+            cursor = hi;
+        }
+        prop_assert_eq!(cursor, Addr::new(BASE + TEXT));
+    }
+
+    /// The profile reader never panics, whatever bytes it is fed.
+    #[test]
+    fn gmon_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = GmonData::from_bytes(&bytes);
+    }
+
+    /// Single-byte corruption of a valid profile either still parses to
+    /// a structurally valid profile or fails cleanly — never panics.
+    #[test]
+    fn gmon_reader_survives_corruption(
+        samples in proptest::collection::vec((0u32..TEXT, 1u64..50), 1..20),
+        index in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut h = Histogram::new(Addr::new(BASE), TEXT, 0);
+        for &(off, ticks) in &samples {
+            h.record(Addr::new(BASE + off), ticks);
+        }
+        let data = GmonData::new(10, h, vec![]);
+        let mut bytes = data.to_bytes();
+        let i = index.index(bytes.len());
+        bytes[i] ^= xor;
+        let _ = GmonData::from_bytes(&bytes);
+    }
+
+    /// Merging is associative on compatible profiles.
+    #[test]
+    fn merge_is_associative(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((0u32..32, 1u64..20), 1..16),
+            3..=3,
+        ),
+    ) {
+        let make = |stream: &[(u32, u64)]| {
+            let mut h = Histogram::new(Addr::new(BASE), TEXT, 2);
+            let mut arcs: HashMap<u32, u64> = HashMap::new();
+            for &(off, n) in stream {
+                h.record(Addr::new(BASE + off), n);
+                *arcs.entry(off).or_insert(0) += n;
+            }
+            let raw: Vec<RawArc> = arcs
+                .into_iter()
+                .map(|(off, count)| RawArc {
+                    from_pc: Addr::new(BASE + off * 8),
+                    self_pc: Addr::new(BASE + 0x100),
+                    count,
+                })
+                .collect();
+            GmonData::new(7, h, raw)
+        };
+        let (a, b, c) = (make(&streams[0]), make(&streams[1]), make(&streams[2]));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b).expect("merges");
+        left.merge(&c).expect("merges");
+        // a + (b + c)
+        let mut right_inner = b.clone();
+        right_inner.merge(&c).expect("merges");
+        let mut right = a.clone();
+        right.merge(&right_inner).expect("merges");
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,250 @@
+//! The baseline profiler: UNIX `prof(1)`, reproduced for comparison.
+//!
+//! "The UNIX system comes with a profiling tool, prof, which we had found
+//! adequate up until then. The profiler consists of three parts: a kernel
+//! module that maintains a histogram of the program counter [...]; a
+//! runtime routine [...] inserted by the compilers at the head of every
+//! function [...]; and a postprocessing program that aggregates and
+//! presents the data. [...] These two sources of information are combined
+//! by post-processing to produce a table of each function listing the
+//! number of times it was called, the time spent in it, and the average
+//! time per call." (retrospective)
+//!
+//! prof has no call graph: a routine's time never flows to its callers.
+//! That is precisely the limitation that motivated gprof — "as we
+//! partitioned operations across several functions [...] the time for an
+//! operation spread across the several functions" — and the comparison
+//! experiment measures it.
+//!
+//! # Example
+//!
+//! ```
+//! use graphprof_machine::{CompileOptions, Program};
+//! use graphprof_prof::run_prof;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Program::builder();
+//! b.routine("main", |r| r.call_n("leaf", 10));
+//! b.routine("leaf", |r| r.work(100));
+//! // prof uses counter instrumentation, not arc recording.
+//! let exe = b.build()?.compile(&CompileOptions::counted())?;
+//! let report = run_prof(exe, 10, 1e6)?;
+//! assert_eq!(report.row("leaf").unwrap().calls, Some(10));
+//! # Ok(())
+//! # }
+//! ```
+
+use graphprof_machine::{
+    Addr, Executable, InterpError, Machine, MachineConfig, SymbolTable,
+};
+use graphprof_monitor::{Histogram, RuntimeProfiler};
+
+/// One row of the prof table: a passive data record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfRow {
+    /// Routine name.
+    pub name: String,
+    /// Percentage of total time spent in the routine itself.
+    pub percent: f64,
+    /// Seconds spent in the routine itself.
+    pub self_seconds: f64,
+    /// Number of calls counted by the runtime routine; `None` when the
+    /// routine was compiled without the counting prologue.
+    pub calls: Option<u64>,
+    /// Average self milliseconds per call.
+    pub ms_per_call: Option<f64>,
+}
+
+/// The prof report: a flat table, nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfReport {
+    rows: Vec<ProfRow>,
+    total_seconds: f64,
+}
+
+impl ProfReport {
+    /// Builds the report from a histogram and per-routine call counts
+    /// (`counts` pairs routine entry addresses with counts, as produced by
+    /// [`RuntimeProfiler::call_counts`]).
+    pub fn build(
+        symbols: &SymbolTable,
+        histogram: &Histogram,
+        counts: &[(Addr, u64)],
+        cycles_per_tick: u64,
+        cycles_per_second: f64,
+    ) -> ProfReport {
+        let (self_cycles, _unattributed) =
+            graphprof::profile::assign_self_cycles(histogram, symbols, cycles_per_tick);
+        let total_cycles: f64 = self_cycles.iter().sum();
+        let total_seconds = total_cycles / cycles_per_second;
+        let mut rows = Vec::new();
+        for (id, sym) in symbols.iter() {
+            let self_seconds = self_cycles[id.index()] / cycles_per_second;
+            let calls = counts
+                .iter()
+                .find(|&&(addr, _)| addr == sym.addr())
+                .map(|&(_, c)| c);
+            if self_seconds == 0.0 && calls.unwrap_or(0) == 0 {
+                continue;
+            }
+            rows.push(ProfRow {
+                name: sym.name().to_string(),
+                percent: if total_cycles > 0.0 {
+                    100.0 * self_cycles[id.index()] / total_cycles
+                } else {
+                    0.0
+                },
+                self_seconds,
+                calls,
+                ms_per_call: calls
+                    .filter(|&c| c > 0)
+                    .map(|c| self_seconds * 1e3 / c as f64),
+            });
+        }
+        rows.sort_by(|a, b| {
+            b.self_seconds
+                .partial_cmp(&a.self_seconds)
+                .expect("self times are finite")
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        ProfReport { rows, total_seconds }
+    }
+
+    /// The rows, sorted by decreasing self time.
+    pub fn rows(&self) -> &[ProfRow] {
+        &self.rows
+    }
+
+    /// Total execution time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_seconds
+    }
+
+    /// Finds a row by routine name.
+    pub fn row(&self, name: &str) -> Option<&ProfRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the classic three-column-ish prof table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str(" %time   seconds     calls  ms/call  name\n");
+        for row in &self.rows {
+            let calls = row.calls.map(|c| c.to_string()).unwrap_or_default();
+            let ms = row.ms_per_call.map(|v| format!("{v:.2}")).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{:>6.1} {:>9.2} {:>9} {:>8}  {}",
+                row.percent, row.self_seconds, calls, ms, row.name,
+            );
+        }
+        let _ = writeln!(out, "\ntotal: {:.2} seconds", self.total_seconds);
+        out
+    }
+}
+
+/// Runs an executable (compiled with
+/// [`CompileOptions::counted`](graphprof_machine::CompileOptions::counted))
+/// under prof-style monitoring and builds the report.
+///
+/// # Errors
+///
+/// Propagates any [`InterpError`] from the run.
+pub fn run_prof(
+    exe: Executable,
+    cycles_per_tick: u64,
+    cycles_per_second: f64,
+) -> Result<ProfReport, InterpError> {
+    let mut profiler = RuntimeProfiler::new(&exe, cycles_per_tick);
+    let config = MachineConfig { cycles_per_tick, ..MachineConfig::default() };
+    let symbols = exe.symbols().clone();
+    let mut machine = Machine::with_config(exe, config);
+    machine.run(&mut profiler)?;
+    Ok(ProfReport::build(
+        &symbols,
+        profiler.histogram(),
+        &profiler.call_counts(),
+        cycles_per_tick,
+        cycles_per_second,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+
+    fn counted_exe(source: &str) -> Executable {
+        graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::counted())
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_and_times_per_routine() {
+        let exe = counted_exe(
+            "routine main { loop 5 { call leaf } }
+             routine leaf { work 1000 }",
+        );
+        let report = run_prof(exe, 10, 1e6).unwrap();
+        let leaf = report.row("leaf").unwrap();
+        assert_eq!(leaf.calls, Some(5));
+        assert!(leaf.self_seconds > 0.0);
+        assert!(leaf.ms_per_call.unwrap() > 0.0);
+        assert_eq!(report.rows()[0].name, "leaf", "sorted by self time");
+    }
+
+    #[test]
+    fn prof_shows_diffuse_abstraction_costs() {
+        // The motivating failure: an abstraction split across three
+        // routines shows as three small times, not one big one.
+        let exe = counted_exe(
+            "routine main { loop 10 { call lookup call insert call delete } }
+             routine lookup { work 300 }
+             routine insert { work 300 }
+             routine delete { work 300 }",
+        );
+        let report = run_prof(exe, 10, 1e6).unwrap();
+        for name in ["lookup", "insert", "delete"] {
+            let row = report.row(name).unwrap();
+            assert!(row.percent < 40.0, "{name} shows only its slice");
+            assert!(row.percent > 25.0);
+        }
+        // prof has no way to show the combined 99%.
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let exe = counted_exe(
+            "routine main { call a call b }
+             routine a { work 600 }
+             routine b { work 400 }",
+        );
+        let report = run_prof(exe, 5, 1e6).unwrap();
+        let sum: f64 = report.rows().iter().map(|r| r.percent).sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn never_run_routines_are_omitted() {
+        let exe = counted_exe(
+            "routine main { work 100 }
+             routine unused { work 100 }",
+        );
+        let report = run_prof(exe, 5, 1e6).unwrap();
+        assert!(report.row("unused").is_none());
+        assert!(report.row("main").is_some());
+    }
+
+    #[test]
+    fn render_contains_table() {
+        let exe = counted_exe("routine main { work 500 }");
+        let report = run_prof(exe, 5, 1e6).unwrap();
+        let text = report.render();
+        assert!(text.contains("%time"));
+        assert!(text.contains("main"));
+        assert!(text.contains("total:"));
+    }
+}

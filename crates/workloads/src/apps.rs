@@ -1,0 +1,171 @@
+//! Application-scale workloads: program shapes like the ones the paper's
+//! authors actually profiled — a compiler, a document formatter, and a
+//! network service. Larger than the worked examples, with the structural
+//! features that make call graph profiles earn their keep: shared
+//! abstractions with heavy fan-in, a recursion cycle, phases with
+//! different mixes of the same helpers, and rarely-taken paths.
+
+use graphprof_machine::{Program, ProgramBuilder};
+
+fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+    let mut b = Program::builder();
+    f(&mut b);
+    b.build().expect("app workloads are well-formed")
+}
+
+/// A compiler front-to-back: lex → parse (a recursive-descent expression
+/// cycle) → typecheck → codegen, all sharing a symbol table (backed by a
+/// hash routine) and a string interner.
+///
+/// `units` scales the number of "compilation units" processed.
+pub fn compiler_pipeline(units: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            r.set_counter(7, 40 * units + 1)
+                .loop_n(units, |u| u.call("compile_unit"))
+        });
+        b.routine("compile_unit", |r| {
+            r.call("lex").call("parse").call("typecheck").call("codegen")
+        });
+        // Lexing: many cheap token reads, interning identifiers.
+        b.routine("lex", |r| {
+            r.work(40).loop_n(30, |l| l.call("next_token"))
+        });
+        b.routine("next_token", |r| r.work(8).call("intern"));
+        b.routine("intern", |r| r.work(6).call("hash"));
+        // Parsing: a recursive-descent cycle over expressions, consuming
+        // a shared recursion budget so the run terminates.
+        b.routine("parse", |r| r.work(25).loop_n(6, |l| l.call("parse_stmt")));
+        b.routine("parse_stmt", |r| r.work(12).call("parse_expr"));
+        b.routine("parse_expr", |r| r.work(10).call("parse_term"));
+        b.routine("parse_term", |r| r.work(9).call_while(7, "parse_expr"));
+        // Typechecking: symbol table lookups dominate.
+        b.routine("typecheck", |r| {
+            r.work(30)
+                .loop_n(25, |l| l.call("st_lookup"))
+                .loop_n(8, |l| l.call("st_insert"))
+        });
+        // Codegen: emits through a buffered writer.
+        b.routine("codegen", |r| {
+            r.work(35)
+                .loop_n(12, |l| l.call("st_lookup"))
+                .loop_n(20, |l| l.call("emit"))
+        });
+        b.routine("emit", |r| r.work(7).call("buf_write"));
+        b.routine("st_lookup", |r| r.work(11).call("hash"));
+        b.routine("st_insert", |r| r.work(16).call("hash"));
+        b.routine("hash", |r| r.work(9));
+        b.routine("buf_write", |r| r.work(5));
+    })
+}
+
+/// A document formatter: per paragraph, tokenize words, fill lines,
+/// occasionally hyphenate (a rarely-taken path), and flush through a
+/// shared output abstraction.
+///
+/// `paragraphs` scales the document; hyphenation triggers on a small
+/// budget, so its arc has a low traversal count relative to the fill loop.
+pub fn text_formatter(paragraphs: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            r.set_counter(6, paragraphs / 4 + 1)
+                .loop_n(paragraphs, |p| p.call("format_paragraph"))
+        });
+        b.routine("format_paragraph", |r| {
+            r.work(20).call("tokenize").loop_n(8, |l| l.call("fill_line"))
+        });
+        b.routine("tokenize", |r| r.work(15).loop_n(40, |l| l.call("next_word")));
+        b.routine("next_word", |r| r.work(6));
+        b.routine("fill_line", |r| {
+            r.work(18).call_while(6, "hyphenate").call("flush_line")
+        });
+        b.routine("hyphenate", |r| r.work(120));
+        b.routine("flush_line", |r| r.work(8).call("out_write"));
+        b.routine("out_write", |r| r.work(12));
+    })
+}
+
+/// A network service: an accept loop dispatching requests through
+/// protocol layers onto a shared buffer cache, with a slow path (cache
+/// miss → disk) taken on a budget.
+///
+/// `requests` scales the run; cache misses are rare by construction.
+pub fn network_server(requests: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            r.set_counter(5, requests / 8 + 1)
+                .loop_n(requests, |l| l.call("handle_request"))
+        });
+        b.routine("handle_request", |r| {
+            r.work(10).call("read_request").call("process").call("send_reply")
+        });
+        b.routine("read_request", |r| r.work(25).call("buf_get"));
+        b.routine("process", |r| {
+            r.work(40).loop_n(3, |l| l.call("buf_get")).call("encode")
+        });
+        b.routine("send_reply", |r| r.work(20).call("encode").call("buf_get"));
+        b.routine("encode", |r| r.work(15));
+        // The shared buffer cache: hot path cheap, miss path expensive and
+        // rare (budgeted).
+        b.routine("buf_get", |r| r.work(12).call_while(5, "disk_read"));
+        b.routine("disk_read", |r| r.work(400));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::{CompileOptions, Machine, NoHooks};
+
+    fn run_truth(program: &Program) -> graphprof_machine::GroundTruth {
+        let exe = program.compile(&CompileOptions::default()).unwrap();
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        m.ground_truth().unwrap()
+    }
+
+    #[test]
+    fn compiler_pipeline_shapes() {
+        let truth = run_truth(&compiler_pipeline(3));
+        assert_eq!(truth.routine("compile_unit").unwrap().calls, 3);
+        assert_eq!(truth.routine("next_token").unwrap().calls, 90);
+        // hash fans in from intern, st_lookup, st_insert.
+        let hash_calls = truth.routine("hash").unwrap().calls;
+        let intern = truth.routine("intern").unwrap().calls;
+        let lookups = truth.routine("st_lookup").unwrap().calls;
+        let inserts = truth.routine("st_insert").unwrap().calls;
+        assert_eq!(hash_calls, intern + lookups + inserts);
+        // The parser cycle actually recursed.
+        assert!(truth.routine("parse_expr").unwrap().calls
+            > truth.routine("parse_stmt").unwrap().calls);
+    }
+
+    #[test]
+    fn compiler_pipeline_scales_with_units() {
+        let small = run_truth(&compiler_pipeline(1));
+        let large = run_truth(&compiler_pipeline(4));
+        assert!(large.clock() > 3 * small.clock());
+    }
+
+    #[test]
+    fn text_formatter_hyphenation_is_rare() {
+        let truth = run_truth(&text_formatter(16));
+        let fills = truth.routine("fill_line").unwrap().calls;
+        let hyphens = truth.routine("hyphenate").unwrap().calls;
+        assert_eq!(fills, 128);
+        assert!(hyphens > 0);
+        assert!(hyphens * 10 < fills, "{hyphens} of {fills}");
+    }
+
+    #[test]
+    fn network_server_misses_are_rare_but_expensive() {
+        let truth = run_truth(&network_server(40));
+        let gets = truth.routine("buf_get").unwrap().calls;
+        let misses = truth.routine("disk_read").unwrap().calls;
+        assert_eq!(gets, 40 * 5);
+        assert!(misses * 20 < gets, "{misses} of {gets}");
+        // Despite rarity, the miss path is a visible share of time.
+        let miss_time = truth.routine("disk_read").unwrap().self_cycles;
+        assert!(miss_time as f64 > 0.05 * truth.clock() as f64);
+    }
+}

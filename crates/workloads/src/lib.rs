@@ -1,0 +1,18 @@
+//! Workload programs for the graphprof experiments.
+//!
+//! * [`paper`] — the shapes the paper itself discusses: the Figure 1/2
+//!   graphs, the §6 output-formatting program, the symbol-table
+//!   abstraction, kernel-like cyclic subsystems, and the pitfalls
+//!   (skewed per-call costs, short-running routines);
+//! * [`synthetic`] — seeded random program generators for scaling and
+//!   stress: layered DAGs, fan-in/fan-out extremes, call-dense vs
+//!   compute-dense mixes, and recursive-descent-parser shapes;
+//! * [`apps`] — application-scale shapes (a compiler pipeline, a document
+//!   formatter, a network service) for realistic end-to-end runs.
+//!
+//! All generators are deterministic: the same inputs produce the same
+//! program, so experiment outputs are reproducible.
+
+pub mod apps;
+pub mod paper;
+pub mod synthetic;

@@ -1,0 +1,411 @@
+//! The worked examples and motivating shapes from the paper.
+
+use graphprof_callgraph::{CallGraph, NodeId};
+use graphprof_machine::{Program, ProgramBuilder};
+
+fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+    let mut b = Program::builder();
+    f(&mut b);
+    b.build().expect("workload programs are well-formed")
+}
+
+/// The ten-node DAG of Figure 1, as a bare call graph (node names `r0`
+/// through `r9`; `r0` is the root). Arc counts are all one — the figure
+/// illustrates topological numbering, not time.
+pub fn fig1_graph() -> CallGraph {
+    let mut g = CallGraph::with_nodes((0..10).map(|i| format!("r{i}")));
+    let n: Vec<NodeId> = g.nodes().collect();
+    for &(a, b) in &[
+        (0usize, 1usize),
+        (0, 2),
+        (1, 3),
+        (1, 4),
+        (2, 4),
+        (2, 9),
+        (3, 5),
+        (3, 6),
+        (4, 7),
+        (4, 8),
+    ] {
+        g.add_arc(n[a], n[b], 1);
+    }
+    g
+}
+
+/// Figure 2: the Figure 1 graph with the nodes labelled 3 and 7 made
+/// mutually recursive.
+pub fn fig2_graph() -> CallGraph {
+    let mut g = fig1_graph();
+    let r3 = g.node_by_name("r3").expect("node exists");
+    let r7 = g.node_by_name("r7").expect("node exists");
+    g.add_arc(r3, r7, 1);
+    g.add_arc(r7, r3, 1);
+    g
+}
+
+/// The §6 case study: "the call graph of the output portion of the
+/// program" — three calculation routines feeding two format routines
+/// feeding the `write` system call.
+///
+/// `calc1` uses `format1`; `calc2` and `calc3` share `format2`; both
+/// format routines call `write`. Call counts are distinct so the profile
+/// entries are unambiguous.
+pub fn output_program() -> Program {
+    build(|b| {
+        b.routine("main", |r| {
+            r.call_n("calc1", 3).call_n("calc2", 4).call_n("calc3", 5)
+        });
+        b.routine("calc1", |r| r.work(50).call_n("format1", 2));
+        b.routine("calc2", |r| r.work(60).call_n("format2", 3));
+        b.routine("calc3", |r| r.work(70).call_n("format2", 1));
+        b.routine("format1", |r| r.work(30).call("write"));
+        b.routine("format2", |r| r.work(40).call("write"));
+        b.routine("write", |r| r.work(100));
+    })
+}
+
+/// The motivating "diffuse abstraction": a buffer abstraction used from a
+/// producer (`producer_calls` times) and a consumer (`consumer_calls`
+/// times), each buffer operation costing `work` cycles.
+///
+/// In a flat profile the buffer's time is one large anonymous lump with
+/// two invisible beneficiaries; the call graph profile splits it between
+/// producer and consumer by call counts.
+pub fn abstraction_program(producer_calls: u32, consumer_calls: u32, work: u32) -> Program {
+    build(|b| {
+        b.routine("main", |r| r.call("producer").call("consumer"));
+        b.routine("producer", |r| {
+            r.work(10).loop_n(producer_calls, |l| l.call("buffer"))
+        });
+        b.routine("consumer", |r| {
+            r.work(10).loop_n(consumer_calls, |l| l.call("buffer"))
+        });
+        b.routine("buffer", move |r| r.work(work));
+    })
+}
+
+/// The §6 symbol-table abstraction: `lookup`, `insert`, and `delete` all
+/// hash; three compiler phases use them in different mixes. The
+/// abstraction's total cost is spread over four routines and three
+/// callers — invisible to prof, reassembled by gprof.
+pub fn symbol_table_program() -> Program {
+    symbol_table_program_tuned(50, 45)
+}
+
+/// [`symbol_table_program`] with tunable costs for the two routines §6
+/// suggests optimizing: the lookup algorithm ("an inefficient linear
+/// search algorithm, that might be replaced with a binary search") and
+/// the hash function ("a different hash function or a larger hash
+/// table"). Lets the iterative-optimization experiment play out the
+/// paper's workflow: profile, fix the bottleneck, re-profile, diff.
+pub fn symbol_table_program_tuned(lookup_work: u32, hash_work: u32) -> Program {
+    build(move |b| {
+        b.routine("main", |r| r.call("parse").call("optimize").call("codegen"));
+        b.routine("parse", |r| {
+            r.work(200)
+                .loop_n(40, |l| l.call("insert"))
+                .loop_n(60, |l| l.call("lookup"))
+        });
+        b.routine("optimize", |r| r.work(200).loop_n(80, |l| l.call("lookup")));
+        b.routine("codegen", |r| {
+            r.work(200)
+                .loop_n(30, |l| l.call("lookup"))
+                .loop_n(20, |l| l.call("delete"))
+        });
+        b.routine("lookup", move |r| r.work(lookup_work).call("hash"));
+        b.routine("insert", |r| r.work(70).call("hash"));
+        b.routine("delete", |r| r.work(60).call("hash"));
+        b.routine("hash", move |r| r.work(hash_work));
+    })
+}
+
+/// A runnable program with every structural feature of the paper's
+/// Figure 4 entry for `EXAMPLE`:
+///
+/// * called by two callers (4 and 6 times — the `4/10` and `6/10`);
+/// * self-recursive (the `10+4`);
+/// * calls into a two-member cycle (`SUB1 <cycle1>`) that has other
+///   external callers, so the fraction's denominator exceeds EXAMPLE's
+///   own count;
+/// * rarely calls `SUB2` (the `1/5`);
+/// * holds a *statically apparent but never traversed* call to `SUB3`
+///   (the `0/5`), behind a never-armed conditional.
+///
+/// The exact times of Figure 4 are reproduced synthetically by the `fig4`
+/// experiment; this program demonstrates that the same *structure* falls
+/// out of a real execution.
+pub fn example_program() -> Program {
+    build(|b| {
+        b.routine("main", |r| {
+            r.set_counter(7, 5) // 4 self-recursive EXAMPLE calls
+                .set_counter(6, 2) // 1 EXAMPLE -> SUB2 call
+                .set_counter(4, 8) // 7 traversals inside the cycle
+                // counter 5 stays 0: EXAMPLE -> SUB3 never fires.
+                .call("CALLER1")
+                .call("CALLER2")
+                .call("OTHER")
+        });
+        b.routine("CALLER1", |r| r.work(20).loop_n(4, |l| l.call("EXAMPLE")));
+        b.routine("CALLER2", |r| r.work(20).loop_n(6, |l| l.call("EXAMPLE")));
+        b.routine("EXAMPLE", |r| {
+            r.work(50)
+                .call_while(7, "EXAMPLE")
+                .call("SUB1")
+                .call_while(6, "SUB2")
+                .call_while(5, "SUB3")
+        });
+        b.routine("SUB1", |r| r.work(30).call_while(4, "SUB1B"));
+        b.routine("SUB1B", |r| r.work(20).call_while(4, "SUB1"));
+        b.routine("SUB2", |r| r.work(40).call("LEAF2"));
+        b.routine("SUB3", |r| r.work(25));
+        b.routine("LEAF2", |r| r.work(60));
+        b.routine("OTHER", |r| {
+            r.work(15)
+                .loop_n(6, |l| l.call("SUB1B"))
+                .loop_n(4, |l| l.call("SUB2"))
+                .loop_n(5, |l| l.call("SUB3"))
+        });
+    })
+}
+
+/// Terminating mutual recursion: `ping` and `pong` call each other until
+/// a shared budget of `budget` conditional calls is exhausted (register 7
+/// holds the counter). Produces a genuine two-member cycle in the dynamic
+/// call graph.
+pub fn mutual_recursion_program(budget: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| r.set_counter(7, budget + 1).call("ping"));
+        b.routine("ping", |r| r.work(40).call_while(7, "pong"));
+        b.routine("pong", |r| r.work(60).call_while(7, "ping"));
+    })
+}
+
+/// A program shaped like the Figure 1/2 example: routines `r0`..`r9` with
+/// the DAG arcs of [`fig1_graph`], plus the Figure 2 mutual recursion
+/// between `r3` and `r7` driven by a bounded counter. `r0` is the entry.
+pub fn figure2_program(recursion_budget: u32) -> Program {
+    build(|b| {
+        b.routine("r0", move |r| {
+            r.set_counter(7, recursion_budget + 1)
+                .work(10)
+                .call("r1")
+                .call("r2")
+        });
+        b.routine("r1", |r| r.work(20).call("r3").call("r4"));
+        b.routine("r2", |r| r.work(20).call("r4").call("r9"));
+        b.routine("r3", |r| r.work(30).call("r5").call("r6").call_while(7, "r7"));
+        b.routine("r4", |r| r.work(30).call("r7").call("r8"));
+        b.routine("r5", |r| r.work(40));
+        b.routine("r6", |r| r.work(40));
+        b.routine("r7", |r| r.work(40).call_while(7, "r3"));
+        b.routine("r8", |r| r.work(40));
+        b.routine("r9", |r| r.work(40));
+    })
+}
+
+/// A kernel-like system (retrospective): a scheduler loop driving three
+/// subsystems, with two *low-count* arcs closing a large cycle through
+/// the buffer cache — the shape whose profiles were unusable until the
+/// closing arcs were removed.
+///
+/// `rounds` bounds the scheduler loop so the program terminates; pass a
+/// large value and drive the machine with `run_for` to emulate a
+/// never-ending kernel.
+pub fn kernel_program(rounds: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            // Arm the cycle-closing arcs with a small budget: they are
+            // traversed rarely relative to the main service arcs.
+            r.set_counter(7, 4).set_counter(6, 3).loop_n(rounds, |l| l.call("sched"))
+        });
+        b.routine("sched", |r| r.work(5).call("net").call("disk").call("vm"));
+        b.routine("net", |r| r.work(30).call("buf"));
+        b.routine("disk", |r| r.work(80).call("buf"));
+        b.routine("vm", |r| r.work(20).call_while(6, "disk"));
+        // buf occasionally re-enters the scheduler (a deferred wakeup):
+        // the low-count arc that closes the big cycle.
+        b.routine("buf", |r| r.work(40).call_while(7, "sched"));
+    })
+}
+
+/// The §4 pitfall: "we have only single arcs in the call graph, and so
+/// distribute the 'average time' to callers in proportion to how many
+/// times they called the function", which "need not reflect reality,
+/// e.g., if some calls take longer than others".
+///
+/// `api` costs little by itself but conditionally performs expensive
+/// work. `costly_user` arms the condition before each of its
+/// `costly_calls`; `cheap_user` never does. gprof will average, charging
+/// `cheap_user` for work it never caused.
+pub fn skewed_sites_program(cheap_calls: u32, costly_calls: u32) -> Program {
+    build(|b| {
+        b.routine("main", |r| r.call("cheap_user").call("costly_user"));
+        b.routine("cheap_user", move |r| {
+            r.work(10).loop_n(cheap_calls, |l| l.call("api"))
+        });
+        b.routine("costly_user", move |r| {
+            r.work(10)
+                .loop_n(costly_calls, |l| l.set_counter(7, 2).call("api"))
+        });
+        b.routine("api", |r| r.work(10).call_while(7, "expensive"));
+        b.routine("expensive", |r| r.work(990));
+    })
+}
+
+/// The §4 static-arcs scenario: `b` holds a conditional call back to `a`
+/// that only some executions traverse. With `budget == 0` the closing arc
+/// never fires, so the *dynamic* call graph is acyclic for that run; with
+/// `budget > 0` the same text produces a cycle. The static call graph sees
+/// the `call a` instruction either way, "so that cycles will have the same
+/// members regardless of how the program runs".
+pub fn sometimes_recursive_program(budget: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| r.set_counter(7, budget).call("a"));
+        b.routine("a", |r| r.work(50).call("b"));
+        b.routine("b", |r| r.work(50).call_while(7, "a"));
+    })
+}
+
+/// A short-running routine exercised `calls` times per run with `work`
+/// cycles per call — the multi-run summation target: one run yields too
+/// few samples for a stable estimate; summing many runs accumulates them.
+///
+/// `lead_work` models run-to-run input variation: it shifts the phase of
+/// the clock-tick sampling relative to the code, the way different inputs
+/// would on a real machine, without changing the text layout (so profiles
+/// from different `lead_work` values still merge).
+pub fn short_routine_program(calls: u32, work: u32, lead_work: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            r.work(2000 + lead_work)
+                .loop_n(calls, |l| l.call("blip"))
+                .work(2000)
+        });
+        b.routine("blip", move |r| r.work(work));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::{CompileOptions, Machine, NoHooks};
+
+    fn run_truth(program: &Program) -> graphprof_machine::GroundTruth {
+        let exe = program.compile(&CompileOptions::default()).unwrap();
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        m.ground_truth().unwrap()
+    }
+
+    #[test]
+    fn fig1_graph_is_an_acyclic_ten_node_dag() {
+        let g = fig1_graph();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.arc_count(), 10);
+        assert!(graphprof_callgraph::arc_removal::is_propagation_acyclic(&g));
+    }
+
+    #[test]
+    fn fig2_graph_has_the_three_seven_cycle() {
+        let g = fig2_graph();
+        let scc = graphprof_callgraph::SccResult::analyze(&g);
+        let r3 = g.node_by_name("r3").unwrap();
+        let r7 = g.node_by_name("r7").unwrap();
+        assert_eq!(scc.comp(r3), scc.comp(r7));
+        assert_eq!(scc.cycles().len(), 1);
+    }
+
+    #[test]
+    fn output_program_runs_and_write_dominates_fanin() {
+        let truth = run_truth(&output_program());
+        // write is called by both formats: 3*2 + 4*3 + 5*1 = 23 times.
+        assert_eq!(truth.routine("write").unwrap().calls, 23);
+        assert_eq!(truth.routine("format2").unwrap().calls, 17);
+    }
+
+    #[test]
+    fn abstraction_program_call_counts() {
+        let truth = run_truth(&abstraction_program(10, 30, 100));
+        assert_eq!(truth.routine("buffer").unwrap().calls, 40);
+        // The buffer dominates total time.
+        let buffer = truth.routine("buffer").unwrap();
+        assert!(buffer.self_cycles as f64 > 0.8 * truth.clock() as f64);
+    }
+
+    #[test]
+    fn symbol_table_program_spreads_abstraction() {
+        let truth = run_truth(&symbol_table_program());
+        assert_eq!(truth.routine("lookup").unwrap().calls, 170);
+        assert_eq!(truth.routine("insert").unwrap().calls, 40);
+        assert_eq!(truth.routine("delete").unwrap().calls, 20);
+        assert_eq!(truth.routine("hash").unwrap().calls, 230);
+    }
+
+    #[test]
+    fn mutual_recursion_terminates_with_budget() {
+        let truth = run_truth(&mutual_recursion_program(9));
+        let ping = truth.routine("ping").unwrap().calls;
+        let pong = truth.routine("pong").unwrap().calls;
+        assert_eq!(ping + pong, 10, "1 entry + 9 budgeted calls");
+    }
+
+    #[test]
+    fn figure2_program_produces_the_cycle_dynamically() {
+        let truth = run_truth(&figure2_program(6));
+        assert!(truth.routine("r3").unwrap().calls > 1);
+        assert!(truth.routine("r7").unwrap().calls > 1);
+        // All leaves got called.
+        for leaf in ["r5", "r6", "r8", "r9"] {
+            assert!(truth.routine(leaf).unwrap().calls >= 1, "{leaf}");
+        }
+    }
+
+    #[test]
+    fn kernel_program_closing_arcs_are_rare() {
+        let truth = run_truth(&kernel_program(50));
+        let (sched_calls, _) = truth.arcs_into(truth.routine("sched").unwrap().entry);
+        // sched runs ~50 times from main but only ~3 times from buf.
+        assert!(sched_calls > 50);
+        assert!(sched_calls < 56);
+    }
+
+    #[test]
+    fn skewed_sites_ground_truth_is_skewed() {
+        let program = skewed_sites_program(9, 1);
+        let truth = run_truth(&program);
+        assert_eq!(truth.routine("api").unwrap().calls, 10);
+        assert_eq!(truth.routine("expensive").unwrap().calls, 1);
+        // The one costly call is ~100x the cheap ones.
+        assert!(truth.routine("expensive").unwrap().self_cycles >= 990);
+    }
+
+    #[test]
+    fn sometimes_recursive_traverses_only_when_armed() {
+        let cold = run_truth(&sometimes_recursive_program(0));
+        assert_eq!(cold.routine("a").unwrap().calls, 1);
+        let hot = run_truth(&sometimes_recursive_program(6));
+        assert!(hot.routine("a").unwrap().calls > 1, "closing arc fired");
+        assert!(hot.clock() > cold.clock());
+    }
+
+    #[test]
+    fn example_program_counts_match_figure4_structure() {
+        let truth = run_truth(&example_program());
+        let example = truth.routine("EXAMPLE").unwrap();
+        assert_eq!(example.calls, 14, "10 external + 4 self-recursive");
+        assert_eq!(truth.routine("SUB3").unwrap().calls, 5, "never from EXAMPLE");
+        assert_eq!(truth.routine("SUB2").unwrap().calls, 5, "1 + 4");
+        // External calls into the cycle: EXAMPLE's 14 + OTHER's 6.
+        let sub1 = truth.routine("SUB1").unwrap().calls;
+        let sub1b = truth.routine("SUB1B").unwrap().calls;
+        assert_eq!(sub1 + sub1b, 20 + 7, "20 external + 7 intra-cycle");
+    }
+
+    #[test]
+    fn short_routine_is_a_small_fraction_of_a_run() {
+        let truth = run_truth(&short_routine_program(5, 7, 0));
+        let blip = truth.routine("blip").unwrap();
+        assert_eq!(blip.calls, 5);
+        assert!((blip.self_cycles as f64) < 0.05 * truth.clock() as f64);
+    }
+}

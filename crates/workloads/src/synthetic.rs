@@ -1,0 +1,228 @@
+//! Seeded synthetic program generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use graphprof_machine::{BodyBuilder, Program, ProgramBuilder};
+
+fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+    let mut b = Program::builder();
+    f(&mut b);
+    b.build().expect("generated programs are well-formed")
+}
+
+/// Parameters for [`layered_dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagParams {
+    /// Number of layers below the root.
+    pub layers: u32,
+    /// Routines per layer.
+    pub width: u32,
+    /// Maximum distinct callees per routine (drawn from the next layer).
+    pub max_fanout: u32,
+    /// Maximum calls per chosen callee (loop count).
+    pub max_calls: u32,
+    /// Maximum `work` cycles per routine body.
+    pub max_work: u32,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams { layers: 4, width: 6, max_fanout: 3, max_calls: 5, max_work: 200 }
+    }
+}
+
+/// Generates a layered, acyclic program: a root calling into `layers`
+/// layers of `width` routines, each calling a random subset of the next
+/// layer. Deterministic in `seed`.
+pub fn layered_dag(seed: u64, params: DagParams) -> Program {
+    assert!(params.layers > 0 && params.width > 0, "need at least one layer and routine");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let name = |layer: u32, i: u32| format!("l{layer}_f{i}");
+    /// One planned routine: its work plus `(callee, calls)` pairs.
+    type RoutinePlan = (u32, Vec<(String, u32)>);
+    let mut plan: Vec<Vec<RoutinePlan>> = Vec::new();
+    for layer in 0..params.layers {
+        let mut row = Vec::new();
+        for _ in 0..params.width {
+            let work = rng.gen_range(1..=params.max_work);
+            let mut callees = Vec::new();
+            if layer + 1 < params.layers {
+                let fanout = rng.gen_range(0..=params.max_fanout);
+                for _ in 0..fanout {
+                    let target = rng.gen_range(0..params.width);
+                    let calls = rng.gen_range(1..=params.max_calls);
+                    callees.push((name(layer + 1, target), calls));
+                }
+            }
+            row.push((work, callees));
+        }
+        plan.push(row);
+    }
+    build(move |b| {
+        b.routine("main", |mut r| {
+            for i in 0..params.width {
+                r = r.call(name(0, i));
+            }
+            r
+        });
+        for (layer, row) in plan.iter().enumerate() {
+            for (i, (work, callees)) in row.iter().enumerate() {
+                let routine_name = name(layer as u32, i as u32);
+                let work = *work;
+                let callees = callees.clone();
+                b.routine(routine_name, move |mut r: BodyBuilder| {
+                    r = r.work(work);
+                    for (callee, calls) in callees {
+                        r = r.call_n(callee, calls);
+                    }
+                    r
+                });
+            }
+        }
+    })
+}
+
+/// Fan-in extreme: `sites` distinct routines each calling one popular
+/// routine once per round, interleaved round-robin for `rounds` rounds.
+/// This is the worst case for the callee-primary arc table (§3.1): with
+/// the sites interleaving, most records for `popular` walk a long chain of
+/// the other sites' arcs.
+pub fn fan_in_program(sites: u32, rounds: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            r.loop_n(rounds, |mut l| {
+                for i in 0..sites {
+                    l = l.call(format!("site{i}"));
+                }
+                l
+            })
+        });
+        for i in 0..sites {
+            b.routine(format!("site{i}"), move |r| r.work(5).call("popular"));
+        }
+        b.routine("popular", |r| r.work(10));
+    })
+}
+
+/// Fan-out extreme: one *indirect* call site reaching `dests` different
+/// routines — the paper's "functional parameters and functional
+/// variables", the only source of collisions in the call-site-primary
+/// table.
+pub fn fan_out_indirect_program(dests: u32, rounds: u32) -> Program {
+    assert!(dests >= 1, "need at least one destination");
+    build(|b| {
+        b.routine("main", |mut r| {
+            for _ in 0..rounds {
+                for i in 0..dests {
+                    r = r.set_slot(0, format!("dest{i}")).call("dispatch");
+                }
+            }
+            r
+        });
+        // The single indirect call site lives in dispatch.
+        b.routine("dispatch", |r| r.call_indirect(0));
+        for i in 0..dests {
+            b.routine(format!("dest{i}"), |r| r.work(10));
+        }
+    })
+}
+
+/// A program whose call density is tunable: `calls` calls to a leaf whose
+/// body costs `work_per_call` cycles. Low `work_per_call` means
+/// call-dense (instrumentation-heavy); high means compute-dense. Used to
+/// sweep the §7 overhead claim.
+pub fn call_density_program(calls: u32, work_per_call: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| r.call_n("leaf", calls));
+        b.routine("leaf", move |r| r.work(work_per_call));
+    })
+}
+
+/// A recursive-descent-parser shape (§6: "programs that exhibit a large
+/// degree of recursion, such as recursive descent compilers [...] most of
+/// the major routines are grouped into a single monolithic cycle").
+///
+/// `expr → term → factor → expr` with a shared recursion budget.
+pub fn recursive_descent_program(budget: u32) -> Program {
+    build(|b| {
+        b.routine("main", move |r| {
+            r.set_counter(7, budget + 1).loop_n(3, |l| l.call("parse"))
+        });
+        b.routine("parse", |r| r.work(10).call("expr"));
+        b.routine("expr", |r| r.work(25).call("term"));
+        b.routine("term", |r| r.work(35).call_while(7, "factor"));
+        b.routine("factor", |r| r.work(45).call_while(7, "expr"));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::{CompileOptions, Machine, NoHooks};
+
+    fn run_truth(program: &Program) -> graphprof_machine::GroundTruth {
+        let exe = program.compile(&CompileOptions::default()).unwrap();
+        let mut m = Machine::new(exe);
+        m.run(&mut NoHooks).unwrap();
+        m.ground_truth().unwrap()
+    }
+
+    #[test]
+    fn layered_dag_is_deterministic_in_seed() {
+        let a = layered_dag(42, DagParams::default());
+        let b = layered_dag(42, DagParams::default());
+        assert_eq!(a, b);
+        let c = layered_dag(43, DagParams::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn layered_dag_runs_to_completion() {
+        for seed in 0..5 {
+            let truth = run_truth(&layered_dag(seed, DagParams::default()));
+            assert!(truth.clock() > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layered_dag_respects_shape() {
+        let params = DagParams { layers: 3, width: 4, ..DagParams::default() };
+        let p = layered_dag(7, params);
+        // main + 3 layers of 4.
+        assert_eq!(p.routines().len(), 13);
+    }
+
+    #[test]
+    fn fan_in_counts() {
+        let truth = run_truth(&fan_in_program(20, 3));
+        assert_eq!(truth.routine("popular").unwrap().calls, 60);
+    }
+
+    #[test]
+    fn fan_out_indirect_reaches_every_destination() {
+        let truth = run_truth(&fan_out_indirect_program(8, 2));
+        for i in 0..8 {
+            assert_eq!(truth.routine(&format!("dest{i}")).unwrap().calls, 2, "dest{i}");
+        }
+        assert_eq!(truth.routine("dispatch").unwrap().calls, 16);
+    }
+
+    #[test]
+    fn call_density_extremes_run() {
+        let dense = run_truth(&call_density_program(1000, 1));
+        let sparse = run_truth(&call_density_program(10, 10_000));
+        assert!(dense.routine("leaf").unwrap().calls == 1000);
+        assert!(sparse.routine("leaf").unwrap().self_cycles >= 100_000);
+    }
+
+    #[test]
+    fn recursive_descent_forms_a_cycle_and_terminates() {
+        let truth = run_truth(&recursive_descent_program(20));
+        assert!(truth.routine("factor").unwrap().calls >= 5);
+        // The cycle arcs exist dynamically: factor -> expr traversed.
+        let expr_entry = truth.routine("expr").unwrap().entry;
+        let (calls_into_expr, _) = truth.arcs_into(expr_entry);
+        assert!(calls_into_expr > 3, "expr called from parse and factor");
+    }
+}

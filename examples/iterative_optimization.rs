@@ -1,0 +1,56 @@
+//! The §6 workflow: "profiling the program, eliminating one bottleneck,
+//! then finding some other part of the program that begins to dominate
+//! execution time" — with profile diffs showing each round.
+//!
+//! ```text
+//! cargo run --example iterative_optimization
+//! ```
+
+use graphprof::{diff_profiles, Analysis, Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::paper::symbol_table_program_tuned;
+
+fn profile(lookup_work: u32, hash_work: u32) -> Result<Analysis, Box<dyn std::error::Error>> {
+    let exe = symbol_table_program_tuned(lookup_work, hash_work)
+        .compile(&CompileOptions::profiled())?;
+    let (gmon, _) = profile_to_completion(exe.clone(), 1)?;
+    Ok(Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&exe, &gmon)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Round 0: ship it, profile it.
+    let v0 = profile(150, 45)?;
+    let hottest = &v0.flat().rows()[0];
+    println!(
+        "round 0: the profile fingers `{}` ({:.1}% of {} cycles)\n",
+        hottest.name,
+        hottest.percent,
+        v0.total_seconds()
+    );
+
+    // Round 1: "a lookup routine might be called only a few times, but use
+    // an inefficient linear search algorithm, that might be replaced with
+    // a binary search."
+    let v1 = profile(12, 45)?;
+    println!("round 1: replace lookup's linear search with binary search\n");
+    println!("{}", diff_profiles(&v0, &v1).render());
+
+    // Round 2: "the discovery that a rehashing function is being called
+    // excessively can lead to a different hash function or a larger hash
+    // table."
+    let v2 = profile(12, 5)?;
+    println!("round 2: switch to a cheaper hash function\n");
+    println!("{}", diff_profiles(&v1, &v2).render());
+
+    println!(
+        "total: {} -> {} -> {} cycles; the final profile is flat — the\n\
+         remaining time is call and monitoring floors, \"hardly a target\n\
+         for optimization\", which is where the paper's own iteration on\n\
+         gprof itself stopped.",
+        v0.total_seconds(),
+        v1.total_seconds(),
+        v2.total_seconds()
+    );
+    Ok(())
+}

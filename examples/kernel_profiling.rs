@@ -1,0 +1,80 @@
+//! Profiling a system that must not stop (retrospective).
+//!
+//! "We had to be able to profile events of interest in the kernel without
+//! taking the kernel down. [...] The programmer's interface allowed us to
+//! turn the profiler on and off, extract the profiling data, and reset the
+//! data."
+//!
+//! The "kernel" here is a scheduler loop over three subsystems whose
+//! interactions close a big cycle through the buffer cache. We attach the
+//! kgmon-style tool, profile a window, extract without stopping, and
+//! break the cycle with the bounded heuristic to get usable subsystem
+//! times.
+//!
+//! ```text
+//! cargo run --example kernel_profiling
+//! ```
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_monitor::{KgmonTool, SharedProfiler};
+use graphprof_workloads::paper::kernel_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const TICK: u64 = 10;
+    let exe = kernel_program(1_000_000).compile(&CompileOptions::profiled())?;
+
+    // Install the shared profiler as the kernel's hooks; keep a handle for
+    // the operator's tool.
+    let mut hooks = SharedProfiler::new(&exe, TICK);
+    let kgmon = KgmonTool::attach(hooks.clone());
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut kernel = Machine::with_config(exe.clone(), config);
+
+    // Boot: run with profiling off.
+    kgmon.turn_off();
+    kernel.run_for(&mut hooks, 50_000)?;
+    println!(
+        "booted for {} cycles with profiling off: {} samples recorded",
+        kernel.clock(),
+        kgmon.extract().histogram().total()
+    );
+
+    // Profile a window of interest without stopping the system.
+    kgmon.reset();
+    kgmon.turn_on();
+    kernel.run_for(&mut hooks, 200_000)?;
+    let window = kgmon.extract();
+    println!(
+        "profiled a 200k-cycle window: {} samples, {} distinct arcs\n",
+        window.histogram().total(),
+        window.arcs().len()
+    );
+    kgmon.turn_off();
+    kernel.run_for(&mut hooks, 50_000)?; // the kernel keeps running
+
+    // First analysis: the subsystems are lumped into one cycle.
+    let lumped =
+        Gprof::new(Options::default().cycles_per_second(1_000.0)).analyze(&exe, &window)?;
+    println!(
+        "analysis without arc removal finds {} cycle(s):",
+        lumped.call_graph().cycle_count()
+    );
+    for entry in lumped.call_graph().entries().iter().take(3) {
+        println!("  [{}] {:<24} {:>5.1}%", entry.index, entry.name, entry.percent);
+    }
+
+    // Second analysis: let the bounded heuristic drop the low-count
+    // closing arcs.
+    let separated = Gprof::new(
+        Options::default().cycles_per_second(1_000.0).break_cycles(8),
+    )
+    .analyze(&exe, &window)?;
+    println!(
+        "\nwith the bounded heuristic, removed arcs: {:?}",
+        separated.removed_arcs()
+    );
+    println!("subsystem times become meaningful:\n");
+    println!("{}", separated.render_call_graph());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The retrospective's epilogue, runnable: gprof next to a "modern"
+//! complete-call-stack sampling profiler, on the workload shapes where
+//! gprof's two §4 approximations fail.
+//!
+//! ```text
+//! cargo run --example modern_profiler
+//! ```
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_monitor::StackProfiler;
+use graphprof_workloads::synthetic::recursive_descent_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const TICK: u64 = 1;
+    let program = recursive_descent_program(60);
+
+    // gprof needs an instrumented build; the parser's expr/term/factor
+    // cycle gets pooled into a single entry.
+    let instrumented = program.compile(&CompileOptions::profiled())?;
+    let (gmon, _) = profile_to_completion(instrumented.clone(), TICK)?;
+    let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+        .analyze(&instrumented, &gmon)?;
+    println!("== gprof on a recursive descent parser ==\n");
+    println!("{}", analysis.render_call_graph());
+    println!(
+        "gprof finds {} cycle(s) and pools the members: \"it is impossible\n\
+         to distinguish which members of the cycle are responsible for the\n\
+         execution time\" (sec. 6).\n",
+        analysis.call_graph().cycle_count()
+    );
+
+    // The stack sampler runs on a *plain* build — no prologues at all —
+    // and reports each member's own inclusive time.
+    let plain = program.compile(&CompileOptions::default())?;
+    let mut sampler = StackProfiler::new(&plain, TICK);
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(plain, config);
+    machine.run(&mut sampler)?;
+    let truth = machine.ground_truth().expect("ground truth enabled");
+    let report = sampler.finish();
+
+    println!("== complete-call-stack sampling, uninstrumented build ==\n");
+    println!("{}", report.render());
+    println!("per-member inclusive times vs exact ground truth:");
+    for member in ["parse", "expr", "term", "factor"] {
+        let sampled = report.routine(member).map(|r| r.inclusive_cycles).unwrap_or(0);
+        let exact = truth.routine(member).expect("truth").total_cycles;
+        println!("  {member:<8} sampled {sampled:>6}   exact {exact:>6}");
+    }
+    println!(
+        "\n\"Modern profilers solve both these problems by periodically\n\
+         gathering [...] complete call stacks\" — and here, they do."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Summing profile data over several runs (§3 / retrospective).
+//!
+//! A routine that runs for a handful of cycles per execution is invisible
+//! to a sampling profiler in any single run. "We also added the ability
+//! to sum the data over several profiled runs, to accumulate enough time
+//! in short-running methods to get an idea of their performance."
+//!
+//! ```text
+//! cargo run --example multi_run_summation
+//! ```
+
+use graphprof::{sum_profiles, Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::paper::short_routine_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const TICK: u64 = 97;
+    let mut profiles = Vec::new();
+    let mut exe = None;
+    let mut true_blip_cycles = 0.0;
+
+    // 64 "executions with different inputs": the varying lead work shifts
+    // where the clock ticks land, like real input variation would.
+    for run in 0..64u32 {
+        let program = short_routine_program(3, 11, run * 37 % 911);
+        let compiled = program.compile(&CompileOptions::profiled())?;
+        let (gmon, machine) = profile_to_completion(compiled.clone(), TICK)?;
+        if run == 0 {
+            let truth = machine.ground_truth().expect("ground truth enabled");
+            true_blip_cycles = truth.routine("blip").expect("blip exists").self_cycles as f64;
+        }
+        profiles.push(gmon);
+        exe.get_or_insert(compiled);
+    }
+    let exe = exe.expect("at least one run");
+
+    println!("blip truly costs {true_blip_cycles:.0} cycles per run (tick = {TICK} cycles)\n");
+    println!("runs summed   estimated cycles/run   relative error");
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let summed = sum_profiles(profiles.iter().take(n))?;
+        let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &summed)?;
+        let estimate = analysis
+            .flat()
+            .row("blip")
+            .map(|r| r.self_seconds)
+            .unwrap_or(0.0)
+            / n as f64;
+        println!(
+            "{n:>11} {estimate:>20.1} {:>16.3}",
+            (estimate - true_blip_cycles).abs() / true_blip_cycles
+        );
+    }
+    println!(
+        "\na single run quantizes to whole ticks (or misses the routine\n\
+         entirely); the sum converges to the true cost."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! §6's second use case: "a completely different use of the profiler is
+//! to analyze the control flow of an unfamiliar program."
+//!
+//! You need to change one output format of a program you did not write.
+//! Starting from the `write` system call, the call graph profile leads you
+//! up through the format routines to the calculation that produces the
+//! output you care about — and warns you when a format routine is shared.
+//!
+//! ```text
+//! cargo run --example navigate_unfamiliar_code
+//! ```
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::paper::output_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = output_program().compile(&CompileOptions::profiled())?;
+    let (gmon, _) = profile_to_completion(exe.clone(), 10)?;
+    let analysis =
+        Gprof::new(Options::default().cycles_per_second(1_000.0)).analyze(&exe, &gmon)?;
+    let cg = analysis.call_graph();
+
+    println!("step 1: find the entry for `write` and read its parents\n");
+    let write = cg.entry("write").expect("write exists");
+    println!("{}", graphprof::render::render_call_graph_entries(&[write]));
+    let format_names: Vec<&str> = write.parents.iter().map(|p| p.name.as_str()).collect();
+    println!("the format routines are {format_names:?}\n");
+
+    println!("step 2: read each format routine's parents (the calculations)\n");
+    for name in &format_names {
+        let entry = cg.entry(name).expect("parents have entries");
+        println!("{}", graphprof::render::render_call_graph_entries(&[entry]));
+    }
+
+    let format2 = cg.entry("format2").expect("format2 exists");
+    let callers: Vec<(&str, u64)> = format2
+        .parents
+        .iter()
+        .map(|p| (p.name.as_str(), p.count))
+        .collect();
+    println!(
+        "step 3: format2 is called by {callers:?}.\n\
+         To change calc2's output without touching calc3's, format2 must be\n\
+         split — and the profile shows every call that would be affected."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: compile a program with profiling, run it under the
+//! monitor, and print both profiles.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{CompileOptions, Program};
+use graphprof_monitor::profiler::profile_to_completion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Write a program. `work n` spends n cycles at one address; calls
+    //    and loops behave as you would expect.
+    let mut builder = Program::builder();
+    builder.routine("main", |r| {
+        r.work(500).call_n("compress", 4).call_n("checksum", 2)
+    });
+    builder.routine("compress", |r| r.work(300).call_n("huffman", 8));
+    builder.routine("checksum", |r| r.work(2_000));
+    builder.routine("huffman", |r| r.work(150));
+    let program = builder.build()?;
+
+    // 2. "Compile with -pg": the compiler inserts an mcount prologue in
+    //    every routine.
+    let exe = program.compile(&CompileOptions::profiled())?;
+
+    // 3. Run under the monitoring runtime, sampling the PC every 10
+    //    cycles. This produces the gmon profile data the program would
+    //    write at exit.
+    let (gmon, _machine) = profile_to_completion(exe.clone(), 10)?;
+
+    // 4. Post-process. The tiny demo run is a few thousand cycles, so
+    //    display with a 1 kHz clock to make the seconds legible.
+    let analysis =
+        Gprof::new(Options::default().cycles_per_second(1_000.0)).analyze(&exe, &gmon)?;
+
+    println!("{}", analysis.render_flat());
+    println!("{}", analysis.render_call_graph());
+
+    // 5. The structured results are available too.
+    let compress = analysis
+        .call_graph()
+        .entry("compress")
+        .expect("compress was profiled");
+    println!(
+        "compress: called {} times, {:.1}% of total time including its callees",
+        compress.calls.external, compress.percent
+    );
+    Ok(())
+}

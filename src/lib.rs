@@ -1,0 +1,23 @@
+//! Facade crate for the `graphprof` workspace: re-exports every member
+//! crate under one roof for the examples and integration tests.
+//!
+//! The interesting entry points:
+//!
+//! * [`machine`] — the virtual machine substrate (programs, compiler,
+//!   interpreter);
+//! * [`monitor`] — run-time profiling (arc table, histogram, gmon files,
+//!   control interface);
+//! * [`callgraph`] — graph algorithms (Tarjan SCC, cycle collapsing, time
+//!   propagation, static arcs, arc removal);
+//! * [`gprof`] — the post-processor and presenter: flat profiles and the
+//!   call graph profile;
+//! * [`prof`] — the flat-only baseline profiler;
+//! * [`workloads`] — the paper's worked examples and synthetic program
+//!   generators.
+
+pub use graphprof as gprof;
+pub use graphprof_callgraph as callgraph;
+pub use graphprof_machine as machine;
+pub use graphprof_monitor as monitor;
+pub use graphprof_prof as prof;
+pub use graphprof_workloads as workloads;

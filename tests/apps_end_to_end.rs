@@ -1,0 +1,102 @@
+//! The application-scale workloads through the whole pipeline: the kind
+//! of programs the paper's authors were actually profiling, checked for
+//! the profile features each one exists to exhibit.
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::apps;
+
+fn analyzed(
+    program: &graphprof_machine::Program,
+) -> (graphprof::Analysis, graphprof_machine::GroundTruth) {
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, machine) = profile_to_completion(exe.clone(), 5).expect("runs");
+    let truth = machine.ground_truth().expect("truth enabled");
+    let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    (analysis, truth)
+}
+
+#[test]
+fn compiler_hash_fan_in_is_attributed_to_phases() {
+    let (analysis, truth) = analyzed(&apps::compiler_pipeline(3));
+    let cg = analysis.call_graph();
+    // hash is the deepest shared abstraction; its entry's parents split
+    // its time across intern / st_lookup / st_insert with exact counts.
+    let hash = cg.entry("hash").expect("hash entry");
+    let count_of = |name: &str| {
+        hash.parents.iter().find(|p| p.name == name).map(|p| p.count).unwrap_or(0)
+    };
+    assert_eq!(count_of("intern"), truth.routine("intern").expect("t").calls);
+    assert_eq!(count_of("st_lookup"), truth.routine("st_lookup").expect("t").calls);
+    assert_eq!(count_of("st_insert"), truth.routine("st_insert").expect("t").calls);
+    // The parser's expression cycle is found and collapsed.
+    assert_eq!(cg.cycle_count(), 1);
+    let expr = cg.entry("parse_expr").expect("parse_expr entry");
+    assert!(expr.name.contains("<cycle1>"), "{}", expr.name);
+    // compile_unit inherits essentially the whole run.
+    let unit = cg.entry("compile_unit").expect("compile_unit entry");
+    assert!(unit.percent > 95.0, "{}", unit.percent);
+}
+
+#[test]
+fn formatter_rare_path_is_visible_with_low_count() {
+    let (analysis, truth) = analyzed(&apps::text_formatter(16));
+    let cg = analysis.call_graph();
+    let fill = cg.entry("fill_line").expect("fill_line entry");
+    let hyph = fill
+        .children
+        .iter()
+        .find(|c| c.name == "hyphenate")
+        .expect("hyphenate child line");
+    // The rarely-taken arc is listed with its exact (small) count...
+    assert_eq!(hyph.count, truth.routine("hyphenate").expect("t").calls);
+    assert!(hyph.count < fill.calls.external / 10);
+    // ...yet carries a disproportionate share of time per traversal.
+    let flush = fill
+        .children
+        .iter()
+        .find(|c| c.name == "flush_line")
+        .expect("flush_line child line");
+    let per_hyph = hyph.flow() / hyph.count as f64;
+    let per_flush = flush.flow() / flush.count as f64;
+    assert!(per_hyph > 2.0 * per_flush, "{per_hyph} vs {per_flush}");
+}
+
+#[test]
+fn server_cache_misses_show_in_buf_get_descendants() {
+    let (analysis, truth) = analyzed(&apps::network_server(40));
+    let cg = analysis.call_graph();
+    let buf = cg.entry("buf_get").expect("buf_get entry");
+    // buf_get's descendants are the rare disk reads.
+    let disk_truth = truth.routine("disk_read").expect("t");
+    assert!(
+        (buf.desc_seconds - disk_truth.total_cycles as f64).abs()
+            < 0.05 * disk_truth.total_cycles as f64 + 5.0,
+        "desc {} vs disk {}",
+        buf.desc_seconds,
+        disk_truth.total_cycles
+    );
+    // The three request stages all appear among buf_get's parents.
+    let parent_names: Vec<&str> = buf.parents.iter().map(|p| p.name.as_str()).collect();
+    for stage in ["read_request", "process", "send_reply"] {
+        assert!(parent_names.contains(&stage), "{stage} in {parent_names:?}");
+    }
+}
+
+#[test]
+fn app_profiles_render_without_panics_and_deterministically() {
+    for program in [
+        apps::compiler_pipeline(2),
+        apps::text_formatter(8),
+        apps::network_server(20),
+    ] {
+        let (a1, _) = analyzed(&program);
+        let (a2, _) = analyzed(&program);
+        assert_eq!(a1.render_flat(), a2.render_flat());
+        assert_eq!(a1.render_call_graph(), a2.render_call_graph());
+        assert!(!graphprof::coverage(&a1).render().is_empty());
+    }
+}

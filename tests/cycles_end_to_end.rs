@@ -1,0 +1,154 @@
+//! Cycle and recursion handling through the whole pipeline: mutual
+//! recursion, self-recursion, recursive-descent shapes, and the Figure 2
+//! program.
+
+use graphprof::{analyze, EntryKind, Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::{paper, synthetic};
+
+fn analyzed(
+    program: &graphprof_machine::Program,
+    tick: u64,
+) -> (graphprof::Analysis, graphprof_machine::GroundTruth) {
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, machine) = profile_to_completion(exe.clone(), tick).expect("runs");
+    let truth = machine.ground_truth().expect("truth enabled");
+    let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    (analysis, truth)
+}
+
+#[test]
+fn mutual_recursion_becomes_one_cycle_entry() {
+    let (analysis, truth) = analyzed(&paper::mutual_recursion_program(11), 1);
+    let cg = analysis.call_graph();
+    assert_eq!(cg.cycle_count(), 1);
+    let whole = cg
+        .entries()
+        .iter()
+        .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
+        .expect("cycle entry exists");
+    // The cycle's pooled self time equals ping+pong's exact self cycles.
+    let exact: u64 = ["ping", "pong"]
+        .iter()
+        .map(|n| truth.routine(n).expect("truth").self_cycles)
+        .sum();
+    assert!(
+        (whole.self_seconds - exact as f64).abs() < 1.0,
+        "pooled {} vs exact {exact}",
+        whole.self_seconds
+    );
+    // Main is the only external caller: it inherits the cycle's total.
+    let main = cg.entry("main").expect("main entry");
+    assert!((main.total_seconds() - analysis.total_seconds()).abs() < 1e-6);
+    // Members are annotated.
+    assert!(cg.entry("ping").expect("ping").name.contains("<cycle1>"));
+    assert!(cg.entry("pong").expect("pong").name.contains("<cycle1>"));
+}
+
+#[test]
+fn self_recursion_is_split_not_cycled() {
+    let source = "
+        routine main { setcounter 7, 6 call rec }
+        routine rec { work 100 callwhile 7, rec }
+    ";
+    let program = graphprof_machine::asm::parse(source).expect("parses");
+    let (analysis, truth) = analyzed(&program, 1);
+    let cg = analysis.call_graph();
+    assert_eq!(cg.cycle_count(), 0, "a self-loop is not a paper cycle");
+    let rec = cg.entry("rec").expect("rec entry");
+    assert_eq!(rec.calls.external, 1, "one call from main");
+    assert_eq!(rec.calls.recursive, 5, "five self-recursive calls");
+    assert_eq!(truth.routine("rec").expect("truth").calls, 6);
+    // All of rec's time flows to main despite the recursion.
+    let main = cg.entry("main").expect("main entry");
+    assert!((main.total_seconds() - analysis.total_seconds()).abs() < 1e-6);
+}
+
+#[test]
+fn recursive_descent_collapses_to_a_monolithic_cycle() {
+    // §6: "most of the major routines are grouped into a single
+    // monolithic cycle [...] it is impossible to distinguish which members
+    // of the cycle are responsible for the execution time."
+    let (analysis, _) = analyzed(&synthetic::recursive_descent_program(30), 1);
+    let cg = analysis.call_graph();
+    assert_eq!(cg.cycle_count(), 1);
+    let whole = cg
+        .entries()
+        .iter()
+        .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
+        .expect("cycle entry");
+    // expr, term, and factor all pooled together.
+    let member_names: Vec<&str> =
+        whole.children.iter().map(|c| c.name.as_str()).collect();
+    for name in ["expr", "term", "factor"] {
+        assert!(
+            member_names.iter().any(|m| m.starts_with(name)),
+            "{name} in {member_names:?}"
+        );
+    }
+    // parse calls into the cycle and inherits its pooled time.
+    let parse = cg.entry("parse").expect("parse entry");
+    assert!(parse.total_seconds() > whole.self_seconds * 0.9);
+}
+
+#[test]
+fn figure2_program_collapses_r3_r7() {
+    let (analysis, truth) = analyzed(&paper::figure2_program(8), 1);
+    let scc = analysis.scc();
+    let graph = analysis.graph();
+    let r3 = graph.node_by_name("r3").expect("r3");
+    let r7 = graph.node_by_name("r7").expect("r7");
+    assert_eq!(scc.comp(r3), scc.comp(r7));
+    assert_eq!(analysis.call_graph().cycle_count(), 1);
+    // The root inherits everything.
+    let r0 = analysis.call_graph().entry("r0").expect("r0 entry");
+    assert!((r0.total_seconds() - truth.clock() as f64).abs() < 1.0);
+}
+
+#[test]
+fn intra_cycle_arcs_propagate_no_time() {
+    let (analysis, _) = analyzed(&paper::mutual_recursion_program(11), 1);
+    let graph = analysis.graph();
+    let prop = analysis.propagation();
+    let ping = graph.node_by_name("ping").expect("ping");
+    let pong = graph.node_by_name("pong").expect("pong");
+    for (from, to) in [(ping, pong), (pong, ping)] {
+        if let Some(arc) = graph.arc_between(from, to) {
+            assert_eq!(prop.arc_flow(arc), 0.0);
+        }
+    }
+}
+
+#[test]
+fn excluding_cycle_arc_by_name_splits_the_cycle() {
+    let program = paper::mutual_recursion_program(11);
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
+    let plain = analyze(&exe, &gmon).expect("analyzes");
+    assert_eq!(plain.call_graph().cycle_count(), 1);
+    let split = Gprof::new(Options::default().exclude_arc("pong", "ping"))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    assert_eq!(split.call_graph().cycle_count(), 0);
+    // ping and pong now have separate, ordered times.
+    let ping = split.call_graph().entry("ping").expect("ping entry");
+    let pong = split.call_graph().entry("pong").expect("pong entry");
+    assert!(ping.total_seconds() > pong.total_seconds());
+}
+
+#[test]
+fn deep_recursion_profiles_without_stack_issues() {
+    let source = "
+        routine main { setcounter 7, 5000 call down }
+        routine down { work 3 callwhile 7, down }
+    ";
+    let program = graphprof_machine::asm::parse(source).expect("parses");
+    let (analysis, truth) = analyzed(&program, 10);
+    assert_eq!(truth.routine("down").expect("truth").calls, 5000);
+    let down = analysis.call_graph().entry("down").expect("down entry");
+    assert_eq!(down.calls.external, 1);
+    assert_eq!(down.calls.recursive, 4999);
+}

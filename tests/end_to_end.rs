@@ -1,0 +1,204 @@
+//! Whole-pipeline integration tests: compile → execute under the monitor
+//! → condense to a profile file → post-process → present, checked against
+//! the machine's exact ground truth.
+
+use graphprof::{analyze, Gprof, Options};
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
+use graphprof_monitor::profiler::{profile_to_completion, RuntimeProfiler};
+use graphprof_monitor::GmonData;
+use graphprof_workloads::{paper, synthetic};
+
+fn profile(
+    program: &graphprof_machine::Program,
+    tick: u64,
+) -> (Executable, GmonData, graphprof_machine::GroundTruth) {
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, machine) = profile_to_completion(exe.clone(), tick).expect("runs");
+    let truth = machine.ground_truth().expect("truth enabled");
+    (exe, gmon, truth)
+}
+
+#[test]
+fn call_counts_are_exact_not_sampled() {
+    // Arc counts come from the monitoring routine, not sampling, so they
+    // must match ground truth exactly even at absurdly coarse ticks.
+    let (exe, gmon, truth) = profile(&paper::output_program(), 5_000);
+    let analysis = analyze(&exe, &gmon).expect("analyzes");
+    for routine in truth.routines() {
+        let entry = analysis.call_graph().entry(&routine.name);
+        let counted = entry
+            .map(|e| e.calls.external + e.calls.recursive)
+            .unwrap_or(0);
+        assert_eq!(counted, routine.calls, "{}", routine.name);
+    }
+}
+
+#[test]
+fn flat_self_times_sum_to_sampled_total() {
+    // "Notice that for this profile, the individual times sum to the
+    // total execution time" (§5.1).
+    for tick in [1u64, 13, 100] {
+        let (exe, gmon, _) = profile(&paper::symbol_table_program(), tick);
+        let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &gmon)
+            .expect("analyzes");
+        let sum: f64 = analysis.flat().rows().iter().map(|r| r.self_seconds).sum();
+        let sampled = gmon.sampled_cycles() as f64;
+        assert!(
+            (sum + analysis.unattributed_seconds() - sampled).abs() < 1e-6,
+            "tick {tick}: {sum} + unattributed != {sampled}"
+        );
+    }
+}
+
+#[test]
+fn entry_routine_inherits_the_whole_program() {
+    // On an acyclic workload with a single spontaneous root, the root's
+    // self+descendants must equal total time.
+    let (exe, gmon, _) = profile(&paper::abstraction_program(10, 30, 200), 1);
+    let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    let main = analysis.call_graph().entry("main").expect("main entry");
+    let total = analysis.total_seconds();
+    assert!(
+        (main.total_seconds() - total).abs() < total * 1e-9,
+        "main {} vs total {total}",
+        main.total_seconds()
+    );
+    assert!((main.percent - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn propagated_times_track_ground_truth_on_a_dag() {
+    // With fine sampling, every routine's self+descendants should track
+    // the machine's exact inclusive time on acyclic workloads.
+    let (exe, gmon, truth) = profile(
+        &synthetic::layered_dag(11, synthetic::DagParams::default()),
+        1,
+    );
+    let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    for routine in truth.routines() {
+        if routine.calls == 0 {
+            continue;
+        }
+        let entry = analysis
+            .call_graph()
+            .entry(&routine.name)
+            .unwrap_or_else(|| panic!("{} has an entry", routine.name));
+        let measured = entry.total_seconds();
+        let exact = routine.total_cycles as f64;
+        // The estimate is statistical only through the "average time per
+        // call" assumption; layered DAGs reconverge shared callees, so
+        // allow a modest tolerance.
+        assert!(
+            (measured - exact).abs() <= exact * 0.35 + 50.0,
+            "{}: measured {measured} vs exact {exact}",
+            routine.name
+        );
+    }
+}
+
+#[test]
+fn unprofiled_routines_get_time_but_no_arcs() {
+    // §3.1: "Routines that are not profiled run at full speed [...] no
+    // arcs will be recorded whose destinations are in these routines."
+    let source = "
+        routine main { loop 10 { call library } }
+        noprofile routine library { work 500 }
+    ";
+    let program = graphprof_machine::asm::parse(source).expect("parses");
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 5).expect("runs");
+    let analysis = analyze(&exe, &gmon).expect("analyzes");
+    let row = analysis.flat().row("library").expect("library sampled");
+    assert!(row.self_seconds > 0.0, "time is sampled regardless");
+    assert_eq!(row.calls, None, "but no call counts exist");
+    // The dynamic graph has no arc into library (static discovery still
+    // sees the call instruction, count 0).
+    let lib = analysis.graph().node_by_name("library").expect("node exists");
+    assert_eq!(analysis.graph().calls_into(lib), 0);
+}
+
+#[test]
+fn indirect_calls_are_recorded_dynamically() {
+    // Functional-variable calls are invisible statically but the monitor
+    // sees them (§2: the dynamic graph "may include arcs to functional
+    // parameters or variables that the static call graph may omit").
+    let (exe, gmon, truth) = profile(&synthetic::fan_out_indirect_program(5, 4), 10);
+    let analysis = analyze(&exe, &gmon).expect("analyzes");
+    for i in 0..5 {
+        let name = format!("dest{i}");
+        let entry = analysis.call_graph().entry(&name).expect("dest entry");
+        assert_eq!(entry.calls.external, 4, "{name}");
+        assert_eq!(
+            truth.routine(&name).expect("truth").calls,
+            4
+        );
+        // The single dispatch site fans out: all parents are `dispatch`.
+        assert_eq!(entry.parents.len(), 1);
+        assert_eq!(entry.parents[0].name, "dispatch");
+    }
+}
+
+#[test]
+fn profile_file_round_trip_preserves_analysis() {
+    let (exe, gmon, _) = profile(&paper::symbol_table_program(), 7);
+    let bytes = gmon.to_bytes();
+    let back = GmonData::from_bytes(&bytes).expect("reads back");
+    let a = analyze(&exe, &gmon).expect("analyzes");
+    let b = analyze(&exe, &back).expect("analyzes");
+    assert_eq!(a.render_flat(), b.render_flat());
+    assert_eq!(a.render_call_graph(), b.render_call_graph());
+}
+
+#[test]
+fn never_called_listing_matches_reachability() {
+    let source = "
+        routine main { call used }
+        routine used { work 100 }
+        routine dead1 { work 1 }
+        routine dead2 { call dead1 }
+    ";
+    let program = graphprof_machine::asm::parse(source).expect("parses");
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 5).expect("runs");
+    // Without the static graph, dead1 has no arcs at all; with it, the
+    // static arc dead2->dead1 exists but carries no calls. Either way the
+    // never-called listing names both dead routines.
+    let analysis = Gprof::new(Options::default().static_graph(false))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    assert_eq!(analysis.flat().never_called(), ["dead1", "dead2"]);
+}
+
+#[test]
+fn renders_are_deterministic() {
+    let (exe, gmon, _) = profile(&paper::symbol_table_program(), 7);
+    let a = analyze(&exe, &gmon).expect("analyzes");
+    let b = analyze(&exe, &gmon).expect("analyzes");
+    assert_eq!(a.render_flat(), b.render_flat());
+    assert_eq!(a.render_call_graph(), b.render_call_graph());
+}
+
+#[test]
+fn run_for_then_snapshot_matches_final_profile_when_run_completes() {
+    // Driving the machine in slices with a snapshot at the end must agree
+    // with a straight run.
+    let program = paper::output_program();
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let tick = 10;
+
+    let (gmon_straight, _) = profile_to_completion(exe.clone(), tick).expect("runs");
+
+    let mut profiler = RuntimeProfiler::new(&exe, tick);
+    let config = MachineConfig { cycles_per_tick: tick, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    while !machine.halted() {
+        let _ = machine.run_for(&mut profiler, 137).expect("slice runs");
+    }
+    let gmon_sliced = profiler.finish();
+    assert_eq!(gmon_straight, gmon_sliced);
+}

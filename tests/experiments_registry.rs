@@ -1,0 +1,41 @@
+//! Smoke test over the experiment registry: every figure-class experiment
+//! produces a non-empty, well-formed report. (The heavier sweeps are
+//! exercised by their own unit tests in `graphprof-bench`.)
+
+use graphprof_bench::{all_experiments, run_experiment};
+
+#[test]
+fn registry_lists_every_documented_experiment() {
+    let names: Vec<&str> = all_experiments().iter().map(|e| e.name).collect();
+    for expected in [
+        "fig1", "fig2_3", "fig4", "sec6", "overhead", "sampling", "avgtime",
+        "multirun", "hashorg", "arcremoval", "abstraction", "staticarcs",
+        "perturb", "iterate", "modern", "granularity",
+    ] {
+        assert!(names.contains(&expected), "{expected} missing from {names:?}");
+    }
+}
+
+#[test]
+fn fast_experiments_produce_reports() {
+    for name in ["fig1", "fig2_3", "fig4", "sec6", "staticarcs", "hashorg"] {
+        let report = run_experiment(name).unwrap_or_else(|| panic!("{name} exists"));
+        assert!(report.len() > 100, "{name} report too short:\n{report}");
+        assert!(!report.contains("VIOLATION"), "{name}:\n{report}");
+    }
+}
+
+#[test]
+fn every_experiment_has_a_reproduces_label() {
+    for e in all_experiments() {
+        assert!(!e.reproduces.is_empty(), "{}", e.name);
+        assert!(
+            e.reproduces.contains("Section")
+                || e.reproduces.contains("Figure")
+                || e.reproduces.contains("Retrospective"),
+            "{}: {}",
+            e.name,
+            e.reproduces
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Failure injection: corrupt profile files, mismatched executables, and
+//! bad options, exercised through the whole pipeline.
+
+use graphprof::{analyze, AnalyzeError, sum_profiles, Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_monitor::{GmonData, GmonError};
+use graphprof_workloads::paper;
+
+fn sample() -> (graphprof_machine::Executable, GmonData) {
+    let exe = paper::output_program()
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 10).expect("runs");
+    (exe, gmon)
+}
+
+#[test]
+fn every_truncation_of_a_profile_file_is_rejected() {
+    let (_, gmon) = sample();
+    let bytes = gmon.to_bytes();
+    for len in 0..bytes.len() {
+        let err = GmonData::from_bytes(&bytes[..len])
+            .expect_err("prefix must not parse");
+        assert!(
+            matches!(err, GmonError::Truncated | GmonError::Corrupt { .. }),
+            "prefix {len}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn single_byte_magic_and_version_corruption_detected() {
+    let (_, gmon) = sample();
+    let good = gmon.to_bytes();
+    for i in 0..6 {
+        let mut bad = good.clone();
+        bad[i] ^= 0xff;
+        assert!(
+            GmonData::from_bytes(&bad).is_err(),
+            "flipping header byte {i} must fail"
+        );
+    }
+}
+
+#[test]
+fn profile_against_wrong_executable_is_rejected() {
+    let (_, gmon) = sample();
+    for source in [
+        "routine main { work 5 }",
+        "routine main { work 5 } routine extra { work 5 }",
+    ] {
+        let other = graphprof_machine::asm::parse(source)
+            .expect("parses")
+            .compile(&CompileOptions::profiled())
+            .expect("compiles");
+        let err = analyze(&other, &gmon).expect_err("must mismatch");
+        assert!(matches!(err, AnalyzeError::ExecutableMismatch { .. }), "{err}");
+    }
+}
+
+#[test]
+fn arcs_outside_the_symbol_table_are_counted_not_crashed() {
+    use graphprof_machine::Addr;
+    use graphprof_monitor::{Histogram, RawArc};
+    let (exe, _) = sample();
+    let text_len = exe.end().checked_sub(exe.base()).expect("end >= base");
+    // Handcraft profile data whose arcs point nowhere sensible.
+    let h = Histogram::new(exe.base(), text_len, 0);
+    let gmon = GmonData::new(
+        10,
+        h,
+        vec![
+            RawArc { from_pc: Addr::new(0x10), self_pc: Addr::new(0x20), count: 3 },
+            RawArc { from_pc: Addr::NULL, self_pc: exe.entry(), count: 1 },
+        ],
+    );
+    let analysis = analyze(&exe, &gmon).expect("analyzes anyway");
+    assert_eq!(analysis.dropped_arcs(), 1, "the unresolvable callee is dropped");
+    let main = analysis.call_graph().entry("main").expect("main entry");
+    assert_eq!(main.calls.external, 1, "the spontaneous arc survives");
+}
+
+#[test]
+fn merging_incompatible_profiles_fails_cleanly() {
+    let (_, gmon_a) = sample();
+    // Different sampling period.
+    let exe = paper::output_program()
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let (gmon_b, _) = profile_to_completion(exe, 20).expect("runs");
+    let err = sum_profiles([&gmon_a, &gmon_b]).expect_err("periods differ");
+    assert!(matches!(err, AnalyzeError::Gmon(GmonError::MergeMismatch { .. })));
+
+    // Different program entirely.
+    let other_exe = graphprof_machine::asm::parse("routine main { work 9999 }")
+        .expect("parses")
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let (gmon_c, _) = profile_to_completion(other_exe, 10).expect("runs");
+    assert!(sum_profiles([&gmon_a, &gmon_c]).is_err());
+}
+
+#[test]
+fn excluding_unknown_arcs_is_an_error_not_a_silent_noop() {
+    let (exe, gmon) = sample();
+    for (from, to) in [("ghost", "write"), ("write", "ghost")] {
+        let err = Gprof::new(Options::default().exclude_arc(from, to))
+            .analyze(&exe, &gmon)
+            .expect_err("unknown routine");
+        assert!(matches!(err, AnalyzeError::UnknownRoutine { .. }), "{err}");
+    }
+}
+
+#[test]
+fn empty_profile_of_a_real_program_analyzes_to_zeros() {
+    use graphprof_monitor::Histogram;
+    let (exe, _) = sample();
+    let text_len = exe.end().checked_sub(exe.base()).expect("end >= base");
+    let gmon = GmonData::new(10, Histogram::new(exe.base(), text_len, 0), vec![]);
+    let analysis = analyze(&exe, &gmon).expect("analyzes");
+    assert_eq!(analysis.total_seconds(), 0.0);
+    assert!(analysis.flat().rows().is_empty());
+    // Every routine lands in the never-called listing.
+    assert_eq!(analysis.flat().never_called().len(), exe.symbols().len());
+}
+
+#[test]
+fn malformed_text_fails_static_discovery_but_not_dynamic_analysis() {
+    use graphprof_machine::{Addr, Executable, Symbol, SymbolTable};
+    use graphprof_monitor::Histogram;
+    // An executable whose text is garbage: static crawling must error,
+    // and analysis must surface it (rather than panic).
+    let text = vec![0xee; 16];
+    let symbols =
+        SymbolTable::new(vec![Symbol::new("junk", Addr::new(0x1000), 16, true)]);
+    let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
+    let gmon = GmonData::new(10, Histogram::new(Addr::new(0x1000), 16, 0), vec![]);
+    let err = analyze(&exe, &gmon).expect_err("static crawl fails");
+    assert!(matches!(err, AnalyzeError::Decode(_)));
+    // Disabling the static graph sidesteps the bad text.
+    let analysis = Gprof::new(Options::default().static_graph(false))
+        .analyze(&exe, &gmon)
+        .expect("dynamic-only analysis succeeds");
+    assert_eq!(analysis.total_seconds(), 0.0);
+}
+
+#[test]
+fn corrupted_bucket_count_is_detected() {
+    let (_, gmon) = sample();
+    let mut bytes = gmon.to_bytes();
+    // The nbuckets field lives at offset 8+8+4+4+4+8 = 36.
+    let nbuckets_offset = 36;
+    let old = u32::from_le_bytes(bytes[nbuckets_offset..nbuckets_offset + 4].try_into().unwrap());
+    bytes[nbuckets_offset..nbuckets_offset + 4]
+        .copy_from_slice(&(old - 1).to_le_bytes());
+    assert!(GmonData::from_bytes(&bytes).is_err());
+}

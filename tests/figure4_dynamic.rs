@@ -1,0 +1,98 @@
+//! The Figure 4 *structure* arising from a real execution: the paper's
+//! worked example has every tricky presentation feature at once —
+//! multiple callers, self-recursion, a cycle child with outside callers,
+//! a rare call, and a static-only arc. `example_program` runs a program
+//! with all of them, and the resulting profile entry must exhibit each.
+
+use graphprof::{EntryKind, Gprof, Options};
+use graphprof_machine::CompileOptions;
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_workloads::paper::example_program;
+
+fn analysis() -> graphprof::Analysis {
+    let exe = example_program()
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
+    Gprof::new(Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes")
+}
+
+#[test]
+fn the_figure4_structure_emerges_from_a_real_run() {
+    let analysis = analysis();
+    let cg = analysis.call_graph();
+    let example = cg.entry("EXAMPLE").expect("EXAMPLE entry");
+
+    // "called ten times, four times by CALLER1, and six times by CALLER2"
+    // plus four self-recursive calls: the 10+4.
+    assert_eq!(example.calls.external, 10);
+    assert_eq!(example.calls.recursive, 4);
+    let caller1 = example.parents.iter().find(|p| p.name == "CALLER1").unwrap();
+    let caller2 = example.parents.iter().find(|p| p.name == "CALLER2").unwrap();
+    assert_eq!((caller1.count, caller1.denom), (4, Some(10)));
+    assert_eq!((caller2.count, caller2.denom), (6, Some(10)));
+    // CALLER2's share of EXAMPLE exceeds CALLER1's, 6:4.
+    assert!(caller2.flow() > caller1.flow());
+    let ratio = caller2.flow() / caller1.flow();
+    assert!((ratio - 1.5).abs() < 1e-6, "exact 6/4 split: {ratio}");
+
+    // SUB1 is a cycle member; the denominator counts all external calls
+    // into the whole cycle (EXAMPLE's 14 plus OTHER's 6).
+    let sub1 = example
+        .children
+        .iter()
+        .find(|c| c.name.starts_with("SUB1 <cycle"))
+        .expect("SUB1 annotated as cycle member");
+    assert_eq!(sub1.count, 14);
+    assert_eq!(sub1.denom, Some(20));
+
+    // SUB2 is called once by EXAMPLE out of five total.
+    let sub2 = example.children.iter().find(|c| c.name == "SUB2").unwrap();
+    assert_eq!((sub2.count, sub2.denom), (1, Some(5)));
+
+    // SUB3: the arc is apparent in the code but never traversed.
+    let sub3 = example.children.iter().find(|c| c.name == "SUB3").unwrap();
+    assert_eq!((sub3.count, sub3.denom), (0, Some(5)));
+    assert_eq!(sub3.flow(), 0.0, "static arcs never carry time");
+
+    // The cycle exists as a whole entry with both members.
+    assert_eq!(cg.cycle_count(), 1);
+    let whole = cg
+        .entries()
+        .iter()
+        .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
+        .expect("cycle entry");
+    assert_eq!(whole.calls.external, 20);
+    let member_names: Vec<&str> =
+        whole.children.iter().map(|c| c.name.as_str()).collect();
+    assert!(member_names.contains(&"SUB1 <cycle1>"), "{member_names:?}");
+    assert!(member_names.contains(&"SUB1B <cycle1>"), "{member_names:?}");
+}
+
+#[test]
+fn without_static_graph_sub3_vanishes_from_example() {
+    let exe = example_program()
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
+    let analysis = Gprof::new(Options::default().static_graph(false))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    let example = analysis.call_graph().entry("EXAMPLE").expect("entry");
+    assert!(
+        !example.children.iter().any(|c| c.name == "SUB3"),
+        "dynamic-only analysis cannot know EXAMPLE could call SUB3"
+    );
+}
+
+#[test]
+fn rendered_entry_contains_the_figure4_fractions() {
+    let analysis = analysis();
+    let example = analysis.call_graph().entry("EXAMPLE").expect("entry");
+    let text = graphprof::render::render_call_graph_entries(&[example]);
+    for token in ["4/10", "6/10", "10+4", "14/20", "1/5", "0/5", "<cycle1>"] {
+        assert!(text.contains(token), "missing {token} in:\n{text}");
+    }
+}

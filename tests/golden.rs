@@ -1,0 +1,75 @@
+//! Golden-format tests: the character layouts of §5 are part of the
+//! deliverable, so they are pinned byte-for-byte on a deterministic
+//! fixture (the synthetic profile that reproduces the paper's Figure 4).
+//!
+//! If a rendering change is intentional, update the expected strings —
+//! the diff in the test failure shows exactly what the listing now looks
+//! like.
+
+use graphprof_bench::experiments::figures::fig4_profile;
+
+const EXPECTED_ENTRY: &str = "\
+call graph profile:
+
+                                         called/total      parents
+index  %time     self  descendants   called+self     name      index
+                                         called/total      children
+
+                0.20         1.20          4/10         CALLER1 [10]
+                0.30         1.80          6/10         CALLER2 [7]
+[3]     41.5     0.50         3.00          10+4     EXAMPLE [3]
+                1.50         1.00         20/40         SUB1 <cycle1> [9]
+                0.00         0.50           1/5         SUB2 [6]
+                0.00         0.00           0/5         SUB3 [11]
+-----------------------------------------------------------------
+";
+
+const EXPECTED_FLAT: &str = "\
+flat profile:
+
+ %time  cumulative      self                 self     total
+           seconds   seconds      calls  ms/call   ms/call  name
+  29.6        2.50      2.50          3    833.33    833.33  LEAF2
+  23.7        4.50      2.00          7    285.71    285.71  CYCLEAF
+  21.3        6.30      1.80         35     51.43     51.43  SUB1
+  14.2        7.50      1.20         13     92.31    246.15  SUB1B
+   5.9        8.00      0.50         14     35.71    250.00  EXAMPLE
+   1.6        8.13      0.13          1    133.73   4733.73  OTHER
+   1.2        8.23      0.10          1    100.00   1500.00  CALLER1
+   1.2        8.33      0.10          1    100.00   2200.00  CALLER2
+   1.2        8.43      0.10          5     20.00     20.00  SUB3
+   0.0        8.43      0.00          5      0.00    500.00  SUB2
+
+total: 8.43 seconds
+";
+
+#[test]
+fn figure4_entry_renders_exactly() {
+    let (cg, _) = fig4_profile();
+    let entry = cg.entry("EXAMPLE").expect("EXAMPLE entry");
+    let rendered = graphprof::render::render_call_graph_entries(&[entry]);
+    assert_eq!(rendered, EXPECTED_ENTRY);
+}
+
+#[test]
+fn figure4_flat_profile_renders_exactly() {
+    let (_, flat) = fig4_profile();
+    let rendered = graphprof::render::render_flat(&flat);
+    assert_eq!(rendered, EXPECTED_FLAT);
+}
+
+#[test]
+fn flat_profile_self_times_sum_to_total_line() {
+    // The §5.1 invariant, read back out of the *rendered* text: the self
+    // column sums to the printed total.
+    let (_, flat) = fig4_profile();
+    let rendered = graphprof::render::render_flat(&flat);
+    let mut sum = 0.0f64;
+    for line in rendered.lines() {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() >= 7 && fields[0].parse::<f64>().is_ok() {
+            sum += fields[2].parse::<f64>().expect("self column");
+        }
+    }
+    assert!((sum - 8.43).abs() < 0.02, "sum of self column: {sum}");
+}

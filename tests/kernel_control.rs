@@ -1,0 +1,98 @@
+//! End-to-end tests of the kernel-profiling control interface: profiling
+//! windows of a long-running system, extracted and analyzed while it
+//! keeps running.
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{CompileOptions, Machine, MachineConfig, RunStatus};
+use graphprof_monitor::{KgmonTool, SharedProfiler};
+use graphprof_workloads::paper::kernel_program;
+
+const TICK: u64 = 10;
+
+fn kernel() -> (graphprof_machine::Executable, Machine, SharedProfiler, KgmonTool) {
+    let exe = kernel_program(10_000_000)
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let hooks = SharedProfiler::new(&exe, TICK);
+    let tool = KgmonTool::attach(hooks.clone());
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let machine = Machine::with_config(exe.clone(), config);
+    (exe, machine, hooks, tool)
+}
+
+#[test]
+fn windows_are_analyzable_and_independent() {
+    let (exe, mut machine, mut hooks, tool) = kernel();
+
+    // Window 1.
+    tool.reset();
+    assert_eq!(machine.run_for(&mut hooks, 100_000).unwrap(), RunStatus::Paused);
+    let window1 = tool.extract();
+
+    // Window 2, after a reset, twice as long.
+    tool.reset();
+    assert_eq!(machine.run_for(&mut hooks, 200_000).unwrap(), RunStatus::Paused);
+    let window2 = tool.extract();
+
+    assert!(window2.histogram().total() > window1.histogram().total());
+
+    for window in [&window1, &window2] {
+        let analysis = Gprof::new(Options::default().break_cycles(8))
+            .analyze(&exe, window)
+            .expect("window analyzes");
+        assert_eq!(analysis.call_graph().cycle_count(), 0);
+        // In the steady state disk dominates net (80 vs 30 cycles/round).
+        let disk = analysis.call_graph().entry("disk").expect("disk");
+        let net = analysis.call_graph().entry("net").expect("net");
+        assert!(disk.total_seconds() > net.total_seconds());
+    }
+}
+
+#[test]
+fn off_windows_record_nothing_but_system_advances() {
+    let (_, mut machine, mut hooks, tool) = kernel();
+    tool.turn_off();
+    let before = machine.clock();
+    machine.run_for(&mut hooks, 100_000).unwrap();
+    assert!(machine.clock() >= before + 100_000);
+    let window = tool.extract();
+    assert_eq!(window.histogram().total(), 0);
+    assert!(window.arcs().is_empty());
+}
+
+#[test]
+fn windows_from_the_same_system_can_be_summed() {
+    let (exe, mut machine, mut hooks, tool) = kernel();
+    let mut windows = Vec::new();
+    for _ in 0..4 {
+        tool.reset();
+        machine.run_for(&mut hooks, 50_000).unwrap();
+        windows.push(tool.extract());
+    }
+    let summed = graphprof::sum_profiles(windows.iter()).expect("windows merge");
+    assert_eq!(
+        summed.histogram().total(),
+        windows.iter().map(|w| w.histogram().total()).sum::<u64>()
+    );
+    let analysis = graphprof::analyze(&exe, &summed).expect("summed window analyzes");
+    assert!(analysis.total_seconds() > 0.0);
+}
+
+#[test]
+fn toggling_mid_window_keeps_arcs_and_samples_consistent() {
+    let (exe, mut machine, mut hooks, tool) = kernel();
+    tool.reset();
+    machine.run_for(&mut hooks, 40_000).unwrap();
+    tool.turn_off();
+    machine.run_for(&mut hooks, 40_000).unwrap();
+    tool.turn_on();
+    machine.run_for(&mut hooks, 40_000).unwrap();
+    let window = tool.extract();
+    // The analysis pipeline accepts the stitched window.
+    let analysis = graphprof::analyze(&exe, &window).expect("analyzes");
+    // Sampled cycles reflect only the on-phases: about 2/3 of elapsed.
+    let sampled = window.histogram().total() * TICK;
+    assert!(sampled < machine.clock() * 3 / 4);
+    assert!(sampled > machine.clock() / 3);
+    assert!(analysis.total_seconds() > 0.0);
+}

@@ -1,0 +1,90 @@
+//! moncontrol-style selective profiling through the whole pipeline:
+//! restrict monitoring to one routine's address range, run, and confirm
+//! the analysis sees (only) what was monitored — at nearly full speed for
+//! everything else.
+
+use graphprof::{analyze, Gprof, Options};
+use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_monitor::RuntimeProfiler;
+use graphprof_workloads::paper::symbol_table_program;
+
+fn run_restricted(routine: &str) -> (graphprof_machine::Executable, graphprof_monitor::GmonData) {
+    let exe = symbol_table_program()
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let sym = exe.symbols().by_name(routine).expect("routine exists").1;
+    let range = (sym.addr(), sym.end());
+    let mut profiler = RuntimeProfiler::new(&exe, 5);
+    profiler.set_monitor_range(Some(range));
+    let config = MachineConfig { cycles_per_tick: 5, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    machine.run(&mut profiler).expect("runs");
+    (exe, profiler.finish())
+}
+
+#[test]
+fn restricted_profile_sees_only_the_target_routine() {
+    let (exe, gmon) = run_restricted("lookup");
+    let analysis = analyze(&exe, &gmon).expect("analyzes");
+    // Exactly one routine has samples.
+    let sampled: Vec<&str> = analysis
+        .flat()
+        .rows()
+        .iter()
+        .filter(|r| r.self_seconds > 0.0)
+        .map(|r| r.name.as_str())
+        .collect();
+    assert_eq!(sampled, ["lookup"]);
+    // And its call counts are still exact.
+    let lookup = analysis.call_graph().entry("lookup").expect("entry");
+    assert_eq!(lookup.calls.external, 170);
+    // Its callers are identified with exact per-caller counts even though
+    // the callers themselves were not monitored.
+    let count_of = |name: &str| {
+        lookup.parents.iter().find(|p| p.name == name).map(|p| p.count)
+    };
+    assert_eq!(count_of("parse"), Some(60));
+    assert_eq!(count_of("optimize"), Some(80));
+    assert_eq!(count_of("codegen"), Some(30));
+}
+
+#[test]
+fn restricted_profile_still_analyzes_with_static_graph() {
+    // The static crawl covers the whole text regardless of the monitor
+    // range, so the graph shape stays complete even when the dynamic data
+    // is partial.
+    let (exe, gmon) = run_restricted("hash");
+    let analysis = Gprof::new(Options::default())
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
+    let graph = analysis.graph();
+    // Static arcs exist between unmonitored routines.
+    let parse = graph.node_by_name("parse").expect("node");
+    let insert = graph.node_by_name("insert").expect("node");
+    let arc = graph.arc_between(parse, insert).expect("static arc present");
+    assert_eq!(graph.arc(arc).count, 0, "never dynamically recorded");
+    // The monitored routine's arcs are dynamic.
+    let hash = graph.node_by_name("hash").expect("node");
+    assert_eq!(graph.calls_into(hash), 230);
+}
+
+#[test]
+fn restriction_costs_less_than_full_monitoring() {
+    let exe = symbol_table_program()
+        .compile(&CompileOptions::profiled())
+        .expect("compiles");
+    let clock_with = |range: Option<(graphprof_machine::Addr, graphprof_machine::Addr)>| {
+        let mut profiler = RuntimeProfiler::new(&exe, 0);
+        profiler.set_monitor_range(range);
+        let mut machine = Machine::with_config(exe.clone(), MachineConfig::default());
+        machine.run(&mut profiler).expect("runs");
+        machine.clock()
+    };
+    let full = clock_with(None);
+    let sym = exe.symbols().by_name("hash").expect("symbol").1;
+    let restricted = clock_with(Some((sym.addr(), sym.end())));
+    assert!(
+        restricted < full,
+        "unmonitored prologues pay only the short-circuit: {restricted} vs {full}"
+    );
+}

@@ -1,0 +1,247 @@
+//! Property-based tests over randomly generated programs and profile
+//! data, spanning the whole pipeline.
+
+use proptest::prelude::*;
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{Addr, CompileOptions, Program, Routine, Stmt};
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_monitor::{GmonData, Histogram, RawArc};
+
+/// A compact description of one routine: work cycles and calls to later
+/// routines. The "later routines only" rule makes every generated program
+/// acyclic and terminating by construction.
+#[derive(Debug, Clone)]
+struct RoutinePlan {
+    work: u32,
+    // (offset ahead >= 1, call count)
+    calls: Vec<(usize, u32)>,
+}
+
+fn arb_plan() -> impl Strategy<Value = Vec<RoutinePlan>> {
+    let routine = (1u32..300, proptest::collection::vec((1usize..4, 1u32..5), 0..4))
+        .prop_map(|(work, calls)| RoutinePlan { work, calls });
+    proptest::collection::vec(routine, 2..8)
+}
+
+fn build_program(plans: &[RoutinePlan]) -> Program {
+    let n = plans.len();
+    let name = |i: usize| format!("f{i}");
+    let routines: Vec<Routine> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let mut body = vec![Stmt::Work(plan.work)];
+            for &(offset, count) in &plan.calls {
+                let callee = (i + offset).min(n - 1);
+                if callee == i {
+                    continue;
+                }
+                body.push(Stmt::Loop {
+                    count,
+                    body: vec![Stmt::Call(name(callee))],
+                });
+            }
+            Routine::new(name(i), body, true)
+        })
+        .collect();
+    Program::new(routines, "f0").expect("generated programs are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arc counts come from the monitoring routine and are exact,
+    /// independent of the sampling rate.
+    #[test]
+    fn call_counts_match_ground_truth(plans in arb_plan(), tick in 1u64..200) {
+        let program = build_program(&plans);
+        let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+        let (gmon, machine) = profile_to_completion(exe.clone(), tick).expect("runs");
+        let truth = machine.ground_truth().expect("truth enabled");
+        let analysis = graphprof::analyze(&exe, &gmon).expect("analyzes");
+        for routine in truth.routines() {
+            let counted = analysis
+                .call_graph()
+                .entry(&routine.name)
+                .map(|e| e.calls.external + e.calls.recursive)
+                .unwrap_or(0);
+            prop_assert_eq!(counted, routine.calls, "{}", routine.name);
+        }
+    }
+
+    /// The flat profile conserves sampled time exactly at any granularity.
+    #[test]
+    fn flat_profile_conserves_samples(
+        plans in arb_plan(),
+        tick in 1u64..100,
+        shift in 0u8..6,
+    ) {
+        use graphprof_machine::{Machine, MachineConfig};
+        use graphprof_monitor::RuntimeProfiler;
+        let program = build_program(&plans);
+        let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+        let mut profiler = RuntimeProfiler::with_granularity(&exe, tick, shift);
+        let config = MachineConfig { cycles_per_tick: tick, ..MachineConfig::default() };
+        let mut machine = Machine::with_config(exe.clone(), config);
+        machine.run(&mut profiler).expect("runs");
+        let gmon = profiler.finish();
+        let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &gmon)
+            .expect("analyzes");
+        let flat_sum: f64 = analysis.flat().rows().iter().map(|r| r.self_seconds).sum();
+        let sampled = gmon.sampled_cycles() as f64;
+        prop_assert!(
+            (flat_sum + analysis.unattributed_seconds() - sampled).abs() < 1e-6,
+            "{flat_sum} + {} != {sampled}",
+            analysis.unattributed_seconds()
+        );
+    }
+
+    /// Generated programs are acyclic, the root inherits everything, and
+    /// no entry exceeds the program total.
+    #[test]
+    fn dag_propagation_invariants(plans in arb_plan()) {
+        let program = build_program(&plans);
+        let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+        let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
+        let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &gmon)
+            .expect("analyzes");
+        prop_assert_eq!(analysis.call_graph().cycle_count(), 0);
+        let total = analysis.total_seconds();
+        let root = analysis.call_graph().entry("f0").expect("root entry");
+        prop_assert!((root.total_seconds() - total).abs() < 1e-6 * total.max(1.0));
+        for entry in analysis.call_graph().entries() {
+            prop_assert!(
+                entry.total_seconds() <= total * (1.0 + 1e-9) + 1e-9,
+                "{} exceeds total",
+                entry.name
+            );
+            prop_assert!(entry.self_seconds >= 0.0 && entry.desc_seconds >= 0.0);
+        }
+    }
+
+    /// Presentation invariants on random programs: flat rows descend by
+    /// self time, and every called/total fraction is well-formed
+    /// (numerator <= denominator, denominator = external calls).
+    #[test]
+    fn presentation_invariants(plans in arb_plan(), tick in 1u64..40) {
+        let program = build_program(&plans);
+        let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+        let (gmon, _) = profile_to_completion(exe.clone(), tick).expect("runs");
+        let analysis = graphprof::analyze(&exe, &gmon).expect("analyzes");
+        let rows = analysis.flat().rows();
+        for pair in rows.windows(2) {
+            prop_assert!(pair[0].self_seconds >= pair[1].self_seconds);
+        }
+        for entry in analysis.call_graph().entries() {
+            for line in entry.parents.iter().chain(&entry.children) {
+                if let Some(denom) = line.denom {
+                    prop_assert!(line.count <= denom, "{line:?}");
+                    prop_assert!(denom > 0, "{line:?}");
+                }
+                prop_assert!(line.flow() >= -1e-9, "{line:?}");
+            }
+        }
+    }
+
+    /// Profile files round-trip byte-exactly through serialization.
+    #[test]
+    fn gmon_round_trips(
+        base in 0x1000u32..0x8000,
+        len in 1u32..4096,
+        shift in 0u8..8,
+        samples in proptest::collection::vec((0u32..4096, 1u64..1000), 0..64),
+        arcs in proptest::collection::vec((0u32..4096, 0u32..4096, 1u64..100_000), 0..64),
+        tick in 1u64..10_000,
+    ) {
+        let mut h = Histogram::new(Addr::new(base), len, shift);
+        for (off, count) in samples {
+            h.record(Addr::new(base.saturating_add(off)), count);
+        }
+        let mut raw: Vec<RawArc> = arcs
+            .into_iter()
+            .map(|(f, t, c)| RawArc {
+                from_pc: Addr::new(base + f),
+                self_pc: Addr::new(base + t),
+                count: c,
+            })
+            .collect();
+        // The constructor sorts; duplicate keys are invalid input, so
+        // dedup the generated arcs.
+        raw.sort_by_key(|a| (a.from_pc, a.self_pc));
+        raw.dedup_by_key(|a| (a.from_pc, a.self_pc));
+        let data = GmonData::new(tick, h, raw);
+        let back = GmonData::from_bytes(&data.to_bytes()).expect("round trips");
+        prop_assert_eq!(back, data);
+    }
+
+    /// Merging profiles is commutative in totals and conserves counts.
+    #[test]
+    fn merge_conserves_counts(
+        counts_a in proptest::collection::vec(1u64..1000, 1..16),
+        counts_b in proptest::collection::vec(1u64..1000, 1..16),
+    ) {
+        let make = |counts: &[u64]| {
+            let mut h = Histogram::new(Addr::new(0x1000), 256, 0);
+            let arcs: Vec<RawArc> = counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    h.record(Addr::new(0x1000 + i as u32), c);
+                    RawArc {
+                        from_pc: Addr::new(0x1000 + i as u32 * 4),
+                        self_pc: Addr::new(0x1100),
+                        count: c,
+                    }
+                })
+                .collect();
+            GmonData::new(10, h, arcs)
+        };
+        let a = make(&counts_a);
+        let b = make(&counts_b);
+        let mut ab = a.clone();
+        ab.merge(&b).expect("merges");
+        let mut ba = b.clone();
+        ba.merge(&a).expect("merges");
+        prop_assert_eq!(&ab, &ba, "merge is symmetric");
+        let total = |d: &GmonData| -> u64 { d.arcs().iter().map(|x| x.count).sum() };
+        prop_assert_eq!(total(&ab), total(&a) + total(&b));
+        prop_assert_eq!(
+            ab.histogram().total(),
+            a.histogram().total() + b.histogram().total()
+        );
+    }
+
+    /// The assembler round-trips through the structured representation:
+    /// parsing the pretty-printed form of a generated program reproduces
+    /// the original.
+    #[test]
+    fn asm_parse_of_rendered_program(plans in arb_plan()) {
+        let program = build_program(&plans);
+        let mut source = String::new();
+        for routine in program.routines() {
+            source.push_str(&format!("routine {} {{\n", routine.name()));
+            fn emit(stmts: &[Stmt], out: &mut String) {
+                for stmt in stmts {
+                    match stmt {
+                        Stmt::Work(n) => out.push_str(&format!("  work {n}\n")),
+                        Stmt::Call(t) => out.push_str(&format!("  call {t}\n")),
+                        Stmt::Loop { count, body } => {
+                            out.push_str(&format!("  loop {count} {{\n"));
+                            emit(body, out);
+                            out.push_str("  }\n");
+                        }
+                        _ => unreachable!("generator emits only work/call/loop"),
+                    }
+                }
+            }
+            emit(routine.body(), &mut source);
+            source.push_str("}\n");
+        }
+        source.push_str("entry f0\n");
+        let parsed = graphprof_machine::asm::parse(&source).expect("parses back");
+        prop_assert_eq!(parsed, program);
+    }
+}

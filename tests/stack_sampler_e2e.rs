@@ -1,0 +1,85 @@
+//! The stack-sampling profiler on application workloads, scored against
+//! the machine's ground truth: the retrospective's "modern profiler"
+//! must stay accurate on realistic shapes without any instrumentation.
+
+use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_monitor::{StackProfiler, StackReport};
+use graphprof_workloads::apps;
+
+fn sample(
+    program: &graphprof_machine::Program,
+    tick: u64,
+) -> (StackReport, graphprof_machine::GroundTruth) {
+    let exe = program.compile(&CompileOptions::default()).expect("compiles");
+    let mut profiler = StackProfiler::new(&exe, tick);
+    let config = MachineConfig { cycles_per_tick: tick, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe, config);
+    machine.run(&mut profiler).expect("runs");
+    (profiler.finish(), machine.ground_truth().expect("truth enabled"))
+}
+
+#[test]
+fn compiler_pipeline_inclusive_times_are_exact_at_tick_one() {
+    let (report, truth) = sample(&apps::compiler_pipeline(2), 1);
+    for routine in truth.routines() {
+        if routine.calls == 0 {
+            continue;
+        }
+        let sampled = report
+            .routine(&routine.name)
+            .map(|r| r.inclusive_cycles)
+            .unwrap_or(0);
+        assert_eq!(
+            sampled, routine.total_cycles,
+            "{}: tick-1 stack sampling is exact",
+            routine.name
+        );
+    }
+}
+
+#[test]
+fn exclusive_times_match_self_cycles_at_tick_one() {
+    let (report, truth) = sample(&apps::network_server(25), 1);
+    for routine in truth.routines() {
+        let sampled = report
+            .routine(&routine.name)
+            .map(|r| r.exclusive_cycles)
+            .unwrap_or(0);
+        assert_eq!(sampled, routine.self_cycles, "{}", routine.name);
+    }
+}
+
+#[test]
+fn coarse_ticks_degrade_gracefully() {
+    let (fine, truth) = sample(&apps::text_formatter(12), 1);
+    let (coarse, _) = sample(&apps::text_formatter(12), 200);
+    let total = truth.clock() as f64;
+    for routine in truth.routines() {
+        let f = fine.routine(&routine.name).map(|r| r.inclusive_cycles).unwrap_or(0);
+        let c = coarse
+            .routine(&routine.name)
+            .map(|r| r.inclusive_cycles)
+            .unwrap_or(0);
+        // Coarse sampling errs, but big routines stay within a reasonable
+        // band of the fine measurement.
+        if (f as f64) > 0.2 * total {
+            let err = (c as f64 - f as f64).abs() / f as f64;
+            assert!(err < 0.25, "{}: {c} vs {f}", routine.name);
+        }
+    }
+}
+
+#[test]
+fn edge_attribution_covers_every_hot_call_path() {
+    let (report, truth) = sample(&apps::compiler_pipeline(2), 1);
+    // The hash routine's three callers are each attributed their own
+    // cycles, summing to hash's inclusive total.
+    let callers = ["intern", "st_lookup", "st_insert"];
+    let sum: u64 = callers
+        .iter()
+        .filter_map(|c| report.edge(c, "hash"))
+        .map(|e| e.inclusive_cycles)
+        .sum();
+    let hash_incl = truth.routine("hash").expect("truth").total_cycles;
+    assert_eq!(sum, hash_incl, "caller shares partition hash's time");
+}
