@@ -1,0 +1,444 @@
+//! Per-routine control-flow graphs.
+//!
+//! gprof's post-processor treats a routine as an opaque address range; the
+//! analyses in this crate need to see *inside* one. A [`Cfg`] partitions a
+//! routine's decoded instructions into basic blocks: a leader starts at
+//! the routine entry, at every in-routine branch target, and after every
+//! control-transfer instruction. Calls terminate blocks too — a block
+//! therefore contains at most one call site, which is what both the slot
+//! dataflow (call clobber points) and the call-count conservation lint
+//! (once-per-activation sites) key on.
+//!
+//! The partition property: every decoded instruction of the routine
+//! belongs to exactly one block, blocks are contiguous and in address
+//! order, and concatenating them reproduces the disassembly.
+
+use graphprof_machine::{DecodeError, Executable, Instruction, SymbolId};
+
+pub use graphprof_machine::Addr;
+
+/// Index of a basic block within its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        BlockId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A maximal straight-line run of instructions ending at a control
+/// transfer (branch, call, return, halt) or at the next leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    insts: Vec<(Addr, Instruction)>,
+    succs: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// Address of the block's first instruction.
+    pub fn start(&self) -> Addr {
+        self.insts[0].0
+    }
+
+    /// The block's instructions, in address order (never empty).
+    pub fn insts(&self) -> &[(Addr, Instruction)] {
+        &self.insts
+    }
+
+    /// The block's last instruction.
+    pub fn terminator(&self) -> Instruction {
+        self.insts[self.insts.len() - 1].1
+    }
+
+    /// Successor blocks within the routine.
+    ///
+    /// A branch whose target escapes the routine, or falls mid-instruction,
+    /// contributes no edge; the verifier flags such text separately.
+    pub fn succs(&self) -> &[BlockId] {
+        &self.succs
+    }
+}
+
+/// The control-flow graph of one routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    routine: SymbolId,
+    entry_addr: Addr,
+    blocks: Vec<BasicBlock>,
+}
+
+/// Builds the CFG of one routine by partitioning its disassembly.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the routine's text is malformed.
+pub fn build_cfg(exe: &Executable, id: SymbolId) -> Result<Cfg, DecodeError> {
+    let sym = exe.symbols().symbol(id);
+    let insts = exe.disassemble_symbol(id)?;
+    let mut cfg = Cfg { routine: id, entry_addr: sym.addr(), blocks: Vec::new() };
+    if insts.is_empty() {
+        return Ok(cfg);
+    }
+
+    // Branch targets are leaders only when they land on a real instruction
+    // boundary inside this routine.
+    let boundaries: std::collections::HashSet<Addr> = insts.iter().map(|&(a, _)| a).collect();
+    let mut leaders = std::collections::BTreeSet::new();
+    leaders.insert(sym.addr());
+    for &(addr, inst) in &insts {
+        let after = addr.offset(graphprof_machine::encoded_len(inst));
+        match inst {
+            Instruction::Jmp(t) | Instruction::DecJnz(_, t) | Instruction::DecCtrJnz(_, t) => {
+                if boundaries.contains(&t) {
+                    leaders.insert(t);
+                }
+                leaders.insert(after);
+            }
+            Instruction::Call(_)
+            | Instruction::CallIndirect(_)
+            | Instruction::Ret
+            | Instruction::Halt => {
+                leaders.insert(after);
+            }
+            _ => {}
+        }
+    }
+
+    // Partition: cut the linear disassembly at each leader.
+    for &(addr, inst) in &insts {
+        if leaders.contains(&addr) || cfg.blocks.is_empty() {
+            cfg.blocks.push(BasicBlock { insts: Vec::new(), succs: Vec::new() });
+        }
+        let block = cfg.blocks.last_mut().expect("block opened above");
+        block.insts.push((addr, inst));
+    }
+
+    // Successor edges, resolvable now that every block start is known.
+    let block_of = |cfg: &Cfg, target: Addr| -> Option<BlockId> {
+        cfg.blocks.binary_search_by(|b| b.start().cmp(&target)).ok().map(|i| BlockId::new(i as u32))
+    };
+    for i in 0..cfg.blocks.len() {
+        let last = cfg.blocks[i].insts[cfg.blocks[i].insts.len() - 1];
+        let (addr, inst) = last;
+        let after = addr.offset(graphprof_machine::encoded_len(inst));
+        let mut succs = Vec::new();
+        match inst {
+            Instruction::Ret | Instruction::Halt => {}
+            Instruction::Jmp(t) => {
+                if let Some(b) = block_of(&cfg, t) {
+                    succs.push(b);
+                }
+            }
+            Instruction::DecJnz(_, t) | Instruction::DecCtrJnz(_, t) => {
+                if let Some(b) = block_of(&cfg, t) {
+                    succs.push(b);
+                }
+                if let Some(b) = block_of(&cfg, after) {
+                    if !succs.contains(&b) {
+                        succs.push(b);
+                    }
+                }
+            }
+            // Calls return to the fall-through block; any other last
+            // instruction just runs off into the next leader (or off the
+            // routine's end, which has no in-routine successor).
+            _ => {
+                if let Some(b) = block_of(&cfg, after) {
+                    succs.push(b);
+                }
+            }
+        }
+        cfg.blocks[i].succs = succs;
+    }
+    Ok(cfg)
+}
+
+impl Cfg {
+    /// The routine this CFG describes.
+    pub fn routine(&self) -> SymbolId {
+        self.routine
+    }
+
+    /// The blocks, in address order. The entry block is first.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The entry block, if the routine has any instructions.
+    pub fn entry(&self) -> Option<BlockId> {
+        (!self.blocks.is_empty()).then_some(BlockId::new(0))
+    }
+
+    /// Iterates over `(id, block)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i as u32), b))
+    }
+
+    /// Predecessor lists, indexed by block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.iter() {
+            for &s in block.succs() {
+                preds[s.index()].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Which blocks are reachable from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let Some(entry) = self.entry() else { return seen };
+        let mut stack = vec![entry];
+        seen[entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            for &s in self.blocks[b.index()].succs() {
+                if !std::mem::replace(&mut seen[s.index()], true) {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Dominator sets: `dom[b][d]` is `true` when block `d` dominates
+    /// block `b`. Unreachable blocks dominate nothing and report an empty
+    /// set.
+    pub fn dominators(&self) -> Vec<Vec<bool>> {
+        let n = self.blocks.len();
+        let reachable = self.reachable();
+        let preds = self.predecessors();
+        let mut dom: Vec<Vec<bool>> = (0..n)
+            .map(|i| {
+                if !reachable[i] {
+                    vec![false; n]
+                } else if i == 0 {
+                    let mut d = vec![false; n];
+                    d[0] = true;
+                    d
+                } else {
+                    vec![true; n]
+                }
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new = vec![true; n];
+                let mut any_pred = false;
+                for p in preds[b].iter().filter(|p| reachable[p.index()]) {
+                    any_pred = true;
+                    for (nd, pd) in new.iter_mut().zip(&dom[p.index()]) {
+                        *nd &= *pd;
+                    }
+                }
+                if !any_pred {
+                    new = vec![false; n];
+                }
+                new[b] = true;
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    /// Whether the block can reach itself again — i.e. lies on a cycle of
+    /// the CFG, so it may run more than once per activation.
+    pub fn in_cycle(&self, id: BlockId) -> bool {
+        let mut stack: Vec<BlockId> = self.blocks[id.index()].succs().to_vec();
+        let mut seen = vec![false; self.blocks.len()];
+        while let Some(b) = stack.pop() {
+            if b == id {
+                return true;
+            }
+            if !std::mem::replace(&mut seen[b.index()], true) {
+                stack.extend_from_slice(self.blocks[b.index()].succs());
+            }
+        }
+        false
+    }
+
+    /// Whether the block runs exactly once on every *completed* activation
+    /// of the routine: it is reachable, it is not on a CFG cycle, and it
+    /// dominates every reachable exit block (a block with no in-routine
+    /// successors). Activations cut short — a `halt` in a callee, a paused
+    /// machine — can of course execute it zero times; the conservation
+    /// lint documents that caveat.
+    pub fn executes_once_per_activation(&self, id: BlockId) -> bool {
+        let reachable = self.reachable();
+        if !reachable[id.index()] || self.in_cycle(id) {
+            return false;
+        }
+        let dom = self.dominators();
+        let mut exits = self
+            .iter()
+            .filter(|(b, block)| reachable[b.index()] && block.succs().is_empty())
+            .map(|(b, _)| b)
+            .peekable();
+        if exits.peek().is_none() {
+            return false;
+        }
+        exits.all(|e| dom[e.index()][id.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+
+    fn compile(source: &str) -> Executable {
+        graphprof_machine::asm::parse(source).unwrap().compile(&CompileOptions::profiled()).unwrap()
+    }
+
+    fn cfg_of(exe: &Executable, name: &str) -> Cfg {
+        let (id, _) = exe.symbols().by_name(name).unwrap();
+        build_cfg(exe, id).unwrap()
+    }
+
+    fn assert_partitions(exe: &Executable, name: &str) {
+        let (id, _) = exe.symbols().by_name(name).unwrap();
+        let cfg = build_cfg(exe, id).unwrap();
+        let insts = exe.disassemble_symbol(id).unwrap();
+        let flattened: Vec<_> =
+            cfg.blocks().iter().flat_map(|b| b.insts().iter().copied()).collect();
+        assert_eq!(flattened, insts, "blocks must tile the disassembly");
+    }
+
+    #[test]
+    fn straight_line_routine_is_one_block_per_call() {
+        let exe = compile(
+            "routine main { work 5 call a work 5 }
+             routine a { work 1 }",
+        );
+        let cfg = cfg_of(&exe, "main");
+        // mcount+work+call | work+ret
+        assert_eq!(cfg.blocks().len(), 2);
+        assert!(matches!(cfg.blocks()[0].terminator(), Instruction::Call(_)));
+        assert_eq!(cfg.blocks()[0].succs(), &[BlockId::new(1)]);
+        assert!(cfg.blocks()[1].succs().is_empty());
+        assert_partitions(&exe, "main");
+    }
+
+    #[test]
+    fn loop_produces_cycle_edges() {
+        let exe = compile("routine main { loop 3 { work 5 } work 1 }");
+        let cfg = cfg_of(&exe, "main");
+        // Some block must branch backwards (decjnz to the loop head).
+        let has_back_edge = cfg.iter().any(|(id, b)| b.succs().iter().any(|&s| s <= id));
+        assert!(has_back_edge, "{cfg:?}");
+        // The loop body is on a cycle; the entry block is not.
+        let entry = cfg.entry().unwrap();
+        assert!(!cfg.in_cycle(entry));
+        let body = cfg
+            .iter()
+            .find(|(id, b)| b.succs().iter().any(|s| s <= id))
+            .map(|(id, _)| id)
+            .expect("a back-edge source");
+        assert!(cfg.in_cycle(body));
+        assert_partitions(&exe, "main");
+    }
+
+    #[test]
+    fn conditional_branch_has_two_successors() {
+        let exe = compile(
+            "routine main { callwhile 3, a work 1 }
+             routine a { work 1 }",
+        );
+        let cfg = cfg_of(&exe, "main");
+        let cond = cfg
+            .iter()
+            .find(|(_, b)| matches!(b.terminator(), Instruction::DecCtrJnz(..)))
+            .expect("a conditional branch block");
+        assert_eq!(cond.1.succs().len(), 2, "{cfg:?}");
+        assert_partitions(&exe, "main");
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let exe = compile(
+            "routine main { loop 3 { call a } callwhile 2, a work 9 }
+             routine a { work 1 }",
+        );
+        let cfg = cfg_of(&exe, "main");
+        let dom = cfg.dominators();
+        for (b, _) in cfg.iter() {
+            assert!(dom[b.index()][0], "entry must dominate {b}");
+        }
+    }
+
+    #[test]
+    fn once_per_activation_excludes_loops_and_conditionals() {
+        let exe = compile(
+            "routine main { call pre loop 3 { call looped } callwhile 2, cond call post }
+             routine pre { work 1 }
+             routine looped { work 1 }
+             routine cond { work 1 }
+             routine post { work 1 }",
+        );
+        let cfg = cfg_of(&exe, "main");
+        let by_callee = |name: &str| {
+            let target = exe.symbols().by_name(name).unwrap().1.addr();
+            cfg.iter()
+                .find(|(_, b)| b.insts().iter().any(|&(_, i)| i == Instruction::Call(target)))
+                .map(|(id, _)| id)
+                .expect("call block")
+        };
+        assert!(cfg.executes_once_per_activation(by_callee("pre")));
+        assert!(!cfg.executes_once_per_activation(by_callee("looped")), "loop body");
+        assert!(cfg.executes_once_per_activation(by_callee("post")));
+        // The conditional call's block is the decctrjnz target; it does not
+        // dominate the exit.
+        let cond = exe.symbols().by_name("cond").unwrap().1.addr();
+        let cond_block = cfg
+            .iter()
+            .find(|(_, b)| b.insts().iter().any(|&(_, i)| i == Instruction::Call(cond)))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(!cfg.executes_once_per_activation(cond_block));
+    }
+
+    #[test]
+    fn empty_routine_yields_empty_cfg() {
+        use graphprof_machine::{Symbol, SymbolTable};
+        let symbols = SymbolTable::new(vec![
+            Symbol::new("empty", Addr::new(0x1000), 0, false),
+            Symbol::new("main", Addr::new(0x1000), 1, false),
+        ]);
+        let exe = Executable::new(Addr::new(0x1000), vec![0x0c], symbols, Addr::new(0x1000));
+        let (id, _) = exe.symbols().by_name("empty").unwrap();
+        let cfg = build_cfg(&exe, id).unwrap();
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.entry().is_none());
+        assert!(cfg.reachable().is_empty());
+    }
+}

@@ -1,0 +1,497 @@
+//! Profile-consistency linting: does this `gmon.out` make sense for this
+//! executable?
+//!
+//! The paper's post-processor trusts its inputs: §4 reads the symbol
+//! table and the profile file and correlates them positionally. A stale
+//! executable, a profile from a different build, or plain corruption all
+//! produce silently wrong reports. This pass cross-checks the two
+//! artifacts and reports every inconsistency as a [`CheckFinding`] —
+//! machine-readable (stable [`CheckFinding::code`] strings) and split
+//! into errors and warnings ([`CheckFinding::is_error`]).
+//!
+//! The checks, in the order they run:
+//!
+//! 1. executable self-consistency (the `verify_executable` pass);
+//! 2. profiled routines must carry an `mcount`/`countcall` prologue;
+//! 3. every arc call-site must be the return address of a real
+//!    `call`/`calli` instruction;
+//! 4. every arc callee must be a routine entry point;
+//! 5. the histogram window must lie within the executable's text;
+//! 6. call-count conservation: a call site that provably executes exactly
+//!    once per activation of its caller must have recorded exactly as
+//!    many calls as the caller had activations;
+//! 7. indirect call sites the slot dataflow could not resolve are
+//!    surfaced as warnings (the profiler's §2 blind spot, quantified).
+//!
+//! Check 6 assumes the profiled run terminated normally: a run halted
+//! mid-activation (or a profile snapshot taken while the program was
+//! live) can legitimately under-count the last activation's calls.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use graphprof_machine::{
+    encoded_len, verify_executable, Addr, Executable, Instruction, VerifyIssue,
+};
+use graphprof_monitor::GmonData;
+
+use crate::cfg::build_cfg;
+use crate::dataflow::resolve_indirect_calls;
+
+/// One inconsistency found by [`check_profile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckFinding {
+    /// The executable itself failed verification (decode errors, bad call
+    /// targets, escaping branches, bad entry point).
+    BadExecutable {
+        /// The underlying verifier finding.
+        issue: VerifyIssue,
+    },
+    /// An arc's call-site is not the return address of any `call` or
+    /// `calli` instruction — the profile cannot be from this text.
+    ArcSiteNotCall {
+        /// The arc's recorded call-site (return address).
+        from_pc: Addr,
+    },
+    /// An arc's callee is not a routine entry point.
+    ArcCalleeNotEntry {
+        /// The arc's recorded callee.
+        self_pc: Addr,
+    },
+    /// The histogram's window is not contained in the executable's text
+    /// segment, so buckets count time at addresses that do not exist.
+    HistogramOutOfText {
+        /// Start of the histogram window.
+        start: Addr,
+        /// One past the end of the histogram window.
+        end: Addr,
+    },
+    /// A routine is flagged as profiled but its first instruction is
+    /// neither `mcount` nor `countcall`, so the monitor can never credit
+    /// it with an arc or a call count.
+    MissingMcountPrologue {
+        /// The routine's name.
+        name: String,
+    },
+    /// A routine is unreachable from the entry by direct calls and slot
+    /// loads (warning: spontaneous activation is still possible).
+    UnreachableRoutine {
+        /// The routine's name.
+        name: String,
+    },
+    /// A call site that executes exactly once per activation of its
+    /// caller recorded a different number of calls than the caller had
+    /// activations.
+    CallCountMismatch {
+        /// The call site's return address (the arc key).
+        site: Addr,
+        /// The calling routine.
+        caller: String,
+        /// The called routine.
+        callee: String,
+        /// Activations of the caller (calls the site must have made).
+        expected: u64,
+        /// Calls the profile actually recorded from this site.
+        actual: u64,
+    },
+    /// An indirect call site the slot dataflow could not resolve: arcs
+    /// from it appear only in the dynamic profile (warning).
+    UnresolvedIndirectCall {
+        /// Address of the `calli` instruction.
+        at: Addr,
+        /// The slot it calls through.
+        slot: u8,
+    },
+}
+
+impl CheckFinding {
+    /// A stable kebab-case identifier for the finding kind, for
+    /// machine consumption of `graphprof check` output.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CheckFinding::BadExecutable { .. } => "bad-executable",
+            CheckFinding::ArcSiteNotCall { .. } => "arc-site-not-call",
+            CheckFinding::ArcCalleeNotEntry { .. } => "arc-callee-not-entry",
+            CheckFinding::HistogramOutOfText { .. } => "histogram-out-of-text",
+            CheckFinding::MissingMcountPrologue { .. } => "missing-mcount-prologue",
+            CheckFinding::UnreachableRoutine { .. } => "unreachable-routine",
+            CheckFinding::CallCountMismatch { .. } => "call-count-mismatch",
+            CheckFinding::UnresolvedIndirectCall { .. } => "unresolved-indirect-call",
+        }
+    }
+
+    /// Whether the finding invalidates the profile (`true`) or merely
+    /// flags something the analysis cannot see through (`false`).
+    pub fn is_error(&self) -> bool {
+        match self {
+            CheckFinding::UnreachableRoutine { .. }
+            | CheckFinding::UnresolvedIndirectCall { .. } => false,
+            CheckFinding::BadExecutable { issue } => issue.is_error(),
+            _ => true,
+        }
+    }
+
+    /// `"error"` or `"warning"`, matching [`CheckFinding::is_error`].
+    pub fn severity(&self) -> &'static str {
+        if self.is_error() {
+            "error"
+        } else {
+            "warning"
+        }
+    }
+}
+
+impl fmt::Display for CheckFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckFinding::BadExecutable { issue } => write!(f, "{issue}"),
+            CheckFinding::ArcSiteNotCall { from_pc } => {
+                write!(f, "arc call-site {from_pc} is not the return address of any call")
+            }
+            CheckFinding::ArcCalleeNotEntry { self_pc } => {
+                write!(f, "arc callee {self_pc} is not a routine entry")
+            }
+            CheckFinding::HistogramOutOfText { start, end } => {
+                write!(f, "histogram window {start}..{end} leaves the text segment")
+            }
+            CheckFinding::MissingMcountPrologue { name } => {
+                write!(f, "routine `{name}` is marked profiled but has no mcount prologue")
+            }
+            CheckFinding::UnreachableRoutine { name } => {
+                write!(f, "routine `{name}` is unreachable by direct calls")
+            }
+            CheckFinding::CallCountMismatch { site, caller, callee, expected, actual } => {
+                write!(
+                    f,
+                    "call site {site} ({caller} -> {callee}) runs once per activation \
+                     but recorded {actual} calls for {expected} activations"
+                )
+            }
+            CheckFinding::UnresolvedIndirectCall { at, slot } => {
+                write!(f, "indirect call at {at} through slot {slot} cannot be resolved")
+            }
+        }
+    }
+}
+
+/// Whether a routine's first instruction is a profiling prologue of
+/// either instrumentation flavour.
+fn has_profiling_prologue(insts: &[(Addr, Instruction)]) -> bool {
+    matches!(insts.first(), Some((_, Instruction::Mcount)) | Some((_, Instruction::CountCall)))
+}
+
+/// Cross-checks a profile against the executable it claims to describe.
+///
+/// Returns every finding, errors first within each category's natural
+/// order; an empty vector means the profile is consistent.
+pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
+    let mut findings = Vec::new();
+    let symbols = exe.symbols();
+
+    // 1. Executable self-consistency. Reuse the verifier wholesale;
+    // decode errors here also tell us whether the deeper passes can run.
+    let mut text_ok = true;
+    for issue in verify_executable(exe) {
+        if matches!(issue, VerifyIssue::BadText(_)) {
+            text_ok = false;
+        }
+        findings.push(match issue {
+            VerifyIssue::Unreachable { name } => CheckFinding::UnreachableRoutine { name },
+            issue => CheckFinding::BadExecutable { issue },
+        });
+    }
+    if !text_ok {
+        // Every later check disassembles; report what we have.
+        return findings;
+    }
+
+    // Disassemble once; every remaining check reads from this.
+    let disasm: Vec<_> = symbols
+        .iter()
+        .map(|(id, _)| exe.disassemble_symbol(id).expect("verified text decodes"))
+        .collect();
+
+    // 2. Profiled routines need a prologue the monitor can hook.
+    for ((_, sym), insts) in symbols.iter().zip(&disasm) {
+        if sym.profiled() && !has_profiling_prologue(insts) {
+            findings.push(CheckFinding::MissingMcountPrologue { name: sym.name().to_string() });
+        }
+    }
+
+    // 3 + 4. Arc endpoints. `mcount` records the *return address* of the
+    // call that entered the routine, so every non-spontaneous from_pc
+    // must be the address just past a call or calli.
+    let mut return_addrs: HashMap<Addr, Addr> = HashMap::new(); // return addr -> site
+    for insts in &disasm {
+        for &(addr, inst) in insts {
+            if matches!(inst, Instruction::Call(_) | Instruction::CallIndirect(_)) {
+                return_addrs.insert(addr.offset(encoded_len(inst)), addr);
+            }
+        }
+    }
+    let is_entry_point =
+        |addr: Addr| symbols.lookup_pc(addr).is_some_and(|(_, s)| s.addr() == addr);
+    for arc in gmon.arcs() {
+        if !arc.from_pc.is_null() && !return_addrs.contains_key(&arc.from_pc) {
+            findings.push(CheckFinding::ArcSiteNotCall { from_pc: arc.from_pc });
+        }
+        if !is_entry_point(arc.self_pc) {
+            findings.push(CheckFinding::ArcCalleeNotEntry { self_pc: arc.self_pc });
+        }
+    }
+
+    // 5. Histogram geometry: the sampled window must lie inside the text.
+    let hist = gmon.histogram();
+    let start = hist.base();
+    let end = hist.base().offset(hist.text_len());
+    if hist.text_len() > 0 && (start < exe.base() || end > exe.end()) {
+        findings.push(CheckFinding::HistogramOutOfText { start, end });
+    }
+
+    // 6. Call-count conservation. For a caller with an mcount prologue,
+    // activations(caller) = arcs into its entry. A direct call site in a
+    // block that executes exactly once per activation, targeting another
+    // mcount-profiled routine, must therefore have recorded exactly that
+    // many calls.
+    let activations = |entry: Addr| -> u64 {
+        gmon.arcs().iter().filter(|a| a.self_pc == entry).map(|a| a.count).sum()
+    };
+    let arc_count = |from: Addr, to: Addr| -> u64 {
+        gmon.arcs().iter().filter(|a| a.from_pc == from && a.self_pc == to).map(|a| a.count).sum()
+    };
+    let counts_arcs = |entry: Addr| -> Option<&graphprof_machine::Symbol> {
+        symbols
+            .lookup_pc(entry)
+            .filter(|(id, s)| {
+                s.addr() == entry
+                    && matches!(disasm[id.index()].first(), Some((_, Instruction::Mcount)))
+            })
+            .map(|(_, s)| s)
+    };
+    for (id, caller) in symbols.iter() {
+        if counts_arcs(caller.addr()).is_none() {
+            continue;
+        }
+        let expected = activations(caller.addr());
+        let cfg = match build_cfg(exe, id) {
+            Ok(cfg) => cfg,
+            Err(_) => continue, // unreachable: text verified above
+        };
+        for (bid, block) in cfg.iter() {
+            if !cfg.executes_once_per_activation(bid) {
+                continue;
+            }
+            for &(addr, inst) in block.insts() {
+                let Instruction::Call(target) = inst else { continue };
+                let Some(callee) = counts_arcs(target) else { continue };
+                let site = addr.offset(encoded_len(inst));
+                let actual = arc_count(site, target);
+                if actual != expected {
+                    findings.push(CheckFinding::CallCountMismatch {
+                        site,
+                        caller: caller.name().to_string(),
+                        callee: callee.name().to_string(),
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+    }
+
+    // 7. Quantify the remaining blind spot.
+    if let Ok(resolution) = resolve_indirect_calls(exe) {
+        for site in &resolution.unresolved {
+            findings.push(CheckFinding::UnresolvedIndirectCall { at: site.at, slot: site.slot });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+    use graphprof_monitor::{GmonData, Histogram, RawArc};
+
+    fn compile(source: &str) -> Executable {
+        graphprof_machine::asm::parse(source).unwrap().compile(&CompileOptions::profiled()).unwrap()
+    }
+
+    fn profile(source: &str) -> (Executable, GmonData) {
+        let exe = compile(source);
+        let (gmon, _) = profile_to_completion(exe.clone(), 64).unwrap();
+        (exe, gmon)
+    }
+
+    const WELL_BEHAVED: &str = "routine main { work 10 call a call b }
+         routine a { work 20 call b }
+         routine b { work 5 }";
+
+    #[test]
+    fn clean_profile_has_no_findings() {
+        let (exe, gmon) = profile(WELL_BEHAVED);
+        let findings = check_profile(&exe, &gmon);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn shifted_arc_site_is_flagged() {
+        let (exe, gmon) = profile(WELL_BEHAVED);
+        let mut arcs: Vec<RawArc> = gmon.arcs().to_vec();
+        let victim = arcs.iter_mut().find(|a| !a.from_pc.is_null()).unwrap();
+        victim.from_pc = victim.from_pc.offset(1);
+        let bad_pc = victim.from_pc;
+        let corrupted = GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs);
+        let findings = check_profile(&exe, &corrupted);
+        assert!(
+            findings.iter().any(
+                |f| matches!(f, CheckFinding::ArcSiteNotCall { from_pc } if *from_pc == bad_pc)
+            ),
+            "{findings:?}"
+        );
+        assert!(findings.iter().any(CheckFinding::is_error));
+    }
+
+    #[test]
+    fn bogus_callee_is_flagged() {
+        let (exe, gmon) = profile(WELL_BEHAVED);
+        let mut arcs: Vec<RawArc> = gmon.arcs().to_vec();
+        arcs.push(RawArc { from_pc: Addr::NULL, self_pc: exe.end().offset(0x40), count: 1 });
+        let corrupted = GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs);
+        let findings = check_profile(&exe, &corrupted);
+        assert!(
+            findings.iter().any(|f| matches!(f, CheckFinding::ArcCalleeNotEntry { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_window_outside_text_is_flagged() {
+        let (exe, gmon) = profile(WELL_BEHAVED);
+        let shifted = Histogram::new(
+            gmon.histogram().base().offset(0x1000),
+            gmon.histogram().text_len(),
+            gmon.histogram().shift(),
+        );
+        let corrupted = GmonData::new(gmon.cycles_per_tick(), shifted, gmon.arcs().to_vec());
+        let findings = check_profile(&exe, &corrupted);
+        assert!(
+            findings.iter().any(|f| matches!(f, CheckFinding::HistogramOutOfText { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn inflated_arc_count_breaks_conservation() {
+        let (exe, gmon) = profile(WELL_BEHAVED);
+        let mut arcs: Vec<RawArc> = gmon.arcs().to_vec();
+        // main calls a exactly once per activation; inflate that count.
+        let a = exe.symbols().by_name("a").unwrap().1.addr();
+        let victim =
+            arcs.iter_mut().find(|x| x.self_pc == a && !x.from_pc.is_null()).expect("arc into a");
+        victim.count += 100;
+        let corrupted = GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs);
+        let findings = check_profile(&exe, &corrupted);
+        // The inflated arc breaks conservation somewhere: either at its
+        // own site (actual too high) or, because it inflates `a`'s
+        // activation count, at a's once-per-activation call to b.
+        assert!(
+            findings.iter().any(|f| matches!(f, CheckFinding::CallCountMismatch { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_skips_conditional_and_looped_sites() {
+        // b is called a data-dependent number of times; no mismatch may
+        // be reported even though counts differ from activations.
+        let (exe, gmon) = profile(
+            "routine main { loop 3 { call a } callwhile 2, b }
+             routine a { work 5 }
+             routine b { work 5 }",
+        );
+        let findings = check_profile(&exe, &gmon);
+        assert!(
+            !findings.iter().any(|f| matches!(f, CheckFinding::CallCountMismatch { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn profiled_routine_without_prologue_is_flagged() {
+        use graphprof_machine::{Symbol, SymbolTable};
+        // Hand-build an executable whose one routine claims to be
+        // profiled but starts with plain work: 5-byte Work(1) + Ret.
+        let text = vec![0x01, 0x01, 0x00, 0x00, 0x00, 0x05];
+        let symbols =
+            SymbolTable::new(vec![Symbol::new("liar", Addr::new(0x1000), text.len() as u32, true)]);
+        let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
+        let gmon =
+            GmonData::new(64, Histogram::new(exe.base(), exe.text().len() as u32, 0), Vec::new());
+        let findings = check_profile(&exe, &gmon);
+        assert!(
+            findings.iter().any(
+                |f| matches!(f, CheckFinding::MissingMcountPrologue { name } if name == "liar")
+            ),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_routine_is_a_warning() {
+        let (exe, gmon) = profile(
+            "routine main { work 5 }
+             routine island { work 5 }",
+        );
+        let findings = check_profile(&exe, &gmon);
+        let unreachable: Vec<_> = findings
+            .iter()
+            .filter(|f| matches!(f, CheckFinding::UnreachableRoutine { .. }))
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert!(!unreachable[0].is_error());
+        assert_eq!(unreachable[0].severity(), "warning");
+    }
+
+    #[test]
+    fn unresolved_indirect_call_is_a_warning() {
+        let (exe, gmon) = profile(
+            "routine main { setslot 0, a setslot 0, b call flip }
+             routine flip { calli 0 }
+             routine a { work 2 }
+             routine b { work 2 }",
+        );
+        let findings = check_profile(&exe, &gmon);
+        let unresolved: Vec<_> = findings
+            .iter()
+            .filter(|f| matches!(f, CheckFinding::UnresolvedIndirectCall { .. }))
+            .collect();
+        assert_eq!(unresolved.len(), 1, "{findings:?}");
+        assert!(!unresolved[0].is_error());
+    }
+
+    #[test]
+    fn resolved_indirect_call_is_not_flagged() {
+        let (exe, gmon) = profile(
+            "routine main { setslot 0, a calli 0 }
+             routine a { work 2 }",
+        );
+        let findings = check_profile(&exe, &gmon);
+        assert!(
+            !findings.iter().any(|f| matches!(f, CheckFinding::UnresolvedIndirectCall { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn codes_are_stable_and_kebab() {
+        let f = CheckFinding::ArcSiteNotCall { from_pc: Addr::new(0x1000) };
+        assert_eq!(f.code(), "arc-site-not-call");
+        assert!(f.is_error());
+        assert_eq!(f.severity(), "error");
+        assert!(f.to_string().contains("0x1000"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the static analysis crate, over randomly
+//! generated (always-terminating) programs that exercise loops,
+//! conditional calls, slot stores, and indirect calls.
+
+use proptest::prelude::*;
+
+use graphprof_analysis::{build_cfg, check_profile, resolve_indirect_calls};
+use graphprof_machine::{
+    encoded_len, CompileOptions, Executable, Instruction, Program, Routine, Stmt, NUM_COUNTERS,
+};
+use graphprof_monitor::profiler::profile_to_completion;
+
+/// A statement strategy for routine `i` of `n`: calls (direct, indirect,
+/// conditional) only target later-indexed routines, so every generated
+/// program terminates.
+fn arb_stmt(i: usize, n: usize) -> BoxedStrategy<Stmt> {
+    let callee = move |rel: usize| format!("f{}", i + 1 + rel % (n - i - 1).max(1));
+    let leaf = if i + 1 < n {
+        prop_oneof![
+            (1u32..100).prop_map(Stmt::Work),
+            (0usize..n).prop_map(move |r| Stmt::Call(callee(r))),
+            ((0u8..4), (0usize..n)).prop_map(move |(s, r)| Stmt::SetSlot(s, callee(r))),
+            (0u8..4).prop_map(Stmt::CallIndirect),
+            ((0..NUM_COUNTERS as u8), (0u32..3)).prop_map(|(c, v)| Stmt::SetCounter(c, v)),
+            ((0..NUM_COUNTERS as u8), (0usize..n))
+                .prop_map(move |(c, r)| Stmt::CallWhile(c, callee(r))),
+        ]
+        .boxed()
+    } else {
+        (1u32..100).prop_map(Stmt::Work).boxed()
+    };
+    prop_oneof![
+        leaf.clone(),
+        ((0u32..4), proptest::collection::vec(leaf, 1..3))
+            .prop_map(|(count, body)| Stmt::Loop { count, body }),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..6).prop_flat_map(|n| {
+        let bodies: Vec<_> =
+            (0..n).map(|i| proptest::collection::vec(arb_stmt(i, n), 1..5)).collect();
+        bodies.prop_map(move |bodies| {
+            let routines: Vec<Routine> = bodies
+                .into_iter()
+                .enumerate()
+                .map(|(i, body)| Routine::new(format!("f{i}"), body, true))
+                .collect();
+            Program::new(routines, "f0").expect("generated program is valid")
+        })
+    })
+}
+
+fn compile(program: &Program) -> Executable {
+    program.compile(&CompileOptions::profiled()).expect("compiles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Basic blocks partition each routine: every decoded instruction
+    /// appears in exactly one block, in address order, and every
+    /// successor edge points at a real block of the same routine.
+    #[test]
+    fn cfg_blocks_partition_every_routine(program in arb_program()) {
+        let exe = compile(&program);
+        for (id, _) in exe.symbols().iter() {
+            let insts = exe.disassemble_symbol(id).expect("decodes");
+            let cfg = build_cfg(&exe, id).expect("cfg builds");
+            let tiled: Vec<_> = cfg
+                .blocks()
+                .iter()
+                .flat_map(|b| b.insts().iter().copied())
+                .collect();
+            prop_assert_eq!(&tiled, &insts, "blocks must tile the disassembly");
+            // Blocks are contiguous: each instruction starts where the
+            // previous one ended.
+            for block in cfg.blocks() {
+                for pair in block.insts().windows(2) {
+                    prop_assert_eq!(pair[0].0.offset(encoded_len(pair[0].1)), pair[1].0);
+                }
+            }
+            for block in cfg.blocks() {
+                for &succ in block.succs() {
+                    prop_assert!(succ.index() < cfg.blocks().len());
+                }
+            }
+        }
+    }
+
+    /// Only block terminators branch: any instruction with a successor
+    /// other than fallthrough ends its block.
+    #[test]
+    fn only_terminators_branch(program in arb_program()) {
+        let exe = compile(&program);
+        for (id, _) in exe.symbols().iter() {
+            let cfg = build_cfg(&exe, id).expect("cfg builds");
+            for block in cfg.blocks() {
+                for &(_, inst) in &block.insts()[..block.insts().len() - 1] {
+                    prop_assert!(
+                        !matches!(
+                            inst,
+                            Instruction::Jmp(_)
+                                | Instruction::DecJnz(..)
+                                | Instruction::DecCtrJnz(..)
+                                | Instruction::Call(_)
+                                | Instruction::CallIndirect(_)
+                                | Instruction::Ret
+                                | Instruction::Halt
+                        ),
+                        "{inst:?} mid-block"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dataflow soundness against the machine itself: if the analysis
+    /// resolves an indirect site to one callee, then every dynamic arc
+    /// the profiler recorded from that site targets exactly that callee.
+    #[test]
+    fn resolved_indirect_sites_agree_with_dynamic_arcs(program in arb_program()) {
+        let exe = compile(&program);
+        let resolution = resolve_indirect_calls(&exe).expect("analysis runs");
+        // An indirect call through a slot that is still empty at run time
+        // faults; such programs produce no profile to compare against.
+        if let Ok((gmon, _)) = profile_to_completion(exe.clone(), 64) {
+            for site in &resolution.resolved {
+                for arc in gmon.arcs() {
+                    if arc.from_pc == site.return_addr {
+                        prop_assert_eq!(
+                            arc.self_pc, site.callee,
+                            "site {} resolved wrong", site.at
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// An unmodified profile of a well-formed program never produces
+    /// error-severity findings.
+    #[test]
+    fn clean_profiles_lint_clean(program in arb_program()) {
+        let exe = compile(&program);
+        if let Ok((gmon, _)) = profile_to_completion(exe.clone(), 64) {
+            let errors: Vec<_> = check_profile(&exe, &gmon)
+                .into_iter()
+                .filter(|f| f.is_error())
+                .collect();
+            prop_assert!(errors.is_empty(), "{errors:?}");
+        }
+    }
+}

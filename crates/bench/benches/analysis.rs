@@ -52,9 +52,7 @@ fn bench_propagate(c: &mut Criterion) {
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let params = DagParams { layers: 5, width: 8, ..DagParams::default() };
-    let exe = layered_dag(3, params)
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = layered_dag(3, params).compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 25).expect("runs");
     c.bench_function("analyze_pipeline_41_routines", |b| {
         b.iter(|| {

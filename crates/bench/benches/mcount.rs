@@ -62,7 +62,10 @@ fn bench_miss_path(c: &mut Criterion) {
         b.iter(|| {
             let mut table = CallSiteTable::new(BASE, TEXT);
             for i in 0..4096u32 {
-                table.record(Addr::new(0x1000 + (i % 1024) * 16), Addr::new(0x9000 + (i / 1024) * 32));
+                table.record(
+                    Addr::new(0x1000 + (i % 1024) * 16),
+                    Addr::new(0x9000 + (i / 1024) * 32),
+                );
             }
             black_box(table.stats().arcs)
         });

@@ -4,9 +4,7 @@
 //! instrumentation costs the simulator itself.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use graphprof_machine::{
-    CompileOptions, Machine, MachineConfig, NoHooks,
-};
+use graphprof_machine::{CompileOptions, Machine, MachineConfig, NoHooks};
 use graphprof_monitor::RuntimeProfiler;
 use graphprof_workloads::synthetic::call_density_program;
 

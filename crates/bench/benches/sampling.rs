@@ -55,9 +55,7 @@ fn bench_stack_sampling(c: &mut Criterion) {
     use graphprof_monitor::StackProfiler;
     use graphprof_workloads::apps::compiler_pipeline;
 
-    let exe = compiler_pipeline(2)
-        .compile(&CompileOptions::default())
-        .expect("compiles");
+    let exe = compiler_pipeline(2).compile(&CompileOptions::default()).expect("compiles");
     let mut group = c.benchmark_group("stack_sampling_run");
     for &tick in &[16u64, 128] {
         let config = MachineConfig {

@@ -46,24 +46,18 @@ pub fn sampling_sweep() -> Vec<SamplingRow> {
     for &tick in &[1u64, 5, 25, 125, 625, 3125] {
         let (gmon, machine) = profile_to_completion(exe.clone(), tick).expect("runs");
         let truth = machine.ground_truth().expect("truth collected");
-        let analysis = graphprof::Gprof::new(
-            graphprof::Options::default().cycles_per_second(1.0),
-        )
-        .analyze(&exe, &gmon)
-        .expect("analyzes");
+        let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &gmon)
+            .expect("analyzes");
         let total_truth: u64 = truth.routines().iter().map(|r| r.self_cycles).sum();
         let mut errors = Vec::new();
         for routine in truth.routines() {
             if (routine.self_cycles as f64) < 0.05 * total_truth as f64 {
                 continue;
             }
-            let measured = analysis
-                .flat()
-                .row(&routine.name)
-                .map(|r| r.self_seconds)
-                .unwrap_or(0.0);
-            errors
-                .push((measured - routine.self_cycles as f64).abs() / routine.self_cycles as f64);
+            let measured =
+                analysis.flat().row(&routine.name).map(|r| r.self_seconds).unwrap_or(0.0);
+            errors.push((measured - routine.self_cycles as f64).abs() / routine.self_cycles as f64);
         }
         let max = errors.iter().copied().fold(0.0f64, f64::max);
         let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
@@ -81,9 +75,7 @@ pub fn sampling_sweep() -> Vec<SamplingRow> {
 pub fn sampling() -> String {
     let rows = sampling_sweep();
     let mut out = String::new();
-    out.push_str(
-        "Section 3.2: sampling accuracy vs tick period (symbol table workload)\n\n",
-    );
+    out.push_str("Section 3.2: sampling accuracy vs tick period (symbol table workload)\n\n");
     out.push_str("cycles/tick   samples   max rel err   mean rel err\n");
     for row in &rows {
         let _ = writeln!(
@@ -106,20 +98,14 @@ pub fn avgtime() -> String {
     let exe = profiled(&program);
     let (gmon, machine) = profile_to_completion(exe.clone(), 1).expect("runs");
     let truth = machine.ground_truth().expect("truth collected");
-    let analysis = graphprof::Gprof::new(
-        graphprof::Options::default().cycles_per_second(1.0),
-    )
-    .analyze(&exe, &gmon)
-    .expect("analyzes");
+    let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
 
     // gprof's attribution: flows on the caller arcs of `api`.
     let api = analysis.call_graph().entry("api").expect("api entry");
     let flow_of = |caller: &str| {
-        api.parents
-            .iter()
-            .find(|p| p.name == caller)
-            .map(|p| p.flow())
-            .unwrap_or(0.0)
+        api.parents.iter().find(|p| p.name == caller).map(|p| p.flow()).unwrap_or(0.0)
     };
     let gprof_cheap = flow_of("cheap_user");
     let gprof_costly = flow_of("costly_user");
@@ -142,7 +128,9 @@ pub fn avgtime() -> String {
     }
 
     let mut out = String::new();
-    out.push_str("Section 4 pitfall: \"an average time per call that need not reflect reality\"\n\n");
+    out.push_str(
+        "Section 4 pitfall: \"an average time per call that need not reflect reality\"\n\n",
+    );
     out.push_str("api is called 9 times cheaply and once expensively (~100x).\n\n");
     out.push_str("caller         calls   gprof charge   true cycles   gprof/true\n");
     for (name, calls, gprof, truth) in [
@@ -205,16 +193,10 @@ pub fn multirun_sweep() -> Vec<MultirunRow> {
     let mut rows = Vec::new();
     for &n in &[1usize, 4, 16, 64] {
         let summed = sum_profiles(profiles.iter().take(n)).expect("profiles merge");
-        let analysis = graphprof::Gprof::new(
-            graphprof::Options::default().cycles_per_second(1.0),
-        )
-        .analyze(&exe, &summed)
-        .expect("analyzes");
-        let measured_total = analysis
-            .flat()
-            .row("blip")
-            .map(|r| r.self_seconds)
-            .unwrap_or(0.0);
+        let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &summed)
+            .expect("analyzes");
+        let measured_total = analysis.flat().row("blip").map(|r| r.self_seconds).unwrap_or(0.0);
         let per_run = measured_total / n as f64;
         let blip_entry = exe.symbols().by_name("blip").expect("blip symbol").1;
         let blip_samples: u64 = summed
@@ -245,11 +227,7 @@ pub fn multirun() -> String {
     );
     out.push_str("runs summed   blip samples   rel error of per-run estimate\n");
     for row in &rows {
-        let _ = writeln!(
-            out,
-            "{:>11} {:>14} {:>12.3}",
-            row.runs, row.blip_samples, row.rel_error,
-        );
+        let _ = writeln!(out, "{:>11} {:>14} {:>12.3}", row.runs, row.blip_samples, row.rel_error,);
     }
     out.push_str(
         "\na single run cannot even resolve the routine; the summed profile\n\
@@ -289,9 +267,7 @@ pub fn perturbation_rows() -> Vec<PerturbRow> {
     let program = b.build().expect("builds");
 
     // Uninstrumented ground truth.
-    let plain = program
-        .compile(&CompileOptions::default())
-        .expect("compiles");
+    let plain = program.compile(&CompileOptions::default()).expect("compiles");
     let mut machine = Machine::new(plain);
     machine.run(&mut NoHooks).expect("runs");
     let truth = machine.ground_truth().expect("truth enabled");
@@ -300,11 +276,9 @@ pub fn perturbation_rows() -> Vec<PerturbRow> {
     // Instrumented, as gprof sees it.
     let exe = profiled(&program);
     let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
-    let analysis = graphprof::Gprof::new(
-        graphprof::Options::default().cycles_per_second(1.0),
-    )
-    .analyze(&exe, &gmon)
-    .expect("analyzes");
+    let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
 
     ["chatty", "quiet"]
         .iter()
@@ -374,22 +348,17 @@ pub fn granularity_sweep() -> Vec<GranularityRow> {
         machine.run(&mut profiler).expect("runs");
         let truth = machine.ground_truth().expect("truth collected");
         let gmon = profiler.finish();
-        let analysis = graphprof::Gprof::new(
-            graphprof::Options::default().cycles_per_second(1.0),
-        )
-        .analyze(&exe, &gmon)
-        .expect("analyzes");
+        let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &gmon)
+            .expect("analyzes");
         let total_truth: u64 = truth.routines().iter().map(|r| r.self_cycles).sum();
         let mut max_err = 0.0f64;
         for routine in truth.routines() {
             if (routine.self_cycles as f64) < 0.05 * total_truth as f64 {
                 continue;
             }
-            let measured = analysis
-                .flat()
-                .row(&routine.name)
-                .map(|r| r.self_seconds)
-                .unwrap_or(0.0);
+            let measured =
+                analysis.flat().row(&routine.name).map(|r| r.self_seconds).unwrap_or(0.0);
             max_err = max_err
                 .max((measured - routine.self_cycles as f64).abs() / routine.self_cycles as f64);
         }
@@ -435,10 +404,7 @@ mod tests {
         let coarsest = rows.last().unwrap();
         assert_eq!(finest.tick, 1);
         assert!(finest.max_rel_error < 0.01, "tick=1 is near-exact: {finest:?}");
-        assert!(
-            coarsest.mean_rel_error > finest.mean_rel_error,
-            "{rows:#?}"
-        );
+        assert!(coarsest.mean_rel_error > finest.mean_rel_error, "{rows:#?}");
         assert!(coarsest.samples < finest.samples / 100);
     }
 
@@ -451,18 +417,11 @@ mod tests {
         let exe = profiled(&program);
         let (gmon, machine) = profile_to_completion(exe.clone(), 1).unwrap();
         let truth = machine.ground_truth().unwrap();
-        let analysis = graphprof::Gprof::new(
-            graphprof::Options::default().cycles_per_second(1.0),
-        )
-        .analyze(&exe, &gmon)
-        .unwrap();
+        let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+            .analyze(&exe, &gmon)
+            .unwrap();
         let api = analysis.call_graph().entry("api").unwrap();
-        let gprof_cheap = api
-            .parents
-            .iter()
-            .find(|p| p.name == "cheap_user")
-            .unwrap()
-            .flow();
+        let gprof_cheap = api.parents.iter().find(|p| p.name == "cheap_user").unwrap().flow();
         let api_entry = exe.symbols().by_name("api").unwrap().1.addr();
         let truth_cheap: u64 = truth
             .arcs()

@@ -55,8 +55,7 @@ pub fn fig2_3() -> String {
     let cycles = scc.cycles();
     let _ = writeln!(out, "strongly connected components: {}", scc.comp_count());
     for comp in &cycles {
-        let members: Vec<&str> =
-            scc.members(*comp).iter().map(|&m| graph.name(m)).collect();
+        let members: Vec<&str> = scc.members(*comp).iter().map(|&m| graph.name(m)).collect();
         let _ = writeln!(out, "cycle found: {{{}}}", members.join(", "));
     }
     out.push_str("\nnode   comp number (cycle members share one)\n");
@@ -73,10 +72,8 @@ pub fn fig2_3() -> String {
             violations += 1;
         }
     }
-    let _ = writeln!(
-        out,
-        "\ninter-component arcs violating the numbering: {violations} (paper: 0)"
-    );
+    let _ =
+        writeln!(out, "\ninter-component arcs violating the numbering: {violations} (paper: 0)");
     out
 }
 
@@ -86,15 +83,7 @@ pub fn fig2_3() -> String {
 /// same inputs.
 pub fn fig4_profile() -> (CallGraphProfile, FlatProfile) {
     let mut graph = CallGraph::with_nodes([
-        "CALLER1",
-        "CALLER2",
-        "EXAMPLE",
-        "SUB1",
-        "SUB1B",
-        "SUB2",
-        "SUB3",
-        "CYCLEAF",
-        "LEAF2",
+        "CALLER1", "CALLER2", "EXAMPLE", "SUB1", "SUB1B", "SUB2", "SUB3", "CYCLEAF", "LEAF2",
         "OTHER",
     ]);
     let spont = graph.add_node("<spontaneous>");
@@ -150,8 +139,7 @@ pub fn fig4_profile() -> (CallGraphProfile, FlatProfile) {
     let prop = propagate(&graph, &scc, &self_cycles);
     let cg = CallGraphProfile::build(&graph, spont, &scc, &prop, &self_cycles, 1.0);
     let instrumented = vec![true; graph.node_count()];
-    let flat =
-        FlatProfile::build(&graph, spont, &self_cycles, &prop, &instrumented, 1.0);
+    let flat = FlatProfile::build(&graph, spont, &self_cycles, &prop, &instrumented, 1.0);
     (cg, flat)
 }
 
@@ -197,17 +185,14 @@ pub fn fig4_example_entry() -> Entry {
 /// The format routine you will need to change is probably among the
 /// parents of the WRITE procedure."
 pub fn sec6() -> String {
-    let exe = paper::output_program()
-        .compile(&CompileOptions::profiled())
-        .expect("workload compiles");
+    let exe =
+        paper::output_program().compile(&CompileOptions::profiled()).expect("workload compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 10).expect("workload runs");
     // The demo run is a few thousand cycles; display with a 1 kHz "clock"
     // so the seconds columns are legible.
-    let analysis = graphprof::Gprof::new(
-        graphprof::Options::default().cycles_per_second(1_000.0),
-    )
-    .analyze(&exe, &gmon)
-    .expect("profile analyzes");
+    let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1_000.0))
+        .analyze(&exe, &gmon)
+        .expect("profile analyzes");
     let cg = analysis.call_graph();
     let mut out = String::new();
     out.push_str("Section 6: navigating the output portion of an unfamiliar program\n\n");

@@ -19,9 +19,7 @@ fn analyze(lookup_work: u32, hash_work: u32) -> Analysis {
         .compile(&CompileOptions::profiled())
         .expect("compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
-    Gprof::new(Options::default().cycles_per_second(1.0))
-        .analyze(&exe, &gmon)
-        .expect("analyzes")
+    Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&exe, &gmon).expect("analyzes")
 }
 
 /// One optimization round: the versions profiled and what moved.
@@ -64,10 +62,8 @@ pub fn rounds() -> (Vec<Round>, Vec<String>) {
             bottleneck: analysis.flat().rows()[0].name.clone(),
         })
         .collect();
-    let diffs = analyses
-        .windows(2)
-        .map(|pair| diff_profiles(&pair[0].1, &pair[1].1).render())
-        .collect();
+    let diffs =
+        analyses.windows(2).map(|pair| diff_profiles(&pair[0].1, &pair[1].1).render()).collect();
     (rounds, diffs)
 }
 

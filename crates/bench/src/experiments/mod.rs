@@ -119,10 +119,7 @@ pub fn all_experiments() -> Vec<Experiment> {
 
 /// Runs the experiment with the given name.
 pub fn run_experiment(name: &str) -> Option<String> {
-    all_experiments()
-        .into_iter()
-        .find(|e| e.name == name)
-        .map(|e| (e.run)())
+    all_experiments().into_iter().find(|e| e.name == name).map(|e| (e.run)())
 }
 
 #[cfg(test)]

@@ -49,11 +49,9 @@ pub fn pitfall_comparison() -> Vec<PitfallComparison> {
     let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon, machine) = profile_to_completion(exe.clone(), 1).expect("runs");
     let gprof_truth = machine.ground_truth().expect("truth enabled");
-    let analysis = graphprof::Gprof::new(
-        graphprof::Options::default().cycles_per_second(1.0),
-    )
-    .analyze(&exe, &gmon)
-    .expect("analyzes");
+    let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
     let api = analysis.call_graph().entry("api").expect("api entry");
 
     // Stack sampler, uninstrumented, with its own run's ground truth.
@@ -69,10 +67,7 @@ pub fn pitfall_comparison() -> Vec<PitfallComparison> {
             .iter()
             .filter(|a| a.callee == api_entry)
             .filter(|a| {
-                symbols
-                    .lookup_pc(a.from_pc)
-                    .map(|(_, s)| s.name() == caller)
-                    .unwrap_or(false)
+                symbols.lookup_pc(a.from_pc).map(|(_, s)| s.name() == caller).unwrap_or(false)
             })
             .map(|a| a.cycles_under)
             .sum()
@@ -81,16 +76,10 @@ pub fn pitfall_comparison() -> Vec<PitfallComparison> {
     ["cheap_user", "costly_user"]
         .iter()
         .map(|&caller| {
-            let gprof = api
-                .parents
-                .iter()
-                .find(|p| p.name == caller)
-                .map(|p| p.flow())
-                .unwrap_or(0.0);
-            let stack = stack_report
-                .edge(caller, "api")
-                .map(|e| e.inclusive_cycles as f64)
-                .unwrap_or(0.0);
+            let gprof =
+                api.parents.iter().find(|p| p.name == caller).map(|p| p.flow()).unwrap_or(0.0);
+            let stack =
+                stack_report.edge(caller, "api").map(|e| e.inclusive_cycles as f64).unwrap_or(0.0);
             PitfallComparison {
                 caller: caller.to_string(),
                 gprof,
@@ -131,11 +120,9 @@ pub fn cycle_comparison() -> (Vec<CycleComparison>, f64) {
     // What gprof reports instead: one pooled number for the whole cycle.
     let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
-    let analysis = graphprof::Gprof::new(
-        graphprof::Options::default().cycles_per_second(1.0),
-    )
-    .analyze(&exe, &gmon)
-    .expect("analyzes");
+    let analysis = graphprof::Gprof::new(graphprof::Options::default().cycles_per_second(1.0))
+        .analyze(&exe, &gmon)
+        .expect("analyzes");
     let pooled = analysis
         .call_graph()
         .entries()
@@ -199,8 +186,7 @@ mod tests {
         // gprof misattributes by >4x against its own run's truth; stack
         // sampling is within 5% of its run's truth.
         assert!(cheap.gprof > 4.0 * cheap.gprof_truth as f64, "{cheap:?}");
-        let stack_err =
-            (cheap.stack - cheap.stack_truth as f64).abs() / cheap.stack_truth as f64;
+        let stack_err = (cheap.stack - cheap.stack_truth as f64).abs() / cheap.stack_truth as f64;
         assert!(stack_err < 0.05, "{cheap:?}");
         let stack_err =
             (costly.stack - costly.stack_truth as f64).abs() / costly.stack_truth as f64;

@@ -88,10 +88,7 @@ pub fn sweep() -> Vec<OverheadRow> {
     }
     rows.push(measure("output program (sec. 6)", &paper::output_program()));
     rows.push(measure("symbol table", &paper::symbol_table_program()));
-    rows.push(measure(
-        "abstraction 10/30 x100",
-        &paper::abstraction_program(10, 30, 100),
-    ));
+    rows.push(measure("abstraction 10/30 x100", &paper::abstraction_program(10, 30, 100)));
     rows.push(measure(
         "layered dag (seed 7)",
         &synthetic::layered_dag(7, synthetic::DagParams::default()),
@@ -107,11 +104,8 @@ pub fn sweep() -> Vec<OverheadRow> {
 /// of monitoring cost to call cost moves it.
 pub fn overhead_under(program: &Program, cost: CostModel) -> f64 {
     let run = |exe: Executable, instrumented: bool| {
-        let config = MachineConfig {
-            cost,
-            collect_ground_truth: false,
-            ..MachineConfig::default()
-        };
+        let config =
+            MachineConfig { cost, collect_ground_truth: false, ..MachineConfig::default() };
         let mut machine = Machine::with_config(exe.clone(), config);
         if instrumented {
             let mut profiler = RuntimeProfiler::new(&exe, 0);
@@ -142,9 +136,7 @@ pub fn overhead() -> String {
     let rows = sweep();
     let mut out = String::new();
     out.push_str("Section 7: \"adds only five to thirty percent execution overhead\"\n\n");
-    out.push_str(
-        "workload                     base cycles   gprof%    prof%  mcount-off%\n",
-    );
+    out.push_str("workload                     base cycles   gprof%    prof%  mcount-off%\n");
     for row in &rows {
         let _ = writeln!(
             out,
@@ -156,10 +148,8 @@ pub fn overhead() -> String {
             row.disabled_overhead,
         );
     }
-    let in_band = rows
-        .iter()
-        .filter(|r| r.gprof_overhead >= 5.0 && r.gprof_overhead <= 30.0)
-        .count();
+    let in_band =
+        rows.iter().filter(|r| r.gprof_overhead >= 5.0 && r.gprof_overhead <= 30.0).count();
     let _ = writeln!(
         out,
         "\n{} of {} workloads fall inside the paper's 5-30% band;\n\
@@ -194,10 +184,9 @@ mod tests {
 
     #[test]
     fn paper_band_holds_for_typical_workloads() {
-        for (label, program) in [
-            ("output", paper::output_program()),
-            ("symtab", paper::symbol_table_program()),
-        ] {
+        for (label, program) in
+            [("output", paper::output_program()), ("symtab", paper::symbol_table_program())]
+        {
             let row = measure(label, &program);
             assert!(
                 row.gprof_overhead >= 2.0 && row.gprof_overhead <= 40.0,
@@ -217,9 +206,8 @@ mod tests {
     #[test]
     fn cheaper_calls_mean_relatively_costlier_monitoring() {
         let rows = cost_model_sweep();
-        let pct = |name: &str| {
-            rows.iter().find(|(m, _)| m.starts_with(name)).map(|&(_, p)| p).unwrap()
-        };
+        let pct =
+            |name: &str| rows.iter().find(|(m, _)| m.starts_with(name)).map(|&(_, p)| p).unwrap();
         assert!(pct("risc") > pct("classic"));
         assert!(pct("classic") > pct("cisc"));
     }

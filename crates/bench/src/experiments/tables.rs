@@ -6,9 +6,7 @@ use std::fmt::Write as _;
 
 use graphprof::{Filter, Gprof, Options};
 use graphprof_callgraph::{break_cycles_exact, break_cycles_greedy};
-use graphprof_machine::{
-    CompileOptions, Executable, Machine, MachineConfig, Program,
-};
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig, Program};
 use graphprof_monitor::profiler::profile_to_completion;
 use graphprof_monitor::{ArcStats, CalleeTable, MonitorCosts, RuntimeProfiler};
 use graphprof_prof::run_prof;
@@ -46,8 +44,7 @@ fn run_with_callsite(exe: &Executable) -> HashOrgRow {
 fn run_with_callee(exe: &Executable) -> HashOrgRow {
     let text_len = exe.end().checked_sub(exe.base()).expect("end >= base");
     let table = CalleeTable::new(exe.base(), text_len);
-    let mut profiler =
-        RuntimeProfiler::with_table(table, exe, 0, 0, MonitorCosts::default());
+    let mut profiler = RuntimeProfiler::with_table(table, exe, 0, 0, MonitorCosts::default());
     let mut machine = Machine::with_config(exe.clone(), MachineConfig::default());
     machine.run(&mut profiler).expect("runs");
     HashOrgRow {
@@ -128,11 +125,7 @@ pub fn arcremoval() -> String {
             s,
             "({:.3}% of information) -> {}",
             100.0 * count as f64 / total_counts as f64,
-            removed
-                .iter()
-                .map(|(a, b)| format!("{a}->{b}"))
-                .collect::<Vec<_>>()
-                .join(", ")
+            removed.iter().map(|(a, b)| format!("{a}->{b}")).collect::<Vec<_>>().join(", ")
         );
         s
     };
@@ -146,25 +139,18 @@ pub fn arcremoval() -> String {
     let _ = writeln!(out, "{}", describe("greedy heuristic", &greedy_names, greedy.count_removed));
     if let Some(exact) = &exact {
         let exact_names = name_pairs(&exact.removed);
-        let _ = writeln!(
-            out,
-            "{}",
-            describe("bounded exact    ", &exact_names, exact.count_removed)
-        );
+        let _ =
+            writeln!(out, "{}", describe("bounded exact    ", &exact_names, exact.count_removed));
     } else {
         out.push_str("bounded exact: candidate set too large (falls back to greedy)\n");
     }
 
     // Re-analyze with the heuristic engaged and show the subsystems
     // separate.
-    let broken = Gprof::new(Options::default().break_cycles(10))
-        .analyze(&exe, &gmon)
-        .expect("analyzes");
-    let _ = writeln!(
-        out,
-        "\ncycles after heuristic removal: {}",
-        broken.call_graph().cycle_count()
-    );
+    let broken =
+        Gprof::new(Options::default().break_cycles(10)).analyze(&exe, &gmon).expect("analyzes");
+    let _ =
+        writeln!(out, "\ncycles after heuristic removal: {}", broken.call_graph().cycle_count());
     out.push_str("\nsubsystem totals after removal (self+descendants):\n");
     for name in ["sched", "net", "disk", "vm", "buf"] {
         if let Some(entry) = broken.call_graph().entry(name) {
@@ -212,9 +198,9 @@ pub fn abstraction() -> String {
     let exe = profiled(&program);
     let (gmon, _) = profile_to_completion(exe.clone(), 10).expect("runs");
     let analysis = Gprof::new(
-        Options::default().cycles_per_second(1_000.0).filter(Filter::keep([
-            "parse", "optimize", "codegen", "lookup",
-        ])),
+        Options::default()
+            .cycles_per_second(1_000.0)
+            .filter(Filter::keep(["parse", "optimize", "codegen", "lookup"])),
     )
     .analyze(&exe, &gmon)
     .expect("analyzes");
@@ -229,11 +215,7 @@ pub fn abstraction() -> String {
     let _ = writeln!(
         out,
         "\nphase totals (self+inherited): {}",
-        phases
-            .iter()
-            .map(|(n, p)| format!("{n} {p:.1}%"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        phases.iter().map(|(n, p)| format!("{n} {p:.1}%")).collect::<Vec<_>>().join(", ")
     );
     out.push_str(
         "gprof charges each phase for the symbol-table work it causes; the\n\
@@ -339,9 +321,7 @@ mod tests {
             greedy.count_removed,
             total
         );
-        let broken = Gprof::new(Options::default().break_cycles(10))
-            .analyze(&exe, &gmon)
-            .unwrap();
+        let broken = Gprof::new(Options::default().break_cycles(10)).analyze(&exe, &gmon).unwrap();
         assert_eq!(broken.call_graph().cycle_count(), 0);
         // The subsystems now have distinct, sensible totals: disk > net.
         let disk = broken.call_graph().entry("disk").unwrap().total_seconds();
@@ -382,11 +362,8 @@ mod tests {
         assert!(optimize < parse, "optimize does 80 cheap lookups");
         // lookup's parents split its time by phase call counts.
         let lookup = cg.entry("lookup").unwrap();
-        let flows: Vec<(&str, f64)> = lookup
-            .parents
-            .iter()
-            .map(|p| (p.name.as_str(), p.flow()))
-            .collect();
+        let flows: Vec<(&str, f64)> =
+            lookup.parents.iter().map(|p| (p.name.as_str(), p.flow())).collect();
         let of = |n: &str| flows.iter().find(|(m, _)| *m == n).unwrap().1;
         assert!(of("optimize") > of("parse"));
         assert!(of("parse") > of("codegen"));

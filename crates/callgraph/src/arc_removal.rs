@@ -80,9 +80,7 @@ pub fn break_cycles_greedy(graph: &CallGraph, max_arcs: usize) -> RemovalOutcome
         let victim = current
             .arcs()
             .filter(|(_, a)| {
-                !a.is_self()
-                    && scc.comp(a.from) == scc.comp(a.to)
-                    && scc.is_cycle(scc.comp(a.from))
+                !a.is_self() && scc.comp(a.from) == scc.comp(a.to) && scc.is_cycle(scc.comp(a.from))
             })
             .min_by_key(|(_, a)| (a.count, a.from, a.to))
             .map(|(_, a)| a);
@@ -117,10 +115,7 @@ pub const EXACT_CANDIDATE_LIMIT: usize = 20;
 ///
 /// Returns `None` when no subset within `max_arcs` works, or when the
 /// candidate set exceeds [`EXACT_CANDIDATE_LIMIT`].
-pub fn break_cycles_exact(
-    graph: &CallGraph,
-    max_arcs: usize,
-) -> Option<RemovalOutcome> {
+pub fn break_cycles_exact(graph: &CallGraph, max_arcs: usize) -> Option<RemovalOutcome> {
     let scc = SccResult::analyze(graph);
     if !has_multi_node_cycle(&scc) {
         return Some(RemovalOutcome { removed: Vec::new(), complete: true, count_removed: 0 });
@@ -128,9 +123,7 @@ pub fn break_cycles_exact(
     let candidates: Vec<(NodeId, NodeId, u64)> = graph
         .arcs()
         .filter(|(_, a)| {
-            !a.is_self()
-                && scc.comp(a.from) == scc.comp(a.to)
-                && scc.is_cycle(scc.comp(a.from))
+            !a.is_self() && scc.comp(a.from) == scc.comp(a.to) && scc.is_cycle(scc.comp(a.from))
         })
         .map(|(_, a)| (a.from, a.to, a.count))
         .collect();
@@ -149,11 +142,8 @@ pub fn break_cycles_exact(
                 .map(|b| (count, k) < (b.count_removed, b.removed.len()))
                 .unwrap_or(true);
             if improves && is_propagation_acyclic(&graph.without_arcs(&pairs)) {
-                best = Some(RemovalOutcome {
-                    removed: pairs,
-                    complete: true,
-                    count_removed: count,
-                });
+                best =
+                    Some(RemovalOutcome { removed: pairs, complete: true, count_removed: count });
             }
             if !next_combination(&mut indices, candidates.len()) {
                 break;
@@ -347,9 +337,9 @@ mod tests {
         while next_combination(&mut indices, 4) {
             seen.push(indices.clone());
         }
-        assert_eq!(seen, vec![
-            vec![0, 1], vec![0, 2], vec![0, 3],
-            vec![1, 2], vec![1, 3], vec![2, 3],
-        ]);
+        assert_eq!(
+            seen,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3],]
+        );
     }
 }

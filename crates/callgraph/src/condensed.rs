@@ -218,11 +218,7 @@ mod tests {
         let times: Vec<f64> = (0..g.node_count()).map(|i| i as f64).collect();
         let prop = crate::propagate(&g, &scc, &times);
         for comp in scc.comps() {
-            assert_eq!(
-                cond.external_calls_into(comp),
-                prop.external_calls_into(comp),
-                "{comp}"
-            );
+            assert_eq!(cond.external_calls_into(comp), prop.external_calls_into(comp), "{comp}");
         }
     }
 }

@@ -28,5 +28,5 @@ pub use arc_removal::{break_cycles_exact, break_cycles_greedy, RemovalOutcome};
 pub use condensed::{CondensedArc, CondensedGraph};
 pub use graph::{Arc, ArcId, CallGraph, NodeId};
 pub use propagate::{propagate, Propagation};
-pub use static_graph::discover_static_arcs;
+pub use static_graph::{discover_arcs_with_indirect, discover_static_arcs, ArcDiscovery};
 pub use tarjan::{CompId, SccResult};

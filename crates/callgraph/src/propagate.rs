@@ -118,11 +118,7 @@ impl Propagation {
 /// Panics if `self_times.len()` differs from the graph's node count or if
 /// `scc` was computed for a different graph shape.
 pub fn propagate(graph: &CallGraph, scc: &SccResult, self_times: &[f64]) -> Propagation {
-    assert_eq!(
-        self_times.len(),
-        graph.node_count(),
-        "one self time per node required"
-    );
+    assert_eq!(self_times.len(), graph.node_count(), "one self time per node required");
     let n_comps = scc.comp_count();
     let mut p = Propagation {
         node_self: self_times.to_vec(),

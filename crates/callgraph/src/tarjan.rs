@@ -166,8 +166,7 @@ impl<'g> Tarjan<'g> {
             .comps
             .iter()
             .map(|members| {
-                members.len() == 1
-                    && graph.arc_between(members[0], members[0]).is_some()
+                members.len() == 1 && graph.arc_between(members[0], members[0]).is_some()
             })
             .collect();
         SccResult { comp_of: t.comp_of, comps: t.comps, has_self_arc }
@@ -198,8 +197,7 @@ impl<'g> Tarjan<'g> {
                     self.open(w);
                     frames.push((w, 0));
                 } else if self.on_stack[w.index()] {
-                    self.lowlink[v.index()] =
-                        self.lowlink[v.index()].min(self.index[w.index()]);
+                    self.lowlink[v.index()] = self.lowlink[v.index()].min(self.index[w.index()]);
                 }
             } else {
                 frames.pop();
@@ -245,23 +243,12 @@ mod tests {
     /// We approximate the figure's shape: one root fanning out through two
     /// internal layers to leaves.
     fn figure1_like() -> CallGraph {
-        let mut g = CallGraph::with_nodes(
-            (0..10).map(|i| format!("r{i}")),
-        );
+        let mut g = CallGraph::with_nodes((0..10).map(|i| format!("r{i}")));
         let n: Vec<NodeId> = g.nodes().collect();
         // root: n0; internal: n1..n4; leaves: n5..n9
-        for &(a, b) in &[
-            (0, 1),
-            (0, 2),
-            (1, 3),
-            (1, 4),
-            (2, 4),
-            (3, 5),
-            (3, 6),
-            (4, 7),
-            (4, 8),
-            (2, 9),
-        ] {
+        for &(a, b) in
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 5), (3, 6), (4, 7), (4, 8), (2, 9)]
+        {
             g.add_arc(n[a], n[b], 1);
         }
         g
@@ -335,8 +322,7 @@ mod tests {
         let scc = SccResult::analyze(&g);
         assert_eq!(scc.comp_count(), 2);
         let cycle = scc.cycles()[0];
-        let mut members: Vec<&str> =
-            scc.members(cycle).iter().map(|&m| g.name(m)).collect();
+        let mut members: Vec<&str> = scc.members(cycle).iter().map(|&m| g.name(m)).collect();
         members.sort_unstable();
         assert_eq!(members, ["b", "c", "d"]);
     }
@@ -348,10 +334,7 @@ mod tests {
         g.add_arc(ids[0], ids[1], 1);
         g.add_arc(ids[1], ids[2], 1);
         let scc = SccResult::analyze(&g);
-        let order: Vec<&str> = scc
-            .comps()
-            .map(|c| g.name(scc.members(c)[0]))
-            .collect();
+        let order: Vec<&str> = scc.comps().map(|c| g.name(scc.members(c)[0])).collect();
         assert_eq!(order, ["leaf", "mid", "top"]);
     }
 

@@ -4,22 +4,20 @@
 
 use proptest::prelude::*;
 
+use graphprof_callgraph::arc_removal::is_propagation_acyclic;
 use graphprof_callgraph::{
     break_cycles_exact, break_cycles_greedy, propagate, CallGraph, NodeId, SccResult,
 };
-use graphprof_callgraph::arc_removal::is_propagation_acyclic;
 
 fn arb_graph() -> impl Strategy<Value = CallGraph> {
     (2usize..10).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n, 1u64..50), 0..(3 * n)).prop_map(
-            move |arcs| {
-                let mut g = CallGraph::with_nodes((0..n).map(|i| format!("f{i}")));
-                for (a, b, count) in arcs {
-                    g.add_arc(NodeId::new(a as u32), NodeId::new(b as u32), count);
-                }
-                g
-            },
-        )
+        proptest::collection::vec((0..n, 0..n, 1u64..50), 0..(3 * n)).prop_map(move |arcs| {
+            let mut g = CallGraph::with_nodes((0..n).map(|i| format!("f{i}")));
+            for (a, b, count) in arcs {
+                g.add_arc(NodeId::new(a as u32), NodeId::new(b as u32), count);
+            }
+            g
+        })
     })
 }
 

@@ -134,12 +134,8 @@ mod tests {
 
     #[test]
     fn equals_form_and_repeats() {
-        let args = Args::parse(
-            &argv(&["--exclude=a:b", "--exclude", "c:d"]),
-            &["exclude"],
-            &[],
-        )
-        .unwrap();
+        let args =
+            Args::parse(&argv(&["--exclude=a:b", "--exclude", "c:d"]), &["exclude"], &[]).unwrap();
         assert_eq!(args.values("exclude"), ["a:b", "c:d"]);
         assert_eq!(args.value("exclude"), Some("c:d"));
     }
@@ -164,19 +160,15 @@ mod tests {
 
     #[test]
     fn double_dash_ends_flags() {
-        let args =
-            Args::parse(&argv(&["--", "--not-a-flag"]), &[], &[]).unwrap();
+        let args = Args::parse(&argv(&["--", "--not-a-flag"]), &[], &[]).unwrap();
         assert_eq!(args.positionals(), ["--not-a-flag"]);
     }
 
     #[test]
     fn int_values_decimal_and_hex() {
-        let args = Args::parse(
-            &argv(&["--tick", "100", "--base", "0x2000"]),
-            &["tick", "base"],
-            &[],
-        )
-        .unwrap();
+        let args =
+            Args::parse(&argv(&["--tick", "100", "--base", "0x2000"]), &["tick", "base"], &[])
+                .unwrap();
         assert_eq!(args.int_value("tick").unwrap(), Some(100));
         assert_eq!(args.int_value("base").unwrap(), Some(0x2000));
         assert_eq!(args.int_value("missing").unwrap(), None);

@@ -2,19 +2,53 @@
 //! graph profile. Multiple gmon files are summed; analysis options mirror
 //! the paper and retrospective.
 
-use graphprof_cli::{report, Args, CliError};
+use graphprof_cli::{check, report, Args, CliError};
 
 const USAGE: &str = "graphprof <prog.gpx> <gmon.out> [more gmon files...] \
                      [--flat-only|--graph-only] [--no-static] \
                      [--exclude from:to]... [--break-cycles N] \
                      [--min-percent P | --focus NAME | --keep a,b,c | --hide a,b,c] \
-                     [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix]";
+                     [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix]\n\
+                     graphprof check <prog.gpx> <gmon.out>";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `check` is a subcommand: dispatch on the first positional so plain
+    // report invocations (whose first argument is a file path) keep
+    // working unchanged.
+    if argv.first().map(String::as_str) == Some("check") {
+        match Args::parse(&argv[1..], &[], &[]).and_then(|args| check(&args)) {
+            Ok(report) => {
+                print!("{}", report.output);
+                if !report.is_clean() {
+                    std::process::exit(1);
+                }
+            }
+            Err(CliError::Usage(msg)) => {
+                eprintln!("{msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("graphprof: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let result = Args::parse(
         &argv,
-        &["exclude", "break-cycles", "min-percent", "focus", "keep", "hide", "cps", "sum", "dot", "tsv"],
+        &[
+            "exclude",
+            "break-cycles",
+            "min-percent",
+            "focus",
+            "keep",
+            "hide",
+            "cps",
+            "sum",
+            "dot",
+            "tsv",
+        ],
         &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
     )
     .and_then(|args| report(&args));

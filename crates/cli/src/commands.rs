@@ -30,22 +30,18 @@ fn write(path: &str, bytes: &[u8]) -> Result<(), CliError> {
 
 fn load_executable(path: &str) -> Result<graphprof_machine::Executable, CliError> {
     let exe = objfile::read_executable(&read(path)?)?;
-    if let Some(issue) = graphprof_machine::verify_executable(&exe)
+    let issues: Vec<_> = graphprof_machine::verify_executable(&exe)
         .into_iter()
-        .find(graphprof_machine::VerifyIssue::is_error)
-    {
-        return Err(CliError::Usage(format!("{path}: {issue}")));
+        .filter(graphprof_machine::VerifyIssue::is_error)
+        .collect();
+    if !issues.is_empty() {
+        return Err(CliError::Verify { path: path.to_string(), issues });
     }
     Ok(exe)
 }
 
 fn comma_list(value: &str) -> Vec<String> {
-    value
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect()
+    value.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect()
 }
 
 /// `gpx-as <input.s> [--out file.gpx] [--instrument none|gprof|prof]
@@ -90,12 +86,13 @@ pub fn assemble(args: &Args) -> Result<String, CliError> {
 
     let exe = program.compile(&options)?;
     // The compiler's output is verified before it is written; lints
-    // (unreachable routines) are reported but do not fail the build.
+    // (unreachable routines) are reported but do not fail the build,
+    // while error-severity issues abort without writing the output.
     let issues = graphprof_machine::verify_executable(&exe);
-    debug_assert!(
-        issues.iter().all(|i| !i.is_error()),
-        "compiler emitted an invalid executable: {issues:?}"
-    );
+    let errors: Vec<_> = issues.iter().filter(|i| i.is_error()).cloned().collect();
+    if !errors.is_empty() {
+        return Err(CliError::Verify { path: input.to_string(), issues: errors });
+    }
     let out_path = match args.value("out") {
         Some(path) => path.to_string(),
         None => Path::new(input).with_extension("gpx").to_string_lossy().into_owned(),
@@ -143,9 +140,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let mut profiler = RuntimeProfiler::with_granularity(&exe, tick, shift);
     if let Some(name) = args.value("monitor-only") {
         let Some((_, sym)) = exe.symbols().by_name(name) else {
-            return Err(CliError::Usage(format!(
-                "--monitor-only names unknown routine `{name}`"
-            )));
+            return Err(CliError::Usage(format!("--monitor-only names unknown routine `{name}`")));
         };
         profiler.set_monitor_range(Some((sym.addr(), sym.end())));
     }
@@ -183,6 +178,65 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         ));
     }
     Ok(summary)
+}
+
+/// The outcome of `graphprof check`: the rendered findings plus counts
+/// the binary uses to pick its exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// One line per finding (`{severity}: [{code}] {message}`) followed
+    /// by a summary line.
+    pub output: String,
+    /// Error-severity findings; any makes the check fail.
+    pub errors: usize,
+    /// Warning-severity findings; these never affect the exit code.
+    pub warnings: usize,
+}
+
+impl CheckReport {
+    /// Whether the profile passed (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0
+    }
+}
+
+/// `graphprof check <prog.gpx> <gmon.out>`
+///
+/// Cross-checks a profile against its executable: executable
+/// verification, arc call-sites and callees, histogram geometry,
+/// profiling prologues, call-count conservation, and the remaining
+/// indirect-call blind spot. Findings print one per line as
+/// `{severity}: [{code}] {message}` with stable kebab-case codes for
+/// machine consumption.
+///
+/// Unlike the other commands, this one deliberately reads the executable
+/// *without* the verifying loader — reporting what is wrong with a bad
+/// executable is its job, not a reason to bail.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, I/O, or structurally unreadable
+/// input files (semantic problems become findings, not errors).
+pub fn check(args: &Args) -> Result<CheckReport, CliError> {
+    let [exe_path, gmon_path] = args.positionals() else {
+        return Err(CliError::Usage("graphprof check <prog.gpx> <gmon.out>".to_string()));
+    };
+    let exe = objfile::read_executable(&read(exe_path)?)?;
+    let gmon = Gmon::from_bytes(&read(gmon_path)?)?;
+
+    let findings = graphprof_analysis::check_profile(&exe, &gmon);
+    let (mut errors, mut warnings) = (0usize, 0usize);
+    let mut output = String::new();
+    for finding in &findings {
+        if finding.is_error() {
+            errors += 1;
+        } else {
+            warnings += 1;
+        }
+        output.push_str(&format!("{}: [{}] {}\n", finding.severity(), finding.code(), finding));
+    }
+    output.push_str(&format!("{gmon_path}: {} error(s), {} warning(s)\n", errors, warnings));
+    Ok(CheckReport { output, errors, warnings })
 }
 
 /// `gpx-dis <prog.gpx>` — prints a symbol-annotated disassembly listing.
@@ -233,9 +287,7 @@ pub fn report(args: &Args) -> Result<String, CliError> {
     let mut options = Options::default().static_graph(!args.switch("no-static"));
     for pair in args.values("exclude") {
         let Some((from, to)) = pair.split_once(':') else {
-            return Err(CliError::Usage(format!(
-                "--exclude expects caller:callee, got `{pair}`"
-            )));
+            return Err(CliError::Usage(format!("--exclude expects caller:callee, got `{pair}`")));
         };
         options = options.exclude_arc(from.trim(), to.trim());
     }
@@ -296,10 +348,7 @@ pub fn report(args: &Args) -> Result<String, CliError> {
         write(dot_path, graphprof::render_dot(&analysis).as_bytes())?;
     }
     if let Some(prefix) = args.value("tsv") {
-        write(
-            &format!("{prefix}.flat.tsv"),
-            graphprof::flat_to_tsv(analysis.flat()).as_bytes(),
-        )?;
+        write(&format!("{prefix}.flat.tsv"), graphprof::flat_to_tsv(analysis.flat()).as_bytes())?;
         write(
             &format!("{prefix}.cg.tsv"),
             graphprof::call_graph_to_tsv(analysis.call_graph()).as_bytes(),
@@ -327,10 +376,8 @@ mod tests {
 
     impl TempDir {
         fn new(tag: &str) -> TempDir {
-            let dir = std::env::temp_dir().join(format!(
-                "graphprof-cli-{tag}-{}",
-                std::process::id()
-            ));
+            let dir =
+                std::env::temp_dir().join(format!("graphprof-cli-{tag}-{}", std::process::id()));
             fs::create_dir_all(&dir).expect("temp dir");
             TempDir(dir)
         }
@@ -372,8 +419,13 @@ mod tests {
         let exe = assemble_sample(&dir);
         let gmon = dir.path("gmon.out");
 
-        let argv = vec![exe.clone(), "--profile".to_string(), gmon.clone(),
-                        "--tick".to_string(), "10".to_string()];
+        let argv = vec![
+            exe.clone(),
+            "--profile".to_string(),
+            gmon.clone(),
+            "--tick".to_string(),
+            "10".to_string(),
+        ];
         let args = parse(
             &argv,
             &["profile", "tick", "shift", "max-cycles", "monitor-only"],
@@ -386,9 +438,7 @@ mod tests {
         let argv = vec![exe, gmon];
         let args = parse(
             &argv,
-            &[
-                "exclude", "break-cycles", "min-percent", "focus", "keep", "cps", "sum",
-            ],
+            &["exclude", "break-cycles", "min-percent", "focus", "keep", "cps", "sum"],
             &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
         );
         let output = report(&args).expect("reports");
@@ -405,9 +455,18 @@ mod tests {
         let mut gmons = Vec::new();
         for i in 0..3 {
             let gmon = dir.path(&format!("gmon.{i}"));
-            let argv = vec![exe.clone(), "--profile".to_string(), gmon.clone(),
-                            "--tick".to_string(), "10".to_string()];
-            let args = parse(&argv, &["profile", "tick", "shift", "max-cycles", "monitor-only"], &["no-profile"]);
+            let argv = vec![
+                exe.clone(),
+                "--profile".to_string(),
+                gmon.clone(),
+                "--tick".to_string(),
+                "10".to_string(),
+            ];
+            let args = parse(
+                &argv,
+                &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+                &["no-profile"],
+            );
             run(&args).expect("runs");
             gmons.push(gmon);
         }
@@ -419,7 +478,18 @@ mod tests {
         argv.push("--flat-only".to_string());
         let args = parse(
             &argv,
-            &["exclude", "break-cycles", "min-percent", "focus", "keep", "hide", "cps", "sum", "dot", "tsv"],
+            &[
+                "exclude",
+                "break-cycles",
+                "min-percent",
+                "focus",
+                "keep",
+                "hide",
+                "cps",
+                "sum",
+                "dot",
+                "tsv",
+            ],
             &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
         );
         let output = report(&args).expect("reports");
@@ -472,18 +542,109 @@ mod tests {
         let dir = TempDir::new("excl");
         let exe = assemble_sample(&dir);
         let gmon = dir.path("gmon.out");
-        let argv = vec![exe.clone(), "--profile".to_string(), gmon.clone(),
-                        "--tick".to_string(), "10".to_string()];
-        let args = parse(&argv, &["profile", "tick", "shift", "max-cycles", "monitor-only"], &["no-profile"]);
+        let argv = vec![
+            exe.clone(),
+            "--profile".to_string(),
+            gmon.clone(),
+            "--tick".to_string(),
+            "10".to_string(),
+        ];
+        let args = parse(
+            &argv,
+            &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+            &["no-profile"],
+        );
         run(&args).expect("runs");
 
         let argv = vec![exe, gmon, "--exclude".to_string(), "nocolon".to_string()];
         let args = parse(
             &argv,
-            &["exclude", "break-cycles", "min-percent", "focus", "keep", "hide", "cps", "sum", "dot", "tsv"],
+            &[
+                "exclude",
+                "break-cycles",
+                "min-percent",
+                "focus",
+                "keep",
+                "hide",
+                "cps",
+                "sum",
+                "dot",
+                "tsv",
+            ],
             &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
         );
         assert!(matches!(report(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn check_passes_a_clean_profile() {
+        let dir = TempDir::new("checkok");
+        let exe = assemble_sample(&dir);
+        let gmon = dir.path("gmon.out");
+        let argv = vec![
+            exe.clone(),
+            "--profile".to_string(),
+            gmon.clone(),
+            "--tick".to_string(),
+            "10".to_string(),
+        ];
+        let args = parse(
+            &argv,
+            &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+            &["no-profile"],
+        );
+        run(&args).expect("runs");
+
+        let argv = vec![exe, gmon];
+        let report = check(&parse(&argv, &[], &[])).expect("checks");
+        assert!(report.is_clean(), "{}", report.output);
+        assert_eq!(report.errors, 0);
+        assert!(report.output.contains("0 error(s)"), "{}", report.output);
+    }
+
+    #[test]
+    fn check_flags_a_corrupted_profile() {
+        let dir = TempDir::new("checkbad");
+        let exe = assemble_sample(&dir);
+        let gmon = dir.path("gmon.out");
+        let argv = vec![
+            exe.clone(),
+            "--profile".to_string(),
+            gmon.clone(),
+            "--tick".to_string(),
+            "10".to_string(),
+        ];
+        let args = parse(
+            &argv,
+            &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+            &["no-profile"],
+        );
+        run(&args).expect("runs");
+
+        // Shift every arc's from_pc by one byte: the sites no longer
+        // follow call instructions.
+        let data = Gmon::from_bytes(&fs::read(&gmon).unwrap()).unwrap();
+        let arcs: Vec<_> = data
+            .arcs()
+            .iter()
+            .map(|a| graphprof_monitor::RawArc {
+                from_pc: if a.from_pc.is_null() { a.from_pc } else { a.from_pc.offset(1) },
+                ..*a
+            })
+            .collect();
+        let bad = Gmon::new(data.cycles_per_tick(), data.histogram().clone(), arcs);
+        fs::write(&gmon, bad.to_bytes()).unwrap();
+
+        let argv = vec![exe, gmon];
+        let report = check(&parse(&argv, &[], &[])).expect("checks");
+        assert!(!report.is_clean());
+        assert!(report.output.contains("[arc-site-not-call]"), "{}", report.output);
+    }
+
+    #[test]
+    fn check_requires_both_paths() {
+        let args = parse(&[], &[], &[]);
+        assert!(matches!(check(&args), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -500,7 +661,11 @@ mod tests {
             "--max-cycles".to_string(),
             "100".to_string(),
         ];
-        let args = parse(&argv, &["profile", "tick", "shift", "max-cycles", "monitor-only"], &["no-profile"]);
+        let args = parse(
+            &argv,
+            &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+            &["no-profile"],
+        );
         let summary = run(&args).expect("runs");
         assert!(summary.contains("paused"), "{summary}");
     }

@@ -4,7 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 use graphprof::AnalyzeError;
-use graphprof_machine::{AsmError, CompileError, DecodeError, InterpError, ObjFileError};
+use graphprof_machine::{
+    AsmError, CompileError, DecodeError, InterpError, ObjFileError, VerifyIssue,
+};
 use graphprof_monitor::GmonError;
 
 /// Any failure a command-line tool can report.
@@ -33,6 +35,13 @@ pub enum CliError {
     Decode(DecodeError),
     /// The analysis failed.
     Analyze(AnalyzeError),
+    /// An executable failed the verifier's semantic checks.
+    Verify {
+        /// The file that failed verification.
+        path: String,
+        /// Every error-severity issue found, in discovery order.
+        issues: Vec<VerifyIssue>,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +56,13 @@ impl fmt::Display for CliError {
             CliError::Interp(e) => write!(f, "run-time fault: {e}"),
             CliError::Decode(e) => write!(f, "text error: {e}"),
             CliError::Analyze(e) => write!(f, "analysis error: {e}"),
+            CliError::Verify { path, issues } => {
+                write!(f, "{path}: executable failed verification")?;
+                for issue in issues {
+                    write!(f, "\n  {issue}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -63,6 +79,7 @@ impl Error for CliError {
             CliError::Interp(e) => Some(e),
             CliError::Decode(e) => Some(e),
             CliError::Analyze(e) => Some(e),
+            CliError::Verify { .. } => None,
         }
     }
 }
@@ -102,6 +119,22 @@ mod tests {
         assert!(e.to_string().starts_with("usage:"));
         let e = CliError::io("x.gpx", std::io::Error::other("denied"));
         assert!(e.to_string().starts_with("x.gpx:"));
+    }
+
+    #[test]
+    fn verify_errors_list_every_issue() {
+        use graphprof_machine::Addr;
+        let e = CliError::Verify {
+            path: "bad.gpx".to_string(),
+            issues: vec![
+                VerifyIssue::BadEntry { entry: Addr::new(0x1234) },
+                VerifyIssue::BadCallTarget { at: Addr::new(0x1000), target: Addr::new(0x2002) },
+            ],
+        };
+        let text = e.to_string();
+        assert!(text.starts_with("bad.gpx:"), "{text}");
+        assert!(text.contains("0x1234"), "{text}");
+        assert!(text.contains("0x2002"), "{text}");
     }
 
     #[test]

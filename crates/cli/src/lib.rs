@@ -10,7 +10,8 @@
 //! * `graphprof` — the post-processor: executable + gmon file(s) → flat
 //!   profile and call graph profile, with the paper's and retrospective's
 //!   options (static graph, arc exclusion, bounded cycle breaking,
-//!   filtering, multi-run summation).
+//!   filtering, multi-run summation). Its `check` subcommand lints a
+//!   profile against its executable and exits non-zero on inconsistency.
 //!
 //! The command implementations live here as library functions that take
 //! parsed arguments and return the produced output, so they are testable
@@ -21,5 +22,5 @@ pub mod commands;
 pub mod error;
 
 pub use args::Args;
-pub use commands::{assemble, disassemble, report, run};
+pub use commands::{assemble, check, disassemble, report, run, CheckReport};
 pub use error::CliError;

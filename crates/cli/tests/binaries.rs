@@ -10,8 +10,7 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let dir = std::env::temp_dir()
-            .join(format!("graphprof-bin-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("graphprof-bin-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("temp dir");
         TempDir(dir)
@@ -104,22 +103,11 @@ fn graphprof_sums_runs_and_filters() {
     let mut gmons = Vec::new();
     for i in 0..2 {
         let gmon = dir.path(&format!("gmon.{i}"));
-        assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"])
-            .status
-            .success());
+        assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
         gmons.push(gmon);
     }
-    let out = run_bin(
-        "graphprof",
-        &[
-            &exe,
-            &gmons[0],
-            &gmons[1],
-            "--graph-only",
-            "--focus",
-            "helper",
-        ],
-    );
+    let out =
+        run_bin("graphprof", &[&exe, &gmons[0], &gmons[1], "--graph-only", "--focus", "helper"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     // Two summed runs double the counts: 80 calls of helper.
@@ -142,9 +130,7 @@ fn coverage_switch_reports_dead_code() {
     let exe = dir.path("prog.gpx");
     assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
     let gmon = dir.path("gmon.out");
-    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5"])
-        .status
-        .success());
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5"]).status.success());
     let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--coverage"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -161,9 +147,7 @@ fn dot_export_writes_a_digraph() {
     let exe = dir.path("prog.gpx");
     assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
     let gmon = dir.path("gmon.out");
-    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"])
-        .status
-        .success());
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
     let dot = dir.path("graph.dot");
     let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--dot", &dot]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -180,28 +164,21 @@ fn monitor_only_restricts_profiling_to_one_routine() {
     let exe = dir.path("prog.gpx");
     assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
     let gmon = dir.path("gmon.out");
-    let out = run_bin(
-        "gpx-run",
-        &[&exe, "--profile", &gmon, "--tick", "5", "--monitor-only", "helper"],
-    );
+    let out =
+        run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5", "--monitor-only", "helper"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let report = run_bin("graphprof", &[&exe, &gmon, "--graph-only"]);
     let text = stdout(&report);
     // Only helper has recorded activity: its entry exists with calls...
     assert!(text.contains("helper ["), "{text}");
     // ...while the phases appear only as parents (no samples, no arcs in).
-    let phase_primary = text
-        .lines()
-        .find(|l| l.starts_with('[') && l.contains("phase1"));
+    let phase_primary = text.lines().find(|l| l.starts_with('[') && l.contains("phase1"));
     if let Some(line) = phase_primary {
         assert!(line.contains(" 0 "), "phase1 has no recorded calls: {line}");
     }
 
     // An unknown routine name is a usage error.
-    let out = run_bin(
-        "gpx-run",
-        &[&exe, "--profile", &gmon, "--monitor-only", "ghost"],
-    );
+    let out = run_bin("gpx-run", &[&exe, "--profile", &gmon, "--monitor-only", "ghost"]);
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -213,9 +190,7 @@ fn annotate_switch_projects_samples_onto_instructions() {
     let exe = dir.path("prog.gpx");
     assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
     let gmon = dir.path("gmon.out");
-    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5"])
-        .status
-        .success());
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "5"]).status.success());
     let out = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--annotate"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -303,6 +278,137 @@ fn runtime_errors_exit_1_with_message() {
     assert!(stderr(&out).contains("does not match"), "{}", stderr(&out));
 }
 
+/// A program whose every call site runs exactly once per activation of
+/// its caller, so `graphprof check`'s conservation lint has teeth.
+const STRAIGHT: &str = "
+    routine main { work 50 call a call b }
+    routine a { work 200 call b }
+    routine b { work 100 }
+";
+
+/// Assembles STRAIGHT and produces a valid profile, returning the
+/// executable and gmon paths.
+fn straight_profile(dir: &TempDir) -> (String, String) {
+    let src = dir.path("straight.s");
+    fs::write(&src, STRAIGHT).expect("write source");
+    let exe = dir.path("straight.gpx");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
+    (exe, gmon)
+}
+
+/// Byte offset of the last arc record in a gmon file (the record with
+/// the highest `from_pc`, since arcs are stored sorted).
+fn last_arc_offset(gmon: &[u8]) -> usize {
+    let nbuckets = u32::from_le_bytes(gmon[36..40].try_into().unwrap()) as usize;
+    let narcs_off = 40 + nbuckets * 8;
+    let narcs = u32::from_le_bytes(gmon[narcs_off..narcs_off + 4].try_into().unwrap()) as usize;
+    assert!(narcs > 0, "profile recorded arcs");
+    narcs_off + 4 + (narcs - 1) * 16
+}
+
+#[test]
+fn check_accepts_a_clean_profile() {
+    let dir = TempDir::new("checkclean");
+    let (exe, gmon) = straight_profile(&dir);
+    let out = run_bin("graphprof", &["check", &exe, &gmon]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 error(s)"), "{}", stdout(&out));
+}
+
+#[test]
+fn check_detects_a_shifted_arc_site() {
+    let dir = TempDir::new("checkshift");
+    let (exe, gmon) = straight_profile(&dir);
+    // Shift the last arc's from_pc by one byte: it no longer points just
+    // past a call instruction. (The last arc has the highest from_pc, so
+    // the file's sort order survives the bump.)
+    let mut bytes = fs::read(&gmon).expect("read gmon");
+    let off = last_arc_offset(&bytes);
+    let from = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    bytes[off..off + 4].copy_from_slice(&(from + 1).to_le_bytes());
+    fs::write(&gmon, &bytes).expect("write gmon");
+
+    let out = run_bin("graphprof", &["check", &exe, &gmon]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("error: [arc-site-not-call]"), "{text}");
+}
+
+#[test]
+fn check_detects_an_out_of_text_histogram() {
+    let dir = TempDir::new("checkbase");
+    let (exe, gmon) = straight_profile(&dir);
+    // The histogram base lives at byte offset 16 of the header; shifting
+    // it moves the sampled window past the end of the text segment.
+    let mut bytes = fs::read(&gmon).expect("read gmon");
+    let base = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    bytes[16..20].copy_from_slice(&(base + 0x1000).to_le_bytes());
+    fs::write(&gmon, &bytes).expect("write gmon");
+
+    let out = run_bin("graphprof", &["check", &exe, &gmon]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("error: [histogram-out-of-text]"), "{text}");
+}
+
+#[test]
+fn check_detects_an_inflated_arc_count() {
+    let dir = TempDir::new("checkcount");
+    let (exe, gmon) = straight_profile(&dir);
+    // Inflate the last arc's traversal count: its call site runs exactly
+    // once per caller activation, so conservation must now fail.
+    let mut bytes = fs::read(&gmon).expect("read gmon");
+    let off = last_arc_offset(&bytes) + 8;
+    let count = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    bytes[off..off + 8].copy_from_slice(&(count + 100).to_le_bytes());
+    fs::write(&gmon, &bytes).expect("write gmon");
+
+    let out = run_bin("graphprof", &["check", &exe, &gmon]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("error: [call-count-mismatch]"), "{text}");
+}
+
+#[test]
+fn check_without_arguments_is_a_usage_error() {
+    let out = run_bin("graphprof", &["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("graphprof check"), "{}", stderr(&out));
+}
+
+#[test]
+fn corrupted_executables_fail_verification_loudly() {
+    let dir = TempDir::new("badexe");
+    let (exe, gmon) = straight_profile(&dir);
+    // Retarget a call into the middle of routine `b` by patching its
+    // 4-byte little-endian operand inside the object file's text.
+    let listing = stdout(&run_bin("gpx-dis", &[&exe]));
+    // Symbol lines look like `b: 0x1023 +7 [profiled]`.
+    let b_line = listing.lines().find(|l| l.starts_with("b: ")).expect("b listed");
+    let addr_token = b_line.split_whitespace().nth(1).expect("address token");
+    let b_addr =
+        u32::from_str_radix(addr_token.trim_start_matches("0x"), 16).expect("address parses");
+    let mut bytes = fs::read(&exe).expect("read exe");
+    let needle = b_addr.to_le_bytes();
+    let pos = bytes.windows(4).position(|w| w == needle).expect("call target present");
+    bytes[pos..pos + 4].copy_from_slice(&(b_addr + 2).to_le_bytes());
+    fs::write(&exe, &bytes).expect("write exe");
+
+    // gpx-run refuses the executable with a readable multi-line report.
+    let out = run_bin("gpx-run", &[&exe, "--profile", &gmon]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("failed verification"), "{err}");
+    assert!(err.contains("not a routine entry"), "{err}");
+
+    // graphprof check reports the same problem as a finding instead.
+    let out = run_bin("graphprof", &["check", &exe, &gmon]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("[bad-executable]"), "{}", stdout(&out));
+}
+
 #[test]
 fn assembly_errors_carry_positions() {
     let dir = TempDir::new("asmerr");
@@ -322,10 +428,7 @@ fn prof_style_instrumentation_and_selection() {
     let exe = dir.path("pipeline.gpx");
     fs::write(&src, SOURCE).expect("write source");
     // Instrument only phase1 and helper.
-    let out = run_bin(
-        "gpx-as",
-        &[&src, "--out", &exe, "--only", "phase1,helper"],
-    );
+    let out = run_bin("gpx-as", &[&src, "--out", &exe, "--only", "phase1,helper"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let listing = stdout(&run_bin("gpx-dis", &[&exe]));
     let mcounts = listing.matches("mcount").count();

@@ -101,10 +101,7 @@ impl AnnotatedListing {
 /// # Errors
 ///
 /// Returns a [`DecodeError`] if the executable text is malformed.
-pub fn annotate(
-    exe: &Executable,
-    histogram: &Histogram,
-) -> Result<AnnotatedListing, DecodeError> {
+pub fn annotate(exe: &Executable, histogram: &Histogram) -> Result<AnnotatedListing, DecodeError> {
     let total_samples = histogram.total();
     let denom = if total_samples == 0 { 1.0 } else { total_samples as f64 };
     // Per-byte sample density from the histogram.
@@ -189,12 +186,8 @@ mod tests {
              routine leaf { work 123 }",
             3,
         );
-        let sum: f64 = listing
-            .routines()
-            .iter()
-            .flat_map(|r| &r.instructions)
-            .map(|i| i.samples)
-            .sum();
+        let sum: f64 =
+            listing.routines().iter().flat_map(|r| &r.instructions).map(|i| i.samples).sum();
         assert!((sum - listing.total_samples() as f64).abs() < 1e-6);
     }
 
@@ -238,12 +231,10 @@ mod tests {
 
     #[test]
     fn coarse_buckets_apportion_across_instructions() {
-        let exe = graphprof_machine::asm::parse(
-            "routine main { work 100 work 100 }",
-        )
-        .unwrap()
-        .compile(&CompileOptions::default())
-        .unwrap();
+        let exe = graphprof_machine::asm::parse("routine main { work 100 work 100 }")
+            .unwrap()
+            .compile(&CompileOptions::default())
+            .unwrap();
         use graphprof_machine::{Machine, MachineConfig};
         use graphprof_monitor::RuntimeProfiler;
         let mut profiler = RuntimeProfiler::with_granularity(&exe, 1, 6); // 64-byte buckets
@@ -252,20 +243,13 @@ mod tests {
         machine.run(&mut profiler).unwrap();
         let gmon = profiler.finish();
         let listing = annotate(&exe, gmon.histogram()).unwrap();
-        let sum: f64 = listing
-            .routines()
-            .iter()
-            .flat_map(|r| &r.instructions)
-            .map(|i| i.samples)
-            .sum();
+        let sum: f64 =
+            listing.routines().iter().flat_map(|r| &r.instructions).map(|i| i.samples).sum();
         assert!((sum - listing.total_samples() as f64).abs() < 1e-6);
         // Both work instructions got a share despite sharing a bucket.
         let main = listing.routine("main").unwrap();
-        let works: Vec<&AnnotatedInst> = main
-            .instructions
-            .iter()
-            .filter(|i| i.text.starts_with("work"))
-            .collect();
+        let works: Vec<&AnnotatedInst> =
+            main.instructions.iter().filter(|i| i.text.starts_with("work")).collect();
         assert_eq!(works.len(), 2);
         assert!(works.iter().all(|i| i.samples > 0.0));
     }

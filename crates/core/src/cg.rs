@@ -133,8 +133,7 @@ impl CallGraphProfile {
         self.entries.iter().find(|e| {
             matches!(e.kind, EntryKind::Routine(_))
                 && (e.name == name
-                    || e.name.starts_with(name)
-                        && e.name[name.len()..].starts_with(" <cycle"))
+                    || e.name.starts_with(name) && e.name[name.len()..].starts_with(" <cycle"))
         })
     }
 
@@ -161,11 +160,8 @@ impl CallGraphProfile {
         cycles_per_second: f64,
     ) -> CallGraphProfile {
         let cps = cycles_per_second;
-        let total_cycles: f64 = graph
-            .nodes()
-            .filter(|&n| n != spontaneous)
-            .map(|n| self_cycles[n.index()])
-            .sum();
+        let total_cycles: f64 =
+            graph.nodes().filter(|&n| n != spontaneous).map(|n| self_cycles[n.index()]).sum();
         let total_seconds = total_cycles / cps;
         let percent_of = |cycles: f64| {
             if total_cycles > 0.0 {
@@ -178,9 +174,7 @@ impl CallGraphProfile {
         // Number the cycles by decreasing pooled time.
         let mut cycles: Vec<CompId> = scc.cycles();
         cycles.sort_by(|&a, &b| {
-            prop.comp_total(b)
-                .partial_cmp(&prop.comp_total(a))
-                .expect("times are finite")
+            prop.comp_total(b).partial_cmp(&prop.comp_total(a)).expect("times are finite")
         });
         let mut cycle_number: HashMap<CompId, u32> = HashMap::new();
         for (i, &c) in cycles.iter().enumerate() {
@@ -231,35 +225,32 @@ impl CallGraphProfile {
             }
         }
 
-        let line_for = |node: NodeId,
-                        self_seconds: f64,
-                        desc_seconds: f64,
-                        count: u64,
-                        denom: Option<u64>| {
-            if node == spontaneous {
-                ArcLine {
-                    name: crate::profile::SPONTANEOUS.to_string(),
-                    node: None,
-                    entry_index: None,
-                    cycle: None,
-                    self_seconds,
-                    desc_seconds,
-                    count,
-                    denom,
+        let line_for =
+            |node: NodeId, self_seconds: f64, desc_seconds: f64, count: u64, denom: Option<u64>| {
+                if node == spontaneous {
+                    ArcLine {
+                        name: crate::profile::SPONTANEOUS.to_string(),
+                        node: None,
+                        entry_index: None,
+                        cycle: None,
+                        self_seconds,
+                        desc_seconds,
+                        count,
+                        denom,
+                    }
+                } else {
+                    ArcLine {
+                        name: display_name(node),
+                        node: Some(node),
+                        entry_index: node_entry.get(&node).copied(),
+                        cycle: cycle_number.get(&scc.comp(node)).copied(),
+                        self_seconds,
+                        desc_seconds,
+                        count,
+                        denom,
+                    }
                 }
-            } else {
-                ArcLine {
-                    name: display_name(node),
-                    node: Some(node),
-                    entry_index: node_entry.get(&node).copied(),
-                    cycle: cycle_number.get(&scc.comp(node)).copied(),
-                    self_seconds,
-                    desc_seconds,
-                    count,
-                    denom,
-                }
-            }
-        };
+            };
 
         let mut entries = Vec::with_capacity(units.len());
         for (i, (_, _, unit)) in units.iter().enumerate() {
@@ -308,8 +299,7 @@ impl CallGraphProfile {
                                 prop.arc_self_flow(arc_id) / cps,
                                 prop.arc_desc_flow(arc_id) / cps,
                                 arc.count,
-                                Some(prop.external_calls_into(scc.comp(arc.to)))
-                                    .filter(|&d| d > 0),
+                                Some(prop.external_calls_into(scc.comp(arc.to))).filter(|&d| d > 0),
                             ));
                         }
                     }
@@ -457,8 +447,7 @@ mod tests {
     #[test]
     fn entries_sorted_by_total_time() {
         let profile = example_shape().profile();
-        let totals: Vec<f64> =
-            profile.entries().iter().map(|e| e.total_seconds()).collect();
+        let totals: Vec<f64> = profile.entries().iter().map(|e| e.total_seconds()).collect();
         for pair in totals.windows(2) {
             assert!(pair[0] >= pair[1] - 1e-12, "descending: {totals:?}");
         }
@@ -550,11 +539,8 @@ mod tests {
     fn cycle_gets_a_whole_entry() {
         let profile = cycle_shape().profile();
         assert_eq!(profile.cycle_count(), 1);
-        let whole = profile
-            .entries()
-            .iter()
-            .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
-            .unwrap();
+        let whole =
+            profile.entries().iter().find(|e| matches!(e.kind, EntryKind::CycleWhole(_))).unwrap();
         assert_eq!(whole.name, "<cycle 1 as a whole>");
         assert!((whole.self_seconds - 80.0).abs() < 1e-9);
         assert!((whole.desc_seconds - 40.0).abs() < 1e-9);
@@ -564,11 +550,8 @@ mod tests {
     #[test]
     fn cycle_entry_lists_members_as_children() {
         let profile = cycle_shape().profile();
-        let whole = profile
-            .entries()
-            .iter()
-            .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
-            .unwrap();
+        let whole =
+            profile.entries().iter().find(|e| matches!(e.kind, EntryKind::CycleWhole(_))).unwrap();
         let names: Vec<&str> = whole.children.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"x <cycle1>"));
         assert!(names.contains(&"y <cycle1>"));
@@ -580,11 +563,8 @@ mod tests {
     #[test]
     fn cycle_parents_share_pooled_time() {
         let profile = cycle_shape().profile();
-        let whole = profile
-            .entries()
-            .iter()
-            .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
-            .unwrap();
+        let whole =
+            profile.entries().iter().find(|e| matches!(e.kind, EntryKind::CycleWhole(_))).unwrap();
         let a = whole.parents.iter().find(|p| p.name == "a").unwrap();
         let b = whole.parents.iter().find(|p| p.name == "b").unwrap();
         assert_eq!((a.count, a.denom), (30, Some(40)));
@@ -634,8 +614,7 @@ mod tests {
     #[test]
     fn two_disjoint_cycles_are_numbered_by_time() {
         // Cycle A (hot): a1 <-> a2 with lots of self time; cycle B (cool).
-        let mut graph =
-            CallGraph::with_nodes(["main", "a1", "a2", "b1", "b2"]);
+        let mut graph = CallGraph::with_nodes(["main", "a1", "a2", "b1", "b2"]);
         let spont = graph.add_node("<spontaneous>");
         let n = NodeId::new;
         graph.add_arc(spont, n(0), 1);
@@ -645,11 +624,7 @@ mod tests {
         graph.add_arc(n(0), n(3), 2);
         graph.add_arc(n(3), n(4), 5);
         graph.add_arc(n(4), n(3), 4);
-        let fixture = Fixture {
-            graph,
-            spont,
-            self_cycles: vec![1.0, 50.0, 40.0, 5.0, 4.0, 0.0],
-        };
+        let fixture = Fixture { graph, spont, self_cycles: vec![1.0, 50.0, 40.0, 5.0, 4.0, 0.0] };
         let profile = fixture.profile();
         assert_eq!(profile.cycle_count(), 2);
         // The hot cycle is number 1.
@@ -692,8 +667,7 @@ mod tests {
         graph.add_arc(spont, other, 1);
         graph.add_arc(other, sub3, 5);
         graph.add_arc(ex, sub3, 0); // static-only
-        let fixture =
-            Fixture { graph, spont, self_cycles: vec![1.0, 1.0, 10.0, 0.0] };
+        let fixture = Fixture { graph, spont, self_cycles: vec![1.0, 1.0, 10.0, 0.0] };
         let profile = fixture.profile();
         let ex_entry = profile.entry("example").unwrap();
         let sub3_line = ex_entry.children.iter().find(|c| c.name == "sub3").unwrap();

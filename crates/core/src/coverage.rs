@@ -116,9 +116,8 @@ impl CoverageReport {
 pub fn coverage(analysis: &Analysis) -> CoverageReport {
     let graph = analysis.graph();
     let spontaneous = analysis.spontaneous_node();
-    let executed_node = |node: NodeId| {
-        graph.calls_into(node) > 0 || analysis.propagation().node_self(node) > 0.0
-    };
+    let executed_node =
+        |node: NodeId| graph.calls_into(node) > 0 || analysis.propagation().node_self(node) > 0.0;
     let mut executed = Vec::new();
     let mut never_called = Vec::new();
     for node in graph.nodes() {

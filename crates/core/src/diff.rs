@@ -86,11 +86,7 @@ impl ProfileDiff {
         self.rows
             .iter()
             .filter(|r| r.after_self.is_some())
-            .max_by(|a, b| {
-                a.after_self
-                    .partial_cmp(&b.after_self)
-                    .expect("times are finite")
-            })
+            .max_by(|a, b| a.after_self.partial_cmp(&b.after_self).expect("times are finite"))
     }
 
     /// Renders the diff as text.
@@ -193,11 +189,7 @@ pub fn diff_profiles(before: &Analysis, after: &Analysis) -> ProfileDiff {
             .expect("times are finite")
             .then_with(|| a.name.cmp(&b.name))
     });
-    ProfileDiff {
-        rows,
-        before_total: before.total_seconds(),
-        after_total: after.total_seconds(),
-    }
+    ProfileDiff { rows, before_total: before.total_seconds(), after_total: after.total_seconds() }
 }
 
 #[cfg(test)]
@@ -214,9 +206,7 @@ mod tests {
             .compile(&CompileOptions::profiled())
             .unwrap();
         let (gmon, _) = profile_to_completion(exe.clone(), 1).unwrap();
-        Gprof::new(Options::default().cycles_per_second(1.0))
-            .analyze(&exe, &gmon)
-            .unwrap()
+        Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&exe, &gmon).unwrap()
     }
 
     const BEFORE: &str = "

@@ -44,9 +44,7 @@ pub fn render_dot(analysis: &Analysis) -> String {
     // Group cycle members into clusters, numbered to match the profile.
     let mut cycles: Vec<_> = scc.cycles();
     cycles.sort_by(|&a, &b| {
-        prop.comp_total(b)
-            .partial_cmp(&prop.comp_total(a))
-            .expect("times are finite")
+        prop.comp_total(b).partial_cmp(&prop.comp_total(a)).expect("times are finite")
     });
 
     let node_line = |node: NodeId| -> String {
@@ -153,10 +151,8 @@ mod tests {
         assert!(dot.contains("subgraph cluster_cycle1"), "{dot}");
         assert!(dot.contains("label=\"cycle 1\""));
         // Intra-cycle arcs are gray.
-        let intra = dot
-            .lines()
-            .find(|l| l.contains("\"ping\" -> \"pong\""))
-            .expect("intra arc present");
+        let intra =
+            dot.lines().find(|l| l.contains("\"ping\" -> \"pong\"")).expect("intra arc present");
         assert!(intra.contains("color=gray"), "{intra}");
     }
 
@@ -168,10 +164,8 @@ mod tests {
              routine rare { work 50 }",
         );
         let dot = render_dot(&analysis);
-        let line = dot
-            .lines()
-            .find(|l| l.contains("\"main\" -> \"rare\""))
-            .expect("static arc present");
+        let line =
+            dot.lines().find(|l| l.contains("\"main\" -> \"rare\"")).expect("static arc present");
         assert!(line.contains("style=dashed"), "{line}");
         assert!(line.contains("label=\"0\""), "{line}");
     }

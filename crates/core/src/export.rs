@@ -148,10 +148,7 @@ mod tests {
         }
         assert_eq!(primaries, a.call_graph().entries().len());
         // leaf's parent row names main with the 4/4 fraction.
-        assert!(
-            lines.iter().any(|l| l.contains("parent\tmain") && l.ends_with("4\t4")),
-            "{tsv}"
-        );
+        assert!(lines.iter().any(|l| l.contains("parent\tmain") && l.ends_with("4\t4")), "{tsv}");
     }
 
     #[test]

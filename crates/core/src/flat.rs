@@ -60,11 +60,8 @@ impl FlatProfile {
         instrumented: &[bool],
         cycles_per_second: f64,
     ) -> FlatProfile {
-        let total_cycles: f64 = graph
-            .nodes()
-            .filter(|&n| n != spontaneous)
-            .map(|n| self_cycles[n.index()])
-            .sum();
+        let total_cycles: f64 =
+            graph.nodes().filter(|&n| n != spontaneous).map(|n| self_cycles[n.index()]).sum();
         let total_seconds = total_cycles / cycles_per_second;
         let mut rows = Vec::new();
         let mut never_called = Vec::new();
@@ -79,9 +76,8 @@ impl FlatProfile {
                 continue;
             }
             let calls = instrumented[node.index()].then_some(calls_in);
-            let per_call = |seconds: f64| {
-                calls.filter(|&c| c > 0).map(|c| seconds * 1e3 / c as f64)
-            };
+            let per_call =
+                |seconds: f64| calls.filter(|&c| c > 0).map(|c| seconds * 1e3 / c as f64);
             rows.push(FlatRow {
                 name: graph.name(node).to_string(),
                 node,
@@ -94,9 +90,7 @@ impl FlatProfile {
                 self_seconds,
                 calls,
                 self_ms_per_call: per_call(self_seconds),
-                total_ms_per_call: per_call(
-                    propagation.node_total(node) / cycles_per_second,
-                ),
+                total_ms_per_call: per_call(propagation.node_total(node) / cycles_per_second),
             });
         }
         rows.sort_by(|a, b| {
@@ -231,14 +225,8 @@ mod tests {
         let self_cycles = [10.0, 90.0, 0.0];
         let scc = SccResult::analyze(&graph);
         let prop = propagate(&graph, &scc, &self_cycles);
-        let flat = FlatProfile::build(
-            &graph,
-            spont,
-            &self_cycles,
-            &prop,
-            &[true, false, false],
-            1.0,
-        );
+        let flat =
+            FlatProfile::build(&graph, spont, &self_cycles, &prop, &[true, false, false], 1.0);
         let lib_row = flat.row("lib").unwrap();
         assert_eq!(lib_row.calls, None);
         assert_eq!(lib_row.self_ms_per_call, None);
@@ -254,8 +242,7 @@ mod tests {
         let self_cycles = [0.0, 0.0];
         let scc = SccResult::analyze(&graph);
         let prop = propagate(&graph, &scc, &self_cycles);
-        let flat =
-            FlatProfile::build(&graph, spont, &self_cycles, &prop, &[true, true], 1.0);
+        let flat = FlatProfile::build(&graph, spont, &self_cycles, &prop, &[true, true], 1.0);
         assert_eq!(flat.rows()[0].percent, 0.0);
         assert_eq!(flat.total_seconds(), 0.0);
     }

@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use graphprof_callgraph::{
-    break_cycles_greedy, discover_static_arcs, propagate, CallGraph, NodeId,
-    Propagation, SccResult,
+    break_cycles_greedy, discover_arcs_with_indirect, discover_static_arcs, propagate, CallGraph,
+    NodeId, Propagation, SccResult,
 };
 use graphprof_machine::Executable;
 use graphprof_monitor::GmonData;
@@ -78,9 +78,17 @@ impl Gprof {
         let (mut self_cycles, unattributed_cycles) =
             assign_self_cycles(histogram, exe.symbols(), gmon.cycles_per_tick());
 
-        // Arcs -> call graph (+ static arcs).
+        // Arcs -> call graph (+ static arcs, optionally with indirect
+        // call sites resolved by the slot dataflow).
+        let mut unresolved_indirect = 0;
         let static_arcs = if self.options.use_static_graph {
-            discover_static_arcs(exe)?
+            if self.options.resolve_indirect {
+                let discovery = discover_arcs_with_indirect(exe)?;
+                unresolved_indirect = discovery.unresolved.len();
+                discovery.arcs
+            } else {
+                discover_static_arcs(exe)?
+            }
         } else {
             Vec::new()
         };
@@ -121,8 +129,7 @@ impl Gprof {
         let scc = SccResult::analyze(&graph);
         let propagation = propagate(&graph, &scc, &self_cycles);
 
-        let mut instrumented: Vec<bool> =
-            exe.symbols().iter().map(|(_, s)| s.profiled()).collect();
+        let mut instrumented: Vec<bool> = exe.symbols().iter().map(|(_, s)| s.profiled()).collect();
         instrumented.push(false); // spontaneous node
 
         let flat = FlatProfile::build(
@@ -153,6 +160,7 @@ impl Gprof {
             removed_arcs,
             unattributed_seconds: unattributed_cycles / self.options.cycles_per_second,
             dropped_arcs: resolved.dropped_arcs,
+            unresolved_indirect,
         })
     }
 }
@@ -179,6 +187,7 @@ pub struct Analysis {
     removed_arcs: Vec<(String, String)>,
     unattributed_seconds: f64,
     dropped_arcs: u64,
+    unresolved_indirect: usize,
 }
 
 impl Analysis {
@@ -228,6 +237,12 @@ impl Analysis {
         self.dropped_arcs
     }
 
+    /// Indirect call sites the static analysis could not resolve to a
+    /// single callee (zero when indirect resolution was disabled).
+    pub fn unresolved_indirect_sites(&self) -> usize {
+        self.unresolved_indirect
+    }
+
     /// Total program time in seconds.
     pub fn total_seconds(&self) -> f64 {
         self.flat.total_seconds()
@@ -247,18 +262,14 @@ impl Analysis {
             Filter::Keep(names) => entries
                 .iter()
                 .filter(|e| match e.kind {
-                    EntryKind::Routine(node) => {
-                        names.iter().any(|n| n == self.graph.name(node))
-                    }
+                    EntryKind::Routine(node) => names.iter().any(|n| n == self.graph.name(node)),
                     EntryKind::CycleWhole(_) => false,
                 })
                 .collect(),
             Filter::Exclude(names) => entries
                 .iter()
                 .filter(|e| match e.kind {
-                    EntryKind::Routine(node) => {
-                        !names.iter().any(|n| n == self.graph.name(node))
-                    }
+                    EntryKind::Routine(node) => !names.iter().any(|n| n == self.graph.name(node)),
                     EntryKind::CycleWhole(_) => true,
                 })
                 .collect(),
@@ -327,12 +338,16 @@ impl Analysis {
         if self.dropped_arcs > 0 {
             let _ = writeln!(out, "{} arc record(s) resolved to no routine", self.dropped_arcs);
         }
+        if self.unresolved_indirect > 0 {
+            let _ = writeln!(
+                out,
+                "{} indirect call site(s) not statically resolvable",
+                self.unresolved_indirect
+            );
+        }
         if !self.removed_arcs.is_empty() {
-            let names: Vec<String> = self
-                .removed_arcs
-                .iter()
-                .map(|(a, b)| format!("{a}->{b}"))
-                .collect();
+            let names: Vec<String> =
+                self.removed_arcs.iter().map(|(a, b)| format!("{a}->{b}")).collect();
             let _ = writeln!(out, "cycle-breaking removed: {}", names.join(", "));
         }
         out
@@ -356,10 +371,7 @@ mod tests {
     use graphprof_machine::CompileOptions;
     use graphprof_monitor::profiler::profile_to_completion;
 
-    fn compile_and_profile(
-        source: &str,
-        tick: u64,
-    ) -> (Executable, GmonData) {
+    fn compile_and_profile(source: &str, tick: u64) -> (Executable, GmonData) {
         let exe = graphprof_machine::asm::parse(source)
             .unwrap()
             .compile(&CompileOptions::profiled())
@@ -400,20 +412,14 @@ mod tests {
             .unwrap()
             .compile(&CompileOptions::profiled())
             .unwrap();
-        assert!(matches!(
-            analyze(&other, &gmon),
-            Err(AnalyzeError::ExecutableMismatch { .. })
-        ));
+        assert!(matches!(analyze(&other, &gmon), Err(AnalyzeError::ExecutableMismatch { .. })));
     }
 
     #[test]
     fn unknown_excluded_routine_is_rejected() {
         let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
         let gprof = Gprof::new(Options::default().exclude_arc("ghost", "main"));
-        assert!(matches!(
-            gprof.analyze(&exe, &gmon),
-            Err(AnalyzeError::UnknownRoutine { .. })
-        ));
+        assert!(matches!(gprof.analyze(&exe, &gmon), Err(AnalyzeError::UnknownRoutine { .. })));
     }
 
     #[test]
@@ -448,10 +454,61 @@ mod tests {
         let with_static = analyze(&exe, &gmon).unwrap();
         assert_eq!(with_static.call_graph().cycle_count(), 1, "static arc closes the cycle");
 
-        let without = Gprof::new(Options::default().static_graph(false))
-            .analyze(&exe, &gmon)
-            .unwrap();
+        let without =
+            Gprof::new(Options::default().static_graph(false)).analyze(&exe, &gmon).unwrap();
         assert_eq!(without.call_graph().cycle_count(), 0);
+    }
+
+    #[test]
+    fn resolved_indirect_arcs_join_the_static_graph() {
+        // `b`'s indirect call never runs (it sits behind a never-armed
+        // conditional call chain), so no dynamic arc into `helper`
+        // exists. The slot dataflow proves slot 0 can only hold
+        // `helper`, so with resolution enabled the arc appears anyway —
+        // the blind-spot case made visible.
+        let source = "
+            routine main { setslot 0, helper call a }
+            routine a { work 50 callwhile 6, b }
+            routine b { calli 0 }
+            routine helper { work 5 }
+        ";
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
+
+        let with = analyze(&exe, &gmon).unwrap();
+        let helper = with.graph().node_by_name("helper").unwrap();
+        assert_eq!(with.graph().in_arcs(helper).len(), 1, "resolved arc present");
+        assert_eq!(with.unresolved_indirect_sites(), 0);
+
+        let without =
+            Gprof::new(Options::default().resolve_indirect(false)).analyze(&exe, &gmon).unwrap();
+        let helper = without.graph().node_by_name("helper").unwrap();
+        assert!(without.graph().in_arcs(helper).is_empty(), "blind spot");
+    }
+
+    #[test]
+    fn unresolved_indirect_sites_surface_in_the_summary() {
+        let source = "
+            routine main { setslot 0, x setslot 0, y call go }
+            routine go { calli 0 }
+            routine x { work 10 }
+            routine y { work 10 }
+        ";
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
+        let analysis = analyze(&exe, &gmon).unwrap();
+        assert_eq!(analysis.unresolved_indirect_sites(), 1);
+        assert!(
+            analysis.render_summary().contains("1 indirect call site(s) not statically resolvable"),
+            "{}",
+            analysis.render_summary()
+        );
     }
 
     #[test]
@@ -470,9 +527,7 @@ mod tests {
         let plain = analyze(&exe, &gmon).unwrap();
         assert_eq!(plain.call_graph().cycle_count(), 1);
 
-        let broken = Gprof::new(Options::default().break_cycles(4))
-            .analyze(&exe, &gmon)
-            .unwrap();
+        let broken = Gprof::new(Options::default().break_cycles(4)).analyze(&exe, &gmon).unwrap();
         assert_eq!(broken.call_graph().cycle_count(), 0);
         assert!(!broken.removed_arcs().is_empty());
     }
@@ -488,8 +543,7 @@ mod tests {
         let focus = Gprof::new(Options::default().filter(Filter::Focus("producer".into())))
             .analyze(&exe, &gmon)
             .unwrap();
-        let names: Vec<&str> =
-            focus.selected_entries().iter().map(|e| e.name.as_str()).collect();
+        let names: Vec<&str> = focus.selected_entries().iter().map(|e| e.name.as_str()).collect();
         assert!(names.contains(&"producer"));
         assert!(names.contains(&"buffer"), "descendant");
         assert!(names.contains(&"main"), "ancestor");
@@ -535,9 +589,7 @@ mod tests {
             .compile(&CompileOptions::profiled())
             .unwrap();
         let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
-        let broken = Gprof::new(Options::default().break_cycles(4))
-            .analyze(&exe, &gmon)
-            .unwrap();
+        let broken = Gprof::new(Options::default().break_cycles(4)).analyze(&exe, &gmon).unwrap();
         let summary = broken.render_summary();
         assert!(summary.contains("cycle-breaking removed:"), "{summary}");
     }
@@ -561,10 +613,7 @@ mod tests {
         assert!(text.contains("buffer"));
         // consumer still appears as a parent *line* of buffer, but gets no
         // entry of its own (no primary line, which starts with `[`).
-        assert!(
-            !text.lines().any(|l| l.starts_with('[') && l.contains("consumer")),
-            "{text}"
-        );
+        assert!(!text.lines().any(|l| l.starts_with('[') && l.contains("consumer")), "{text}");
         let flat = analysis.render_flat();
         assert!(flat.contains("buffer"));
     }

@@ -54,8 +54,8 @@ pub mod cg;
 pub mod coverage;
 pub mod diff;
 pub mod dot;
-pub mod export;
 mod error;
+pub mod export;
 pub mod filter;
 pub mod flat;
 mod gprof;
@@ -69,8 +69,8 @@ pub use cg::{ArcLine, CallGraphProfile, CallsDisplay, Entry, EntryKind};
 pub use coverage::{coverage, ArcCoverage, CoverageReport};
 pub use diff::{diff_profiles, ProfileDiff, RoutineDelta};
 pub use dot::render_dot;
-pub use export::{call_graph_to_tsv, flat_to_tsv};
 pub use error::AnalyzeError;
+pub use export::{call_graph_to_tsv, flat_to_tsv};
 pub use filter::Filter;
 pub use flat::{FlatProfile, FlatRow};
 pub use gprof::{analyze, Analysis, Gprof};

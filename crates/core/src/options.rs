@@ -25,6 +25,11 @@ pub struct Options {
     /// dynamic graph before cycle discovery, "so that cycles will have the
     /// same members regardless of how the program runs" (§4).
     pub use_static_graph: bool,
+    /// When the static graph is in use, also run the slot dataflow and
+    /// merge arcs for indirect call sites that provably reach a single
+    /// callee — narrowing the §2 blind spot ("the static call graph may
+    /// omit arcs to functional parameters or variables").
+    pub resolve_indirect: bool,
     /// Arcs (caller name, callee name) removed from the analysis before
     /// cycle discovery — the retrospective's manual cycle-breaking option.
     pub excluded_arcs: Vec<(String, String)>,
@@ -41,6 +46,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             use_static_graph: true,
+            resolve_indirect: true,
             excluded_arcs: Vec::new(),
             auto_break_cycles: None,
             cycles_per_second: 1_000_000.0,
@@ -53,6 +59,13 @@ impl Options {
     /// Enables or disables static call graph incorporation.
     pub fn static_graph(mut self, on: bool) -> Self {
         self.use_static_graph = on;
+        self
+    }
+
+    /// Enables or disables static resolution of indirect call sites
+    /// (only effective while the static graph itself is enabled).
+    pub fn resolve_indirect(mut self, on: bool) -> Self {
+        self.resolve_indirect = on;
         self
     }
 
@@ -94,6 +107,7 @@ mod tests {
     fn default_matches_paper_behavior() {
         let o = Options::default();
         assert!(o.use_static_graph);
+        assert!(o.resolve_indirect);
         assert!(o.excluded_arcs.is_empty());
         assert_eq!(o.auto_break_cycles, None);
         assert_eq!(o.filter, Filter::All);

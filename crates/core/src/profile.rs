@@ -96,14 +96,9 @@ pub fn build_graph(
     static_arcs: &[(graphprof_machine::Addr, graphprof_machine::Addr)],
 ) -> ResolvedGraph {
     let symbols = exe.symbols();
-    let mut graph =
-        CallGraph::with_nodes(symbols.iter().map(|(_, s)| s.name().to_string()));
+    let mut graph = CallGraph::with_nodes(symbols.iter().map(|(_, s)| s.name().to_string()));
     let spontaneous = graph.add_node(SPONTANEOUS);
-    let node_of = |pc| {
-        symbols
-            .lookup_pc(pc)
-            .map(|(id, _)| NodeId::new(id.index() as u32))
-    };
+    let node_of = |pc| symbols.lookup_pc(pc).map(|(id, _)| NodeId::new(id.index() as u32));
     let mut dropped_arcs = 0u64;
     for arc in dynamic {
         let Some(callee) = node_of(arc.self_pc) else {
@@ -188,16 +183,8 @@ mod tests {
         // Dynamic arcs: spontaneous -> main, two sites main -> leaf.
         let dynamic = vec![
             RawArc { from_pc: Addr::NULL, self_pc: main_sym.addr(), count: 1 },
-            RawArc {
-                from_pc: main_sym.addr().offset(6),
-                self_pc: leaf_sym.addr(),
-                count: 3,
-            },
-            RawArc {
-                from_pc: main_sym.addr().offset(11),
-                self_pc: leaf_sym.addr(),
-                count: 2,
-            },
+            RawArc { from_pc: main_sym.addr().offset(6), self_pc: leaf_sym.addr(), count: 3 },
+            RawArc { from_pc: main_sym.addr().offset(11), self_pc: leaf_sym.addr(), count: 2 },
         ];
         let resolved = build_graph(&exe, &dynamic, &[]);
         let g = &resolved.graph;
@@ -215,11 +202,7 @@ mod tests {
     #[test]
     fn unresolvable_callee_is_dropped() {
         let exe = exe_two_routines();
-        let dynamic = vec![RawArc {
-            from_pc: Addr::NULL,
-            self_pc: Addr::new(0x10),
-            count: 9,
-        }];
+        let dynamic = vec![RawArc { from_pc: Addr::NULL, self_pc: Addr::new(0x10), count: 9 }];
         let resolved = build_graph(&exe, &dynamic, &[]);
         assert_eq!(resolved.dropped_arcs, 1);
         assert_eq!(resolved.graph.arc_count(), 0);
@@ -244,11 +227,8 @@ mod tests {
         let main_sym = exe.symbols().by_name("main").unwrap().1;
         let leaf_sym = exe.symbols().by_name("leaf").unwrap().1;
         let static_arcs = graphprof_callgraph::discover_static_arcs(&exe).unwrap();
-        let dynamic = vec![RawArc {
-            from_pc: static_arcs[0].0,
-            self_pc: leaf_sym.addr(),
-            count: 8,
-        }];
+        let dynamic =
+            vec![RawArc { from_pc: static_arcs[0].0, self_pc: leaf_sym.addr(), count: 8 }];
         let resolved = build_graph(&exe, &dynamic, &static_arcs);
         let g = &resolved.graph;
         let main = g.node_by_name("main").unwrap();

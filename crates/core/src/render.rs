@@ -23,18 +23,9 @@ pub fn render_flat(flat: &FlatProfile) -> String {
     out.push_str(" %time  cumulative      self                 self     total\n");
     out.push_str("           seconds   seconds      calls  ms/call   ms/call  name\n");
     for row in flat.rows() {
-        let calls = row
-            .calls
-            .map(|c| c.to_string())
-            .unwrap_or_default();
-        let self_ms = row
-            .self_ms_per_call
-            .map(|v| format!("{v:.2}"))
-            .unwrap_or_default();
-        let total_ms = row
-            .total_ms_per_call
-            .map(|v| format!("{v:.2}"))
-            .unwrap_or_default();
+        let calls = row.calls.map(|c| c.to_string()).unwrap_or_default();
+        let self_ms = row.self_ms_per_call.map(|v| format!("{v:.2}")).unwrap_or_default();
+        let total_ms = row.total_ms_per_call.map(|v| format!("{v:.2}")).unwrap_or_default();
         let _ = writeln!(
             out,
             "{:>6.1}  {:>10.2} {:>9.2} {:>10} {:>9} {:>9}  {}",
@@ -131,10 +122,7 @@ fn render_arc_line(out: &mut String, line: &ArcLine) {
         Some(denom) => format!("{}/{}", line.count, denom),
         None => line.count.to_string(),
     };
-    let index = line
-        .entry_index
-        .map(|i| format!(" [{i}]"))
-        .unwrap_or_default();
+    let index = line.entry_index.map(|i| format!(" [{i}]")).unwrap_or_default();
     let _ = writeln!(
         out,
         "            {:>8.2} {:>12.2} {:>13}         {}{}",
@@ -144,7 +132,7 @@ fn render_arc_line(out: &mut String, line: &ArcLine) {
 
 #[cfg(test)]
 mod tests {
-    use crate::cg::{ArcLine, CallsDisplay, CallGraphProfile, Entry, EntryKind};
+    use crate::cg::{ArcLine, CallGraphProfile, CallsDisplay, Entry, EntryKind};
     use graphprof_callgraph::{propagate, CallGraph, NodeId, SccResult};
 
     use super::*;
@@ -232,8 +220,17 @@ mod tests {
     #[test]
     fn legend_explains_every_column() {
         let legend = render_legend();
-        for term in ["index", "%time", "self", "descendants", "called+self",
-                     "parents", "children", "cycle", "<spontaneous>"] {
+        for term in [
+            "index",
+            "%time",
+            "self",
+            "descendants",
+            "called+self",
+            "parents",
+            "children",
+            "cycle",
+            "<spontaneous>",
+        ] {
             assert!(legend.contains(term), "missing {term}");
         }
     }

@@ -71,9 +71,6 @@ mod tests {
     fn mismatched_profiles_are_rejected() {
         let a = profile(1, 1);
         let b = GmonData::new(99, Histogram::new(Addr::new(0x1000), 32, 0), vec![]);
-        assert!(matches!(
-            sum_profiles([&a, &b]),
-            Err(AnalyzeError::Gmon(_))
-        ));
+        assert!(matches!(sum_profiles([&a, &b]), Err(AnalyzeError::Gmon(_))));
     }
 }

@@ -220,11 +220,7 @@ impl Parser {
                         TokenKind::Ident(w) if w == "routine" => {
                             routines.push(self.routine(false)?);
                         }
-                        _ => {
-                            return Err(
-                                self.error(&next, "expected `routine` after `noprofile`")
-                            )
-                        }
+                        _ => return Err(self.error(&next, "expected `routine` after `noprofile`")),
                     }
                 }
                 TokenKind::Ident(word) if word == "entry" => {
@@ -234,10 +230,9 @@ impl Parser {
                     }
                 }
                 _ => {
-                    return Err(self.error(
-                        &t,
-                        "expected `routine`, `noprofile routine`, or `entry`",
-                    ))
+                    return Err(
+                        self.error(&t, "expected `routine`, `noprofile routine`, or `entry`")
+                    )
                 }
             }
         }
@@ -269,9 +264,7 @@ impl Parser {
             let t = self.advance();
             match &t.kind {
                 TokenKind::RBrace => return Ok(stmts),
-                TokenKind::Eof => {
-                    return Err(self.error(&t, "unterminated block: expected `}`"))
-                }
+                TokenKind::Eof => return Err(self.error(&t, "unterminated block: expected `}`")),
                 TokenKind::Ident(word) => match word.as_str() {
                     "work" => stmts.push(Stmt::Work(self.expect_number("cycle count")?)),
                     "call" => stmts.push(Stmt::Call(self.expect_ident("routine name")?)),
@@ -313,9 +306,7 @@ impl Parser {
                     }
                     "ret" => stmts.push(Stmt::Ret),
                     "halt" => stmts.push(Stmt::Halt),
-                    other => {
-                        return Err(self.error(&t, format!("unknown statement `{other}`")))
-                    }
+                    other => return Err(self.error(&t, format!("unknown statement `{other}`"))),
                 },
                 _ => return Err(self.error(&t, "expected a statement or `}`")),
             }
@@ -370,10 +361,7 @@ mod tests {
 
     #[test]
     fn comments_and_underscored_numbers() {
-        let p = parse(
-            "; heading comment\nroutine main { work 1_000 ; inline comment\n }",
-        )
-        .unwrap();
+        let p = parse("; heading comment\nroutine main { work 1_000 ; inline comment\n }").unwrap();
         assert_eq!(p.routines()[0].body(), &[Stmt::Work(1000)]);
     }
 

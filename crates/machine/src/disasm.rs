@@ -21,13 +21,7 @@ use crate::isa::Instruction;
 /// Returns a [`DecodeError`] if the text is malformed.
 pub fn disassemble(exe: &Executable) -> Result<String, DecodeError> {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "text {}..{} entry {}",
-        exe.base(),
-        exe.end(),
-        exe.entry()
-    );
+    let _ = writeln!(out, "text {}..{} entry {}", exe.base(), exe.end(), exe.entry());
     for (id, sym) in exe.symbols().iter() {
         let _ = writeln!(
             out,

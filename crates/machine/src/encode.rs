@@ -234,26 +234,17 @@ mod tests {
         let mut buf = Vec::new();
         encode_into(Instruction::Call(Addr::new(0x1234)), &mut buf);
         buf.truncate(3);
-        assert!(matches!(
-            decode_at(&buf, 0),
-            Err(DecodeError::Truncated { offset: 0 })
-        ));
+        assert!(matches!(decode_at(&buf, 0), Err(DecodeError::Truncated { offset: 0 })));
     }
 
     #[test]
     fn empty_text_is_truncated() {
-        assert!(matches!(
-            decode_at(&[], 0),
-            Err(DecodeError::Truncated { offset: 0 })
-        ));
+        assert!(matches!(decode_at(&[], 0), Err(DecodeError::Truncated { offset: 0 })));
     }
 
     #[test]
     fn unknown_opcode_is_an_error() {
-        assert!(matches!(
-            decode_at(&[0xff], 0),
-            Err(DecodeError::BadOpcode { opcode: 0xff, .. })
-        ));
+        assert!(matches!(decode_at(&[0xff], 0), Err(DecodeError::BadOpcode { opcode: 0xff, .. })));
     }
 
     #[test]

@@ -160,10 +160,7 @@ impl SymbolTable {
 
     /// Iterates over `(id, symbol)` pairs in address order.
     pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> {
-        self.symbols
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (SymbolId::new(i as u32), s))
+        self.symbols.iter().enumerate().map(|(i, s)| (SymbolId::new(i as u32), s))
     }
 }
 
@@ -184,7 +181,8 @@ impl Executable {
     /// Panics if the entry point lies outside the text segment.
     pub fn new(base: Addr, text: Vec<u8>, symbols: SymbolTable, entry: Addr) -> Self {
         assert!(
-            entry >= base && entry.checked_sub(base).map(|o| (o as usize) < text.len()).unwrap_or(false),
+            entry >= base
+                && entry.checked_sub(base).map(|o| (o as usize) < text.len()).unwrap_or(false),
             "entry point {entry} outside text segment"
         );
         Executable { base, text, symbols, entry }
@@ -321,8 +319,7 @@ mod tests {
         encode_into(Instruction::Work(5), &mut text);
         encode_into(Instruction::Halt, &mut text);
         let size = text.len() as u32;
-        let symbols =
-            SymbolTable::new(vec![Symbol::new("main", Addr::new(0x1000), size, true)]);
+        let symbols = SymbolTable::new(vec![Symbol::new("main", Addr::new(0x1000), size, true)]);
         let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
         assert!(exe.contains(Addr::new(0x1000)));
         assert!(!exe.contains(exe.end()));
@@ -339,8 +336,7 @@ mod tests {
         encode_into(Instruction::Call(Addr::new(0x1000)), &mut text);
         encode_into(Instruction::Ret, &mut text);
         let size = text.len() as u32;
-        let symbols =
-            SymbolTable::new(vec![Symbol::new("f", Addr::new(0x1000), size, true)]);
+        let symbols = SymbolTable::new(vec![Symbol::new("f", Addr::new(0x1000), size, true)]);
         let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
         let insts = exe.disassemble_symbol(SymbolId::new(0)).unwrap();
         assert_eq!(insts.len(), 3);

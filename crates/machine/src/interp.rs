@@ -234,9 +234,7 @@ impl Machine {
 
     /// Loads an executable with an explicit configuration.
     pub fn with_config(exe: Executable, config: MachineConfig) -> Self {
-        let truth = config
-            .collect_ground_truth
-            .then(|| TruthCollector::new(exe.symbols().len()));
+        let truth = config.collect_ground_truth.then(|| TruthCollector::new(exe.symbols().len()));
         let entry = exe.entry();
         let cur_sym = exe.symbols().lookup_pc(entry).map(|(id, _)| id);
         let mut machine = Machine {
@@ -411,8 +409,7 @@ impl Machine {
                 if hooks.wants_stack_samples() {
                     self.stack_scratch.clear();
                     self.stack_scratch.push(at_pc);
-                    self.stack_scratch
-                        .extend(self.stack.iter().rev().map(|f| f.return_pc));
+                    self.stack_scratch.extend(self.stack.iter().rev().map(|f| f.return_pc));
                     hooks.on_stack_sample(&self.stack_scratch, ticks);
                 }
             }
@@ -441,7 +438,10 @@ impl Machine {
         at_pc: Addr,
     ) -> Result<(), InterpError> {
         if self.stack.len() >= self.config.max_call_depth {
-            return Err(InterpError::StackOverflow { pc: at_pc, limit: self.config.max_call_depth });
+            return Err(InterpError::StackOverflow {
+                pc: at_pc,
+                limit: self.config.max_call_depth,
+            });
         }
         // The call's own cost is charged in the caller, before transfer.
         self.consume(hooks, cost, at_pc);
@@ -562,23 +562,15 @@ impl Machine {
             }
             Instruction::Mcount => {
                 let from_pc = self.stack.last().map(|f| f.return_pc).unwrap_or(Addr::NULL);
-                let self_pc = self
-                    .exe
-                    .symbols()
-                    .lookup_pc(pc)
-                    .map(|(_, sym)| sym.addr())
-                    .unwrap_or(pc);
+                let self_pc =
+                    self.exe.symbols().lookup_pc(pc).map(|(_, sym)| sym.addr()).unwrap_or(pc);
                 let monitor_cost = hooks.on_mcount(from_pc, self_pc);
                 self.consume(hooks, monitor_cost, pc);
                 self.pc = pc.offset(len);
             }
             Instruction::CountCall => {
-                let self_pc = self
-                    .exe
-                    .symbols()
-                    .lookup_pc(pc)
-                    .map(|(_, sym)| sym.addr())
-                    .unwrap_or(pc);
+                let self_pc =
+                    self.exe.symbols().lookup_pc(pc).map(|(_, sym)| sym.addr()).unwrap_or(pc);
                 let monitor_cost = hooks.on_count_call(self_pc);
                 self.consume(hooks, monitor_cost, pc);
                 self.pc = pc.offset(len);
@@ -705,10 +697,7 @@ mod tests {
             b.routine("main", |r| r.call_indirect(3));
         });
         let mut m = Machine::new(exe);
-        assert!(matches!(
-            m.run(&mut NoHooks).unwrap_err(),
-            InterpError::NullSlot { slot: 3, .. }
-        ));
+        assert!(matches!(m.run(&mut NoHooks).unwrap_err(), InterpError::NullSlot { slot: 3, .. }));
     }
 
     #[test]
@@ -948,14 +937,11 @@ mod tests {
         assert!(!hooks.samples.is_empty());
         // Samples taken inside leaf's work show the full chain:
         // leaf pc, return into mid, return into main.
-        let deep: Vec<&Vec<Addr>> =
-            hooks.samples.iter().filter(|s| s.len() == 3).collect();
+        let deep: Vec<&Vec<Addr>> = hooks.samples.iter().filter(|s| s.len() == 3).collect();
         assert!(!deep.is_empty(), "{:?}", hooks.samples);
         for stack in deep {
-            let names: Vec<&str> = stack
-                .iter()
-                .map(|&pc| symbols.lookup_pc(pc).unwrap().1.name())
-                .collect();
+            let names: Vec<&str> =
+                stack.iter().map(|&pc| symbols.lookup_pc(pc).unwrap().1.name()).collect();
             assert_eq!(names, ["leaf", "mid", "main"]);
         }
     }

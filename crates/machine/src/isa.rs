@@ -233,10 +233,7 @@ mod tests {
 
     #[test]
     fn direct_call_target_only_for_call() {
-        assert_eq!(
-            Instruction::Call(Addr::new(7)).direct_call_target(),
-            Some(Addr::new(7))
-        );
+        assert_eq!(Instruction::Call(Addr::new(7)).direct_call_target(), Some(Addr::new(7)));
         assert_eq!(Instruction::CallIndirect(0).direct_call_target(), None);
         assert_eq!(Instruction::Jmp(Addr::new(7)).direct_call_target(), None);
     }

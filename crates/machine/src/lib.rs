@@ -62,15 +62,13 @@ pub use cost::CostModel;
 pub use disasm::disassemble;
 pub use encode::{decode_at, encode_into, encoded_len};
 pub use error::{AsmError, CompileError, DecodeError, InterpError};
-pub use objfile::{read_executable, write_executable, ObjFileError};
 pub use image::{Executable, Symbol, SymbolId, SymbolTable};
-pub use interp::{
-    Machine, MachineConfig, NoHooks, ProfilingHooks, RunStatus, RunSummary,
-};
+pub use interp::{Machine, MachineConfig, NoHooks, ProfilingHooks, RunStatus, RunSummary};
 pub use isa::{Addr, Instruction, NUM_COUNTERS, NUM_REGS, NUM_SLOTS};
+pub use objfile::{read_executable, write_executable, ObjFileError};
 pub use program::{
-    BodyBuilder, CompileOptions, Instrumentation, ProfileSelection, Program,
-    ProgramBuilder, Routine, Stmt,
+    BodyBuilder, CompileOptions, Instrumentation, ProfileSelection, Program, ProgramBuilder,
+    Routine, Stmt,
 };
 pub use truth::{ArcTruth, GroundTruth, RoutineTruth};
 pub use verify::{verify_executable, VerifyIssue};

@@ -151,9 +151,7 @@ pub fn read_executable(data: &[u8]) -> Result<Executable, ObjFileError> {
         .checked_add(text_len as u32)
         .ok_or_else(|| ObjFileError::Corrupt { reason: "text wraps address space".to_string() })?;
     if entry < base || entry.get() >= end {
-        return Err(ObjFileError::Corrupt {
-            reason: format!("entry {entry} outside text"),
-        });
+        return Err(ObjFileError::Corrupt { reason: format!("entry {entry} outside text") });
     }
     let nsyms = r.u32()? as usize;
     let mut symbols = Vec::with_capacity(nsyms.min(1 << 16));
@@ -164,21 +162,16 @@ pub fn read_executable(data: &[u8]) -> Result<Executable, ObjFileError> {
         let flags = r.u8()?;
         let name_len = r.u8()? as usize;
         let name = std::str::from_utf8(r.take(name_len)?)
-            .map_err(|_| ObjFileError::Corrupt {
-                reason: format!("symbol {i} name is not UTF-8"),
-            })?
+            .map_err(|_| ObjFileError::Corrupt { reason: format!("symbol {i} name is not UTF-8") })?
             .to_string();
         if addr < prev_end {
             return Err(ObjFileError::Corrupt {
                 reason: format!("symbol `{name}` out of order or overlapping"),
             });
         }
-        let sym_end = addr
-            .get()
-            .checked_add(size)
-            .ok_or_else(|| ObjFileError::Corrupt {
-                reason: format!("symbol `{name}` wraps address space"),
-            })?;
+        let sym_end = addr.get().checked_add(size).ok_or_else(|| ObjFileError::Corrupt {
+            reason: format!("symbol `{name}` wraps address space"),
+        })?;
         if sym_end > end {
             return Err(ObjFileError::Corrupt {
                 reason: format!("symbol `{name}` extends past text"),
@@ -260,10 +253,7 @@ mod tests {
     fn trailing_garbage_is_rejected() {
         let mut bytes = write_executable(&sample_exe());
         bytes.push(0);
-        assert!(matches!(
-            read_executable(&bytes),
-            Err(ObjFileError::Corrupt { .. })
-        ));
+        assert!(matches!(read_executable(&bytes), Err(ObjFileError::Corrupt { .. })));
     }
 
     #[test]
@@ -284,8 +274,7 @@ mod tests {
         let first_sym = 20 + text_len + 4;
         let first_name_len = bytes[first_sym + 9] as usize;
         let second_sym = first_sym + 10 + first_name_len;
-        bytes[second_sym..second_sym + 4]
-            .copy_from_slice(&exe.base().get().to_le_bytes());
+        bytes[second_sym..second_sym + 4].copy_from_slice(&exe.base().get().to_le_bytes());
         assert!(matches!(read_executable(&bytes), Err(ObjFileError::Corrupt { .. })));
     }
 

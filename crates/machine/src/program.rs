@@ -220,12 +220,8 @@ impl Program {
     /// register file, or [`CompileError::SlotOutOfRange`] for bad slots.
     pub fn compile(&self, options: &CompileOptions) -> Result<Executable, CompileError> {
         assert!(!options.base.is_null(), "text base must be nonzero");
-        let index: HashMap<&str, usize> = self
-            .routines
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.name.as_str(), i))
-            .collect();
+        let index: HashMap<&str, usize> =
+            self.routines.iter().enumerate().map(|(i, r)| (r.name.as_str(), i)).collect();
 
         // Lower every routine to symbolic instructions first; sizes are
         // fixed per opcode, so routine sizes and entry addresses follow
@@ -245,10 +241,7 @@ impl Program {
                 insts.push(LoInst::Real(p));
             }
             lower_body(&r.name, &r.body, &index, 0, &mut insts)?;
-            if !matches!(
-                insts.last(),
-                Some(LoInst::Real(Instruction::Ret | Instruction::Halt))
-            ) {
+            if !matches!(insts.last(), Some(LoInst::Real(Instruction::Ret | Instruction::Halt))) {
                 insts.push(LoInst::Real(Instruction::Ret));
             }
             lowered.push(insts);
@@ -279,9 +272,7 @@ impl Program {
                 let real = match *inst {
                     LoInst::Real(i) => i,
                     LoInst::CallSym(target) => Instruction::Call(entries[target]),
-                    LoInst::SetSlotSym(slot, target) => {
-                        Instruction::SetSlot(slot, entries[target])
-                    }
+                    LoInst::SetSlotSym(slot, target) => Instruction::SetSlot(slot, entries[target]),
                     LoInst::DecJnzLabel(reg, label_inst) => {
                         Instruction::DecJnz(reg, start.offset(offsets[label_inst]))
                     }
@@ -294,21 +285,11 @@ impl Program {
                 };
                 encode_into(real, &mut text);
             }
-            symbols.push(Symbol::new(
-                self.routines[ri].name.clone(),
-                start,
-                off,
-                instrumented[ri],
-            ));
+            symbols.push(Symbol::new(self.routines[ri].name.clone(), start, off, instrumented[ri]));
         }
 
         let entry_idx = index[self.entry.as_str()];
-        Ok(Executable::new(
-            options.base,
-            text,
-            SymbolTable::new(symbols),
-            entries[entry_idx],
-        ))
+        Ok(Executable::new(options.base, text, SymbolTable::new(symbols), entries[entry_idx]))
     }
 }
 
@@ -418,12 +399,8 @@ fn lower_body(
         match stmt {
             Stmt::Work(n) => out.push(LoInst::Real(Instruction::Work(*n))),
             Stmt::Call(name) => out.push(LoInst::CallSym(index[name.as_str()])),
-            Stmt::CallIndirect(slot) => {
-                out.push(LoInst::Real(Instruction::CallIndirect(*slot)))
-            }
-            Stmt::SetSlot(slot, name) => {
-                out.push(LoInst::SetSlotSym(*slot, index[name.as_str()]))
-            }
+            Stmt::CallIndirect(slot) => out.push(LoInst::Real(Instruction::CallIndirect(*slot))),
+            Stmt::SetSlot(slot, name) => out.push(LoInst::SetSlotSym(*slot, index[name.as_str()])),
             Stmt::Loop { count, body } => {
                 if *count == 0 {
                     continue;
@@ -502,8 +479,7 @@ impl ProgramBuilder {
         name: impl Into<String>,
         f: impl FnOnce(BodyBuilder) -> BodyBuilder,
     ) -> &mut Self {
-        self.routines
-            .push(Routine::new(name, f(BodyBuilder::new()).finish(), true));
+        self.routines.push(Routine::new(name, f(BodyBuilder::new()).finish(), true));
         self
     }
 
@@ -513,8 +489,7 @@ impl ProgramBuilder {
         name: impl Into<String>,
         f: impl FnOnce(BodyBuilder) -> BodyBuilder,
     ) -> &mut Self {
-        self.routines
-            .push(Routine::new(name, f(BodyBuilder::new()).finish(), false));
+        self.routines.push(Routine::new(name, f(BodyBuilder::new()).finish(), false));
         self
     }
 
@@ -659,10 +634,7 @@ mod tests {
         let mut b = Program::builder();
         b.routine("main", |r| r.call("ghost"));
         let err = b.build().unwrap_err();
-        assert_eq!(
-            err,
-            CompileError::UnknownRoutine { from: "main".into(), name: "ghost".into() }
-        );
+        assert_eq!(err, CompileError::UnknownRoutine { from: "main".into(), name: "ghost".into() });
     }
 
     #[test]
@@ -782,9 +754,7 @@ mod tests {
     #[test]
     fn zero_and_empty_loops_vanish() {
         let mut b = Program::builder();
-        b.routine("main", |r| {
-            r.loop_n(0, |l| l.work(2)).loop_n(9, |l| l).work(1)
-        });
+        b.routine("main", |r| r.loop_n(0, |l| l.work(2)).loop_n(9, |l| l).work(1));
         let exe = b.build().unwrap().compile(&CompileOptions::default()).unwrap();
         let insts = exe.disassemble_symbol(SymbolId::new(0)).unwrap();
         let kinds: Vec<_> = insts.iter().map(|(_, i)| i.mnemonic()).collect();

@@ -146,13 +146,10 @@ pub fn verify_executable(exe: &Executable) -> Vec<VerifyIssue> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{CompileOptions, Program};
+    use crate::program::CompileOptions;
 
     fn compile(source: &str) -> Executable {
-        crate::asm::parse(source)
-            .unwrap()
-            .compile(&CompileOptions::profiled())
-            .unwrap()
+        crate::asm::parse(source).unwrap().compile(&CompileOptions::profiled()).unwrap()
     }
 
     #[test]
@@ -202,10 +199,7 @@ mod tests {
         let text_start = 20;
         let text = &mut bytes[text_start..text_start + exe.text().len()];
         let needle = a.get().to_le_bytes();
-        let pos = text
-            .windows(4)
-            .position(|w| w == needle)
-            .expect("call target in text");
+        let pos = text.windows(4).position(|w| w == needle).expect("call target in text");
         text[pos..pos + 4].copy_from_slice(&mid.to_le_bytes());
         let patched = crate::objfile::read_executable(&bytes).unwrap();
         let issues = verify_executable(&patched);
@@ -219,20 +213,15 @@ mod tests {
     #[test]
     fn corrupted_text_is_reported() {
         use crate::image::{Symbol, SymbolTable};
-        let symbols =
-            SymbolTable::new(vec![Symbol::new("junk", Addr::new(0x1000), 4, false)]);
-        let exe =
-            Executable::new(Addr::new(0x1000), vec![0xee; 4], symbols, Addr::new(0x1000));
+        let symbols = SymbolTable::new(vec![Symbol::new("junk", Addr::new(0x1000), 4, false)]);
+        let exe = Executable::new(Addr::new(0x1000), vec![0xee; 4], symbols, Addr::new(0x1000));
         let issues = verify_executable(&exe);
         assert!(issues.iter().any(|i| matches!(i, VerifyIssue::BadText(_))));
     }
 
     #[test]
     fn display_is_informative() {
-        let issue = VerifyIssue::BadCallTarget {
-            at: Addr::new(0x1000),
-            target: Addr::new(0x2002),
-        };
+        let issue = VerifyIssue::BadCallTarget { at: Addr::new(0x1000), target: Addr::new(0x2002) };
         assert!(issue.to_string().contains("0x2002"));
     }
 }

@@ -4,9 +4,8 @@
 use proptest::prelude::*;
 
 use graphprof_machine::{
-    asm, decode_at, disassemble, encode_into, encoded_len, objfile, Addr,
-    CompileOptions, Instruction, Machine, NoHooks, Program, Routine, Stmt,
-    NUM_COUNTERS, NUM_REGS, NUM_SLOTS,
+    asm, decode_at, disassemble, encode_into, encoded_len, objfile, Addr, CompileOptions,
+    Instruction, Machine, NoHooks, Program, Routine, Stmt, NUM_COUNTERS, NUM_REGS, NUM_SLOTS,
 };
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
@@ -18,8 +17,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             .prop_map(|(s, a)| Instruction::SetSlot(s, Addr::new(a))),
         Just(Instruction::Ret),
         ((0..NUM_REGS as u8), any::<u32>()).prop_map(|(r, v)| Instruction::SetReg(r, v)),
-        ((0..NUM_REGS as u8), any::<u32>())
-            .prop_map(|(r, a)| Instruction::DecJnz(r, Addr::new(a))),
+        ((0..NUM_REGS as u8), any::<u32>()).prop_map(|(r, a)| Instruction::DecJnz(r, Addr::new(a))),
         ((0..NUM_COUNTERS as u8), any::<u32>()).prop_map(|(c, v)| Instruction::SetCtr(c, v)),
         ((0..NUM_COUNTERS as u8), any::<u32>())
             .prop_map(|(c, a)| Instruction::DecCtrJnz(c, Addr::new(a))),
@@ -62,15 +60,13 @@ fn arb_program() -> impl Strategy<Value = Program> {
                                         .into_iter()
                                         .map(|s| match s {
                                             Stmt::Call(name) => {
-                                                let rel: usize = name[1..]
-                                                    .parse()
-                                                    .expect("generated name");
+                                                let rel: usize =
+                                                    name[1..].parse().expect("generated name");
                                                 Stmt::Call(format!("f{}", base + rel + 1))
                                             }
-                                            Stmt::Loop { count, body } => Stmt::Loop {
-                                                count,
-                                                body: shift(body, base),
-                                            },
+                                            Stmt::Loop { count, body } => {
+                                                Stmt::Loop { count, body: shift(body, base) }
+                                            }
                                             other => other,
                                         })
                                         .collect()
@@ -79,11 +75,7 @@ fn arb_program() -> impl Strategy<Value = Program> {
                             })
                             .boxed()
                     } else {
-                        proptest::collection::vec(
-                            (1u32..200).prop_map(Stmt::Work),
-                            1..3,
-                        )
-                        .boxed()
+                        proptest::collection::vec((1u32..200).prop_map(Stmt::Work), 1..3).boxed()
                     }
                 })
                 .collect::<Vec<_>>();

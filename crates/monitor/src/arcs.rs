@@ -154,12 +154,7 @@ impl AddressIndexedTable {
         // New arc: a fresh node at the head of the chain (the paper's table
         // also initializes a counter on first traversal).
         probes += 1;
-        self.nodes.push(ArcNode {
-            from_pc,
-            self_pc,
-            count: 1,
-            link: self.heads[bucket],
-        });
+        self.nodes.push(ArcNode { from_pc, self_pc, count: 1, link: self.heads[bucket] });
         self.heads[bucket] = self.nodes.len() as u32;
         self.probes += probes;
         self.max_chain = self.max_chain.max(probes);

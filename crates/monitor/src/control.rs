@@ -29,9 +29,7 @@ impl SharedProfiler {
     /// Wraps a gprof-style profiler for `exe` sampling every
     /// `cycles_per_tick` cycles.
     pub fn new(exe: &Executable, cycles_per_tick: u64) -> Self {
-        SharedProfiler {
-            inner: Arc::new(Mutex::new(RuntimeProfiler::new(exe, cycles_per_tick))),
-        }
+        SharedProfiler { inner: Arc::new(Mutex::new(RuntimeProfiler::new(exe, cycles_per_tick))) }
     }
 
     /// Runs `f` with the locked profiler.
@@ -124,16 +122,12 @@ impl KgmonTool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphprof_machine::{
-        CompileOptions, Machine, MachineConfig, Program, RunStatus,
-    };
+    use graphprof_machine::{CompileOptions, Machine, MachineConfig, Program, RunStatus};
 
     /// A "kernel": an endless service loop that must never be taken down.
     fn kernel_exe() -> Executable {
         let mut b = Program::builder();
-        b.routine("main", |r| {
-            r.loop_n(1_000_000, |l| l.call("service"))
-        });
+        b.routine("main", |r| r.loop_n(1_000_000, |l| l.call("service")));
         b.routine("service", |r| r.call("net").call("disk"));
         b.routine("net", |r| r.work(30));
         b.routine("disk", |r| r.work(70));

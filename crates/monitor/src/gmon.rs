@@ -135,9 +135,7 @@ impl GmonData {
 
     /// Serializes to the binary profile format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            40 + self.histogram.len() * 8 + self.arcs.len() * 16,
-        );
+        let mut out = Vec::with_capacity(40 + self.histogram.len() * 8 + self.arcs.len() * 16);
         out.put_slice(MAGIC);
         out.put_u16_le(VERSION);
         out.put_u16_le(0);

@@ -154,10 +154,7 @@ impl Histogram {
             return Err(format!("histogram base {} != {}", self.base, other.base));
         }
         if self.text_len != other.text_len {
-            return Err(format!(
-                "histogram length {} != {}",
-                self.text_len, other.text_len
-            ));
+            return Err(format!("histogram length {} != {}", self.text_len, other.text_len));
         }
         if self.shift != other.shift {
             return Err(format!("histogram shift {} != {}", self.shift, other.shift));
@@ -178,10 +175,7 @@ impl Histogram {
     ) -> Result<Self, String> {
         let expected = Histogram::new(base, text_len, shift).counts.len();
         if counts.len() != expected {
-            return Err(format!(
-                "histogram has {} buckets, expected {expected}",
-                counts.len()
-            ));
+            return Err(format!("histogram has {} buckets, expected {expected}", counts.len()));
         }
         Ok(Histogram { base, text_len, shift, counts, missed })
     }

@@ -240,9 +240,7 @@ pub fn profile_to_completion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphprof_machine::{
-        CompileOptions, Machine, MachineConfig, Program,
-    };
+    use graphprof_machine::{CompileOptions, Machine, MachineConfig, Program};
 
     fn profiled_exe() -> Executable {
         let mut b = Program::builder();
@@ -269,8 +267,7 @@ mod tests {
         let exe = profiled_exe();
         let main = exe.symbols().by_name("main").unwrap().1.addr();
         let (gmon, _) = profile_to_completion(exe, 7).unwrap();
-        let spont: Vec<_> =
-            gmon.arcs().iter().filter(|a| a.from_pc.is_null()).collect();
+        let spont: Vec<_> = gmon.arcs().iter().filter(|a| a.from_pc.is_null()).collect();
         assert_eq!(spont.len(), 1);
         assert_eq!(spont[0].self_pc, main);
         assert_eq!(spont[0].count, 1);
@@ -281,10 +278,7 @@ mod tests {
         let exe = profiled_exe();
         let tick = 13;
         let (gmon, machine) = profile_to_completion(exe, tick).unwrap();
-        assert_eq!(
-            gmon.histogram().total() + gmon.histogram().missed(),
-            machine.clock() / tick
-        );
+        assert_eq!(gmon.histogram().total() + gmon.histogram().missed(), machine.clock() / tick);
         // All PCs are inside the text segment, so nothing is missed.
         assert_eq!(gmon.histogram().missed(), 0);
     }

@@ -99,9 +99,7 @@ impl StackProfiler {
             })
             .collect();
         routines.sort_by(|a, b| {
-            b.inclusive_cycles
-                .cmp(&a.inclusive_cycles)
-                .then_with(|| a.name.cmp(&b.name))
+            b.inclusive_cycles.cmp(&a.inclusive_cycles).then_with(|| a.name.cmp(&b.name))
         });
         let mut edges: Vec<StackEdge> = self
             .edges
@@ -112,10 +110,13 @@ impl StackProfiler {
                 inclusive_cycles: ticks * self.cycles_per_tick,
             })
             .collect();
-        edges.sort_by(|a, b| {
-            (&a.caller, &a.callee).cmp(&(&b.caller, &b.callee))
-        });
-        StackReport { routines, edges, samples: self.samples, cycles_per_tick: self.cycles_per_tick }
+        edges.sort_by(|a, b| (&a.caller, &a.callee).cmp(&(&b.caller, &b.callee)));
+        StackReport {
+            routines,
+            edges,
+            samples: self.samples,
+            cycles_per_tick: self.cycles_per_tick,
+        }
     }
 }
 
@@ -127,11 +128,7 @@ impl ProfilingHooks for StackProfiler {
     fn on_stack_sample(&mut self, stack: &[Addr], ticks: u64) {
         self.samples += ticks;
         self.frames.clear();
-        self.frames.extend(
-            stack
-                .iter()
-                .map(|&pc| self.symbols.lookup_pc(pc).map(|(id, _)| id)),
-        );
+        self.frames.extend(stack.iter().map(|&pc| self.symbols.lookup_pc(pc).map(|(id, _)| id)));
         // Exclusive: the innermost frame only.
         if let Some(Some(top)) = self.frames.first() {
             self.exclusive[top.index()] += ticks;
@@ -214,9 +211,7 @@ impl StackReport {
 
     /// Finds an edge by endpoint names.
     pub fn edge(&self, caller: &str, callee: &str) -> Option<&StackEdge> {
-        self.edges
-            .iter()
-            .find(|e| e.caller == caller && e.callee == callee)
+        self.edges.iter().find(|e| e.caller == caller && e.callee == callee)
     }
 
     /// Renders the report as text.
@@ -241,11 +236,8 @@ impl StackReport {
         }
         out.push_str("\n  inclusive  caller -> callee\n");
         for edge in &self.edges {
-            let _ = writeln!(
-                out,
-                "{:>11}  {} -> {}",
-                edge.inclusive_cycles, edge.caller, edge.callee
-            );
+            let _ =
+                writeln!(out, "{:>11}  {} -> {}", edge.inclusive_cycles, edge.caller, edge.callee);
         }
         out
     }
@@ -325,14 +317,12 @@ mod tests {
         let ping_true = truth.routine("ping").unwrap().total_cycles;
         let pong_true = truth.routine("pong").unwrap().total_cycles;
         assert!(
-            (ping.inclusive_cycles as f64 - ping_true as f64).abs()
-                < ping_true as f64 * 0.1 + 5.0,
+            (ping.inclusive_cycles as f64 - ping_true as f64).abs() < ping_true as f64 * 0.1 + 5.0,
             "ping {} vs {ping_true}",
             ping.inclusive_cycles
         );
         assert!(
-            (pong.inclusive_cycles as f64 - pong_true as f64).abs()
-                < pong_true as f64 * 0.1 + 5.0,
+            (pong.inclusive_cycles as f64 - pong_true as f64).abs() < pong_true as f64 * 0.1 + 5.0,
             "pong {} vs {pong_true}",
             pong.inclusive_cycles
         );
@@ -358,8 +348,7 @@ mod tests {
         assert!(costly > 5 * cheap, "costly {costly} vs cheap {cheap}");
         let sampled_total = cheap + costly;
         assert!(
-            (sampled_total as f64 - total_under as f64).abs()
-                < total_under as f64 * 0.1 + 5.0,
+            (sampled_total as f64 - total_under as f64).abs() < total_under as f64 * 0.1 + 5.0,
             "{sampled_total} vs {total_under}"
         );
     }

@@ -6,9 +6,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use graphprof_machine::Addr;
-use graphprof_monitor::{
-    ArcRecorder, CallSiteTable, CalleeTable, GmonData, Histogram, RawArc,
-};
+use graphprof_monitor::{ArcRecorder, CallSiteTable, CalleeTable, GmonData, Histogram, RawArc};
 
 const BASE: u32 = 0x1000;
 const TEXT: u32 = 0x800;

@@ -34,9 +34,7 @@
 //! # }
 //! ```
 
-use graphprof_machine::{
-    Addr, Executable, InterpError, Machine, MachineConfig, SymbolTable,
-};
+use graphprof_machine::{Addr, Executable, InterpError, Machine, MachineConfig, SymbolTable};
 use graphprof_monitor::{Histogram, RuntimeProfiler};
 
 /// One row of the prof table: a passive data record.
@@ -80,10 +78,7 @@ impl ProfReport {
         let mut rows = Vec::new();
         for (id, sym) in symbols.iter() {
             let self_seconds = self_cycles[id.index()] / cycles_per_second;
-            let calls = counts
-                .iter()
-                .find(|&&(addr, _)| addr == sym.addr())
-                .map(|&(_, c)| c);
+            let calls = counts.iter().find(|&&(addr, _)| addr == sym.addr()).map(|&(_, c)| c);
             if self_seconds == 0.0 && calls.unwrap_or(0) == 0 {
                 continue;
             }
@@ -96,9 +91,7 @@ impl ProfReport {
                 },
                 self_seconds,
                 calls,
-                ms_per_call: calls
-                    .filter(|&c| c > 0)
-                    .map(|c| self_seconds * 1e3 / c as f64),
+                ms_per_call: calls.filter(|&c| c > 0).map(|c| self_seconds * 1e3 / c as f64),
             });
         }
         rows.sort_by(|a, b| {
@@ -176,10 +169,7 @@ mod tests {
     use graphprof_machine::CompileOptions;
 
     fn counted_exe(source: &str) -> Executable {
-        graphprof_machine::asm::parse(source)
-            .unwrap()
-            .compile(&CompileOptions::counted())
-            .unwrap()
+        graphprof_machine::asm::parse(source).unwrap().compile(&CompileOptions::counted()).unwrap()
     }
 
     #[test]

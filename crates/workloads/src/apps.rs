@@ -21,16 +21,13 @@ fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
 pub fn compiler_pipeline(units: u32) -> Program {
     build(|b| {
         b.routine("main", move |r| {
-            r.set_counter(7, 40 * units + 1)
-                .loop_n(units, |u| u.call("compile_unit"))
+            r.set_counter(7, 40 * units + 1).loop_n(units, |u| u.call("compile_unit"))
         });
         b.routine("compile_unit", |r| {
             r.call("lex").call("parse").call("typecheck").call("codegen")
         });
         // Lexing: many cheap token reads, interning identifiers.
-        b.routine("lex", |r| {
-            r.work(40).loop_n(30, |l| l.call("next_token"))
-        });
+        b.routine("lex", |r| r.work(40).loop_n(30, |l| l.call("next_token")));
         b.routine("next_token", |r| r.work(8).call("intern"));
         b.routine("intern", |r| r.work(6).call("hash"));
         // Parsing: a recursive-descent cycle over expressions, consuming
@@ -41,15 +38,11 @@ pub fn compiler_pipeline(units: u32) -> Program {
         b.routine("parse_term", |r| r.work(9).call_while(7, "parse_expr"));
         // Typechecking: symbol table lookups dominate.
         b.routine("typecheck", |r| {
-            r.work(30)
-                .loop_n(25, |l| l.call("st_lookup"))
-                .loop_n(8, |l| l.call("st_insert"))
+            r.work(30).loop_n(25, |l| l.call("st_lookup")).loop_n(8, |l| l.call("st_insert"))
         });
         // Codegen: emits through a buffered writer.
         b.routine("codegen", |r| {
-            r.work(35)
-                .loop_n(12, |l| l.call("st_lookup"))
-                .loop_n(20, |l| l.call("emit"))
+            r.work(35).loop_n(12, |l| l.call("st_lookup")).loop_n(20, |l| l.call("emit"))
         });
         b.routine("emit", |r| r.work(7).call("buf_write"));
         b.routine("st_lookup", |r| r.work(11).call("hash"));
@@ -68,17 +61,14 @@ pub fn compiler_pipeline(units: u32) -> Program {
 pub fn text_formatter(paragraphs: u32) -> Program {
     build(|b| {
         b.routine("main", move |r| {
-            r.set_counter(6, paragraphs / 4 + 1)
-                .loop_n(paragraphs, |p| p.call("format_paragraph"))
+            r.set_counter(6, paragraphs / 4 + 1).loop_n(paragraphs, |p| p.call("format_paragraph"))
         });
         b.routine("format_paragraph", |r| {
             r.work(20).call("tokenize").loop_n(8, |l| l.call("fill_line"))
         });
         b.routine("tokenize", |r| r.work(15).loop_n(40, |l| l.call("next_word")));
         b.routine("next_word", |r| r.work(6));
-        b.routine("fill_line", |r| {
-            r.work(18).call_while(6, "hyphenate").call("flush_line")
-        });
+        b.routine("fill_line", |r| r.work(18).call_while(6, "hyphenate").call("flush_line"));
         b.routine("hyphenate", |r| r.work(120));
         b.routine("flush_line", |r| r.work(8).call("out_write"));
         b.routine("out_write", |r| r.work(12));
@@ -93,16 +83,13 @@ pub fn text_formatter(paragraphs: u32) -> Program {
 pub fn network_server(requests: u32) -> Program {
     build(|b| {
         b.routine("main", move |r| {
-            r.set_counter(5, requests / 8 + 1)
-                .loop_n(requests, |l| l.call("handle_request"))
+            r.set_counter(5, requests / 8 + 1).loop_n(requests, |l| l.call("handle_request"))
         });
         b.routine("handle_request", |r| {
             r.work(10).call("read_request").call("process").call("send_reply")
         });
         b.routine("read_request", |r| r.work(25).call("buf_get"));
-        b.routine("process", |r| {
-            r.work(40).loop_n(3, |l| l.call("buf_get")).call("encode")
-        });
+        b.routine("process", |r| r.work(40).loop_n(3, |l| l.call("buf_get")).call("encode"));
         b.routine("send_reply", |r| r.work(20).call("encode").call("buf_get"));
         b.routine("encode", |r| r.work(15));
         // The shared buffer cache: hot path cheap, miss path expensive and
@@ -136,8 +123,9 @@ mod tests {
         let inserts = truth.routine("st_insert").unwrap().calls;
         assert_eq!(hash_calls, intern + lookups + inserts);
         // The parser cycle actually recursed.
-        assert!(truth.routine("parse_expr").unwrap().calls
-            > truth.routine("parse_stmt").unwrap().calls);
+        assert!(
+            truth.routine("parse_expr").unwrap().calls > truth.routine("parse_stmt").unwrap().calls
+        );
     }
 
     #[test]

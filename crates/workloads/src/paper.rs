@@ -15,18 +15,9 @@ fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
 pub fn fig1_graph() -> CallGraph {
     let mut g = CallGraph::with_nodes((0..10).map(|i| format!("r{i}")));
     let n: Vec<NodeId> = g.nodes().collect();
-    for &(a, b) in &[
-        (0usize, 1usize),
-        (0, 2),
-        (1, 3),
-        (1, 4),
-        (2, 4),
-        (2, 9),
-        (3, 5),
-        (3, 6),
-        (4, 7),
-        (4, 8),
-    ] {
+    for &(a, b) in
+        &[(0usize, 1usize), (0, 2), (1, 3), (1, 4), (2, 4), (2, 9), (3, 5), (3, 6), (4, 7), (4, 8)]
+    {
         g.add_arc(n[a], n[b], 1);
     }
     g
@@ -52,9 +43,7 @@ pub fn fig2_graph() -> CallGraph {
 /// entries are unambiguous.
 pub fn output_program() -> Program {
     build(|b| {
-        b.routine("main", |r| {
-            r.call_n("calc1", 3).call_n("calc2", 4).call_n("calc3", 5)
-        });
+        b.routine("main", |r| r.call_n("calc1", 3).call_n("calc2", 4).call_n("calc3", 5));
         b.routine("calc1", |r| r.work(50).call_n("format1", 2));
         b.routine("calc2", |r| r.work(60).call_n("format2", 3));
         b.routine("calc3", |r| r.work(70).call_n("format2", 1));
@@ -74,12 +63,8 @@ pub fn output_program() -> Program {
 pub fn abstraction_program(producer_calls: u32, consumer_calls: u32, work: u32) -> Program {
     build(|b| {
         b.routine("main", |r| r.call("producer").call("consumer"));
-        b.routine("producer", |r| {
-            r.work(10).loop_n(producer_calls, |l| l.call("buffer"))
-        });
-        b.routine("consumer", |r| {
-            r.work(10).loop_n(consumer_calls, |l| l.call("buffer"))
-        });
+        b.routine("producer", |r| r.work(10).loop_n(producer_calls, |l| l.call("buffer")));
+        b.routine("consumer", |r| r.work(10).loop_n(consumer_calls, |l| l.call("buffer")));
         b.routine("buffer", move |r| r.work(work));
     })
 }
@@ -102,15 +87,11 @@ pub fn symbol_table_program_tuned(lookup_work: u32, hash_work: u32) -> Program {
     build(move |b| {
         b.routine("main", |r| r.call("parse").call("optimize").call("codegen"));
         b.routine("parse", |r| {
-            r.work(200)
-                .loop_n(40, |l| l.call("insert"))
-                .loop_n(60, |l| l.call("lookup"))
+            r.work(200).loop_n(40, |l| l.call("insert")).loop_n(60, |l| l.call("lookup"))
         });
         b.routine("optimize", |r| r.work(200).loop_n(80, |l| l.call("lookup")));
         b.routine("codegen", |r| {
-            r.work(200)
-                .loop_n(30, |l| l.call("lookup"))
-                .loop_n(20, |l| l.call("delete"))
+            r.work(200).loop_n(30, |l| l.call("lookup")).loop_n(20, |l| l.call("delete"))
         });
         b.routine("lookup", move |r| r.work(lookup_work).call("hash"));
         b.routine("insert", |r| r.work(70).call("hash"));
@@ -186,10 +167,7 @@ pub fn mutual_recursion_program(budget: u32) -> Program {
 pub fn figure2_program(recursion_budget: u32) -> Program {
     build(|b| {
         b.routine("r0", move |r| {
-            r.set_counter(7, recursion_budget + 1)
-                .work(10)
-                .call("r1")
-                .call("r2")
+            r.set_counter(7, recursion_budget + 1).work(10).call("r1").call("r2")
         });
         b.routine("r1", |r| r.work(20).call("r3").call("r4"));
         b.routine("r2", |r| r.work(20).call("r4").call("r9"));
@@ -240,12 +218,9 @@ pub fn kernel_program(rounds: u32) -> Program {
 pub fn skewed_sites_program(cheap_calls: u32, costly_calls: u32) -> Program {
     build(|b| {
         b.routine("main", |r| r.call("cheap_user").call("costly_user"));
-        b.routine("cheap_user", move |r| {
-            r.work(10).loop_n(cheap_calls, |l| l.call("api"))
-        });
+        b.routine("cheap_user", move |r| r.work(10).loop_n(cheap_calls, |l| l.call("api")));
         b.routine("costly_user", move |r| {
-            r.work(10)
-                .loop_n(costly_calls, |l| l.set_counter(7, 2).call("api"))
+            r.work(10).loop_n(costly_calls, |l| l.set_counter(7, 2).call("api"))
         });
         b.routine("api", |r| r.work(10).call_while(7, "expensive"));
         b.routine("expensive", |r| r.work(990));
@@ -277,9 +252,7 @@ pub fn sometimes_recursive_program(budget: u32) -> Program {
 pub fn short_routine_program(calls: u32, work: u32, lead_work: u32) -> Program {
     build(|b| {
         b.routine("main", move |r| {
-            r.work(2000 + lead_work)
-                .loop_n(calls, |l| l.call("blip"))
-                .work(2000)
+            r.work(2000 + lead_work).loop_n(calls, |l| l.call("blip")).work(2000)
         });
         b.routine("blip", move |r| r.work(work));
     })

@@ -146,9 +146,7 @@ pub fn call_density_program(calls: u32, work_per_call: u32) -> Program {
 /// `expr → term → factor → expr` with a shared recursion budget.
 pub fn recursive_descent_program(budget: u32) -> Program {
     build(|b| {
-        b.routine("main", move |r| {
-            r.set_counter(7, budget + 1).loop_n(3, |l| l.call("parse"))
-        });
+        b.routine("main", move |r| r.set_counter(7, budget + 1).loop_n(3, |l| l.call("parse")));
         b.routine("parse", |r| r.work(10).call("expr"));
         b.routine("expr", |r| r.work(25).call("term"));
         b.routine("term", |r| r.work(35).call_while(7, "factor"));

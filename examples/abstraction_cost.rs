@@ -49,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let entry = cg.entry(phase).expect("phase exists");
         println!(
             "{phase:<9} self {:>7.3}s  +inherited {:>7.3}s  = {:>5.1}% of the program",
-            entry.self_seconds,
-            entry.desc_seconds,
-            entry.percent
+            entry.self_seconds, entry.desc_seconds, entry.percent
         );
     }
     println!(

@@ -12,8 +12,8 @@ use graphprof_monitor::profiler::profile_to_completion;
 use graphprof_workloads::paper::symbol_table_program_tuned;
 
 fn profile(lookup_work: u32, hash_work: u32) -> Result<Analysis, Box<dyn std::error::Error>> {
-    let exe = symbol_table_program_tuned(lookup_work, hash_work)
-        .compile(&CompileOptions::profiled())?;
+    let exe =
+        symbol_table_program_tuned(lookup_work, hash_work).compile(&CompileOptions::profiled())?;
     let (gmon, _) = profile_to_completion(exe.clone(), 1)?;
     Ok(Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&exe, &gmon)?)
 }

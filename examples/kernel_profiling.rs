@@ -56,24 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // First analysis: the subsystems are lumped into one cycle.
     let lumped =
         Gprof::new(Options::default().cycles_per_second(1_000.0)).analyze(&exe, &window)?;
-    println!(
-        "analysis without arc removal finds {} cycle(s):",
-        lumped.call_graph().cycle_count()
-    );
+    println!("analysis without arc removal finds {} cycle(s):", lumped.call_graph().cycle_count());
     for entry in lumped.call_graph().entries().iter().take(3) {
         println!("  [{}] {:<24} {:>5.1}%", entry.index, entry.name, entry.percent);
     }
 
     // Second analysis: let the bounded heuristic drop the low-count
     // closing arcs.
-    let separated = Gprof::new(
-        Options::default().cycles_per_second(1_000.0).break_cycles(8),
-    )
-    .analyze(&exe, &window)?;
-    println!(
-        "\nwith the bounded heuristic, removed arcs: {:?}",
-        separated.removed_arcs()
-    );
+    let separated = Gprof::new(Options::default().cycles_per_second(1_000.0).break_cycles(8))
+        .analyze(&exe, &window)?;
+    println!("\nwith the bounded heuristic, removed arcs: {:?}", separated.removed_arcs());
     println!("subsystem times become meaningful:\n");
     println!("{}", separated.render_call_graph());
     Ok(())

@@ -20,8 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cycle gets pooled into a single entry.
     let instrumented = program.compile(&CompileOptions::profiled())?;
     let (gmon, _) = profile_to_completion(instrumented.clone(), TICK)?;
-    let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
-        .analyze(&instrumented, &gmon)?;
+    let analysis =
+        Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&instrumented, &gmon)?;
     println!("== gprof on a recursive descent parser ==\n");
     println!("{}", analysis.render_call_graph());
     println!(

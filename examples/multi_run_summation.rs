@@ -39,14 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("runs summed   estimated cycles/run   relative error");
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let summed = sum_profiles(profiles.iter().take(n))?;
-        let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
-            .analyze(&exe, &summed)?;
-        let estimate = analysis
-            .flat()
-            .row("blip")
-            .map(|r| r.self_seconds)
-            .unwrap_or(0.0)
-            / n as f64;
+        let analysis =
+            Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&exe, &summed)?;
+        let estimate =
+            analysis.flat().row("blip").map(|r| r.self_seconds).unwrap_or(0.0) / n as f64;
         println!(
             "{n:>11} {estimate:>20.1} {:>16.3}",
             (estimate - true_blip_cycles).abs() / true_blip_cycles

@@ -35,11 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let format2 = cg.entry("format2").expect("format2 exists");
-    let callers: Vec<(&str, u64)> = format2
-        .parents
-        .iter()
-        .map(|p| (p.name.as_str(), p.count))
-        .collect();
+    let callers: Vec<(&str, u64)> =
+        format2.parents.iter().map(|p| (p.name.as_str(), p.count)).collect();
     println!(
         "step 3: format2 is called by {callers:?}.\n\
          To change calc2's output without touching calc3's, format2 must be\n\

@@ -13,9 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Write a program. `work n` spends n cycles at one address; calls
     //    and loops behave as you would expect.
     let mut builder = Program::builder();
-    builder.routine("main", |r| {
-        r.work(500).call_n("compress", 4).call_n("checksum", 2)
-    });
+    builder.routine("main", |r| r.work(500).call_n("compress", 4).call_n("checksum", 2));
     builder.routine("compress", |r| r.work(300).call_n("huffman", 8));
     builder.routine("checksum", |r| r.work(2_000));
     builder.routine("huffman", |r| r.work(150));
@@ -39,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", analysis.render_call_graph());
 
     // 5. The structured results are available too.
-    let compress = analysis
-        .call_graph()
-        .entry("compress")
-        .expect("compress was profiled");
+    let compress = analysis.call_graph().entry("compress").expect("compress was profiled");
     println!(
         "compress: called {} times, {:.1}% of total time including its callees",
         compress.calls.external, compress.percent

@@ -26,9 +26,8 @@ fn compiler_hash_fan_in_is_attributed_to_phases() {
     // hash is the deepest shared abstraction; its entry's parents split
     // its time across intern / st_lookup / st_insert with exact counts.
     let hash = cg.entry("hash").expect("hash entry");
-    let count_of = |name: &str| {
-        hash.parents.iter().find(|p| p.name == name).map(|p| p.count).unwrap_or(0)
-    };
+    let count_of =
+        |name: &str| hash.parents.iter().find(|p| p.name == name).map(|p| p.count).unwrap_or(0);
     assert_eq!(count_of("intern"), truth.routine("intern").expect("t").calls);
     assert_eq!(count_of("st_lookup"), truth.routine("st_lookup").expect("t").calls);
     assert_eq!(count_of("st_insert"), truth.routine("st_insert").expect("t").calls);
@@ -46,20 +45,13 @@ fn formatter_rare_path_is_visible_with_low_count() {
     let (analysis, truth) = analyzed(&apps::text_formatter(16));
     let cg = analysis.call_graph();
     let fill = cg.entry("fill_line").expect("fill_line entry");
-    let hyph = fill
-        .children
-        .iter()
-        .find(|c| c.name == "hyphenate")
-        .expect("hyphenate child line");
+    let hyph = fill.children.iter().find(|c| c.name == "hyphenate").expect("hyphenate child line");
     // The rarely-taken arc is listed with its exact (small) count...
     assert_eq!(hyph.count, truth.routine("hyphenate").expect("t").calls);
     assert!(hyph.count < fill.calls.external / 10);
     // ...yet carries a disproportionate share of time per traversal.
-    let flush = fill
-        .children
-        .iter()
-        .find(|c| c.name == "flush_line")
-        .expect("flush_line child line");
+    let flush =
+        fill.children.iter().find(|c| c.name == "flush_line").expect("flush_line child line");
     let per_hyph = hyph.flow() / hyph.count as f64;
     let per_flush = flush.flow() / flush.count as f64;
     assert!(per_hyph > 2.0 * per_flush, "{per_hyph} vs {per_flush}");
@@ -88,11 +80,7 @@ fn server_cache_misses_show_in_buf_get_descendants() {
 
 #[test]
 fn app_profiles_render_without_panics_and_deterministically() {
-    for program in [
-        apps::compiler_pipeline(2),
-        apps::text_formatter(8),
-        apps::network_server(20),
-    ] {
+    for program in [apps::compiler_pipeline(2), apps::text_formatter(8), apps::network_server(20)] {
         let (a1, _) = analyzed(&program);
         let (a2, _) = analyzed(&program);
         assert_eq!(a1.render_flat(), a2.render_flat());

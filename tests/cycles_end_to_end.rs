@@ -31,10 +31,8 @@ fn mutual_recursion_becomes_one_cycle_entry() {
         .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
         .expect("cycle entry exists");
     // The cycle's pooled self time equals ping+pong's exact self cycles.
-    let exact: u64 = ["ping", "pong"]
-        .iter()
-        .map(|n| truth.routine(n).expect("truth").self_cycles)
-        .sum();
+    let exact: u64 =
+        ["ping", "pong"].iter().map(|n| truth.routine(n).expect("truth").self_cycles).sum();
     assert!(
         (whole.self_seconds - exact as f64).abs() < 1.0,
         "pooled {} vs exact {exact}",
@@ -81,13 +79,9 @@ fn recursive_descent_collapses_to_a_monolithic_cycle() {
         .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
         .expect("cycle entry");
     // expr, term, and factor all pooled together.
-    let member_names: Vec<&str> =
-        whole.children.iter().map(|c| c.name.as_str()).collect();
+    let member_names: Vec<&str> = whole.children.iter().map(|c| c.name.as_str()).collect();
     for name in ["expr", "term", "factor"] {
-        assert!(
-            member_names.iter().any(|m| m.starts_with(name)),
-            "{name} in {member_names:?}"
-        );
+        assert!(member_names.iter().any(|m| m.starts_with(name)), "{name} in {member_names:?}");
     }
     // parse calls into the cycle and inherits its pooled time.
     let parse = cg.entry("parse").expect("parse entry");

@@ -26,9 +26,7 @@ fn call_counts_are_exact_not_sampled() {
     let analysis = analyze(&exe, &gmon).expect("analyzes");
     for routine in truth.routines() {
         let entry = analysis.call_graph().entry(&routine.name);
-        let counted = entry
-            .map(|e| e.calls.external + e.calls.recursive)
-            .unwrap_or(0);
+        let counted = entry.map(|e| e.calls.external + e.calls.recursive).unwrap_or(0);
         assert_eq!(counted, routine.calls, "{}", routine.name);
     }
 }
@@ -73,10 +71,8 @@ fn entry_routine_inherits_the_whole_program() {
 fn propagated_times_track_ground_truth_on_a_dag() {
     // With fine sampling, every routine's self+descendants should track
     // the machine's exact inclusive time on acyclic workloads.
-    let (exe, gmon, truth) = profile(
-        &synthetic::layered_dag(11, synthetic::DagParams::default()),
-        1,
-    );
+    let (exe, gmon, truth) =
+        profile(&synthetic::layered_dag(11, synthetic::DagParams::default()), 1);
     let analysis = Gprof::new(Options::default().cycles_per_second(1.0))
         .analyze(&exe, &gmon)
         .expect("analyzes");
@@ -133,10 +129,7 @@ fn indirect_calls_are_recorded_dynamically() {
         let name = format!("dest{i}");
         let entry = analysis.call_graph().entry(&name).expect("dest entry");
         assert_eq!(entry.calls.external, 4, "{name}");
-        assert_eq!(
-            truth.routine(&name).expect("truth").calls,
-            4
-        );
+        assert_eq!(truth.routine(&name).expect("truth").calls, 4);
         // The single dispatch site fans out: all parents are `dispatch`.
         assert_eq!(entry.parents.len(), 1);
         assert_eq!(entry.parents[0].name, "dispatch");
@@ -168,9 +161,8 @@ fn never_called_listing_matches_reachability() {
     // Without the static graph, dead1 has no arcs at all; with it, the
     // static arc dead2->dead1 exists but carries no calls. Either way the
     // never-called listing names both dead routines.
-    let analysis = Gprof::new(Options::default().static_graph(false))
-        .analyze(&exe, &gmon)
-        .expect("analyzes");
+    let analysis =
+        Gprof::new(Options::default().static_graph(false)).analyze(&exe, &gmon).expect("analyzes");
     assert_eq!(analysis.flat().never_called(), ["dead1", "dead2"]);
 }
 

@@ -8,9 +8,22 @@ use graphprof_bench::{all_experiments, run_experiment};
 fn registry_lists_every_documented_experiment() {
     let names: Vec<&str> = all_experiments().iter().map(|e| e.name).collect();
     for expected in [
-        "fig1", "fig2_3", "fig4", "sec6", "overhead", "sampling", "avgtime",
-        "multirun", "hashorg", "arcremoval", "abstraction", "staticarcs",
-        "perturb", "iterate", "modern", "granularity",
+        "fig1",
+        "fig2_3",
+        "fig4",
+        "sec6",
+        "overhead",
+        "sampling",
+        "avgtime",
+        "multirun",
+        "hashorg",
+        "arcremoval",
+        "abstraction",
+        "staticarcs",
+        "perturb",
+        "iterate",
+        "modern",
+        "granularity",
     ] {
         assert!(names.contains(&expected), "{expected} missing from {names:?}");
     }

@@ -1,16 +1,14 @@
 //! Failure injection: corrupt profile files, mismatched executables, and
 //! bad options, exercised through the whole pipeline.
 
-use graphprof::{analyze, AnalyzeError, sum_profiles, Gprof, Options};
+use graphprof::{analyze, sum_profiles, AnalyzeError, Gprof, Options};
 use graphprof_machine::CompileOptions;
 use graphprof_monitor::profiler::profile_to_completion;
 use graphprof_monitor::{GmonData, GmonError};
 use graphprof_workloads::paper;
 
 fn sample() -> (graphprof_machine::Executable, GmonData) {
-    let exe = paper::output_program()
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = paper::output_program().compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 10).expect("runs");
     (exe, gmon)
 }
@@ -20,8 +18,7 @@ fn every_truncation_of_a_profile_file_is_rejected() {
     let (_, gmon) = sample();
     let bytes = gmon.to_bytes();
     for len in 0..bytes.len() {
-        let err = GmonData::from_bytes(&bytes[..len])
-            .expect_err("prefix must not parse");
+        let err = GmonData::from_bytes(&bytes[..len]).expect_err("prefix must not parse");
         assert!(
             matches!(err, GmonError::Truncated | GmonError::Corrupt { .. }),
             "prefix {len}: {err:?}"
@@ -36,20 +33,14 @@ fn single_byte_magic_and_version_corruption_detected() {
     for i in 0..6 {
         let mut bad = good.clone();
         bad[i] ^= 0xff;
-        assert!(
-            GmonData::from_bytes(&bad).is_err(),
-            "flipping header byte {i} must fail"
-        );
+        assert!(GmonData::from_bytes(&bad).is_err(), "flipping header byte {i} must fail");
     }
 }
 
 #[test]
 fn profile_against_wrong_executable_is_rejected() {
     let (_, gmon) = sample();
-    for source in [
-        "routine main { work 5 }",
-        "routine main { work 5 } routine extra { work 5 }",
-    ] {
+    for source in ["routine main { work 5 }", "routine main { work 5 } routine extra { work 5 }"] {
         let other = graphprof_machine::asm::parse(source)
             .expect("parses")
             .compile(&CompileOptions::profiled())
@@ -85,9 +76,7 @@ fn arcs_outside_the_symbol_table_are_counted_not_crashed() {
 fn merging_incompatible_profiles_fails_cleanly() {
     let (_, gmon_a) = sample();
     // Different sampling period.
-    let exe = paper::output_program()
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = paper::output_program().compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon_b, _) = profile_to_completion(exe, 20).expect("runs");
     let err = sum_profiles([&gmon_a, &gmon_b]).expect_err("periods differ");
     assert!(matches!(err, AnalyzeError::Gmon(GmonError::MergeMismatch { .. })));
@@ -132,8 +121,7 @@ fn malformed_text_fails_static_discovery_but_not_dynamic_analysis() {
     // An executable whose text is garbage: static crawling must error,
     // and analysis must surface it (rather than panic).
     let text = vec![0xee; 16];
-    let symbols =
-        SymbolTable::new(vec![Symbol::new("junk", Addr::new(0x1000), 16, true)]);
+    let symbols = SymbolTable::new(vec![Symbol::new("junk", Addr::new(0x1000), 16, true)]);
     let exe = Executable::new(Addr::new(0x1000), text, symbols, Addr::new(0x1000));
     let gmon = GmonData::new(10, Histogram::new(Addr::new(0x1000), 16, 0), vec![]);
     let err = analyze(&exe, &gmon).expect_err("static crawl fails");
@@ -152,7 +140,6 @@ fn corrupted_bucket_count_is_detected() {
     // The nbuckets field lives at offset 8+8+4+4+4+8 = 36.
     let nbuckets_offset = 36;
     let old = u32::from_le_bytes(bytes[nbuckets_offset..nbuckets_offset + 4].try_into().unwrap());
-    bytes[nbuckets_offset..nbuckets_offset + 4]
-        .copy_from_slice(&(old - 1).to_le_bytes());
+    bytes[nbuckets_offset..nbuckets_offset + 4].copy_from_slice(&(old - 1).to_le_bytes());
     assert!(GmonData::from_bytes(&bytes).is_err());
 }

@@ -10,13 +10,9 @@ use graphprof_monitor::profiler::profile_to_completion;
 use graphprof_workloads::paper::example_program;
 
 fn analysis() -> graphprof::Analysis {
-    let exe = example_program()
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = example_program().compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
-    Gprof::new(Options::default().cycles_per_second(1.0))
-        .analyze(&exe, &gmon)
-        .expect("analyzes")
+    Gprof::new(Options::default().cycles_per_second(1.0)).analyze(&exe, &gmon).expect("analyzes")
 }
 
 #[test]
@@ -65,21 +61,17 @@ fn the_figure4_structure_emerges_from_a_real_run() {
         .find(|e| matches!(e.kind, EntryKind::CycleWhole(_)))
         .expect("cycle entry");
     assert_eq!(whole.calls.external, 20);
-    let member_names: Vec<&str> =
-        whole.children.iter().map(|c| c.name.as_str()).collect();
+    let member_names: Vec<&str> = whole.children.iter().map(|c| c.name.as_str()).collect();
     assert!(member_names.contains(&"SUB1 <cycle1>"), "{member_names:?}");
     assert!(member_names.contains(&"SUB1B <cycle1>"), "{member_names:?}");
 }
 
 #[test]
 fn without_static_graph_sub3_vanishes_from_example() {
-    let exe = example_program()
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = example_program().compile(&CompileOptions::profiled()).expect("compiles");
     let (gmon, _) = profile_to_completion(exe.clone(), 1).expect("runs");
-    let analysis = Gprof::new(Options::default().static_graph(false))
-        .analyze(&exe, &gmon)
-        .expect("analyzes");
+    let analysis =
+        Gprof::new(Options::default().static_graph(false)).analyze(&exe, &gmon).expect("analyzes");
     let example = analysis.call_graph().entry("EXAMPLE").expect("entry");
     assert!(
         !example.children.iter().any(|c| c.name == "SUB3"),

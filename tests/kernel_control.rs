@@ -10,9 +10,7 @@ use graphprof_workloads::paper::kernel_program;
 const TICK: u64 = 10;
 
 fn kernel() -> (graphprof_machine::Executable, Machine, SharedProfiler, KgmonTool) {
-    let exe = kernel_program(10_000_000)
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = kernel_program(10_000_000).compile(&CompileOptions::profiled()).expect("compiles");
     let hooks = SharedProfiler::new(&exe, TICK);
     let tool = KgmonTool::attach(hooks.clone());
     let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };

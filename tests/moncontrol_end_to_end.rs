@@ -9,9 +9,7 @@ use graphprof_monitor::RuntimeProfiler;
 use graphprof_workloads::paper::symbol_table_program;
 
 fn run_restricted(routine: &str) -> (graphprof_machine::Executable, graphprof_monitor::GmonData) {
-    let exe = symbol_table_program()
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = symbol_table_program().compile(&CompileOptions::profiled()).expect("compiles");
     let sym = exe.symbols().by_name(routine).expect("routine exists").1;
     let range = (sym.addr(), sym.end());
     let mut profiler = RuntimeProfiler::new(&exe, 5);
@@ -40,9 +38,7 @@ fn restricted_profile_sees_only_the_target_routine() {
     assert_eq!(lookup.calls.external, 170);
     // Its callers are identified with exact per-caller counts even though
     // the callers themselves were not monitored.
-    let count_of = |name: &str| {
-        lookup.parents.iter().find(|p| p.name == name).map(|p| p.count)
-    };
+    let count_of = |name: &str| lookup.parents.iter().find(|p| p.name == name).map(|p| p.count);
     assert_eq!(count_of("parse"), Some(60));
     assert_eq!(count_of("optimize"), Some(80));
     assert_eq!(count_of("codegen"), Some(30));
@@ -54,9 +50,7 @@ fn restricted_profile_still_analyzes_with_static_graph() {
     // range, so the graph shape stays complete even when the dynamic data
     // is partial.
     let (exe, gmon) = run_restricted("hash");
-    let analysis = Gprof::new(Options::default())
-        .analyze(&exe, &gmon)
-        .expect("analyzes");
+    let analysis = Gprof::new(Options::default()).analyze(&exe, &gmon).expect("analyzes");
     let graph = analysis.graph();
     // Static arcs exist between unmonitored routines.
     let parse = graph.node_by_name("parse").expect("node");
@@ -70,9 +64,7 @@ fn restricted_profile_still_analyzes_with_static_graph() {
 
 #[test]
 fn restriction_costs_less_than_full_monitoring() {
-    let exe = symbol_table_program()
-        .compile(&CompileOptions::profiled())
-        .expect("compiles");
+    let exe = symbol_table_program().compile(&CompileOptions::profiled()).expect("compiles");
     let clock_with = |range: Option<(graphprof_machine::Addr, graphprof_machine::Addr)>| {
         let mut profiler = RuntimeProfiler::new(&exe, 0);
         profiler.set_monitor_range(range);

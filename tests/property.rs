@@ -37,10 +37,7 @@ fn build_program(plans: &[RoutinePlan]) -> Program {
                 if callee == i {
                     continue;
                 }
-                body.push(Stmt::Loop {
-                    count,
-                    body: vec![Stmt::Call(name(callee))],
-                });
+                body.push(Stmt::Loop { count, body: vec![Stmt::Call(name(callee))] });
             }
             Routine::new(name(i), body, true)
         })

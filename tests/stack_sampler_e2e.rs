@@ -25,10 +25,7 @@ fn compiler_pipeline_inclusive_times_are_exact_at_tick_one() {
         if routine.calls == 0 {
             continue;
         }
-        let sampled = report
-            .routine(&routine.name)
-            .map(|r| r.inclusive_cycles)
-            .unwrap_or(0);
+        let sampled = report.routine(&routine.name).map(|r| r.inclusive_cycles).unwrap_or(0);
         assert_eq!(
             sampled, routine.total_cycles,
             "{}: tick-1 stack sampling is exact",
@@ -41,10 +38,7 @@ fn compiler_pipeline_inclusive_times_are_exact_at_tick_one() {
 fn exclusive_times_match_self_cycles_at_tick_one() {
     let (report, truth) = sample(&apps::network_server(25), 1);
     for routine in truth.routines() {
-        let sampled = report
-            .routine(&routine.name)
-            .map(|r| r.exclusive_cycles)
-            .unwrap_or(0);
+        let sampled = report.routine(&routine.name).map(|r| r.exclusive_cycles).unwrap_or(0);
         assert_eq!(sampled, routine.self_cycles, "{}", routine.name);
     }
 }
@@ -56,10 +50,7 @@ fn coarse_ticks_degrade_gracefully() {
     let total = truth.clock() as f64;
     for routine in truth.routines() {
         let f = fine.routine(&routine.name).map(|r| r.inclusive_cycles).unwrap_or(0);
-        let c = coarse
-            .routine(&routine.name)
-            .map(|r| r.inclusive_cycles)
-            .unwrap_or(0);
+        let c = coarse.routine(&routine.name).map(|r| r.inclusive_cycles).unwrap_or(0);
         // Coarse sampling errs, but big routines stay within a reasonable
         // band of the fine measurement.
         if (f as f64) > 0.2 * total {
@@ -75,11 +66,8 @@ fn edge_attribution_covers_every_hot_call_path() {
     // The hash routine's three callers are each attributed their own
     // cycles, summing to hash's inclusive total.
     let callers = ["intern", "st_lookup", "st_insert"];
-    let sum: u64 = callers
-        .iter()
-        .filter_map(|c| report.edge(c, "hash"))
-        .map(|e| e.inclusive_cycles)
-        .sum();
+    let sum: u64 =
+        callers.iter().filter_map(|c| report.edge(c, "hash")).map(|e| e.inclusive_cycles).sum();
     let hash_incl = truth.routine("hash").expect("truth").total_cycles;
     assert_eq!(sum, hash_incl, "caller shares partition hash's time");
 }

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros — measured with a
+//! plain wall-clock loop. There is no statistical analysis, warm-up
+//! tuning, or HTML report; each benchmark prints one median-of-batches
+//! line. Good enough to compare orders of magnitude, which is what the
+//! overhead experiments here need.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How long each benchmark samples for, total, across batches.
+const TARGET_SAMPLE_NANOS: u128 = 50_000_000;
+const BATCHES: usize = 16;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _criterion: self }
+    }
+}
+
+/// A named set of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No summary output in this stub.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over this batch's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_benchmark(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // In `--test` mode (cargo test --benches) just check it runs once.
+    if std::env::args().any(|a| a == "--test") {
+        let mut b = Bencher { iters: 1, elapsed_nanos: 0 };
+        f(&mut b);
+        println!("{name}: ok (test mode)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch is measurable.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed_nanos: 0 };
+        f(&mut b);
+        if b.elapsed_nanos * (BATCHES as u128) >= TARGET_SAMPLE_NANOS / 4 || iters >= 1 << 24 {
+            break (b.elapsed_nanos / u128::from(iters)).max(1);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let batch_iters =
+        ((TARGET_SAMPLE_NANOS / (BATCHES as u128) / per_iter).clamp(1, 1 << 24)) as u64;
+
+    let mut samples: Vec<u128> = (0..BATCHES)
+        .map(|_| {
+            let mut b = Bencher { iters: batch_iters, elapsed_nanos: 0 };
+            f(&mut b);
+            b.elapsed_nanos / u128::from(batch_iters)
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[BATCHES / 2];
+    println!("{name:<48} median {} per iter ({batch_iters} iters/batch)", fmt_nanos(median));
+}
+
+fn fmt_nanos(nanos: u128) -> String {
+    if nanos >= 1_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Collects benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(3).label, "3");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn bencher_counts_every_iteration() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 10, elapsed_nanos: 0 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Strategies for collections.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Acceptable lengths for a generated collection.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { min: range.start, max: range.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange { min: *range.start(), max: *range.end() }
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn lengths_respect_all_size_forms() {
+        let mut rng = TestRng::for_test("vec-sizes");
+        for _ in 0..100 {
+            assert_eq!(vec(Just(1u8), 3).generate(&mut rng).len(), 3);
+            let half_open = vec(Just(1u8), 1..4).generate(&mut rng).len();
+            assert!((1..4).contains(&half_open));
+            let inclusive = vec(Just(1u8), 0..=2).generate(&mut rng).len();
+            assert!(inclusive <= 2);
+        }
+    }
+
+    #[test]
+    fn elements_come_from_the_element_strategy() {
+        let mut rng = TestRng::for_test("vec-elems");
+        let v = vec(5u32..8, 16).generate(&mut rng);
+        assert!(v.iter().all(|e| (5..8).contains(e)));
+    }
+}

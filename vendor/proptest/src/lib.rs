@@ -1,0 +1,126 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the property-test
+//! surface this workspace uses is reimplemented here: the [`proptest!`]
+//! macro, composable [`Strategy`] values (ranges, tuples, `Just`,
+//! `prop_map` / `prop_flat_map` / `boxed`, collections, `prop_oneof!`),
+//! `any::<T>()` for the primitive types, and `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for simplicity:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed;
+//!   inputs are reproducible because generation is deterministic (the
+//!   RNG is seeded from the test's name), but not minimized.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **String strategies ignore their regex.** A `&str` pattern
+//!   generates arbitrary mostly-printable strings, which is what the
+//!   fuzz-shaped tests here want from `"\\PC*"`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     // Under `cargo test` each property also carries `#[test]`.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::std::result::Result::Err(cause) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {} of {} (deterministic; \
+                             re-run reproduces it)",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(cause);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

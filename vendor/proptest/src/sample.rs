@@ -1,0 +1,42 @@
+//! Sampling helpers: an index usable against any collection length.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn projection_stays_in_bounds() {
+        let mut rng = TestRng::for_test("index");
+        for len in 1..20 {
+            let idx = any::<Index>().generate(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Test configuration and the deterministic RNG behind generation.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; these tests execute whole
+        // machine runs per case, so the stub defaults lower. Tests that
+        // care set `with_cases` explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator: splitmix64 seeded from the test's name, so
+/// every run of a given test replays the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index below `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot pick below zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_rngs_are_deterministic() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_test("bound");
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}
