@@ -27,7 +27,7 @@ pub mod lint;
 
 pub use cfg::{build_cfg, BasicBlock, BlockId, Cfg};
 pub use dataflow::{
-    resolve_indirect_calls, IndirectResolution, ResolvedIndirect, SlotState, SlotValue,
-    UnresolvedIndirect, UnresolvedReason,
+    resolve_indirect_calls, resolve_indirect_calls_jobs, IndirectResolution, ResolvedIndirect,
+    SlotState, SlotValue, UnresolvedIndirect, UnresolvedReason,
 };
-pub use lint::{check_profile, CheckFinding};
+pub use lint::{check_profile, check_profile_jobs, CheckFinding};

@@ -36,7 +36,7 @@ use graphprof_machine::{
 use graphprof_monitor::GmonData;
 
 use crate::cfg::build_cfg;
-use crate::dataflow::resolve_indirect_calls;
+use crate::dataflow::resolve_indirect_calls_jobs;
 
 /// One inconsistency found by [`check_profile`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +185,16 @@ fn has_profiling_prologue(insts: &[(Addr, Instruction)]) -> bool {
 /// Returns every finding, errors first within each category's natural
 /// order; an empty vector means the profile is consistent.
 pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
+    check_profile_jobs(exe, gmon, 1)
+}
+
+/// [`check_profile`] with an explicit worker count.
+///
+/// Disassembly, the per-caller call-count-conservation check, and the
+/// indirect-call dataflow all fan out over `jobs` workers; per-routine
+/// findings are reassembled in routine order, so the finding list is
+/// identical for every `jobs` value.
+pub fn check_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec<CheckFinding> {
     let mut findings = Vec::new();
     let symbols = exe.symbols();
 
@@ -205,11 +215,13 @@ pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
         return findings;
     }
 
-    // Disassemble once; every remaining check reads from this.
-    let disasm: Vec<_> = symbols
-        .iter()
-        .map(|(id, _)| exe.disassemble_symbol(id).expect("verified text decodes"))
-        .collect();
+    // Disassemble once; every remaining check reads from this. Routines
+    // are independent, so the sweep fans out; results come back in
+    // symbol order regardless of worker count.
+    let ids: Vec<_> = symbols.iter().map(|(id, _)| id).collect();
+    let disasm: Vec<_> = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
+        exe.disassemble_symbol(id).expect("verified text decodes")
+    });
 
     // 2. Profiled routines need a prologue the monitor can hook.
     for ((_, sym), insts) in symbols.iter().zip(&disasm) {
@@ -268,14 +280,19 @@ pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
             })
             .map(|(_, s)| s)
     };
-    for (id, caller) in symbols.iter() {
+    // Callers are independent: each builds its own CFG and checks its
+    // own sites. Per-caller findings come back in symbol order, so the
+    // report reads identically at any worker count.
+    let conservation = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
+        let caller = symbols.symbol(id);
+        let mut local = Vec::new();
         if counts_arcs(caller.addr()).is_none() {
-            continue;
+            return local;
         }
         let expected = activations(caller.addr());
         let cfg = match build_cfg(exe, id) {
             Ok(cfg) => cfg,
-            Err(_) => continue, // unreachable: text verified above
+            Err(_) => return local, // unreachable: text verified above
         };
         for (bid, block) in cfg.iter() {
             if !cfg.executes_once_per_activation(bid) {
@@ -287,7 +304,7 @@ pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
                 let site = addr.offset(encoded_len(inst));
                 let actual = arc_count(site, target);
                 if actual != expected {
-                    findings.push(CheckFinding::CallCountMismatch {
+                    local.push(CheckFinding::CallCountMismatch {
                         site,
                         caller: caller.name().to_string(),
                         callee: callee.name().to_string(),
@@ -297,10 +314,12 @@ pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
                 }
             }
         }
-    }
+        local
+    });
+    findings.extend(conservation.into_iter().flatten());
 
     // 7. Quantify the remaining blind spot.
-    if let Ok(resolution) = resolve_indirect_calls(exe) {
+    if let Ok(resolution) = resolve_indirect_calls_jobs(exe, jobs) {
         for site in &resolution.unresolved {
             findings.push(CheckFinding::UnresolvedIndirectCall { at: site.at, slot: site.slot });
         }
@@ -484,6 +503,30 @@ mod tests {
             !findings.iter().any(|f| matches!(f, CheckFinding::UnresolvedIndirectCall { .. })),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn parallel_check_matches_serial_exactly() {
+        // Corrupt a profile several ways at once so the finding list is
+        // long enough to expose any ordering difference between worker
+        // counts.
+        let (exe, gmon) = profile(
+            "routine main { work 10 call a call b setslot 0, a setslot 0, b call flip }
+             routine flip { calli 0 }
+             routine a { work 20 call b }
+             routine b { work 5 }
+             routine island { work 5 }",
+        );
+        let mut arcs: Vec<RawArc> = gmon.arcs().to_vec();
+        let a = exe.symbols().by_name("a").unwrap().1.addr();
+        arcs.iter_mut().find(|x| x.self_pc == a && !x.from_pc.is_null()).unwrap().count += 7;
+        arcs.push(RawArc { from_pc: Addr::NULL, self_pc: exe.end().offset(0x40), count: 1 });
+        let corrupted = GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs);
+        let serial = check_profile_jobs(&exe, &corrupted, 1);
+        let parallel = check_profile_jobs(&exe, &corrupted, 8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, check_profile(&exe, &corrupted));
+        assert!(serial.len() >= 3, "{serial:?}");
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Post-processing pipeline benchmark: `BENCH_postprocess.json`.
+//!
+//! Times the three dominant post-processing stages — multi-profile
+//! summation, static arc discovery (including indirect-call
+//! resolution), and call-graph time propagation — at `jobs = 1` versus
+//! `jobs = N` on a generated ~200-routine workload profiled twenty
+//! times, and writes the wall-clock numbers as JSON.
+//!
+//! The parallel stages are deterministic by contract (a jobs value
+//! never changes an output byte — see `graphprof::exec`), so before
+//! reporting any number the binary cross-checks that the serial and
+//! parallel results agree exactly. Speedups depend on the host — which
+//! is why `host_cpus` is part of the artifact: on a single-CPU machine
+//! the (forced, at least four-worker) parallel column measures pure
+//! worker-pool overhead rather than any speedup.
+//!
+//! Usage: `postprocess [output.json]` (default `BENCH_postprocess.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use graphprof_callgraph::{
+    discover_arcs_with_indirect_jobs, propagate_jobs, CallGraph, NodeId, SccResult,
+};
+use graphprof_machine::{CompileOptions, Executable};
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_monitor::GmonData;
+use graphprof_workloads::synthetic::{layered_dag, DagParams};
+
+/// Number of profile runs summed by the summation stage.
+const PROFILES: usize = 20;
+/// Sampling granularity for the profiled runs.
+const CYCLES_PER_TICK: u64 = 25;
+/// Timed repetitions per measurement; the fastest repetition wins, which
+/// filters scheduler noise without averaging in warm-up outliers.
+const REPS: usize = 7;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_postprocess.json".to_string());
+    let report = match run() {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("postprocess: {msg}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("postprocess: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{report}");
+    eprintln!("wrote {out_path}");
+}
+
+/// Runs `f` `REPS` times and returns the fastest wall time in
+/// milliseconds alongside the last result.
+fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let result = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(result);
+    }
+    (best, last.expect("REPS > 0"))
+}
+
+struct Stage {
+    name: &'static str,
+    jobs1_ms: f64,
+    jobsn_ms: f64,
+}
+
+fn run() -> Result<String, String> {
+    // ~200 routines: 8 layers x 25 wide, plus the root.
+    let params = DagParams { layers: 8, width: 25, max_fanout: 3, max_calls: 4, max_work: 60 };
+    let exe = layered_dag(7, params)
+        .compile(&CompileOptions::profiled())
+        .map_err(|e| format!("compiling workload: {e}"))?;
+    let routines = exe.symbols().len();
+
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(PROFILES);
+    for _ in 0..PROFILES {
+        let (gmon, _) = profile_to_completion(exe.clone(), CYCLES_PER_TICK)
+            .map_err(|e| format!("profiling workload: {e}"))?;
+        blobs.push(gmon.to_bytes());
+    }
+
+    // At least four workers so the pool machinery is always measured,
+    // even on hosts whose available parallelism resolves to 1.
+    let jobs_n = graphprof::exec::resolve_jobs(None).max(4);
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    // Stage 1: multi-profile summation (parse + tree-reduce merge).
+    let (sum1_ms, serial_sum) =
+        time_best(|| graphprof::sum_profile_bytes(&blobs, 1).expect("profiles are well-formed"));
+    let (sumn_ms, parallel_sum) = time_best(|| {
+        graphprof::sum_profile_bytes(&blobs, jobs_n).expect("profiles are well-formed")
+    });
+    if serial_sum.to_bytes() != parallel_sum.to_bytes() {
+        return Err("summation is not jobs-invariant".to_string());
+    }
+
+    // Stage 2: static arc discovery with indirect-call resolution.
+    let (crawl1_ms, serial_crawl) =
+        time_best(|| discover_arcs_with_indirect_jobs(&exe, 1).expect("workload text decodes"));
+    let (crawln_ms, parallel_crawl) = time_best(|| {
+        discover_arcs_with_indirect_jobs(&exe, jobs_n).expect("workload text decodes")
+    });
+    if serial_crawl.arcs != parallel_crawl.arcs {
+        return Err("arc discovery is not jobs-invariant".to_string());
+    }
+
+    // Stage 3: time propagation over the condensed call graph.
+    let (graph, self_times) = propagation_inputs(&exe, &serial_sum);
+    let scc = SccResult::analyze(&graph);
+    let (prop1_ms, serial_prop) = time_best(|| propagate_jobs(&graph, &scc, &self_times, 1));
+    let (propn_ms, parallel_prop) = time_best(|| propagate_jobs(&graph, &scc, &self_times, jobs_n));
+    for node in graph.nodes() {
+        if serial_prop.node_total(node).to_bits() != parallel_prop.node_total(node).to_bits() {
+            return Err("propagation is not jobs-invariant".to_string());
+        }
+    }
+
+    let stages = [
+        Stage { name: "sum", jobs1_ms: sum1_ms, jobsn_ms: sumn_ms },
+        Stage { name: "crawl", jobs1_ms: crawl1_ms, jobsn_ms: crawln_ms },
+        Stage { name: "propagate", jobs1_ms: prop1_ms, jobsn_ms: propn_ms },
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"postprocess\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"jobs_parallel\": {jobs_n},");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"routines\": {routines}, \"profiles\": {PROFILES}, \
+         \"static_arcs\": {}, \"cycles_per_tick\": {CYCLES_PER_TICK}}},",
+        serial_crawl.arcs.len()
+    );
+    let _ = writeln!(json, "  \"stages\": [");
+    for (i, stage) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"stage\": \"{}\", \"jobs1_ms\": {:.3}, \"jobsN_ms\": {:.3}, \
+             \"speedup\": {:.3}}}{comma}",
+            stage.name,
+            stage.jobs1_ms,
+            stage.jobsn_ms,
+            stage.jobs1_ms / stage.jobsn_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"fastest of {REPS} repetitions; outputs verified identical across jobs \
+         values; speedup is hardware-dependent, and when host_cpus is 1 the jobsN column \
+         measures pure worker-pool overhead\""
+    );
+    let _ = writeln!(json, "}}");
+    Ok(json)
+}
+
+/// Builds the propagation inputs the post-processor would: one node per
+/// symbol (so `NodeId` equals symbol index), one weighted arc per
+/// dynamic caller/callee pair, and per-node self times from the summed
+/// histogram.
+fn propagation_inputs(exe: &Executable, gmon: &GmonData) -> (CallGraph, Vec<f64>) {
+    let symbols = exe.symbols();
+    let mut graph = CallGraph::with_nodes(symbols.iter().map(|(_, s)| s.name().to_string()));
+    for arc in gmon.arcs() {
+        let (Some((caller, _)), Some((callee, _))) =
+            (symbols.lookup_pc(arc.from_pc), symbols.lookup_pc(arc.self_pc))
+        else {
+            continue;
+        };
+        graph.add_arc(
+            NodeId::new(caller.index() as u32),
+            NodeId::new(callee.index() as u32),
+            arc.count,
+        );
+    }
+    let (self_times, _) =
+        graphprof::profile::assign_self_cycles(gmon.histogram(), symbols, gmon.cycles_per_tick());
+    (graph, self_times)
+}

@@ -27,6 +27,9 @@ pub mod tarjan;
 pub use arc_removal::{break_cycles_exact, break_cycles_greedy, RemovalOutcome};
 pub use condensed::{CondensedArc, CondensedGraph};
 pub use graph::{Arc, ArcId, CallGraph, NodeId};
-pub use propagate::{propagate, Propagation};
-pub use static_graph::{discover_arcs_with_indirect, discover_static_arcs, ArcDiscovery};
+pub use propagate::{propagate, propagate_jobs, Propagation};
+pub use static_graph::{
+    discover_arcs_with_indirect, discover_arcs_with_indirect_jobs, discover_static_arcs,
+    discover_static_arcs_jobs, ArcDiscovery,
+};
 pub use tarjan::{CompId, SccResult};

@@ -2,22 +2,24 @@
 //! graph profile. Multiple gmon files are summed; analysis options mirror
 //! the paper and retrospective.
 
+use graphprof_cli::args::normalize_jobs_shorthand;
 use graphprof_cli::{check, report, Args, CliError};
 
-const USAGE: &str = "graphprof <prog.gpx> <gmon.out> [more gmon files...] \
+const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--flat-only|--graph-only] [--no-static] \
                      [--exclude from:to]... [--break-cycles N] \
                      [--min-percent P | --focus NAME | --keep a,b,c | --hide a,b,c] \
-                     [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix]\n\
-                     graphprof check <prog.gpx> <gmon.out>";
+                     [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix] [--jobs N]\n\
+                     graphprof check <prog.gpx> <gmon.out> [--jobs N]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = normalize_jobs_shorthand(&argv);
     // `check` is a subcommand: dispatch on the first positional so plain
     // report invocations (whose first argument is a file path) keep
     // working unchanged.
     if argv.first().map(String::as_str) == Some("check") {
-        match Args::parse(&argv[1..], &[], &[]).and_then(|args| check(&args)) {
+        match Args::parse(&argv[1..], &["jobs"], &[]).and_then(|args| check(&args)) {
             Ok(report) => {
                 print!("{}", report.output);
                 if !report.is_clean() {
@@ -48,6 +50,7 @@ fn main() {
             "sum",
             "dot",
             "tsv",
+            "jobs",
         ],
         &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"],
     )

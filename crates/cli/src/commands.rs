@@ -44,6 +44,102 @@ fn comma_list(value: &str) -> Vec<String> {
     value.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect()
 }
 
+/// Resolves the worker count for a command: `--jobs N` (or `-j N`) wins,
+/// then `GRAPHPROF_JOBS`, then the machine's available parallelism.
+/// Always at least 1; `--jobs 1` forces every stage onto the serial path.
+fn resolve_jobs(args: &Args) -> Result<usize, CliError> {
+    Ok(graphprof::exec::resolve_jobs(args.int_value("jobs")?.map(|n| n as usize)))
+}
+
+/// Whether a pattern uses the `*`/`?` glob syntax [`glob_matches`]
+/// understands.
+fn is_glob(pattern: &str) -> bool {
+    pattern.contains('*') || pattern.contains('?')
+}
+
+/// Minimal glob match: `*` matches any run of characters, `?` exactly
+/// one. Iterative backtracking over the classic two-cursor algorithm.
+fn glob_matches(pattern: &str, name: &str) -> bool {
+    let (p, n): (Vec<char>, Vec<char>) = (pattern.chars().collect(), name.chars().collect());
+    let (mut pi, mut ni) = (0, 0);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((star_pi, star_ni)) = star {
+            pi = star_pi + 1;
+            ni = star_ni + 1;
+            star = Some((star_pi, star_ni + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Expands the profile-file positionals of `graphprof`: a plain path is
+/// kept as-is, a directory contributes every `gmon.out*` file inside it,
+/// and a pattern with `*`/`?` in its final component is matched against
+/// that component's siblings. Expansions are sorted by name so the merge
+/// order — and therefore the report — is reproducible; an expansion that
+/// matches nothing is a usage error, surfacing typos instead of silently
+/// thinning the sum.
+fn expand_gmon_paths(raw: &[String]) -> Result<Vec<String>, CliError> {
+    fn list_matching(
+        dir: &Path,
+        display: &str,
+        keep: impl Fn(&str) -> bool,
+    ) -> Result<Vec<String>, CliError> {
+        let entries = fs::read_dir(dir).map_err(|e| CliError::io(display, e))?;
+        let mut found = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CliError::io(display, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if entry.path().is_file() && keep(&name) {
+                found.push(entry.path().to_string_lossy().into_owned());
+            }
+        }
+        found.sort();
+        Ok(found)
+    }
+
+    let mut paths = Vec::new();
+    for raw_path in raw {
+        let path = Path::new(raw_path);
+        if path.is_dir() {
+            let found = list_matching(path, raw_path, |name| name.starts_with("gmon.out"))?;
+            if found.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "directory `{raw_path}` contains no gmon.out files"
+                )));
+            }
+            paths.extend(found);
+        } else if is_glob(raw_path) {
+            let (dir, pattern) = match (path.parent(), path.file_name()) {
+                (Some(parent), Some(name)) if !parent.as_os_str().is_empty() => {
+                    (parent.to_path_buf(), name.to_string_lossy().into_owned())
+                }
+                _ => (std::path::PathBuf::from("."), raw_path.clone()),
+            };
+            let found = list_matching(&dir, raw_path, |name| glob_matches(&pattern, name))?;
+            if found.is_empty() {
+                return Err(CliError::Usage(format!("pattern `{raw_path}` matches no files")));
+            }
+            paths.extend(found);
+        } else {
+            paths.push(raw_path.clone());
+        }
+    }
+    Ok(paths)
+}
+
 /// `gpx-as <input.s> [--out file.gpx] [--instrument none|gprof|prof]
 /// [--base ADDR] [--only a,b] [--except a,b]`
 ///
@@ -111,7 +207,7 @@ pub fn assemble(args: &Args) -> Result<String, CliError> {
 }
 
 /// `gpx-run <prog.gpx> [--profile gmon.out] [--tick N] [--shift N]
-/// [--max-cycles N] [--monitor-only routine] [--no-profile]`
+/// [--max-cycles N] [--monitor-only routine] [--no-profile] [--jobs N]`
 ///
 /// Runs an executable under the monitoring runtime and condenses the
 /// profile data to a file at exit, like a `-pg` program writing
@@ -134,6 +230,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let config = MachineConfig {
         cycles_per_tick: if profiling { tick } else { 0 },
         collect_ground_truth: false,
+        // `--jobs` drives the predecode sweep; execution itself is
+        // bit-identical at any setting (including `-j 1`'s serial sweep).
+        predecode_jobs: resolve_jobs(args)?,
         ..MachineConfig::default()
     };
     let mut machine = Machine::with_config(exe.clone(), config);
@@ -200,7 +299,7 @@ impl CheckReport {
     }
 }
 
-/// `graphprof check <prog.gpx> <gmon.out>`
+/// `graphprof check <prog.gpx> <gmon.out> [--jobs N]`
 ///
 /// Cross-checks a profile against its executable: executable
 /// verification, arc call-sites and callees, histogram geometry,
@@ -224,7 +323,7 @@ pub fn check(args: &Args) -> Result<CheckReport, CliError> {
     let exe = objfile::read_executable(&read(exe_path)?)?;
     let gmon = Gmon::from_bytes(&read(gmon_path)?)?;
 
-    let findings = graphprof_analysis::check_profile(&exe, &gmon);
+    let findings = graphprof_analysis::check_profile_jobs(&exe, &gmon, resolve_jobs(args)?);
     let (mut errors, mut warnings) = (0usize, 0usize);
     let mut output = String::new();
     for finding in &findings {
@@ -254,11 +353,13 @@ pub fn disassemble(args: &Args) -> Result<String, CliError> {
 
 /// `graphprof <prog.gpx> <gmon...> [--flat-only|--graph-only]
 /// [--no-static] [--exclude from:to]... [--break-cycles N]
-/// [--min-percent P] [--focus NAME] [--keep a,b,c] [--cps N] [--sum file]`
+/// [--min-percent P] [--focus NAME] [--keep a,b,c] [--cps N] [--sum file]
+/// [--jobs N]`
 ///
 /// The post-processor. Multiple gmon files are summed (the paper's
-/// several-runs feature); `--sum` additionally writes the merged profile
-/// back out, like `gprof -s`.
+/// several-runs feature); a `<gmon>` positional may also be a directory
+/// (every `gmon.out*` inside it) or a `*`/`?` pattern. `--sum`
+/// additionally writes the merged profile back out, like `gprof -s`.
 ///
 /// # Errors
 ///
@@ -275,16 +376,20 @@ pub fn report(args: &Args) -> Result<String, CliError> {
         ));
     }
     let exe = load_executable(exe_path)?;
-    let mut profiles = Vec::with_capacity(gmon_paths.len());
-    for path in gmon_paths {
-        profiles.push(Gmon::from_bytes(&read(path)?)?);
+    let jobs = resolve_jobs(args)?;
+    // Positionals may name directories (every gmon.out* inside) or
+    // `*`/`?` patterns as well as plain files.
+    let gmon_paths = expand_gmon_paths(gmon_paths)?;
+    let mut blobs = Vec::with_capacity(gmon_paths.len());
+    for path in &gmon_paths {
+        blobs.push(read(path)?);
     }
-    let gmon = graphprof::sum_profiles(profiles.iter())?;
+    let gmon = graphprof::sum_profile_bytes(&blobs, jobs)?;
     if let Some(sum_path) = args.value("sum") {
         write(sum_path, &gmon.to_bytes())?;
     }
 
-    let mut options = Options::default().static_graph(!args.switch("no-static"));
+    let mut options = Options::default().static_graph(!args.switch("no-static")).jobs(jobs);
     for pair in args.values("exclude") {
         let Some((from, to)) = pair.split_once(':') else {
             return Err(CliError::Usage(format!("--exclude expects caller:callee, got `{pair}`")));
@@ -497,6 +602,96 @@ mod tests {
         assert!(output.contains("30"), "{output}");
         let summed = Gmon::from_bytes(&fs::read(&sum_out).expect("reads")).expect("parses");
         assert!(summed.histogram().total() > 0);
+    }
+
+    /// Flag lists matching what the `graphprof` binary declares.
+    const REPORT_VALUES: &[&str] = &[
+        "exclude",
+        "break-cycles",
+        "min-percent",
+        "focus",
+        "keep",
+        "hide",
+        "cps",
+        "sum",
+        "dot",
+        "tsv",
+        "jobs",
+    ];
+    const REPORT_SWITCHES: &[&str] =
+        &["flat-only", "graph-only", "no-static", "coverage", "annotate", "brief"];
+
+    #[test]
+    fn report_expands_directories_and_patterns() {
+        let dir = TempDir::new("expand");
+        let exe = assemble_sample(&dir);
+        // A directory of 20 gmon.out.NN profiles from identical runs.
+        let mut explicit = Vec::new();
+        for i in 0..20 {
+            let gmon = dir.path(&format!("gmon.out.{i:02}"));
+            let argv = vec![
+                exe.clone(),
+                "--profile".to_string(),
+                gmon.clone(),
+                "--tick".to_string(),
+                "10".to_string(),
+            ];
+            let args = parse(
+                &argv,
+                &["profile", "tick", "shift", "max-cycles", "monitor-only", "jobs"],
+                &["no-profile"],
+            );
+            run(&args).expect("runs");
+            explicit.push(gmon);
+        }
+
+        let report_with = |inputs: &[String], jobs: &str| -> String {
+            let mut argv = vec![exe.clone()];
+            argv.extend(inputs.iter().cloned());
+            argv.push("--jobs".to_string());
+            argv.push(jobs.to_string());
+            report(&parse(&argv, REPORT_VALUES, REPORT_SWITCHES)).expect("reports")
+        };
+
+        // Directory, glob, and the explicit file list must all see the
+        // same 20 profiles; jobs=1 and jobs=8 must render byte-identically.
+        let by_files = report_with(&explicit, "1");
+        let by_dir = report_with(&[dir.0.to_string_lossy().into_owned()], "1");
+        let by_glob = report_with(&[dir.path("gmon.out.*")], "1");
+        assert_eq!(by_dir, by_files);
+        assert_eq!(by_glob, by_files);
+        assert_eq!(report_with(&explicit, "8"), by_files);
+        assert_eq!(report_with(&[dir.path("gmon.out.*")], "8"), by_files);
+        // A subset pattern sums fewer runs, so it must render differently.
+        assert_ne!(report_with(&[dir.path("gmon.out.0?")], "1"), by_files);
+        // 20 identical runs of 10 calls each: 200 calls of work.
+        assert!(by_files.contains("200"), "{by_files}");
+    }
+
+    #[test]
+    fn report_rejects_empty_expansions() {
+        let dir = TempDir::new("empty-expand");
+        let exe = assemble_sample(&dir);
+        let empty = dir.path("profiles");
+        fs::create_dir_all(&empty).unwrap();
+        let argv = vec![exe.clone(), empty];
+        let args = parse(&argv, REPORT_VALUES, REPORT_SWITCHES);
+        assert!(matches!(report(&args), Err(CliError::Usage(_))));
+        let argv = vec![exe, dir.path("gmon.nope.*")];
+        let args = parse(&argv, REPORT_VALUES, REPORT_SWITCHES);
+        assert!(matches!(report(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn glob_matcher_semantics() {
+        assert!(glob_matches("gmon.out.*", "gmon.out.07"));
+        assert!(glob_matches("gmon.out*", "gmon.out"));
+        assert!(glob_matches("*.out.??", "gmon.out.07"));
+        assert!(!glob_matches("gmon.out.?", "gmon.out.07"));
+        assert!(!glob_matches("gmon.out.*", "gmon.sum"));
+        assert!(glob_matches("*", "anything"));
+        assert!(!glob_matches("", "x"));
+        assert!(glob_matches("**a", "za"));
     }
 
     #[test]

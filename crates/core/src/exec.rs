@@ -1,0 +1,23 @@
+//! The post-processor's concurrency layer.
+//!
+//! This is a façade over the [`graphprof_exec`] crate, which lives at
+//! the bottom of the workspace dependency graph so that every pipeline
+//! stage — static arc discovery and slot dataflow
+//! (`graphprof-analysis`), crawling and time propagation
+//! (`graphprof-callgraph`), interpreter predecode
+//! (`graphprof-machine`), and profile summation (this crate) — can fan
+//! work out over the same dependency-free scoped worker pool.
+//!
+//! The contract everywhere: **a `jobs` value never changes an output
+//! byte.** [`parallel_map`] returns results in input order,
+//! [`tree_reduce`] uses a fixed pairing shape, and every `_jobs` entry
+//! point in the workspace preserves the serial pass's iteration and
+//! accumulation order. Parallelism buys wall-clock time, nothing else.
+//!
+//! Worker counts resolve through [`resolve_jobs`]: an explicit request
+//! (a `--jobs N` flag) wins, then the `GRAPHPROF_JOBS` environment
+//! variable, then the machine's available parallelism.
+
+pub use graphprof_exec::{
+    parallel_map, resolve_jobs, tree_reduce, try_parallel_map, try_tree_reduce, JOBS_ENV,
+};

@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use graphprof_callgraph::{
-    break_cycles_greedy, discover_arcs_with_indirect, discover_static_arcs, propagate, CallGraph,
-    NodeId, Propagation, SccResult,
+    break_cycles_greedy, discover_arcs_with_indirect_jobs, discover_static_arcs_jobs,
+    propagate_jobs, CallGraph, NodeId, Propagation, SccResult,
 };
 use graphprof_machine::Executable;
 use graphprof_monitor::GmonData;
@@ -81,13 +81,14 @@ impl Gprof {
         // Arcs -> call graph (+ static arcs, optionally with indirect
         // call sites resolved by the slot dataflow).
         let mut unresolved_indirect = 0;
+        let jobs = self.options.jobs.max(1);
         let static_arcs = if self.options.use_static_graph {
             if self.options.resolve_indirect {
-                let discovery = discover_arcs_with_indirect(exe)?;
+                let discovery = discover_arcs_with_indirect_jobs(exe, jobs)?;
                 unresolved_indirect = discovery.unresolved.len();
                 discovery.arcs
             } else {
-                discover_static_arcs(exe)?
+                discover_static_arcs_jobs(exe, jobs)?
             }
         } else {
             Vec::new()
@@ -127,7 +128,7 @@ impl Gprof {
         }
 
         let scc = SccResult::analyze(&graph);
-        let propagation = propagate(&graph, &scc, &self_cycles);
+        let propagation = propagate_jobs(&graph, &scc, &self_cycles, jobs);
 
         let mut instrumented: Vec<bool> = exe.symbols().iter().map(|(_, s)| s.profiled()).collect();
         instrumented.push(false); // spontaneous node

@@ -55,6 +55,7 @@ pub mod coverage;
 pub mod diff;
 pub mod dot;
 mod error;
+pub mod exec;
 pub mod export;
 pub mod filter;
 pub mod flat;
@@ -75,4 +76,4 @@ pub use filter::Filter;
 pub use flat::{FlatProfile, FlatRow};
 pub use gprof::{analyze, Analysis, Gprof};
 pub use options::Options;
-pub use sum::sum_profiles;
+pub use sum::{sum_profile_bytes, sum_profiles, sum_profiles_jobs};

@@ -29,6 +29,52 @@ where
     Ok(acc)
 }
 
+/// [`sum_profiles`] with an explicit worker count.
+///
+/// Profiles merge pairwise up a fixed-shape reduction tree spread over
+/// `jobs` workers. [`GmonData::merge`] is commutative and associative —
+/// sorted arc lists with integer count addition, bucket-wise histogram
+/// addition — so the tree shape cannot change the result: the summed
+/// profile is byte-identical to the serial left fold for every `jobs`
+/// value.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::NoProfiles`] for an empty input, or a merge
+/// mismatch when the profiles come from different executables or
+/// sampling configurations (with several mismatches, which one is
+/// reported may differ from the serial fold's; whether the sum fails
+/// does not).
+pub fn sum_profiles_jobs(profiles: &[GmonData], jobs: usize) -> Result<GmonData, AnalyzeError> {
+    reduce_profiles(profiles.to_vec(), jobs)
+}
+
+fn reduce_profiles(owned: Vec<GmonData>, jobs: usize) -> Result<GmonData, AnalyzeError> {
+    let merged = graphprof_exec::try_tree_reduce(jobs, owned, |mut acc, next| {
+        acc.merge(&next).map(|()| acc)
+    })?;
+    merged.ok_or(AnalyzeError::NoProfiles)
+}
+
+/// Parses raw `gmon.out` blobs and sums them, fanning both stages out
+/// over `jobs` workers. The parse of each blob is independent; the
+/// merge is the same fixed-shape reduction as [`sum_profiles_jobs`].
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::NoProfiles`] for an empty input, the
+/// lowest-indexed blob's parse error if any blob is malformed, or a
+/// merge mismatch.
+pub fn sum_profile_bytes<B: AsRef<[u8]> + Sync>(
+    blobs: &[B],
+    jobs: usize,
+) -> Result<GmonData, AnalyzeError> {
+    let parsed = graphprof_exec::try_parallel_map(jobs, blobs, |_, blob| {
+        GmonData::from_bytes(blob.as_ref())
+    })?;
+    reduce_profiles(parsed, jobs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +111,30 @@ mod tests {
             sum_profiles(std::iter::empty::<&GmonData>()).unwrap_err(),
             AnalyzeError::NoProfiles
         );
+    }
+
+    #[test]
+    fn tree_reduction_is_byte_identical_to_serial_fold() {
+        let runs: Vec<GmonData> = (1..=20).map(|i| profile(i, 3 * i + 1)).collect();
+        let serial = sum_profiles(&runs).unwrap();
+        for jobs in [1, 2, 8] {
+            assert_eq!(sum_profiles_jobs(&runs, jobs).unwrap().to_bytes(), serial.to_bytes());
+        }
+        let blobs: Vec<Vec<u8>> = runs.iter().map(GmonData::to_bytes).collect();
+        assert_eq!(sum_profile_bytes(&blobs, 8).unwrap().to_bytes(), serial.to_bytes());
+    }
+
+    #[test]
+    fn parallel_sum_propagates_errors() {
+        assert_eq!(sum_profiles_jobs(&[], 4).unwrap_err(), AnalyzeError::NoProfiles);
+        assert_eq!(sum_profile_bytes::<Vec<u8>>(&[], 4).unwrap_err(), AnalyzeError::NoProfiles);
+        let mut blobs: Vec<Vec<u8>> = (1..=6).map(|i| profile(i, i).to_bytes()).collect();
+        blobs[3] = b"not a gmon file".to_vec();
+        assert!(matches!(sum_profile_bytes(&blobs, 4), Err(AnalyzeError::Gmon(_))));
+        let runs: Vec<GmonData> = (1..=3).map(|i| profile(i, i)).collect();
+        let odd = GmonData::new(99, Histogram::new(Addr::new(0x1000), 32, 0), vec![]);
+        let mixed = [runs, vec![odd]].concat();
+        assert!(matches!(sum_profiles_jobs(&mixed, 4), Err(AnalyzeError::Gmon(_))));
     }
 
     #[test]

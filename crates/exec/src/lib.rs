@@ -1,0 +1,316 @@
+//! A dependency-free concurrency layer for the graphprof post-processing
+//! pipeline.
+//!
+//! The paper's motivation for condensing the arc table is that "the
+//! profile data [can] be processed quickly" (§3.1); the retrospective's
+//! summation-over-runs and kernel workflows multiply the number of
+//! profile files a single post-processing invocation must digest. The
+//! reduction work is embarrassingly parallel across inputs and
+//! per-routine units, so this crate provides the minimal scheduling
+//! primitives the pipeline needs — nothing more:
+//!
+//! * [`resolve_jobs`] — the `--jobs N` / `GRAPHPROF_JOBS` knob, falling
+//!   back to the machine's available parallelism;
+//! * [`parallel_map`] / [`try_parallel_map`] — a scoped worker pool over
+//!   `std::thread` and channels that maps a function over a slice and
+//!   returns results *in input order*, so parallel output is positionally
+//!   indistinguishable from serial output;
+//! * [`tree_reduce`] / [`try_tree_reduce`] — pairwise reduction with a
+//!   fixed combining shape, for merge operators that are associative but
+//!   whose cost grows with the accumulator.
+//!
+//! # Determinism contract
+//!
+//! Every function here returns results whose order and grouping depend
+//! only on the input, never on thread scheduling. `parallel_map` reorders
+//! *work*, not *results*; `tree_reduce` always combines element `2i` with
+//! element `2i + 1`. Callers that need byte-identical output between
+//! `jobs = 1` and `jobs = N` get it for free as long as their own
+//! per-item functions are pure.
+//!
+//! The crate is intentionally free of external dependencies (the
+//! workspace builds offline) and of unsafe code: scoped threads borrow
+//! the input slice, a shared atomic cursor hands out work, and an mpsc
+//! channel carries `(index, result)` pairs back for in-order assembly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable consulted by [`resolve_jobs`] when no explicit
+/// job count is given.
+pub const JOBS_ENV: &str = "GRAPHPROF_JOBS";
+
+/// Resolves the worker count for a pipeline stage.
+///
+/// Precedence: an explicit request (a `--jobs N` flag) wins; otherwise
+/// the `GRAPHPROF_JOBS` environment variable; otherwise the machine's
+/// [`std::thread::available_parallelism`]. The result is always at least
+/// one; `1` selects the serial paths everywhere downstream.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var(JOBS_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `jobs` workers, returning the results
+/// in input order.
+///
+/// With `jobs <= 1` (or one item or fewer) the map runs on the calling
+/// thread — the serial path is the same code the caller would have
+/// written by hand, not a degenerate pool. Workers claim items through a
+/// shared atomic cursor, so an expensive item never blocks the queue
+/// behind it, and results travel back over a channel tagged with their
+/// index.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_parallel_map(jobs, items, |i, item| Ok::<R, Never>(f(i, item))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`parallel_map`]: maps `f` over `items`, short-circuiting on
+/// the first error *in input order*.
+///
+/// When several items fail, the error reported is the one the serial
+/// path would have hit first, so error behavior is deterministic too.
+/// Work already claimed by other workers when an error surfaces still
+/// finishes (workers are not cancelled mid-item), but its results are
+/// discarded.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed error produced by `f`.
+pub fn try_parallel_map<T, R, E, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, E>)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut first_err: Option<(usize, E)> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                // A send only fails if the receiver is gone, which
+                // cannot happen while the scope holds it open.
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            match result {
+                Ok(value) => slots[i] = Some(value),
+                Err(e) => {
+                    if first_err.as_ref().map(|(j, _)| i < *j).unwrap_or(true) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+    });
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(slots.into_iter().map(|slot| slot.expect("every index produced a result")).collect())
+}
+
+/// Reduces `items` pairwise with `merge` on up to `jobs` workers.
+///
+/// The combining shape is fixed: round k merges element `2i` with
+/// element `2i + 1` of round k−1's output, halving the list until one
+/// value remains. A fixed shape keeps the reduction deterministic even
+/// for merge operators that are associative but not exactly so in
+/// floating point, and it bounds each worker's accumulator to the size
+/// of its subtree instead of the whole input — the reason a tree beats
+/// the serial left fold even before any parallelism.
+///
+/// Returns `None` for an empty input.
+pub fn tree_reduce<T, F>(jobs: usize, items: Vec<T>, merge: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(T, T) -> T + Sync,
+{
+    match try_tree_reduce(jobs, items, |a, b| Ok::<T, Never>(merge(a, b))) {
+        Ok(result) => result,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`tree_reduce`]: merge failures short-circuit the reduction.
+///
+/// The error reported is from the leftmost failing pair of the earliest
+/// failing round, matching what a serial execution of the same tree
+/// would produce.
+///
+/// # Errors
+///
+/// Returns the first error produced by `merge` in tree order.
+pub fn try_tree_reduce<T, E, F>(jobs: usize, items: Vec<T>, merge: F) -> Result<Option<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(T, T) -> Result<T, E> + Sync,
+{
+    let mut round = items;
+    while round.len() > 1 {
+        let mut pairs: Vec<(T, Option<T>)> = Vec::with_capacity(round.len().div_ceil(2));
+        let mut iter = round.into_iter();
+        while let Some(left) = iter.next() {
+            pairs.push((left, iter.next()));
+        }
+        let merged = try_parallel_map_owned(jobs, pairs, |(left, right)| match right {
+            Some(right) => merge(left, right),
+            None => Ok(left),
+        })?;
+        round = merged;
+    }
+    Ok(round.into_iter().next())
+}
+
+/// Like [`try_parallel_map`] but consuming the items, for merge
+/// operators that need ownership of both operands.
+///
+/// Each element sits behind its own `Mutex`; the work distributor hands
+/// every index to exactly one worker, so the locks are never contended —
+/// they exist only to move owned values across the scope boundary
+/// without unsafe code.
+fn try_parallel_map_owned<T, R, E, F>(jobs: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+    let cells: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|item| std::sync::Mutex::new(Some(item))).collect();
+    try_parallel_map(jobs, &cells, |_, cell| {
+        let item =
+            cell.lock().expect("cell lock never poisoned").take().expect("each cell claimed once");
+        f(item)
+    })
+}
+
+/// The uninhabited error type used to reuse the fallible implementations
+/// for the infallible entry points.
+enum Never {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_regardless_of_jobs() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        for jobs in [1, 2, 4, 8, 200] {
+            let out = parallel_map(jobs, &items, |i, &x| x * 2 + i as u64);
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+        assert_eq!(tree_reduce(8, Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(8, vec![3u32], |a, b| a + b), Some(3));
+    }
+
+    #[test]
+    fn error_reported_is_the_first_in_input_order() {
+        let items: Vec<u32> = (0..64).collect();
+        for jobs in [1, 4] {
+            let err =
+                try_parallel_map(jobs, &items, |_, &x| if x % 10 == 7 { Err(x) } else { Ok(x) })
+                    .unwrap_err();
+            assert_eq!(err, 7, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_shape_is_fixed() {
+        // A non-commutative merge (string concatenation) exposes any
+        // scheduling-dependent pairing; both job counts must agree.
+        let items: Vec<String> = (0..13).map(|i| format!("{i},")).collect();
+        let serial = tree_reduce(1, items.clone(), |a, b| a + &b).unwrap();
+        let parallel = tree_reduce(8, items, |a, b| a + &b).unwrap();
+        assert_eq!(serial, parallel);
+        // Every element appears exactly once.
+        for i in 0..13 {
+            assert!(serial.contains(&format!("{i},")), "{serial}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_sums_like_a_fold() {
+        let items: Vec<u64> = (1..=100).collect();
+        for jobs in [1, 3, 8] {
+            assert_eq!(tree_reduce(jobs, items.clone(), |a, b| a + b), Some(5050));
+        }
+    }
+
+    #[test]
+    fn try_tree_reduce_propagates_merge_errors() {
+        let items: Vec<u32> = vec![1, 2, 3, 4];
+        let result =
+            try_tree_reduce(4, items, |a, b| if a + b > 6 { Err("overflow") } else { Ok(a + b) });
+        assert_eq!(result, Err("overflow"));
+    }
+
+    #[test]
+    fn explicit_jobs_beats_environment() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(0)), 1, "zero clamps to one");
+        // No explicit request: the result is at least one whatever the
+        // environment says.
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        // With more items than workers, every worker should claim at
+        // least one item. Track distinct thread ids.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..256).collect();
+        parallel_map(4, &items, |_, &x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // A little work so the first worker cannot drain the queue
+            // before the others start.
+            (0..200).fold(x, |acc, _| acc.wrapping_mul(31).wrapping_add(1))
+        });
+        // At minimum the pool ran (1 on a single-core box is legal, but
+        // the pool spawns dedicated workers, so the main thread is not
+        // among them for multi-element inputs).
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+}

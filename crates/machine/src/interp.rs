@@ -100,6 +100,16 @@ pub struct MachineConfig {
     /// Whether to collect exact ground-truth accounting (small constant
     /// overhead per call; disable for the largest benchmark runs).
     pub collect_ground_truth: bool,
+    /// Predecode policy: `0` re-decodes the text on every fetch (the
+    /// original fetch-decode loop), `1` decodes each routine once into a
+    /// per-pc cache before execution, and `N > 1` fans the predecode
+    /// pass out over `N` workers. The cache changes only *when* decoding
+    /// happens, never *what* executes: the cycle/cost model, `mcount`
+    /// accounting, and every fault are bit-identical across settings
+    /// (jumps into the middle of an instruction fall back to the
+    /// on-demand decoder, which reproduces the fetch-decode behavior
+    /// exactly).
+    pub predecode_jobs: usize,
 }
 
 impl Default for MachineConfig {
@@ -109,6 +119,7 @@ impl Default for MachineConfig {
             max_call_depth: 1 << 16,
             cost: CostModel::classic(),
             collect_ground_truth: true,
+            predecode_jobs: 1,
         }
     }
 }
@@ -224,6 +235,12 @@ pub struct Machine {
     truth: Option<TruthCollector>,
     /// Scratch buffer for stack-sample delivery.
     stack_scratch: Vec<Addr>,
+    /// Predecoded instructions, indexed by text offset. `Some` exactly at
+    /// the offsets where linear disassembly from a symbol boundary lands;
+    /// everything else (gaps, mid-instruction addresses, undecodable
+    /// tails) falls back to the on-demand decoder. Empty when
+    /// `predecode_jobs == 0`.
+    decoded: Vec<Option<(Instruction, u32)>>,
 }
 
 impl Machine {
@@ -237,6 +254,7 @@ impl Machine {
         let truth = config.collect_ground_truth.then(|| TruthCollector::new(exe.symbols().len()));
         let entry = exe.entry();
         let cur_sym = exe.symbols().lookup_pc(entry).map(|(id, _)| id);
+        let decoded = predecode(&exe, config.predecode_jobs);
         let mut machine = Machine {
             exe,
             config,
@@ -251,6 +269,7 @@ impl Machine {
             cur_sym,
             truth,
             stack_scratch: Vec::new(),
+            decoded,
         };
         // The entry routine's activation is spontaneous: count it as one
         // call entered at clock zero.
@@ -471,10 +490,24 @@ impl Machine {
         Ok(())
     }
 
+    /// Fetches the instruction at `pc`: a predecode-cache hit costs an
+    /// index instead of a byte-level decode; misses (cache disabled,
+    /// out-of-cache addresses, mid-instruction jumps) take the original
+    /// fetch-decode path, so faults and results are identical either way.
+    #[inline]
+    fn fetch(&self, pc: Addr) -> Result<(Instruction, u32), InterpError> {
+        if let Some(offset) = pc.checked_sub(self.exe.base()) {
+            if let Some(&Some(hit)) = self.decoded.get(offset as usize) {
+                return Ok(hit);
+            }
+        }
+        Ok(self.exe.decode(pc)?)
+    }
+
     /// Executes one instruction.
     fn step<H: ProfilingHooks>(&mut self, hooks: &mut H) -> Result<(), InterpError> {
         let pc = self.pc;
-        let (inst, len) = self.exe.decode(pc)?;
+        let (inst, len) = self.fetch(pc)?;
         self.instructions += 1;
         let cost = self.config.cost;
         match inst {
@@ -603,6 +636,47 @@ impl Machine {
             }
         }
     }
+}
+
+/// Builds the predecode table: one linear-disassembly sweep per symbol,
+/// recording `(Instruction, len)` at every offset the sweep lands on.
+///
+/// `jobs == 0` disables the cache entirely (every fetch decodes on
+/// demand); `jobs == 1` sweeps serially; `jobs > 1` fans the sweeps out
+/// over a worker pool — symbols are independent, and per-symbol results
+/// are written back in symbol order, so the table is identical for any
+/// job count. Sweeps stop quietly at undecodable bytes: those offsets
+/// stay `None` and the on-demand path surfaces the fault at runtime,
+/// exactly as fetch-decode would.
+fn predecode(exe: &Executable, jobs: usize) -> Vec<Option<(Instruction, u32)>> {
+    if jobs == 0 || exe.text().is_empty() {
+        return Vec::new();
+    }
+    let symbols: Vec<(Addr, Addr)> =
+        exe.symbols().iter().map(|(_, sym)| (sym.addr(), sym.end())).collect();
+    let sweeps = graphprof_exec::parallel_map(jobs, &symbols, |_, &(start, end)| {
+        predecode_sweep(exe, start, end)
+    });
+    let mut table = vec![None; exe.text().len()];
+    for (offset, entry) in sweeps.into_iter().flatten() {
+        table[offset] = Some(entry);
+    }
+    table
+}
+
+/// Linearly disassembles `[start, end)`, returning `(text offset, decoded
+/// instruction)` pairs. Stops at the first decode error or when the
+/// sweep would leave the text segment.
+fn predecode_sweep(exe: &Executable, start: Addr, end: Addr) -> Vec<(usize, (Instruction, u32))> {
+    let mut out = Vec::new();
+    let mut pc = start;
+    while pc < end && pc < exe.end() {
+        let Some(offset) = pc.checked_sub(exe.base()) else { break };
+        let Ok((inst, len)) = exe.decode(pc) else { break };
+        out.push((offset as usize, (inst, len)));
+        pc = pc.offset(len);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1049,5 +1123,58 @@ mod tests {
         let mut m = Machine::new(exe);
         m.run(&mut hooks).unwrap();
         assert_eq!(hooks.0[&leaf], 5);
+    }
+
+    /// The predecode cache must never change what executes: every fetch
+    /// path (disabled, serial sweep, parallel sweep) yields the same
+    /// clock, instruction count, tick stream, and ground truth.
+    #[test]
+    fn predecode_is_bit_identical_to_fetch_decode() {
+        #[derive(Default, PartialEq, Debug)]
+        struct TickLog(Vec<(Addr, u64)>);
+        impl ProfilingHooks for TickLog {
+            fn on_tick(&mut self, pc: Addr, ticks: u64) {
+                self.0.push((pc, ticks));
+            }
+        }
+        let build = || {
+            compile_profiled(|b| {
+                b.routine("main", |r| r.loop_n(25, |l| l.call("mid").work(7)));
+                b.routine("mid", |r| r.call("leaf").call("leaf").work(13));
+                b.routine("leaf", |r| r.work(41));
+            })
+        };
+        let mut runs = Vec::new();
+        for jobs in [0usize, 1, 8] {
+            let config = MachineConfig {
+                cycles_per_tick: 17,
+                predecode_jobs: jobs,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::with_config(build(), config);
+            let mut ticks = TickLog::default();
+            let summary = m.run(&mut ticks).unwrap();
+            runs.push((summary, ticks, format!("{:?}", m.ground_truth())));
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    /// The parallel sweep writes per-symbol results back in symbol order,
+    /// so the table itself is identical for any job count.
+    #[test]
+    fn predecode_table_is_job_count_invariant() {
+        let exe = compile_profiled(|b| {
+            for i in 0..12 {
+                let name = format!("r{i}");
+                b.routine(&name, |r| r.work(10 + i));
+            }
+            b.routine("main", |r| (0..12).fold(r, |r, i| r.call(format!("r{i}"))));
+        });
+        let serial = predecode(&exe, 1);
+        let parallel = predecode(&exe, 8);
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().any(|e| e.is_some()));
+        assert!(predecode(&exe, 0).is_empty());
     }
 }

@@ -1,0 +1,98 @@
+//! Whole-pipeline determinism under parallelism: the `--jobs` knob and
+//! the interpreter's predecode sweep are performance controls, never
+//! semantic ones. A jobs value must not change an output byte (see
+//! `graphprof::exec`), and predecoding must not change what executes.
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig, Program};
+use graphprof_monitor::profiler::{profile_to_completion, RuntimeProfiler};
+use graphprof_monitor::GmonData;
+use graphprof_workloads::synthetic::{layered_dag, DagParams};
+use proptest::prelude::*;
+
+fn profiled(program: &Program, tick: u64) -> (Executable, GmonData) {
+    let exe = program.compile(&CompileOptions::profiled()).expect("compiles");
+    let (gmon, _) = profile_to_completion(exe.clone(), tick).expect("runs");
+    (exe, gmon)
+}
+
+/// Renders the full post-processed report (flat profile + call graph
+/// listing) with the given worker count.
+fn listings(exe: &Executable, gmon: &GmonData, jobs: usize) -> String {
+    let analysis = Gprof::new(Options::default().jobs(jobs)).analyze(exe, gmon).expect("analyzes");
+    format!("{}{}", analysis.render_flat(), analysis.render_call_graph())
+}
+
+#[test]
+fn listings_are_byte_identical_across_jobs_values() {
+    let params = DagParams { layers: 6, width: 10, ..DagParams::default() };
+    let (exe, gmon) = profiled(&layered_dag(23, params), 13);
+    let serial = listings(&exe, &gmon, 1);
+    assert!(serial.contains("called/total"), "call graph listing rendered");
+    for jobs in [2, 8] {
+        assert_eq!(serial, listings(&exe, &gmon, jobs), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn summed_profiles_are_byte_identical_across_jobs_values() {
+    let params = DagParams { layers: 5, width: 8, ..DagParams::default() };
+    let exe = layered_dag(41, params).compile(&CompileOptions::profiled()).expect("compiles");
+    let blobs: Vec<Vec<u8>> = (0..20)
+        .map(|_| {
+            let (gmon, _) = profile_to_completion(exe.clone(), 17).expect("runs");
+            gmon.to_bytes()
+        })
+        .collect();
+    let serial = graphprof::sum_profile_bytes(&blobs, 1).expect("sums").to_bytes();
+    for jobs in [2, 8] {
+        let parallel = graphprof::sum_profile_bytes(&blobs, jobs).expect("sums").to_bytes();
+        assert_eq!(serial, parallel, "jobs={jobs}");
+    }
+}
+
+/// Profiles one run with an explicit predecode setting and returns the
+/// profile file bytes.
+fn gmon_bytes_with_predecode(exe: &Executable, predecode_jobs: usize) -> Vec<u8> {
+    let tick = 19;
+    let mut profiler = RuntimeProfiler::new(exe, tick);
+    let config =
+        MachineConfig { cycles_per_tick: tick, predecode_jobs, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    machine.run(&mut profiler).expect("runs");
+    profiler.finish().to_bytes()
+}
+
+#[test]
+fn predecoded_dispatch_writes_identical_profiles() {
+    let params = DagParams { layers: 4, width: 6, ..DagParams::default() };
+    let exe = layered_dag(5, params).compile(&CompileOptions::profiled()).expect("compiles");
+    // 0 disables the predecode table entirely (pure fetch-decode).
+    let baseline = gmon_bytes_with_predecode(&exe, 0);
+    for predecode_jobs in [1, 8] {
+        assert_eq!(
+            baseline,
+            gmon_bytes_with_predecode(&exe, predecode_jobs),
+            "predecode_jobs={predecode_jobs}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated workloads of varying shape: the full report never
+    /// depends on the worker count.
+    #[test]
+    fn generated_listings_are_jobs_invariant(
+        seed in 0u64..1_000,
+        layers in 2u32..5,
+        width in 2u32..7,
+        tick in 1u64..32,
+    ) {
+        let params = DagParams { layers, width, ..DagParams::default() };
+        let (exe, gmon) = profiled(&layered_dag(seed, params), tick);
+        let serial = listings(&exe, &gmon, 1);
+        prop_assert_eq!(&serial, &listings(&exe, &gmon, 8));
+    }
+}
