@@ -7,15 +7,15 @@ use graphprof_cli::{run, Args, CliError};
 
 const USAGE: &str = "gpx-run <prog.gpx> [--profile gmon.out] [--tick N] \
                      [--shift N] [--max-cycles N] [--monitor-only routine] [--no-profile] \
-                     [--jobs N]";
+                     [--jobs N] [--tick-batch N] [--prefetch]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let argv = normalize_jobs_shorthand(&argv);
     let result = Args::parse(
         &argv,
-        &["profile", "tick", "shift", "max-cycles", "monitor-only", "jobs"],
-        &["no-profile"],
+        &["profile", "tick", "shift", "max-cycles", "monitor-only", "jobs", "tick-batch"],
+        &["no-profile", "prefetch"],
     )
     .and_then(|args| run(&args));
     match result {

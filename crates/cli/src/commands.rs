@@ -207,12 +207,15 @@ pub fn assemble(args: &Args) -> Result<String, CliError> {
 }
 
 /// `gpx-run <prog.gpx> [--profile gmon.out] [--tick N] [--shift N]
-/// [--max-cycles N] [--monitor-only routine] [--no-profile] [--jobs N]`
+/// [--max-cycles N] [--monitor-only routine] [--no-profile] [--jobs N]
+/// [--tick-batch N] [--prefetch]`
 ///
 /// Runs an executable under the monitoring runtime and condenses the
 /// profile data to a file at exit, like a `-pg` program writing
 /// `gmon.out`. `--monitor-only` restricts recording to one routine's
-/// address range (the moncontrol(3) facility).
+/// address range (the moncontrol(3) facility). `--tick-batch` and
+/// `--prefetch` (also `GRAPHPROF_PREFETCH=1`) tune the monitoring hot
+/// paths; by contract neither changes a byte of the profile.
 ///
 /// # Errors
 ///
@@ -226,17 +229,21 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let shift = args.int_value("shift")?.unwrap_or(0) as u8;
     let budget = args.int_value("max-cycles")?;
     let profiling = !args.switch("no-profile");
+    let prefetch = args.switch("prefetch")
+        || std::env::var("GRAPHPROF_PREFETCH").is_ok_and(|v| v != "0" && !v.is_empty());
 
+    let default_config = MachineConfig::default();
     let config = MachineConfig {
         cycles_per_tick: if profiling { tick } else { 0 },
         collect_ground_truth: false,
         // `--jobs` drives the predecode sweep; execution itself is
         // bit-identical at any setting (including `-j 1`'s serial sweep).
         predecode_jobs: resolve_jobs(args)?,
-        ..MachineConfig::default()
+        tick_batch: args.int_value("tick-batch")?.map_or(default_config.tick_batch, |n| n as usize),
+        ..default_config
     };
     let mut machine = Machine::with_config(exe.clone(), config);
-    let mut profiler = RuntimeProfiler::with_granularity(&exe, tick, shift);
+    let mut profiler = RuntimeProfiler::with_granularity(&exe, tick, shift).arc_prefetch(prefetch);
     if let Some(name) = args.value("monitor-only") {
         let Some((_, sym)) = exe.symbols().by_name(name) else {
             return Err(CliError::Usage(format!("--monitor-only names unknown routine `{name}`")));
@@ -551,6 +558,38 @@ mod tests {
         assert!(output.contains("call graph profile:"));
         assert!(output.contains("work"));
         assert!(output.contains("10/10"));
+    }
+
+    #[test]
+    fn hot_path_knobs_never_change_profile_bytes() {
+        let dir = TempDir::new("hotknobs");
+        let exe = assemble_sample(&dir);
+        let run_with = |name: &str, extra: &[&str]| -> Vec<u8> {
+            let gmon = dir.path(name);
+            let mut argv = vec![
+                exe.clone(),
+                "--profile".to_string(),
+                gmon.clone(),
+                "--tick".to_string(),
+                "10".to_string(),
+            ];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            let args = parse(
+                &argv,
+                &["profile", "tick", "shift", "max-cycles", "monitor-only", "tick-batch"],
+                &["no-profile", "prefetch"],
+            );
+            run(&args).expect("runs");
+            fs::read(&gmon).expect("reads")
+        };
+        let baseline = run_with("gmon.default", &[]);
+        // Immediate delivery, tiny batches, huge batches, and the
+        // prefetching probe must all write the identical file.
+        assert_eq!(run_with("gmon.batch1", &["--tick-batch", "1"]), baseline);
+        assert_eq!(run_with("gmon.batch3", &["--tick-batch", "3"]), baseline);
+        assert_eq!(run_with("gmon.batch1m", &["--tick-batch", "1048576"]), baseline);
+        assert_eq!(run_with("gmon.prefetch", &["--prefetch"]), baseline);
+        assert_eq!(run_with("gmon.both", &["--prefetch", "--tick-batch", "7"]), baseline);
     }
 
     #[test]

@@ -57,6 +57,21 @@ pub trait ProfilingHooks {
         let _ = (pc, ticks);
     }
 
+    /// A buffered run of tick samples, in delivery order.
+    ///
+    /// The machine groups tick events into batches of
+    /// [`MachineConfig::tick_batch`] so samplers can recognize the bulk
+    /// case (see `Histogram::record_batch` in the monitor crate). The
+    /// default implementation folds the batch through
+    /// [`ProfilingHooks::on_tick`] in order, so implementing only
+    /// `on_tick` remains fully correct: batching changes *when* samples
+    /// are handed over, never their content or order.
+    fn on_tick_batch(&mut self, samples: &[(Addr, u64)]) {
+        for &(pc, ticks) in samples {
+            self.on_tick(pc, ticks);
+        }
+    }
+
     /// Whether the sampler wants complete call stacks at every tick.
     ///
     /// The retrospective: "Modern profilers solve both these problems by
@@ -110,6 +125,14 @@ pub struct MachineConfig {
     /// on-demand decoder, which reproduces the fetch-decode behavior
     /// exactly).
     pub predecode_jobs: usize,
+    /// Tick-delivery batch size: the machine buffers up to this many
+    /// `(pc, ticks)` samples before handing them to
+    /// [`ProfilingHooks::on_tick_batch`]. `0` or `1` delivers every tick
+    /// immediately. Buffered samples are flushed in order whenever a run
+    /// slice ends (halt, pause, or fault) and whenever the hooks request
+    /// stack samples, so batching never changes what a sampler observes —
+    /// only how many hook crossings it costs.
+    pub tick_batch: usize,
 }
 
 impl Default for MachineConfig {
@@ -120,6 +143,7 @@ impl Default for MachineConfig {
             cost: CostModel::classic(),
             collect_ground_truth: true,
             predecode_jobs: 1,
+            tick_batch: 64,
         }
     }
 }
@@ -235,6 +259,9 @@ pub struct Machine {
     truth: Option<TruthCollector>,
     /// Scratch buffer for stack-sample delivery.
     stack_scratch: Vec<Addr>,
+    /// Pending tick samples awaiting batched delivery (see
+    /// [`MachineConfig::tick_batch`]).
+    tick_buf: Vec<(Addr, u64)>,
     /// Predecoded instructions, indexed by text offset. `Some` exactly at
     /// the offsets where linear disassembly from a symbol boundary lands;
     /// everything else (gaps, mid-instruction addresses, undecodable
@@ -269,6 +296,7 @@ impl Machine {
             cur_sym,
             truth,
             stack_scratch: Vec::new(),
+            tick_buf: Vec::with_capacity(config.tick_batch.min(1 << 16)),
             decoded,
         };
         // The entry routine's activation is spontaneous: count it as one
@@ -327,9 +355,17 @@ impl Machine {
         if self.halted {
             return Err(InterpError::AlreadyHalted);
         }
+        let mut result = Ok(());
         while !self.halted {
-            self.step(hooks)?;
+            if let Err(e) = self.step(hooks) {
+                result = Err(e);
+                break;
+            }
         }
+        // Ticks buffered up to (and including) a fault are still real
+        // samples: flush before propagating so no profile data is lost.
+        self.flush_ticks(hooks);
+        result?;
         Ok(RunSummary { halted: true, clock: self.clock, instructions: self.instructions })
     }
 
@@ -354,9 +390,17 @@ impl Machine {
             return Err(InterpError::AlreadyHalted);
         }
         let deadline = self.clock.saturating_add(cycles);
+        let mut result = Ok(());
         while !self.halted && self.clock < deadline {
-            self.step(hooks)?;
+            if let Err(e) = self.step(hooks) {
+                result = Err(e);
+                break;
+            }
         }
+        // Flush at every slice boundary so the control interface sees a
+        // complete profile between slices (and after a fault).
+        self.flush_ticks(hooks);
+        result?;
         Ok(if self.halted { RunStatus::Halted } else { RunStatus::Paused })
     }
 
@@ -409,6 +453,14 @@ impl Machine {
         Some(GroundTruth::new(routines, arcs, self.clock))
     }
 
+    /// Delivers any buffered tick samples, in order.
+    fn flush_ticks<H: ProfilingHooks>(&mut self, hooks: &mut H) {
+        if !self.tick_buf.is_empty() {
+            hooks.on_tick_batch(&self.tick_buf);
+            self.tick_buf.clear();
+        }
+    }
+
     /// Consumes `n` cycles with the program counter at `at_pc`, delivering
     /// any clock ticks that elapse to the sampler hook.
     fn consume<H: ProfilingHooks>(&mut self, hooks: &mut H, n: u64, at_pc: Addr) {
@@ -424,12 +476,22 @@ impl Machine {
             let after = (self.clock + n) / t;
             if after > before {
                 let ticks = after - before;
-                hooks.on_tick(at_pc, ticks);
                 if hooks.wants_stack_samples() {
+                    // Stack samples need the live stack, so they cannot be
+                    // deferred; flush first to keep tick order intact.
+                    self.flush_ticks(hooks);
+                    hooks.on_tick(at_pc, ticks);
                     self.stack_scratch.clear();
                     self.stack_scratch.push(at_pc);
                     self.stack_scratch.extend(self.stack.iter().rev().map(|f| f.return_pc));
                     hooks.on_stack_sample(&self.stack_scratch, ticks);
+                } else if self.config.tick_batch <= 1 {
+                    hooks.on_tick(at_pc, ticks);
+                } else {
+                    self.tick_buf.push((at_pc, ticks));
+                    if self.tick_buf.len() >= self.config.tick_batch {
+                        self.flush_ticks(hooks);
+                    }
                 }
             }
         }
@@ -982,6 +1044,110 @@ mod tests {
         let mut hooks = Counter::default();
         let summary = m.run(&mut hooks).unwrap();
         assert_eq!(hooks.0, summary.clock / 13);
+    }
+
+    /// Records every tick sample and the batch boundaries it arrived in.
+    #[derive(Default)]
+    struct BatchLog {
+        samples: Vec<(Addr, u64)>,
+        batch_sizes: Vec<usize>,
+    }
+    impl ProfilingHooks for BatchLog {
+        fn on_tick(&mut self, pc: Addr, ticks: u64) {
+            self.samples.push((pc, ticks));
+        }
+        fn on_tick_batch(&mut self, samples: &[(Addr, u64)]) {
+            self.batch_sizes.push(samples.len());
+            self.samples.extend_from_slice(samples);
+        }
+    }
+
+    #[test]
+    fn tick_stream_is_identical_across_batch_sizes() {
+        let build = |b: &mut crate::ProgramBuilder| {
+            b.routine("main", |r| r.loop_n(50, |l| l.call("leaf").work(37)));
+            b.routine("leaf", |r| r.work(11));
+        };
+        let baseline = {
+            let exe = compile(build);
+            let config =
+                MachineConfig { cycles_per_tick: 13, tick_batch: 1, ..MachineConfig::default() };
+            let mut m = Machine::with_config(exe, config);
+            let mut hooks = BatchLog::default();
+            m.run(&mut hooks).unwrap();
+            assert!(hooks.batch_sizes.is_empty(), "tick_batch 1 delivers immediately");
+            hooks.samples
+        };
+        for tick_batch in [0usize, 7, 64, 1 << 20] {
+            let exe = compile(build);
+            let config =
+                MachineConfig { cycles_per_tick: 13, tick_batch, ..MachineConfig::default() };
+            let mut m = Machine::with_config(exe, config);
+            let mut hooks = BatchLog::default();
+            m.run(&mut hooks).unwrap();
+            assert_eq!(hooks.samples, baseline, "tick_batch {tick_batch}");
+            if tick_batch > 1 {
+                assert!(
+                    hooks.batch_sizes.iter().all(|&n| n >= 1 && n <= tick_batch),
+                    "batches of {:?} exceed capacity {tick_batch}",
+                    hooks.batch_sizes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_ticks_flush_at_slice_boundaries() {
+        let exe = compile(|b| {
+            b.routine("main", |r| r.loop_n(100, |l| l.work(100)));
+        });
+        let config =
+            MachineConfig { cycles_per_tick: 10, tick_batch: 1 << 20, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        let mut hooks = BatchLog::default();
+        // The batch capacity is never reached, so every sample the slice
+        // produced must arrive via the boundary flush.
+        let status = m.run_for(&mut hooks, 500).unwrap();
+        assert_eq!(status, RunStatus::Paused);
+        let after_slice: u64 = hooks.samples.iter().map(|&(_, n)| n).sum();
+        assert_eq!(after_slice, m.clock() / 10, "pause must not hold back buffered ticks");
+        m.run(&mut hooks).unwrap();
+        let total: u64 = hooks.samples.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, m.clock() / 10);
+    }
+
+    #[test]
+    fn stack_sampling_bypasses_tick_batching() {
+        #[derive(Default)]
+        struct PairLog {
+            events: Vec<(&'static str, u64)>,
+        }
+        impl ProfilingHooks for PairLog {
+            fn on_tick(&mut self, _: Addr, ticks: u64) {
+                self.events.push(("tick", ticks));
+            }
+            fn on_tick_batch(&mut self, samples: &[(Addr, u64)]) {
+                self.events.push(("batch", samples.len() as u64));
+            }
+            fn wants_stack_samples(&self) -> bool {
+                true
+            }
+            fn on_stack_sample(&mut self, _: &[Addr], ticks: u64) {
+                self.events.push(("stack", ticks));
+            }
+        }
+        let exe = compile(|b| {
+            b.routine("main", |r| r.work(1000));
+        });
+        let config =
+            MachineConfig { cycles_per_tick: 100, tick_batch: 64, ..MachineConfig::default() };
+        let mut m = Machine::with_config(exe, config);
+        let mut hooks = PairLog::default();
+        m.run(&mut hooks).unwrap();
+        // Every tick is delivered immediately, paired with its stack
+        // sample; nothing is ever deferred into a batch.
+        assert!(!hooks.events.is_empty());
+        assert!(hooks.events.chunks(2).all(|c| c[0].0 == "tick" && c[1].0 == "stack"));
     }
 
     #[test]

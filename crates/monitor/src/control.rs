@@ -50,6 +50,12 @@ impl ProfilingHooks for SharedProfiler {
     fn on_tick(&mut self, pc: Addr, ticks: u64) {
         self.inner.lock().on_tick(pc, ticks)
     }
+
+    fn on_tick_batch(&mut self, samples: &[(Addr, u64)]) {
+        // One lock acquisition per batch (the default would re-lock per
+        // sample via on_tick).
+        self.inner.lock().on_tick_batch(samples)
+    }
 }
 
 /// The operator's tool: kgmon for the simulated kernel.

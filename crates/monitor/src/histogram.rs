@@ -11,8 +11,172 @@
 //! 32-bit count for each possible program counter value"); larger shifts
 //! trade memory for boundary smearing, which the post-processor must then
 //! apportion across routines sharing a bucket.
+//!
+//! # Layout
+//!
+//! Bucket storage is a structure-of-arrays block ([`HistogramBuckets`]):
+//! one flat `u64` array padded to a power-of-two stride of [`LANES`]
+//! counters. Everything that walks the whole array — [`Histogram::merge`],
+//! [`Histogram::reset`], [`Histogram::total`], and the nonzero scan
+//! feeding the post-processor's self-time assignment — runs lane-blocked
+//! over full stride chunks with no tail iteration, which the compiler
+//! turns into straight SIMD loops. Sample recording additionally has a
+//! bulk entry point, [`Histogram::record_batch`], used by the machine's
+//! batched tick delivery; it is defined to equal a fold of
+//! [`Histogram::record`] exactly (integer accumulation, so the final
+//! counts are identical no matter how deliveries are grouped).
 
 use graphprof_machine::Addr;
+
+/// Number of `u64` counters per accumulation block: the power-of-two
+/// stride the bucket array is padded to.
+///
+/// Eight lanes is one 64-byte cache line per block and wide enough for
+/// 512-bit vectors; being a power of two keeps block addressing a shift.
+pub const LANES: usize = 8;
+
+/// The bucket array of a [`Histogram`]: a flat, zero-padded
+/// structure-of-arrays counter block with a lane-blocked accumulation
+/// API.
+///
+/// Invariant: the backing storage is always a multiple of [`LANES`] long
+/// and every counter past [`HistogramBuckets::len`] is zero. All bulk
+/// operations (`accumulate`, `clear`, `sum`, the nonzero scan) exploit
+/// that by iterating whole blocks only — no tail loop, no per-element
+/// bounds checks — which is what lets them vectorize.
+#[derive(Debug, Clone)]
+pub struct HistogramBuckets {
+    /// Counts, padded with zeros to a multiple of [`LANES`].
+    counts: Vec<u64>,
+    /// Logical bucket count (`counts[len..]` is padding, always zero).
+    len: usize,
+}
+
+impl HistogramBuckets {
+    /// Allocates `len` zeroed buckets (plus hidden stride padding).
+    pub fn new(len: usize) -> Self {
+        HistogramBuckets { counts: vec![0; len.next_multiple_of(LANES)], len }
+    }
+
+    /// Wraps existing counts, padding them out to the stride.
+    pub fn from_counts(mut counts: Vec<u64>) -> Self {
+        let len = counts.len();
+        counts.resize(len.next_multiple_of(LANES), 0);
+        HistogramBuckets { counts, len }
+    }
+
+    /// Logical number of buckets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when there are no logical buckets.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The logical counts, without the stride padding.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts[..self.len]
+    }
+
+    /// Adds `v` to bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of the logical range.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: u64) {
+        assert!(i < self.len, "bucket {i} out of range");
+        self.counts[i] += v;
+    }
+
+    /// Lane-blocked element-wise add of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn accumulate(&mut self, other: &HistogramBuckets) {
+        assert_eq!(self.len, other.len, "bucket count mismatch");
+        for (mine, theirs) in
+            self.counts.chunks_exact_mut(LANES).zip(other.counts.chunks_exact(LANES))
+        {
+            for k in 0..LANES {
+                mine[k] += theirs[k];
+            }
+        }
+    }
+
+    /// Zeroes every bucket.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+
+    /// Sum of all buckets, reduced as [`LANES`] independent partial sums.
+    pub fn sum(&self) -> u64 {
+        let mut acc = [0u64; LANES];
+        for chunk in self.counts.chunks_exact(LANES) {
+            for k in 0..LANES {
+                acc[k] += chunk[k];
+            }
+        }
+        acc.iter().sum()
+    }
+
+    /// Iterates `(index, count)` over nonzero buckets, skipping all-zero
+    /// stride blocks with a single lane-OR test per block — the common
+    /// case for sparse profiles, where most of the text was never
+    /// sampled. Padding is always zero, so indices past `len` never
+    /// surface.
+    pub fn iter_nonzero(&self) -> NonzeroBuckets<'_> {
+        NonzeroBuckets { counts: &self.counts, pos: 0 }
+    }
+}
+
+impl PartialEq for HistogramBuckets {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for HistogramBuckets {}
+
+/// Iterator over the nonzero buckets of a [`HistogramBuckets`], in
+/// index order. See [`HistogramBuckets::iter_nonzero`].
+#[derive(Debug, Clone)]
+pub struct NonzeroBuckets<'a> {
+    /// The padded counts array.
+    counts: &'a [u64],
+    pos: usize,
+}
+
+impl Iterator for NonzeroBuckets<'_> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        while self.pos < self.counts.len() {
+            if self.pos.is_multiple_of(LANES) {
+                // At a block boundary: skip whole zero blocks with one
+                // OR-reduction each (a vectorizable test).
+                while let Some(block) = self.counts.get(self.pos..self.pos + LANES) {
+                    if block.iter().fold(0u64, |a, &b| a | b) != 0 {
+                        break;
+                    }
+                    self.pos += LANES;
+                }
+            }
+            if self.pos >= self.counts.len() {
+                return None;
+            }
+            let i = self.pos;
+            self.pos += 1;
+            if self.counts[i] != 0 {
+                return Some((i, self.counts[i]));
+            }
+        }
+        None
+    }
+}
 
 /// A PC histogram over a text-segment address range.
 ///
@@ -31,8 +195,26 @@ pub struct Histogram {
     base: Addr,
     text_len: u32,
     shift: u8,
-    counts: Vec<u64>,
+    buckets: HistogramBuckets,
     missed: u64,
+}
+
+/// Number of buckets covering `text_len` bytes at `1 << shift` bytes per
+/// bucket (computed in `u64` so `text_len + bucket - 1` cannot wrap).
+fn bucket_count(text_len: u32, shift: u8) -> usize {
+    if text_len == 0 {
+        0
+    } else {
+        ((u64::from(text_len) + (1u64 << shift) - 1) >> shift) as usize
+    }
+}
+
+/// Whether `[base, base + text_len)` stays inside the `u32` address
+/// space. The covered range's exclusive end must itself be addressable
+/// (`bucket_range` returns it), so `base + text_len` may not exceed
+/// `u32::MAX`.
+fn range_fits(base: Addr, text_len: u32) -> bool {
+    base.get().checked_add(text_len).is_some()
 }
 
 impl Histogram {
@@ -41,15 +223,22 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if `shift >= 32`.
+    /// Panics if `shift >= 32`, or if `base + text_len` overflows the
+    /// 32-bit address space (the exclusive end of the covered range must
+    /// be addressable).
     pub fn new(base: Addr, text_len: u32, shift: u8) -> Self {
         assert!(shift < 32, "bucket shift {shift} out of range");
-        let buckets = if text_len == 0 {
-            0
-        } else {
-            ((u64::from(text_len) + (1u64 << shift) - 1) >> shift) as usize
-        };
-        Histogram { base, text_len, shift, counts: vec![0; buckets], missed: 0 }
+        assert!(
+            range_fits(base, text_len),
+            "histogram range {base}+{text_len} overflows the address space"
+        );
+        Histogram {
+            base,
+            text_len,
+            shift,
+            buckets: HistogramBuckets::new(bucket_count(text_len, shift)),
+            missed: 0,
+        }
     }
 
     /// Base address of the covered range.
@@ -74,23 +263,62 @@ impl Histogram {
 
     /// Number of buckets.
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.buckets.len()
     }
 
     /// Returns `true` when the histogram covers no addresses.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.buckets.is_empty()
+    }
+
+    /// The bucket layout itself, for callers that scan counts in bulk.
+    pub fn buckets(&self) -> &HistogramBuckets {
+        &self.buckets
     }
 
     /// Records `ticks` samples at `pc`. Samples outside the covered range
     /// are tallied separately as misses.
+    #[inline]
     pub fn record(&mut self, pc: Addr, ticks: u64) {
         match pc.checked_sub(self.base) {
             Some(off) if off < self.text_len => {
-                self.counts[(off >> self.shift) as usize] += ticks;
+                self.buckets.add((off >> self.shift) as usize, ticks);
             }
             _ => self.missed += ticks,
         }
+    }
+
+    /// Records a batch of `(pc, ticks)` samples.
+    ///
+    /// Exactly equivalent to folding [`Histogram::record`] over the
+    /// slice — bucket increments are integer additions, so grouping
+    /// cannot change the result — but the loop body is branch-light and
+    /// bounds-check-free: one wrapping subtract, one compare, one
+    /// unchecked indexed add per in-range sample. This is the sampler's
+    /// hot path under the machine's batched tick delivery.
+    pub fn record_batch(&mut self, samples: &[(Addr, u64)]) {
+        let base = self.base.get();
+        let text_len = self.text_len;
+        let shift = self.shift;
+        let counts = &mut self.buckets.counts[..];
+        let mut missed = 0u64;
+        for &(pc, ticks) in samples {
+            // `pc < base` wraps to `off >= 2^32 - base > text_len` (the
+            // constructor guarantees `base + text_len <= u32::MAX`), so
+            // one unsigned compare classifies both out-of-range sides,
+            // exactly like `checked_sub` in `record`.
+            let off = pc.get().wrapping_sub(base);
+            if off < text_len {
+                let idx = (off >> shift) as usize;
+                // SAFETY: `off < text_len` implies
+                // `idx <= (text_len - 1) >> shift < bucket_count`, and the
+                // backing array is at least `bucket_count` long.
+                unsafe { *counts.get_unchecked_mut(idx) += ticks };
+            } else {
+                missed += ticks;
+            }
+        }
+        self.missed += missed;
     }
 
     /// The count in bucket `i`.
@@ -99,12 +327,12 @@ impl Histogram {
     ///
     /// Panics if `i` is out of range.
     pub fn count(&self, i: usize) -> u64 {
-        self.counts[i]
+        self.buckets.as_slice()[i]
     }
 
     /// Raw bucket counts.
     pub fn counts(&self) -> &[u64] {
-        &self.counts
+        self.buckets.as_slice()
     }
 
     /// The address range `[start, end)` covered by bucket `i` (clamped to
@@ -114,7 +342,10 @@ impl Histogram {
     ///
     /// Panics if `i` is out of range.
     pub fn bucket_range(&self, i: usize) -> (Addr, Addr) {
-        assert!(i < self.counts.len(), "bucket {i} out of range");
+        assert!(i < self.buckets.len(), "bucket {i} out of range");
+        // In `u64` throughout: `(i + 1) << shift` can reach 2^63 before
+        // the clamp, and the clamped offsets fit `u32` because the
+        // constructor guarantees `base + text_len` does not wrap.
         let start = (i as u64) << self.shift;
         let end = ((i as u64 + 1) << self.shift).min(u64::from(self.text_len));
         (self.base.offset(start as u32), self.base.offset(end as u32))
@@ -122,7 +353,7 @@ impl Histogram {
 
     /// Total samples that landed in the covered range.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.buckets.sum()
     }
 
     /// Samples outside the covered range.
@@ -132,12 +363,12 @@ impl Histogram {
 
     /// Iterates over `(bucket_index, count)` for nonzero buckets.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.counts.iter().copied().enumerate().filter(|&(_, c)| c != 0)
+        self.buckets.iter_nonzero()
     }
 
     /// Clears all counts (the control interface's "reset").
     pub fn reset(&mut self) {
-        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.buckets.clear();
         self.missed = 0;
     }
 
@@ -159,9 +390,7 @@ impl Histogram {
         if self.shift != other.shift {
             return Err(format!("histogram shift {} != {}", self.shift, other.shift));
         }
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
-        }
+        self.buckets.accumulate(&other.buckets);
         self.missed += other.missed;
         Ok(())
     }
@@ -173,11 +402,25 @@ impl Histogram {
         counts: Vec<u64>,
         missed: u64,
     ) -> Result<Self, String> {
-        let expected = Histogram::new(base, text_len, shift).counts.len();
+        // Untrusted (file-format) inputs reach here, so everything the
+        // constructor would panic on is an `Err` instead.
+        if shift >= 32 {
+            return Err(format!("bucket shift {shift} out of range"));
+        }
+        if !range_fits(base, text_len) {
+            return Err(format!("histogram range {base}+{text_len} overflows the address space"));
+        }
+        let expected = bucket_count(text_len, shift);
         if counts.len() != expected {
             return Err(format!("histogram has {} buckets, expected {expected}", counts.len()));
         }
-        Ok(Histogram { base, text_len, shift, counts, missed })
+        Ok(Histogram {
+            base,
+            text_len,
+            shift,
+            buckets: HistogramBuckets::from_counts(counts),
+            missed,
+        })
     }
 }
 
@@ -272,8 +515,118 @@ mod tests {
     }
 
     #[test]
+    fn iter_nonzero_crosses_lane_blocks() {
+        // Sparse counts straddling several stride blocks, including a
+        // fully-zero middle block the scan must skip silently.
+        let mut h = Histogram::new(BASE, LANES as u32 * 4, 0);
+        let hits = [0usize, LANES - 1, 2 * LANES + 3, 4 * LANES - 1];
+        for &i in &hits {
+            h.record(BASE.offset(i as u32), i as u64 + 1);
+        }
+        let nz: Vec<_> = h.iter_nonzero().collect();
+        let expected: Vec<_> = hits.iter().map(|&i| (i, i as u64 + 1)).collect();
+        assert_eq!(nz, expected);
+    }
+
+    #[test]
     fn from_parts_validates_bucket_count() {
         assert!(Histogram::from_parts(BASE, 8, 0, vec![0; 8], 0).is_ok());
         assert!(Histogram::from_parts(BASE, 8, 0, vec![0; 7], 0).is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_untrusted_shapes_without_panicking() {
+        // File-format inputs: out-of-range shift and a text range whose
+        // end wraps past the address space both surface as errors.
+        assert!(Histogram::from_parts(BASE, 8, 32, vec![0; 8], 0).is_err());
+        assert!(Histogram::from_parts(Addr::new(u32::MAX - 7), 16, 0, vec![0; 16], 0).is_err());
+    }
+
+    #[test]
+    fn record_batch_equals_fold_of_record() {
+        let samples = [
+            (Addr::new(0x1000), 1),
+            (Addr::new(0x0fff), 2), // below base: miss
+            (Addr::new(0x100f), 3),
+            (Addr::new(0x1010), 4), // == base + text_len: miss
+            (Addr::new(0x1007), 5),
+            (Addr::new(0x1007), 6), // repeat bucket accumulates
+        ];
+        for shift in [0u8, 1, 3] {
+            let mut batched = Histogram::new(BASE, 16, shift);
+            batched.record_batch(&samples);
+            let mut folded = Histogram::new(BASE, 16, shift);
+            for &(pc, ticks) in &samples {
+                folded.record(pc, ticks);
+            }
+            assert_eq!(batched, folded, "shift {shift}");
+            assert_eq!(batched.missed(), 6);
+        }
+    }
+
+    #[test]
+    fn record_batch_on_empty_histogram_only_misses() {
+        let mut h = Histogram::new(BASE, 0, 0);
+        h.record_batch(&[(BASE, 3), (Addr::new(0x2000), 4)]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.missed(), 7);
+    }
+
+    // Regression tests for the shift-31 / top-of-address-space boundary:
+    // `new` used to accept ranges whose exclusive end overflows `u32`,
+    // deferring the failure to a panic inside `bucket_range` during
+    // analysis, and `bucket_range`'s offset math had to stay in `u64` to
+    // survive `(i + 1) << 31`.
+
+    #[test]
+    fn top_of_address_space_range_works_at_every_shift() {
+        let base = Addr::new(u32::MAX - 15);
+        for shift in [0u8, 4, 31] {
+            let mut h = Histogram::new(base, 15, shift);
+            h.record(Addr::new(u32::MAX - 1), 2); // last covered byte
+            h.record(Addr::new(u32::MAX), 1); // == base + text_len: miss
+            assert_eq!(h.total(), 2, "shift {shift}");
+            assert_eq!(h.missed(), 1, "shift {shift}");
+            let (lo, hi) = h.bucket_range(h.len() - 1);
+            assert!(lo <= Addr::new(u32::MAX - 1) && hi == Addr::new(u32::MAX), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn shift_31_covers_the_whole_address_space() {
+        let mut h = Histogram::new(Addr::NULL, u32::MAX, 31);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.bucket_range(0), (Addr::NULL, Addr::new(1 << 31)));
+        assert_eq!(h.bucket_range(1), (Addr::new(1 << 31), Addr::new(u32::MAX)));
+        h.record(Addr::new(u32::MAX - 1), 5);
+        assert_eq!(h.count(1), 5);
+        h.record(Addr::new(u32::MAX), 1); // the one uncovered address
+        assert_eq!(h.missed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the address space")]
+    fn overflowing_range_is_rejected_at_construction() {
+        let _ = Histogram::new(Addr::new(u32::MAX - 15), 17, 4);
+    }
+
+    #[test]
+    fn bucket_layout_pads_to_the_stride() {
+        let b = HistogramBuckets::new(3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.as_slice(), &[0, 0, 0]);
+        let b = HistogramBuckets::from_counts(vec![1; LANES + 1]);
+        assert_eq!(b.len(), LANES + 1);
+        assert_eq!(b.sum(), LANES as u64 + 1);
+    }
+
+    #[test]
+    fn bucket_accumulate_matches_scalar_add() {
+        let mut a = HistogramBuckets::from_counts((0..19u64).collect());
+        let b = HistogramBuckets::from_counts((0..19u64).map(|x| x * 10).collect());
+        a.accumulate(&b);
+        let expected: Vec<u64> = (0..19u64).map(|x| x * 11).collect();
+        assert_eq!(a.as_slice(), &expected[..]);
+        assert_eq!(a.sum(), expected.iter().sum::<u64>());
     }
 }

@@ -17,6 +17,8 @@
 //! * [`control`] — the kgmon-style programmer's interface from the
 //!   retrospective: switch profiling on and off, extract data, and reset it
 //!   without taking the "kernel" down;
+//! * [`reference`] — frozen scalar baselines for the optimized hot paths,
+//!   used by the differential tests and the `hotpath` bench;
 //! * [`stacks`] — the retrospective's "modern profiler": complete
 //!   call-stack sampling, which needs no instrumentation and sidesteps
 //!   both of gprof's §4 pitfalls (per-call averaging and cycles).
@@ -26,11 +28,13 @@ pub mod control;
 pub mod gmon;
 pub mod histogram;
 pub mod profiler;
+pub mod reference;
 pub mod stacks;
 
 pub use arcs::{ArcRecorder, ArcStats, CallSiteTable, CalleeTable, RawArc};
 pub use control::{KgmonTool, SharedProfiler};
 pub use gmon::{GmonData, GmonError};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, HistogramBuckets};
 pub use profiler::{MonitorCosts, RuntimeProfiler};
+pub use reference::ScalarHistogram;
 pub use stacks::{StackEdge, StackProfiler, StackReport, StackRow};

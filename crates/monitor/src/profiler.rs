@@ -86,6 +86,14 @@ impl RuntimeProfiler<CallSiteTable> {
             MonitorCosts::default(),
         )
     }
+
+    /// Enables or disables software prefetching in the arc-table probe
+    /// loop (builder-style). A scheduling hint only: recorded profiles
+    /// are byte-identical either way.
+    pub fn arc_prefetch(mut self, prefetch: bool) -> Self {
+        self.arcs.set_prefetch(prefetch);
+        self
+    }
 }
 
 impl<A: ArcRecorder> RuntimeProfiler<A> {
@@ -210,6 +218,24 @@ impl<A: ArcRecorder> ProfilingHooks for RuntimeProfiler<A> {
     fn on_tick(&mut self, pc: Addr, ticks: u64) {
         if self.enabled && self.in_range(pc) {
             self.histogram.record(pc, ticks);
+        }
+    }
+
+    fn on_tick_batch(&mut self, samples: &[(Addr, u64)]) {
+        if !self.enabled {
+            return;
+        }
+        match self.range {
+            // The common case: one enabled/range decision for the whole
+            // batch, then the histogram's vector-friendly bulk loop.
+            None => self.histogram.record_batch(samples),
+            Some(_) => {
+                for &(pc, ticks) in samples {
+                    if self.in_range(pc) {
+                        self.histogram.record(pc, ticks);
+                    }
+                }
+            }
         }
     }
 }

@@ -11,6 +11,27 @@ use graphprof_monitor::{ArcRecorder, CallSiteTable, CalleeTable, GmonData, Histo
 const BASE: u32 = 0x1000;
 const TEXT: u32 = 0x800;
 
+/// An arbitrary valid histogram shape: any shift, and bases both low and
+/// pushed right up against the top of the address space (the overflow
+/// boundary the constructor must reject crossing).
+fn arb_shape() -> impl Strategy<Value = (u32, u32, u8)> {
+    (1u32..0x2000, 0u8..32).prop_flat_map(|(text_len, shift)| {
+        let max_base = u32::MAX - text_len;
+        prop_oneof![0u32..0x4000, (max_base - 0x200)..=max_base]
+            .prop_map(move |base| (base, text_len, shift))
+    })
+}
+
+/// Turns a raw draw into a pc that is sometimes in range, sometimes just
+/// past the end, sometimes below base (wrapping), and sometimes anywhere.
+fn shaped_pc(base: u32, text_len: u32, raw: u32) -> Addr {
+    if raw % 4 == 3 {
+        Addr::new(raw)
+    } else {
+        Addr::new(base.wrapping_add(raw % (4 * text_len.max(1))))
+    }
+}
+
 fn arb_stream() -> impl Strategy<Value = Vec<(u32, u32)>> {
     // (site offset, callee offset); a few distinct values so counts grow.
     proptest::collection::vec((0u32..48, 0u32..16), 0..400)
@@ -150,5 +171,88 @@ proptest! {
         let mut right = a.clone();
         right.merge(&right_inner).expect("merges");
         prop_assert_eq!(left, right);
+    }
+
+    /// The bulk hot path is the scalar path: for any shape and any pc
+    /// stream, one `record_batch` call — or the same stream chopped into
+    /// arbitrary chunks, as the machine delivers it — leaves the histogram
+    /// exactly where a fold of `record` does, and conserves every tick.
+    #[test]
+    fn record_batch_equals_fold_of_record(
+        shape in arb_shape(),
+        raws in proptest::collection::vec((any::<u32>(), 1u64..16), 0..300),
+        chunk in 1usize..65,
+    ) {
+        let (base, text_len, shift) = shape;
+        let samples: Vec<(Addr, u64)> =
+            raws.iter().map(|&(raw, ticks)| (shaped_pc(base, text_len, raw), ticks)).collect();
+
+        let mut folded = Histogram::new(Addr::new(base), text_len, shift);
+        for &(pc, ticks) in &samples {
+            folded.record(pc, ticks);
+        }
+        let mut batched = Histogram::new(Addr::new(base), text_len, shift);
+        batched.record_batch(&samples);
+        let mut chunked = Histogram::new(Addr::new(base), text_len, shift);
+        for piece in samples.chunks(chunk) {
+            chunked.record_batch(piece);
+        }
+
+        prop_assert_eq!(&batched, &folded);
+        prop_assert_eq!(&chunked, &folded);
+        prop_assert_eq!(batched.missed(), folded.missed());
+        let delivered: u64 = samples.iter().map(|&(_, t)| t).sum();
+        prop_assert_eq!(batched.total() + batched.missed(), delivered);
+    }
+
+    /// Histogram merging is associative for any shape, and conserves both
+    /// bucket totals and the missed counter.
+    #[test]
+    fn histogram_merge_is_associative(
+        shape in arb_shape(),
+        streams in proptest::collection::vec(
+            proptest::collection::vec((any::<u32>(), 1u64..16), 0..60),
+            3..=3,
+        ),
+    ) {
+        let (base, text_len, shift) = shape;
+        let make = |raws: &[(u32, u64)]| {
+            let mut h = Histogram::new(Addr::new(base), text_len, shift);
+            let samples: Vec<(Addr, u64)> =
+                raws.iter().map(|&(raw, t)| (shaped_pc(base, text_len, raw), t)).collect();
+            h.record_batch(&samples);
+            h
+        };
+        let (a, b, c) = (make(&streams[0]), make(&streams[1]), make(&streams[2]));
+
+        let mut left = a.clone();
+        left.merge(&b).expect("merges");
+        left.merge(&c).expect("merges");
+        let mut right_inner = b.clone();
+        right_inner.merge(&c).expect("merges");
+        let mut right = a.clone();
+        right.merge(&right_inner).expect("merges");
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(
+            left.total() + left.missed(),
+            a.total() + a.missed() + b.total() + b.missed() + c.total() + c.missed()
+        );
+    }
+
+    /// The prefetching probe is observationally identical to the plain
+    /// one on any record stream: same arcs, same probe accounting.
+    #[test]
+    fn prefetch_table_matches_plain(stream in arb_stream()) {
+        let mut plain = CallSiteTable::new(Addr::new(BASE), TEXT);
+        let mut prefetching = CallSiteTable::with_prefetch(Addr::new(BASE), TEXT, true);
+        for &(site, dest) in &stream {
+            let from = Addr::new(BASE + site * 8);
+            let to = Addr::new(BASE + 0x400 + dest * 16);
+            let probes = plain.record(from, to);
+            prop_assert_eq!(prefetching.record(from, to), probes);
+        }
+        prop_assert_eq!(plain.arcs(), prefetching.arcs());
+        prop_assert_eq!(plain.stats(), prefetching.stats());
     }
 }
