@@ -1,0 +1,139 @@
+//! Collection-server throughput benchmark: `BENCH_serve.json`.
+//!
+//! Boots an in-process `graphprof-server` on an ephemeral loopback port,
+//! pre-generates a fixed set of distinct profile windows from one
+//! long-running workload, and measures data-plane upload throughput at
+//! 1, 4, and 16 concurrent client connections. After every repetition
+//! the live aggregate is cross-checked byte-for-byte against the offline
+//! `sum_profiles` fold over the same blobs in canonical order — the
+//! server's determinism contract — so a number is only ever reported for
+//! a correct aggregate.
+//!
+//! Usage: `serve [output.json]` (default `BENCH_serve.json`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_monitor::RuntimeProfiler;
+use graphprof_server::{Client, Server, ServerConfig};
+use graphprof_workloads::paper::kernel_program;
+
+/// Sampling granularity of the generated windows.
+const TICK: u64 = 10;
+/// Uploads per measurement; divisible by every client count.
+const UPLOADS: usize = 64;
+/// Concurrent connection counts measured.
+const CLIENTS: [usize; 3] = [1, 4, 16];
+/// Timed repetitions per client count; the fastest repetition wins.
+const REPS: usize = 3;
+/// Per-call client deadline.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let report = match run() {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("serve: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{report}");
+    eprintln!("wrote {out_path}");
+}
+
+fn run() -> Result<String, String> {
+    let exe = kernel_program(10_000_000)
+        .compile(&CompileOptions::profiled())
+        .map_err(|e| format!("compiling workload: {e}"))?;
+
+    // Distinct mergeable windows cut from one run of the system, exactly
+    // what a fleet of continuously profiled machines would ship.
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let mut profiler = RuntimeProfiler::new(&exe, TICK);
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(UPLOADS);
+    for i in 0..UPLOADS {
+        machine
+            .run_for(&mut profiler, 10_000 + 500 * i as u64)
+            .map_err(|e| format!("running workload: {e}"))?;
+        blobs.push(profiler.snapshot().to_bytes());
+        profiler.reset();
+    }
+    let blob_bytes: usize = blobs.iter().map(Vec::len).sum();
+    let offline = graphprof::sum_profile_bytes(&blobs, 1)
+        .map_err(|e| format!("offline sum: {e}"))?
+        .to_bytes();
+
+    let config = ServerConfig { bind: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
+    let handle = Server::start(config, exe, &[]).map_err(|e| format!("starting server: {e}"))?;
+    let addr = handle.addr().to_string();
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &clients in &CLIENTS {
+        let mut best_ms = f64::INFINITY;
+        for rep in 0..REPS {
+            // A fresh series per repetition: sequence numbers are unique
+            // within a series, and reusing one would hit duplicate rejects.
+            let series = format!("c{clients}r{rep}");
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..clients {
+                    let (series, addr, blobs) = (&series, &addr, &blobs);
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+                        let mut seq = t;
+                        while seq < UPLOADS {
+                            client.upload(series, seq as u64, &blobs[seq]).expect("upload");
+                            seq += clients;
+                        }
+                    });
+                }
+            });
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            let mut check = Client::connect(&addr, TIMEOUT).map_err(|e| format!("connect: {e}"))?;
+            let live = check.fetch_sum(&series).map_err(|e| format!("fetch_sum: {e}"))?;
+            if live != offline {
+                return Err(format!("aggregate of `{series}` diverges from the offline sum"));
+            }
+        }
+        rows.push((clients, best_ms, UPLOADS as f64 / (best_ms / 1e3)));
+    }
+    drop(handle);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"uploads\": {UPLOADS}, \"blob_bytes\": {blob_bytes}, \
+         \"cycles_per_tick\": {TICK}}},"
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, (clients, best_ms, per_sec)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"clients\": {clients}, \"best_ms\": {best_ms:.3}, \
+             \"uploads_per_sec\": {per_sec:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"fastest of {REPS} repetitions per client count over one loopback \
+         server; after every repetition the live aggregate was verified byte-identical to \
+         the offline sum of the same {UPLOADS} windows\""
+    );
+    let _ = writeln!(json, "}}");
+    Ok(json)
+}

@@ -1,0 +1,24 @@
+//! The data-plane uploader: ships `gmon.out` files into a running
+//! `graphprof serve` instance's named series.
+
+use graphprof_cli::{send, Args, CliError};
+
+const USAGE: &str = "gpx-send <gmon...> --series NAME [--addr HOST:PORT] \
+                     [--seq-start N] [--timeout-ms N]";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(&argv, &["series", "addr", "seq-start", "timeout-ms"], &[])
+        .and_then(|args| send(&args));
+    match result {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("gpx-send: {e}");
+            std::process::exit(1);
+        }
+    }
+}

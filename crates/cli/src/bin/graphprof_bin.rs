@@ -3,21 +3,76 @@
 //! the paper and retrospective.
 
 use graphprof_cli::args::normalize_jobs_shorthand;
-use graphprof_cli::{check, report, Args, CliError};
+use graphprof_cli::{check, remote, report, serve, Args, CliError};
 
 const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--flat-only|--graph-only] [--no-static] \
                      [--exclude from:to]... [--break-cycles N] \
                      [--min-percent P | --focus NAME | --keep a,b,c | --hide a,b,c] \
                      [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix] [--jobs N]\n\
-                     graphprof check <prog.gpx> <gmon.out> [--jobs N]";
+                     graphprof check <prog.gpx> <gmon.out> [--jobs N]\n\
+                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N]\n\
+                     graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|stats> [...] [--vm NAME] [--timeout-ms N]";
+
+fn fail(e: &CliError) -> ! {
+    match e {
+        CliError::Usage(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("graphprof: {other}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn serve_main(argv: &[String]) -> ! {
+    let parsed = Args::parse(
+        argv,
+        &["bind", "vm", "jobs", "max-frame", "max-series", "tick", "slice", "timeout-ms"],
+        &[],
+    )
+    .and_then(|args| serve(&args));
+    match parsed {
+        Ok((handle, banner)) => {
+            // The banner carries the bound (possibly ephemeral) address;
+            // scripts and tests read it before connecting.
+            println!("{banner}");
+            // Keep the handle alive and park until killed.
+            let _server = handle;
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn remote_main(argv: &[String]) -> ! {
+    let result =
+        Args::parse(argv, &["vm", "timeout-ms", "out", "into", "range", "routine"], &["off"])
+            .and_then(|args| remote(&args));
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            std::process::exit(0);
+        }
+        Err(e) => fail(&e),
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let argv = normalize_jobs_shorthand(&argv);
-    // `check` is a subcommand: dispatch on the first positional so plain
-    // report invocations (whose first argument is a file path) keep
-    // working unchanged.
+    // `check`, `serve`, and `remote` are subcommands: dispatch on the
+    // first positional so plain report invocations (whose first argument
+    // is a file path) keep working unchanged.
+    match argv.first().map(String::as_str) {
+        Some("serve") => serve_main(&argv[1..]),
+        Some("remote") => remote_main(&argv[1..]),
+        _ => {}
+    }
     if argv.first().map(String::as_str) == Some("check") {
         match Args::parse(&argv[1..], &["jobs"], &[]).and_then(|args| check(&args)) {
             Ok(report) => {

@@ -28,7 +28,7 @@ fn write(path: &str, bytes: &[u8]) -> Result<(), CliError> {
     fs::write(path, bytes).map_err(|e| CliError::io(path, e))
 }
 
-fn load_executable(path: &str) -> Result<graphprof_machine::Executable, CliError> {
+pub(crate) fn load_executable(path: &str) -> Result<graphprof_machine::Executable, CliError> {
     let exe = objfile::read_executable(&read(path)?)?;
     let issues: Vec<_> = graphprof_machine::verify_executable(&exe)
         .into_iter()

@@ -42,6 +42,9 @@ pub enum CliError {
         /// Every error-severity issue found, in discovery order.
         issues: Vec<VerifyIssue>,
     },
+    /// A remote call to a collection server failed: connection refused,
+    /// deadline exceeded, or a server-side reject.
+    Remote(graphprof_server::ClientError),
 }
 
 impl fmt::Display for CliError {
@@ -63,6 +66,7 @@ impl fmt::Display for CliError {
                 }
                 Ok(())
             }
+            CliError::Remote(e) => write!(f, "remote error: {e}"),
         }
     }
 }
@@ -80,6 +84,7 @@ impl Error for CliError {
             CliError::Decode(e) => Some(e),
             CliError::Analyze(e) => Some(e),
             CliError::Verify { .. } => None,
+            CliError::Remote(e) => Some(e),
         }
     }
 }
@@ -101,6 +106,7 @@ from_error!(Gmon, GmonError);
 from_error!(Interp, InterpError);
 from_error!(Decode, DecodeError);
 from_error!(Analyze, AnalyzeError);
+from_error!(Remote, graphprof_server::ClientError);
 
 impl CliError {
     /// Wraps an I/O error with the path it concerned.

@@ -11,7 +11,10 @@
 //!   profile and call graph profile, with the paper's and retrospective's
 //!   options (static graph, arc exclusion, bounded cycle breaking,
 //!   filtering, multi-run summation). Its `check` subcommand lints a
-//!   profile against its executable and exits non-zero on inconsistency.
+//!   profile against its executable and exits non-zero on inconsistency;
+//!   its `serve` subcommand hosts the continuous-profiling collection
+//!   server and `remote` drives one (kgmon verbs and queries);
+//! * `gpx-send` — uploads gmon files into a running collection server.
 //!
 //! The command implementations live here as library functions that take
 //! parsed arguments and return the produced output, so they are testable
@@ -20,7 +23,9 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod remote;
 
 pub use args::Args;
 pub use commands::{assemble, check, disassemble, report, run, CheckReport};
 pub use error::CliError;
+pub use remote::{remote, send, serve, DEFAULT_ADDR};

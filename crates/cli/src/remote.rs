@@ -1,0 +1,247 @@
+//! CLI front ends for the collection server: `graphprof serve` (host),
+//! `gpx-send` (data-plane uploader), and `graphprof remote` (control
+//! plane and remote queries).
+//!
+//! Like the other commands these are library functions over parsed
+//! [`Args`] so they are testable in-process; the binaries are thin
+//! wrappers. Every transport or server-side failure surfaces as
+//! [`CliError::Remote`], which the binaries render and turn into a
+//! non-zero exit.
+
+use std::fs;
+use std::time::Duration;
+
+use graphprof_server::{
+    Client, KgmonVerb, MonRange, QueryKind, Response, Server, ServerConfig, ServerHandle,
+};
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// The conventional loopback endpoint shared by `graphprof serve`,
+/// `gpx-send`, and `graphprof remote` when no address is given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:6181";
+
+fn timeout(args: &Args) -> Result<Duration, CliError> {
+    Ok(Duration::from_millis(args.int_value("timeout-ms")?.unwrap_or(10_000)))
+}
+
+fn connect(args: &Args, addr: &str) -> Result<Client, CliError> {
+    Ok(Client::connect(addr, timeout(args)?)?)
+}
+
+/// `graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--jobs N]
+/// [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES]
+/// [--timeout-ms N]`
+///
+/// Starts the collection server for one executable: uploads are
+/// validated against it and `--vm` hosts named profiled VMs running it
+/// under remote kgmon control. Binds loopback by default. Returns the
+/// running handle plus a banner line (`serving <prog> on <addr>`); the
+/// binary prints the banner and parks until killed.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, I/O, or bind problems.
+pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
+    let [exe_path] = args.positionals() else {
+        return Err(CliError::Usage("graphprof serve <prog.gpx> [--bind ADDR]".to_string()));
+    };
+    let exe = crate::commands::load_executable(exe_path)?;
+    let mut config = ServerConfig {
+        bind: args.value("bind").unwrap_or(DEFAULT_ADDR).to_string(),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = args.int_value("jobs")? {
+        config.jobs = (n as usize).max(1);
+    }
+    if let Some(n) = args.int_value("max-frame")? {
+        config.max_frame = n as usize;
+    }
+    if let Some(n) = args.int_value("max-series")? {
+        config.max_series = n as usize;
+    }
+    if let Some(n) = args.int_value("tick")? {
+        config.vm_tick = n;
+    }
+    if let Some(n) = args.int_value("slice")? {
+        config.vm_slice = n;
+    }
+    let per_conn = timeout(args)?;
+    config.read_timeout = per_conn;
+    config.write_timeout = per_conn;
+
+    let vms: Vec<String> = args.values("vm").to_vec();
+    let handle = Server::start(config, exe, &vms).map_err(|e| {
+        CliError::io(format!("bind {}", args.value("bind").unwrap_or(DEFAULT_ADDR)), e)
+    })?;
+    let banner = format!("serving {exe_path} on {} ({} hosted VM(s))", handle.addr(), vms.len());
+    Ok((handle, banner))
+}
+
+/// `gpx-send <gmon...> --series NAME [--addr HOST:PORT] [--seq-start N]
+/// [--timeout-ms N]`
+///
+/// Uploads one or more `gmon.out` files into a named series, assigning
+/// consecutive sequence numbers from `--seq-start` (default 0) in
+/// argument order. One connection carries all the uploads.
+///
+/// # Errors
+///
+/// Returns [`CliError::Remote`] on connection refused, deadline
+/// exceeded, or a server-side reject — the binary exits non-zero with
+/// the rendered reason.
+pub fn send(args: &Args) -> Result<String, CliError> {
+    let paths = args.positionals();
+    if paths.is_empty() {
+        return Err(CliError::Usage("gpx-send <gmon...> --series NAME".to_string()));
+    }
+    let Some(series) = args.value("series") else {
+        return Err(CliError::Usage("gpx-send needs --series NAME".to_string()));
+    };
+    let addr = args.value("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = connect(args, addr)?;
+    let seq_start = args.int_value("seq-start")?.unwrap_or(0);
+    let mut out = String::new();
+    for (seq, path) in (seq_start..).zip(paths.iter()) {
+        let blob = fs::read(path).map_err(|e| CliError::io(path, e))?;
+        let total = client.upload(series, seq, &blob)?;
+        out.push_str(&format!("{series}[{seq}] <- {path} ({total} profiles aggregated)\n"));
+    }
+    Ok(out)
+}
+
+fn parse_range(text: &str) -> Result<MonRange, CliError> {
+    let Some((from, to)) = text.split_once(':') else {
+        return Err(CliError::Usage(format!("--range expects FROM:TO, got `{text}`")));
+    };
+    let parse = |s: &str| -> Result<u32, CliError> {
+        let parsed = if let Some(hex) = s.strip_prefix("0x") {
+            u32::from_str_radix(hex, 16)
+        } else {
+            s.parse()
+        };
+        parsed.map_err(|_| CliError::Usage(format!("--range expects numbers, got `{s}`")))
+    };
+    Ok(MonRange::Addrs(parse(from.trim())?, parse(to.trim())?))
+}
+
+/// `graphprof remote <addr> <verb> [...]`
+///
+/// The remote kgmon tool plus remote queries, one verb per invocation:
+///
+/// * control plane (`--vm NAME` selects a hosted VM; defaults to the
+///   server's only one): `on`, `off`, `status`, `reset`,
+///   `extract [--out FILE] [--into SERIES]`,
+///   `moncontrol (--off | --range FROM:TO | --routine NAME)`;
+/// * data plane: `flat <series>`, `graph <series>`,
+///   `sum <series> --out FILE`, `diff <before> <after>`, `stats`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Remote`] on connection refused, deadline
+/// exceeded, or a server-side reject.
+pub fn remote(args: &Args) -> Result<String, CliError> {
+    let [addr, verb, rest @ ..] = args.positionals() else {
+        return Err(CliError::Usage("graphprof remote <addr> <verb> [...]".to_string()));
+    };
+    let vm = args.value("vm").unwrap_or("");
+    let mut client = connect(args, addr)?;
+
+    let expect_no_rest = |what: &str| -> Result<(), CliError> {
+        if rest.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError::Usage(format!("{what} takes no further arguments")))
+        }
+    };
+    let kgmon_text = |client: &mut Client, verb: KgmonVerb| -> Result<String, CliError> {
+        match client.kgmon(vm, verb)? {
+            Response::Text(text) => Ok(text),
+            _ => Ok(String::new()),
+        }
+    };
+
+    match verb.as_str() {
+        "on" => {
+            expect_no_rest("on")?;
+            kgmon_text(&mut client, KgmonVerb::On)
+        }
+        "off" => {
+            expect_no_rest("off")?;
+            kgmon_text(&mut client, KgmonVerb::Off)
+        }
+        "status" => {
+            expect_no_rest("status")?;
+            kgmon_text(&mut client, KgmonVerb::Status)
+        }
+        "reset" => {
+            expect_no_rest("reset")?;
+            kgmon_text(&mut client, KgmonVerb::Reset)
+        }
+        "extract" => {
+            expect_no_rest("extract")?;
+            let into = args.value("into").map(str::to_string);
+            let stored = into.clone();
+            match client.kgmon(vm, KgmonVerb::Extract { into })? {
+                Response::Blob(bytes) => {
+                    let mut out = String::new();
+                    if let Some(path) = args.value("out") {
+                        fs::write(path, &bytes).map_err(|e| CliError::io(path, e))?;
+                        out.push_str(&format!("{path}: {} bytes extracted\n", bytes.len()));
+                    } else {
+                        out.push_str(&format!("extracted {} bytes\n", bytes.len()));
+                    }
+                    if let Some(series) = stored {
+                        out.push_str(&format!("stored into series `{series}`\n"));
+                    }
+                    Ok(out)
+                }
+                _ => Ok(String::new()),
+            }
+        }
+        "moncontrol" => {
+            expect_no_rest("moncontrol")?;
+            let range =
+                match (args.switch("off"), args.value("range"), args.value("routine")) {
+                    (true, None, None) => MonRange::Off,
+                    (false, Some(range), None) => parse_range(range)?,
+                    (false, None, Some(name)) => MonRange::Routine(name.to_string()),
+                    _ => return Err(CliError::Usage(
+                        "moncontrol takes exactly one of --off, --range FROM:TO, --routine NAME"
+                            .to_string(),
+                    )),
+                };
+            kgmon_text(&mut client, KgmonVerb::Moncontrol(range))
+        }
+        "flat" | "graph" => {
+            let [series] = rest else {
+                return Err(CliError::Usage(format!("remote {verb} <series>")));
+            };
+            let kind = if verb == "flat" { QueryKind::Flat } else { QueryKind::Graph };
+            Ok(client.query_text(series, kind)?)
+        }
+        "sum" => {
+            let [series] = rest else {
+                return Err(CliError::Usage("remote sum <series> --out FILE".to_string()));
+            };
+            let Some(path) = args.value("out") else {
+                return Err(CliError::Usage("remote sum needs --out FILE".to_string()));
+            };
+            let bytes = client.fetch_sum(series)?;
+            fs::write(path, &bytes).map_err(|e| CliError::io(path, e))?;
+            Ok(format!("{path}: {} bytes of aggregate profile\n", bytes.len()))
+        }
+        "diff" => {
+            let [before, after] = rest else {
+                return Err(CliError::Usage("remote diff <before> <after>".to_string()));
+            };
+            Ok(client.diff(before, after)?)
+        }
+        "stats" => {
+            expect_no_rest("stats")?;
+            Ok(client.stats()?)
+        }
+        other => Err(CliError::Usage(format!("unknown remote verb `{other}`"))),
+    }
+}

@@ -33,6 +33,7 @@ fn run_bin(bin: &str, args: &[&str]) -> Output {
         "gpx-run" => env!("CARGO_BIN_EXE_gpx-run"),
         "gpx-dis" => env!("CARGO_BIN_EXE_gpx-dis"),
         "graphprof" => env!("CARGO_BIN_EXE_graphprof"),
+        "gpx-send" => env!("CARGO_BIN_EXE_gpx-send"),
         other => panic!("unknown binary {other}"),
     };
     Command::new(path).args(args).output().expect("binary spawns")
@@ -239,7 +240,7 @@ fn tsv_export_writes_both_tables() {
 
 #[test]
 fn usage_errors_exit_2_with_usage_text() {
-    for bin in ["gpx-as", "gpx-run", "gpx-dis", "graphprof"] {
+    for bin in ["gpx-as", "gpx-run", "gpx-dis", "graphprof", "gpx-send"] {
         let out = run_bin(bin, &[]);
         assert_eq!(out.status.code(), Some(2), "{bin}");
         assert!(stderr(&out).contains(bin), "{bin}: {}", stderr(&out));
@@ -419,6 +420,215 @@ fn assembly_errors_carry_positions() {
     let err = stderr(&out);
     assert!(err.contains("2:"), "line number in: {err}");
     assert!(err.contains("wurk"), "{err}");
+}
+
+// ---- the collection server binaries ---------------------------------
+
+/// Kills the spawned `graphprof serve` child when the test ends,
+/// success or panic.
+struct ServeGuard(std::process::Child);
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `graphprof serve` on an ephemeral loopback port and reads the
+/// bound address back from the banner line.
+fn spawn_serve(exe: &str, extra: &[&str]) -> (ServeGuard, String) {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_graphprof"))
+        .args(["serve", exe, "--bind", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let out = child.stdout.take().expect("stdout piped");
+    let mut banner = String::new();
+    std::io::BufReader::new(out).read_line(&mut banner).expect("banner line");
+    // `serving <prog> on 127.0.0.1:PORT (N hosted VM(s))`
+    let addr = banner
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    (ServeGuard(child), addr)
+}
+
+#[test]
+fn serve_send_and_remote_through_the_binaries() {
+    let dir = TempDir::new("serve");
+    let src = dir.path("pipeline.s");
+    let exe = dir.path("pipeline.gpx");
+    fs::write(&src, SOURCE).expect("write source");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+
+    let mut gmons = Vec::new();
+    for i in 0..2 {
+        let gmon = dir.path(&format!("gmon.{i}"));
+        assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
+        gmons.push(gmon);
+    }
+
+    let (_serve, addr) = spawn_serve(&exe, &[]);
+
+    // Upload both runs into one series over one connection.
+    let out = run_bin("gpx-send", &[&gmons[0], &gmons[1], "--series", "web", "--addr", &addr]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("web[0]"), "{text}");
+    assert!(text.contains("web[1]"), "{text}");
+    assert!(text.contains("2 profiles aggregated"), "{text}");
+
+    // The remote flat listing matches the offline post-processor.
+    let out = run_bin("graphprof", &["remote", &addr, "flat", "web"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let offline = run_bin("graphprof", &[&exe, &gmons[0], &gmons[1], "--flat-only"]);
+    // The offline report ends sections with a blank separator line; the
+    // listings themselves must match exactly.
+    assert_eq!(stdout(&out).trim_end(), stdout(&offline).trim_end());
+
+    // The live aggregate downloads byte-identical to an offline sum.
+    let live_sum = dir.path("live.sum");
+    let out = run_bin("graphprof", &["remote", &addr, "sum", "web", "--out", &live_sum]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let offline_sum = dir.path("offline.sum");
+    let out =
+        run_bin("graphprof", &[&exe, &gmons[0], &gmons[1], "--flat-only", "--sum", &offline_sum]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(fs::read(&live_sum).expect("live"), fs::read(&offline_sum).expect("offline"));
+
+    // Stats report the series by name.
+    let out = run_bin("graphprof", &["remote", &addr, "stats"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("web"), "{text}");
+    assert!(text.contains("2 uploads"), "{text}");
+}
+
+#[test]
+fn remote_kgmon_verbs_control_a_hosted_vm() {
+    use std::time::{Duration, Instant};
+
+    let dir = TempDir::new("servevm");
+    let src = dir.path("kern.s");
+    let exe = dir.path("kern.gpx");
+    // Effectively endless, so the hosted VM keeps producing samples.
+    fs::write(
+        &src,
+        "routine main { loop 100000000 { call disk call net } }
+         routine disk { work 80 }
+         routine net { work 30 }",
+    )
+    .expect("write source");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+
+    let (_serve, addr) = spawn_serve(&exe, &["--vm", "kernel", "--tick", "10"]);
+
+    // Profiling is on by default; toggle it off and back on remotely.
+    let out = run_bin("graphprof", &["remote", &addr, "status", "--vm", "kernel"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("on"), "{}", stdout(&out));
+    assert!(run_bin("graphprof", &["remote", &addr, "off"]).status.success());
+    let out = run_bin("graphprof", &["remote", &addr, "status"]);
+    assert!(stdout(&out).contains("off"), "{}", stdout(&out));
+    assert!(run_bin("graphprof", &["remote", &addr, "on"]).status.success());
+
+    // Extracted windows grow as the VM runs; poll until the snapshot
+    // analyzes and shows the hot routine.
+    let gmon = dir.path("kernel.gmon");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = run_bin("graphprof", &["remote", &addr, "extract", "--out", &gmon]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let report = run_bin("graphprof", &[&exe, &gmon, "--flat-only", "--brief"]);
+        if report.status.success() && stdout(&report).contains("disk") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no samples before deadline");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // moncontrol narrows the monitored window without stopping the VM.
+    let out = run_bin("graphprof", &["remote", &addr, "moncontrol", "--routine", "disk"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(run_bin("graphprof", &["remote", &addr, "reset"]).status.success());
+
+    // Extract straight into a server-side series and query it remotely.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = run_bin("graphprof", &["remote", &addr, "extract", "--into", "snaps"]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let flat = run_bin("graphprof", &["remote", &addr, "flat", "snaps"]);
+        if flat.status.success() && stdout(&flat).contains("disk") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no stored snapshot before deadline");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn remote_failures_exit_1_with_rendered_errors() {
+    let dir = TempDir::new("servefail");
+    let src = dir.path("prog.s");
+    let exe = dir.path("prog.gpx");
+    fs::write(&src, SOURCE).expect("write source");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+    let gmon = dir.path("gmon.out");
+    assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
+
+    // Connection refused: bind-then-drop a listener to get a dead port.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let out = run_bin("gpx-send", &[&gmon, "--series", "web", "--addr", &dead]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.starts_with("gpx-send: "), "{err}");
+    assert!(err.contains("cannot connect"), "{err}");
+
+    let out = run_bin("graphprof", &["remote", &dead, "stats"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("remote error"), "{err}");
+    assert!(err.contains("cannot connect"), "{err}");
+
+    // Deadline exceeded: a listener that accepts the dial (via the
+    // backlog) but never answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let silent = listener.local_addr().expect("addr").to_string();
+    let out = run_bin("graphprof", &["remote", &silent, "stats", "--timeout-ms", "300"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("deadline exceeded"), "{}", stderr(&out));
+    drop(listener);
+
+    // Server-side rejects render the server's reason and exit 1, both
+    // for a bad upload and for a query of a series that does not exist.
+    let (_serve, addr) = spawn_serve(&exe, &[]);
+    let junk = dir.path("junk.gmon");
+    fs::write(&junk, b"not profile data").expect("write junk");
+    let out = run_bin("gpx-send", &[&junk, "--series", "web", "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("server rejected the request"), "{err}");
+
+    let out = run_bin("graphprof", &["remote", &addr, "flat", "ghost"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("no such series"), "{err}");
+
+    // Usage errors exit 2: an unknown verb, and moncontrol without a
+    // range selector.
+    let out = run_bin("graphprof", &["remote", &addr, "frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown remote verb"), "{}", stderr(&out));
+    let out = run_bin("graphprof", &["remote", &addr, "moncontrol"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
 }
 
 #[test]

@@ -76,4 +76,4 @@ pub use filter::Filter;
 pub use flat::{FlatProfile, FlatRow};
 pub use gprof::{analyze, Analysis, Gprof};
 pub use options::Options;
-pub use sum::{sum_profile_bytes, sum_profiles, sum_profiles_jobs};
+pub use sum::{sum_profile_bytes, sum_profiles, sum_profiles_jobs, ProfileAccumulator};

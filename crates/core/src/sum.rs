@@ -75,6 +75,147 @@ pub fn sum_profile_bytes<B: AsRef<[u8]> + Sync>(
     reduce_profiles(parsed, jobs)
 }
 
+/// Incremental profile summation for long-running collectors.
+///
+/// A continuous-profiling server cannot afford either face of the offline
+/// API: [`sum_profiles`] wants every input alive at once, and re-summing
+/// from scratch on each upload is quadratic. `ProfileAccumulator` folds
+/// profiles in as they arrive using the binary-counter realization of the
+/// fixed-pairing reduction tree: level *k* holds the merged sum of a
+/// complete, aligned block of 2^k inputs, so pushing the *n*-th profile
+/// performs the same pairwise merges bottom-up that
+/// [`sum_profiles_jobs`]'s tree performs all at once. Memory is
+/// O(log n) partial aggregates instead of O(n) inputs.
+///
+/// # Determinism contract
+///
+/// [`GmonData::merge`] is commutative and associative — sorted arc lists
+/// with integer count addition, bucket-wise histogram addition — so the
+/// fold shape and arrival order cannot change a byte: for any interleaving
+/// of pushes, [`ProfileAccumulator::aggregate`] is byte-identical to
+/// [`sum_profiles`] (and to [`sum_profiles_jobs`] at every `jobs`) over
+/// the same profiles in any order. `graphprof-serve` leans on this to
+/// promise that its live aggregate equals an offline `graphprof -s` over
+/// the same blobs in canonical (series, sequence-number) order.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileAccumulator {
+    /// `levels[k]` holds the sum of an aligned 2^k-input block, exactly
+    /// like the bits of `count`.
+    levels: Vec<Option<GmonData>>,
+    count: u64,
+    /// Header fields every subsequent profile must match, captured from
+    /// the first push so later pushes are infallible (a mismatch is
+    /// rejected before any level is touched).
+    shape: Option<ProfileShape>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProfileShape {
+    cycles_per_tick: u64,
+    base: graphprof_machine::Addr,
+    text_len: u32,
+    shift: u8,
+}
+
+impl ProfileShape {
+    fn of(p: &GmonData) -> ProfileShape {
+        let h = p.histogram();
+        ProfileShape {
+            cycles_per_tick: p.cycles_per_tick(),
+            base: h.base(),
+            text_len: h.text_len(),
+            shift: h.shift(),
+        }
+    }
+}
+
+impl ProfileAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ProfileAccumulator::default()
+    }
+
+    /// Profiles folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds one profile into the running sum.
+    ///
+    /// The compatibility check (sampling period, histogram geometry)
+    /// happens before any state changes: a rejected profile leaves the
+    /// accumulator exactly as it was, so a collector can keep serving the
+    /// series after refusing a stray upload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same merge-mismatch error [`sum_profiles`] would for
+    /// profiles from different executables or sampling configurations.
+    pub fn push(&mut self, profile: GmonData) -> Result<(), AnalyzeError> {
+        match self.shape {
+            None => self.shape = Some(ProfileShape::of(&profile)),
+            Some(shape) => {
+                if shape != ProfileShape::of(&profile) {
+                    // Produce the precise mismatch message a direct merge
+                    // would have; the probe merge cannot mutate `probe`
+                    // because GmonData::merge checks before it writes.
+                    let mut probe = self
+                        .levels
+                        .iter()
+                        .flatten()
+                        .next()
+                        .cloned()
+                        .expect("non-empty accumulator has a level");
+                    let err = probe.merge(&profile).expect_err("shape mismatch must fail");
+                    return Err(AnalyzeError::Gmon(err));
+                }
+            }
+        }
+        // Binary-counter carry: merging an aligned 2^k block with its
+        // sibling, earliest block on the left, bottom-up.
+        let mut carry = profile;
+        for level in self.levels.iter_mut() {
+            match level.take() {
+                None => {
+                    *level = Some(carry);
+                    self.count += 1;
+                    return Ok(());
+                }
+                Some(mut earlier) => {
+                    earlier.merge(&carry).expect("shape was checked");
+                    carry = earlier;
+                }
+            }
+        }
+        self.levels.push(Some(carry));
+        self.count += 1;
+        Ok(())
+    }
+
+    /// The sum of everything pushed so far, without consuming the
+    /// accumulator (more pushes may follow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::NoProfiles`] when nothing has been pushed.
+    pub fn aggregate(&self) -> Result<GmonData, AnalyzeError> {
+        let mut acc: Option<GmonData> = None;
+        // Higher levels hold earlier inputs; keep them on the left.
+        for level in self.levels.iter().rev().flatten() {
+            match acc.as_mut() {
+                None => acc = Some(level.clone()),
+                Some(sum) => sum.merge(level).expect("levels share a shape"),
+            }
+        }
+        acc.ok_or(AnalyzeError::NoProfiles)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +276,59 @@ mod tests {
         let odd = GmonData::new(99, Histogram::new(Addr::new(0x1000), 32, 0), vec![]);
         let mixed = [runs, vec![odd]].concat();
         assert!(matches!(sum_profiles_jobs(&mixed, 4), Err(AnalyzeError::Gmon(_))));
+    }
+
+    #[test]
+    fn accumulator_matches_offline_sum_at_every_length() {
+        let runs: Vec<GmonData> = (1..=20).map(|i| profile(i, 3 * i + 1)).collect();
+        let mut acc = ProfileAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.aggregate().unwrap_err(), AnalyzeError::NoProfiles);
+        for n in 1..=runs.len() {
+            acc.push(runs[n - 1].clone()).unwrap();
+            assert_eq!(acc.count(), n as u64);
+            let offline = sum_profiles(&runs[..n]).unwrap();
+            assert_eq!(acc.aggregate().unwrap().to_bytes(), offline.to_bytes(), "n={n}");
+            for jobs in [1, 4] {
+                assert_eq!(
+                    sum_profiles_jobs(&runs[..n], jobs).unwrap().to_bytes(),
+                    offline.to_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_is_order_invariant() {
+        let runs: Vec<GmonData> = (1..=9).map(|i| profile(i, 2 * i)).collect();
+        let forward = {
+            let mut acc = ProfileAccumulator::new();
+            runs.iter().cloned().for_each(|p| acc.push(p).unwrap());
+            acc.aggregate().unwrap().to_bytes()
+        };
+        let backward = {
+            let mut acc = ProfileAccumulator::new();
+            runs.iter().rev().cloned().for_each(|p| acc.push(p).unwrap());
+            acc.aggregate().unwrap().to_bytes()
+        };
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn accumulator_rejects_mismatches_without_corrupting_state() {
+        let mut acc = ProfileAccumulator::new();
+        acc.push(profile(3, 7)).unwrap();
+        let odd = GmonData::new(99, Histogram::new(Addr::new(0x1000), 32, 0), vec![]);
+        assert!(matches!(acc.push(odd), Err(AnalyzeError::Gmon(_))));
+        // The reject left the sum untouched and the accumulator usable.
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.aggregate().unwrap(), profile(3, 7));
+        acc.push(profile(1, 1)).unwrap();
+        assert_eq!(acc.count(), 2);
+        assert_eq!(
+            acc.aggregate().unwrap().to_bytes(),
+            sum_profiles([&profile(3, 7), &profile(1, 1)]).unwrap().to_bytes()
+        );
     }
 
     #[test]

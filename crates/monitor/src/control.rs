@@ -115,13 +115,43 @@ impl KgmonTool {
     }
 
     /// Extracts a snapshot of the profiling data without disturbing it.
+    ///
+    /// Takes `&self`: the inner `Mutex` provides the exclusivity, so any
+    /// number of operator tools — or a server holding one tool per hosted
+    /// VM behind a shared reference — can extract concurrently with the
+    /// running system.
     pub fn extract(&self) -> GmonData {
         self.handle.with(|p| p.snapshot())
+    }
+
+    /// Extracts a snapshot already condensed to its `gmon.out` byte form —
+    /// the shape a collection server ships over the wire or an operator
+    /// writes straight to disk.
+    pub fn extract_bytes(&self) -> Vec<u8> {
+        self.extract().to_bytes()
     }
 
     /// Resets the profiling data to empty.
     pub fn reset(&self) {
         self.handle.with(|p| p.reset());
+    }
+
+    /// Restricts recording to the address range `[from, to)`, or lifts
+    /// the restriction with `None` — the moncontrol(3) verb, remoted by
+    /// `graphprof-serve` so an operator can narrow a live window to the
+    /// routines of interest without stopping the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range (`from >= to`); resolve and validate
+    /// ranges before applying them.
+    pub fn moncontrol(&self, range: Option<(Addr, Addr)>) {
+        self.handle.with(|p| p.set_monitor_range(range));
+    }
+
+    /// The active moncontrol restriction, if any.
+    pub fn monitor_range(&self) -> Option<(Addr, Addr)> {
+        self.handle.with(|p| p.monitor_range())
     }
 }
 
@@ -199,6 +229,62 @@ mod tests {
         machine.run_for(&mut hooks, 30_000).unwrap();
         let window = tool.extract();
         assert!(window.histogram().total() > 0);
+    }
+
+    #[test]
+    fn moncontrol_narrows_a_live_window() {
+        let exe = kernel_exe();
+        let mut hooks = SharedProfiler::new(&exe, 10);
+        let tool = KgmonTool::attach(hooks.clone());
+        let mut machine = kernel_machine(&exe, 10);
+
+        let disk = exe.symbols().by_name("disk").unwrap().1;
+        tool.moncontrol(Some((disk.addr(), disk.end())));
+        assert_eq!(tool.monitor_range(), Some((disk.addr(), disk.end())));
+        machine.run_for(&mut hooks, 50_000).unwrap();
+        let narrowed = tool.extract();
+        assert!(narrowed.histogram().total() > 0);
+        for arc in narrowed.arcs() {
+            assert_eq!(arc.self_pc, disk.addr());
+        }
+
+        tool.moncontrol(None);
+        assert_eq!(tool.monitor_range(), None);
+        machine.run_for(&mut hooks, 50_000).unwrap();
+        let widened = tool.extract();
+        assert!(widened.arcs().iter().any(|a| a.self_pc != disk.addr()));
+    }
+
+    #[test]
+    fn extract_bytes_is_the_snapshot_condensed() {
+        let exe = kernel_exe();
+        let mut hooks = SharedProfiler::new(&exe, 10);
+        let tool = KgmonTool::attach(hooks.clone());
+        let mut machine = kernel_machine(&exe, 10);
+        machine.run_for(&mut hooks, 30_000).unwrap();
+        assert_eq!(tool.extract_bytes(), tool.extract().to_bytes());
+    }
+
+    /// Every verb works through a shared reference — the server's usage:
+    /// one tool per hosted VM, driven from many connection threads.
+    #[test]
+    fn all_verbs_take_shared_references() {
+        fn drive(tool: &KgmonTool, range: (Addr, Addr)) {
+            tool.turn_off();
+            tool.turn_on();
+            let _ = tool.is_on();
+            tool.moncontrol(Some(range));
+            let _ = tool.monitor_range();
+            tool.moncontrol(None);
+            let _ = tool.extract();
+            let _ = tool.extract_bytes();
+            tool.reset();
+        }
+        let exe = kernel_exe();
+        let hooks = SharedProfiler::new(&exe, 10);
+        let tool = KgmonTool::attach(hooks);
+        let disk = exe.symbols().by_name("disk").unwrap().1;
+        drive(&tool, (disk.addr(), disk.end()));
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! The client side of the wire: a blocking connection speaking the shared
+//! frame codec, used by `gpx-send`, `graphprof remote`, the benches, and
+//! the end-to-end tests.
+//!
+//! Every failure mode an operator can hit — connection refused, deadline
+//! exceeded, server-side reject — surfaces as a distinct, renderable
+//! [`ClientError`] so the CLI front ends can exit non-zero with a real
+//! message instead of a panic.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, WireError, DEFAULT_MAX_PAYLOAD};
+use crate::proto::{KgmonVerb, QueryKind, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection could not be established.
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The wire broke: I/O error, deadline exceeded, or a frame that does
+    /// not decode.
+    Wire(WireError),
+    /// The server closed the connection instead of responding.
+    Disconnected,
+    /// The server answered with an [`Response::Error`] reject.
+    Rejected(String),
+    /// The server answered with a response kind the call cannot use.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect { addr, source } => {
+                write!(f, "cannot connect to {addr}: {source}")
+            }
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Rejected(reason) => write!(f, "server rejected the request: {reason}"),
+            ClientError::Unexpected(what) => {
+                write!(f, "server sent an unexpected {what} response")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect { source, .. } => Some(source),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// Whether the failure was a read/write deadline.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ClientError::Wire(e) if e.is_timeout())
+    }
+}
+
+/// A blocking client connection to a `graphprof-serve` instance.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to `addr` (a `host:port` string or anything else that
+    /// resolves), applying `timeout` to the dial and to every subsequent
+    /// read and write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Connect`] when no resolved address accepts
+    /// within the deadline.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let resolved: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Connect { addr: addr.to_string(), source: e })?
+            .collect();
+        let mut last =
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing");
+        for candidate in resolved {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(timeout));
+                    let _ = stream.set_write_timeout(Some(timeout));
+                    let _ = stream.set_nodelay(true);
+                    return Ok(Client { stream, max_frame: DEFAULT_MAX_PAYLOAD });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(ClientError::Connect { addr: addr.to_string(), source: last })
+    }
+
+    /// Sends one request and reads one response over the shared codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Wire`] on codec or I/O failure and
+    /// [`ClientError::Disconnected`] on a clean close; server-side
+    /// [`Response::Error`] frames come back as `Ok` for the typed
+    /// wrappers to interpret.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_frame(), self.max_frame)?;
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(frame) => Ok(Response::from_frame(&frame)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.roundtrip(request)? {
+            Response::Error(reason) => Err(ClientError::Rejected(reason)),
+            other => Ok(other),
+        }
+    }
+
+    /// Uploads `blob` as sequence `seq` of `series`; returns the number
+    /// of profiles now in the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejects surface as [`ClientError::Rejected`].
+    pub fn upload(&mut self, series: &str, seq: u64, blob: &[u8]) -> Result<u64, ClientError> {
+        let request = Request::Upload { series: series.to_string(), seq, blob: blob.to_vec() };
+        match self.expect_ok(&request)? {
+            Response::Accepted { total, .. } => Ok(total),
+            _ => Err(ClientError::Unexpected("non-accepted")),
+        }
+    }
+
+    /// Fetches a rendered listing of a series aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] for unknown series and
+    /// [`ClientError::Unexpected`] if asked for [`QueryKind::Sum`], which
+    /// is binary — use [`Client::fetch_sum`].
+    pub fn query_text(&mut self, series: &str, kind: QueryKind) -> Result<String, ClientError> {
+        let request = Request::Query { series: series.to_string(), kind };
+        match self.expect_ok(&request)? {
+            Response::Text(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("non-text")),
+        }
+    }
+
+    /// Fetches a series aggregate as raw `gmon.out` bytes — what
+    /// `graphprof -s` would have written offline over the same uploads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] for unknown series.
+    pub fn fetch_sum(&mut self, series: &str) -> Result<Vec<u8>, ClientError> {
+        let request = Request::Query { series: series.to_string(), kind: QueryKind::Sum };
+        match self.expect_ok(&request)? {
+            Response::Blob(bytes) => Ok(bytes),
+            _ => Err(ClientError::Unexpected("non-blob")),
+        }
+    }
+
+    /// Fetches the rendered diff of two series aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] when either series is unknown.
+    pub fn diff(&mut self, before: &str, after: &str) -> Result<String, ClientError> {
+        let request = Request::Diff { before: before.to_string(), after: after.to_string() };
+        match self.expect_ok(&request)? {
+            Response::Text(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("non-text")),
+        }
+    }
+
+    /// Drives a hosted VM's kgmon tool. Extract answers with
+    /// [`Response::Blob`]; every other verb answers with
+    /// [`Response::Text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] for unknown VMs, empty
+    /// moncontrol ranges, or snapshot-store failures.
+    pub fn kgmon(&mut self, vm: &str, verb: KgmonVerb) -> Result<Response, ClientError> {
+        self.expect_ok(&Request::Kgmon { vm: vm.to_string(), verb })
+    }
+
+    /// Fetches the server's per-series counters, rendered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Wire`] on transport failure.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.expect_ok(&Request::Stats)? {
+            Response::Text(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("non-text")),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `graphprof-serve` — a continuous-profiling collection server with
+//! remote kgmon control.
+//!
+//! The paper profiles one run of one program; its retrospective describes
+//! profiling a *system that must not be taken down*, controlled by the
+//! kgmon tool. This crate scales both ideas out over TCP, on `std::net`
+//! alone:
+//!
+//! * **data plane** — many concurrent clients upload `gmon.out` blobs
+//!   into named series ([`SeriesStore`]). Each upload is validated with
+//!   the existing fallible parsers and linter, then folded incrementally
+//!   with the fixed-pairing tree fold
+//!   ([`ProfileAccumulator`](graphprof::ProfileAccumulator)), so the live
+//!   aggregate is **byte-identical** to an offline `graphprof -s` over the
+//!   same blobs in canonical (series, sequence-number) order — regardless
+//!   of arrival order, client interleaving, or the server's `--jobs`;
+//! * **control plane** — [`KgmonVerb`] remotes the retrospective's kgmon
+//!   verbs (on/off, moncontrol address ranges, extract, reset) to
+//!   profiled VMs hosted inside the server;
+//! * **wire** — a small length-prefixed, versioned frame protocol
+//!   ([`frame`]) with one codec shared by server and clients; malformed
+//!   input is rejected per-connection and never reaches the accept loop.
+//!
+//! See `docs/SERVER.md` for the frame layout, the verb set, the limits,
+//! and the determinism contract.
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::{Client, ClientError};
+pub use frame::{Frame, WireError, DEFAULT_MAX_PAYLOAD};
+pub use proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
+pub use server::{DrainSummary, Server, ServerConfig, ServerHandle};
+pub use store::{RejectReason, SeriesStats, SeriesStore};

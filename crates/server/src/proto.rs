@@ -1,0 +1,478 @@
+//! Protocol messages carried in [`Frame`](crate::frame::Frame) payloads.
+//!
+//! Two planes share one connection:
+//!
+//! * the **data plane** — [`Request::Upload`] feeds `gmon.out` blobs into
+//!   named series; [`Request::Query`] and [`Request::Diff`] read rendered
+//!   listings or the raw aggregate back out;
+//! * the **control plane** — [`Request::Kgmon`] remotes the kgmon verbs
+//!   (on/off, moncontrol, extract, reset) to a VM hosted in the server.
+//!
+//! Strings are `u16 LE` length + UTF-8; blobs are `u32 LE` length +
+//! bytes. Decoding is total: any input either decodes or returns
+//! [`WireError::Malformed`] — never a panic — which the codec proptests
+//! pin down.
+
+use bytes::{Buf, BufMut};
+
+use crate::frame::{Frame, WireError};
+
+/// Request frame kinds (client → server).
+pub mod kind {
+    /// Upload one profile blob into a series.
+    pub const UPLOAD: u8 = 0x01;
+    /// Render a series aggregate (flat, call graph, or raw bytes).
+    pub const QUERY: u8 = 0x02;
+    /// Render the diff of two series aggregates.
+    pub const DIFF: u8 = 0x03;
+    /// Drive a hosted VM's kgmon tool.
+    pub const KGMON: u8 = 0x04;
+    /// Fetch the server's per-series counters.
+    pub const STATS: u8 = 0x05;
+
+    /// Response: upload accepted.
+    pub const ACCEPTED: u8 = 0x80;
+    /// Response: rendered text (listing, diff, stats, status).
+    pub const TEXT: u8 = 0x81;
+    /// Response: raw profile bytes.
+    pub const BLOB: u8 = 0x82;
+    /// Response: the request was rejected.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// What a [`Request::Query`] should return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The rendered flat profile.
+    Flat,
+    /// The rendered Figure-4 call graph profile.
+    Graph,
+    /// The aggregate profile in `gmon.out` bytes (what `graphprof -s`
+    /// would have written offline).
+    Sum,
+}
+
+/// A moncontrol restriction for a hosted VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonRange {
+    /// Lift any restriction.
+    Off,
+    /// Restrict to `[from, to)` (absolute text addresses).
+    Addrs(u32, u32),
+    /// Restrict to one routine's range, resolved server-side against the
+    /// served executable's symbol table.
+    Routine(String),
+}
+
+/// A remoted kgmon verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KgmonVerb {
+    /// Turn profiling on.
+    On,
+    /// Turn profiling off.
+    Off,
+    /// Report whether profiling is on.
+    Status,
+    /// Snapshot the profiling data without disturbing it; optionally also
+    /// store the snapshot server-side as the next upload of a series.
+    Extract {
+        /// Series to store the snapshot into, if any.
+        into: Option<String>,
+    },
+    /// Reset the profiling data to empty.
+    Reset,
+    /// Apply or lift an address-range restriction.
+    Moncontrol(MonRange),
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Upload `blob` as sequence number `seq` of `series`.
+    Upload {
+        /// Series name.
+        series: String,
+        /// Client-assigned sequence number (unique within the series).
+        seq: u64,
+        /// Raw `gmon.out` bytes.
+        blob: Vec<u8>,
+    },
+    /// Read a series aggregate back out.
+    Query {
+        /// Series name.
+        series: String,
+        /// Presentation.
+        kind: QueryKind,
+    },
+    /// Diff two series aggregates (`before` → `after`).
+    Diff {
+        /// Baseline series.
+        before: String,
+        /// Comparison series.
+        after: String,
+    },
+    /// Drive a hosted VM's kgmon tool. An empty `vm` name resolves to
+    /// the server's only VM when exactly one is hosted.
+    Kgmon {
+        /// Hosted VM name.
+        vm: String,
+        /// The verb.
+        verb: KgmonVerb,
+    },
+    /// Fetch per-series upload/reject/byte counters.
+    Stats,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// An upload was accepted.
+    Accepted {
+        /// Series it landed in.
+        series: String,
+        /// Its sequence number.
+        seq: u64,
+        /// Profiles now folded into the series aggregate.
+        total: u64,
+    },
+    /// Rendered text (listing, diff, stats, kgmon status).
+    Text(String),
+    /// Raw profile bytes (query `Sum`, kgmon `Extract`).
+    Blob(Vec<u8>),
+    /// The request was rejected; the connection stays usable.
+    Error(String),
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "protocol strings are short");
+    out.put_u16_le(s.len() as u16);
+    out.put_slice(s.as_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+fn need(data: &[u8], n: usize, what: &str) -> Result<(), WireError> {
+    if data.remaining() < n {
+        Err(WireError::Malformed(format!("payload ends inside {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String, WireError> {
+    need(data, 2, "a string length")?;
+    let len = data.get_u16_le() as usize;
+    need(data, len, "a string")?;
+    let mut bytes = vec![0u8; len];
+    data.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| WireError::Malformed("string is not UTF-8".to_string()))
+}
+
+fn get_blob(data: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    need(data, 4, "a blob length")?;
+    let len = data.get_u32_le() as usize;
+    need(data, len, "a blob")?;
+    let mut bytes = vec![0u8; len];
+    data.copy_to_slice(&mut bytes);
+    Ok(bytes)
+}
+
+fn get_u64(data: &mut &[u8]) -> Result<u64, WireError> {
+    need(data, 8, "an integer")?;
+    Ok(data.get_u64_le())
+}
+
+fn get_u32(data: &mut &[u8]) -> Result<u32, WireError> {
+    need(data, 4, "an integer")?;
+    Ok(data.get_u32_le())
+}
+
+fn get_u8(data: &mut &[u8]) -> Result<u8, WireError> {
+    need(data, 1, "a tag")?;
+    Ok(data.get_u8())
+}
+
+fn finish<T>(data: &[u8], value: T) -> Result<T, WireError> {
+    if data.has_remaining() {
+        Err(WireError::Malformed(format!("{} trailing payload bytes", data.remaining())))
+    } else {
+        Ok(value)
+    }
+}
+
+impl Request {
+    /// Encodes the request as a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut p = Vec::new();
+        let kind = match self {
+            Request::Upload { series, seq, blob } => {
+                put_str(&mut p, series);
+                p.put_u64_le(*seq);
+                put_blob(&mut p, blob);
+                kind::UPLOAD
+            }
+            Request::Query { series, kind } => {
+                put_str(&mut p, series);
+                p.put_u8(match kind {
+                    QueryKind::Flat => 0,
+                    QueryKind::Graph => 1,
+                    QueryKind::Sum => 2,
+                });
+                kind::QUERY
+            }
+            Request::Diff { before, after } => {
+                put_str(&mut p, before);
+                put_str(&mut p, after);
+                kind::DIFF
+            }
+            Request::Kgmon { vm, verb } => {
+                put_str(&mut p, vm);
+                match verb {
+                    KgmonVerb::On => p.put_u8(0),
+                    KgmonVerb::Off => p.put_u8(1),
+                    KgmonVerb::Status => p.put_u8(2),
+                    KgmonVerb::Extract { into } => {
+                        p.put_u8(3);
+                        put_str(&mut p, into.as_deref().unwrap_or(""));
+                    }
+                    KgmonVerb::Reset => p.put_u8(4),
+                    KgmonVerb::Moncontrol(range) => {
+                        p.put_u8(5);
+                        match range {
+                            MonRange::Off => p.put_u8(0),
+                            MonRange::Addrs(from, to) => {
+                                p.put_u8(1);
+                                p.put_u32_le(*from);
+                                p.put_u32_le(*to);
+                            }
+                            MonRange::Routine(name) => {
+                                p.put_u8(2);
+                                put_str(&mut p, name);
+                            }
+                        }
+                    }
+                }
+                kind::KGMON
+            }
+            Request::Stats => kind::STATS,
+        };
+        Frame::new(kind, p)
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Malformed`] for an unknown kind or a payload
+    /// that does not decode; decoding never panics.
+    pub fn from_frame(frame: &Frame) -> Result<Request, WireError> {
+        let mut data = frame.payload.as_slice();
+        let data = &mut data;
+        match frame.kind {
+            kind::UPLOAD => {
+                let series = get_str(data)?;
+                let seq = get_u64(data)?;
+                let blob = get_blob(data)?;
+                finish(data, Request::Upload { series, seq, blob })
+            }
+            kind::QUERY => {
+                let series = get_str(data)?;
+                let kind = match get_u8(data)? {
+                    0 => QueryKind::Flat,
+                    1 => QueryKind::Graph,
+                    2 => QueryKind::Sum,
+                    other => {
+                        return Err(WireError::Malformed(format!("unknown query kind {other}")))
+                    }
+                };
+                finish(data, Request::Query { series, kind })
+            }
+            kind::DIFF => {
+                let before = get_str(data)?;
+                let after = get_str(data)?;
+                finish(data, Request::Diff { before, after })
+            }
+            kind::KGMON => {
+                let vm = get_str(data)?;
+                let verb = match get_u8(data)? {
+                    0 => KgmonVerb::On,
+                    1 => KgmonVerb::Off,
+                    2 => KgmonVerb::Status,
+                    3 => {
+                        let into = get_str(data)?;
+                        KgmonVerb::Extract { into: (!into.is_empty()).then_some(into) }
+                    }
+                    4 => KgmonVerb::Reset,
+                    5 => {
+                        let range = match get_u8(data)? {
+                            0 => MonRange::Off,
+                            1 => MonRange::Addrs(get_u32(data)?, get_u32(data)?),
+                            2 => MonRange::Routine(get_str(data)?),
+                            other => {
+                                return Err(WireError::Malformed(format!(
+                                    "unknown moncontrol range tag {other}"
+                                )))
+                            }
+                        };
+                        KgmonVerb::Moncontrol(range)
+                    }
+                    other => {
+                        return Err(WireError::Malformed(format!("unknown kgmon verb {other}")))
+                    }
+                };
+                finish(data, Request::Kgmon { vm, verb })
+            }
+            kind::STATS => finish(data, Request::Stats),
+            other => Err(WireError::Malformed(format!("unknown request kind {other:#04x}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut p = Vec::new();
+        let kind = match self {
+            Response::Accepted { series, seq, total } => {
+                put_str(&mut p, series);
+                p.put_u64_le(*seq);
+                p.put_u64_le(*total);
+                kind::ACCEPTED
+            }
+            Response::Text(text) => {
+                put_blob(&mut p, text.as_bytes());
+                kind::TEXT
+            }
+            Response::Blob(bytes) => {
+                put_blob(&mut p, bytes);
+                kind::BLOB
+            }
+            Response::Error(reason) => {
+                put_blob(&mut p, reason.as_bytes());
+                kind::ERROR
+            }
+        };
+        Frame::new(kind, p)
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Malformed`] for an unknown kind or a payload
+    /// that does not decode.
+    pub fn from_frame(frame: &Frame) -> Result<Response, WireError> {
+        let mut data = frame.payload.as_slice();
+        let data = &mut data;
+        let text = |data: &mut &[u8]| -> Result<String, WireError> {
+            String::from_utf8(get_blob(data)?)
+                .map_err(|_| WireError::Malformed("text is not UTF-8".to_string()))
+        };
+        match frame.kind {
+            kind::ACCEPTED => {
+                let series = get_str(data)?;
+                let seq = get_u64(data)?;
+                let total = get_u64(data)?;
+                finish(data, Response::Accepted { series, seq, total })
+            }
+            kind::TEXT => {
+                let t = text(data)?;
+                finish(data, Response::Text(t))
+            }
+            kind::BLOB => {
+                let b = get_blob(data)?;
+                finish(data, Response::Blob(b))
+            }
+            kind::ERROR => {
+                let t = text(data)?;
+                finish(data, Response::Error(t))
+            }
+            other => Err(WireError::Malformed(format!("unknown response kind {other:#04x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Upload { series: "web".into(), seq: 3, blob: vec![1, 2, 3] },
+            Request::Upload { series: String::new(), seq: u64::MAX, blob: vec![] },
+            Request::Query { series: "web".into(), kind: QueryKind::Flat },
+            Request::Query { series: "web".into(), kind: QueryKind::Graph },
+            Request::Query { series: "web".into(), kind: QueryKind::Sum },
+            Request::Diff { before: "v1".into(), after: "v2".into() },
+            Request::Kgmon { vm: "kernel".into(), verb: KgmonVerb::On },
+            Request::Kgmon { vm: String::new(), verb: KgmonVerb::Off },
+            Request::Kgmon { vm: "k".into(), verb: KgmonVerb::Status },
+            Request::Kgmon { vm: "k".into(), verb: KgmonVerb::Extract { into: None } },
+            Request::Kgmon { vm: "k".into(), verb: KgmonVerb::Extract { into: Some("s".into()) } },
+            Request::Kgmon { vm: "k".into(), verb: KgmonVerb::Reset },
+            Request::Kgmon { vm: "k".into(), verb: KgmonVerb::Moncontrol(MonRange::Off) },
+            Request::Kgmon {
+                vm: "k".into(),
+                verb: KgmonVerb::Moncontrol(MonRange::Addrs(0x1000, 0x2000)),
+            },
+            Request::Kgmon {
+                vm: "k".into(),
+                verb: KgmonVerb::Moncontrol(MonRange::Routine("disk".into())),
+            },
+            Request::Stats,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in requests() {
+            let back = Request::from_frame(&req.to_frame()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Accepted { series: "web".into(), seq: 9, total: 10 },
+            Response::Text("flat profile:\n".into()),
+            Response::Blob(vec![0xDE, 0xAD]),
+            Response::Error("no such series".into()),
+        ];
+        for resp in responses {
+            let back = Response::from_frame(&resp.to_frame()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_malformed_not_panics() {
+        for req in requests() {
+            let frame = req.to_frame();
+            for len in 0..frame.payload.len() {
+                let cut = Frame::new(frame.kind, frame.payload[..len].to_vec());
+                assert!(
+                    matches!(Request::from_frame(&cut), Err(WireError::Malformed(_))),
+                    "{req:?} cut to {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut frame = Request::Stats.to_frame();
+        frame.payload.push(0);
+        assert!(matches!(Request::from_frame(&frame), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_kinds_are_malformed() {
+        let frame = Frame::new(0x42, vec![]);
+        assert!(matches!(Request::from_frame(&frame), Err(WireError::Malformed(_))));
+        assert!(matches!(Response::from_frame(&frame), Err(WireError::Malformed(_))));
+    }
+}

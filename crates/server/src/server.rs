@@ -1,0 +1,438 @@
+//! The `graphprof-serve` TCP server: accept loop, connection handlers,
+//! hosted VMs, and the request dispatcher.
+//!
+//! Production shape:
+//!
+//! * **loopback-only default bind** (`127.0.0.1:0`) — exposing a profile
+//!   collector beyond the host is an explicit decision;
+//! * **per-connection read/write deadlines** so a stalled peer cannot
+//!   pin a handler thread forever;
+//! * **max-frame enforcement in the codec** — an oversized header is
+//!   rejected before its payload is ever buffered;
+//! * **malformed-frame isolation** — a bad frame ends *that* connection
+//!   with a rendered error; the accept loop and every other connection
+//!   are unaffected;
+//! * **graceful drain** — shutdown stops accepting, lets in-flight
+//!   requests finish, then stops the hosted VMs.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use graphprof::{diff_profiles, Gprof, Options};
+use graphprof_machine::{Addr, Executable, Machine, MachineConfig, RunStatus};
+use graphprof_monitor::{KgmonTool, SharedProfiler};
+
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+use crate::proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
+use crate::store::SeriesStore;
+
+/// Server tuning knobs. The defaults are production-shaped: loopback
+/// bind, bounded frames and series, ten-second deadlines.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. The default is loopback with an ephemeral port.
+    pub bind: String,
+    /// Maximum frame payload accepted or produced, in bytes.
+    pub max_frame: usize,
+    /// Maximum number of named series.
+    pub max_series: usize,
+    /// Per-connection read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Worker count for validation and query rendering (the
+    /// `graphprof_exec` pool); outputs are jobs-invariant by contract.
+    pub jobs: usize,
+    /// Sampling period of hosted VMs, in cycles per tick.
+    pub vm_tick: u64,
+    /// Cycles a hosted VM executes per scheduling slice.
+    pub vm_slice: u64,
+    /// How long shutdown waits for in-flight connections to finish.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".to_string(),
+            max_frame: DEFAULT_MAX_PAYLOAD,
+            max_series: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            jobs: graphprof_exec::resolve_jobs(None),
+            vm_tick: 10,
+            vm_slice: 50_000,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters reported when the server drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Connections the accept loop handed to handlers.
+    pub connections: u64,
+    /// Frames rejected for framing or decode errors.
+    pub frame_errors: u64,
+}
+
+struct VmEntry {
+    tool: KgmonTool,
+    stop: Arc<AtomicBool>,
+}
+
+struct Shared {
+    store: SeriesStore,
+    vms: BTreeMap<String, VmEntry>,
+    cfg: ServerConfig,
+    shutting_down: AtomicBool,
+    connections: AtomicU64,
+    frame_errors: AtomicU64,
+    live: AtomicUsize,
+}
+
+/// A running server. Dropping the handle drains it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    vm_threads: Vec<JoinHandle<()>>,
+}
+
+/// The `graphprof-serve` entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, hosts one VM per name in `vms` (each running `exe` under a
+    /// [`SharedProfiler`]), and starts accepting connections. Returns
+    /// immediately; use [`ServerHandle::addr`] for the bound (possibly
+    /// ephemeral) address and [`ServerHandle::shutdown`] to drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the bind fails or a VM name
+    /// repeats.
+    pub fn start(
+        config: ServerConfig,
+        exe: Executable,
+        vms: &[String],
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut vm_map = BTreeMap::new();
+        let mut vm_threads = Vec::new();
+        for name in vms {
+            if vm_map.contains_key(name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("hosted VM name `{name}` repeats"),
+                ));
+            }
+            let (entry, thread) = host_vm(&exe, &config);
+            vm_map.insert(name.clone(), entry);
+            vm_threads.push(thread);
+        }
+
+        let shared = Arc::new(Shared {
+            store: SeriesStore::new(exe, config.max_series, config.jobs),
+            vms: vm_map,
+            cfg: config,
+            shutting_down: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("gprs-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("accept thread spawns");
+
+        Ok(ServerHandle { addr, shared, accept: Some(accept), vm_threads })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The series store (shared with the handlers), for in-process
+    /// inspection by tests and benches.
+    pub fn store(&self) -> &SeriesStore {
+        &self.shared.store
+    }
+
+    /// Stops accepting, waits up to the configured grace for in-flight
+    /// connections, stops the hosted VMs, and returns the counters.
+    pub fn shutdown(mut self) -> DrainSummary {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> DrainSummary {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + self.shared.cfg.drain_grace;
+        while self.shared.live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for vm in self.shared.vms.values() {
+            vm.stop.store(true, Ordering::SeqCst);
+        }
+        for thread in self.vm_threads.drain(..) {
+            let _ = thread.join();
+        }
+        DrainSummary {
+            connections: self.shared.connections.load(Ordering::SeqCst),
+            frame_errors: self.shared.frame_errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.vm_threads.is_empty() {
+            self.drain();
+        }
+    }
+}
+
+/// Spawns one hosted VM: a machine running `exe` under a shared profiler,
+/// advanced in slices until it halts or the server drains. The returned
+/// [`KgmonTool`] is the control plane's handle; every verb takes `&self`,
+/// so connection handlers drive it concurrently with the VM thread.
+fn host_vm(exe: &Executable, cfg: &ServerConfig) -> (VmEntry, JoinHandle<()>) {
+    let mut hooks = SharedProfiler::new(exe, cfg.vm_tick);
+    let tool = KgmonTool::attach(hooks.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let config = MachineConfig { cycles_per_tick: cfg.vm_tick, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let slice = cfg.vm_slice.max(1);
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("gprs-vm".to_string())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                match machine.run_for(&mut hooks, slice) {
+                    Ok(RunStatus::Paused) => std::thread::yield_now(),
+                    // Halted or faulted: the workload is over; the tool
+                    // keeps serving extracts of the final data.
+                    Ok(RunStatus::Halted) | Err(_) => break,
+                }
+            }
+        })
+        .expect("vm thread spawns");
+    (VmEntry { tool, stop }, thread)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                shared.live.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                // A handler failure of any kind ends its own thread; the
+                // accept loop never observes it.
+                let spawned =
+                    std::thread::Builder::new().name("gprs-conn".to_string()).spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.live.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.live.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept errors (aborted handshakes, fd pressure)
+            // must never kill the loop.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let cfg = &shared.cfg;
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut stream, cfg.max_frame) {
+            Ok(None) => break,
+            Ok(Some(frame)) => frame,
+            Err(e) => {
+                shared.frame_errors.fetch_add(1, Ordering::SeqCst);
+                // Framing is broken (garbage, truncation, oversize,
+                // deadline): report if the socket still writes, then
+                // close. Other connections are untouched.
+                let resp = Response::Error(format!("bad frame: {e}"));
+                let _ = write_frame(&mut stream, &resp.to_frame(), cfg.max_frame);
+                break;
+            }
+        };
+        let response = match Request::from_frame(&frame) {
+            Ok(request) => handle_request(request, shared),
+            Err(e) => {
+                // The frame itself was sound, so the stream is still in
+                // sync: reject the message and keep serving.
+                shared.frame_errors.fetch_add(1, Ordering::SeqCst);
+                Response::Error(e.to_string())
+            }
+        };
+        if write_frame(&mut stream, &response.to_frame(), cfg.max_frame).is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_request(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::Upload { series, seq, blob } => match shared.store.upload(&series, seq, &blob) {
+            Ok(total) => Response::Accepted { series, seq, total },
+            Err(reason) => Response::Error(reason.to_string()),
+        },
+        Request::Query { series, kind } => query(shared, &series, kind),
+        Request::Diff { before, after } => diff(shared, &before, &after),
+        Request::Kgmon { vm, verb } => kgmon(shared, &vm, verb),
+        Request::Stats => {
+            let mut text = shared.store.render_stats();
+            text.push_str(&format!(
+                "connections: {}, frame errors: {}, hosted VMs: {}\n",
+                shared.connections.load(Ordering::SeqCst),
+                shared.frame_errors.load(Ordering::SeqCst),
+                shared.vms.len(),
+            ));
+            Response::Text(text)
+        }
+    }
+}
+
+fn analysis_options(shared: &Shared) -> Options {
+    Options::default().jobs(shared.cfg.jobs)
+}
+
+fn query(shared: &Shared, series: &str, kind: QueryKind) -> Response {
+    let Some(aggregate) = shared.store.aggregate(series) else {
+        return Response::Error(format!("no such series `{series}`"));
+    };
+    match kind {
+        QueryKind::Sum => Response::Blob(aggregate.to_bytes()),
+        QueryKind::Flat | QueryKind::Graph => {
+            let analysis = match Gprof::new(analysis_options(shared))
+                .analyze(shared.store.executable(), &aggregate)
+            {
+                Ok(a) => a,
+                Err(e) => return Response::Error(format!("analysis failed: {e}")),
+            };
+            Response::Text(match kind {
+                QueryKind::Flat => analysis.render_flat(),
+                _ => analysis.render_call_graph(),
+            })
+        }
+    }
+}
+
+fn diff(shared: &Shared, before: &str, after: &str) -> Response {
+    let (Some(a), Some(b)) = (shared.store.aggregate(before), shared.store.aggregate(after)) else {
+        return Response::Error(format!("no such series `{before}` and/or `{after}`"));
+    };
+    let gprof = Gprof::new(analysis_options(shared));
+    let exe = shared.store.executable();
+    match (gprof.analyze(exe, &a), gprof.analyze(exe, &b)) {
+        (Ok(a), Ok(b)) => Response::Text(diff_profiles(&a, &b).render()),
+        (Err(e), _) | (_, Err(e)) => Response::Error(format!("analysis failed: {e}")),
+    }
+}
+
+fn kgmon(shared: &Shared, vm: &str, verb: KgmonVerb) -> Response {
+    let entry = match shared.vms.get(vm) {
+        Some(entry) => entry,
+        // An empty name resolves iff exactly one VM is hosted.
+        None if vm.is_empty() && shared.vms.len() == 1 => {
+            shared.vms.values().next().expect("len == 1")
+        }
+        None => {
+            return Response::Error(format!(
+                "no hosted VM `{vm}` (hosting: {})",
+                shared.vms.keys().cloned().collect::<Vec<_>>().join(", ")
+            ))
+        }
+    };
+    let tool = &entry.tool;
+    match verb {
+        KgmonVerb::On => {
+            tool.turn_on();
+            Response::Text("profiling on\n".to_string())
+        }
+        KgmonVerb::Off => {
+            tool.turn_off();
+            Response::Text("profiling off\n".to_string())
+        }
+        KgmonVerb::Status => {
+            let range = match tool.monitor_range() {
+                Some((from, to)) => format!("{from}..{to}"),
+                None => "full text".to_string(),
+            };
+            Response::Text(format!(
+                "profiling {}, monitoring {range}\n",
+                if tool.is_on() { "on" } else { "off" }
+            ))
+        }
+        KgmonVerb::Extract { into } => {
+            let bytes = tool.extract_bytes();
+            if let Some(series) = into {
+                if let Err(reason) = shared.store.upload_auto_seq(&series, &bytes) {
+                    return Response::Error(format!("snapshot not stored: {reason}"));
+                }
+            }
+            Response::Blob(bytes)
+        }
+        KgmonVerb::Reset => {
+            tool.reset();
+            Response::Text("profile data reset\n".to_string())
+        }
+        KgmonVerb::Moncontrol(range) => {
+            let resolved = match range {
+                MonRange::Off => None,
+                MonRange::Addrs(from, to) => {
+                    if from >= to {
+                        return Response::Error(format!(
+                            "empty moncontrol range {from:#x}..{to:#x}"
+                        ));
+                    }
+                    Some((Addr::new(from), Addr::new(to)))
+                }
+                MonRange::Routine(name) => {
+                    let Some((_, sym)) = shared.store.executable().symbols().by_name(&name) else {
+                        return Response::Error(format!("no routine `{name}` in the executable"));
+                    };
+                    Some((sym.addr(), sym.end()))
+                }
+            };
+            tool.moncontrol(resolved);
+            Response::Text(match resolved {
+                Some((from, to)) => format!("monitoring {from}..{to}\n"),
+                None => "monitoring full text\n".to_string(),
+            })
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The data plane's state: named series of uploaded profiles, folded
+//! incrementally into live aggregates.
+//!
+//! Every accepted upload is validated against the served executable with
+//! the existing fallible pipeline — [`GmonData::from_bytes`] (which routes
+//! untrusted shapes through `Histogram::from_parts`) and the
+//! `graphprof check` linter — then folded into the series aggregate with
+//! [`ProfileAccumulator`], the fixed-pairing tree fold. The aggregate is
+//! therefore byte-identical to an offline `graphprof -s` over the same
+//! blobs in canonical (series, sequence-number) order, which the
+//! end-to-end tests assert literally.
+//!
+//! The store never keeps raw blobs: per series it holds O(log n) partial
+//! aggregates, the set of sequence numbers seen (for duplicate
+//! rejection), and the upload/reject/byte counters behind the `stats`
+//! verb.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use graphprof::ProfileAccumulator;
+use graphprof_machine::Executable;
+use graphprof_monitor::GmonData;
+
+/// Why an upload was refused. The connection stays usable after any of
+/// these; the reject is counted against the series (or the store, when
+/// the series could not even be created).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The blob did not parse as a profile file.
+    Unparseable(String),
+    /// The profile parsed but contradicts the served executable
+    /// (`graphprof check` error findings).
+    Inconsistent(String),
+    /// The profile cannot merge with the series aggregate.
+    Unmergeable(String),
+    /// This (series, seq) pair was already uploaded.
+    DuplicateSeq(u64),
+    /// Creating the series would exceed the server's series limit.
+    TooManySeries {
+        /// The configured cap.
+        max: usize,
+    },
+    /// The series name is empty or unreasonably long.
+    BadSeriesName,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Unparseable(e) => write!(f, "blob rejected: {e}"),
+            RejectReason::Inconsistent(e) => {
+                write!(f, "profile contradicts the served executable: {e}")
+            }
+            RejectReason::Unmergeable(e) => write!(f, "profile does not merge: {e}"),
+            RejectReason::DuplicateSeq(seq) => write!(f, "sequence number {seq} already uploaded"),
+            RejectReason::TooManySeries { max } => {
+                write!(f, "series limit reached ({max} series)")
+            }
+            RejectReason::BadSeriesName => write!(f, "series names must be 1..=128 bytes"),
+        }
+    }
+}
+
+/// Per-series counters exposed by the `stats` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeriesStats {
+    /// Uploads accepted into the aggregate.
+    pub uploads: u64,
+    /// Uploads refused (any [`RejectReason`] charged to this series).
+    pub rejects: u64,
+    /// Payload bytes accepted.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Series {
+    acc: ProfileAccumulator,
+    seen_seqs: BTreeSet<u64>,
+    next_auto_seq: u64,
+    stats: SeriesStats,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    series: BTreeMap<String, Series>,
+    /// Rejects that could not be charged to an existing series.
+    orphan_rejects: u64,
+}
+
+/// The collection server's series store. All methods take `&self`; one
+/// internal lock serializes mutations so connection handlers can share
+/// the store freely.
+#[derive(Debug)]
+pub struct SeriesStore {
+    exe: Executable,
+    max_series: usize,
+    jobs: usize,
+    state: Mutex<StoreState>,
+}
+
+impl SeriesStore {
+    /// A store validating uploads against `exe`, holding at most
+    /// `max_series` series, running the lint pipeline on `jobs` workers.
+    pub fn new(exe: Executable, max_series: usize, jobs: usize) -> Self {
+        SeriesStore {
+            exe,
+            max_series: max_series.max(1),
+            jobs: jobs.max(1),
+            state: Mutex::new(StoreState::default()),
+        }
+    }
+
+    /// The executable uploads are validated and rendered against.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// Validates `blob` and folds it into `series` as sequence `seq`.
+    /// Returns the number of profiles now in the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RejectReason`]; the reject is counted and the series
+    /// aggregate is left exactly as it was.
+    pub fn upload(&self, series: &str, seq: u64, blob: &[u8]) -> Result<u64, RejectReason> {
+        // Parse and lint outside the lock: the expensive, fallible work
+        // must not serialize concurrent clients.
+        let checked = self.validate(blob);
+        let mut state = self.state.lock().expect("store lock");
+        let gmon = match checked {
+            Ok(gmon) => gmon,
+            Err(reason) => {
+                state.charge_reject(series);
+                return Err(reason);
+            }
+        };
+        if series.is_empty() || series.len() > 128 {
+            state.orphan_rejects += 1;
+            return Err(RejectReason::BadSeriesName);
+        }
+        let (max_series, have) = (self.max_series, state.series.len());
+        let entry = match state.series.entry(series.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                if have >= max_series {
+                    state.orphan_rejects += 1;
+                    return Err(RejectReason::TooManySeries { max: max_series });
+                }
+                e.insert(Series::default())
+            }
+        };
+        if !entry.seen_seqs.insert(seq) {
+            entry.stats.rejects += 1;
+            return Err(RejectReason::DuplicateSeq(seq));
+        }
+        if let Err(e) = entry.acc.push(gmon) {
+            entry.seen_seqs.remove(&seq);
+            entry.stats.rejects += 1;
+            return Err(RejectReason::Unmergeable(e.to_string()));
+        }
+        entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
+        entry.stats.uploads += 1;
+        entry.stats.bytes += blob.len() as u64;
+        Ok(entry.acc.count())
+    }
+
+    /// Uploads with a store-assigned sequence number (used when the
+    /// control plane extracts a hosted VM's snapshot into a series).
+    /// Returns `(seq, total)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RejectReason`] like [`SeriesStore::upload`].
+    pub fn upload_auto_seq(&self, series: &str, blob: &[u8]) -> Result<(u64, u64), RejectReason> {
+        let seq = {
+            let state = self.state.lock().expect("store lock");
+            state.series.get(series).map_or(0, |s| s.next_auto_seq)
+        };
+        // Another auto upload may race us to this seq; retry on the
+        // (store-internal) duplicate until one wins.
+        let mut seq = seq;
+        loop {
+            match self.upload(series, seq, blob) {
+                Ok(total) => return Ok((seq, total)),
+                Err(RejectReason::DuplicateSeq(_)) => seq += 1,
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    fn validate(&self, blob: &[u8]) -> Result<GmonData, RejectReason> {
+        let gmon =
+            GmonData::from_bytes(blob).map_err(|e| RejectReason::Unparseable(e.to_string()))?;
+        let errors: Vec<String> =
+            graphprof_analysis::check_profile_jobs(&self.exe, &gmon, self.jobs)
+                .into_iter()
+                // Structural errors invalidate an upload. Call-count
+                // conservation is tolerated: live windows extracted mid-run
+                // (kgmon toggling, moncontrol restrictions) legitimately
+                // record calls without the matching activations.
+                .filter(|f| f.is_error() && f.code() != "call-count-mismatch")
+                .map(|f| format!("[{}] {f}", f.code()))
+                .collect();
+        if errors.is_empty() {
+            Ok(gmon)
+        } else {
+            Err(RejectReason::Inconsistent(errors.join("; ")))
+        }
+    }
+
+    /// The live aggregate of a series, or `None` for an unknown series.
+    pub fn aggregate(&self, series: &str) -> Option<GmonData> {
+        let state = self.state.lock().expect("store lock");
+        let s = state.series.get(series)?;
+        Some(s.acc.aggregate().expect("series exist only after an accepted upload"))
+    }
+
+    /// Counters for one series.
+    pub fn stats(&self, series: &str) -> Option<SeriesStats> {
+        self.state.lock().expect("store lock").series.get(series).map(|s| s.stats)
+    }
+
+    /// Renders the `stats` verb: one line per series plus totals.
+    pub fn render_stats(&self) -> String {
+        let state = self.state.lock().expect("store lock");
+        let mut out = String::from("series            uploads   rejects        bytes\n");
+        let mut totals = SeriesStats::default();
+        for (name, s) in &state.series {
+            let _ = writeln!(
+                out,
+                "{name:<16} {:>8} {:>9} {:>12}",
+                s.stats.uploads, s.stats.rejects, s.stats.bytes
+            );
+            totals.uploads += s.stats.uploads;
+            totals.rejects += s.stats.rejects;
+            totals.bytes += s.stats.bytes;
+        }
+        totals.rejects += state.orphan_rejects;
+        let _ = writeln!(
+            out,
+            "total: {} series, {} uploads, {} rejects, {} bytes",
+            state.series.len(),
+            totals.uploads,
+            totals.rejects,
+            totals.bytes
+        );
+        out
+    }
+}
+
+impl StoreState {
+    fn charge_reject(&mut self, series: &str) {
+        match self.series.get_mut(series) {
+            Some(s) => s.stats.rejects += 1,
+            None => self.orphan_rejects += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::CompileOptions;
+    use graphprof_monitor::profiler::profile_to_completion;
+
+    fn exe() -> Executable {
+        let mut b = graphprof_machine::Program::builder();
+        b.routine("main", |r| r.call_n("leaf", 10).work(100));
+        b.routine("leaf", |r| r.work(50));
+        b.build().unwrap().compile(&CompileOptions::profiled()).unwrap()
+    }
+
+    fn blob(exe: &Executable) -> Vec<u8> {
+        profile_to_completion(exe.clone(), 7).unwrap().0.to_bytes()
+    }
+
+    #[test]
+    fn uploads_fold_into_a_live_aggregate() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::new(exe, 8, 1);
+        for seq in 0..4 {
+            assert_eq!(store.upload("web", seq, &blob), Ok(seq + 1));
+        }
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 4)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let stats = store.stats("web").unwrap();
+        assert_eq!(stats.uploads, 4);
+        assert_eq!(stats.rejects, 0);
+        assert_eq!(stats.bytes, 4 * blob.len() as u64);
+    }
+
+    #[test]
+    fn rejects_are_counted_and_leave_the_aggregate_alone() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::new(exe, 8, 1);
+        store.upload("web", 0, &blob).unwrap();
+        let before = store.aggregate("web").unwrap();
+
+        assert!(matches!(store.upload("web", 1, b"garbage"), Err(RejectReason::Unparseable(_))));
+        assert_eq!(store.upload("web", 0, &blob), Err(RejectReason::DuplicateSeq(0)));
+        assert_eq!(store.aggregate("web").unwrap(), before);
+        let stats = store.stats("web").unwrap();
+        assert_eq!((stats.uploads, stats.rejects), (1, 2));
+        // Sequence 1 was never accepted, so it is still usable.
+        assert_eq!(store.upload("web", 1, &blob), Ok(2));
+    }
+
+    #[test]
+    fn inconsistent_profiles_are_rejected() {
+        let exe = exe();
+        let other = {
+            let mut b = graphprof_machine::Program::builder();
+            b.routine("main", |r| r.call_n("a", 3).call_n("b", 3));
+            b.routine("a", |r| r.work(400));
+            b.routine("b", |r| r.work(400));
+            b.build().unwrap().compile(&CompileOptions::profiled()).unwrap()
+        };
+        let foreign = blob(&other);
+        let store = SeriesStore::new(exe, 8, 1);
+        let err = store.upload("web", 0, &foreign).unwrap_err();
+        assert!(
+            matches!(err, RejectReason::Inconsistent(_) | RejectReason::Unparseable(_)),
+            "{err:?}"
+        );
+        assert!(store.aggregate("web").is_none());
+    }
+
+    #[test]
+    fn series_limit_and_name_rules() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::new(exe, 2, 1);
+        store.upload("a", 0, &blob).unwrap();
+        store.upload("b", 0, &blob).unwrap();
+        assert_eq!(store.upload("c", 0, &blob), Err(RejectReason::TooManySeries { max: 2 }));
+        // Existing series still accept.
+        store.upload("a", 1, &blob).unwrap();
+        assert_eq!(store.upload("", 0, &blob), Err(RejectReason::BadSeriesName));
+        assert_eq!(store.upload(&"x".repeat(200), 0, &blob), Err(RejectReason::BadSeriesName));
+        assert!(store.render_stats().contains("2 series"));
+    }
+
+    #[test]
+    fn auto_seq_continues_after_explicit_uploads() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::new(exe, 8, 1);
+        store.upload("snaps", 5, &blob).unwrap();
+        let (seq, total) = store.upload_auto_seq("snaps", &blob).unwrap();
+        assert_eq!((seq, total), (6, 2));
+        let (seq, _) = store.upload_auto_seq("fresh", &blob).unwrap();
+        assert_eq!(seq, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Continuous profiling over the wire (the collection server).
+//!
+//! The retrospective's kgmon interface controlled one kernel from one
+//! console. This example scales that story out to a fleet: a collection
+//! server hosts a profiled "kernel" VM that operators drive remotely
+//! with kgmon verbs over TCP, while a second, independently running
+//! machine ships its own profile windows into a named series. The
+//! server folds uploads live — byte-identical, by contract, to the
+//! offline `sum_profiles` over the same windows.
+//!
+//! ```text
+//! cargo run --example continuous_profiling
+//! ```
+
+use std::time::{Duration, Instant};
+
+use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_monitor::{GmonData, RuntimeProfiler};
+use graphprof_server::{Client, KgmonVerb, QueryKind, Response, Server, ServerConfig};
+use graphprof_workloads::paper::kernel_program;
+
+const TICK: u64 = 10;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = kernel_program(10_000_000).compile(&CompileOptions::profiled())?;
+
+    // Boot the collection server on an ephemeral loopback port, hosting
+    // one profiled kernel VM on a background thread.
+    let config =
+        ServerConfig { bind: "127.0.0.1:0".into(), vm_tick: TICK, ..ServerConfig::default() };
+    let server = Server::start(config, exe.clone(), &["kernel".to_string()])?;
+    let addr = server.addr().to_string();
+    println!("collection server on {addr}, hosting VM `kernel`\n");
+
+    // -- The control plane: an operator drives the hosted VM remotely.
+    let mut op = Client::connect(&addr, TIMEOUT)?;
+    if let Response::Text(status) = op.kgmon("kernel", KgmonVerb::Status)? {
+        println!("kgmon status: {}", status.trim_end());
+    }
+
+    // Snapshot the running kernel without stopping it; poll until the
+    // window has samples (the VM has only just booted).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let window = loop {
+        if let Response::Blob(bytes) = op.kgmon("kernel", KgmonVerb::Extract { into: None })? {
+            let window = GmonData::from_bytes(&bytes)?;
+            if window.histogram().total() > 0 {
+                break window;
+            }
+        }
+        assert!(Instant::now() < deadline, "hosted VM produced no samples");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    println!(
+        "extracted a live window: {} samples, {} arcs — the kernel never stopped",
+        window.histogram().total(),
+        window.arcs().len()
+    );
+
+    // Store the next snapshot server-side and render it remotely.
+    op.kgmon("kernel", KgmonVerb::Extract { into: Some("kernel-snaps".to_string()) })?;
+    let flat = op.query_text("kernel-snaps", QueryKind::Flat)?;
+    println!("\nremote flat listing of series `kernel-snaps`:");
+    for line in flat.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // -- The data plane: another machine ships its windows into a series.
+    let mconfig = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe, mconfig);
+    let mut profiler = RuntimeProfiler::new(machine.executable(), TICK);
+    let mut blobs: Vec<Vec<u8>> = Vec::new();
+    for i in 0..4u64 {
+        machine.run_for(&mut profiler, 30_000 + 5_000 * i)?;
+        blobs.push(profiler.snapshot().to_bytes());
+        profiler.reset();
+    }
+
+    let mut uploader = Client::connect(&addr, TIMEOUT)?;
+    for (seq, blob) in blobs.iter().enumerate() {
+        let total = uploader.upload("web", seq as u64, blob)?;
+        println!("web[{seq}] uploaded ({total} profiles aggregated)");
+    }
+
+    // The determinism contract: the live aggregate is byte-identical to
+    // the offline summation over the same windows.
+    let live = uploader.fetch_sum("web")?;
+    let offline = graphprof::sum_profile_bytes(&blobs, 1)?.to_bytes();
+    println!("\nlive aggregate == offline sum_profiles: {}", live == offline);
+
+    // Snapshot diffs across series compare any two aggregates.
+    let diff = uploader.diff("kernel-snaps", "web")?;
+    println!("\ndiff of `kernel-snaps` -> `web` (head):");
+    for line in diff.lines().take(6) {
+        println!("  {line}");
+    }
+
+    println!("\n{}", uploader.stats().map(|s| s.trim_end().to_string())?);
+    drop(op);
+    drop(uploader);
+    let drained = server.shutdown();
+    println!(
+        "\nserver drained: {} connection(s), {} frame error(s)",
+        drained.connections, drained.frame_errors
+    );
+    Ok(())
+}

@@ -77,6 +77,72 @@ fn windows_from_the_same_system_can_be_summed() {
 }
 
 #[test]
+fn moncontrol_narrows_then_widens_without_stopping() {
+    let (exe, mut machine, mut hooks, tool) = kernel();
+    let disk = exe.symbols().by_name("disk").expect("disk").1;
+
+    tool.moncontrol(Some((disk.addr(), disk.end())));
+    assert_eq!(tool.monitor_range(), Some((disk.addr(), disk.end())));
+    machine.run_for(&mut hooks, 100_000).unwrap();
+    let narrowed = tool.extract();
+    assert!(narrowed.histogram().total() > 0);
+    assert!(narrowed.arcs().iter().all(|a| a.self_pc == disk.addr()));
+
+    tool.moncontrol(None);
+    tool.reset();
+    machine.run_for(&mut hooks, 100_000).unwrap();
+    let widened = tool.extract();
+    assert!(widened.arcs().iter().any(|a| a.self_pc != disk.addr()));
+}
+
+/// The collection server's usage: one tool per hosted VM, cloned across
+/// connection-handler threads, every verb through `&self` while the
+/// system keeps running. Snapshots taken mid-run must always condense to
+/// parseable `gmon.out` bytes.
+#[test]
+fn concurrent_operators_drive_one_live_system() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (exe, mut machine, mut hooks, tool) = kernel();
+    let disk = exe.symbols().by_name("disk").expect("disk").1;
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let done = &done;
+        s.spawn(move || {
+            for _ in 0..50 {
+                machine.run_for(&mut hooks, 10_000).unwrap();
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+        for role in 0..3 {
+            let tool = tool.clone();
+            s.spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    match role {
+                        0 => {
+                            let bytes = tool.extract_bytes();
+                            graphprof_monitor::GmonData::from_bytes(&bytes)
+                                .expect("live snapshot parses");
+                        }
+                        1 => {
+                            tool.moncontrol(Some((disk.addr(), disk.end())));
+                            tool.moncontrol(None);
+                        }
+                        _ => {
+                            let _ = tool.is_on();
+                            let _ = tool.monitor_range();
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    let final_window = tool.extract();
+    assert!(final_window.histogram().total() > 0);
+}
+
+#[test]
 fn toggling_mid_window_keeps_arcs_and_samples_consistent() {
     let (exe, mut machine, mut hooks, tool) = kernel();
     tool.reset();

@@ -1,0 +1,319 @@
+//! End-to-end tests of `graphprof-serve`: concurrent clients uploading
+//! windows of a profiled system over TCP, remote kgmon control of a VM
+//! hosted inside the server, and the determinism contract — the live
+//! aggregate is byte-identical to offline `graphprof -s` over the same
+//! blobs in canonical sequence order, at any worker count.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use graphprof::{Gprof, Options};
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
+use graphprof_monitor::{GmonData, RuntimeProfiler};
+use graphprof_server::frame::{HEADER_LEN, MAGIC, VERSION};
+use graphprof_server::{Client, KgmonVerb, MonRange, QueryKind, Response, Server, ServerConfig};
+use graphprof_workloads::paper::kernel_program;
+
+const TICK: u64 = 10;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn kernel_exe() -> Executable {
+    kernel_program(10_000_000).compile(&CompileOptions::profiled()).expect("compiles")
+}
+
+/// Distinct profile windows of the same system: one long run, a snapshot
+/// after each unequal slice. Same executable and tick (so they merge),
+/// different contents (so ordering bugs would show).
+fn windows(exe: &Executable, n: usize) -> Vec<Vec<u8>> {
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let mut profiler = RuntimeProfiler::new(exe, TICK);
+    let mut blobs = Vec::with_capacity(n);
+    for i in 0..n {
+        machine.run_for(&mut profiler, 20_000 + 7_000 * i as u64).expect("runs");
+        blobs.push(profiler.snapshot().to_bytes());
+        profiler.reset();
+    }
+    blobs
+}
+
+fn start(config: ServerConfig, vms: &[&str]) -> graphprof_server::ServerHandle {
+    let vms: Vec<String> = vms.iter().map(|s| s.to_string()).collect();
+    Server::start(config, kernel_exe(), &vms).expect("binds an ephemeral port")
+}
+
+fn ephemeral(jobs: usize) -> ServerConfig {
+    ServerConfig { jobs, ..ServerConfig::default() }
+}
+
+/// The acceptance scenario: at several worker counts, 4 client threads
+/// interleave 8 uploads into one series; the aggregate — and the
+/// rendered listing — must be byte-identical to the offline pipeline
+/// over the same blobs in sequence order.
+#[test]
+fn concurrent_uploads_aggregate_deterministically() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 8);
+    let offline = graphprof::sum_profiles(
+        blobs
+            .iter()
+            .map(|b| GmonData::from_bytes(b).expect("window parses"))
+            .collect::<Vec<_>>()
+            .iter(),
+    )
+    .expect("offline sum")
+    .to_bytes();
+
+    for jobs in [1usize, 2, 8] {
+        let handle = start(ephemeral(jobs), &[]);
+        let addr = handle.addr().to_string();
+
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let (addr, blobs) = (addr.clone(), &blobs);
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
+                    // Thread t uploads sequences t, t+4: all four threads
+                    // interleave within one series.
+                    for seq in [t, t + 4] {
+                        client.upload("web", seq as u64, &blobs[seq]).expect("accepted");
+                    }
+                });
+            }
+        });
+
+        let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline,
+            "aggregate diverged from offline graphprof -s at jobs={jobs}"
+        );
+
+        // The rendered listings match the offline post-processor too.
+        let offline_analysis = Gprof::new(Options::default().jobs(jobs))
+            .analyze(&exe, &GmonData::from_bytes(&offline).unwrap())
+            .expect("offline analysis");
+        assert_eq!(
+            client.query_text("web", QueryKind::Flat).expect("flat"),
+            offline_analysis.render_flat()
+        );
+        assert_eq!(
+            client.query_text("web", QueryKind::Graph).expect("graph"),
+            offline_analysis.render_call_graph()
+        );
+
+        let stats = client.stats().expect("stats");
+        assert!(stats.contains("8 uploads"), "{stats}");
+        let summary = handle.shutdown();
+        assert!(summary.connections >= 5);
+        assert_eq!(summary.frame_errors, 0);
+    }
+}
+
+/// Series diffs reuse `core::diff` server-side.
+#[test]
+fn diff_of_two_series_matches_offline_diff() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 4);
+    let handle = start(ephemeral(1), &[]);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+    for (seq, blob) in blobs[..2].iter().enumerate() {
+        client.upload("before", seq as u64, blob).expect("accepted");
+    }
+    for (seq, blob) in blobs[2..].iter().enumerate() {
+        client.upload("after", seq as u64, blob).expect("accepted");
+    }
+
+    let parse = |range: std::ops::Range<usize>| {
+        graphprof::sum_profiles(
+            blobs[range]
+                .iter()
+                .map(|b| GmonData::from_bytes(b).unwrap())
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+        .unwrap()
+    };
+    let gprof = Gprof::new(Options::default().jobs(1));
+    let offline = graphprof::diff_profiles(
+        &gprof.analyze(&exe, &parse(0..2)).unwrap(),
+        &gprof.analyze(&exe, &parse(2..4)).unwrap(),
+    )
+    .render();
+    assert_eq!(client.diff("before", "after").expect("diff"), offline);
+}
+
+/// The control plane: remote kgmon verbs against a VM hosted in the
+/// server — on/off, moncontrol, extract (including extract-into-series),
+/// reset — while the VM keeps executing.
+#[test]
+fn remote_kgmon_controls_a_hosted_vm() {
+    let exe = kernel_exe();
+    let handle = start(ephemeral(1), &["kernel"]);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+
+    // Quiesce: off + reset gives an empty window while the VM runs on.
+    client.kgmon("kernel", KgmonVerb::Off).expect("off");
+    client.kgmon("kernel", KgmonVerb::Reset).expect("reset");
+    let Response::Blob(empty) =
+        client.kgmon("kernel", KgmonVerb::Extract { into: None }).expect("extract")
+    else {
+        panic!("extract answers with a blob")
+    };
+    assert_eq!(GmonData::from_bytes(&empty).expect("parses").histogram().total(), 0);
+    let Response::Text(status) = client.kgmon("kernel", KgmonVerb::Status).expect("status") else {
+        panic!("status answers with text")
+    };
+    assert!(status.contains("off"), "{status}");
+
+    // Narrow to one routine, turn on, and wait for samples to land.
+    client
+        .kgmon("", KgmonVerb::Moncontrol(MonRange::Routine("disk".to_string())))
+        .expect("moncontrol (empty vm name resolves to the only VM)");
+    client.kgmon("kernel", KgmonVerb::On).expect("on");
+    let narrowed = wait_for_window(&mut client, |g| g.histogram().total() > 0);
+    let disk = exe.symbols().by_name("disk").expect("disk").1;
+    assert!(narrowed.arcs().iter().all(|a| a.self_pc == disk.addr()), "moncontrol leaked arcs");
+
+    // Widen, reset, extract into a series: the snapshot becomes an
+    // upload and is queryable like any other series.
+    client.kgmon("kernel", KgmonVerb::Moncontrol(MonRange::Off)).expect("widen");
+    client.kgmon("kernel", KgmonVerb::Reset).expect("reset");
+    let full = wait_for_window(&mut client, |g| {
+        g.arcs().iter().any(|a| a.self_pc != disk.addr()) && g.histogram().total() > 0
+    });
+    assert!(full.histogram().total() > 0);
+    client
+        .kgmon("kernel", KgmonVerb::Extract { into: Some("snaps".to_string()) })
+        .expect("extract into series");
+    let flat = client.query_text("snaps", QueryKind::Flat).expect("snapshot series renders");
+    assert!(flat.contains("disk"), "{flat}");
+
+    // Failure shapes are rejects, not panics or disconnects.
+    let err = client.kgmon("nope", KgmonVerb::On).expect_err("unknown VM");
+    assert!(err.to_string().contains("no hosted VM"), "{err}");
+    let err = client
+        .kgmon("kernel", KgmonVerb::Moncontrol(MonRange::Addrs(0x50, 0x50)))
+        .expect_err("empty range");
+    assert!(err.to_string().contains("empty moncontrol range"), "{err}");
+    let err = client
+        .kgmon("kernel", KgmonVerb::Moncontrol(MonRange::Routine("nope".to_string())))
+        .expect_err("unknown routine");
+    assert!(err.to_string().contains("no routine"), "{err}");
+    // The connection survived every reject.
+    client.kgmon("kernel", KgmonVerb::Status).expect("still usable");
+}
+
+fn wait_for_window(client: &mut Client, ready: impl Fn(&GmonData) -> bool) -> GmonData {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let Response::Blob(bytes) =
+            client.kgmon("kernel", KgmonVerb::Extract { into: None }).expect("extract")
+        else {
+            panic!("extract answers with a blob")
+        };
+        let gmon = GmonData::from_bytes(&bytes).expect("live snapshot parses");
+        if ready(&gmon) {
+            return gmon;
+        }
+        assert!(Instant::now() < deadline, "hosted VM produced no matching window");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Hostile and unlucky connections are isolated: garbage frames,
+/// oversized headers, and mid-upload disconnects end (at most) their own
+/// connection while a concurrent healthy session keeps working.
+#[test]
+fn malformed_frames_and_disconnects_do_not_disturb_other_connections() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 2);
+    let handle = start(ephemeral(1), &[]);
+    let addr = handle.addr();
+    let mut healthy = Client::connect(&addr.to_string(), TIMEOUT).expect("connects");
+    healthy.upload("web", 0, &blobs[0]).expect("accepted");
+
+    // 1. Pure garbage: the server answers with a rendered error frame
+    //    (bad magic) and closes only this connection.
+    // Exactly one header's worth of garbage: the server rejects it after
+    // those 12 bytes, replies, and closes cleanly (leftover unread input
+    // would turn the close into a reset).
+    let mut garbage = TcpStream::connect(addr).expect("connects");
+    garbage.write_all(b"GARBAGEFRAME").expect("writes");
+    let mut reply = Vec::new();
+    garbage.read_to_end(&mut reply).expect("server closes after replying");
+    let reply_text = String::from_utf8_lossy(&reply);
+    assert!(reply_text.contains("bad frame"), "{reply_text}");
+    assert!(reply_text.contains("bad magic"), "{reply_text}");
+
+    // 2. An oversized header: rejected from the 12 header bytes alone.
+    let mut oversized = TcpStream::connect(addr).expect("connects");
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = 0x01;
+    header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    oversized.write_all(&header).expect("writes");
+    let mut reply = Vec::new();
+    oversized.read_to_end(&mut reply).expect("server closes after replying");
+    assert!(String::from_utf8_lossy(&reply).contains("exceeds"), "{reply:?}");
+
+    // 3. Disconnect mid-upload: a valid header promising more payload
+    //    than is ever sent, then a hard close.
+    let mut quitter = TcpStream::connect(addr).expect("connects");
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = 0x01;
+    header[8..12].copy_from_slice(&1024u32.to_le_bytes());
+    quitter.write_all(&header).expect("writes");
+    quitter.write_all(&[0u8; 100]).expect("writes a partial payload");
+    drop(quitter);
+    // The disconnect is observed asynchronously by the quitter's handler
+    // thread; wait for the server to count all three frame errors.
+    let deadline = Instant::now() + TIMEOUT;
+    while !healthy.stats().expect("stats").contains("frame errors: 3") {
+        assert!(Instant::now() < deadline, "server never counted the mid-upload disconnect");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // 4. A structurally valid frame whose blob is not a profile: the
+    //    upload is rejected but the *same* connection stays usable.
+    let err = healthy.upload("web", 1, b"garbage bytes").expect_err("rejected");
+    assert!(err.to_string().contains("rejected"), "{err}");
+
+    // The healthy session never noticed any of it.
+    healthy.upload("web", 1, &blobs[1]).expect("accepted");
+    let offline = graphprof::sum_profiles(
+        blobs.iter().map(|b| GmonData::from_bytes(b).unwrap()).collect::<Vec<_>>().iter(),
+    )
+    .unwrap()
+    .to_bytes();
+    assert_eq!(healthy.fetch_sum("web").expect("aggregate"), offline);
+    let stats = healthy.stats().expect("stats");
+    assert!(stats.contains("2 uploads"), "{stats}");
+    assert!(stats.contains("1 rejects"), "{stats}");
+
+    let summary = handle.shutdown();
+    assert!(summary.frame_errors >= 3, "garbage, oversized, truncated: {summary:?}");
+}
+
+/// Duplicate sequence numbers and unknown series are rejects with the
+/// connection left usable; the aggregate never double-counts.
+#[test]
+fn duplicate_and_unknown_series_are_clean_rejects() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 1);
+    let handle = start(ephemeral(1), &[]);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+
+    client.upload("web", 0, &blobs[0]).expect("accepted");
+    let err = client.upload("web", 0, &blobs[0]).expect_err("duplicate seq");
+    assert!(err.to_string().contains("already uploaded"), "{err}");
+    let err = client.query_text("nope", QueryKind::Flat).expect_err("unknown series");
+    assert!(err.to_string().contains("no such series"), "{err}");
+
+    let offline = GmonData::from_bytes(&blobs[0]).unwrap().to_bytes();
+    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline);
+}
