@@ -102,6 +102,13 @@ pub enum CheckFinding {
         /// The slot it calls through.
         slot: u8,
     },
+    /// The monitor's arc table filled up during the run: this many arc
+    /// traversals were dropped, so call counts undercount the program
+    /// (warning — the data that *was* recorded is still consistent).
+    DroppedArcs {
+        /// Traversals lost to the full table.
+        dropped: u64,
+    },
 }
 
 impl CheckFinding {
@@ -117,6 +124,7 @@ impl CheckFinding {
             CheckFinding::UnreachableRoutine { .. } => "unreachable-routine",
             CheckFinding::CallCountMismatch { .. } => "call-count-mismatch",
             CheckFinding::UnresolvedIndirectCall { .. } => "unresolved-indirect-call",
+            CheckFinding::DroppedArcs { .. } => "dropped-arcs",
         }
     }
 
@@ -125,7 +133,8 @@ impl CheckFinding {
     pub fn is_error(&self) -> bool {
         match self {
             CheckFinding::UnreachableRoutine { .. }
-            | CheckFinding::UnresolvedIndirectCall { .. } => false,
+            | CheckFinding::UnresolvedIndirectCall { .. }
+            | CheckFinding::DroppedArcs { .. } => false,
             CheckFinding::BadExecutable { issue } => issue.is_error(),
             _ => true,
         }
@@ -169,6 +178,13 @@ impl fmt::Display for CheckFinding {
             }
             CheckFinding::UnresolvedIndirectCall { at, slot } => {
                 write!(f, "indirect call at {at} through slot {slot} cannot be resolved")
+            }
+            CheckFinding::DroppedArcs { dropped } => {
+                write!(
+                    f,
+                    "arc table filled during the run: {dropped} traversals dropped, \
+                     call counts are a lower bound"
+                )
             }
         }
     }
@@ -260,6 +276,15 @@ pub fn check_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec
         findings.push(CheckFinding::HistogramOutOfText { start, end });
     }
 
+    // 5b. Dropped arcs: the monitor ran out of table space, so arc
+    // counts are lower bounds. Surfaced as a warning — and conservation
+    // (check 6) is skipped, because an undercounted profile can fail it
+    // without being corrupt.
+    let dropped_arcs = gmon.dropped_arcs();
+    if dropped_arcs > 0 {
+        findings.push(CheckFinding::DroppedArcs { dropped: dropped_arcs });
+    }
+
     // 6. Call-count conservation. For a caller with an mcount prologue,
     // activations(caller) = arcs into its entry. A direct call site in a
     // block that executes exactly once per activation, targeting another
@@ -286,7 +311,7 @@ pub fn check_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec
     let conservation = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
         let caller = symbols.symbol(id);
         let mut local = Vec::new();
-        if counts_arcs(caller.addr()).is_none() {
+        if dropped_arcs > 0 || counts_arcs(caller.addr()).is_none() {
             return local;
         }
         let expected = activations(caller.addr());
@@ -527,6 +552,29 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(serial, check_profile(&exe, &corrupted));
         assert!(serial.len() >= 3, "{serial:?}");
+    }
+
+    #[test]
+    fn dropped_arcs_are_a_warning_and_suspend_conservation() {
+        let (exe, gmon) = profile(WELL_BEHAVED);
+        // Drop one real arc and declare the loss, as a full table would.
+        let mut arcs: Vec<RawArc> = gmon.arcs().to_vec();
+        let removed = arcs.iter().position(|a| !a.from_pc.is_null()).unwrap();
+        let lost = arcs.remove(removed).count;
+        let degraded = GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs)
+            .with_dropped_arcs(lost);
+        let findings = check_profile(&exe, &degraded);
+        let dropped: Vec<_> =
+            findings.iter().filter(|f| matches!(f, CheckFinding::DroppedArcs { .. })).collect();
+        assert_eq!(dropped.len(), 1, "{findings:?}");
+        assert!(!dropped[0].is_error());
+        assert_eq!(dropped[0].code(), "dropped-arcs");
+        // The missing arc would break count conservation, but an
+        // undercounting profile must not be reported as corrupt.
+        assert!(
+            !findings.iter().any(|f| matches!(f, CheckFinding::CallCountMismatch { .. })),
+            "{findings:?}"
+        );
     }
 
     #[test]

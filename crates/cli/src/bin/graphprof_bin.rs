@@ -10,9 +10,9 @@ const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--exclude from:to]... [--break-cycles N] \
                      [--min-percent P | --focus NAME | --keep a,b,c | --hide a,b,c] \
                      [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix] [--jobs N]\n\
-                     graphprof check <prog.gpx> <gmon.out> [--jobs N]\n\
-                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N]\n\
-                     graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|stats> [...] [--vm NAME] [--timeout-ms N]";
+                     graphprof check <prog.gpx> <gmon.out> [--jobs N] [--salvage]\n\
+                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N] [--data-dir DIR] [--wal-segment-bytes N]\n\
+                     graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|stats> [...] [--vm NAME] [--timeout-ms N] [--retries N] [--retry-base-ms N]";
 
 fn fail(e: &CliError) -> ! {
     match e {
@@ -30,7 +30,18 @@ fn fail(e: &CliError) -> ! {
 fn serve_main(argv: &[String]) -> ! {
     let parsed = Args::parse(
         argv,
-        &["bind", "vm", "jobs", "max-frame", "max-series", "tick", "slice", "timeout-ms"],
+        &[
+            "bind",
+            "vm",
+            "jobs",
+            "max-frame",
+            "max-series",
+            "tick",
+            "slice",
+            "timeout-ms",
+            "data-dir",
+            "wal-segment-bytes",
+        ],
         &[],
     )
     .and_then(|args| serve(&args));
@@ -50,9 +61,12 @@ fn serve_main(argv: &[String]) -> ! {
 }
 
 fn remote_main(argv: &[String]) -> ! {
-    let result =
-        Args::parse(argv, &["vm", "timeout-ms", "out", "into", "range", "routine"], &["off"])
-            .and_then(|args| remote(&args));
+    let result = Args::parse(
+        argv,
+        &["vm", "timeout-ms", "out", "into", "range", "routine", "retries", "retry-base-ms"],
+        &["off"],
+    )
+    .and_then(|args| remote(&args));
     match result {
         Ok(output) => {
             print!("{output}");
@@ -74,7 +88,7 @@ fn main() {
         _ => {}
     }
     if argv.first().map(String::as_str) == Some("check") {
-        match Args::parse(&argv[1..], &["jobs"], &[]).and_then(|args| check(&args)) {
+        match Args::parse(&argv[1..], &["jobs"], &["salvage"]).and_then(|args| check(&args)) {
             Ok(report) => {
                 print!("{}", report.output);
                 if !report.is_clean() {

@@ -306,7 +306,7 @@ impl CheckReport {
     }
 }
 
-/// `graphprof check <prog.gpx> <gmon.out> [--jobs N]`
+/// `graphprof check <prog.gpx> <gmon.out> [--jobs N] [--salvage]`
 ///
 /// Cross-checks a profile against its executable: executable
 /// verification, arc call-sites and callees, histogram geometry,
@@ -314,6 +314,10 @@ impl CheckReport {
 /// indirect-call blind spot. Findings print one per line as
 /// `{severity}: [{code}] {message}` with stable kebab-case codes for
 /// machine consumption.
+///
+/// With `--salvage`, a truncated or corrupt profile is not fatal: the
+/// valid prefix is recovered, what was repaired prints first as a
+/// `salvage:` line, and the checks run over the recovered data.
 ///
 /// Unlike the other commands, this one deliberately reads the executable
 /// *without* the verifying loader — reporting what is wrong with a bad
@@ -325,14 +329,25 @@ impl CheckReport {
 /// input files (semantic problems become findings, not errors).
 pub fn check(args: &Args) -> Result<CheckReport, CliError> {
     let [exe_path, gmon_path] = args.positionals() else {
-        return Err(CliError::Usage("graphprof check <prog.gpx> <gmon.out>".to_string()));
+        return Err(CliError::Usage(
+            "graphprof check <prog.gpx> <gmon.out> [--salvage]".to_string(),
+        ));
     };
     let exe = objfile::read_executable(&read(exe_path)?)?;
-    let gmon = Gmon::from_bytes(&read(gmon_path)?)?;
+    let gmon_bytes = read(gmon_path)?;
+    let mut output = String::new();
+    let gmon = if args.switch("salvage") {
+        let (gmon, report) = Gmon::from_bytes_salvage(&gmon_bytes)?;
+        if !report.is_clean() {
+            output.push_str(&format!("salvage: {report}\n"));
+        }
+        gmon
+    } else {
+        Gmon::from_bytes(&gmon_bytes)?
+    };
 
     let findings = graphprof_analysis::check_profile_jobs(&exe, &gmon, resolve_jobs(args)?);
     let (mut errors, mut warnings) = (0usize, 0usize);
-    let mut output = String::new();
     for finding in &findings {
         if finding.is_error() {
             errors += 1;

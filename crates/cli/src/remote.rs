@@ -12,7 +12,8 @@ use std::fs;
 use std::time::Duration;
 
 use graphprof_server::{
-    Client, KgmonVerb, MonRange, QueryKind, Response, Server, ServerConfig, ServerHandle,
+    KgmonVerb, MonRange, QueryKind, ResilientClient, Response, RetryPolicy, Server, ServerConfig,
+    ServerHandle,
 };
 
 use crate::args::Args;
@@ -26,17 +27,34 @@ fn timeout(args: &Args) -> Result<Duration, CliError> {
     Ok(Duration::from_millis(args.int_value("timeout-ms")?.unwrap_or(10_000)))
 }
 
-fn connect(args: &Args, addr: &str) -> Result<Client, CliError> {
-    Ok(Client::connect(addr, timeout(args)?)?)
+/// Retry knobs shared by `gpx-send` and `graphprof remote`: `--retries N`
+/// (attempts after the first, default 3; 0 disables retrying) and
+/// `--retry-base-ms N` (first backoff, doubling per retry, default 50).
+fn retry_policy(args: &Args) -> Result<RetryPolicy, CliError> {
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = args.int_value("retries")? {
+        policy.max_attempts = (n as u32).saturating_add(1);
+    }
+    if let Some(ms) = args.int_value("retry-base-ms")? {
+        policy.base_delay = Duration::from_millis(ms);
+    }
+    Ok(policy)
+}
+
+fn connect(args: &Args, addr: &str) -> Result<ResilientClient, CliError> {
+    Ok(ResilientClient::new(addr, timeout(args)?, retry_policy(args)?))
 }
 
 /// `graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--jobs N]
 /// [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES]
-/// [--timeout-ms N]`
+/// [--timeout-ms N] [--data-dir DIR] [--wal-segment-bytes N]`
 ///
 /// Starts the collection server for one executable: uploads are
 /// validated against it and `--vm` hosts named profiled VMs running it
-/// under remote kgmon control. Binds loopback by default. Returns the
+/// under remote kgmon control. Binds loopback by default. With
+/// `--data-dir` every accepted upload is made durable in a write-ahead
+/// log under that directory before it is acknowledged, and a restart
+/// replays the log to the byte-identical aggregate. Returns the
 /// running handle plus a banner line (`serving <prog> on <addr>`); the
 /// binary prints the banner and parks until killed.
 ///
@@ -70,27 +88,43 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
     let per_conn = timeout(args)?;
     config.read_timeout = per_conn;
     config.write_timeout = per_conn;
+    if let Some(dir) = args.value("data-dir") {
+        config.data_dir = Some(dir.into());
+    }
+    if let Some(n) = args.int_value("wal-segment-bytes")? {
+        config.wal_segment_bytes = n.max(64);
+    }
 
     let vms: Vec<String> = args.values("vm").to_vec();
+    let durable = config.data_dir.is_some();
     let handle = Server::start(config, exe, &vms).map_err(|e| {
-        CliError::io(format!("bind {}", args.value("bind").unwrap_or(DEFAULT_ADDR)), e)
+        CliError::io(format!("start on {}", args.value("bind").unwrap_or(DEFAULT_ADDR)), e)
     })?;
-    let banner = format!("serving {exe_path} on {} ({} hosted VM(s))", handle.addr(), vms.len());
+    let mut banner =
+        format!("serving {exe_path} on {} ({} hosted VM(s))", handle.addr(), vms.len());
+    if durable {
+        if let Some(recovery) = handle.recovery() {
+            banner.push_str(&format!("\n{recovery}"));
+        }
+    }
     Ok((handle, banner))
 }
 
 /// `gpx-send <gmon...> --series NAME [--addr HOST:PORT] [--seq-start N]
-/// [--timeout-ms N]`
+/// [--timeout-ms N] [--retries N] [--retry-base-ms N]`
 ///
 /// Uploads one or more `gmon.out` files into a named series, assigning
 /// consecutive sequence numbers from `--seq-start` (default 0) in
-/// argument order. One connection carries all the uploads.
+/// argument order. Transient transport failures retry with exponential
+/// backoff over a fresh connection; because the server deduplicates by
+/// (series, seq), a retry after a lost acknowledgment can never
+/// double-count an upload.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Remote`] on connection refused, deadline
-/// exceeded, or a server-side reject — the binary exits non-zero with
-/// the rendered reason.
+/// Returns [`CliError::Remote`] when the retry budget is exhausted or
+/// on a server-side reject — the binary exits non-zero with the
+/// rendered reason.
 pub fn send(args: &Args) -> Result<String, CliError> {
     let paths = args.positionals();
     if paths.is_empty() {
@@ -137,10 +171,14 @@ fn parse_range(text: &str) -> Result<MonRange, CliError> {
 /// * data plane: `flat <series>`, `graph <series>`,
 ///   `sum <series> --out FILE`, `diff <before> <after>`, `stats`.
 ///
+/// Transient transport failures retry with backoff (`--retries`,
+/// `--retry-base-ms`); `extract --into` retries only its dial, because
+/// the store assigns a fresh sequence number per extraction.
+///
 /// # Errors
 ///
-/// Returns [`CliError::Remote`] on connection refused, deadline
-/// exceeded, or a server-side reject.
+/// Returns [`CliError::Remote`] when the retry budget is exhausted or
+/// on a server-side reject.
 pub fn remote(args: &Args) -> Result<String, CliError> {
     let [addr, verb, rest @ ..] = args.positionals() else {
         return Err(CliError::Usage("graphprof remote <addr> <verb> [...]".to_string()));
@@ -155,7 +193,7 @@ pub fn remote(args: &Args) -> Result<String, CliError> {
             Err(CliError::Usage(format!("{what} takes no further arguments")))
         }
     };
-    let kgmon_text = |client: &mut Client, verb: KgmonVerb| -> Result<String, CliError> {
+    let kgmon_text = |client: &mut ResilientClient, verb: KgmonVerb| -> Result<String, CliError> {
         match client.kgmon(vm, verb)? {
             Response::Text(text) => Ok(text),
             _ => Ok(String::new()),

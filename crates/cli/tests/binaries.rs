@@ -319,6 +319,27 @@ fn check_accepts_a_clean_profile() {
 }
 
 #[test]
+fn check_salvage_accepts_a_truncated_profile() {
+    let dir = TempDir::new("checksalvage");
+    let (exe, gmon) = straight_profile(&dir);
+    // Tear the file mid-way through the last arc record, as a crash
+    // while writing gmon.out would.
+    let bytes = fs::read(&gmon).expect("read gmon");
+    let cut = last_arc_offset(&bytes) + 5;
+    fs::write(&gmon, &bytes[..cut]).expect("truncate gmon");
+
+    // Without --salvage the torn file is a hard parse failure.
+    let out = run_bin("graphprof", &["check", &exe, &gmon]);
+    assert_ne!(out.status.code(), Some(0), "{}", stdout(&out));
+
+    // With --salvage the valid prefix is linted and the cut reported.
+    let out = run_bin("graphprof", &["check", "--salvage", &exe, &gmon]);
+    let text = stdout(&out);
+    assert!(text.contains("salvage:"), "{text}");
+    assert!(text.contains("error(s)"), "salvaged profile was linted: {text}");
+}
+
+#[test]
 fn check_detects_a_shifted_arc_site() {
     let dir = TempDir::new("checkshift");
     let (exe, gmon) = straight_profile(&dir);

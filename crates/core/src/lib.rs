@@ -77,3 +77,8 @@ pub use flat::{FlatProfile, FlatRow};
 pub use gprof::{analyze, Analysis, Gprof};
 pub use options::Options;
 pub use sum::{sum_profile_bytes, sum_profiles, sum_profiles_jobs, ProfileAccumulator};
+
+// The profile-file type and its crash-recovery surface, re-exported so
+// post-processing consumers can salvage a torn `gmon.out`
+// ([`GmonData::from_bytes_salvage`]) without naming the monitor crate.
+pub use graphprof_monitor::{GmonData, SalvageReport};

@@ -80,6 +80,11 @@ pub struct ArcStats {
     pub max_chain: u64,
     /// Number of distinct arcs in the table.
     pub arcs: usize,
+    /// Traversals of arcs the table had no room to store (the arc limit
+    /// was reached and the arc was not already present). These calls
+    /// happened but are missing from [`ArcRecorder::arcs`]; the count is
+    /// carried into the profile file header so post-processing can warn.
+    pub dropped: u64,
 }
 
 impl ArcStats {
@@ -136,6 +141,11 @@ struct AddressIndexedTable {
     records: u64,
     probes: u64,
     max_chain: u64,
+    /// Distinct-arc capacity; new arcs beyond it are counted as dropped
+    /// instead of stored (the paper's fixed-size kernel table, made loud).
+    max_arcs: usize,
+    /// Traversals lost to the capacity limit.
+    dropped: u64,
     /// Software-prefetch the probe chain (scheduling hint only; never
     /// affects results).
     prefetch: bool,
@@ -151,6 +161,8 @@ impl AddressIndexedTable {
             records: 0,
             probes: 0,
             max_chain: 0,
+            max_arcs: usize::MAX,
+            dropped: 0,
             prefetch: false,
         }
     }
@@ -193,10 +205,16 @@ impl AddressIndexedTable {
             slot = node.link;
         }
         // New arc: a fresh node at the head of the chain (the paper's table
-        // also initializes a counter on first traversal).
+        // also initializes a counter on first traversal). A full table
+        // cannot store it; the loss is *counted* rather than silent, and
+        // the profiler carries the count into the gmon header.
         probes += 1;
-        self.nodes.push(ArcNode { from_pc, self_pc, count: 1, link: self.heads[bucket] });
-        self.heads[bucket] = self.nodes.len() as u32;
+        if self.nodes.len() >= self.max_arcs {
+            self.dropped += 1;
+        } else {
+            self.nodes.push(ArcNode { from_pc, self_pc, count: 1, link: self.heads[bucket] });
+            self.heads[bucket] = self.nodes.len() as u32;
+        }
         self.probes += probes;
         self.max_chain = self.max_chain.max(probes);
         probes
@@ -218,6 +236,7 @@ impl AddressIndexedTable {
         self.records = 0;
         self.probes = 0;
         self.max_chain = 0;
+        self.dropped = 0;
     }
 
     fn stats(&self) -> ArcStats {
@@ -226,6 +245,7 @@ impl AddressIndexedTable {
             probes: self.probes,
             max_chain: self.max_chain,
             arcs: self.nodes.len(),
+            dropped: self.dropped,
         }
     }
 }
@@ -277,6 +297,19 @@ impl CallSiteTable {
     /// Whether probe-loop prefetching is enabled.
     pub fn prefetch(&self) -> bool {
         self.inner.prefetch
+    }
+
+    /// Caps the table at `max_arcs` distinct arcs. Traversals of arcs
+    /// that cannot be stored once the limit is reached are counted in
+    /// [`ArcStats::dropped`] instead of being lost silently. Arcs already
+    /// in the table keep counting regardless of the limit.
+    pub fn set_arc_limit(&mut self, max_arcs: usize) {
+        self.inner.max_arcs = max_arcs;
+    }
+
+    /// The distinct-arc capacity (`usize::MAX` when unlimited).
+    pub fn arc_limit(&self) -> usize {
+        self.inner.max_arcs
     }
 }
 
@@ -330,6 +363,17 @@ impl CalleeTable {
     /// Whether probe-loop prefetching is enabled.
     pub fn prefetch(&self) -> bool {
         self.inner.prefetch
+    }
+
+    /// Caps the table at `max_arcs` distinct arcs; overflow traversals
+    /// are counted in [`ArcStats::dropped`].
+    pub fn set_arc_limit(&mut self, max_arcs: usize) {
+        self.inner.max_arcs = max_arcs;
+    }
+
+    /// The distinct-arc capacity (`usize::MAX` when unlimited).
+    pub fn arc_limit(&self) -> usize {
+        self.inner.max_arcs
     }
 }
 
@@ -550,6 +594,32 @@ mod tests {
         }
         assert_eq!(toggled.stats(), plain.stats());
         assert_eq!(toggled.arcs(), plain.arcs());
+    }
+
+    #[test]
+    fn full_table_counts_drops_instead_of_losing_them_silently() {
+        let mut t = CallSiteTable::new(BASE, 0x100);
+        t.set_arc_limit(2);
+        assert_eq!(t.arc_limit(), 2);
+        // Two arcs fit; the third and fourth distinct arcs are dropped.
+        t.record(Addr::new(0x1010), Addr::new(0x1040));
+        t.record(Addr::new(0x1020), Addr::new(0x1040));
+        t.record(Addr::new(0x1030), Addr::new(0x1040));
+        t.record(Addr::new(0x1030), Addr::new(0x1040));
+        // Stored arcs keep counting at the limit.
+        t.record(Addr::new(0x1010), Addr::new(0x1040));
+        let s = t.stats();
+        assert_eq!(s.arcs, 2);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.records, 5);
+        let arcs = t.arcs();
+        assert_eq!(arcs.len(), 2);
+        assert_eq!(arcs[0].count, 2);
+        // Reset clears the drop counter and restores capacity use.
+        t.reset();
+        assert_eq!(t.stats().dropped, 0);
+        t.record(Addr::new(0x1030), Addr::new(0x1040));
+        assert_eq!(t.stats().arcs, 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! ```text
 //! magic   b"GPRF"            4 bytes
 //! version u16 LE             currently 1
-//! flags   u16 LE             reserved, 0
+//! flags   u16 LE             bit 0: dropped-arcs trailer present
 //! cycles_per_tick u64 LE     sampling period in machine cycles
 //! base    u32 LE             text segment base address
 //! text_len u32 LE            text segment length in bytes
@@ -22,7 +22,19 @@
 //! buckets  nbuckets × u64 LE
 //! narcs    u32 LE
 //! arcs     narcs × { from u32, self u32, count u64 } LE
+//! dropped u64 LE             only when flags bit 0 is set: traversals the
+//!                            arc table had no room to store
 //! ```
+//!
+//! The dropped-arcs trailer is written only when the count is nonzero, so
+//! profiles from an unconstrained run are byte-identical to version-1
+//! files that predate the field.
+//!
+//! Two readers exist: the strict [`GmonData::from_bytes`], which rejects
+//! any deviation, and [`GmonData::from_bytes_salvage`], which recovers
+//! the valid prefix of a truncated or corrupted stream and reports what
+//! it had to discard ([`SalvageReport`]) — the crash-recovery path for
+//! profiles cut short by a dying writer.
 
 use std::error::Error;
 use std::fmt;
@@ -35,6 +47,20 @@ use crate::histogram::Histogram;
 
 const MAGIC: &[u8; 4] = b"GPRF";
 const VERSION: u16 = 1;
+
+/// Header flag: a `u64` dropped-arcs count follows the arc records.
+const FLAG_DROPPED_ARCS: u16 = 1 << 0;
+
+/// All flag bits this reader understands; anything else is corruption.
+const KNOWN_FLAGS: u16 = FLAG_DROPPED_ARCS;
+
+/// Offset of the end of the fixed header (through the 3 pad bytes). A
+/// stream shorter than this carries no recoverable histogram geometry,
+/// so even [`GmonData::from_bytes_salvage`] gives up below it.
+/// The smallest prefix [`GmonData::from_bytes_salvage`] can recover
+/// from: the fixed header — magic, version, flags, base, geometry,
+/// shift, pad — must be intact; everything after it is salvageable.
+pub const MIN_SALVAGE_LEN: usize = 4 + 2 + 2 + 8 + 4 + 4 + 1 + 3;
 
 /// An error reading or combining profile files.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +129,7 @@ pub struct GmonData {
     cycles_per_tick: u64,
     histogram: Histogram,
     arcs: Vec<RawArc>,
+    dropped_arcs: u64,
 }
 
 impl GmonData {
@@ -110,7 +137,23 @@ impl GmonData {
     /// `(from_pc, self_pc)`.
     pub fn new(cycles_per_tick: u64, histogram: Histogram, mut arcs: Vec<RawArc>) -> Self {
         arcs.sort_by_key(|a| (a.from_pc, a.self_pc));
-        GmonData { cycles_per_tick, histogram, arcs }
+        GmonData { cycles_per_tick, histogram, arcs, dropped_arcs: 0 }
+    }
+
+    /// Records how many arc traversals the in-memory table had no room
+    /// to store (see `ArcStats::dropped`). A nonzero count sets flag bit
+    /// 0 and appends the trailer when serialized; zero leaves the byte
+    /// layout identical to files that predate the field.
+    #[must_use]
+    pub fn with_dropped_arcs(mut self, dropped: u64) -> Self {
+        self.dropped_arcs = dropped;
+        self
+    }
+
+    /// Arc traversals lost to a full recording table. The arcs in
+    /// [`GmonData::arcs`] undercount the program by this many calls.
+    pub fn dropped_arcs(&self) -> u64 {
+        self.dropped_arcs
     }
 
     /// The sampling period, in machine cycles per clock tick.
@@ -135,10 +178,10 @@ impl GmonData {
 
     /// Serializes to the binary profile format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(40 + self.histogram.len() * 8 + self.arcs.len() * 16);
+        let mut out = Vec::with_capacity(48 + self.histogram.len() * 8 + self.arcs.len() * 16);
         out.put_slice(MAGIC);
         out.put_u16_le(VERSION);
-        out.put_u16_le(0);
+        out.put_u16_le(if self.dropped_arcs != 0 { FLAG_DROPPED_ARCS } else { 0 });
         out.put_u64_le(self.cycles_per_tick);
         out.put_u32_le(self.histogram.base().get());
         out.put_u32_le(self.histogram.text_len());
@@ -154,6 +197,9 @@ impl GmonData {
             out.put_u32_le(arc.from_pc.get());
             out.put_u32_le(arc.self_pc.get());
             out.put_u64_le(arc.count);
+        }
+        if self.dropped_arcs != 0 {
+            out.put_u64_le(self.dropped_arcs);
         }
         out
     }
@@ -182,7 +228,10 @@ impl GmonData {
         if version != VERSION {
             return Err(GmonError::UnsupportedVersion { version });
         }
-        let _flags = data.get_u16_le();
+        let flags = data.get_u16_le();
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(GmonError::Corrupt { reason: format!("unknown header flags {flags:#x}") });
+        }
         need(data, 8 + 4 + 4 + 4 + 8 + 4)?;
         let cycles_per_tick = data.get_u64_le();
         let base = Addr::new(data.get_u32_le());
@@ -220,12 +269,24 @@ impl GmonData {
             prev = Some((from_pc, self_pc));
             arcs.push(RawArc { from_pc, self_pc, count });
         }
+        let dropped_arcs = if flags & FLAG_DROPPED_ARCS != 0 {
+            need(data, 8)?;
+            let dropped = data.get_u64_le();
+            if dropped == 0 {
+                return Err(GmonError::Corrupt {
+                    reason: "dropped-arcs trailer present but zero".to_string(),
+                });
+            }
+            dropped
+        } else {
+            0
+        };
         if data.has_remaining() {
             return Err(GmonError::Corrupt {
                 reason: format!("{} trailing bytes", data.remaining()),
             });
         }
-        Ok(GmonData { cycles_per_tick, histogram, arcs })
+        Ok(GmonData { cycles_per_tick, histogram, arcs, dropped_arcs })
     }
 
     /// Merges another profile into this one, summing histogram buckets and
@@ -275,7 +336,178 @@ impl GmonData {
         merged.extend_from_slice(&self.arcs[i..]);
         merged.extend_from_slice(&other.arcs[j..]);
         self.arcs = merged;
+        self.dropped_arcs += other.dropped_arcs;
         Ok(())
+    }
+
+    /// Recovers the valid prefix of a truncated or corrupted profile
+    /// stream — the crash-recovery counterpart of [`GmonData::from_bytes`].
+    ///
+    /// Missing histogram buckets are zero-filled; arc records are kept up
+    /// to the first truncated or out-of-order one; a missing dropped-arcs
+    /// trailer or trailing garbage is tolerated. The report says exactly
+    /// what was discarded, and is [`SalvageReport::is_clean`] iff the
+    /// strict parser would have accepted the stream unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GmonError`] only when nothing is recoverable: bad
+    /// magic, unsupported version, or a stream cut inside the fixed
+    /// header (the first 28 bytes), whose geometry fields are required
+    /// to build any histogram at all.
+    pub fn from_bytes_salvage(data: &[u8]) -> Result<(Self, SalvageReport), GmonError> {
+        let total = data.len();
+        let mut cur = data;
+        if cur.remaining() < MIN_SALVAGE_LEN {
+            return Err(GmonError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        cur.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(GmonError::BadMagic);
+        }
+        let version = cur.get_u16_le();
+        if version != VERSION {
+            return Err(GmonError::UnsupportedVersion { version });
+        }
+        let flags = cur.get_u16_le();
+        let cycles_per_tick = cur.get_u64_le();
+        let base = Addr::new(cur.get_u32_le());
+        let text_len = cur.get_u32_le();
+        let shift = cur.get_u8();
+        cur.advance(3);
+        if shift >= 32 {
+            return Err(GmonError::Corrupt { reason: format!("bucket shift {shift}") });
+        }
+
+        let mut report = SalvageReport::default();
+        fn note(report: &mut SalvageReport, reason: String) {
+            // Keep the first (outermost) problem; the counters carry the rest.
+            report.reason.get_or_insert(reason);
+        }
+        if flags & !KNOWN_FLAGS != 0 {
+            note(&mut report, format!("unknown header flags {flags:#x}"));
+        }
+
+        let missed = if cur.remaining() >= 8 {
+            cur.get_u64_le()
+        } else {
+            note(&mut report, "truncated before the missed-sample count".to_string());
+            cur.advance(cur.remaining());
+            0
+        };
+        let expected = crate::histogram::bucket_count(text_len, shift);
+        if cur.remaining() >= 4 {
+            let declared = cur.get_u32_le() as usize;
+            if declared != expected {
+                // The geometry fields are the layout's source of truth;
+                // a contradicting count means the record region is junk.
+                note(
+                    &mut report,
+                    format!("bucket count {declared} contradicts geometry ({expected} buckets)"),
+                );
+                cur.advance(cur.remaining());
+            }
+        } else {
+            note(&mut report, "truncated before the bucket count".to_string());
+            cur.advance(cur.remaining());
+        }
+        let keep = expected.min(cur.remaining() / 8);
+        let mut buckets = Vec::with_capacity(expected);
+        for _ in 0..keep {
+            buckets.push(cur.get_u64_le());
+        }
+        if keep < expected {
+            note(&mut report, format!("histogram truncated: {keep} of {expected} buckets"));
+            report.buckets_zeroed = expected - keep;
+            buckets.resize(expected, 0);
+            // Anything after a torn histogram is unaligned junk.
+            cur.advance(cur.remaining());
+        }
+        let histogram = Histogram::from_parts(base, text_len, shift, buckets, missed)
+            .map_err(|reason| GmonError::Corrupt { reason })?;
+
+        let mut arcs = Vec::new();
+        let mut bad_record_bytes = 0usize;
+        if cur.remaining() >= 4 {
+            let narcs = cur.get_u32_le() as usize;
+            let mut prev: Option<(Addr, Addr)> = None;
+            for i in 0..narcs {
+                if cur.remaining() < 16 {
+                    note(&mut report, format!("arc table truncated: {i} of {narcs} records"));
+                    report.records_dropped += narcs - i;
+                    bad_record_bytes = cur.remaining();
+                    cur.advance(cur.remaining());
+                    break;
+                }
+                let from_pc = Addr::new(cur.get_u32_le());
+                let self_pc = Addr::new(cur.get_u32_le());
+                let count = cur.get_u64_le();
+                if prev.is_some_and(|p| p >= (from_pc, self_pc)) {
+                    note(&mut report, format!("arcs out of order at record {i} of {narcs}"));
+                    report.records_dropped += narcs - i;
+                    bad_record_bytes = 16;
+                    break;
+                }
+                prev = Some((from_pc, self_pc));
+                arcs.push(RawArc { from_pc, self_pc, count });
+            }
+        } else {
+            note(&mut report, "truncated before the arc count".to_string());
+            cur.advance(cur.remaining());
+        }
+
+        let mut dropped_arcs = 0;
+        if flags & FLAG_DROPPED_ARCS != 0 && report.is_clean() {
+            if cur.remaining() >= 8 {
+                dropped_arcs = cur.get_u64_le();
+            } else {
+                note(&mut report, "truncated before the dropped-arcs trailer".to_string());
+                cur.advance(cur.remaining());
+            }
+        }
+        if cur.has_remaining() {
+            note(&mut report, format!("{} trailing bytes", cur.remaining()));
+        }
+
+        report.bytes_dropped = cur.remaining() + bad_record_bytes;
+        report.bytes_kept = total - report.bytes_dropped;
+        Ok((GmonData { cycles_per_tick, histogram, arcs, dropped_arcs }, report))
+    }
+}
+
+/// What [`GmonData::from_bytes_salvage`] recovered and what it discarded.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SalvageReport {
+    /// Bytes of the input that contributed to the recovered profile.
+    pub bytes_kept: usize,
+    /// Bytes discarded: the torn tail, a corrupt arc record, garbage.
+    pub bytes_dropped: usize,
+    /// Histogram buckets missing from the input and zero-filled.
+    pub buckets_zeroed: usize,
+    /// Arc records dropped (truncated, out of order, or after a bad one).
+    pub records_dropped: usize,
+    /// The first problem found, or `None` for a fully valid stream.
+    pub reason: Option<String>,
+}
+
+impl SalvageReport {
+    /// True when the strict parser would have accepted the stream as-is.
+    pub fn is_clean(&self) -> bool {
+        self.reason.is_none()
+    }
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            None => write!(f, "clean: {} bytes", self.bytes_kept),
+            Some(reason) => write!(
+                f,
+                "salvaged {} bytes, dropped {} ({} buckets zeroed, {} arc records lost): {reason}",
+                self.bytes_kept, self.bytes_dropped, self.buckets_zeroed, self.records_dropped
+            ),
+        }
     }
 }
 
@@ -413,5 +645,117 @@ mod tests {
         let d = GmonData::new(1, Histogram::new(Addr::new(0x1000), 0, 0), vec![]);
         let back = GmonData::from_bytes(&d.to_bytes()).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn dropped_arcs_round_trip_and_merge() {
+        let d = sample_data().with_dropped_arcs(7);
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len(), sample_data().to_bytes().len() + 8);
+        let back = GmonData::from_bytes(&bytes).unwrap();
+        assert_eq!(back.dropped_arcs(), 7);
+        assert_eq!(back, d);
+        let mut a = back;
+        a.merge(&sample_data().with_dropped_arcs(5)).unwrap();
+        assert_eq!(a.dropped_arcs(), 12);
+    }
+
+    #[test]
+    fn zero_drop_profiles_keep_the_legacy_byte_layout() {
+        // The trailer is elided when there is nothing to report, so
+        // profiles from unconstrained runs stay byte-identical to files
+        // written before the field existed.
+        assert_eq!(sample_data().with_dropped_arcs(0).to_bytes(), sample_data().to_bytes());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let mut bytes = sample_data().to_bytes();
+        bytes[6] = 0x02;
+        assert!(matches!(GmonData::from_bytes(&bytes), Err(GmonError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn salvage_of_a_valid_stream_is_clean() {
+        for d in [sample_data(), sample_data().with_dropped_arcs(3)] {
+            let bytes = d.to_bytes();
+            let (back, report) = GmonData::from_bytes_salvage(&bytes).unwrap();
+            assert_eq!(back, d);
+            assert!(report.is_clean(), "{report}");
+            assert_eq!(report.bytes_kept, bytes.len());
+            assert_eq!(report.bytes_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn salvage_zero_fills_a_torn_histogram() {
+        let d = sample_data();
+        let bytes = d.to_bytes();
+        // Cut mid-way through the bucket region: header(28) + missed(8)
+        // + nbuckets(4) + 3 whole buckets + 5 stray bytes.
+        let cut = 28 + 8 + 4 + 3 * 8 + 5;
+        let (back, report) = GmonData::from_bytes_salvage(&bytes[..cut]).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.buckets_zeroed, d.histogram().len() - 3);
+        assert_eq!(back.histogram().counts()[..3], d.histogram().counts()[..3]);
+        assert!(back.arcs().is_empty());
+        assert_eq!(report.bytes_kept + report.bytes_dropped, cut);
+    }
+
+    #[test]
+    fn salvage_keeps_the_valid_arc_prefix() {
+        let d = sample_data();
+        let bytes = d.to_bytes();
+        // Cut inside the second (last) 16-byte arc record.
+        let cut = bytes.len() - 9;
+        let (back, report) = GmonData::from_bytes_salvage(&bytes[..cut]).unwrap();
+        assert_eq!(back.histogram(), d.histogram());
+        assert_eq!(back.arcs(), &d.arcs()[..1]);
+        assert_eq!(report.records_dropped, 1);
+        assert_eq!(report.bytes_dropped, 7);
+    }
+
+    #[test]
+    fn salvage_stops_at_an_out_of_order_arc() {
+        let d = sample_data();
+        let mut bytes = d.to_bytes();
+        let n = bytes.len();
+        let (a, b) = (n - 32, n - 16);
+        let mut tmp = [0u8; 16];
+        tmp.copy_from_slice(&bytes[a..a + 16]);
+        bytes.copy_within(b..b + 16, a);
+        bytes[b..b + 16].copy_from_slice(&tmp);
+        let (back, report) = GmonData::from_bytes_salvage(&bytes).unwrap();
+        assert_eq!(back.arcs().len(), 1);
+        assert_eq!(report.records_dropped, 1);
+        assert_eq!(report.bytes_dropped, 16);
+    }
+
+    #[test]
+    fn salvage_never_errors_past_the_fixed_header() {
+        let d = sample_data().with_dropped_arcs(2);
+        let bytes = d.to_bytes();
+        for len in 0..bytes.len() {
+            let result = GmonData::from_bytes_salvage(&bytes[..len]);
+            if len < MIN_SALVAGE_LEN {
+                assert_eq!(result, Err(GmonError::Truncated), "prefix of {len}");
+            } else {
+                let (_, report) = result.unwrap_or_else(|e| panic!("prefix of {len}: {e}"));
+                assert!(!report.is_clean(), "prefix of {len} claimed clean");
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_rejects_what_has_no_recoverable_geometry() {
+        let mut bad_magic = sample_data().to_bytes();
+        bad_magic[0] = b'X';
+        assert_eq!(GmonData::from_bytes_salvage(&bad_magic), Err(GmonError::BadMagic));
+        let mut bad_version = sample_data().to_bytes();
+        bad_version[4] = 99;
+        assert!(matches!(
+            GmonData::from_bytes_salvage(&bad_version),
+            Err(GmonError::UnsupportedVersion { version: 99 })
+        ));
     }
 }

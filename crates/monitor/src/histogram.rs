@@ -201,7 +201,7 @@ pub struct Histogram {
 
 /// Number of buckets covering `text_len` bytes at `1 << shift` bytes per
 /// bucket (computed in `u64` so `text_len + bucket - 1` cannot wrap).
-fn bucket_count(text_len: u32, shift: u8) -> usize {
+pub(crate) fn bucket_count(text_len: u32, shift: u8) -> usize {
     if text_len == 0 {
         0
     } else {

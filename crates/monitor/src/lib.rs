@@ -33,7 +33,7 @@ pub mod stacks;
 
 pub use arcs::{ArcRecorder, ArcStats, CallSiteTable, CalleeTable, RawArc};
 pub use control::{KgmonTool, SharedProfiler};
-pub use gmon::{GmonData, GmonError};
+pub use gmon::{GmonData, GmonError, SalvageReport, MIN_SALVAGE_LEN};
 pub use histogram::{Histogram, HistogramBuckets};
 pub use profiler::{MonitorCosts, RuntimeProfiler};
 pub use reference::ScalarHistogram;

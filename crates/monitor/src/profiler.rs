@@ -94,6 +94,15 @@ impl RuntimeProfiler<CallSiteTable> {
         self.arcs.set_prefetch(prefetch);
         self
     }
+
+    /// Caps the arc table at `max_arcs` distinct arcs (builder-style),
+    /// modeling a fixed-size mcount buffer. Once full, traversals of
+    /// unseen arcs are counted as dropped rather than stored; the count
+    /// travels in the profile header so the post-processor can warn.
+    pub fn arc_limit(mut self, max_arcs: usize) -> Self {
+        self.arcs.set_arc_limit(max_arcs);
+        self
+    }
 }
 
 impl<A: ArcRecorder> RuntimeProfiler<A> {
@@ -182,12 +191,15 @@ impl<A: ArcRecorder> RuntimeProfiler<A> {
     /// control interface's "extract the profiling data" operation.
     pub fn snapshot(&self) -> GmonData {
         GmonData::new(self.cycles_per_tick, self.histogram.clone(), self.arcs.arcs())
+            .with_dropped_arcs(self.arcs.stats().dropped)
     }
 
     /// Condenses the profile to its file form, consuming the profiler —
     /// the "as the program terminates" path (§3).
     pub fn finish(self) -> GmonData {
+        let dropped = self.arcs.stats().dropped;
         GmonData::new(self.cycles_per_tick, self.histogram, self.arcs.arcs())
+            .with_dropped_arcs(dropped)
     }
 
     fn bump_count(&mut self, self_pc: Addr) {
@@ -432,6 +444,30 @@ mod tests {
         let exe = profiled_exe();
         let mut profiler = RuntimeProfiler::new(&exe, 7);
         profiler.set_monitor_range(Some((exe.base(), exe.base())));
+    }
+
+    #[test]
+    fn full_arc_table_degrades_gracefully_into_the_profile() {
+        let mut b = Program::builder();
+        b.routine("main", |r| r.call_n("a", 3).call_n("b", 3).call_n("c", 3));
+        b.routine("a", |r| r.work(1));
+        b.routine("b", |r| r.work(1));
+        b.routine("c", |r| r.work(1));
+        let exe = b.build().unwrap().compile(&CompileOptions::profiled()).unwrap();
+        // Room for two arcs; the run produces four distinct ones
+        // (spontaneous->main plus main->{a,b,c}).
+        let mut profiler = RuntimeProfiler::new(&exe, 0).arc_limit(2);
+        let mut machine = Machine::new(exe);
+        machine.run(&mut profiler).unwrap();
+        let stats = profiler.arc_stats();
+        assert_eq!(stats.arcs, 2);
+        assert!(stats.dropped > 0, "{stats:?}");
+        let gmon = profiler.finish();
+        assert_eq!(gmon.arcs().len(), 2);
+        assert_eq!(gmon.dropped_arcs(), stats.dropped);
+        // The count survives the file round trip.
+        let back = GmonData::from_bytes(&gmon.to_bytes()).unwrap();
+        assert_eq!(back.dropped_arcs(), stats.dropped);
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use graphprof_machine::Addr;
-use graphprof_monitor::{ArcRecorder, CallSiteTable, CalleeTable, GmonData, Histogram, RawArc};
+use graphprof_monitor::{
+    ArcRecorder, CallSiteTable, CalleeTable, GmonData, Histogram, RawArc, MIN_SALVAGE_LEN,
+};
 
 const BASE: u32 = 0x1000;
 const TEXT: u32 = 0x800;
@@ -254,5 +256,74 @@ proptest! {
         }
         prop_assert_eq!(plain.arcs(), prefetching.arcs());
         prop_assert_eq!(plain.stats(), prefetching.stats());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Salvage is total over truncation: any prefix of a valid profile
+    /// file that keeps the fixed header recovers without error (and
+    /// without panicking), and the full-length "truncation" round-trips
+    /// byte-identically with a clean report. This is the contract the
+    /// crash-recovery paths — `graphprof check --salvage` and the
+    /// server's log replay — rely on.
+    #[test]
+    fn salvage_recovers_every_header_preserving_truncation(
+        stream in proptest::collection::vec((0u32..32, 1u64..20), 0..24),
+        dropped in 0u64..3,
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut h = Histogram::new(Addr::new(BASE), TEXT, 2);
+        let mut arc_counts: HashMap<u32, u64> = HashMap::new();
+        for &(off, n) in &stream {
+            h.record(Addr::new(BASE + off), n);
+            *arc_counts.entry(off).or_insert(0) += n;
+        }
+        let raw: Vec<RawArc> = arc_counts
+            .into_iter()
+            .map(|(off, count)| RawArc {
+                from_pc: Addr::new(BASE + off * 8),
+                self_pc: Addr::new(BASE + 0x100),
+                count,
+            })
+            .collect();
+        let bytes = GmonData::new(7, h, raw).with_dropped_arcs(dropped).to_bytes();
+
+        // k = len: a clean round trip, bit for bit.
+        let (full, report) = GmonData::from_bytes_salvage(&bytes).expect("full-length salvage");
+        prop_assert!(report.is_clean(), "{report}");
+        prop_assert_eq!(full.to_bytes(), bytes.clone());
+
+        // Any k that keeps the fixed header: recovered, never an error.
+        let k = MIN_SALVAGE_LEN + cut.index(bytes.len() - MIN_SALVAGE_LEN + 1);
+        let (partial, report) = GmonData::from_bytes_salvage(&bytes[..k]).expect("prefix salvage");
+        prop_assert_eq!(report.bytes_kept + report.bytes_dropped, k);
+        // Whatever was recovered is itself a valid profile file.
+        let reread = GmonData::from_bytes(&partial.to_bytes()).expect("salvage emits valid data");
+        prop_assert_eq!(reread, partial);
+    }
+
+    /// Salvage never panics on arbitrary corruption: flip any byte of a
+    /// valid file, truncate anywhere, and the result is `Ok` or a typed
+    /// error — and recovered data always re-parses.
+    #[test]
+    fn salvage_is_total_under_corruption(
+        ticks in proptest::collection::vec((0u32..32, 1u64..20), 0..16),
+        index in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut h = Histogram::new(Addr::new(BASE), TEXT, 2);
+        for &(off, n) in &ticks {
+            h.record(Addr::new(BASE + off), n);
+        }
+        let mut bytes = GmonData::new(3, h, vec![]).to_bytes();
+        let i = index.index(bytes.len());
+        bytes[i] ^= xor;
+        let k = cut.index(bytes.len() + 1);
+        if let Ok((salvaged, _)) = GmonData::from_bytes_salvage(&bytes[..k]) {
+            GmonData::from_bytes(&salvaged.to_bytes()).expect("salvage emits valid data");
+        }
     }
 }

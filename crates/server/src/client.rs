@@ -11,7 +11,8 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::frame::{read_frame, write_frame, WireError, DEFAULT_MAX_PAYLOAD};
+use crate::fault::FaultPlan;
+use crate::frame::{read_frame, write_frame, write_frame_faulty, WireError, DEFAULT_MAX_PAYLOAD};
 use crate::proto::{KgmonVerb, QueryKind, Request, Response};
 
 /// Why a client call failed.
@@ -72,12 +73,28 @@ impl ClientError {
     pub fn is_timeout(&self) -> bool {
         matches!(self, ClientError::Wire(e) if e.is_timeout())
     }
+
+    /// Whether a fresh connection might succeed where this attempt
+    /// failed. Transport-level failures — refused dials, timeouts, torn
+    /// or garbled frames, disconnects — are retryable; a server that
+    /// *answered* (reject or unexpected kind) will answer the same way
+    /// again, so retrying those only hides the real error.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Connect { .. } | ClientError::Disconnected => true,
+            ClientError::Wire(e) => !matches!(e, WireError::UnsupportedVersion { .. }),
+            ClientError::Rejected(_) | ClientError::Unexpected(_) => false,
+        }
+    }
 }
 
 /// A blocking client connection to a `graphprof-serve` instance.
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    /// Outgoing frames route through this plan; `FaultPlan::none()`
+    /// (the default) sends everything untouched.
+    fault: FaultPlan,
 }
 
 impl Client {
@@ -102,7 +119,11 @@ impl Client {
                     let _ = stream.set_read_timeout(Some(timeout));
                     let _ = stream.set_write_timeout(Some(timeout));
                     let _ = stream.set_nodelay(true);
-                    return Ok(Client { stream, max_frame: DEFAULT_MAX_PAYLOAD });
+                    return Ok(Client {
+                        stream,
+                        max_frame: DEFAULT_MAX_PAYLOAD,
+                        fault: FaultPlan::none(),
+                    });
                 }
                 Err(e) => last = e,
             }
@@ -119,11 +140,36 @@ impl Client {
     /// [`Response::Error`] frames come back as `Ok` for the typed
     /// wrappers to interpret.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.to_frame(), self.max_frame)?;
+        if self.fault.is_active() {
+            let sent = write_frame_faulty(
+                &mut self.stream,
+                &request.to_frame(),
+                self.max_frame,
+                &self.fault,
+            )?;
+            if !sent {
+                // The plan cut the connection mid-upload. Close for real
+                // so the server sees the disconnect, and fail the call
+                // the way a dropped carrier would.
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                return Err(ClientError::Wire(WireError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "fault injection cut the connection",
+                ))));
+            }
+        } else {
+            write_frame(&mut self.stream, &request.to_frame(), self.max_frame)?;
+        }
         match read_frame(&mut self.stream, self.max_frame)? {
             Some(frame) => Ok(Response::from_frame(&frame)?),
             None => Err(ClientError::Disconnected),
         }
+    }
+
+    /// Routes this connection's outgoing frames through `plan` — the
+    /// chaos tests' hook for dropping or tearing an upload mid-flight.
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = plan;
     }
 
     fn expect_ok(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -143,6 +189,10 @@ impl Client {
         let request = Request::Upload { series: series.to_string(), seq, blob: blob.to_vec() };
         match self.expect_ok(&request)? {
             Response::Accepted { total, .. } => Ok(total),
+            // A retry after an ambiguous disconnect lands here when the
+            // first attempt was durable: the server already holds this
+            // (series, seq) and counted it once. Success, not an error.
+            Response::Duplicate { total, .. } => Ok(total),
             _ => Err(ClientError::Unexpected("non-accepted")),
         }
     }
@@ -210,6 +260,218 @@ impl Client {
         match self.expect_ok(&Request::Stats)? {
             Response::Text(text) => Ok(text),
             _ => Err(ClientError::Unexpected("non-text")),
+        }
+    }
+}
+
+/// How a [`ResilientClient`] retries: bounded attempts with exponential
+/// backoff and deterministic jitter.
+///
+/// The jitter is seeded (splitmix64 over `jitter_seed` and the attempt
+/// number) rather than drawn from the clock, so a retry schedule is
+/// reproducible in tests and two clients started with different seeds
+/// do not stampede in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Cap on the (pre-jitter) delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — [`ResilientClient`] behaves like a
+    /// plain [`Client`] with reconnect-per-call.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The delay before retry number `retry` (0-based): exponential in
+    /// `base_delay`, capped at `max_delay`, with up to +50% deterministic
+    /// jitter.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let base = self.base_delay.saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        let capped = base.min(self.max_delay);
+        // splitmix64 over (seed, retry) — reproducible, but different
+        // seeds spread out.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(retry).wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half_micros = (capped.as_micros() / 2) as u64;
+        let jitter = if half_micros == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(z % (half_micros + 1))
+        };
+        capped.saturating_add(jitter)
+    }
+}
+
+/// A client that dials on demand and retries transient failures with
+/// backoff.
+///
+/// Retrying an upload is only safe because the server deduplicates by
+/// (series, seq): an ambiguous disconnect — request sent, ack lost —
+/// resolves on retry to [`Response::Duplicate`], which
+/// [`Client::upload`] reports as success. Calls that reach the server
+/// and get an answer (rejects, unexpected kinds) are never retried.
+pub struct ResilientClient {
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+}
+
+impl ResilientClient {
+    /// A client for `addr` with per-attempt deadline `timeout`. No
+    /// connection is made until the first call.
+    pub fn new(addr: &str, timeout: Duration, policy: RetryPolicy) -> Self {
+        ResilientClient { addr: addr.to_string(), timeout, policy, conn: None }
+    }
+
+    /// The policy calls retry under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(&self.addr, self.timeout)?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Runs `call` against a live connection, reconnecting and retrying
+    /// per the policy on retryable failures.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once the policy is exhausted, or the
+    /// first non-retryable error immediately.
+    pub fn run<T>(
+        &mut self,
+        mut call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.conn() {
+                Ok(conn) => call(conn),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    // Whatever failed, the connection's framing state is
+                    // untrusted now; the next attempt redials.
+                    self.conn = None;
+                    attempt += 1;
+                    if !e.is_retryable() || attempt >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.policy.backoff(attempt - 1));
+                }
+            }
+        }
+    }
+
+    /// [`Client::upload`], with retry. Safe because the server dedups by
+    /// (series, seq).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn upload(&mut self, series: &str, seq: u64, blob: &[u8]) -> Result<u64, ClientError> {
+        self.run(|c| c.upload(series, seq, blob))
+    }
+
+    /// [`Client::query_text`], with retry (reads are idempotent).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn query_text(&mut self, series: &str, kind: QueryKind) -> Result<String, ClientError> {
+        self.run(|c| c.query_text(series, kind))
+    }
+
+    /// [`Client::fetch_sum`], with retry (reads are idempotent).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn fetch_sum(&mut self, series: &str) -> Result<Vec<u8>, ClientError> {
+        self.run(|c| c.fetch_sum(series))
+    }
+
+    /// [`Client::diff`], with retry (reads are idempotent).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn diff(&mut self, before: &str, after: &str) -> Result<String, ClientError> {
+        self.run(|c| c.diff(before, after))
+    }
+
+    /// [`Client::stats`], with retry (reads are idempotent).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.run(|c| c.stats())
+    }
+
+    /// [`Client::kgmon`]. Extract-into-series is **not** idempotent (the
+    /// store assigns a fresh sequence number per extraction), so only
+    /// the connect phase retries: once a request may have reached the
+    /// server, the call fails rather than risk double-extracting. All
+    /// other verbs retry fully.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn kgmon(&mut self, vm: &str, verb: KgmonVerb) -> Result<Response, ClientError> {
+        let extract_into = matches!(&verb, KgmonVerb::Extract { into: Some(_) });
+        if extract_into {
+            // Retry only the dial; send the request at most once.
+            let mut attempt = 0u32;
+            loop {
+                match self.conn() {
+                    Ok(_) => break,
+                    Err(e) => {
+                        attempt += 1;
+                        if !e.is_retryable() || attempt >= self.policy.max_attempts {
+                            return Err(e);
+                        }
+                        std::thread::sleep(self.policy.backoff(attempt - 1));
+                    }
+                }
+            }
+            let conn = self.conn()?;
+            let result = conn.kgmon(vm, verb);
+            if result.is_err() {
+                self.conn = None;
+            }
+            result
+        } else {
+            self.run(|c| c.kgmon(vm, verb.clone()))
         }
     }
 }

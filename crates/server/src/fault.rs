@@ -1,0 +1,262 @@
+//! Deterministic fault injection for the crash-safety layer.
+//!
+//! A [`FaultPlan`] is a shared, seedable schedule of injected failures:
+//! torn or failing WAL appends, failing fsyncs, and frames that are
+//! truncated, corrupted, or replaced by a dropped connection. The store
+//! ([`Wal`](crate::wal::Wal)) and the frame codec consult the plan at
+//! every operation; the default plan injects nothing and costs two
+//! atomic loads, so production paths run it unconditionally.
+//!
+//! Determinism is the point: a plan is built from an explicit
+//! [`FaultSpec`] (or derived from a seed), counts operations with shared
+//! atomics, and fires each fault at an exact operation index. A chaos
+//! test that fails can be re-run bit-for-bit from its seed. Every
+//! injected fault is also recorded ([`FaultPlan::trips`]) so tests can
+//! assert the fault actually fired rather than silently passing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which faults to inject, at which operation index (all 0-based, all
+/// counted independently). `None` everywhere — the default — injects
+/// nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fail the nth WAL record append outright (no bytes written).
+    pub fail_append_at: Option<u64>,
+    /// Write only the first `keep` bytes of the nth WAL record append,
+    /// then fail — a torn record, as a crash mid-write leaves.
+    pub torn_append_at: Option<(u64, usize)>,
+    /// Fail the nth WAL fsync. The preceding write may or may not be
+    /// durable — exactly the ambiguity a real fsync failure creates.
+    pub fail_fsync_at: Option<u64>,
+    /// Drop the connection instead of writing the nth outbound frame.
+    pub drop_frame_at: Option<u64>,
+    /// Write only the first `keep` bytes of the nth outbound frame,
+    /// then drop the connection.
+    pub truncate_frame_at: Option<(u64, usize)>,
+    /// XOR 0xFF into byte `offset` of the nth outbound frame (the frame
+    /// is still sent whole).
+    pub corrupt_frame_at: Option<(u64, usize)>,
+}
+
+/// What the plan decided for one WAL append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// Write the record normally.
+    Proceed,
+    /// Fail without writing anything.
+    Fail,
+    /// Write only this many bytes, then fail.
+    Torn(usize),
+}
+
+/// What the plan decided for one outbound frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Send the frame normally.
+    Send,
+    /// Drop the connection without sending.
+    Drop,
+    /// Send only this many bytes, then drop the connection.
+    Truncate(usize),
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    spec: FaultSpec,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    frames: AtomicU64,
+    trips: Mutex<Vec<String>>,
+}
+
+/// A shared, deterministic fault schedule. Cloning shares the operation
+/// counters, so one plan can be split across the store and the codec and
+/// still count globally.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Arc<FaultState>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the production default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan following an explicit schedule.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultPlan { state: Arc::new(FaultState { spec, ..FaultState::default() }) }
+    }
+
+    /// Derives a single-fault schedule from a seed, fully reproducibly:
+    /// the seed picks one fault kind, its operation index (0..4), and a
+    /// small byte offset/keep length. Chaos suites sweep seeds to cover
+    /// the fault space without hand-writing every case.
+    pub fn seeded(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            // splitmix64: the same generator the vendored rand seeds with.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let at = next() % 4;
+        let keep = (next() % 24) as usize;
+        let mut spec = FaultSpec::default();
+        match next() % 6 {
+            0 => spec.fail_append_at = Some(at),
+            1 => spec.torn_append_at = Some((at, keep)),
+            2 => spec.fail_fsync_at = Some(at),
+            3 => spec.drop_frame_at = Some(at),
+            4 => spec.truncate_frame_at = Some((at, keep)),
+            _ => spec.corrupt_frame_at = Some((at, keep)),
+        }
+        FaultPlan::new(spec)
+    }
+
+    /// The schedule this plan follows.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.state.spec
+    }
+
+    /// Whether this plan can inject anything at all. Hot paths skip the
+    /// fault bookkeeping entirely when it cannot.
+    pub fn is_active(&self) -> bool {
+        self.state.spec != FaultSpec::default()
+    }
+
+    /// Every fault injected so far, in firing order — so tests assert
+    /// the fault fired instead of passing vacuously.
+    pub fn trips(&self) -> Vec<String> {
+        self.state.trips.lock().map(|t| t.clone()).unwrap_or_default()
+    }
+
+    fn trip(&self, what: String) {
+        if let Ok(mut trips) = self.state.trips.lock() {
+            trips.push(what);
+        }
+    }
+
+    /// Consults the plan for the next WAL record append of `len` bytes.
+    pub fn on_append(&self, len: usize) -> AppendFault {
+        let n = self.state.appends.fetch_add(1, Ordering::SeqCst);
+        if self.state.spec.fail_append_at == Some(n) {
+            self.trip(format!("append {n}: failed"));
+            return AppendFault::Fail;
+        }
+        if let Some((at, keep)) = self.state.spec.torn_append_at {
+            if at == n {
+                let keep = keep.min(len.saturating_sub(1));
+                self.trip(format!("append {n}: torn after {keep} of {len} bytes"));
+                return AppendFault::Torn(keep);
+            }
+        }
+        AppendFault::Proceed
+    }
+
+    /// Consults the plan for the next WAL fsync.
+    pub fn on_fsync(&self) -> Result<(), std::io::Error> {
+        let n = self.state.fsyncs.fetch_add(1, Ordering::SeqCst);
+        if self.state.spec.fail_fsync_at == Some(n) {
+            self.trip(format!("fsync {n}: failed"));
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        Ok(())
+    }
+
+    /// Consults the plan for the next outbound frame, corrupting the
+    /// encoded bytes in place when the schedule says so.
+    pub fn on_frame(&self, bytes: &mut [u8]) -> FrameFault {
+        let n = self.state.frames.fetch_add(1, Ordering::SeqCst);
+        if self.state.spec.drop_frame_at == Some(n) {
+            self.trip(format!("frame {n}: dropped"));
+            return FrameFault::Drop;
+        }
+        if let Some((at, keep)) = self.state.spec.truncate_frame_at {
+            if at == n {
+                let keep = keep.min(bytes.len().saturating_sub(1));
+                self.trip(format!("frame {n}: truncated to {keep} of {} bytes", bytes.len()));
+                return FrameFault::Truncate(keep);
+            }
+        }
+        if let Some((at, offset)) = self.state.spec.corrupt_frame_at {
+            if at == n && !bytes.is_empty() {
+                let offset = offset % bytes.len();
+                bytes[offset] ^= 0xFF;
+                self.trip(format!("frame {n}: corrupted byte {offset}"));
+            }
+        }
+        FrameFault::Send
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        for len in [0, 1, 100] {
+            assert_eq!(plan.on_append(len), AppendFault::Proceed);
+            assert_eq!(plan.on_frame(&mut vec![0u8; len]), FrameFault::Send);
+            plan.on_fsync().unwrap();
+        }
+        assert!(plan.trips().is_empty());
+    }
+
+    #[test]
+    fn faults_fire_at_their_exact_index_and_are_recorded() {
+        let plan = FaultPlan::new(FaultSpec {
+            torn_append_at: Some((1, 4)),
+            fail_fsync_at: Some(0),
+            ..FaultSpec::default()
+        });
+        assert_eq!(plan.on_append(10), AppendFault::Proceed);
+        assert_eq!(plan.on_append(10), AppendFault::Torn(4));
+        assert_eq!(plan.on_append(10), AppendFault::Proceed);
+        assert!(plan.on_fsync().is_err());
+        assert!(plan.on_fsync().is_ok());
+        assert_eq!(plan.trips().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::new(FaultSpec { drop_frame_at: Some(1), ..FaultSpec::default() });
+        let other = plan.clone();
+        assert_eq!(plan.on_frame(&mut [0u8; 4]), FrameFault::Send);
+        assert_eq!(other.on_frame(&mut [0u8; 4]), FrameFault::Drop);
+        assert_eq!(plan.trips(), other.trips());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_varied() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::seeded(seed).spec(), FaultPlan::seeded(seed).spec());
+        }
+        let distinct: std::collections::BTreeSet<String> =
+            (0..64).map(|s| format!("{:?}", FaultPlan::seeded(s).spec())).collect();
+        assert!(distinct.len() > 16, "seeds collapse to {} specs", distinct.len());
+    }
+
+    #[test]
+    fn torn_faults_never_keep_the_whole_payload() {
+        let plan =
+            FaultPlan::new(FaultSpec { torn_append_at: Some((0, 1000)), ..FaultSpec::default() });
+        // `keep` beyond the record is clamped so the record still tears.
+        assert_eq!(plan.on_append(10), AppendFault::Torn(9));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let plan =
+            FaultPlan::new(FaultSpec { corrupt_frame_at: Some((0, 2)), ..FaultSpec::default() });
+        let mut bytes = [0u8; 4];
+        assert_eq!(plan.on_frame(&mut bytes), FrameFault::Send);
+        assert_eq!(bytes, [0, 0, 0xFF, 0]);
+    }
+}

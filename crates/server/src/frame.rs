@@ -129,19 +129,64 @@ impl From<std::io::Error> for WireError {
 /// never produces a frame its server must reject), or [`WireError::Io`]
 /// for transport failures.
 pub fn write_frame(w: &mut impl Write, frame: &Frame, max_payload: usize) -> Result<(), WireError> {
+    let bytes = encode_frame(frame, max_payload)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes a frame (header + payload) to bytes without writing it.
+///
+/// # Errors
+///
+/// Returns [`WireError::Oversized`] when the payload exceeds
+/// `max_payload`.
+pub fn encode_frame(frame: &Frame, max_payload: usize) -> Result<Vec<u8>, WireError> {
     if frame.payload.len() > max_payload {
         return Err(WireError::Oversized { len: frame.payload.len(), max: max_payload });
     }
-    let mut header = [0u8; HEADER_LEN];
-    header[0..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
-    header[6] = frame.kind;
-    header[7] = 0;
-    header[8..12].copy_from_slice(&(frame.payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(&frame.payload)?;
-    w.flush()?;
-    Ok(())
+    let mut bytes = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.push(frame.kind);
+    bytes.push(0);
+    bytes.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&frame.payload);
+    Ok(bytes)
+}
+
+/// [`write_frame`] with a [`FaultPlan`](crate::fault::FaultPlan) in the
+/// path: the encoded bytes are offered to the plan, which may corrupt
+/// them in place, truncate the write, or suppress it entirely (the
+/// injected version of a peer dying mid-send).
+///
+/// Returns `Ok(true)` when the frame went out whole (possibly corrupted)
+/// and `Ok(false)` when the plan cut the connection — the caller must
+/// treat the stream as dead.
+///
+/// # Errors
+///
+/// Returns [`WireError`] exactly as [`write_frame`] does.
+pub fn write_frame_faulty(
+    w: &mut impl Write,
+    frame: &Frame,
+    max_payload: usize,
+    fault: &crate::fault::FaultPlan,
+) -> Result<bool, WireError> {
+    let mut bytes = encode_frame(frame, max_payload)?;
+    match fault.on_frame(&mut bytes) {
+        crate::fault::FrameFault::Send => {
+            w.write_all(&bytes)?;
+            w.flush()?;
+            Ok(true)
+        }
+        crate::fault::FrameFault::Drop => Ok(false),
+        crate::fault::FrameFault::Truncate(keep) => {
+            w.write_all(&bytes[..keep])?;
+            let _ = w.flush();
+            Ok(false)
+        }
+    }
 }
 
 /// Reads one frame from `r`, enforcing `max_payload`.
@@ -230,6 +275,38 @@ mod tests {
             read_frame(&mut buf.as_slice(), 64),
             Err(WireError::UnsupportedVersion { version: 99 })
         ));
+    }
+
+    #[test]
+    fn faulty_writer_follows_the_plan() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let frame = Frame::new(1, vec![1, 2, 3, 4]);
+        let plan = FaultPlan::new(FaultSpec {
+            truncate_frame_at: Some((1, 5)),
+            drop_frame_at: Some(2),
+            ..FaultSpec::default()
+        });
+        let mut buf = Vec::new();
+        assert!(write_frame_faulty(&mut buf, &frame, 64, &plan).unwrap());
+        let whole = buf.len();
+        assert_eq!(read_frame(&mut buf.as_slice(), 64).unwrap().unwrap(), frame);
+        assert!(!write_frame_faulty(&mut buf, &frame, 64, &plan).unwrap());
+        assert_eq!(buf.len(), whole + 5);
+        assert!(!write_frame_faulty(&mut buf, &frame, 64, &plan).unwrap());
+        assert_eq!(buf.len(), whole + 5, "dropped frame must write nothing");
+        assert_eq!(plan.trips().len(), 2);
+    }
+
+    #[test]
+    fn corrupted_frames_are_sent_but_do_not_decode() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let frame = Frame::new(1, vec![1, 2, 3, 4]);
+        // Flip a magic byte: the reader rejects the frame outright.
+        let plan =
+            FaultPlan::new(FaultSpec { corrupt_frame_at: Some((0, 0)), ..FaultSpec::default() });
+        let mut buf = Vec::new();
+        assert!(write_frame_faulty(&mut buf, &frame, 64, &plan).unwrap());
+        assert!(matches!(read_frame(&mut buf.as_slice(), 64), Err(WireError::BadMagic)));
     }
 
     #[test]

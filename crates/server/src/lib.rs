@@ -25,13 +25,17 @@
 //! and the determinism contract.
 
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub mod wal;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
+pub use fault::{FaultPlan, FaultSpec};
 pub use frame::{Frame, WireError, DEFAULT_MAX_PAYLOAD};
 pub use proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
 pub use server::{DrainSummary, Server, ServerConfig, ServerHandle};
 pub use store::{RejectReason, SeriesStats, SeriesStore};
+pub use wal::{Wal, WalRecord, WalRecovery};

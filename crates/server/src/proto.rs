@@ -36,6 +36,9 @@ pub mod kind {
     pub const TEXT: u8 = 0x81;
     /// Response: raw profile bytes.
     pub const BLOB: u8 = 0x82;
+    /// Response: this (series, seq) was already uploaded; the aggregate
+    /// is unchanged. Success for a retrying client, not an error.
+    pub const DUPLICATE: u8 = 0x83;
     /// Response: the request was rejected.
     pub const ERROR: u8 = 0xFF;
 }
@@ -133,6 +136,17 @@ pub enum Response {
         /// Its sequence number.
         seq: u64,
         /// Profiles now folded into the series aggregate.
+        total: u64,
+    },
+    /// The upload's (series, seq) was already folded in — the retried
+    /// request is acknowledged without double-counting (idempotent
+    /// dedup). Clients treat this exactly like [`Response::Accepted`].
+    Duplicate {
+        /// Series the original upload landed in.
+        series: String,
+        /// The duplicated sequence number.
+        seq: u64,
+        /// Profiles currently in the series aggregate.
         total: u64,
     },
     /// Rendered text (listing, diff, stats, kgmon status).
@@ -342,6 +356,12 @@ impl Response {
                 p.put_u64_le(*total);
                 kind::ACCEPTED
             }
+            Response::Duplicate { series, seq, total } => {
+                put_str(&mut p, series);
+                p.put_u64_le(*seq);
+                p.put_u64_le(*total);
+                kind::DUPLICATE
+            }
             Response::Text(text) => {
                 put_blob(&mut p, text.as_bytes());
                 kind::TEXT
@@ -377,6 +397,12 @@ impl Response {
                 let seq = get_u64(data)?;
                 let total = get_u64(data)?;
                 finish(data, Response::Accepted { series, seq, total })
+            }
+            kind::DUPLICATE => {
+                let series = get_str(data)?;
+                let seq = get_u64(data)?;
+                let total = get_u64(data)?;
+                finish(data, Response::Duplicate { series, seq, total })
             }
             kind::TEXT => {
                 let t = text(data)?;
@@ -438,6 +464,7 @@ mod tests {
     fn responses_round_trip() {
         let responses = vec![
             Response::Accepted { series: "web".into(), seq: 9, total: 10 },
+            Response::Duplicate { series: "web".into(), seq: 9, total: 10 },
             Response::Text("flat profile:\n".into()),
             Response::Blob(vec![0xDE, 0xAD]),
             Response::Error("no such series".into()),

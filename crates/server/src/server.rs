@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,9 +28,11 @@ use graphprof::{diff_profiles, Gprof, Options};
 use graphprof_machine::{Addr, Executable, Machine, MachineConfig, RunStatus};
 use graphprof_monitor::{KgmonTool, SharedProfiler};
 
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+use crate::fault::FaultPlan;
+use crate::frame::{read_frame, write_frame, write_frame_faulty, DEFAULT_MAX_PAYLOAD};
 use crate::proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
-use crate::store::SeriesStore;
+use crate::store::{RejectReason, SeriesStore};
+use crate::wal::{WalRecovery, DEFAULT_SEGMENT_BYTES};
 
 /// Server tuning knobs. The defaults are production-shaped: loopback
 /// bind, bounded frames and series, ten-second deadlines.
@@ -54,6 +57,14 @@ pub struct ServerConfig {
     pub vm_slice: u64,
     /// How long shutdown waits for in-flight connections to finish.
     pub drain_grace: Duration,
+    /// When set, uploads are made durable in a write-ahead log under
+    /// this directory before acknowledgment, and a restart replays it.
+    pub data_dir: Option<PathBuf>,
+    /// Size at which write-ahead log segments rotate, in bytes.
+    pub wal_segment_bytes: u64,
+    /// Fault-injection schedule for the store and the response path.
+    /// [`FaultPlan::none`] (the default) injects nothing.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +79,9 @@ impl Default for ServerConfig {
             vm_tick: 10,
             vm_slice: 50_000,
             drain_grace: Duration::from_secs(5),
+            data_dir: None,
+            wal_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -102,6 +116,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     vm_threads: Vec<JoinHandle<()>>,
+    recovery: Option<WalRecovery>,
 }
 
 /// The `graphprof-serve` entry point.
@@ -135,13 +150,28 @@ impl Server {
                     format!("hosted VM name `{name}` repeats"),
                 ));
             }
-            let (entry, thread) = host_vm(&exe, &config);
+            let (entry, thread) = host_vm(&exe, &config)?;
             vm_map.insert(name.clone(), entry);
             vm_threads.push(thread);
         }
 
+        let (store, recovery) = match &config.data_dir {
+            Some(dir) => {
+                let (store, recovery) = SeriesStore::with_wal(
+                    exe,
+                    config.max_series,
+                    config.jobs,
+                    dir,
+                    config.wal_segment_bytes,
+                    config.fault.clone(),
+                )?;
+                (store, Some(recovery))
+            }
+            None => (SeriesStore::new(exe, config.max_series, config.jobs), None),
+        };
+
         let shared = Arc::new(Shared {
-            store: SeriesStore::new(exe, config.max_series, config.jobs),
+            store,
             vms: vm_map,
             cfg: config,
             shutting_down: AtomicBool::new(false),
@@ -153,10 +183,9 @@ impl Server {
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("gprs-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("accept thread spawns");
+            .spawn(move || accept_loop(listener, accept_shared))?;
 
-        Ok(ServerHandle { addr, shared, accept: Some(accept), vm_threads })
+        Ok(ServerHandle { addr, shared, accept: Some(accept), vm_threads, recovery })
     }
 }
 
@@ -170,6 +199,12 @@ impl ServerHandle {
     /// inspection by tests and benches.
     pub fn store(&self) -> &SeriesStore {
         &self.shared.store
+    }
+
+    /// What write-ahead log recovery found and repaired at startup, or
+    /// `None` when the server runs without a data directory.
+    pub fn recovery(&self) -> Option<&WalRecovery> {
+        self.recovery.as_ref()
     }
 
     /// Stops accepting, waits up to the configured grace for in-flight
@@ -212,7 +247,7 @@ impl Drop for ServerHandle {
 /// advanced in slices until it halts or the server drains. The returned
 /// [`KgmonTool`] is the control plane's handle; every verb takes `&self`,
 /// so connection handlers drive it concurrently with the VM thread.
-fn host_vm(exe: &Executable, cfg: &ServerConfig) -> (VmEntry, JoinHandle<()>) {
+fn host_vm(exe: &Executable, cfg: &ServerConfig) -> io::Result<(VmEntry, JoinHandle<()>)> {
     let mut hooks = SharedProfiler::new(exe, cfg.vm_tick);
     let tool = KgmonTool::attach(hooks.clone());
     let stop = Arc::new(AtomicBool::new(false));
@@ -220,20 +255,17 @@ fn host_vm(exe: &Executable, cfg: &ServerConfig) -> (VmEntry, JoinHandle<()>) {
     let mut machine = Machine::with_config(exe.clone(), config);
     let slice = cfg.vm_slice.max(1);
     let stop_flag = Arc::clone(&stop);
-    let thread = std::thread::Builder::new()
-        .name("gprs-vm".to_string())
-        .spawn(move || {
-            while !stop_flag.load(Ordering::SeqCst) {
-                match machine.run_for(&mut hooks, slice) {
-                    Ok(RunStatus::Paused) => std::thread::yield_now(),
-                    // Halted or faulted: the workload is over; the tool
-                    // keeps serving extracts of the final data.
-                    Ok(RunStatus::Halted) | Err(_) => break,
-                }
+    let thread = std::thread::Builder::new().name("gprs-vm".to_string()).spawn(move || {
+        while !stop_flag.load(Ordering::SeqCst) {
+            match machine.run_for(&mut hooks, slice) {
+                Ok(RunStatus::Paused) => std::thread::yield_now(),
+                // Halted or faulted: the workload is over; the tool
+                // keeps serving extracts of the final data.
+                Ok(RunStatus::Halted) | Err(_) => break,
             }
-        })
-        .expect("vm thread spawns");
-    (VmEntry { tool, stop }, thread)
+        }
+    })?;
+    Ok((VmEntry { tool, stop }, thread))
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -298,8 +330,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 Response::Error(e.to_string())
             }
         };
-        if write_frame(&mut stream, &response.to_frame(), cfg.max_frame).is_err() {
-            break;
+        // Responses route through the fault plan so chaos tests can kill
+        // the server's ack after the upload is already durable — the
+        // "crash before fsync-ack" window. The default plan is two
+        // atomic loads and sends everything.
+        match write_frame_faulty(&mut stream, &response.to_frame(), cfg.max_frame, &cfg.fault) {
+            Ok(true) => {}
+            // The plan cut this connection: the peer never sees the ack.
+            Ok(false) | Err(_) => break,
         }
     }
 }
@@ -308,6 +346,14 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
     match request {
         Request::Upload { series, seq, blob } => match shared.store.upload(&series, seq, &blob) {
             Ok(total) => Response::Accepted { series, seq, total },
+            // The idempotence contract: a (series, seq) the server
+            // already counted answers with its current total, so a
+            // client retrying after a lost ack learns it succeeded —
+            // and nothing is double-counted.
+            Err(RejectReason::DuplicateSeq(seq)) => {
+                let total = shared.store.series_total(&series).unwrap_or(0);
+                Response::Duplicate { series, seq, total }
+            }
             Err(reason) => Response::Error(reason.to_string()),
         },
         Request::Query { series, kind } => query(shared, &series, kind),

@@ -18,11 +18,16 @@
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::io;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
 
 use graphprof::ProfileAccumulator;
 use graphprof_machine::Executable;
 use graphprof_monitor::GmonData;
+
+use crate::fault::FaultPlan;
+use crate::wal::{Wal, WalRecovery};
 
 /// Why an upload was refused. The connection stays usable after any of
 /// these; the reject is counted against the series (or the store, when
@@ -45,6 +50,9 @@ pub enum RejectReason {
     },
     /// The series name is empty or unreasonably long.
     BadSeriesName,
+    /// The write-ahead log could not make the upload durable. Nothing
+    /// was folded in; the client may retry (possibly after a restart).
+    StorageFailed(String),
 }
 
 impl std::fmt::Display for RejectReason {
@@ -60,6 +68,9 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "series limit reached ({max} series)")
             }
             RejectReason::BadSeriesName => write!(f, "series names must be 1..=128 bytes"),
+            RejectReason::StorageFailed(e) => {
+                write!(f, "upload not durable, retry later: {e}")
+            }
         }
     }
 }
@@ -99,18 +110,59 @@ pub struct SeriesStore {
     max_series: usize,
     jobs: usize,
     state: Mutex<StoreState>,
+    /// When present, every accepted upload is appended (and fsynced)
+    /// here *before* it is folded in or acknowledged.
+    wal: Option<Mutex<Wal>>,
 }
 
 impl SeriesStore {
     /// A store validating uploads against `exe`, holding at most
     /// `max_series` series, running the lint pipeline on `jobs` workers.
+    /// Purely in-memory: a crash loses everything. See
+    /// [`SeriesStore::with_wal`] for the durable variant.
     pub fn new(exe: Executable, max_series: usize, jobs: usize) -> Self {
         SeriesStore {
             exe,
             max_series: max_series.max(1),
             jobs: jobs.max(1),
             state: Mutex::new(StoreState::default()),
+            wal: None,
         }
+    }
+
+    /// A durable store: opens (or creates) the write-ahead log under
+    /// `data_dir`, replays every recovered record through the same
+    /// validate-and-fold path as live uploads — rebuilding an aggregate
+    /// byte-identical to what a crashed server held — and logs every
+    /// subsequent accepted upload before acknowledging it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the log cannot be opened.
+    /// Torn or corrupt log tails are salvaged, not errors; the
+    /// [`WalRecovery`] says what was repaired.
+    pub fn with_wal(
+        exe: Executable,
+        max_series: usize,
+        jobs: usize,
+        data_dir: &Path,
+        segment_bytes: u64,
+        fault: FaultPlan,
+    ) -> io::Result<(Self, WalRecovery)> {
+        let (wal, records, recovery) = Wal::open(data_dir, segment_bytes, fault)?;
+        let store = SeriesStore::new(exe, max_series, jobs);
+        for record in &records {
+            // Replay rejections are fine: a record whose fold failed
+            // after it was logged replays to the same deterministic
+            // rejection. Only accepted records shape the aggregate.
+            let _ = store.do_upload(&record.series, record.seq, &record.blob, false);
+        }
+        Ok((SeriesStore { wal: Some(Mutex::new(wal)), ..store }, recovery))
+    }
+
+    /// Whether uploads are made durable before acknowledgment.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// The executable uploads are validated and rendered against.
@@ -126,10 +178,26 @@ impl SeriesStore {
     /// Returns a [`RejectReason`]; the reject is counted and the series
     /// aggregate is left exactly as it was.
     pub fn upload(&self, series: &str, seq: u64, blob: &[u8]) -> Result<u64, RejectReason> {
+        self.do_upload(series, seq, blob, true)
+    }
+
+    /// The shared upload path. Live uploads (`log_to_wal = true`) append
+    /// the record to the write-ahead log after the dedup check and
+    /// before the fold, so a crash at any point either loses an
+    /// *unacknowledged* upload or preserves a logged one — never a
+    /// half-state. Recovery replay passes `log_to_wal = false`: the
+    /// record is already on disk.
+    fn do_upload(
+        &self,
+        series: &str,
+        seq: u64,
+        blob: &[u8],
+        log_to_wal: bool,
+    ) -> Result<u64, RejectReason> {
         // Parse and lint outside the lock: the expensive, fallible work
         // must not serialize concurrent clients.
         let checked = self.validate(blob);
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let gmon = match checked {
             Ok(gmon) => gmon,
             Err(reason) => {
@@ -156,6 +224,20 @@ impl SeriesStore {
             entry.stats.rejects += 1;
             return Err(RejectReason::DuplicateSeq(seq));
         }
+        // Durability point. Holding the state lock across the fsync
+        // serializes uploads with log writes, which is what makes
+        // "logged order == fold order" — the replay determinism
+        // contract — trivially true.
+        if log_to_wal {
+            if let Some(wal) = &self.wal {
+                let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Err(e) = wal.append(series, seq, blob) {
+                    entry.seen_seqs.remove(&seq);
+                    entry.stats.rejects += 1;
+                    return Err(RejectReason::StorageFailed(e.to_string()));
+                }
+            }
+        }
         if let Err(e) = entry.acc.push(gmon) {
             entry.seen_seqs.remove(&seq);
             entry.stats.rejects += 1;
@@ -176,7 +258,7 @@ impl SeriesStore {
     /// Returns a [`RejectReason`] like [`SeriesStore::upload`].
     pub fn upload_auto_seq(&self, series: &str, blob: &[u8]) -> Result<(u64, u64), RejectReason> {
         let seq = {
-            let state = self.state.lock().expect("store lock");
+            let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.series.get(series).map_or(0, |s| s.next_auto_seq)
         };
         // Another auto upload may race us to this seq; retry on the
@@ -211,21 +293,36 @@ impl SeriesStore {
         }
     }
 
-    /// The live aggregate of a series, or `None` for an unknown series.
+    /// The live aggregate of a series, or `None` for an unknown or
+    /// still-empty series. (A series entry can exist with nothing folded
+    /// in when its only upload failed at the durability step.)
     pub fn aggregate(&self, series: &str) -> Option<GmonData> {
-        let state = self.state.lock().expect("store lock");
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let s = state.series.get(series)?;
-        Some(s.acc.aggregate().expect("series exist only after an accepted upload"))
+        s.acc.aggregate().ok()
+    }
+
+    /// How many profiles a series aggregate holds, or `None` for an
+    /// unknown series. Answers a deduplicated retry without touching
+    /// the aggregate.
+    pub fn series_total(&self, series: &str) -> Option<u64> {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.series.get(series).map(|s| s.acc.count())
     }
 
     /// Counters for one series.
     pub fn stats(&self, series: &str) -> Option<SeriesStats> {
-        self.state.lock().expect("store lock").series.get(series).map(|s| s.stats)
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .series
+            .get(series)
+            .map(|s| s.stats)
     }
 
     /// Renders the `stats` verb: one line per series plus totals.
     pub fn render_stats(&self) -> String {
-        let state = self.state.lock().expect("store lock");
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::from("series            uploads   rejects        bytes\n");
         let mut totals = SeriesStats::default();
         for (name, s) in &state.series {
@@ -356,5 +453,102 @@ mod tests {
         assert_eq!((seq, total), (6, 2));
         let (seq, _) = store.upload_auto_seq("fresh", &blob).unwrap();
         assert_eq!(seq, 0);
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graphprof-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_a_byte_identical_aggregate() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("replay");
+        {
+            let (store, recovery) =
+                SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
+            assert_eq!(recovery.records, 0);
+            assert!(store.is_durable());
+            for seq in 0..3 {
+                store.upload("web", seq, &blob).unwrap();
+            }
+            store.upload("api", 0, &blob).unwrap();
+            // Dropped without any explicit flush: the fsync per append
+            // is the only durability the restart gets to rely on.
+        }
+        let (store, recovery) =
+            SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
+        assert_eq!(recovery.records, 4);
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 3)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        assert_eq!(store.aggregate("api").unwrap().to_bytes(), parsed.to_bytes());
+        // Replay repopulated the dedup set: a retried upload is a
+        // duplicate, not a double count.
+        assert_eq!(store.upload("web", 2, &blob), Err(RejectReason::DuplicateSeq(2)));
+        assert_eq!(store.series_total("web"), Some(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_failure_rolls_back_the_seq_so_a_retry_can_succeed() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("rollback");
+        {
+            let fault = FaultPlan::new(crate::fault::FaultSpec {
+                fail_append_at: Some(0),
+                ..Default::default()
+            });
+            let (store, _) =
+                SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, fault).unwrap();
+            assert!(matches!(store.upload("web", 0, &blob), Err(RejectReason::StorageFailed(_))));
+            // Nothing was folded in and the aggregate stays empty.
+            assert!(store.aggregate("web").is_none());
+            // The log is wedged (fail-stop) so the in-process retry also
+            // fails — but as StorageFailed, never DuplicateSeq: the seq
+            // was rolled back.
+            assert!(matches!(store.upload("web", 0, &blob), Err(RejectReason::StorageFailed(_))));
+        }
+        // "Restart": reopen without the fault; the same seq goes through.
+        let (store, recovery) =
+            SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
+        assert_eq!(recovery.records, 0);
+        assert_eq!(store.upload("web", 0, &blob), Ok(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_preserves_acknowledged_prefix_across_restart() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("torn");
+        {
+            let fault = FaultPlan::new(crate::fault::FaultSpec {
+                torn_append_at: Some((2, 9)),
+                ..Default::default()
+            });
+            let (store, _) =
+                SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, fault).unwrap();
+            store.upload("web", 0, &blob).unwrap();
+            store.upload("web", 1, &blob).unwrap();
+            // The third append tears mid-record: the client never got an
+            // ack, so the upload is not part of the acknowledged set.
+            assert!(matches!(store.upload("web", 2, &blob), Err(RejectReason::StorageFailed(_))));
+        }
+        let (store, recovery) =
+            SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
+        assert_eq!(recovery.records, 2, "only the acknowledged prefix survives");
+        assert!(recovery.torn_bytes > 0, "the torn tail was salvaged away");
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 2)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        // The unacknowledged seq is free again: the retry succeeds.
+        assert_eq!(store.upload("web", 2, &blob), Ok(3));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

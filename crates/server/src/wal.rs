@@ -1,0 +1,527 @@
+//! The durable write-ahead log behind `--data-dir`.
+//!
+//! Every accepted upload is appended as one checksummed record *before*
+//! the client is acknowledged, so a crash loses at most work the client
+//! never saw succeed. On restart the records are replayed through the
+//! same validation and fixed-pairing fold as live uploads, rebuilding an
+//! aggregate byte-identical to what the crashed server held.
+//!
+//! Layout under `<data-dir>/wal/`: numbered segment files, each opened
+//! with an atomically-written header (temp file + fsync + rename) and
+//! then appended to in place:
+//!
+//! ```text
+//! segment  = magic b"GPWL" · version u16 LE · reserved u16 LE · record*
+//! record   = len u32 LE · fnv1a64(body) u64 LE · body
+//! body     = series (u16 LE len + UTF-8) · seq u64 LE · blob (u32 LE len + bytes)
+//! ```
+//!
+//! A crash mid-append leaves a torn final record. [`Wal::open`] detects
+//! it by length or checksum, truncates the segment back to its valid
+//! prefix, and keeps going — a torn tail never prevents startup, and
+//! (because acknowledgment follows the fsync) the truncated record was
+//! never acknowledged. A failed append wedges the log ([`Wal::append`]
+//! then fails fast): after a failed durable write the file position is
+//! untrusted, so the store stops accepting until restart re-salvages —
+//! fail-stop, never silently divergent.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut};
+
+use crate::fault::{AppendFault, FaultPlan};
+
+const SEGMENT_MAGIC: [u8; 4] = *b"GPWL";
+const SEGMENT_VERSION: u16 = 1;
+const SEGMENT_HEADER_LEN: u64 = 8;
+const RECORD_HEADER_LEN: usize = 12;
+
+/// Default segment rotation threshold, in bytes of records.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// One upload as recorded in (and replayed from) the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The target series.
+    pub series: String,
+    /// The client-assigned sequence number.
+    pub seq: u64,
+    /// The raw profile bytes, exactly as uploaded.
+    pub blob: Vec<u8>,
+}
+
+/// What [`Wal::open`] found and repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Segments scanned.
+    pub segments: usize,
+    /// Valid records recovered, in append order.
+    pub records: usize,
+    /// Bytes of torn tail truncated away.
+    pub torn_bytes: u64,
+    /// Segments beyond a mid-log corruption, deleted wholesale (normal
+    /// crashes never produce these; only external damage does).
+    pub dropped_segments: usize,
+    /// Human-readable description of the first repair, if any.
+    pub note: Option<String>,
+}
+
+impl std::fmt::Display for WalRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal: {} record(s) replayed from {} segment(s)", self.records, self.segments)?;
+        if self.torn_bytes > 0 {
+            write!(f, ", {} torn byte(s) salvaged", self.torn_bytes)?;
+        }
+        if self.dropped_segments > 0 {
+            write!(f, ", {} damaged segment(s) dropped", self.dropped_segments)?;
+        }
+        if let Some(note) = &self.note {
+            write!(f, " ({note})")?;
+        }
+        Ok(())
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn encode_body(series: &str, seq: u64, blob: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(2 + series.len() + 8 + 4 + blob.len());
+    body.put_u16_le(series.len() as u16);
+    body.put_slice(series.as_bytes());
+    body.put_u64_le(seq);
+    body.put_u32_le(blob.len() as u32);
+    body.put_slice(blob);
+    body
+}
+
+fn decode_body(mut body: &[u8]) -> Option<WalRecord> {
+    if body.remaining() < 2 {
+        return None;
+    }
+    let series_len = body.get_u16_le() as usize;
+    if body.remaining() < series_len {
+        return None;
+    }
+    let mut series = vec![0u8; series_len];
+    body.copy_to_slice(&mut series);
+    let series = String::from_utf8(series).ok()?;
+    if body.remaining() < 8 + 4 {
+        return None;
+    }
+    let seq = body.get_u64_le();
+    let blob_len = body.get_u32_le() as usize;
+    if body.remaining() != blob_len {
+        return None;
+    }
+    let mut blob = vec![0u8; blob_len];
+    body.copy_to_slice(&mut blob);
+    Some(WalRecord { series, seq, blob })
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:08}.wal"))
+}
+
+fn segment_index(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".wal")?;
+    digits.parse().ok()
+}
+
+/// Creates a fresh segment atomically: header to a temp file, fsync,
+/// rename into place, fsync the directory.
+fn create_segment(dir: &Path, index: u64) -> io::Result<PathBuf> {
+    let path = segment_path(dir, index);
+    let tmp = dir.join(format!("seg-{index:08}.tmp"));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&SEGMENT_MAGIC)?;
+        file.write_all(&SEGMENT_VERSION.to_le_bytes())?;
+        file.write_all(&0u16.to_le_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// The write-ahead log: an append handle over the newest segment.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    segment_bytes: u64,
+    current: File,
+    current_index: u64,
+    current_len: u64,
+    fault: FaultPlan,
+    wedged: Option<String>,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log under `data_dir/wal`, repairs
+    /// any torn tail, and returns the append handle, every valid record
+    /// in append order, and a report of what was repaired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created or read, or a segment cannot be opened. Torn or corrupt
+    /// records are *not* errors: they are truncated away and reported.
+    pub fn open(
+        data_dir: &Path,
+        segment_bytes: u64,
+        fault: FaultPlan,
+    ) -> io::Result<(Wal, Vec<WalRecord>, WalRecovery)> {
+        let dir = data_dir.join("wal");
+        fs::create_dir_all(&dir)?;
+
+        let mut indices: Vec<u64> =
+            fs::read_dir(&dir)?.filter_map(|entry| segment_index(&entry.ok()?.path())).collect();
+        indices.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut recovery = WalRecovery::default();
+        let mut valid_through: Option<(u64, u64)> = None; // (index, offset)
+        let mut stop_index: Option<u64> = None;
+        for &index in &indices {
+            if stop_index.is_some() {
+                // Everything past a repair point is untrusted; normal
+                // crashes cannot produce segments here.
+                recovery.dropped_segments += 1;
+                fs::remove_file(segment_path(&dir, index))?;
+                continue;
+            }
+            recovery.segments += 1;
+            let path = segment_path(&dir, index);
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let (valid_len, segment_records, note) = scan_segment(&bytes);
+            records.extend(segment_records);
+            recovery.records = records.len();
+            if (valid_len as u64) < bytes.len() as u64 || note.is_some() {
+                recovery.torn_bytes += bytes.len() as u64 - valid_len as u64;
+                if recovery.note.is_none() {
+                    recovery.note = note
+                        .map(|n| format!("segment {index}: {n}"))
+                        .or_else(|| Some(format!("segment {index}: torn tail truncated")));
+                }
+                if valid_len == 0 {
+                    // Not even the header survived: nothing in this file
+                    // is usable, and an empty shell would trip every
+                    // future open, so remove it outright.
+                    fs::remove_file(&path)?;
+                } else {
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(valid_len as u64)?;
+                    file.sync_all()?;
+                }
+                stop_index = Some(index);
+            }
+            if valid_len > 0 {
+                valid_through = Some((index, valid_len as u64));
+            }
+        }
+
+        let (current_index, current_len) = match valid_through {
+            Some((index, len)) if len >= SEGMENT_HEADER_LEN => (index, len),
+            // No usable segment (empty dir, or the newest segment's own
+            // header was torn): start a fresh one after the newest index.
+            _ => {
+                let next = indices.last().map_or(1, |last| last + 1);
+                create_segment(&dir, next)?;
+                (next, SEGMENT_HEADER_LEN)
+            }
+        };
+        let current = OpenOptions::new().append(true).open(segment_path(&dir, current_index))?;
+
+        let wal = Wal {
+            dir,
+            segment_bytes: segment_bytes.max(SEGMENT_HEADER_LEN + 1),
+            current,
+            current_index,
+            current_len,
+            fault,
+            wedged: None,
+        };
+        Ok((wal, records, recovery))
+    }
+
+    /// Appends one upload record and makes it durable (fsync) before
+    /// returning. Rotates to a new segment when the current one is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error. After any failure the log is
+    /// wedged: every later append fails fast, and only a restart (which
+    /// re-salvages the tail) clears the condition.
+    pub fn append(&mut self, series: &str, seq: u64, blob: &[u8]) -> io::Result<()> {
+        if let Some(why) = &self.wedged {
+            return Err(io::Error::other(format!("wal is wedged: {why}")));
+        }
+        if let Err(e) = self.append_inner(series, seq, blob) {
+            self.wedged = Some(e.to_string());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn append_inner(&mut self, series: &str, seq: u64, blob: &[u8]) -> io::Result<()> {
+        if self.current_len >= self.segment_bytes {
+            let next = self.current_index + 1;
+            create_segment(&self.dir, next)?;
+            self.current = OpenOptions::new().append(true).open(segment_path(&self.dir, next))?;
+            self.current_index = next;
+            self.current_len = SEGMENT_HEADER_LEN;
+        }
+        let body = encode_body(series, seq, blob);
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + body.len());
+        record.put_u32_le(body.len() as u32);
+        record.put_u64_le(fnv1a64(&body));
+        record.put_slice(&body);
+
+        match self.fault.on_append(record.len()) {
+            AppendFault::Proceed => self.current.write_all(&record)?,
+            AppendFault::Fail => return Err(io::Error::other("injected append failure")),
+            AppendFault::Torn(keep) => {
+                // Write the torn prefix for real — restart must find it.
+                self.current.write_all(&record[..keep])?;
+                let _ = self.current.sync_data();
+                self.current_len += keep as u64;
+                return Err(io::Error::other("injected torn append"));
+            }
+        }
+        self.fault.on_fsync()?;
+        self.current.sync_data()?;
+        self.current_len += record.len() as u64;
+        Ok(())
+    }
+
+    /// The number of the segment currently appended to.
+    pub fn current_segment(&self) -> u64 {
+        self.current_index
+    }
+
+    /// Why the log is refusing appends, if it is.
+    pub fn wedged(&self) -> Option<&str> {
+        self.wedged.as_deref()
+    }
+}
+
+/// Scans one segment image: returns the byte length of the valid prefix,
+/// the records inside it, and a description of the first defect (if the
+/// prefix does not cover the whole image).
+fn scan_segment(bytes: &[u8]) -> (usize, Vec<WalRecord>, Option<String>) {
+    let mut records = Vec::new();
+    if bytes.len() < SEGMENT_HEADER_LEN as usize
+        || bytes[..4] != SEGMENT_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != SEGMENT_VERSION
+    {
+        return (0, records, Some("segment header is torn or foreign".to_string()));
+    }
+    let mut offset = SEGMENT_HEADER_LEN as usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < RECORD_HEADER_LEN {
+            return (offset, records, Some("torn record header".to_string()));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let Some(body) = rest.get(RECORD_HEADER_LEN..RECORD_HEADER_LEN + len) else {
+            return (offset, records, Some("torn record body".to_string()));
+        };
+        if fnv1a64(body) != checksum {
+            return (offset, records, Some("record checksum mismatch".to_string()));
+        }
+        let Some(record) = decode_body(body) else {
+            return (offset, records, Some("record body does not decode".to_string()));
+        };
+        records.push(record);
+        offset += RECORD_HEADER_LEN + len;
+    }
+    (offset, records, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("graphprof-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn open(dir: &Path) -> (Wal, Vec<WalRecord>, WalRecovery) {
+        Wal::open(dir, DEFAULT_SEGMENT_BYTES, FaultPlan::none()).unwrap()
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = tmpdir("replay");
+        {
+            let (mut wal, records, recovery) = open(&dir);
+            assert!(records.is_empty());
+            assert_eq!(recovery.records, 0);
+            for seq in 0..5u64 {
+                wal.append("web", seq, &[seq as u8; 16]).unwrap();
+            }
+        }
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 5);
+        assert_eq!(recovery.records, 5);
+        assert!(recovery.note.is_none(), "{recovery:?}");
+        for (seq, record) in records.iter().enumerate() {
+            assert_eq!(record.series, "web");
+            assert_eq!(record.seq, seq as u64);
+            assert_eq!(record.blob, vec![seq as u8; 16]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments() {
+        let dir = tmpdir("rotate");
+        {
+            let (mut wal, _, _) = Wal::open(&dir, 64, FaultPlan::none()).unwrap();
+            for seq in 0..10u64 {
+                wal.append("s", seq, &[0u8; 32]).unwrap();
+            }
+            assert!(wal.current_segment() > 1, "never rotated");
+        }
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 10);
+        assert!(recovery.segments > 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_are_salvaged_at_every_cut_point() {
+        // Build a clean two-record log image, then re-truncate the file
+        // to every possible length: replay must never fail, and must
+        // recover exactly the records whose bytes fully survived.
+        let dir = tmpdir("torn");
+        {
+            let (mut wal, _, _) = open(&dir);
+            wal.append("a", 0, &[1; 8]).unwrap();
+            wal.append("a", 1, &[2; 8]).unwrap();
+        }
+        let seg = segment_path(&dir.join("wal"), 1);
+        let full = fs::read(&seg).unwrap();
+        let record_len = RECORD_HEADER_LEN + encode_body("a", 0, &[1; 8]).len();
+        let first_end = SEGMENT_HEADER_LEN as usize + record_len;
+        for cut in 0..full.len() {
+            fs::write(&seg, &full[..cut]).unwrap();
+            let (_, records, recovery) = open(&dir);
+            let expect = if cut >= full.len() {
+                2
+            } else if cut >= first_end {
+                1
+            } else {
+                0
+            };
+            assert_eq!(records.len(), expect, "cut at {cut}: {recovery:?}");
+            if cut >= SEGMENT_HEADER_LEN as usize {
+                // The segment survived (possibly truncated); the torn
+                // bytes past the last whole record were dropped.
+                let kept = fs::read(&seg).unwrap();
+                assert!(kept.len() <= cut);
+                assert_eq!(&kept[..], &full[..kept.len()]);
+            }
+            // Restore for the next iteration.
+            fs::write(&seg, &full).unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksums_cut_the_replay_there() {
+        let dir = tmpdir("corrupt");
+        {
+            let (mut wal, _, _) = open(&dir);
+            wal.append("a", 0, &[1; 8]).unwrap();
+            wal.append("a", 1, &[2; 8]).unwrap();
+        }
+        let seg = segment_path(&dir.join("wal"), 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let record_len = RECORD_HEADER_LEN + encode_body("a", 0, &[1; 8]).len();
+        // Flip a byte inside the second record's body.
+        let target = SEGMENT_HEADER_LEN as usize + record_len + RECORD_HEADER_LEN + 3;
+        bytes[target] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 1);
+        assert!(recovery.note.unwrap().contains("checksum"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_survive_reopen_after_salvage() {
+        let dir = tmpdir("resume");
+        {
+            let (mut wal, _, _) = open(&dir);
+            wal.append("a", 0, &[1; 8]).unwrap();
+        }
+        // Tear the tail by hand.
+        let seg = segment_path(&dir.join("wal"), 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[0x55; 5]);
+        fs::write(&seg, &bytes).unwrap();
+        {
+            let (mut wal, records, recovery) = open(&dir);
+            assert_eq!(records.len(), 1);
+            assert_eq!(recovery.torn_bytes, 5);
+            wal.append("a", 1, &[2; 8]).unwrap();
+        }
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 2, "{recovery:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_failed_append_wedges_the_log() {
+        let dir = tmpdir("wedge");
+        let fault =
+            FaultPlan::new(FaultSpec { torn_append_at: Some((1, 3)), ..FaultSpec::default() });
+        {
+            let (mut wal, _, _) = Wal::open(&dir, DEFAULT_SEGMENT_BYTES, fault.clone()).unwrap();
+            wal.append("a", 0, &[1; 8]).unwrap();
+            assert!(wal.append("a", 1, &[2; 8]).is_err());
+            assert!(wal.wedged().is_some());
+            // Fail-stop: later appends do not land after the torn bytes.
+            assert!(wal.append("a", 2, &[3; 8]).is_err());
+        }
+        assert_eq!(fault.trips().len(), 1);
+        // Restart: the torn record is truncated away; only the
+        // acknowledged append survives; the log accepts again.
+        let (mut wal, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 1);
+        assert!(recovery.torn_bytes > 0);
+        wal.append("a", 1, &[2; 8]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrelated_files_in_the_wal_dir_are_ignored() {
+        let dir = tmpdir("noise");
+        fs::create_dir_all(dir.join("wal")).unwrap();
+        fs::write(dir.join("wal/README"), b"not a segment").unwrap();
+        fs::write(dir.join("wal/seg-x.wal"), b"bad index").unwrap();
+        let (mut wal, records, _) = open(&dir);
+        assert!(records.is_empty());
+        wal.append("a", 0, &[1; 4]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,285 @@
+//! Chaos end-to-end tests of the crash-safe pipeline: deterministic
+//! fault injection (torn WAL records, failed fsyncs, dropped and torn
+//! frames) against a durable `graphprof-serve`, with a crash and
+//! restart after every fault.
+//!
+//! The invariant under test is the robustness contract: after any
+//! injected crash point, a restarted server's aggregate is
+//! byte-identical to offline `sum_profiles` over exactly the
+//! acknowledged uploads — no acknowledged upload is lost, no retried
+//! upload is double-counted — and once clients re-drive their unacked
+//! uploads, every upload is counted exactly once.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
+use graphprof_monitor::{GmonData, RuntimeProfiler};
+use graphprof_server::{
+    Client, ClientError, FaultPlan, FaultSpec, ResilientClient, RetryPolicy, Server, ServerConfig,
+    ServerHandle,
+};
+use graphprof_workloads::paper::kernel_program;
+
+const TICK: u64 = 10;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn kernel_exe() -> Executable {
+    kernel_program(10_000_000).compile(&CompileOptions::profiled()).expect("compiles")
+}
+
+/// Distinct profile windows of one system run (same shape, different
+/// contents), so any loss, reorder, or double count shows in the bytes.
+fn windows(exe: &Executable, n: usize) -> Vec<Vec<u8>> {
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let mut profiler = RuntimeProfiler::new(exe, TICK);
+    let mut blobs = Vec::with_capacity(n);
+    for i in 0..n {
+        machine.run_for(&mut profiler, 20_000 + 7_000 * i as u64).expect("runs");
+        blobs.push(profiler.snapshot().to_bytes());
+        profiler.reset();
+    }
+    blobs
+}
+
+fn offline_sum(blobs: &[Vec<u8>]) -> Vec<u8> {
+    graphprof::sum_profiles(
+        blobs
+            .iter()
+            .map(|b| GmonData::from_bytes(b).expect("window parses"))
+            .collect::<Vec<_>>()
+            .iter(),
+    )
+    .expect("offline sum")
+    .to_bytes()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "graphprof-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable(dir: &Path, fault: FaultPlan) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        fault,
+        drain_grace: Duration::from_secs(1),
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    Server::start(config, kernel_exe(), &[]).expect("binds an ephemeral port")
+}
+
+fn fast_retries(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        jitter_seed: seed,
+    }
+}
+
+/// Crash point 1 — torn WAL record. The third append tears mid-record
+/// (as a power cut mid-write would); the server crashes; the restart
+/// salvages the torn tail and rebuilds the acknowledged prefix, byte
+/// for byte. The unacknowledged seq is still free, so the client's
+/// retry completes the set.
+#[test]
+fn torn_record_crash_restart_keeps_the_acknowledged_prefix() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 3);
+    let dir = tmpdir("torn");
+
+    let fault = FaultPlan::new(FaultSpec { torn_append_at: Some((2, 9)), ..FaultSpec::default() });
+    {
+        let handle = start(durable(&dir, fault.clone()));
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        client.upload("web", 0, &blobs[0]).expect("accepted");
+        client.upload("web", 1, &blobs[1]).expect("accepted");
+        let err = client.upload("web", 2, &blobs[2]).expect_err("append tore");
+        assert!(err.to_string().contains("not durable"), "{err}");
+        drop(client);
+        handle.shutdown(); // the "crash": the torn tail is on disk
+    }
+    assert_eq!(fault.trips().len(), 1, "the torn append must actually fire: {:?}", fault.trips());
+
+    let handle = start(durable(&dir, FaultPlan::none()));
+    let recovery = handle.recovery().expect("durable server");
+    assert_eq!(recovery.records, 2, "only the acknowledged uploads replay");
+    assert!(recovery.torn_bytes > 0, "the torn tail was salvaged: {recovery:?}");
+
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+    assert_eq!(
+        client.fetch_sum("web").expect("aggregate"),
+        offline_sum(&blobs[..2]),
+        "restart must rebuild the acknowledged aggregate byte-identically"
+    );
+    // The torn upload was never acknowledged; its seq is free again.
+    assert_eq!(client.upload("web", 2, &blobs[2]).expect("retry lands"), 3);
+    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash point 2 — lost acknowledgment. The upload is made durable but
+/// the server's response frame is dropped; the client retries over a
+/// fresh connection and the server answers `Duplicate` with the
+/// existing total. Counted exactly once, both before and after a
+/// crash+restart.
+#[test]
+fn lost_ack_resolves_as_duplicate_never_double_counts() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 1);
+    let dir = tmpdir("lost-ack");
+
+    let fault = FaultPlan::new(FaultSpec { drop_frame_at: Some(0), ..FaultSpec::default() });
+    {
+        let handle = start(durable(&dir, fault.clone()));
+        let mut client = ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(7));
+        // First attempt: durable append, dropped ack, injected
+        // disconnect. Retry: deduplicated by (series, seq), answered
+        // with the existing total.
+        let total = client.upload("web", 0, &blobs[0]).expect("retry resolves the lost ack");
+        assert_eq!(total, 1, "the retried upload must not double-count");
+        assert_eq!(fault.trips().len(), 1, "the drop must actually fire: {:?}", fault.trips());
+        drop(client);
+        handle.shutdown();
+    }
+
+    // The ambiguity was resolved before the crash; the restart agrees.
+    let handle = start(durable(&dir, FaultPlan::none()));
+    assert_eq!(handle.recovery().expect("durable server").records, 1);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash point 3 — kill before the fsync'd upload is acknowledged. The
+/// record is durable, the ack never arrives, and the server dies before
+/// the client can retry. The restart replays the record *and* its
+/// dedup state, so the retry against the new server resolves as
+/// `Duplicate`: the upload becomes acknowledged without being counted
+/// twice.
+#[test]
+fn kill_before_ack_then_restart_deduplicates_the_retry() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 2);
+    let dir = tmpdir("kill-before-ack");
+
+    {
+        let fault = FaultPlan::new(FaultSpec { drop_frame_at: Some(1), ..FaultSpec::default() });
+        let handle = start(durable(&dir, fault.clone()));
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        client.upload("web", 0, &blobs[0]).expect("accepted");
+        // Durable append, then the ack is dropped and the server dies.
+        let err = client.upload("web", 1, &blobs[1]).expect_err("ack never arrives");
+        assert!(matches!(err, ClientError::Disconnected), "{err:?}");
+        assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+        drop(client);
+        handle.shutdown();
+    }
+
+    let handle = start(durable(&dir, FaultPlan::none()));
+    // Both records were durable; both replay.
+    assert_eq!(handle.recovery().expect("durable server").records, 2);
+    let mut client = ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(11));
+    // The client retries the upload it never saw acknowledged.
+    let total = client.upload("web", 1, &blobs[1]).expect("retry deduplicates");
+    assert_eq!(total, 2, "replayed dedup state must absorb the retry");
+    assert_eq!(
+        client.fetch_sum("web").expect("aggregate"),
+        offline_sum(&blobs),
+        "exactly the acknowledged uploads, no loss, no double count"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash point 4 — client-side disconnect mid-upload. The request frame
+/// is torn on the wire, so the server never accepts (and never logs)
+/// anything; the retried upload is a fresh accept, not a duplicate.
+#[test]
+fn mid_upload_disconnect_leaves_nothing_behind() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 1);
+    let dir = tmpdir("mid-upload");
+
+    let handle = start(durable(&dir, FaultPlan::none()));
+    let addr = handle.addr().to_string();
+    let fault =
+        FaultPlan::new(FaultSpec { truncate_frame_at: Some((0, 11)), ..FaultSpec::default() });
+    let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
+    client.set_fault(fault.clone());
+    let err = client.upload("web", 0, &blobs[0]).expect_err("cut mid-frame");
+    assert!(err.is_retryable(), "{err:?}");
+    assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+
+    // Nothing was accepted, so the retry is a fresh accept with seq 0.
+    let mut retry = Client::connect(&addr, TIMEOUT).expect("reconnects");
+    assert_eq!(retry.upload("web", 0, &blobs[0]).expect("accepted"), 1);
+    drop((client, retry));
+    handle.shutdown();
+
+    // And the accept was durable.
+    let handle = start(durable(&dir, FaultPlan::none()));
+    assert_eq!(handle.recovery().expect("durable server").records, 1);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The seeded sweep: every seed derives one deterministic fault — torn
+/// or failed appends, failed fsyncs, dropped/torn/corrupted response
+/// frames — injected into a durable server while a retrying client
+/// uploads four windows. Then the server crashes, restarts clean, and
+/// the client re-drives whatever was never acknowledged. End state for
+/// *every* seed: the aggregate is byte-identical to offline
+/// `sum_profiles` over all four uploads, each counted exactly once.
+#[test]
+fn seeded_fault_sweep_converges_to_exactly_once() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 4);
+    let offline = offline_sum(&blobs);
+
+    for seed in 0..12u64 {
+        let dir = tmpdir(&format!("sweep-{seed}"));
+        let fault = FaultPlan::seeded(seed);
+        let mut unacked: Vec<u64> = Vec::new();
+        {
+            let handle = start(durable(&dir, fault.clone()));
+            let mut client =
+                ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(seed));
+            for (seq, blob) in blobs.iter().enumerate() {
+                if client.upload("web", seq as u64, blob).is_err() {
+                    unacked.push(seq as u64);
+                }
+            }
+            handle.shutdown(); // the crash
+        }
+
+        // Restart clean; the client retries its unacknowledged uploads.
+        let handle = start(durable(&dir, FaultPlan::none()));
+        let mut client =
+            ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(seed));
+        for &seq in &unacked {
+            client
+                .upload("web", seq, &blobs[seq as usize])
+                .unwrap_or_else(|e| panic!("seed {seed}: retry of seq {seq} failed: {e}"));
+        }
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline,
+            "seed {seed} (fault {:?}, trips {:?}): aggregate diverged from offline sum",
+            fault.spec(),
+            fault.trips(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -299,8 +299,9 @@ fn malformed_frames_and_disconnects_do_not_disturb_other_connections() {
     assert!(summary.frame_errors >= 3, "garbage, oversized, truncated: {summary:?}");
 }
 
-/// Duplicate sequence numbers and unknown series are rejects with the
-/// connection left usable; the aggregate never double-counts.
+/// A duplicate sequence number answers as an idempotent success — the
+/// retry contract — while unknown series stay rejects; either way the
+/// connection is left usable and the aggregate never double-counts.
 #[test]
 fn duplicate_and_unknown_series_are_clean_rejects() {
     let exe = kernel_exe();
@@ -309,11 +310,16 @@ fn duplicate_and_unknown_series_are_clean_rejects() {
     let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
 
     client.upload("web", 0, &blobs[0]).expect("accepted");
-    let err = client.upload("web", 0, &blobs[0]).expect_err("duplicate seq");
-    assert!(err.to_string().contains("already uploaded"), "{err}");
+    // A replayed (series, seq) is how a client retries after a lost
+    // ack: the server reports the existing total instead of erroring,
+    // and folds nothing in.
+    let total = client.upload("web", 0, &blobs[0]).expect("idempotent retry");
+    assert_eq!(total, 1, "the retry must not double-count");
     let err = client.query_text("nope", QueryKind::Flat).expect_err("unknown series");
     assert!(err.to_string().contains("no such series"), "{err}");
 
     let offline = GmonData::from_bytes(&blobs[0]).unwrap().to_bytes();
     assert_eq!(client.fetch_sum("web").expect("aggregate"), offline);
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("1 uploads"), "{stats}");
 }
