@@ -1,0 +1,405 @@
+//! A dependency-free JSON value, just big enough for the analyzer
+//! report.
+//!
+//! The workspace deliberately carries no serialization framework, so the
+//! report schema ([`crate::report`]) emits and parses its own JSON. The
+//! dialect is intentionally narrow: numbers are signed 64-bit integers
+//! (the report never needs floats), objects preserve insertion order,
+//! and the emitter always produces output the parser round-trips —
+//! pinned by tests here and by the schema round-trip test in the CLI.
+
+use std::fmt;
+
+/// A JSON value. Numbers are restricted to `i64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the only number form this dialect carries).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order (keys are not deduplicated).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience: the value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the string content when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the integer when this is a number.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the elements when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline,
+    /// the shape every `BENCH_*.json` artifact in this repo uses.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) if items.is_empty() => out.push_str("[]"),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { at: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("non-integer numbers are outside this dialect"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<i64>().map(Value::Int).map_err(|_| self.err("integer out of range"))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Combine a high surrogate with the low one
+                            // that must follow it.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("bad \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the input is a &str, so the
+                    // boundaries are valid by construction.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+    }
+
+    #[test]
+    fn round_trips_nested_structure() {
+        let value = obj(&[
+            ("schema", Value::Str("graphprof-analyze-report/1".into())),
+            ("count", Value::Int(-42)),
+            ("ok", Value::Bool(true)),
+            ("none", Value::Null),
+            (
+                "items",
+                Value::Array(vec![
+                    Value::Int(1),
+                    Value::Str("a \"quoted\"\nline\t\\".into()),
+                    Value::Array(vec![]),
+                    obj(&[]),
+                ]),
+            ),
+        ]);
+        let text = value.to_pretty();
+        assert_eq!(parse(&text).unwrap(), value);
+        // Emission is stable: parse-emit is a fixpoint.
+        assert_eq!(parse(&text).unwrap().to_pretty(), text);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let parsed = parse(r#""a\u00e9\ud83d\ude00\u0007b""#).unwrap();
+        assert_eq!(parsed, Value::Str("aé😀\u{7}b".into()));
+        // Control characters re-emit as \u escapes and still round-trip.
+        let text = parsed.to_pretty();
+        assert_eq!(parse(&text).unwrap(), parsed);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1.5").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("true false").is_err());
+        let err = parse("[1, nope]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn object_lookup_helpers() {
+        let value = parse(r#"{"a": 1, "b": [true], "c": "x"}"#).unwrap();
+        assert_eq!(value.get("a").and_then(Value::as_int), Some(1));
+        assert_eq!(value.get("c").and_then(Value::as_str), Some("x"));
+        assert_eq!(value.get("b").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert!(value.get("missing").is_none());
+    }
+}

@@ -20,14 +20,34 @@
 //!   routine entries, histograms sampling outside the text, profiled
 //!   routines without a monitoring prologue, and call counts that
 //!   violate conservation. This is the engine behind `graphprof check`.
+//! * [`callgraph_analysis`] — the whole-program pass behind
+//!   `graphprof analyze` ([`analyze_profile`]): the static call graph
+//!   (crawled arcs ∪ dataflow-resolved indirects) with Tarjan SCCs,
+//!   dominators, and entry reachability, cross-checked against the
+//!   dynamic profile for impossible arcs, unreachable-but-sampled text,
+//!   static-vs-runtime cycle mismatches, and per-SCC call-count
+//!   conservation.
+//! * [`rules`] — the rule registry every finding code lives in, plus
+//!   the `--deny/--warn/--allow` configuration ([`RuleConfig`]).
+//! * [`report`] — the analyzer report: rendered text and the documented
+//!   JSON schema ([`report::AnalyzeReport`]).
+//! * [`json`] — the dependency-free JSON value used by the report and
+//!   its round-trip tests.
 
+pub mod callgraph_analysis;
 pub mod cfg;
 pub mod dataflow;
+pub mod json;
 pub mod lint;
+pub mod report;
+pub mod rules;
 
+pub use callgraph_analysis::{analyze_profile, analyze_profile_jobs, ProgramGraph};
 pub use cfg::{build_cfg, BasicBlock, BlockId, Cfg};
 pub use dataflow::{
     resolve_indirect_calls, resolve_indirect_calls_jobs, IndirectResolution, ResolvedIndirect,
     SlotState, SlotValue, UnresolvedIndirect, UnresolvedReason,
 };
 pub use lint::{check_profile, check_profile_jobs, CheckFinding};
+pub use report::AnalyzeReport;
+pub use rules::{Action, Rule, RuleConfig, Severity, UnknownRule, RULES};

@@ -109,13 +109,72 @@ pub enum CheckFinding {
         /// Traversals lost to the full table.
         dropped: u64,
     },
+    /// A dynamic arc that leaves a real call site but cannot have been
+    /// recorded by this program: the site's static (or dataflow-proven)
+    /// target differs from the arc's callee, or the arc originates in
+    /// code no feasible path from the entry reaches. Emitted by the
+    /// whole-program analyzer ([`crate::analyze_profile`]).
+    ImpossibleDynamicArc {
+        /// The arc's recorded call-site (return address).
+        from_pc: Addr,
+        /// The arc's recorded callee.
+        self_pc: Addr,
+        /// The routine containing the call site.
+        caller: String,
+        /// The routine the arc claims was called.
+        callee: String,
+        /// Which feasibility argument the arc violates.
+        why: String,
+    },
+    /// The histogram holds samples inside a routine no feasible path
+    /// from the entry reaches — time attributed to text that cannot
+    /// have executed. Emitted by the whole-program analyzer.
+    UnreachableButSampled {
+        /// The sampled routine.
+        name: String,
+        /// Its entry address.
+        addr: Addr,
+        /// Samples attributed to it.
+        samples: u64,
+    },
+    /// Dynamic arcs merge routines into one strongly-connected component
+    /// that Tarjan's pass over the static call graph keeps apart: the
+    /// cycle the propagation pass would collapse does not exist
+    /// statically. Emitted by the whole-program analyzer.
+    StaticCycleMismatch {
+        /// Members of the merged-graph cycle, in address order.
+        members: Vec<String>,
+        /// How many distinct static components the members span.
+        static_cycles: usize,
+        /// The lowest member entry address, for deterministic ordering.
+        anchor: Addr,
+    },
+    /// A call-graph cycle whose members record intra-cycle traversals
+    /// that no external entry into the cycle explains — the per-SCC
+    /// generalization of call-count conservation. Emitted by the
+    /// whole-program analyzer.
+    SccCountImbalance {
+        /// Members of the cycle, in address order.
+        members: Vec<String>,
+        /// Members with recorded activations but no arc path from any
+        /// externally-entered member.
+        orphans: Vec<String>,
+        /// Total intra-cycle arc traversals recorded.
+        internal: u64,
+        /// Total traversals entering the cycle from outside (including
+        /// spontaneous activations).
+        external: u64,
+        /// The lowest member entry address, for deterministic ordering.
+        anchor: Addr,
+    },
 }
 
 impl CheckFinding {
-    /// A stable kebab-case identifier for the finding kind, for
-    /// machine consumption of `graphprof check` output.
-    pub fn code(&self) -> &'static str {
-        match self {
+    /// The registry row this finding kind belongs to. The variant →
+    /// code mapping lives here; severity and everything else derive
+    /// from the single table in [`crate::rules`].
+    pub fn rule(&self) -> &'static crate::rules::Rule {
+        let code = match self {
             CheckFinding::BadExecutable { .. } => "bad-executable",
             CheckFinding::ArcSiteNotCall { .. } => "arc-site-not-call",
             CheckFinding::ArcCalleeNotEntry { .. } => "arc-callee-not-entry",
@@ -125,18 +184,28 @@ impl CheckFinding {
             CheckFinding::CallCountMismatch { .. } => "call-count-mismatch",
             CheckFinding::UnresolvedIndirectCall { .. } => "unresolved-indirect-call",
             CheckFinding::DroppedArcs { .. } => "dropped-arcs",
-        }
+            CheckFinding::ImpossibleDynamicArc { .. } => "impossible-dynamic-arc",
+            CheckFinding::UnreachableButSampled { .. } => "unreachable-but-sampled",
+            CheckFinding::StaticCycleMismatch { .. } => "static-cycle-mismatch",
+            CheckFinding::SccCountImbalance { .. } => "scc-count-imbalance",
+        };
+        crate::rules::lookup(code).expect("every finding kind is registered")
+    }
+
+    /// A stable kebab-case identifier for the finding kind, for
+    /// machine consumption of `graphprof check` output.
+    pub fn code(&self) -> &'static str {
+        self.rule().code
     }
 
     /// Whether the finding invalidates the profile (`true`) or merely
     /// flags something the analysis cannot see through (`false`).
+    /// Derived from the registry; `bad-executable` is the one rule
+    /// whose effective severity follows the underlying verifier issue.
     pub fn is_error(&self) -> bool {
         match self {
-            CheckFinding::UnreachableRoutine { .. }
-            | CheckFinding::UnresolvedIndirectCall { .. }
-            | CheckFinding::DroppedArcs { .. } => false,
             CheckFinding::BadExecutable { issue } => issue.is_error(),
-            _ => true,
+            _ => self.rule().severity == crate::rules::Severity::Error,
         }
     }
 
@@ -186,8 +255,62 @@ impl fmt::Display for CheckFinding {
                      call counts are a lower bound"
                 )
             }
+            CheckFinding::ImpossibleDynamicArc { from_pc, self_pc, caller, callee, why } => {
+                write!(f, "dynamic arc {from_pc} -> {self_pc} ({caller} -> {callee}) {why}")
+            }
+            CheckFinding::UnreachableButSampled { name, addr, samples } => {
+                write!(
+                    f,
+                    "routine `{name}` ({addr}) is unreachable from the entry \
+                     but holds {samples} histogram samples"
+                )
+            }
+            CheckFinding::StaticCycleMismatch { members, static_cycles, .. } => {
+                write!(
+                    f,
+                    "dynamic arcs merge {{{}}} into one cycle but the static call \
+                     graph keeps them in {static_cycles} components",
+                    members.join(", ")
+                )
+            }
+            CheckFinding::SccCountImbalance { members, orphans, internal, external, .. } => {
+                write!(
+                    f,
+                    "cycle {{{}}} records {internal} intra-cycle calls against \
+                     {external} external entries; no entry path reaches {{{}}}",
+                    members.join(", "),
+                    orphans.join(", ")
+                )
+            }
         }
     }
+}
+
+/// Orders findings deterministically: global findings (no meaningful
+/// address) first, then by (routine/site address, code, message). This
+/// is the `graphprof check`/`analyze` output contract — the order is a
+/// property of the findings, never of the worker count or the
+/// discovery path.
+pub(crate) fn sort_findings(findings: &mut [CheckFinding], exe: &Executable) {
+    let symbols = exe.symbols();
+    let entry_of = |name: &str| symbols.by_name(name).map_or(Addr::NULL, |(_, s)| s.addr());
+    findings.sort_by_cached_key(|f| {
+        let anchor = match f {
+            CheckFinding::BadExecutable { .. } | CheckFinding::DroppedArcs { .. } => Addr::NULL,
+            CheckFinding::ArcSiteNotCall { from_pc } => *from_pc,
+            CheckFinding::ArcCalleeNotEntry { self_pc } => *self_pc,
+            CheckFinding::HistogramOutOfText { start, .. } => *start,
+            CheckFinding::MissingMcountPrologue { name }
+            | CheckFinding::UnreachableRoutine { name } => entry_of(name),
+            CheckFinding::CallCountMismatch { site, .. } => *site,
+            CheckFinding::UnresolvedIndirectCall { at, .. } => *at,
+            CheckFinding::ImpossibleDynamicArc { from_pc, .. } => *from_pc,
+            CheckFinding::UnreachableButSampled { addr, .. } => *addr,
+            CheckFinding::StaticCycleMismatch { anchor, .. } => *anchor,
+            CheckFinding::SccCountImbalance { anchor, .. } => *anchor,
+        };
+        (anchor.get(), f.code(), f.to_string())
+    });
 }
 
 /// Whether a routine's first instruction is a profiling prologue of
@@ -198,8 +321,9 @@ fn has_profiling_prologue(insts: &[(Addr, Instruction)]) -> bool {
 
 /// Cross-checks a profile against the executable it claims to describe.
 ///
-/// Returns every finding, errors first within each category's natural
-/// order; an empty vector means the profile is consistent.
+/// Returns every finding in deterministic (routine address, code)
+/// order — findings without a meaningful address sort first; an empty
+/// vector means the profile is consistent.
 pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
     check_profile_jobs(exe, gmon, 1)
 }
@@ -228,6 +352,7 @@ pub fn check_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec
     }
     if !text_ok {
         // Every later check disassembles; report what we have.
+        sort_findings(&mut findings, exe);
         return findings;
     }
 
@@ -350,6 +475,7 @@ pub fn check_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec
         }
     }
 
+    sort_findings(&mut findings, exe);
     findings
 }
 
@@ -575,6 +701,45 @@ mod tests {
             !findings.iter().any(|f| matches!(f, CheckFinding::CallCountMismatch { .. })),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn findings_come_back_in_address_then_code_order() {
+        let (exe, gmon) = profile(
+            "routine main { work 10 call a call b setslot 0, a setslot 0, b call flip }
+             routine flip { calli 0 }
+             routine a { work 20 call b }
+             routine b { work 5 }
+             routine island { work 5 }",
+        );
+        let mut arcs: Vec<RawArc> = gmon.arcs().to_vec();
+        let a = exe.symbols().by_name("a").unwrap().1.addr();
+        arcs.iter_mut().find(|x| x.self_pc == a && !x.from_pc.is_null()).unwrap().count += 7;
+        arcs.push(RawArc { from_pc: Addr::NULL, self_pc: exe.end().offset(0x40), count: 1 });
+        let corrupted = GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs);
+        let findings = check_profile(&exe, &corrupted);
+        assert!(findings.len() >= 3, "{findings:?}");
+        let keys: Vec<(u32, &str, String)> = findings
+            .iter()
+            .map(|f| {
+                // Recompute the documented (address, code, message) key
+                // independently of the implementation.
+                let anchor = match f {
+                    CheckFinding::UnreachableRoutine { name } => {
+                        exe.symbols().by_name(name).unwrap().1.addr().get()
+                    }
+                    CheckFinding::ArcSiteNotCall { from_pc } => from_pc.get(),
+                    CheckFinding::ArcCalleeNotEntry { self_pc } => self_pc.get(),
+                    CheckFinding::CallCountMismatch { site, .. } => site.get(),
+                    CheckFinding::UnresolvedIndirectCall { at, .. } => at.get(),
+                    _ => 0,
+                };
+                (anchor, f.code(), f.to_string())
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{findings:?}");
     }
 
     #[test]

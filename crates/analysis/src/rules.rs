@@ -1,0 +1,296 @@
+//! The rule registry: one table owning every finding code, its default
+//! severity, and its one-line meaning.
+//!
+//! [`CheckFinding::code`](crate::CheckFinding::code),
+//! [`is_error`](crate::CheckFinding::is_error), and
+//! [`severity`](crate::CheckFinding::severity) all derive from this
+//! table, so a rule exists in exactly one place — adding a finding kind
+//! without registering it here is a test failure, not a silent gap.
+//! On top of the registry sits [`RuleConfig`], the `--deny/--warn/--allow`
+//! machinery of `graphprof analyze`: each finding resolves to an
+//! [`Action`] (deny, warn, or allow), and only denied findings fail the
+//! gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lint::CheckFinding;
+
+/// A rule's default severity, before any [`RuleConfig`] override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The finding invalidates the profile (or the executable).
+    Error,
+    /// The finding flags a blind spot or degradation, not corruption.
+    Warning,
+}
+
+/// One registered finding kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// The stable kebab-case code, as printed inside `[...]`.
+    pub code: &'static str,
+    /// Default severity. `bad-executable` is the one special case: its
+    /// effective severity follows the underlying verifier issue, and
+    /// this field records the worst case.
+    pub severity: Severity,
+    /// One-line meaning, for `--help`-style listings and the docs table.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter and the call-graph analyzer can emit, in the
+/// order they are documented. Codes are append-only and never renamed.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "bad-executable",
+        severity: Severity::Error,
+        summary: "the executable itself fails verification; severity follows the issue",
+    },
+    Rule {
+        code: "missing-mcount-prologue",
+        severity: Severity::Error,
+        summary: "a profiled routine has no mcount/countcall prologue",
+    },
+    Rule {
+        code: "arc-site-not-call",
+        severity: Severity::Error,
+        summary: "an arc's call-site is not the return address of any call",
+    },
+    Rule {
+        code: "arc-callee-not-entry",
+        severity: Severity::Error,
+        summary: "an arc's callee is not a routine entry point",
+    },
+    Rule {
+        code: "histogram-out-of-text",
+        severity: Severity::Error,
+        summary: "the histogram window leaves the text segment",
+    },
+    Rule {
+        code: "call-count-mismatch",
+        severity: Severity::Error,
+        summary: "a once-per-activation call site recorded the wrong count",
+    },
+    Rule {
+        code: "unreachable-routine",
+        severity: Severity::Warning,
+        summary: "a routine is unreachable by direct calls (may be an indirect target)",
+    },
+    Rule {
+        code: "unresolved-indirect-call",
+        severity: Severity::Warning,
+        summary: "a calli site the dataflow could not pin to one callee",
+    },
+    Rule {
+        code: "dropped-arcs",
+        severity: Severity::Warning,
+        summary: "the arc table filled during the run; counts are lower bounds",
+    },
+    Rule {
+        code: "impossible-dynamic-arc",
+        severity: Severity::Error,
+        summary: "a dynamic arc with no static counterpart or feasible path",
+    },
+    Rule {
+        code: "unreachable-but-sampled",
+        severity: Severity::Error,
+        summary: "histogram samples inside text unreachable from the entry",
+    },
+    Rule {
+        code: "static-cycle-mismatch",
+        severity: Severity::Error,
+        summary: "dynamic arcs collapse a cycle the static call graph does not have",
+    },
+    Rule {
+        code: "scc-count-imbalance",
+        severity: Severity::Error,
+        summary: "a call-graph cycle records internal traversals no external entry explains",
+    },
+];
+
+/// Looks a rule up by code.
+pub fn lookup(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// What the analyzer does with a finding after severity configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Fail the gate (exit 1).
+    Deny,
+    /// Report, but do not fail.
+    Warn,
+    /// Report as suppressed; never fails and not counted as a warning.
+    Allow,
+}
+
+impl Action {
+    /// The label findings print under (`deny:`/`warn:`/`allow:`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Action::Deny => "deny",
+            Action::Warn => "warn",
+            Action::Allow => "allow",
+        }
+    }
+}
+
+/// An unknown code passed to `--deny/--warn/--allow`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRule {
+    /// The code that matched no registered rule.
+    pub code: String,
+}
+
+impl fmt::Display for UnknownRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let known: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        write!(f, "unknown rule `{}` (known: {}, all)", self.code, known.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownRule {}
+
+/// Per-code action overrides. Unconfigured codes fall back to the
+/// finding's own severity: errors deny, warnings warn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    overrides: BTreeMap<&'static str, Action>,
+}
+
+impl RuleConfig {
+    /// The default configuration: every error denies, every warning
+    /// warns, nothing is suppressed.
+    pub fn new() -> Self {
+        RuleConfig::default()
+    }
+
+    /// Forces every registered rule to `action` (`--deny all` etc.).
+    /// Specific codes set afterwards still win.
+    pub fn set_all(&mut self, action: Action) {
+        for rule in RULES {
+            self.overrides.insert(rule.code, action);
+        }
+    }
+
+    /// Overrides one code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownRule`] when `code` is not registered, so typos
+    /// surface instead of silently gating nothing.
+    pub fn set(&mut self, code: &str, action: Action) -> Result<(), UnknownRule> {
+        match lookup(code) {
+            Some(rule) => {
+                self.overrides.insert(rule.code, action);
+                Ok(())
+            }
+            None => Err(UnknownRule { code: code.to_string() }),
+        }
+    }
+
+    /// The action taken for one finding: the override when configured,
+    /// otherwise deny for errors and warn for warnings (so a
+    /// warning-severity `bad-executable` defaults to warn even though
+    /// the rule's worst case is error).
+    pub fn action_for(&self, finding: &CheckFinding) -> Action {
+        match self.overrides.get(finding.code()) {
+            Some(action) => *action,
+            None if finding.is_error() => Action::Deny,
+            None => Action::Warn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphprof_machine::Addr;
+
+    #[test]
+    fn codes_are_unique_and_kebab() {
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in RULES {
+            assert!(seen.insert(rule.code), "duplicate code {}", rule.code);
+            assert!(
+                rule.code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{} is not kebab-case",
+                rule.code
+            );
+        }
+    }
+
+    #[test]
+    fn every_finding_kind_is_registered() {
+        // One constructed value per variant; a new variant added to
+        // CheckFinding without a registry row fails here.
+        let addr = Addr::new(0x1000);
+        let all = [
+            CheckFinding::ArcSiteNotCall { from_pc: addr },
+            CheckFinding::ArcCalleeNotEntry { self_pc: addr },
+            CheckFinding::HistogramOutOfText { start: addr, end: addr },
+            CheckFinding::MissingMcountPrologue { name: "f".into() },
+            CheckFinding::UnreachableRoutine { name: "f".into() },
+            CheckFinding::CallCountMismatch {
+                site: addr,
+                caller: "a".into(),
+                callee: "b".into(),
+                expected: 1,
+                actual: 2,
+            },
+            CheckFinding::UnresolvedIndirectCall { at: addr, slot: 0 },
+            CheckFinding::DroppedArcs { dropped: 1 },
+            CheckFinding::ImpossibleDynamicArc {
+                from_pc: addr,
+                self_pc: addr,
+                caller: "a".into(),
+                callee: "b".into(),
+                why: "has no static counterpart".into(),
+            },
+            CheckFinding::UnreachableButSampled { name: "f".into(), addr, samples: 3 },
+            CheckFinding::StaticCycleMismatch {
+                members: vec!["a".into(), "b".into()],
+                static_cycles: 2,
+                anchor: addr,
+            },
+            CheckFinding::SccCountImbalance {
+                members: vec!["a".into(), "b".into()],
+                orphans: vec!["b".into()],
+                internal: 5,
+                external: 0,
+                anchor: addr,
+            },
+        ];
+        for f in &all {
+            let rule = lookup(f.code()).unwrap_or_else(|| panic!("{} unregistered", f.code()));
+            assert_eq!(
+                rule.severity == Severity::Error,
+                f.is_error(),
+                "{}: registry severity disagrees with finding",
+                f.code()
+            );
+        }
+        // bad-executable is the documented special case (severity
+        // follows the verifier issue), checked in lint.rs tests.
+        assert_eq!(all.len() + 1, RULES.len(), "registry and variants out of sync");
+    }
+
+    #[test]
+    fn config_overrides_and_precedence() {
+        let err = CheckFinding::ArcSiteNotCall { from_pc: Addr::new(0x1000) };
+        let warn = CheckFinding::DroppedArcs { dropped: 1 };
+        let mut config = RuleConfig::new();
+        assert_eq!(config.action_for(&err), Action::Deny);
+        assert_eq!(config.action_for(&warn), Action::Warn);
+
+        config.set_all(Action::Deny);
+        assert_eq!(config.action_for(&warn), Action::Deny);
+        config.set("dropped-arcs", Action::Allow).unwrap();
+        assert_eq!(config.action_for(&warn), Action::Allow);
+        assert_eq!(config.action_for(&err), Action::Deny);
+
+        let unknown = config.set("no-such-rule", Action::Warn).unwrap_err();
+        assert!(unknown.to_string().contains("no-such-rule"));
+        assert!(unknown.to_string().contains("arc-site-not-call"));
+    }
+}

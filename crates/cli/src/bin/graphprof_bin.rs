@@ -3,7 +3,7 @@
 //! the paper and retrospective.
 
 use graphprof_cli::args::normalize_jobs_shorthand;
-use graphprof_cli::{check, remote, report, serve, Args, CliError};
+use graphprof_cli::{analyze, check, remote, report, serve, Args, CliError};
 
 const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--flat-only|--graph-only] [--no-static] \
@@ -11,6 +11,7 @@ const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--min-percent P | --focus NAME | --keep a,b,c | --hide a,b,c] \
                      [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix] [--jobs N]\n\
                      graphprof check <prog.gpx> <gmon.out> [--jobs N] [--salvage]\n\
+                     graphprof analyze <prog.gpx> <gmon.out> [--jobs N] [--salvage] [--deny CODES] [--warn CODES] [--allow CODES] [--json FILE]\n\
                      graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N] [--data-dir DIR] [--wal-segment-bytes N]\n\
                      graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|stats> [...] [--vm NAME] [--timeout-ms N] [--retries N] [--retry-base-ms N]";
 
@@ -92,6 +93,27 @@ fn main() {
             Ok(report) => {
                 print!("{}", report.output);
                 if !report.is_clean() {
+                    std::process::exit(1);
+                }
+            }
+            Err(CliError::Usage(msg)) => {
+                eprintln!("{msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("graphprof: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("analyze") {
+        let parsed =
+            Args::parse(&argv[1..], &["jobs", "deny", "warn", "allow", "json"], &["salvage"]);
+        match parsed.and_then(|args| analyze(&args)) {
+            Ok(outcome) => {
+                print!("{}", outcome.output);
+                if !outcome.is_clean() {
                     std::process::exit(1);
                 }
             }

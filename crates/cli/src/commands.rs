@@ -360,6 +360,110 @@ pub fn check(args: &Args) -> Result<CheckReport, CliError> {
     Ok(CheckReport { output, errors, warnings })
 }
 
+/// The outcome of `graphprof analyze`: rendered findings plus the
+/// counts the binary's exit code derives from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeOutcome {
+    /// One line per finding (`{action}: [{code}] {message}`) followed by
+    /// a summary line.
+    pub output: String,
+    /// Findings the rule configuration denies; any makes the gate fail.
+    pub denied: usize,
+    /// Findings reported as warnings.
+    pub warned: usize,
+    /// Findings suppressed by `--allow`.
+    pub allowed: usize,
+}
+
+impl AnalyzeOutcome {
+    /// Whether the gate passes (nothing denied).
+    pub fn is_clean(&self) -> bool {
+        self.denied == 0
+    }
+}
+
+/// Builds a [`RuleConfig`](graphprof_analysis::RuleConfig) from the
+/// repeatable `--deny/--warn/--allow` flags. Each flag takes a comma
+/// list of rule codes or `all`. `all` entries apply first (in deny,
+/// warn, allow order), then specific codes (same order), so a specific
+/// code always overrides an `all` and `--allow` wins ties.
+fn rule_config(args: &Args) -> Result<graphprof_analysis::RuleConfig, CliError> {
+    use graphprof_analysis::Action;
+    let mut config = graphprof_analysis::RuleConfig::new();
+    let flags = [("deny", Action::Deny), ("warn", Action::Warn), ("allow", Action::Allow)];
+    // `all` entries first, then specific codes, so specifics always win.
+    for (flag, action) in flags {
+        for value in args.values(flag) {
+            if comma_list(value).iter().any(|code| code == "all") {
+                config.set_all(action);
+            }
+        }
+    }
+    for (flag, action) in flags {
+        for value in args.values(flag) {
+            for code in comma_list(value).iter().filter(|code| *code != "all") {
+                config.set(code, action).map_err(|e| CliError::Usage(format!("--{flag}: {e}")))?;
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// `graphprof analyze <prog.gpx> <gmon.out> [--jobs N] [--salvage]
+/// [--deny CODES] [--warn CODES] [--allow CODES] [--json FILE]`
+///
+/// Everything `graphprof check` verifies, plus the whole-program
+/// call-graph analysis: the static call graph (crawled arcs ∪
+/// dataflow-resolved indirects) with Tarjan SCCs, dominators, and entry
+/// reachability, cross-checked against the dynamic profile for
+/// impossible arcs, unreachable-but-sampled text, static-vs-runtime
+/// cycle mismatches, and per-SCC call-count conservation.
+///
+/// Each finding resolves through the rule registry to an action —
+/// `deny` (fails the gate), `warn`, or `allow` (suppressed) — printed
+/// as `{action}: [{code}] {message}`. `--deny/--warn/--allow` take
+/// comma lists of rule codes or `all`; specific codes override `all`.
+/// `--json FILE` additionally writes the report in the documented
+/// `graphprof-analyze-report/1` schema.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage, I/O, unknown rule codes, or
+/// structurally unreadable inputs (semantic problems become findings).
+pub fn analyze(args: &Args) -> Result<AnalyzeOutcome, CliError> {
+    let [exe_path, gmon_path] = args.positionals() else {
+        return Err(CliError::Usage(
+            "graphprof analyze <prog.gpx> <gmon.out> [--deny CODES] [--json FILE]".to_string(),
+        ));
+    };
+    let config = rule_config(args)?;
+    let exe = objfile::read_executable(&read(exe_path)?)?;
+    let gmon_bytes = read(gmon_path)?;
+    let mut output = String::new();
+    let gmon = if args.switch("salvage") {
+        let (gmon, report) = Gmon::from_bytes_salvage(&gmon_bytes)?;
+        if !report.is_clean() {
+            output.push_str(&format!("salvage: {report}\n"));
+        }
+        gmon
+    } else {
+        Gmon::from_bytes(&gmon_bytes)?
+    };
+
+    let report =
+        graphprof_analysis::AnalyzeReport::build(&exe, &gmon, resolve_jobs(args)?, &config);
+    output.push_str(&report.render_text(gmon_path));
+    if let Some(json_path) = args.value("json") {
+        write(json_path, report.to_json(exe_path, gmon_path).to_pretty().as_bytes())?;
+    }
+    Ok(AnalyzeOutcome {
+        output,
+        denied: report.denied,
+        warned: report.warned,
+        allowed: report.allowed,
+    })
+}
+
 /// `gpx-dis <prog.gpx>` — prints a symbol-annotated disassembly listing.
 ///
 /// # Errors
@@ -888,6 +992,86 @@ mod tests {
         let report = check(&parse(&argv, &[], &[])).expect("checks");
         assert!(!report.is_clean());
         assert!(report.output.contains("[arc-site-not-call]"), "{}", report.output);
+    }
+
+    const ANALYZE_VALUES: &[&str] = &["jobs", "deny", "warn", "allow", "json"];
+
+    /// Runs the sample program and returns (exe path, gmon path).
+    fn profiled_sample(dir: &TempDir) -> (String, String) {
+        let exe = assemble_sample(dir);
+        let gmon = dir.path("gmon.out");
+        let argv = vec![
+            exe.clone(),
+            "--profile".to_string(),
+            gmon.clone(),
+            "--tick".to_string(),
+            "10".to_string(),
+        ];
+        let args = parse(
+            &argv,
+            &["profile", "tick", "shift", "max-cycles", "monitor-only"],
+            &["no-profile"],
+        );
+        run(&args).expect("runs");
+        (exe, gmon)
+    }
+
+    #[test]
+    fn analyze_passes_a_clean_profile_and_writes_json() {
+        let dir = TempDir::new("analyzeok");
+        let (exe, gmon) = profiled_sample(&dir);
+        let json = dir.path("report.json");
+        let argv = vec![exe, gmon, "--json".to_string(), json.clone()];
+        let outcome = analyze(&parse(&argv, ANALYZE_VALUES, &["salvage"])).expect("analyzes");
+        assert!(outcome.is_clean(), "{}", outcome.output);
+        assert!(outcome.output.contains("0 denied"), "{}", outcome.output);
+        let value = graphprof_analysis::json::parse(&fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(graphprof_analysis::json::Value::as_str),
+            Some("graphprof-analyze-report/1")
+        );
+        assert_eq!(value.get("exit").and_then(graphprof_analysis::json::Value::as_int), Some(0));
+    }
+
+    #[test]
+    fn analyze_denies_corruption_and_respects_allow() {
+        let dir = TempDir::new("analyzebad");
+        let (exe, gmon) = profiled_sample(&dir);
+        // Inflate one arc: conservation breaks.
+        let data = Gmon::from_bytes(&fs::read(&gmon).unwrap()).unwrap();
+        let mut arcs: Vec<_> = data.arcs().to_vec();
+        arcs.iter_mut().find(|a| !a.from_pc.is_null()).unwrap().count += 11;
+        let bad = Gmon::new(data.cycles_per_tick(), data.histogram().clone(), arcs);
+        fs::write(&gmon, bad.to_bytes()).unwrap();
+
+        let argv = vec![exe.clone(), gmon.clone()];
+        let outcome = analyze(&parse(&argv, ANALYZE_VALUES, &["salvage"])).expect("analyzes");
+        assert!(!outcome.is_clean());
+        assert!(outcome.output.contains("deny: [call-count-mismatch]"), "{}", outcome.output);
+
+        // Allowing the specific code (while denying everything else)
+        // flips the gate back to clean.
+        let argv = vec![
+            exe.clone(),
+            gmon.clone(),
+            "--deny".to_string(),
+            "all".to_string(),
+            "--allow".to_string(),
+            "call-count-mismatch,scc-count-imbalance".to_string(),
+        ];
+        let outcome = analyze(&parse(&argv, ANALYZE_VALUES, &["salvage"])).expect("analyzes");
+        assert!(outcome.is_clean(), "{}", outcome.output);
+        assert!(outcome.allowed >= 1, "{}", outcome.output);
+
+        let argv = vec![exe, gmon, "--deny".to_string(), "no-such-rule".to_string()];
+        let err = analyze(&parse(&argv, ANALYZE_VALUES, &["salvage"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(ref m) if m.contains("no-such-rule")), "{err}");
+    }
+
+    #[test]
+    fn analyze_requires_both_paths() {
+        let args = parse(&[], ANALYZE_VALUES, &["salvage"]);
+        assert!(matches!(analyze(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   options (static graph, arc exclusion, bounded cycle breaking,
 //!   filtering, multi-run summation). Its `check` subcommand lints a
 //!   profile against its executable and exits non-zero on inconsistency;
+//!   `analyze` adds the whole-program call-graph analysis behind a
+//!   configurable `--deny/--warn/--allow` rule gate with JSON output;
 //!   its `serve` subcommand hosts the continuous-profiling collection
 //!   server and `remote` drives one (kgmon verbs and queries);
 //! * `gpx-send` — uploads gmon files into a running collection server.
@@ -26,6 +28,8 @@ pub mod error;
 pub mod remote;
 
 pub use args::Args;
-pub use commands::{assemble, check, disassemble, report, run, CheckReport};
+pub use commands::{
+    analyze, assemble, check, disassemble, report, run, AnalyzeOutcome, CheckReport,
+};
 pub use error::CliError;
 pub use remote::{remote, send, serve, DEFAULT_ADDR};

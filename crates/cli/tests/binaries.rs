@@ -400,6 +400,80 @@ fn check_without_arguments_is_a_usage_error() {
     assert!(stderr(&out).contains("graphprof check"), "{}", stderr(&out));
 }
 
+/// Corrupts a STRAIGHT profile several ways at once so the report has
+/// enough findings to expose any ordering instability.
+fn messy_profile(dir: &TempDir) -> (String, String) {
+    let (exe, gmon) = straight_profile(dir);
+    let mut bytes = fs::read(&gmon).expect("read gmon");
+    let off = last_arc_offset(&bytes);
+    // Shift the last arc's site off a call boundary AND inflate an
+    // earlier arc's count (the first arc record sits right after the
+    // 4-byte arc count).
+    let from = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    bytes[off..off + 4].copy_from_slice(&(from + 1).to_le_bytes());
+    let nbuckets = u32::from_le_bytes(bytes[36..40].try_into().unwrap()) as usize;
+    let first_count = 40 + nbuckets * 8 + 4 + 8;
+    let count = u64::from_le_bytes(bytes[first_count..first_count + 8].try_into().unwrap());
+    bytes[first_count..first_count + 8].copy_from_slice(&(count + 100).to_le_bytes());
+    fs::write(&gmon, &bytes).expect("write gmon");
+    (exe, gmon)
+}
+
+#[test]
+fn check_output_bytes_are_jobs_invariant() {
+    let dir = TempDir::new("checkjobs");
+    let (exe, gmon) = messy_profile(&dir);
+    let serial = run_bin("graphprof", &["check", &exe, &gmon, "--jobs", "1"]);
+    let parallel = run_bin("graphprof", &["check", &exe, &gmon, "--jobs", "8"]);
+    assert_eq!(serial.status.code(), Some(1), "{}", stdout(&serial));
+    assert_eq!(serial.stdout, parallel.stdout, "check output depends on --jobs");
+    // And the findings really are multiple, in (address, code) order.
+    let text = stdout(&serial);
+    assert!(text.matches("error: [").count() >= 2, "{text}");
+}
+
+#[test]
+fn analyze_output_bytes_are_jobs_invariant() {
+    let dir = TempDir::new("analyzejobs");
+    let (exe, gmon) = messy_profile(&dir);
+    let serial = run_bin("graphprof", &["analyze", &exe, &gmon, "--jobs", "1"]);
+    let parallel = run_bin("graphprof", &["analyze", &exe, &gmon, "--jobs", "8"]);
+    assert_eq!(serial.status.code(), Some(1), "{}", stdout(&serial));
+    assert_eq!(serial.stdout, parallel.stdout, "analyze output depends on --jobs");
+}
+
+#[test]
+fn analyze_gates_with_configurable_rules() {
+    let dir = TempDir::new("analyzegate");
+    let (exe, gmon) = straight_profile(&dir);
+
+    // Clean profile: exit 0, empty finding list.
+    let json = dir.path("report.json");
+    let out = run_bin("graphprof", &["analyze", &exe, &gmon, "--json", &json]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 denied, 0 warned, 0 allowed"), "{}", stdout(&out));
+    let report = fs::read_to_string(&json).expect("json written");
+    assert!(report.contains("\"schema\": \"graphprof-analyze-report/1\""), "{report}");
+    assert!(report.contains("\"exit\": 0"), "{report}");
+
+    // Corrupt it: exit 1 with deny lines.
+    let (exe, gmon) = messy_profile(&dir);
+    let out = run_bin("graphprof", &["analyze", &exe, &gmon, "--json", &json]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("deny: ["), "{}", stdout(&out));
+    assert!(fs::read_to_string(&json).unwrap().contains("\"exit\": 1"));
+
+    // --allow all suppresses the gate entirely.
+    let out = run_bin("graphprof", &["analyze", &exe, &gmon, "--allow", "all"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("allow: ["), "{}", stdout(&out));
+
+    // Unknown rule codes are usage errors.
+    let out = run_bin("graphprof", &["analyze", &exe, &gmon, "--deny", "bogus-rule"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("bogus-rule"), "{}", stderr(&out));
+}
+
 #[test]
 fn corrupted_executables_fail_verification_loudly() {
     let dir = TempDir::new("badexe");

@@ -217,6 +217,33 @@ impl Analysis {
         &self.propagation
     }
 
+    /// The cycles the propagation pass collapses, as canonical
+    /// routine-name sets: each multi-member strongly connected
+    /// component becomes a lexicographically sorted name list, and the
+    /// list of lists is sorted by first member. The spontaneous-caller
+    /// node never appears. `graphprof analyze` computes the same shape
+    /// from Tarjan SCCs over the static graph, so differential tests
+    /// can pin the two pipelines against each other.
+    pub fn cycle_sets(&self) -> Vec<Vec<String>> {
+        let mut sets: Vec<Vec<String>> = self
+            .scc
+            .comps()
+            .filter_map(|comp| {
+                let mut members: Vec<String> = self
+                    .scc
+                    .members(comp)
+                    .iter()
+                    .filter(|&&n| n != self.spontaneous)
+                    .map(|&n| self.graph.name(n).to_string())
+                    .collect();
+                members.sort();
+                (members.len() > 1).then_some(members)
+            })
+            .collect();
+        sets.sort();
+        sets
+    }
+
     /// The virtual node standing for spontaneous callers.
     pub fn spontaneous_node(&self) -> NodeId {
         self.spontaneous
@@ -593,6 +620,26 @@ mod tests {
         let broken = Gprof::new(Options::default().break_cycles(4)).analyze(&exe, &gmon).unwrap();
         let summary = broken.render_summary();
         assert!(summary.contains("cycle-breaking removed:"), "{summary}");
+    }
+
+    #[test]
+    fn cycle_sets_are_canonical_name_sets() {
+        let (exe, gmon) = compile_and_profile(ABSTRACTION, 10);
+        assert!(analyze(&exe, &gmon).unwrap().cycle_sets().is_empty(), "acyclic program");
+
+        let source = "
+            routine main { setcounter 7, 20 call y }
+            routine y { work 10 callwhile 7, x }
+            routine x { work 10 callwhile 7, y }
+        ";
+        let exe = graphprof_machine::asm::parse(source)
+            .unwrap()
+            .compile(&CompileOptions::profiled())
+            .unwrap();
+        let (gmon, _) = profile_to_completion(exe.clone(), 10).unwrap();
+        let sets = analyze(&exe, &gmon).unwrap().cycle_sets();
+        // Members sorted within the set regardless of call order.
+        assert_eq!(sets, vec![vec!["x".to_string(), "y".to_string()]]);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //!
 //! Every accepted upload is validated against the served executable with
 //! the existing fallible pipeline — [`GmonData::from_bytes`] (which routes
-//! untrusted shapes through `Histogram::from_parts`) and the
-//! `graphprof check` linter — then folded into the series aggregate with
+//! untrusted shapes through `Histogram::from_parts`) and the whole-program
+//! `graphprof analyze` pass — then folded into the series aggregate with
 //! [`ProfileAccumulator`], the fixed-pairing tree fold. The aggregate is
 //! therefore byte-identical to an offline `graphprof -s` over the same
 //! blobs in canonical (series, sequence-number) order, which the
@@ -14,6 +14,16 @@
 //! aggregates, the set of sequence numbers seen (for duplicate
 //! rejection), and the upload/reject/byte counters behind the `stats`
 //! verb.
+//!
+//! Two analyzer error classes are *tolerated and flagged* rather than
+//! rejected: `call-count-mismatch` and `scc-count-imbalance`. Live
+//! windows extracted mid-run (kgmon toggling, `moncontrol`
+//! restrictions) legitimately record calls without the matching
+//! activations, so refusing them would reject real operational data —
+//! but the discrepancy still matters to whoever reads the aggregate.
+//! The series remembers which tolerated codes its uploads carried, the
+//! `flagged` counter says how many uploads carried any, and the `stats`
+//! listing marks such series with an `!analyzer:` suffix.
 
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,7 +47,7 @@ pub enum RejectReason {
     /// The blob did not parse as a profile file.
     Unparseable(String),
     /// The profile parsed but contradicts the served executable
-    /// (`graphprof check` error findings).
+    /// (`graphprof analyze` error findings outside the tolerated set).
     Inconsistent(String),
     /// The profile cannot merge with the series aggregate.
     Unmergeable(String),
@@ -84,6 +94,8 @@ pub struct SeriesStats {
     pub rejects: u64,
     /// Payload bytes accepted.
     pub bytes: u64,
+    /// Accepted uploads that carried tolerated analyzer errors.
+    pub flagged: u64,
 }
 
 #[derive(Debug, Default)]
@@ -92,6 +104,8 @@ struct Series {
     seen_seqs: BTreeSet<u64>,
     next_auto_seq: u64,
     stats: SeriesStats,
+    /// Tolerated analyzer error codes seen on accepted uploads.
+    flag_codes: BTreeSet<&'static str>,
 }
 
 #[derive(Debug, Default)]
@@ -194,12 +208,12 @@ impl SeriesStore {
         blob: &[u8],
         log_to_wal: bool,
     ) -> Result<u64, RejectReason> {
-        // Parse and lint outside the lock: the expensive, fallible work
-        // must not serialize concurrent clients.
+        // Parse and analyze outside the lock: the expensive, fallible
+        // work must not serialize concurrent clients.
         let checked = self.validate(blob);
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        let gmon = match checked {
-            Ok(gmon) => gmon,
+        let (gmon, flags) = match checked {
+            Ok(checked) => checked,
             Err(reason) => {
                 state.charge_reject(series);
                 return Err(reason);
@@ -246,6 +260,10 @@ impl SeriesStore {
         entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
         entry.stats.uploads += 1;
         entry.stats.bytes += blob.len() as u64;
+        if !flags.is_empty() {
+            entry.stats.flagged += 1;
+            entry.flag_codes.extend(flags);
+        }
         Ok(entry.acc.count())
     }
 
@@ -273,21 +291,29 @@ impl SeriesStore {
         }
     }
 
-    fn validate(&self, blob: &[u8]) -> Result<GmonData, RejectReason> {
+    /// Analyzer error codes that flag a series instead of rejecting the
+    /// upload: both are count-conservation properties that partial live
+    /// windows legitimately violate.
+    const TOLERATED: [&'static str; 2] = ["call-count-mismatch", "scc-count-imbalance"];
+
+    fn validate(&self, blob: &[u8]) -> Result<(GmonData, BTreeSet<&'static str>), RejectReason> {
         let gmon =
             GmonData::from_bytes(blob).map_err(|e| RejectReason::Unparseable(e.to_string()))?;
-        let errors: Vec<String> =
-            graphprof_analysis::check_profile_jobs(&self.exe, &gmon, self.jobs)
-                .into_iter()
-                // Structural errors invalidate an upload. Call-count
-                // conservation is tolerated: live windows extracted mid-run
-                // (kgmon toggling, moncontrol restrictions) legitimately
-                // record calls without the matching activations.
-                .filter(|f| f.is_error() && f.code() != "call-count-mismatch")
-                .map(|f| format!("[{}] {f}", f.code()))
-                .collect();
+        let mut flags = BTreeSet::new();
+        let mut errors = Vec::new();
+        for finding in graphprof_analysis::analyze_profile_jobs(&self.exe, &gmon, self.jobs) {
+            if !finding.is_error() {
+                continue;
+            }
+            let code = finding.code();
+            if Self::TOLERATED.contains(&code) {
+                flags.insert(code);
+            } else {
+                errors.push(format!("[{code}] {finding}"));
+            }
+        }
         if errors.is_empty() {
-            Ok(gmon)
+            Ok((gmon, flags))
         } else {
             Err(RejectReason::Inconsistent(errors.join("; ")))
         }
@@ -320,23 +346,45 @@ impl SeriesStore {
             .map(|s| s.stats)
     }
 
-    /// Renders the `stats` verb: one line per series plus totals.
+    /// The tolerated analyzer error codes a series has accumulated, or
+    /// `None` for an unknown series. Empty means every accepted upload
+    /// analyzed clean.
+    pub fn flags(&self, series: &str) -> Option<Vec<&'static str>> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .series
+            .get(series)
+            .map(|s| s.flag_codes.iter().copied().collect())
+    }
+
+    /// Renders the `stats` verb: one line per series plus totals. Series
+    /// whose uploads carried tolerated analyzer errors get an
+    /// `!analyzer:` marker listing the codes; the totals line counts
+    /// flagged uploads only when there are any, so clean stores render
+    /// exactly as before.
     pub fn render_stats(&self) -> String {
         let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::from("series            uploads   rejects        bytes\n");
         let mut totals = SeriesStats::default();
         for (name, s) in &state.series {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{name:<16} {:>8} {:>9} {:>12}",
                 s.stats.uploads, s.stats.rejects, s.stats.bytes
             );
+            if !s.flag_codes.is_empty() {
+                let codes: Vec<&str> = s.flag_codes.iter().copied().collect();
+                let _ = write!(out, "  !analyzer:{}", codes.join(","));
+            }
+            out.push('\n');
             totals.uploads += s.stats.uploads;
             totals.rejects += s.stats.rejects;
             totals.bytes += s.stats.bytes;
+            totals.flagged += s.stats.flagged;
         }
         totals.rejects += state.orphan_rejects;
-        let _ = writeln!(
+        let _ = write!(
             out,
             "total: {} series, {} uploads, {} rejects, {} bytes",
             state.series.len(),
@@ -344,6 +392,10 @@ impl SeriesStore {
             totals.rejects,
             totals.bytes
         );
+        if totals.flagged > 0 {
+            let _ = write!(out, ", {} flagged", totals.flagged);
+        }
+        out.push('\n');
         out
     }
 }
@@ -425,6 +477,86 @@ mod tests {
             matches!(err, RejectReason::Inconsistent(_) | RejectReason::Unparseable(_)),
             "{err:?}"
         );
+        assert!(store.aggregate("web").is_none());
+    }
+
+    #[test]
+    fn tolerated_analyzer_errors_flag_the_series_instead_of_rejecting() {
+        // Straight-line call: the site runs once per activation, so an
+        // inflated arc count is detectable as a call-count-mismatch.
+        let exe = graphprof_machine::asm::parse(
+            "routine main { work 10 call leaf } routine leaf { work 50 }",
+        )
+        .unwrap()
+        .compile(&CompileOptions::profiled())
+        .unwrap();
+        let clean = blob(&exe);
+        // Inflate the real arc's count: calls into `leaf` no longer
+        // match its activations — a call-count-mismatch, which the
+        // store tolerates (a live window could look exactly like this).
+        let parsed = GmonData::from_bytes(&clean).unwrap();
+        let leaf = exe.symbols().by_name("leaf").unwrap().1.addr();
+        let mut arcs: Vec<graphprof_monitor::RawArc> = parsed.arcs().to_vec();
+        arcs.iter_mut().find(|a| a.self_pc == leaf && !a.from_pc.is_null()).unwrap().count += 5;
+        let dirty =
+            GmonData::new(parsed.cycles_per_tick(), parsed.histogram().clone(), arcs).to_bytes();
+
+        let store = SeriesStore::new(exe, 8, 1);
+        assert_eq!(store.upload("web", 0, &clean), Ok(1));
+        assert_eq!(store.upload("web", 1, &dirty), Ok(2), "tolerated errors still fold in");
+        assert_eq!(store.upload("api", 0, &clean), Ok(1));
+
+        let stats = store.stats("web").unwrap();
+        assert_eq!((stats.uploads, stats.rejects, stats.flagged), (2, 0, 1));
+        assert_eq!(store.flags("web"), Some(vec!["call-count-mismatch"]));
+        assert_eq!(store.flags("api"), Some(vec![]));
+        let listing = store.render_stats();
+        assert!(listing.contains("!analyzer:call-count-mismatch"), "{listing}");
+        assert!(listing.contains(", 1 flagged"), "{listing}");
+        // Only the dirty series carries the marker.
+        let api_line = listing.lines().find(|l| l.starts_with("api")).unwrap();
+        assert!(!api_line.contains("!analyzer"), "{listing}");
+    }
+
+    #[test]
+    fn clean_stores_render_without_analyzer_markers() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::new(exe, 8, 1);
+        store.upload("web", 0, &blob).unwrap();
+        let listing = store.render_stats();
+        assert!(!listing.contains("analyzer"), "{listing}");
+        assert!(!listing.contains("flagged"), "{listing}");
+    }
+
+    #[test]
+    fn impossible_arcs_are_rejected_not_flagged() {
+        // Two real callees so the forged arc lands on a genuine entry:
+        // the site statically calls `a`, the arc claims it reached `b`.
+        let exe = {
+            let mut b = graphprof_machine::Program::builder();
+            b.routine("main", |r| r.call_n("a", 3).call_n("b", 3));
+            b.routine("a", |r| r.work(40));
+            b.routine("b", |r| r.work(40));
+            b.build().unwrap().compile(&CompileOptions::profiled()).unwrap()
+        };
+        let clean = blob(&exe);
+        let parsed = GmonData::from_bytes(&clean).unwrap();
+        let a = exe.symbols().by_name("a").unwrap().1.addr();
+        let b = exe.symbols().by_name("b").unwrap().1.addr();
+        let mut arcs: Vec<graphprof_monitor::RawArc> = parsed.arcs().to_vec();
+        arcs.iter_mut().find(|x| x.self_pc == a && !x.from_pc.is_null()).unwrap().self_pc = b;
+        let forged =
+            GmonData::new(parsed.cycles_per_tick(), parsed.histogram().clone(), arcs).to_bytes();
+
+        let store = SeriesStore::new(exe, 8, 1);
+        let err = store.upload("web", 0, &forged).unwrap_err();
+        match err {
+            RejectReason::Inconsistent(msg) => {
+                assert!(msg.contains("impossible-dynamic-arc"), "{msg}")
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
         assert!(store.aggregate("web").is_none());
     }
 

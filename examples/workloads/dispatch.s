@@ -1,0 +1,23 @@
+; Indirect dispatch the slot dataflow can fully resolve: each slot is
+; loaded exactly once, so every `calli` site has a proven target and the
+; analyzer raises no unresolved-indirect warnings. Clean under
+; `graphprof analyze --deny all`.
+routine main {
+    setslot 0, encode
+    setslot 1, decode
+    work 10
+    loop 6 {
+        call roundtrip
+    }
+}
+routine roundtrip {
+    work 25
+    calli 0
+    calli 1
+}
+routine encode {
+    work 90
+}
+routine decode {
+    work 110
+}

@@ -1,0 +1,28 @@
+; A compiler-shaped pipeline: every routine reachable by direct calls,
+; no indirects, no cycles. `graphprof analyze --deny all` must pass a
+; profile of this program with zero findings — CI gates on it.
+routine main {
+    work 20
+    loop 8 {
+        call parse
+    }
+    call emit
+}
+routine parse {
+    work 60
+    call lex
+    call typecheck
+}
+routine lex {
+    work 120
+}
+routine typecheck {
+    work 80
+    call lookup
+}
+routine lookup {
+    work 40
+}
+routine emit {
+    work 150
+}

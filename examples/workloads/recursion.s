@@ -1,0 +1,21 @@
+; Terminating mutual recursion: `walk` and `visit` call each other
+; under a shared budget counter, producing a genuine call-graph cycle
+; that the propagation pass must collapse and the analyzer's Tarjan
+; pass must agree with. Clean under `graphprof analyze --deny all`.
+routine main {
+    setcounter 7, 12
+    work 10
+    call walk
+    call tally
+}
+routine walk {
+    work 50
+    callwhile 7, visit
+}
+routine visit {
+    work 70
+    callwhile 7, walk
+}
+routine tally {
+    work 30
+}

@@ -9,6 +9,9 @@
 //!   control interface);
 //! * [`callgraph`] — graph algorithms (Tarjan SCC, cycle collapsing, time
 //!   propagation, static arcs, arc removal);
+//! * [`analysis`] — the profile linter and the whole-program static
+//!   analyzer behind `graphprof check`/`analyze` (rule registry, call
+//!   graph cross-checks, JSON reports);
 //! * [`gprof`] — the post-processor and presenter: flat profiles and the
 //!   call graph profile;
 //! * [`prof`] — the flat-only baseline profiler;
@@ -16,6 +19,7 @@
 //!   generators.
 
 pub use graphprof as gprof;
+pub use graphprof_analysis as analysis;
 pub use graphprof_callgraph as callgraph;
 pub use graphprof_machine as machine;
 pub use graphprof_monitor as monitor;

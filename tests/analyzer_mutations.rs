@@ -1,0 +1,237 @@
+//! A mutation corpus for `graphprof analyze`: every seeded fault class
+//! from the issue — impossible arcs, out-of-SCC counts, unreachable
+//! samples — must be flagged with its expected rule code, and the
+//! unmutated baselines must analyze clean. Detection is asserted at
+//! 100%: one missed mutant fails the test.
+//!
+//! The corpus is deterministic and exhaustive rather than sampled:
+//! arc-level mutations are applied to *every* eligible arc of the base
+//! profile, so the detection guarantee does not depend on which arc a
+//! random pick happens to land on.
+
+use std::collections::BTreeSet;
+
+use graphprof_analysis::analyze_profile;
+use graphprof_machine::{Addr, CompileOptions, Executable};
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_monitor::{GmonData, RawArc};
+
+/// Direct calls only, everything reachable, one genuine cycle
+/// (`ping <-> pong`), and three straight-line once-per-activation call
+/// sites (`main->ping`, `main->worker`, `worker->leaf`).
+const BASE: &str = "
+    routine main { setcounter 7, 5 work 10 call ping call worker }
+    routine ping { work 20 callwhile 7, pong }
+    routine pong { work 20 callwhile 7, ping }
+    routine worker { work 30 call leaf }
+    routine leaf { work 15 }
+";
+
+/// A single-assignment indirect call: the slot dataflow proves slot 0
+/// holds `helper`, so the profile is clean and the analyzer knows the
+/// only value the `calli` site can reach.
+const INDIRECT: &str = "
+    routine main { setslot 0, helper call go }
+    routine go { work 10 calli 0 }
+    routine helper { work 5 }
+";
+
+/// `island` is never called: the baseline carries the (warning-level)
+/// unreachable-routine finding, and planting histogram samples inside
+/// the island is the unreachable-but-sampled corruption.
+const ISLAND: &str = "
+    routine main { work 10 call a }
+    routine a { work 5 }
+    routine island { work 5 }
+";
+
+fn profile(source: &str) -> (Executable, GmonData) {
+    let exe = graphprof_machine::asm::parse(source)
+        .unwrap()
+        .compile(&CompileOptions::profiled())
+        .unwrap();
+    let (gmon, _) = profile_to_completion(exe.clone(), 16).unwrap();
+    (exe, gmon)
+}
+
+fn entry_of(exe: &Executable, name: &str) -> Addr {
+    exe.symbols().by_name(name).unwrap().1.addr()
+}
+
+fn with_arcs(gmon: &GmonData, arcs: Vec<RawArc>) -> GmonData {
+    GmonData::new(gmon.cycles_per_tick(), gmon.histogram().clone(), arcs)
+}
+
+/// One corpus entry: a mutated profile and the rule code the analyzer
+/// must raise (as an error) against it.
+struct Mutant {
+    label: String,
+    exe: Executable,
+    gmon: GmonData,
+    expected: &'static str,
+}
+
+fn corpus() -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+
+    let (exe, gmon) = profile(BASE);
+    let entries: Vec<Addr> =
+        ["main", "ping", "pong", "worker", "leaf"].iter().map(|n| entry_of(&exe, n)).collect();
+
+    // Impossible dynamic arcs: retarget every real arc to every entry
+    // other than the one its site statically calls.
+    for (i, arc) in gmon.arcs().iter().enumerate() {
+        if arc.from_pc.is_null() {
+            continue;
+        }
+        for &wrong in entries.iter().filter(|&&e| e != arc.self_pc) {
+            let mut arcs = gmon.arcs().to_vec();
+            arcs[i].self_pc = wrong;
+            mutants.push(Mutant {
+                label: format!("retarget arc #{i} ({} -> {wrong})", arc.from_pc),
+                exe: exe.clone(),
+                gmon: with_arcs(&gmon, arcs),
+                expected: "impossible-dynamic-arc",
+            });
+        }
+    }
+
+    // Out-of-SCC counts, shape 1: inflate a once-per-activation site's
+    // count so calls no longer match the caller's activations.
+    let main_entry = entry_of(&exe, "main");
+    let ping = entry_of(&exe, "ping");
+    let worker = entry_of(&exe, "worker");
+    let leaf = entry_of(&exe, "leaf");
+    for (i, arc) in gmon.arcs().iter().enumerate() {
+        if arc.from_pc.is_null() {
+            continue;
+        }
+        // The once-per-activation sites are main's `call ping` (the
+        // count-1 arc into ping), main's `call worker`, and worker's
+        // `call leaf`. The callwhile arcs inside the cycle run a
+        // data-dependent number of times and are legitimately
+        // unconstrained.
+        let eligible =
+            arc.self_pc == worker || arc.self_pc == leaf || (arc.self_pc == ping && arc.count == 1);
+        if !eligible {
+            continue;
+        }
+        let mut arcs = gmon.arcs().to_vec();
+        arcs[i].count += 7;
+        mutants.push(Mutant {
+            label: format!("inflate arc #{i} (into {})", arc.self_pc),
+            exe: exe.clone(),
+            gmon: with_arcs(&gmon, arcs),
+            expected: "call-count-mismatch",
+        });
+    }
+
+    // Out-of-SCC counts, shape 2: sever the cycle's external entry arc
+    // and fold its count into the in-cycle arc, so the members' calls
+    // no longer explain how the cycle was ever entered.
+    {
+        let mut arcs = gmon.arcs().to_vec();
+        let external = arcs
+            .iter()
+            .position(|a| a.self_pc == ping && a.count == 1)
+            .expect("main enters the cycle once");
+        let severed = arcs.remove(external);
+        let internal = arcs.iter_mut().find(|a| a.self_pc == ping).expect("pong re-enters ping");
+        internal.count += severed.count;
+        mutants.push(Mutant {
+            label: "sever cycle entry main->ping".into(),
+            exe: exe.clone(),
+            gmon: with_arcs(&gmon, arcs),
+            expected: "scc-count-imbalance",
+        });
+    }
+
+    // A dynamic back edge the text cannot produce: worker's `call leaf`
+    // site claims to have called main, closing a main<->worker cycle
+    // that Tarjan over the static graph refuses to collapse.
+    {
+        let mut arcs = gmon.arcs().to_vec();
+        let site = arcs.iter().find(|a| a.self_pc == leaf).expect("worker calls leaf").from_pc;
+        arcs.push(RawArc { from_pc: site, self_pc: main_entry, count: 2 });
+        mutants.push(Mutant {
+            label: "forge back edge worker->main".into(),
+            exe: exe.clone(),
+            gmon: with_arcs(&gmon, arcs),
+            expected: "static-cycle-mismatch",
+        });
+    }
+
+    // Retarget the resolved indirect arc: the slot provably holds
+    // `helper`, so an arc from the calli site to anything else is
+    // impossible.
+    {
+        let (exe, gmon) = profile(INDIRECT);
+        let helper = entry_of(&exe, "helper");
+        let main_entry = entry_of(&exe, "main");
+        let mut arcs = gmon.arcs().to_vec();
+        let arc = arcs.iter_mut().find(|a| a.self_pc == helper).expect("calli fired");
+        arc.self_pc = main_entry;
+        mutants.push(Mutant {
+            label: "retarget resolved calli go->helper to main".into(),
+            exe: exe.clone(),
+            gmon: with_arcs(&gmon, arcs),
+            expected: "impossible-dynamic-arc",
+        });
+    }
+
+    // Samples planted in code no feasible path reaches.
+    {
+        let (exe, gmon) = profile(ISLAND);
+        let island = entry_of(&exe, "island");
+        let mut hist = gmon.histogram().clone();
+        hist.record(island.offset(1), 3);
+        mutants.push(Mutant {
+            label: "plant samples in unreachable island".into(),
+            exe: exe.clone(),
+            gmon: GmonData::new(gmon.cycles_per_tick(), hist, gmon.arcs().to_vec()),
+            expected: "unreachable-but-sampled",
+        });
+    }
+
+    mutants
+}
+
+#[test]
+fn baselines_analyze_clean() {
+    for source in [BASE, INDIRECT] {
+        let (exe, gmon) = profile(source);
+        let findings = analyze_profile(&exe, &gmon);
+        assert!(findings.is_empty(), "baseline should be clean: {findings:?}");
+    }
+    // The island baseline carries exactly the reachability warning and
+    // no errors.
+    let (exe, gmon) = profile(ISLAND);
+    let findings = analyze_profile(&exe, &gmon);
+    assert!(findings.iter().all(|f| !f.is_error()), "{findings:?}");
+    assert!(findings.iter().any(|f| f.code() == "unreachable-routine"), "{findings:?}");
+}
+
+#[test]
+fn every_mutant_is_detected_with_its_expected_code() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 10, "corpus holds {} mutants — too small to mean much", corpus.len());
+    let mut missed = Vec::new();
+    for mutant in &corpus {
+        let findings = analyze_profile(&mutant.exe, &mutant.gmon);
+        let error_codes: BTreeSet<&str> =
+            findings.iter().filter(|f| f.is_error()).map(|f| f.code()).collect();
+        if !error_codes.contains(mutant.expected) {
+            missed.push(format!(
+                "{}: wanted {}, got {error_codes:?} ({findings:?})",
+                mutant.label, mutant.expected
+            ));
+        }
+    }
+    assert!(
+        missed.is_empty(),
+        "{} of {} mutants missed:\n{}",
+        missed.len(),
+        corpus.len(),
+        missed.join("\n")
+    );
+}
