@@ -34,7 +34,7 @@ use graphprof_machine::{encoded_len, Addr, DecodeError, Executable, Instruction}
 use graphprof_monitor::GmonData;
 
 use crate::dataflow::{resolve_indirect_calls_jobs, UnresolvedReason};
-use crate::lint::{check_profile_jobs, sort_findings, CheckFinding};
+use crate::lint::CheckFinding;
 
 /// How a call site transfers control, as precisely as the static
 /// analyses can pin it down.
@@ -526,29 +526,16 @@ pub fn analyze_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
 /// is byte-identical for every `jobs` value: the fan-out is confined to
 /// disassembly and dataflow, and the graph passes are deterministic.
 pub fn analyze_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec<CheckFinding> {
-    let mut findings = check_profile_jobs(exe, gmon, jobs);
-    let bad_text = findings.iter().any(|f| {
-        matches!(f, CheckFinding::BadExecutable { issue }
-            if matches!(issue, graphprof_machine::VerifyIssue::BadText(_)))
-    });
-    if bad_text {
-        return findings; // already sorted; the graph cannot be built
-    }
-    let Ok(graph) = ProgramGraph::build_jobs(exe, jobs) else {
-        return findings;
-    };
-
-    check_impossible_arcs(&graph, gmon, &mut findings);
-    check_unreachable_samples(exe, &graph, gmon, &mut findings);
-    check_cycle_conformance(&graph, gmon, &mut findings);
-
-    sort_findings(&mut findings, exe);
-    findings
+    crate::checker::ProfileChecker::build_jobs(exe, jobs).analyze(gmon)
 }
 
 /// An observed arc must be one its call site can produce, from code the
 /// entry can reach.
-fn check_impossible_arcs(graph: &ProgramGraph, gmon: &GmonData, findings: &mut Vec<CheckFinding>) {
+pub(crate) fn check_impossible_arcs(
+    graph: &ProgramGraph,
+    gmon: &GmonData,
+    findings: &mut Vec<CheckFinding>,
+) {
     for arc in gmon.arcs() {
         if arc.count == 0 || arc.from_pc.is_null() {
             continue; // spontaneous activations have no site to check
@@ -593,7 +580,7 @@ fn check_impossible_arcs(graph: &ProgramGraph, gmon: &GmonData, findings: &mut V
 /// Histogram samples must land in routines the entry can reach. Only
 /// buckets *fully contained* in one unreachable routine count: a bucket
 /// straddling a routine boundary could owe its hits to the neighbour.
-fn check_unreachable_samples(
+pub(crate) fn check_unreachable_samples(
     exe: &Executable,
     graph: &ProgramGraph,
     gmon: &GmonData,
@@ -621,7 +608,7 @@ fn check_unreachable_samples(
 
 /// The two cycle checks share the merged static+dynamic graphs, so they
 /// are built together.
-fn check_cycle_conformance(
+pub(crate) fn check_cycle_conformance(
     graph: &ProgramGraph,
     gmon: &GmonData,
     findings: &mut Vec<CheckFinding>,

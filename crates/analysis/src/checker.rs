@@ -1,0 +1,278 @@
+//! A reusable profile-checking context: everything [`crate::check_profile`]
+//! and [`crate::analyze_profile`] derive from the *executable alone* —
+//! verifier findings, the full disassembly's call-site map, the
+//! once-per-activation conservation sites, the slot dataflow, and the
+//! whole-program [`ProgramGraph`] — computed once and reused across any
+//! number of profiles.
+//!
+//! The one-shot entry points build a fresh context per call, so a single
+//! `graphprof check` costs what it always did. The win is the collection
+//! server's ingest path: validating a stream of uploads against one
+//! served executable re-derives none of the static analysis, leaving
+//! only the per-profile cross-checks (arc endpoints, histogram
+//! geometry, conservation sums, and the dynamic-graph passes) on the
+//! hot path. The finding list is byte-identical to the one-shot
+//! functions for every profile and every worker count.
+
+use std::collections::HashMap;
+
+use graphprof_machine::{
+    encoded_len, verify_executable, Addr, Executable, Instruction, VerifyIssue,
+};
+use graphprof_monitor::GmonData;
+
+use crate::callgraph_analysis::{
+    check_cycle_conformance, check_impossible_arcs, check_unreachable_samples, ProgramGraph,
+};
+use crate::cfg::build_cfg;
+use crate::dataflow::resolve_indirect_calls_jobs;
+use crate::lint::{has_profiling_prologue, sort_findings, CheckFinding};
+
+/// The once-per-activation direct call sites of one `mcount`-profiled
+/// caller — the static half of the call-count-conservation check.
+#[derive(Debug, Clone)]
+struct ConservedCaller {
+    /// The caller's entry address (activations = arcs into it).
+    entry: Addr,
+    /// The caller's name, for the finding text.
+    name: String,
+    /// `(site return address, callee entry, callee name)` for every
+    /// direct call in a block that executes exactly once per
+    /// activation, targeting another `mcount`-profiled routine.
+    sites: Vec<(Addr, Addr, String)>,
+}
+
+/// Prebuilt static analysis for one executable; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ProfileChecker {
+    exe: Executable,
+    /// Whether the text decodes; when it doesn't, every deeper pass is
+    /// skipped and [`ProfileChecker::check`] reports the verifier
+    /// findings alone — same contract as [`crate::check_profile`].
+    text_ok: bool,
+    /// Verifier findings (always reported).
+    verify_findings: Vec<CheckFinding>,
+    /// Profile-independent findings beyond the verifier's: missing
+    /// mcount prologues and unresolved indirect call sites. Empty when
+    /// the text is bad.
+    static_findings: Vec<CheckFinding>,
+    /// Return address of every `call`/`calli` → the site's address.
+    return_addrs: HashMap<Addr, Addr>,
+    /// Conservation sites, in symbol order.
+    conserved: Vec<ConservedCaller>,
+    /// The whole-program graph; `None` when the text is bad or the
+    /// graph build failed (the analyzer then reports lint findings
+    /// only, as before).
+    graph: Option<ProgramGraph>,
+}
+
+impl ProfileChecker {
+    /// Builds the context single-threaded. See
+    /// [`ProfileChecker::build_jobs`].
+    pub fn build(exe: &Executable) -> Self {
+        Self::build_jobs(exe, 1)
+    }
+
+    /// Builds the context, fanning disassembly, per-caller CFG
+    /// construction, and the slot dataflow out over `jobs` workers.
+    /// The result is identical for every worker count.
+    pub fn build_jobs(exe: &Executable, jobs: usize) -> Self {
+        let exe = exe.clone();
+        let symbols = exe.symbols();
+
+        let mut verify_findings = Vec::new();
+        let mut text_ok = true;
+        for issue in verify_executable(&exe) {
+            if matches!(issue, VerifyIssue::BadText(_)) {
+                text_ok = false;
+            }
+            verify_findings.push(match issue {
+                VerifyIssue::Unreachable { name } => CheckFinding::UnreachableRoutine { name },
+                issue => CheckFinding::BadExecutable { issue },
+            });
+        }
+        if !text_ok {
+            // Every deeper pass disassembles; there is nothing to
+            // precompute beyond the verifier's report.
+            return ProfileChecker {
+                exe,
+                text_ok,
+                verify_findings,
+                static_findings: Vec::new(),
+                return_addrs: HashMap::new(),
+                conserved: Vec::new(),
+                graph: None,
+            };
+        }
+
+        // Disassemble once; every precomputation reads from this.
+        let ids: Vec<_> = symbols.iter().map(|(id, _)| id).collect();
+        let disasm: Vec<_> = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
+            exe.disassemble_symbol(id).expect("verified text decodes")
+        });
+
+        let mut static_findings = Vec::new();
+        for ((_, sym), insts) in symbols.iter().zip(&disasm) {
+            if sym.profiled() && !has_profiling_prologue(insts) {
+                static_findings
+                    .push(CheckFinding::MissingMcountPrologue { name: sym.name().to_string() });
+            }
+        }
+
+        let mut return_addrs: HashMap<Addr, Addr> = HashMap::new();
+        for insts in &disasm {
+            for &(addr, inst) in insts {
+                if matches!(inst, Instruction::Call(_) | Instruction::CallIndirect(_)) {
+                    return_addrs.insert(addr.offset(encoded_len(inst)), addr);
+                }
+            }
+        }
+
+        // A routine records arcs when its entry instruction is mcount.
+        let counts_arcs = |entry: Addr| -> Option<&graphprof_machine::Symbol> {
+            symbols
+                .lookup_pc(entry)
+                .filter(|(id, s)| {
+                    s.addr() == entry
+                        && matches!(disasm[id.index()].first(), Some((_, Instruction::Mcount)))
+                })
+                .map(|(_, s)| s)
+        };
+        // Callers are independent: each builds its own CFG and lists
+        // its own conservation sites, assembled back in symbol order.
+        let conserved: Vec<ConservedCaller> = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
+            let caller = symbols.symbol(id);
+            counts_arcs(caller.addr())?;
+            let cfg = build_cfg(&exe, id).ok()?; // unreachable: text verified
+            let mut sites = Vec::new();
+            for (bid, block) in cfg.iter() {
+                if !cfg.executes_once_per_activation(bid) {
+                    continue;
+                }
+                for &(addr, inst) in block.insts() {
+                    let Instruction::Call(target) = inst else { continue };
+                    let Some(callee) = counts_arcs(target) else { continue };
+                    sites.push((addr.offset(encoded_len(inst)), target, callee.name().to_string()));
+                }
+            }
+            (!sites.is_empty()).then(|| ConservedCaller {
+                entry: caller.addr(),
+                name: caller.name().to_string(),
+                sites,
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        if let Ok(resolution) = resolve_indirect_calls_jobs(&exe, jobs) {
+            for site in &resolution.unresolved {
+                static_findings
+                    .push(CheckFinding::UnresolvedIndirectCall { at: site.at, slot: site.slot });
+            }
+        }
+
+        let graph = ProgramGraph::build_jobs(&exe, jobs).ok();
+        ProfileChecker {
+            exe,
+            text_ok,
+            verify_findings,
+            static_findings,
+            return_addrs,
+            conserved,
+            graph,
+        }
+    }
+
+    /// The executable this context was built for.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// [`crate::check_profile`] against the prebuilt context: the lint
+    /// findings, in the same deterministic (address, code, message)
+    /// order.
+    pub fn check(&self, gmon: &GmonData) -> Vec<CheckFinding> {
+        let mut findings = self.verify_findings.clone();
+        if !self.text_ok {
+            sort_findings(&mut findings, &self.exe);
+            return findings;
+        }
+        findings.extend(self.static_findings.iter().cloned());
+        let symbols = self.exe.symbols();
+
+        // Arc endpoints: every non-spontaneous from_pc must be a call's
+        // return address; every self_pc must be a routine entry.
+        for arc in gmon.arcs() {
+            if !arc.from_pc.is_null() && !self.return_addrs.contains_key(&arc.from_pc) {
+                findings.push(CheckFinding::ArcSiteNotCall { from_pc: arc.from_pc });
+            }
+            let is_entry =
+                symbols.lookup_pc(arc.self_pc).is_some_and(|(_, s)| s.addr() == arc.self_pc);
+            if !is_entry {
+                findings.push(CheckFinding::ArcCalleeNotEntry { self_pc: arc.self_pc });
+            }
+        }
+
+        // Histogram geometry: the sampled window must lie in the text.
+        let hist = gmon.histogram();
+        let start = hist.base();
+        let end = hist.base().offset(hist.text_len());
+        if hist.text_len() > 0 && (start < self.exe.base() || end > self.exe.end()) {
+            findings.push(CheckFinding::HistogramOutOfText { start, end });
+        }
+
+        let dropped_arcs = gmon.dropped_arcs();
+        if dropped_arcs > 0 {
+            findings.push(CheckFinding::DroppedArcs { dropped: dropped_arcs });
+        }
+
+        // Call-count conservation over the precomputed sites. Skipped
+        // when arcs were dropped: an undercounting profile can fail
+        // conservation without being corrupt.
+        if dropped_arcs == 0 && !self.conserved.is_empty() {
+            let mut activations: HashMap<Addr, u64> = HashMap::new();
+            let mut arc_counts: HashMap<(Addr, Addr), u64> = HashMap::new();
+            for arc in gmon.arcs() {
+                *activations.entry(arc.self_pc).or_insert(0) += arc.count;
+                *arc_counts.entry((arc.from_pc, arc.self_pc)).or_insert(0) += arc.count;
+            }
+            for caller in &self.conserved {
+                let expected = activations.get(&caller.entry).copied().unwrap_or(0);
+                for (site, target, callee) in &caller.sites {
+                    let actual = arc_counts.get(&(*site, *target)).copied().unwrap_or(0);
+                    if actual != expected {
+                        findings.push(CheckFinding::CallCountMismatch {
+                            site: *site,
+                            caller: caller.name.clone(),
+                            callee: callee.clone(),
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+            }
+        }
+
+        sort_findings(&mut findings, &self.exe);
+        findings
+    }
+
+    /// [`crate::analyze_profile`] against the prebuilt context: the
+    /// lint findings plus the whole-program call-graph cross-checks, in
+    /// the same deterministic order.
+    pub fn analyze(&self, gmon: &GmonData) -> Vec<CheckFinding> {
+        let mut findings = self.check(gmon);
+        if !self.text_ok {
+            return findings;
+        }
+        let Some(graph) = &self.graph else {
+            return findings;
+        };
+        check_impossible_arcs(graph, gmon, &mut findings);
+        check_unreachable_samples(&self.exe, graph, gmon, &mut findings);
+        check_cycle_conformance(graph, gmon, &mut findings);
+        sort_findings(&mut findings, &self.exe);
+        findings
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod callgraph_analysis;
 pub mod cfg;
+pub mod checker;
 pub mod dataflow;
 pub mod json;
 pub mod lint;
@@ -44,6 +45,7 @@ pub mod rules;
 
 pub use callgraph_analysis::{analyze_profile, analyze_profile_jobs, ProgramGraph};
 pub use cfg::{build_cfg, BasicBlock, BlockId, Cfg};
+pub use checker::ProfileChecker;
 pub use dataflow::{
     resolve_indirect_calls, resolve_indirect_calls_jobs, IndirectResolution, ResolvedIndirect,
     SlotState, SlotValue, UnresolvedIndirect, UnresolvedReason,

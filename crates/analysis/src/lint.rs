@@ -27,16 +27,10 @@
 //! mid-activation (or a profile snapshot taken while the program was
 //! live) can legitimately under-count the last activation's calls.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use graphprof_machine::{
-    encoded_len, verify_executable, Addr, Executable, Instruction, VerifyIssue,
-};
+use graphprof_machine::{Addr, Executable, Instruction, VerifyIssue};
 use graphprof_monitor::GmonData;
-
-use crate::cfg::build_cfg;
-use crate::dataflow::resolve_indirect_calls_jobs;
 
 /// One inconsistency found by [`check_profile`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,7 +309,7 @@ pub(crate) fn sort_findings(findings: &mut [CheckFinding], exe: &Executable) {
 
 /// Whether a routine's first instruction is a profiling prologue of
 /// either instrumentation flavour.
-fn has_profiling_prologue(insts: &[(Addr, Instruction)]) -> bool {
+pub(crate) fn has_profiling_prologue(insts: &[(Addr, Instruction)]) -> bool {
     matches!(insts.first(), Some((_, Instruction::Mcount)) | Some((_, Instruction::CountCall)))
 }
 
@@ -335,148 +329,7 @@ pub fn check_profile(exe: &Executable, gmon: &GmonData) -> Vec<CheckFinding> {
 /// findings are reassembled in routine order, so the finding list is
 /// identical for every `jobs` value.
 pub fn check_profile_jobs(exe: &Executable, gmon: &GmonData, jobs: usize) -> Vec<CheckFinding> {
-    let mut findings = Vec::new();
-    let symbols = exe.symbols();
-
-    // 1. Executable self-consistency. Reuse the verifier wholesale;
-    // decode errors here also tell us whether the deeper passes can run.
-    let mut text_ok = true;
-    for issue in verify_executable(exe) {
-        if matches!(issue, VerifyIssue::BadText(_)) {
-            text_ok = false;
-        }
-        findings.push(match issue {
-            VerifyIssue::Unreachable { name } => CheckFinding::UnreachableRoutine { name },
-            issue => CheckFinding::BadExecutable { issue },
-        });
-    }
-    if !text_ok {
-        // Every later check disassembles; report what we have.
-        sort_findings(&mut findings, exe);
-        return findings;
-    }
-
-    // Disassemble once; every remaining check reads from this. Routines
-    // are independent, so the sweep fans out; results come back in
-    // symbol order regardless of worker count.
-    let ids: Vec<_> = symbols.iter().map(|(id, _)| id).collect();
-    let disasm: Vec<_> = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
-        exe.disassemble_symbol(id).expect("verified text decodes")
-    });
-
-    // 2. Profiled routines need a prologue the monitor can hook.
-    for ((_, sym), insts) in symbols.iter().zip(&disasm) {
-        if sym.profiled() && !has_profiling_prologue(insts) {
-            findings.push(CheckFinding::MissingMcountPrologue { name: sym.name().to_string() });
-        }
-    }
-
-    // 3 + 4. Arc endpoints. `mcount` records the *return address* of the
-    // call that entered the routine, so every non-spontaneous from_pc
-    // must be the address just past a call or calli.
-    let mut return_addrs: HashMap<Addr, Addr> = HashMap::new(); // return addr -> site
-    for insts in &disasm {
-        for &(addr, inst) in insts {
-            if matches!(inst, Instruction::Call(_) | Instruction::CallIndirect(_)) {
-                return_addrs.insert(addr.offset(encoded_len(inst)), addr);
-            }
-        }
-    }
-    let is_entry_point =
-        |addr: Addr| symbols.lookup_pc(addr).is_some_and(|(_, s)| s.addr() == addr);
-    for arc in gmon.arcs() {
-        if !arc.from_pc.is_null() && !return_addrs.contains_key(&arc.from_pc) {
-            findings.push(CheckFinding::ArcSiteNotCall { from_pc: arc.from_pc });
-        }
-        if !is_entry_point(arc.self_pc) {
-            findings.push(CheckFinding::ArcCalleeNotEntry { self_pc: arc.self_pc });
-        }
-    }
-
-    // 5. Histogram geometry: the sampled window must lie inside the text.
-    let hist = gmon.histogram();
-    let start = hist.base();
-    let end = hist.base().offset(hist.text_len());
-    if hist.text_len() > 0 && (start < exe.base() || end > exe.end()) {
-        findings.push(CheckFinding::HistogramOutOfText { start, end });
-    }
-
-    // 5b. Dropped arcs: the monitor ran out of table space, so arc
-    // counts are lower bounds. Surfaced as a warning — and conservation
-    // (check 6) is skipped, because an undercounted profile can fail it
-    // without being corrupt.
-    let dropped_arcs = gmon.dropped_arcs();
-    if dropped_arcs > 0 {
-        findings.push(CheckFinding::DroppedArcs { dropped: dropped_arcs });
-    }
-
-    // 6. Call-count conservation. For a caller with an mcount prologue,
-    // activations(caller) = arcs into its entry. A direct call site in a
-    // block that executes exactly once per activation, targeting another
-    // mcount-profiled routine, must therefore have recorded exactly that
-    // many calls.
-    let activations = |entry: Addr| -> u64 {
-        gmon.arcs().iter().filter(|a| a.self_pc == entry).map(|a| a.count).sum()
-    };
-    let arc_count = |from: Addr, to: Addr| -> u64 {
-        gmon.arcs().iter().filter(|a| a.from_pc == from && a.self_pc == to).map(|a| a.count).sum()
-    };
-    let counts_arcs = |entry: Addr| -> Option<&graphprof_machine::Symbol> {
-        symbols
-            .lookup_pc(entry)
-            .filter(|(id, s)| {
-                s.addr() == entry
-                    && matches!(disasm[id.index()].first(), Some((_, Instruction::Mcount)))
-            })
-            .map(|(_, s)| s)
-    };
-    // Callers are independent: each builds its own CFG and checks its
-    // own sites. Per-caller findings come back in symbol order, so the
-    // report reads identically at any worker count.
-    let conservation = graphprof_exec::parallel_map(jobs, &ids, |_, &id| {
-        let caller = symbols.symbol(id);
-        let mut local = Vec::new();
-        if dropped_arcs > 0 || counts_arcs(caller.addr()).is_none() {
-            return local;
-        }
-        let expected = activations(caller.addr());
-        let cfg = match build_cfg(exe, id) {
-            Ok(cfg) => cfg,
-            Err(_) => return local, // unreachable: text verified above
-        };
-        for (bid, block) in cfg.iter() {
-            if !cfg.executes_once_per_activation(bid) {
-                continue;
-            }
-            for &(addr, inst) in block.insts() {
-                let Instruction::Call(target) = inst else { continue };
-                let Some(callee) = counts_arcs(target) else { continue };
-                let site = addr.offset(encoded_len(inst));
-                let actual = arc_count(site, target);
-                if actual != expected {
-                    local.push(CheckFinding::CallCountMismatch {
-                        site,
-                        caller: caller.name().to_string(),
-                        callee: callee.name().to_string(),
-                        expected,
-                        actual,
-                    });
-                }
-            }
-        }
-        local
-    });
-    findings.extend(conservation.into_iter().flatten());
-
-    // 7. Quantify the remaining blind spot.
-    if let Ok(resolution) = resolve_indirect_calls_jobs(exe, jobs) {
-        for site in &resolution.unresolved {
-            findings.push(CheckFinding::UnresolvedIndirectCall { at: site.at, slot: site.slot });
-        }
-    }
-
-    sort_findings(&mut findings, exe);
-    findings
+    crate::checker::ProfileChecker::build_jobs(exe, jobs).check(gmon)
 }
 
 #[cfg(test)]

@@ -118,10 +118,10 @@ fn run() -> Result<String, String> {
                     .map_err(|e| format!("recovery open: {e}"))?;
             let elapsed = start.elapsed();
 
-            if recovery.records != uploads {
+            if recovery.records() != uploads {
                 return Err(format!(
                     "expected {uploads} replayed records, got {}",
-                    recovery.records
+                    recovery.records()
                 ));
             }
             let live = recovered

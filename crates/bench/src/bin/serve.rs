@@ -1,34 +1,52 @@
-//! Collection-server throughput benchmark: `BENCH_serve.json`.
+//! Collection-server scaling benchmark: `BENCH_serve.json`.
 //!
-//! Boots an in-process `graphprof-server` on an ephemeral loopback port,
-//! pre-generates a fixed set of distinct profile windows from one
-//! long-running workload, and measures data-plane upload throughput at
-//! 1, 4, and 16 concurrent client connections. After every repetition
-//! the live aggregate is cross-checked byte-for-byte against the offline
-//! `sum_profiles` fold over the same blobs in canonical order — the
-//! server's determinism contract — so a number is only ever reported for
-//! a correct aggregate.
+//! Boots an in-process durable `graphprof-server` on an ephemeral
+//! loopback port and measures data-plane upload throughput across the
+//! full scaling matrix: 1 → 256 concurrent client connections, at
+//! stripe counts {1, 4, 8}, with group commit on — plus the pre-stripe
+//! baseline (1 stripe, one fsync per upload) the refactor replaces.
+//! Every server is durable (write-ahead log on the real filesystem), so
+//! the numbers include the cost the ack-release rule actually pays.
+//!
+//! Each client thread uploads into its own series, the shape a fleet of
+//! continuously profiled hosts produces, so series spread across
+//! stripes by hash. After every repetition, *every* series' live
+//! aggregate is cross-checked byte-for-byte against the offline
+//! `sum_profiles` fold over that thread's blobs in sequence order — the
+//! determinism contract — so a number is only ever reported for a
+//! correct aggregate.
 //!
 //! Usage: `serve [output.json]` (default `BENCH_serve.json`).
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use graphprof_machine::{CompileOptions, Machine, MachineConfig};
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
 use graphprof_monitor::RuntimeProfiler;
 use graphprof_server::{Client, Server, ServerConfig};
-use graphprof_workloads::paper::kernel_program;
 
 /// Sampling granularity of the generated windows.
 const TICK: u64 = 10;
-/// Uploads per measurement; divisible by every client count.
-const UPLOADS: usize = 64;
+/// Distinct profile windows in the pool; threads cycle through it.
+const WINDOWS: usize = 64;
+/// Uploads per measured point, split across the client threads.
+const UPLOADS: usize = 1024;
 /// Concurrent connection counts measured.
-const CLIENTS: [usize; 3] = [1, 4, 16];
-/// Timed repetitions per client count; the fastest repetition wins.
-const REPS: usize = 3;
+const CLIENTS: [usize; 6] = [1, 4, 16, 64, 128, 256];
+/// Timed repetitions per point; the fastest repetition wins.
+const REPS: usize = 4;
 /// Per-call client deadline.
-const TIMEOUT: Duration = Duration::from_secs(30);
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The measured server shapes. `group_commit_ms: None` is the
+/// pre-stripe baseline: one fsync per upload, under the stripe lock.
+const CONFIGS: [(&str, usize, Option<u64>); 4] = [
+    ("s1-fsync-per-upload", 1, None),
+    ("s1-group", 1, Some(0)),
+    ("s4-group", 4, Some(0)),
+    ("s8-group", 8, Some(0)),
+];
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -47,18 +65,40 @@ fn main() {
     eprintln!("wrote {out_path}");
 }
 
-fn run() -> Result<String, String> {
-    let exe = kernel_program(10_000_000)
+fn tmp_data_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("graphprof-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small service-shaped program: the bench measures the *ingest*
+/// path (framing, dedup, WAL, fold) under concurrency, so the profiled
+/// program is kept small enough that per-upload validation does not
+/// drown the durability cost being compared. Continuous-profiling
+/// windows are exactly this shape: small, frequent, many hosts.
+fn workload() -> Result<Executable, String> {
+    let mut b = graphprof_machine::Program::builder();
+    b.routine("main", |r| r.call_n("service", 1_000_000).work(200));
+    b.routine("service", |r| r.call_n("parse", 2).call_n("store", 1).work(30));
+    b.routine("parse", |r| r.work(25));
+    b.routine("store", |r| r.work(35));
+    b.build()
+        .map_err(|e| format!("building workload: {e}"))?
         .compile(&CompileOptions::profiled())
-        .map_err(|e| format!("compiling workload: {e}"))?;
+        .map_err(|e| format!("compiling workload: {e}"))
+}
+
+fn run() -> Result<String, String> {
+    let exe = workload()?;
 
     // Distinct mergeable windows cut from one run of the system, exactly
     // what a fleet of continuously profiled machines would ship.
     let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
     let mut machine = Machine::with_config(exe.clone(), config);
     let mut profiler = RuntimeProfiler::new(&exe, TICK);
-    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(UPLOADS);
-    for i in 0..UPLOADS {
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(WINDOWS);
+    for i in 0..WINDOWS {
         machine
             .run_for(&mut profiler, 10_000 + 500 * i as u64)
             .map_err(|e| format!("running workload: {e}"))?;
@@ -66,48 +106,95 @@ fn run() -> Result<String, String> {
         profiler.reset();
     }
     let blob_bytes: usize = blobs.iter().map(Vec::len).sum();
-    let offline = graphprof::sum_profile_bytes(&blobs, 1)
-        .map_err(|e| format!("offline sum: {e}"))?
-        .to_bytes();
-
-    let config = ServerConfig { bind: "127.0.0.1:0".to_string(), ..ServerConfig::default() };
-    let handle = Server::start(config, exe, &[]).map_err(|e| format!("starting server: {e}"))?;
-    let addr = handle.addr().to_string();
     let host_cpus =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
 
-    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
-    for &clients in &CLIENTS {
-        let mut best_ms = f64::INFINITY;
-        for rep in 0..REPS {
-            // A fresh series per repetition: sequence numbers are unique
-            // within a series, and reusing one would hit duplicate rejects.
-            let series = format!("c{clients}r{rep}");
-            let start = Instant::now();
-            std::thread::scope(|s| {
-                for t in 0..clients {
-                    let (series, addr, blobs) = (&series, &addr, &blobs);
-                    s.spawn(move || {
-                        let mut client = Client::connect(addr, TIMEOUT).expect("connect");
-                        let mut seq = t;
-                        while seq < UPLOADS {
-                            client.upload(series, seq as u64, &blobs[seq]).expect("upload");
-                            seq += clients;
-                        }
-                    });
-                }
-            });
-            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    // rows: (config name, clients, best_ms, uploads/sec)
+    let mut rows: Vec<(&str, usize, f64, f64)> = Vec::new();
+    for &(name, stripes, group_commit_ms) in &CONFIGS {
+        for &clients in &CLIENTS {
+            let per_client = UPLOADS / clients;
+            let mut best_ms = f64::INFINITY;
+            for rep in 0..REPS {
+                // A fresh data directory per repetition: replaying a prior
+                // repetition's log would time recovery, not ingest.
+                let dir = tmp_data_dir(&format!("{name}-c{clients}-r{rep}"));
+                let config = ServerConfig {
+                    bind: "127.0.0.1:0".to_string(),
+                    max_series: (clients + 8).max(64),
+                    stripes,
+                    group_commit: group_commit_ms.map(Duration::from_millis),
+                    data_dir: Some(dir.clone()),
+                    ..ServerConfig::default()
+                };
+                let handle = Server::start(config, exe.clone(), &[])
+                    .map_err(|e| format!("starting server ({name}, {clients} clients): {e}"))?;
+                let addr = handle.addr().to_string();
 
-            let mut check = Client::connect(&addr, TIMEOUT).map_err(|e| format!("connect: {e}"))?;
-            let live = check.fetch_sum(&series).map_err(|e| format!("fetch_sum: {e}"))?;
-            if live != offline {
-                return Err(format!("aggregate of `{series}` diverges from the offline sum"));
+                // Connect every client before the clock starts: the
+                // point measures ingest throughput, not accept latency.
+                let barrier = std::sync::Barrier::new(clients + 1);
+                // The scope joins every uploader before returning, so the
+                // Instant taken at barrier release times exactly the
+                // upload traffic.
+                let start = std::thread::scope(|s| {
+                    for t in 0..clients {
+                        let (addr, blobs, barrier) = (&addr, &blobs, &barrier);
+                        s.spawn(move || {
+                            // One series per connection: series spread over
+                            // the stripes by hash, like a fleet of hosts.
+                            let series = format!("h{t}");
+                            let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+                            barrier.wait();
+                            for seq in 0..per_client {
+                                let blob = &blobs[(t + seq * clients) % WINDOWS];
+                                client.upload(&series, seq as u64, blob).expect("upload");
+                            }
+                        });
+                    }
+                    barrier.wait();
+                    Instant::now()
+                });
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+                // Byte-identity at every scale point: every series must
+                // equal the offline fold of its own blobs in seq order.
+                let mut check =
+                    Client::connect(&addr, TIMEOUT).map_err(|e| format!("connect: {e}"))?;
+                for t in 0..clients {
+                    let thread_blobs: Vec<Vec<u8>> = (0..per_client)
+                        .map(|seq| blobs[(t + seq * clients) % WINDOWS].clone())
+                        .collect();
+                    let offline = graphprof::sum_profile_bytes(&thread_blobs, 1)
+                        .map_err(|e| format!("offline sum: {e}"))?
+                        .to_bytes();
+                    let live =
+                        check.fetch_sum(&format!("h{t}")).map_err(|e| format!("fetch_sum: {e}"))?;
+                    if live != offline {
+                        return Err(format!(
+                            "aggregate of `h{t}` diverges from the offline sum \
+                             ({name}, {clients} clients, rep {rep})"
+                        ));
+                    }
+                }
+                drop(check);
+                handle.shutdown();
+                let _ = std::fs::remove_dir_all(&dir);
             }
+            let total = (per_client * clients) as f64;
+            rows.push((name, clients, best_ms, total / (best_ms / 1e3)));
         }
-        rows.push((clients, best_ms, UPLOADS as f64 / (best_ms / 1e3)));
     }
-    drop(handle);
+
+    let rate = |name: &str, clients: usize| {
+        rows.iter().find(|(n, c, _, _)| *n == name && *c == clients).map(|&(_, _, _, r)| r)
+    };
+    let speedup = |clients: usize| -> f64 {
+        match (rate("s8-group", clients), rate("s1-fsync-per-upload", clients)) {
+            (Some(fast), Some(base)) if base > 0.0 => fast / base,
+            _ => 0.0,
+        }
+    };
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -115,24 +202,40 @@ fn run() -> Result<String, String> {
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(
         json,
-        "  \"workload\": {{\"uploads\": {UPLOADS}, \"blob_bytes\": {blob_bytes}, \
-         \"cycles_per_tick\": {TICK}}},"
+        "  \"workload\": {{\"uploads_per_point\": {UPLOADS}, \"windows\": {WINDOWS}, \
+         \"window_pool_bytes\": {blob_bytes}, \"cycles_per_tick\": {TICK}, \"durable\": true}},"
     );
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, (name, stripes, group_commit_ms)) in CONFIGS.iter().enumerate() {
+        let comma = if i + 1 < CONFIGS.len() { "," } else { "" };
+        let gc = group_commit_ms.map_or("null".to_string(), |ms| ms.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"stripes\": {stripes}, \"group_commit_ms\": {gc}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"results\": [");
-    for (i, (clients, best_ms, per_sec)) in rows.iter().enumerate() {
+    for (i, (name, clients, best_ms, per_sec)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"clients\": {clients}, \"best_ms\": {best_ms:.3}, \
+            "    {{\"config\": \"{name}\", \"clients\": {clients}, \"best_ms\": {best_ms:.3}, \
              \"uploads_per_sec\": {per_sec:.1}}}{comma}"
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_s8_group_vs_s1_fsync\": {{");
+    let _ = writeln!(json, "    \"64_clients\": {:.2},", speedup(64));
+    let _ = writeln!(json, "    \"128_clients\": {:.2},", speedup(128));
+    let _ = writeln!(json, "    \"256_clients\": {:.2}", speedup(256));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
-        "  \"note\": \"fastest of {REPS} repetitions per client count over one loopback \
-         server; after every repetition the live aggregate was verified byte-identical to \
-         the offline sum of the same {UPLOADS} windows\""
+        "  \"note\": \"fastest of {REPS} repetitions per point over one durable loopback \
+         server (fresh WAL directory each repetition); after every repetition every series' \
+         live aggregate was verified byte-identical to the offline sum of that client's \
+         windows in sequence order\""
     );
     let _ = writeln!(json, "}}");
     Ok(json)

@@ -12,7 +12,7 @@ const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix] [--jobs N]\n\
                      graphprof check <prog.gpx> <gmon.out> [--jobs N] [--salvage]\n\
                      graphprof analyze <prog.gpx> <gmon.out> [--jobs N] [--salvage] [--deny CODES] [--warn CODES] [--allow CODES] [--json FILE]\n\
-                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N] [--data-dir DIR] [--wal-segment-bytes N]\n\
+                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N] [--data-dir DIR] [--wal-segment-bytes N] [--stripes N] [--group-commit-ms N | --no-group-commit]\n\
                      graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|stats> [...] [--vm NAME] [--timeout-ms N] [--retries N] [--retry-base-ms N]";
 
 fn fail(e: &CliError) -> ! {
@@ -42,8 +42,10 @@ fn serve_main(argv: &[String]) -> ! {
             "timeout-ms",
             "data-dir",
             "wal-segment-bytes",
+            "stripes",
+            "group-commit-ms",
         ],
-        &[],
+        &["no-group-commit"],
     )
     .and_then(|args| serve(&args));
     match parsed {

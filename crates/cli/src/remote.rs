@@ -47,16 +47,22 @@ fn connect(args: &Args, addr: &str) -> Result<ResilientClient, CliError> {
 
 /// `graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--jobs N]
 /// [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES]
-/// [--timeout-ms N] [--data-dir DIR] [--wal-segment-bytes N]`
+/// [--timeout-ms N] [--data-dir DIR] [--wal-segment-bytes N]
+/// [--stripes N] [--group-commit-ms N | --no-group-commit]`
 ///
 /// Starts the collection server for one executable: uploads are
 /// validated against it and `--vm` hosts named profiled VMs running it
 /// under remote kgmon control. Binds loopback by default. With
 /// `--data-dir` every accepted upload is made durable in a write-ahead
 /// log under that directory before it is acknowledged, and a restart
-/// replays the log to the byte-identical aggregate. Returns the
-/// running handle plus a banner line (`serving <prog> on <addr>`); the
-/// binary prints the banner and parks until killed.
+/// replays the log to the byte-identical aggregate. Ingest is sharded
+/// over `--stripes` (default 4, pinned per data directory) and durable
+/// uploads are group-committed — one fsync per batch, held open
+/// `--group-commit-ms` (default 0: flush as fast as the commit worker
+/// drains); `--no-group-commit` restores one fsync per upload. Returns
+/// the running handle plus a banner line (`serving <prog> on <addr>
+/// (<v> hosted VM(s), <s> stripe(s))`, then per-stripe recovery lines
+/// when durable); the binary prints the banner and parks until killed.
 ///
 /// # Errors
 ///
@@ -94,14 +100,26 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
     if let Some(n) = args.int_value("wal-segment-bytes")? {
         config.wal_segment_bytes = n.max(64);
     }
+    if let Some(n) = args.int_value("stripes")? {
+        config.stripes = (n as usize).clamp(1, 256);
+    }
+    if args.switch("no-group-commit") {
+        config.group_commit = None;
+    } else if let Some(ms) = args.int_value("group-commit-ms")? {
+        config.group_commit = Some(Duration::from_millis(ms));
+    }
 
     let vms: Vec<String> = args.values("vm").to_vec();
     let durable = config.data_dir.is_some();
+    let stripes = config.stripes.clamp(1, 256);
     let handle = Server::start(config, exe, &vms).map_err(|e| {
         CliError::io(format!("start on {}", args.value("bind").unwrap_or(DEFAULT_ADDR)), e)
     })?;
-    let mut banner =
-        format!("serving {exe_path} on {} ({} hosted VM(s))", handle.addr(), vms.len());
+    let mut banner = format!(
+        "serving {exe_path} on {} ({} hosted VM(s), {stripes} stripe(s))",
+        handle.addr(),
+        vms.len()
+    );
     if durable {
         if let Some(recovery) = handle.recovery() {
             banner.push_str(&format!("\n{recovery}"));

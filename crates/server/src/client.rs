@@ -91,6 +91,9 @@ impl ClientError {
 /// A blocking client connection to a `graphprof-serve` instance.
 pub struct Client {
     stream: TcpStream,
+    /// Buffered view of the same socket for the read side, so a
+    /// response's header and payload cost one read syscall.
+    reader: io::BufReader<TcpStream>,
     max_frame: usize,
     /// Outgoing frames route through this plan; `FaultPlan::none()`
     /// (the default) sends everything untouched.
@@ -119,8 +122,16 @@ impl Client {
                     let _ = stream.set_read_timeout(Some(timeout));
                     let _ = stream.set_write_timeout(Some(timeout));
                     let _ = stream.set_nodelay(true);
+                    let reader = match stream.try_clone() {
+                        Ok(dup) => io::BufReader::new(dup),
+                        Err(e) => {
+                            last = e;
+                            continue;
+                        }
+                    };
                     return Ok(Client {
                         stream,
+                        reader,
                         max_frame: DEFAULT_MAX_PAYLOAD,
                         fault: FaultPlan::none(),
                     });
@@ -160,7 +171,7 @@ impl Client {
         } else {
             write_frame(&mut self.stream, &request.to_frame(), self.max_frame)?;
         }
-        match read_frame(&mut self.stream, self.max_frame)? {
+        match read_frame(&mut self.reader, self.max_frame)? {
             Some(frame) => Ok(Response::from_frame(&frame)?),
             None => Err(ClientError::Disconnected),
         }

@@ -129,6 +129,18 @@ impl FaultPlan {
         self.state.spec != FaultSpec::default()
     }
 
+    /// How many WAL record appends the plan has observed.
+    pub fn appends(&self) -> u64 {
+        self.state.appends.load(Ordering::SeqCst)
+    }
+
+    /// How many WAL fsyncs the plan has observed. Group-commit tests
+    /// assert amortization through this counter: many appends, few
+    /// fsyncs.
+    pub fn fsyncs(&self) -> u64 {
+        self.state.fsyncs.load(Ordering::SeqCst)
+    }
+
     /// Every fault injected so far, in firing order — so tests assert
     /// the fault fired instead of passing vacuously.
     pub fn trips(&self) -> Vec<String> {

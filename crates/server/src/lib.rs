@@ -27,6 +27,7 @@
 pub mod client;
 pub mod fault;
 pub mod frame;
+mod group;
 pub mod proto;
 pub mod server;
 pub mod store;
@@ -37,5 +38,5 @@ pub use fault::{FaultPlan, FaultSpec};
 pub use frame::{Frame, WireError, DEFAULT_MAX_PAYLOAD};
 pub use proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
 pub use server::{DrainSummary, Server, ServerConfig, ServerHandle};
-pub use store::{RejectReason, SeriesStats, SeriesStore};
-pub use wal::{Wal, WalRecord, WalRecovery};
+pub use store::{RejectReason, SeriesStats, SeriesStore, StoreOptions};
+pub use wal::{StoreRecovery, Wal, WalRecord, WalRecovery};

@@ -31,8 +31,8 @@ use graphprof_monitor::{KgmonTool, SharedProfiler};
 use crate::fault::FaultPlan;
 use crate::frame::{read_frame, write_frame, write_frame_faulty, DEFAULT_MAX_PAYLOAD};
 use crate::proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
-use crate::store::{RejectReason, SeriesStore};
-use crate::wal::{WalRecovery, DEFAULT_SEGMENT_BYTES};
+use crate::store::{RejectReason, SeriesStore, StoreOptions};
+use crate::wal::{StoreRecovery, DEFAULT_SEGMENT_BYTES};
 
 /// Server tuning knobs. The defaults are production-shaped: loopback
 /// bind, bounded frames and series, ten-second deadlines.
@@ -62,6 +62,14 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// Size at which write-ahead log segments rotate, in bytes.
     pub wal_segment_bytes: u64,
+    /// Ingest stripes: series are hashed onto this many independent
+    /// shards, each with its own lock and WAL partition. Pinned in a
+    /// durable data directory's MANIFEST at first open.
+    pub stripes: usize,
+    /// `Some(window)` amortizes durable uploads with one fsync per
+    /// group-commit batch (the default, with a zero window); `None`
+    /// fsyncs every upload individually.
+    pub group_commit: Option<Duration>,
     /// Fault-injection schedule for the store and the response path.
     /// [`FaultPlan::none`] (the default) injects nothing.
     pub fault: FaultPlan,
@@ -81,6 +89,8 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_secs(5),
             data_dir: None,
             wal_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            stripes: 4,
+            group_commit: Some(Duration::ZERO),
             fault: FaultPlan::none(),
         }
     }
@@ -116,7 +126,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     vm_threads: Vec<JoinHandle<()>>,
-    recovery: Option<WalRecovery>,
+    recovery: Option<StoreRecovery>,
 }
 
 /// The `graphprof-serve` entry point.
@@ -155,19 +165,20 @@ impl Server {
             vm_threads.push(thread);
         }
 
+        let opts = StoreOptions {
+            max_series: config.max_series,
+            jobs: config.jobs,
+            stripes: config.stripes,
+            group_commit: config.group_commit,
+            segment_bytes: config.wal_segment_bytes,
+            fault: config.fault.clone(),
+        };
         let (store, recovery) = match &config.data_dir {
             Some(dir) => {
-                let (store, recovery) = SeriesStore::with_wal(
-                    exe,
-                    config.max_series,
-                    config.jobs,
-                    dir,
-                    config.wal_segment_bytes,
-                    config.fault.clone(),
-                )?;
+                let (store, recovery) = SeriesStore::open(exe, dir, opts)?;
                 (store, Some(recovery))
             }
-            None => (SeriesStore::new(exe, config.max_series, config.jobs), None),
+            None => (SeriesStore::with_options(exe, opts), None),
         };
 
         let shared = Arc::new(Shared {
@@ -203,7 +214,7 @@ impl ServerHandle {
 
     /// What write-ahead log recovery found and repaired at startup, or
     /// `None` when the server runs without a data directory.
-    pub fn recovery(&self) -> Option<&WalRecovery> {
+    pub fn recovery(&self) -> Option<&StoreRecovery> {
         self.recovery.as_ref()
     }
 
@@ -299,16 +310,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Shared) {
     let cfg = &shared.cfg;
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let _ = stream.set_nodelay(true);
+    // Buffer the read side so a frame's header and payload cost one
+    // read syscall, not three; writes go straight to the socket.
+    let mut reader = std::io::BufReader::new(&stream);
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
-        let frame = match read_frame(&mut stream, cfg.max_frame) {
+        let frame = match read_frame(&mut reader, cfg.max_frame) {
             Ok(None) => break,
             Ok(Some(frame)) => frame,
             Err(e) => {
@@ -317,7 +331,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // deadline): report if the socket still writes, then
                 // close. Other connections are untouched.
                 let resp = Response::Error(format!("bad frame: {e}"));
-                let _ = write_frame(&mut stream, &resp.to_frame(), cfg.max_frame);
+                let _ = write_frame(&mut (&stream), &resp.to_frame(), cfg.max_frame);
                 break;
             }
         };
@@ -334,7 +348,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         // the server's ack after the upload is already durable — the
         // "crash before fsync-ack" window. The default plan is two
         // atomic loads and sends everything.
-        match write_frame_faulty(&mut stream, &response.to_frame(), cfg.max_frame, &cfg.fault) {
+        match write_frame_faulty(&mut (&stream), &response.to_frame(), cfg.max_frame, &cfg.fault) {
             Ok(true) => {}
             // The plan cut this connection: the peer never sees the ack.
             Ok(false) | Err(_) => break,

@@ -1,5 +1,5 @@
 //! The data plane's state: named series of uploaded profiles, folded
-//! incrementally into live aggregates.
+//! incrementally into live aggregates, sharded over N ingest stripes.
 //!
 //! Every accepted upload is validated against the served executable with
 //! the existing fallible pipeline — [`GmonData::from_bytes`] (which routes
@@ -9,6 +9,26 @@
 //! therefore byte-identical to an offline `graphprof -s` over the same
 //! blobs in canonical (series, sequence-number) order, which the
 //! end-to-end tests assert literally.
+//!
+//! **Striping.** A series is owned by exactly one stripe, chosen by a
+//! stable hash of its name ([`SeriesStore::stripe_of`]). Each stripe has
+//! its own lock, its own `(series, seq)` dedup index, and its own WAL
+//! partition, so uploads to different stripes never contend. Because
+//! profile merging is commutative and associative (the accumulator's
+//! documented contract), per-series byte identity needs no cross-stripe
+//! ordering at all — and a series never spans stripes, so its replay
+//! order is still exactly its own log order.
+//!
+//! **Durability lanes.** A durable stripe runs in one of two modes:
+//! *sync* (`group_commit: None`) fsyncs every upload under the stripe
+//! lock, exactly the pre-stripe behavior; *batched* (`group_commit:
+//! Some(window)`) stages uploads on the stripe's [`Committer`]; a
+//! leader thread elected among the stagers appends the batch, fsyncs
+//! once, folds in queue order, and releases all acknowledgments
+//! together — fsync-before-ack preserved, the fsync amortized. In-flight `(series, seq)` reservations close
+//! the cross-connection duplicate race: a concurrent duplicate waits
+//! for the first upload's outcome instead of being answered while that
+//! outcome is still undecided.
 //!
 //! The store never keeps raw blobs: per series it holds O(log n) partial
 //! aggregates, the set of sequence numbers seen (for duplicate
@@ -25,19 +45,21 @@
 //! `flagged` counter says how many uploads carried any, and the `stats`
 //! listing marks such series with an `!analyzer:` suffix.
 
-use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 use graphprof::ProfileAccumulator;
 use graphprof_machine::Executable;
 use graphprof_monitor::GmonData;
 
 use crate::fault::FaultPlan;
-use crate::wal::{Wal, WalRecovery};
+use crate::group::{CommitWaiter, Committer, Staged};
+use crate::wal::{self, open_partitions, StoreRecovery, Wal, DEFAULT_SEGMENT_BYTES};
 
 /// Why an upload was refused. The connection stays usable after any of
 /// these; the reject is counted against the series (or the store, when
@@ -98,6 +120,41 @@ pub struct SeriesStats {
     pub flagged: u64,
 }
 
+/// How a [`SeriesStore`] is shaped: sharding, durability, and limits.
+/// [`StoreOptions::default`] is a single in-memory-style stripe with
+/// group commit enabled (flush as soon as the worker drains).
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Maximum number of named series, across all stripes.
+    pub max_series: usize,
+    /// Worker count for the validation pipeline.
+    pub jobs: usize,
+    /// Ingest stripes; series are assigned by stable hash.
+    pub stripes: usize,
+    /// `Some(window)` batches durable uploads per stripe, committing a
+    /// batch with one fsync after holding it open for `window` (zero =
+    /// flush as fast as the worker drains). `None` fsyncs every upload
+    /// individually under the stripe lock.
+    pub group_commit: Option<Duration>,
+    /// Size at which WAL segments rotate, in bytes.
+    pub segment_bytes: u64,
+    /// Fault-injection schedule threaded into every stripe's WAL.
+    pub fault: FaultPlan,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            max_series: 64,
+            jobs: 1,
+            stripes: 1,
+            group_commit: Some(Duration::ZERO),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fault: FaultPlan::none(),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Series {
     acc: ProfileAccumulator,
@@ -109,52 +166,208 @@ struct Series {
 }
 
 #[derive(Debug, Default)]
-struct StoreState {
+pub(crate) struct StripeState {
     series: BTreeMap<String, Series>,
     /// Rejects that could not be charged to an existing series.
     orphan_rejects: u64,
+    /// `(series, seq)` pairs staged on the commit queue but not yet
+    /// resolved. A concurrent duplicate waits on the stored waiter.
+    /// Keyed series-first so the hot path resolves reservations
+    /// without rebuilding an owned key; a series' (usually empty)
+    /// inner map is kept once created, so steady-state staging
+    /// allocates nothing here.
+    inflight: BTreeMap<String, BTreeMap<u64, Arc<CommitWaiter>>>,
 }
 
-/// The collection server's series store. All methods take `&self`; one
-/// internal lock serializes mutations so connection handlers can share
-/// the store freely.
+impl StripeState {
+    pub(crate) fn charge_reject(&mut self, series: &str) {
+        match self.series.get_mut(series) {
+            Some(s) => s.stats.rejects += 1,
+            None => self.orphan_rejects += 1,
+        }
+    }
+
+    /// Drops the `(series, seq)` commit reservation, if present.
+    pub(crate) fn release_inflight(&mut self, series: &str, seq: u64) {
+        if let Some(seqs) = self.inflight.get_mut(series) {
+            seqs.remove(&seq);
+        }
+    }
+
+    /// Folds one *already durable* upload into its (pre-reserved)
+    /// series — the batched lane's post-commit half of the upload.
+    pub(crate) fn fold_committed(
+        &mut self,
+        series: &str,
+        seq: u64,
+        bytes: u64,
+        gmon: GmonData,
+        flags: BTreeSet<&'static str>,
+    ) -> Result<u64, RejectReason> {
+        let entry = self.series.get_mut(series).expect("staged series was reserved");
+        if let Err(e) = entry.acc.push(gmon) {
+            // The record is on disk but cannot fold; replay rejects it
+            // just as deterministically. The seq stays unclaimed so the
+            // failure is reported on every retry, not masked as a
+            // duplicate.
+            entry.stats.rejects += 1;
+            return Err(RejectReason::Unmergeable(e.to_string()));
+        }
+        entry.seen_seqs.insert(seq);
+        entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
+        entry.stats.uploads += 1;
+        entry.stats.bytes += bytes;
+        if !flags.is_empty() {
+            entry.stats.flagged += 1;
+            entry.flag_codes.extend(flags);
+        }
+        Ok(entry.acc.count())
+    }
+}
+
+/// One stripe's lockable state, shared between connection handlers and
+/// (in batched mode) the stripe's commit worker.
+#[derive(Debug, Default)]
+pub(crate) struct StripeShared {
+    pub(crate) state: Mutex<StripeState>,
+}
+
+/// How one stripe makes uploads durable.
+enum Lane {
+    /// No durability: fold under the stripe lock, nothing else.
+    Memory,
+    /// One fsync per upload, under the stripe lock — the pre-stripe
+    /// behavior (`--no-group-commit`).
+    Sync { wal: Mutex<Wal>, gauge: Arc<AtomicU64> },
+    /// Staged appends, one fsync per batch, acks released together.
+    Batched { committer: Committer, gauge: Arc<AtomicU64> },
+}
+
+impl Lane {
+    fn gauge(&self) -> Option<&Arc<AtomicU64>> {
+        match self {
+            Lane::Memory => None,
+            Lane::Sync { gauge, .. } | Lane::Batched { gauge, .. } => Some(gauge),
+        }
+    }
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lane::Memory => f.write_str("Memory"),
+            Lane::Sync { .. } => f.write_str("Sync"),
+            Lane::Batched { .. } => f.write_str("Batched"),
+        }
+    }
+}
+
+/// The collection server's series store. All methods take `&self`;
+/// each stripe's internal lock serializes its own mutations, so
+/// connection handlers share the store freely and only contend when
+/// they hash to the same stripe.
 #[derive(Debug)]
 pub struct SeriesStore {
     exe: Executable,
+    /// Static analysis of `exe`, prebuilt once so per-upload validation
+    /// pays only the profile-dependent cross-checks.
+    checker: graphprof_analysis::ProfileChecker,
     max_series: usize,
-    jobs: usize,
-    state: Mutex<StoreState>,
-    /// When present, every accepted upload is appended (and fsynced)
-    /// here *before* it is folded in or acknowledged.
-    wal: Option<Mutex<Wal>>,
+    stripes: Vec<Arc<StripeShared>>,
+    lanes: Vec<Lane>,
+    /// Series created across all stripes, bounding `max_series`
+    /// globally without a global lock.
+    series_count: AtomicUsize,
 }
 
 impl SeriesStore {
     /// A store validating uploads against `exe`, holding at most
     /// `max_series` series, running the lint pipeline on `jobs` workers.
-    /// Purely in-memory: a crash loses everything. See
-    /// [`SeriesStore::with_wal`] for the durable variant.
+    /// Purely in-memory, single stripe: a crash loses everything. See
+    /// [`SeriesStore::with_options`] for sharding and
+    /// [`SeriesStore::open`] for the durable variant.
     pub fn new(exe: Executable, max_series: usize, jobs: usize) -> Self {
+        Self::with_options(exe, StoreOptions { max_series, jobs, ..StoreOptions::default() })
+    }
+
+    /// An in-memory store shaped by `opts` (durability options are
+    /// ignored — see [`SeriesStore::open`]).
+    pub fn with_options(exe: Executable, opts: StoreOptions) -> Self {
+        let stripes = opts.stripes.max(1);
+        let checker = graphprof_analysis::ProfileChecker::build_jobs(&exe, opts.jobs.max(1));
         SeriesStore {
             exe,
-            max_series: max_series.max(1),
-            jobs: jobs.max(1),
-            state: Mutex::new(StoreState::default()),
-            wal: None,
+            checker,
+            max_series: opts.max_series.max(1),
+            stripes: (0..stripes).map(|_| Arc::new(StripeShared::default())).collect(),
+            lanes: (0..stripes).map(|_| Lane::Memory).collect(),
+            series_count: AtomicUsize::new(0),
         }
     }
 
-    /// A durable store: opens (or creates) the write-ahead log under
-    /// `data_dir`, replays every recovered record through the same
-    /// validate-and-fold path as live uploads — rebuilding an aggregate
-    /// byte-identical to what a crashed server held — and logs every
-    /// subsequent accepted upload before acknowledging it.
+    /// A durable store: opens (or creates) the striped write-ahead log
+    /// under `data_dir`, replays every recovered record through the
+    /// same validate-and-fold path as live uploads — rebuilding an
+    /// aggregate byte-identical to what a crashed server held — and
+    /// logs every subsequent accepted upload before acknowledging it.
+    ///
+    /// The stripe count is pinned in the data directory's MANIFEST at
+    /// first open; pre-stripe (PR 5 era) directories are migrated by
+    /// salvaging their segments read-only.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error when the log cannot be opened.
-    /// Torn or corrupt log tails are salvaged, not errors; the
-    /// [`WalRecovery`] says what was repaired.
+    /// Returns the underlying I/O error when the log cannot be opened,
+    /// or `InvalidInput` when `opts.stripes` contradicts the pinned
+    /// count. Torn or corrupt log tails are salvaged, not errors; the
+    /// [`StoreRecovery`] says what was repaired.
+    pub fn open(
+        exe: Executable,
+        data_dir: &Path,
+        opts: StoreOptions,
+    ) -> io::Result<(Self, StoreRecovery)> {
+        let opened = open_partitions(data_dir, opts.stripes, opts.segment_bytes, &opts.fault)?;
+        let mut store = Self::with_options(
+            exe,
+            StoreOptions { stripes: opened.recovery.stripes, ..opts.clone() },
+        );
+        // Replay rejections are fine: a record whose fold failed after
+        // it was logged replays to the same deterministic rejection.
+        // Legacy (pre-stripe) records go first — they predate every
+        // partition record — then each partition in its own append
+        // order; the dedup index makes any cross-log repeat harmless.
+        for record in &opened.legacy_records {
+            let _ = store.replay(&record.series, record.seq, &record.blob);
+        }
+        for records in &opened.partition_records {
+            for record in records {
+                let _ = store.replay(&record.series, record.seq, &record.blob);
+            }
+        }
+        // Attach the durable lanes only now, so replay is never
+        // re-logged.
+        let mut lanes = Vec::with_capacity(store.stripes.len());
+        for (index, wal) in opened.partitions.into_iter().enumerate() {
+            let gauge = wal.segment_gauge();
+            lanes.push(match opts.group_commit {
+                None => Lane::Sync { wal: Mutex::new(wal), gauge },
+                Some(window) => Lane::Batched {
+                    committer: Committer::new(wal, Arc::clone(&store.stripes[index]), window),
+                    gauge,
+                },
+            });
+        }
+        store.lanes = lanes;
+        Ok((store, opened.recovery))
+    }
+
+    /// The pre-stripe durable constructor: one stripe, one fsync per
+    /// upload. Kept for callers that want exactly the original
+    /// semantics; new code should use [`SeriesStore::open`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SeriesStore::open`].
     pub fn with_wal(
         exe: Executable,
         max_series: usize,
@@ -162,21 +375,32 @@ impl SeriesStore {
         data_dir: &Path,
         segment_bytes: u64,
         fault: FaultPlan,
-    ) -> io::Result<(Self, WalRecovery)> {
-        let (wal, records, recovery) = Wal::open(data_dir, segment_bytes, fault)?;
-        let store = SeriesStore::new(exe, max_series, jobs);
-        for record in &records {
-            // Replay rejections are fine: a record whose fold failed
-            // after it was logged replays to the same deterministic
-            // rejection. Only accepted records shape the aggregate.
-            let _ = store.do_upload(&record.series, record.seq, &record.blob, false);
-        }
-        Ok((SeriesStore { wal: Some(Mutex::new(wal)), ..store }, recovery))
+    ) -> io::Result<(Self, StoreRecovery)> {
+        Self::open(
+            exe,
+            data_dir,
+            StoreOptions { max_series, jobs, stripes: 1, group_commit: None, segment_bytes, fault },
+        )
     }
 
     /// Whether uploads are made durable before acknowledgment.
     pub fn is_durable(&self) -> bool {
-        self.wal.is_some()
+        self.lanes.iter().any(|lane| !matches!(lane, Lane::Memory))
+    }
+
+    /// How many ingest stripes the store runs.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe that owns `series`: a stable hash of the name, so the
+    /// assignment survives restarts and is the same on every replica
+    /// with the same stripe count.
+    pub fn stripe_of(&self, series: &str) -> usize {
+        if self.stripes.len() <= 1 {
+            return 0;
+        }
+        (wal::fnv1a64(series.as_bytes()) % self.stripes.len() as u64) as usize
     }
 
     /// The executable uploads are validated and rendered against.
@@ -192,26 +416,45 @@ impl SeriesStore {
     /// Returns a [`RejectReason`]; the reject is counted and the series
     /// aggregate is left exactly as it was.
     pub fn upload(&self, series: &str, seq: u64, blob: &[u8]) -> Result<u64, RejectReason> {
-        self.do_upload(series, seq, blob, true)
+        // Parse and analyze outside any lock: the expensive, fallible
+        // work must not serialize concurrent clients.
+        let checked = self.validate(blob);
+        let index = self.stripe_of(series);
+        match &self.lanes[index] {
+            Lane::Batched { committer, .. } => {
+                self.upload_batched(&self.stripes[index], committer, series, seq, blob, checked)
+            }
+            Lane::Sync { wal, .. } => {
+                self.upload_locked(&self.stripes[index], Some(wal), series, seq, blob, checked)
+            }
+            Lane::Memory => {
+                self.upload_locked(&self.stripes[index], None, series, seq, blob, checked)
+            }
+        }
     }
 
-    /// The shared upload path. Live uploads (`log_to_wal = true`) append
-    /// the record to the write-ahead log after the dedup check and
-    /// before the fold, so a crash at any point either loses an
-    /// *unacknowledged* upload or preserves a logged one — never a
-    /// half-state. Recovery replay passes `log_to_wal = false`: the
-    /// record is already on disk.
-    fn do_upload(
+    /// Replay of one recovered record: the in-memory fold path (the
+    /// record is already on disk), with rejections discarded by the
+    /// caller.
+    fn replay(&self, series: &str, seq: u64, blob: &[u8]) -> Result<u64, RejectReason> {
+        let checked = self.validate(blob);
+        let index = self.stripe_of(series);
+        self.upload_locked(&self.stripes[index], None, series, seq, blob, checked)
+    }
+
+    /// The lock-held upload path (memory and sync lanes, and replay).
+    /// For the sync lane the fsync happens under the stripe lock, which
+    /// makes "logged order == fold order" trivially true per stripe.
+    fn upload_locked(
         &self,
+        shared: &StripeShared,
+        wal: Option<&Mutex<Wal>>,
         series: &str,
         seq: u64,
         blob: &[u8],
-        log_to_wal: bool,
+        checked: Result<(GmonData, BTreeSet<&'static str>), RejectReason>,
     ) -> Result<u64, RejectReason> {
-        // Parse and analyze outside the lock: the expensive, fallible
-        // work must not serialize concurrent clients.
-        let checked = self.validate(blob);
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         let (gmon, flags) = match checked {
             Ok(checked) => checked,
             Err(reason) => {
@@ -219,37 +462,20 @@ impl SeriesStore {
                 return Err(reason);
             }
         };
-        if series.is_empty() || series.len() > 128 {
-            state.orphan_rejects += 1;
-            return Err(RejectReason::BadSeriesName);
-        }
-        let (max_series, have) = (self.max_series, state.series.len());
-        let entry = match state.series.entry(series.to_string()) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => {
-                if have >= max_series {
-                    state.orphan_rejects += 1;
-                    return Err(RejectReason::TooManySeries { max: max_series });
-                }
-                e.insert(Series::default())
-            }
-        };
+        self.ensure_series(&mut state, series)?;
+        let entry = state.series.get_mut(series).expect("just ensured");
         if !entry.seen_seqs.insert(seq) {
             entry.stats.rejects += 1;
             return Err(RejectReason::DuplicateSeq(seq));
         }
-        // Durability point. Holding the state lock across the fsync
-        // serializes uploads with log writes, which is what makes
-        // "logged order == fold order" — the replay determinism
-        // contract — trivially true.
-        if log_to_wal {
-            if let Some(wal) = &self.wal {
-                let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
-                if let Err(e) = wal.append(series, seq, blob) {
-                    entry.seen_seqs.remove(&seq);
-                    entry.stats.rejects += 1;
-                    return Err(RejectReason::StorageFailed(e.to_string()));
-                }
+        // Durability point: failure rolls the seq back so a retry can
+        // succeed (after restart clears the wedge).
+        if let Some(wal) = wal {
+            let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = wal.append(series, seq, blob) {
+                entry.seen_seqs.remove(&seq);
+                entry.stats.rejects += 1;
+                return Err(RejectReason::StorageFailed(e.to_string()));
             }
         }
         if let Err(e) = entry.acc.push(gmon) {
@@ -267,6 +493,126 @@ impl SeriesStore {
         Ok(entry.acc.count())
     }
 
+    /// The group-commit upload path. Under the stripe lock the upload
+    /// *reserves* its `(series, seq)` in the in-flight map, then stages
+    /// itself on the commit queue and waits; the worker resolves it
+    /// after the batch's single fsync. A concurrent duplicate finds the
+    /// reservation and waits on the same outcome: if the first upload
+    /// commits, the duplicate is told `DuplicateSeq`; if it fails, the
+    /// reservation is released and the duplicate retries as the new
+    /// winner — so exactly one of N racers is accepted, and none is
+    /// answered before the accepted one is durable.
+    fn upload_batched(
+        &self,
+        shared: &StripeShared,
+        committer: &Committer,
+        series: &str,
+        seq: u64,
+        blob: &[u8],
+        checked: Result<(GmonData, BTreeSet<&'static str>), RejectReason>,
+    ) -> Result<u64, RejectReason> {
+        let (gmon, flags) = match checked {
+            Ok(checked) => checked,
+            Err(reason) => {
+                let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                state.charge_reject(series);
+                return Err(reason);
+            }
+        };
+        let mut gmon = Some(gmon);
+        loop {
+            enum Role {
+                Winner(Arc<CommitWaiter>),
+                Loser(Arc<CommitWaiter>),
+            }
+            let role = {
+                let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                self.ensure_series(&mut state, series)?;
+                let entry = state.series.get_mut(series).expect("just ensured");
+                if entry.seen_seqs.contains(&seq) {
+                    entry.stats.rejects += 1;
+                    return Err(RejectReason::DuplicateSeq(seq));
+                }
+                match state.inflight.get(series).and_then(|seqs| seqs.get(&seq)) {
+                    Some(waiter) => Role::Loser(Arc::clone(waiter)),
+                    None => {
+                        let waiter = Arc::new(CommitWaiter::new());
+                        match state.inflight.get_mut(series) {
+                            Some(seqs) => {
+                                seqs.insert(seq, Arc::clone(&waiter));
+                            }
+                            None => {
+                                state.inflight.insert(
+                                    series.to_string(),
+                                    BTreeMap::from([(seq, Arc::clone(&waiter))]),
+                                );
+                            }
+                        }
+                        Role::Winner(waiter)
+                    }
+                }
+            };
+            match role {
+                Role::Winner(waiter) => {
+                    let staged = Staged {
+                        series: series.to_string(),
+                        seq,
+                        blob: blob.to_vec(),
+                        gmon: gmon.take().expect("a winner stages at most once"),
+                        flags: flags.clone(),
+                        waiter: Arc::clone(&waiter),
+                    };
+                    if !committer.submit(staged) {
+                        // Shutdown race: release the reservation
+                        // ourselves — the worker never will.
+                        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                        state.release_inflight(series, seq);
+                        state.charge_reject(series);
+                        return Err(RejectReason::StorageFailed(
+                            "stripe commit worker is shut down".to_string(),
+                        ));
+                    }
+                    return waiter.wait();
+                }
+                Role::Loser(waiter) => match waiter.wait() {
+                    Ok(_) => {
+                        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                        state.charge_reject(series);
+                        return Err(RejectReason::DuplicateSeq(seq));
+                    }
+                    // The winner failed, releasing the seq; race for it
+                    // again. (We cannot have staged: `gmon` is intact.)
+                    Err(_) => continue,
+                },
+            }
+        }
+    }
+
+    /// Name and global-cap checks; creates the series entry if needed.
+    fn ensure_series(&self, state: &mut StripeState, series: &str) -> Result<(), RejectReason> {
+        if series.is_empty() || series.len() > 128 {
+            state.orphan_rejects += 1;
+            return Err(RejectReason::BadSeriesName);
+        }
+        if state.series.contains_key(series) {
+            return Ok(());
+        }
+        // The cap is global but each stripe has its own lock, so the
+        // count lives in an atomic: reserve a slot or fail, no lock.
+        let reserved = self
+            .series_count
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max_series).then_some(n + 1)
+            })
+            .is_ok();
+        if !reserved {
+            state.orphan_rejects += 1;
+            return Err(RejectReason::TooManySeries { max: self.max_series });
+        }
+        state.series.insert(series.to_string(), Series::default());
+        Ok(())
+    }
+
     /// Uploads with a store-assigned sequence number (used when the
     /// control plane extracts a hosted VM's snapshot into a series).
     /// Returns `(seq, total)`.
@@ -276,7 +622,8 @@ impl SeriesStore {
     /// Returns a [`RejectReason`] like [`SeriesStore::upload`].
     pub fn upload_auto_seq(&self, series: &str, blob: &[u8]) -> Result<(u64, u64), RejectReason> {
         let seq = {
-            let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let shared = &self.stripes[self.stripe_of(series)];
+            let state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.series.get(series).map_or(0, |s| s.next_auto_seq)
         };
         // Another auto upload may race us to this seq; retry on the
@@ -301,7 +648,7 @@ impl SeriesStore {
             GmonData::from_bytes(blob).map_err(|e| RejectReason::Unparseable(e.to_string()))?;
         let mut flags = BTreeSet::new();
         let mut errors = Vec::new();
-        for finding in graphprof_analysis::analyze_profile_jobs(&self.exe, &gmon, self.jobs) {
+        for finding in self.checker.analyze(&gmon) {
             if !finding.is_error() {
                 continue;
             }
@@ -319,11 +666,15 @@ impl SeriesStore {
         }
     }
 
+    fn stripe_state(&self, series: &str) -> std::sync::MutexGuard<'_, StripeState> {
+        self.stripes[self.stripe_of(series)].state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The live aggregate of a series, or `None` for an unknown or
     /// still-empty series. (A series entry can exist with nothing folded
     /// in when its only upload failed at the durability step.)
     pub fn aggregate(&self, series: &str) -> Option<GmonData> {
-        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = self.stripe_state(series);
         let s = state.series.get(series)?;
         s.acc.aggregate().ok()
     }
@@ -332,62 +683,63 @@ impl SeriesStore {
     /// unknown series. Answers a deduplicated retry without touching
     /// the aggregate.
     pub fn series_total(&self, series: &str) -> Option<u64> {
-        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        state.series.get(series).map(|s| s.acc.count())
+        self.stripe_state(series).series.get(series).map(|s| s.acc.count())
     }
 
     /// Counters for one series.
     pub fn stats(&self, series: &str) -> Option<SeriesStats> {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .series
-            .get(series)
-            .map(|s| s.stats)
+        self.stripe_state(series).series.get(series).map(|s| s.stats)
     }
 
     /// The tolerated analyzer error codes a series has accumulated, or
     /// `None` for an unknown series. Empty means every accepted upload
     /// analyzed clean.
     pub fn flags(&self, series: &str) -> Option<Vec<&'static str>> {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .series
-            .get(series)
-            .map(|s| s.flag_codes.iter().copied().collect())
+        self.stripe_state(series).series.get(series).map(|s| s.flag_codes.iter().copied().collect())
     }
 
-    /// Renders the `stats` verb: one line per series plus totals. Series
-    /// whose uploads carried tolerated analyzer errors get an
-    /// `!analyzer:` marker listing the codes; the totals line counts
-    /// flagged uploads only when there are any, so clean stores render
-    /// exactly as before.
+    /// Renders the `stats` verb: one line per series (merged across
+    /// stripes, sorted by name) plus totals, then the stripe layout —
+    /// series count and, for durable stores, the WAL segment gauge per
+    /// stripe — so recovery and flagged-series output stay attributable
+    /// after sharding. Series whose uploads carried tolerated analyzer
+    /// errors get an `!analyzer:` marker listing the codes; the totals
+    /// line counts flagged uploads only when there are any, so clean
+    /// stores render exactly as before.
     pub fn render_stats(&self) -> String {
-        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut rows: BTreeMap<String, (SeriesStats, Vec<&'static str>)> = BTreeMap::new();
+        let mut orphan_rejects = 0u64;
+        let mut per_stripe = Vec::with_capacity(self.stripes.len());
+        for stripe in &self.stripes {
+            let state = stripe.state.lock().unwrap_or_else(PoisonError::into_inner);
+            orphan_rejects += state.orphan_rejects;
+            per_stripe.push(state.series.len());
+            for (name, s) in &state.series {
+                rows.insert(name.clone(), (s.stats, s.flag_codes.iter().copied().collect()));
+            }
+        }
         let mut out = String::from("series            uploads   rejects        bytes\n");
         let mut totals = SeriesStats::default();
-        for (name, s) in &state.series {
+        for (name, (stats, flag_codes)) in &rows {
             let _ = write!(
                 out,
                 "{name:<16} {:>8} {:>9} {:>12}",
-                s.stats.uploads, s.stats.rejects, s.stats.bytes
+                stats.uploads, stats.rejects, stats.bytes
             );
-            if !s.flag_codes.is_empty() {
-                let codes: Vec<&str> = s.flag_codes.iter().copied().collect();
-                let _ = write!(out, "  !analyzer:{}", codes.join(","));
+            if !flag_codes.is_empty() {
+                let _ = write!(out, "  !analyzer:{}", flag_codes.join(","));
             }
             out.push('\n');
-            totals.uploads += s.stats.uploads;
-            totals.rejects += s.stats.rejects;
-            totals.bytes += s.stats.bytes;
-            totals.flagged += s.stats.flagged;
+            totals.uploads += stats.uploads;
+            totals.rejects += stats.rejects;
+            totals.bytes += stats.bytes;
+            totals.flagged += stats.flagged;
         }
-        totals.rejects += state.orphan_rejects;
+        totals.rejects += orphan_rejects;
         let _ = write!(
             out,
             "total: {} series, {} uploads, {} rejects, {} bytes",
-            state.series.len(),
+            rows.len(),
             totals.uploads,
             totals.rejects,
             totals.bytes
@@ -396,16 +748,15 @@ impl SeriesStore {
             let _ = write!(out, ", {} flagged", totals.flagged);
         }
         out.push('\n');
-        out
-    }
-}
-
-impl StoreState {
-    fn charge_reject(&mut self, series: &str) {
-        match self.series.get_mut(series) {
-            Some(s) => s.stats.rejects += 1,
-            None => self.orphan_rejects += 1,
+        let _ = writeln!(out, "stripes: {}", self.stripes.len());
+        for (index, count) in per_stripe.iter().enumerate() {
+            let _ = write!(out, "stripe {index}: {count} series");
+            if let Some(gauge) = self.lanes[index].gauge() {
+                let _ = write!(out, ", wal segments: {}", gauge.load(Ordering::Relaxed));
+            }
+            out.push('\n');
         }
+        out
     }
 }
 
@@ -576,6 +927,51 @@ mod tests {
     }
 
     #[test]
+    fn the_series_cap_is_global_across_stripes() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::with_options(
+            exe,
+            StoreOptions { max_series: 3, stripes: 4, ..StoreOptions::default() },
+        );
+        let mut accepted = 0;
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            if store.upload(name, 0, &blob).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 3, "the cap bounds series across all stripes");
+        assert!(store.render_stats().contains("3 series"));
+    }
+
+    #[test]
+    fn sharded_uploads_match_the_offline_sum_per_series() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let store = SeriesStore::with_options(
+            exe,
+            StoreOptions { max_series: 64, stripes: 4, ..StoreOptions::default() },
+        );
+        let names = ["web", "api", "batch", "cron", "edge", "tail"];
+        for (i, name) in names.iter().enumerate() {
+            for seq in 0..=(i as u64) {
+                store.upload(name, seq, &blob).unwrap();
+            }
+        }
+        // The six series land on more than one stripe (regression guard
+        // for a degenerate hash).
+        let used: BTreeSet<usize> = names.iter().map(|n| store.stripe_of(n)).collect();
+        assert!(used.len() > 1, "all series hashed to stripe {used:?}");
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, i + 1)).unwrap();
+            assert_eq!(store.aggregate(name).unwrap().to_bytes(), offline.to_bytes(), "{name}");
+        }
+        let listing = store.render_stats();
+        assert!(listing.contains("stripes: 4"), "{listing}");
+    }
+
+    #[test]
     fn auto_seq_continues_after_explicit_uploads() {
         let exe = exe();
         let blob = blob(&exe);
@@ -603,7 +999,7 @@ mod tests {
         {
             let (store, recovery) =
                 SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
-            assert_eq!(recovery.records, 0);
+            assert_eq!(recovery.records(), 0);
             assert!(store.is_durable());
             for seq in 0..3 {
                 store.upload("web", seq, &blob).unwrap();
@@ -614,7 +1010,7 @@ mod tests {
         }
         let (store, recovery) =
             SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
-        assert_eq!(recovery.records, 4);
+        assert_eq!(recovery.records(), 4);
         let parsed = GmonData::from_bytes(&blob).unwrap();
         let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 3)).unwrap();
         assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
@@ -649,7 +1045,7 @@ mod tests {
         // "Restart": reopen without the fault; the same seq goes through.
         let (store, recovery) =
             SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
-        assert_eq!(recovery.records, 0);
+        assert_eq!(recovery.records(), 0);
         assert_eq!(store.upload("web", 0, &blob), Ok(1));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -674,13 +1070,173 @@ mod tests {
         }
         let (store, recovery) =
             SeriesStore::with_wal(exe.clone(), 8, 1, &dir, 1 << 20, FaultPlan::none()).unwrap();
-        assert_eq!(recovery.records, 2, "only the acknowledged prefix survives");
-        assert!(recovery.torn_bytes > 0, "the torn tail was salvaged away");
+        assert_eq!(recovery.records(), 2, "only the acknowledged prefix survives");
+        assert!(recovery.torn_bytes() > 0, "the torn tail was salvaged away");
         let parsed = GmonData::from_bytes(&blob).unwrap();
         let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 2)).unwrap();
         assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
         // The unacknowledged seq is free again: the retry succeeds.
         assert_eq!(store.upload("web", 2, &blob), Ok(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn durable_opts(stripes: usize, group_commit: Option<Duration>) -> StoreOptions {
+        StoreOptions {
+            max_series: 64,
+            stripes,
+            group_commit,
+            segment_bytes: 1 << 20,
+            ..StoreOptions::default()
+        }
+    }
+
+    #[test]
+    fn group_commit_is_durable_and_byte_identical_across_restart() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("group");
+        let fault = FaultPlan::none();
+        {
+            let (store, _) = SeriesStore::open(
+                exe.clone(),
+                &dir,
+                StoreOptions { fault: fault.clone(), ..durable_opts(4, Some(Duration::ZERO)) },
+            )
+            .unwrap();
+            assert!(store.is_durable());
+            assert_eq!(store.stripe_count(), 4);
+            for seq in 0..4 {
+                store.upload("web", seq, &blob).unwrap();
+            }
+            store.upload("api", 0, &blob).unwrap();
+        }
+        // Every upload was fsynced before its ack (batch size ≥ 1), and
+        // never more than once per upload.
+        assert!(fault.fsyncs() <= 5, "fsyncs: {}", fault.fsyncs());
+        assert!(fault.fsyncs() >= 1);
+        let (store, recovery) =
+            SeriesStore::open(exe.clone(), &dir, durable_opts(4, Some(Duration::ZERO))).unwrap();
+        assert_eq!(recovery.records(), 5);
+        assert_eq!(recovery.stripes, 4);
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 4)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        assert_eq!(store.aggregate("api").unwrap().to_bytes(), parsed.to_bytes());
+        assert_eq!(store.upload("web", 3, &blob), Err(RejectReason::DuplicateSeq(3)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_duplicates_yield_exactly_one_accept() {
+        // The gating multi-thread duplicate-race test: N threads race
+        // the same (series, seq, blob); exactly one may be accepted,
+        // the rest must see DuplicateSeq, and the aggregate must hold
+        // exactly one copy. Runs on the batched durable path (where the
+        // in-flight reservation closes the race) and on both stripe
+        // counts; the sync and in-memory paths hold the stripe lock
+        // across the whole upload and are raceless by construction.
+        let exe = exe();
+        let blob = blob(&exe);
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        for stripes in [1usize, 4] {
+            let dir = tmpdir(&format!("dup-race-{stripes}"));
+            let (store, _) =
+                SeriesStore::open(exe.clone(), &dir, durable_opts(stripes, Some(Duration::ZERO)))
+                    .unwrap();
+            let store = std::sync::Arc::new(store);
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+            let results: Vec<Result<u64, RejectReason>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let store = std::sync::Arc::clone(&store);
+                        let barrier = std::sync::Arc::clone(&barrier);
+                        let blob = blob.clone();
+                        scope.spawn(move || {
+                            barrier.wait();
+                            store.upload("race", 0, &blob)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let accepts = results.iter().filter(|r| r.is_ok()).count();
+            let duplicates =
+                results.iter().filter(|r| matches!(r, Err(RejectReason::DuplicateSeq(0)))).count();
+            assert_eq!((accepts, duplicates), (1, 7), "stripes={stripes}: {results:?}");
+            assert_eq!(store.series_total("race"), Some(1));
+            assert_eq!(
+                store.aggregate("race").unwrap().to_bytes(),
+                parsed.to_bytes(),
+                "exactly one copy folded"
+            );
+            let stats = store.stats("race").unwrap();
+            assert_eq!((stats.uploads, stats.rejects), (1, 7));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn legacy_data_dirs_migrate_into_the_striped_layout() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("legacy-migrate");
+        // A PR-5-era store: one unpartitioned log, no MANIFEST.
+        {
+            let (mut wal, _, _) = Wal::open(&dir, 1 << 20, FaultPlan::none()).unwrap();
+            wal.append("web", 0, &blob).unwrap();
+            wal.append("web", 1, &blob).unwrap();
+            wal.append("api", 0, &blob).unwrap();
+        }
+        let (store, recovery) =
+            SeriesStore::open(exe.clone(), &dir, durable_opts(4, Some(Duration::ZERO))).unwrap();
+        assert_eq!(recovery.records(), 3);
+        assert!(recovery.legacy.is_some(), "{recovery:?}");
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 2)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        assert_eq!(store.upload("web", 1, &blob), Err(RejectReason::DuplicateSeq(1)));
+        // New uploads land in partitions; the next open replays both
+        // logs without double counting.
+        store.upload("web", 2, &blob).unwrap();
+        drop(store);
+        let (store, recovery) =
+            SeriesStore::open(exe.clone(), &dir, durable_opts(4, Some(Duration::ZERO))).unwrap();
+        assert_eq!(recovery.records(), 4);
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 3)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_a_different_stripe_count_is_refused() {
+        let exe = exe();
+        let dir = tmpdir("stripe-pin");
+        {
+            let _ = SeriesStore::open(exe.clone(), &dir, durable_opts(2, None)).unwrap();
+        }
+        let err = SeriesStore::open(exe.clone(), &dir, durable_opts(8, None)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("--stripes 2"), "{err}");
+        // The pinned count still works.
+        let _ = SeriesStore::open(exe, &dir, durable_opts(2, None)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_listing_reports_stripe_layout() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("stripe-stats");
+        let (store, _) =
+            SeriesStore::open(exe, &dir, durable_opts(2, Some(Duration::ZERO))).unwrap();
+        store.upload("web", 0, &blob).unwrap();
+        let listing = store.render_stats();
+        assert!(listing.contains("stripes: 2"), "{listing}");
+        let stripe = store.stripe_of("web");
+        assert!(
+            listing.contains(&format!("stripe {stripe}: 1 series, wal segments: 1")),
+            "{listing}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

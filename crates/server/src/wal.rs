@@ -6,9 +6,21 @@
 //! same validation and fixed-pairing fold as live uploads, rebuilding an
 //! aggregate byte-identical to what the crashed server held.
 //!
-//! Layout under `<data-dir>/wal/`: numbered segment files, each opened
-//! with an atomically-written header (temp file + fsync + rename) and
-//! then appended to in place:
+//! The log is **partitioned by ingest stripe**: stripe `k` of an
+//! `N`-stripe store appends to its own directory of numbered segment
+//! files, so stripes never contend on a file or an fsync. The layout
+//! under `<data-dir>`:
+//!
+//! ```text
+//! MANIFEST            = "graphprof-wal/1 stripes=N"  (pins the stripe count)
+//! wal/p000/seg-*.wal  = stripe 0's segments
+//! wal/p001/seg-*.wal  = stripe 1's segments …
+//! wal/seg-*.wal       = pre-partition (legacy) segments: replayed
+//!                       read-only, never appended to again
+//! ```
+//!
+//! Each segment starts with an atomically-written header (temp file +
+//! fsync + rename) and is then appended to in place:
 //!
 //! ```text
 //! segment  = magic b"GPWL" · version u16 LE · reserved u16 LE · record*
@@ -16,18 +28,27 @@
 //! body     = series (u16 LE len + UTF-8) · seq u64 LE · blob (u32 LE len + bytes)
 //! ```
 //!
-//! A crash mid-append leaves a torn final record. [`Wal::open`] detects
-//! it by length or checksum, truncates the segment back to its valid
-//! prefix, and keeps going — a torn tail never prevents startup, and
-//! (because acknowledgment follows the fsync) the truncated record was
-//! never acknowledged. A failed append wedges the log ([`Wal::append`]
-//! then fails fast): after a failed durable write the file position is
-//! untrusted, so the store stops accepting until restart re-salvages —
+//! Appends come in two grains. [`Wal::append`] is the classic one-fsync
+//! -per-record path. Group commit splits it: [`Wal::append_buffered`]
+//! stages a record in the OS file (no fsync), and one [`Wal::commit`]
+//! makes the whole staged batch durable — the caller releases every
+//! acknowledgment in the batch only after the commit returns, so
+//! fsync-before-ack is preserved while the fsync itself is amortized.
+//!
+//! A crash mid-append leaves a torn final record. Recovery detects it by
+//! length or checksum, truncates the segment back to its valid prefix,
+//! and keeps going — a torn tail never prevents startup, and (because
+//! acknowledgment follows the fsync) the truncated record was never
+//! acknowledged. A failed append or commit wedges the log (later calls
+//! fail fast): after a failed durable write the file position is
+//! untrusted, so the stripe stops accepting until restart re-salvages —
 //! fail-stop, never silently divergent.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 
@@ -37,6 +58,7 @@ const SEGMENT_MAGIC: [u8; 4] = *b"GPWL";
 const SEGMENT_VERSION: u16 = 1;
 const SEGMENT_HEADER_LEN: u64 = 8;
 const RECORD_HEADER_LEN: usize = 12;
+const MANIFEST_PREFIX: &str = "graphprof-wal/1 stripes=";
 
 /// Default segment rotation threshold, in bytes of records.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
@@ -52,7 +74,7 @@ pub struct WalRecord {
     pub blob: Vec<u8>,
 }
 
-/// What [`Wal::open`] found and repaired.
+/// What recovery of one log directory found and repaired.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WalRecovery {
     /// Segments scanned.
@@ -68,9 +90,8 @@ pub struct WalRecovery {
     pub note: Option<String>,
 }
 
-impl std::fmt::Display for WalRecovery {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wal: {} record(s) replayed from {} segment(s)", self.records, self.segments)?;
+impl WalRecovery {
+    fn write_details(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.torn_bytes > 0 {
             write!(f, ", {} torn byte(s) salvaged", self.torn_bytes)?;
         }
@@ -84,7 +105,98 @@ impl std::fmt::Display for WalRecovery {
     }
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+impl std::fmt::Display for WalRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal: {} record(s) replayed from {} segment(s)", self.records, self.segments)?;
+        self.write_details(f)
+    }
+}
+
+/// What a partitioned open ([`open_partitions`]) found and repaired,
+/// per stripe plus the optional pre-partition legacy log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreRecovery {
+    /// The stripe count the store opened with (pinned by MANIFEST).
+    pub stripes: usize,
+    /// Recovery of the legacy (pre-partition) log, when one existed.
+    pub legacy: Option<WalRecovery>,
+    /// Per-stripe recovery, indexed by stripe number.
+    pub partitions: Vec<WalRecovery>,
+}
+
+impl StoreRecovery {
+    fn all(&self) -> impl Iterator<Item = &WalRecovery> {
+        self.legacy.iter().chain(self.partitions.iter())
+    }
+
+    /// Valid records recovered across the legacy log and every stripe.
+    pub fn records(&self) -> usize {
+        self.all().map(|r| r.records).sum()
+    }
+
+    /// Segments scanned across the legacy log and every stripe.
+    pub fn segments(&self) -> usize {
+        self.all().map(|r| r.segments).sum()
+    }
+
+    /// Torn bytes truncated away across the legacy log and every stripe.
+    pub fn torn_bytes(&self) -> u64 {
+        self.all().map(|r| r.torn_bytes).sum()
+    }
+
+    /// Damaged segments deleted across the legacy log and every stripe.
+    pub fn dropped_segments(&self) -> usize {
+        self.all().map(|r| r.dropped_segments).sum()
+    }
+
+    /// The first repair note, if any log needed repair.
+    pub fn note(&self) -> Option<&str> {
+        self.all().find_map(|r| r.note.as_deref())
+    }
+}
+
+impl std::fmt::Display for StoreRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wal: {} record(s) replayed from {} segment(s) across {} stripe(s)",
+            self.records(),
+            self.segments(),
+            self.stripes,
+        )?;
+        let summary = WalRecovery {
+            torn_bytes: self.torn_bytes(),
+            dropped_segments: self.dropped_segments(),
+            note: self.note().map(str::to_string),
+            ..WalRecovery::default()
+        };
+        summary.write_details(f)?;
+        if let Some(legacy) = &self.legacy {
+            write!(
+                f,
+                "\nwal legacy: {} record(s) migrated from {} pre-stripe segment(s)",
+                legacy.records, legacy.segments
+            )?;
+            legacy.write_details(f)?;
+        }
+        if self.stripes > 1 {
+            for (i, p) in self.partitions.iter().enumerate() {
+                if p.records == 0 && p.torn_bytes == 0 && p.dropped_segments == 0 {
+                    continue;
+                }
+                write!(
+                    f,
+                    "\nwal stripe {i}: {} record(s) from {} segment(s)",
+                    p.records, p.segments
+                )?;
+                p.write_details(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -137,6 +249,11 @@ fn segment_index(path: &Path) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// The directory stripe `index` logs to, under the log root `wal/`.
+pub(crate) fn partition_dir(data_dir: &Path, index: usize) -> PathBuf {
+    data_dir.join("wal").join(format!("p{index:03}"))
+}
+
 /// Creates a fresh segment atomically: header to a temp file, fsync,
 /// rename into place, fsync the directory.
 fn create_segment(dir: &Path, index: u64) -> io::Result<PathBuf> {
@@ -156,7 +273,199 @@ fn create_segment(dir: &Path, index: u64) -> io::Result<PathBuf> {
     Ok(path)
 }
 
-/// The write-ahead log: an append handle over the newest segment.
+/// Scans every segment in `dir`, truncating torn tails and deleting
+/// segments past a mid-log corruption. Returns the surviving records in
+/// append order, the repair report, the segment indices found, and the
+/// newest valid (index, byte length) to resume appending at.
+#[allow(clippy::type_complexity)]
+fn recover_dir(
+    dir: &Path,
+) -> io::Result<(Vec<WalRecord>, WalRecovery, Vec<u64>, Option<(u64, u64)>)> {
+    let mut indices: Vec<u64> =
+        fs::read_dir(dir)?.filter_map(|entry| segment_index(&entry.ok()?.path())).collect();
+    indices.sort_unstable();
+
+    let mut records = Vec::new();
+    let mut recovery = WalRecovery::default();
+    let mut valid_through: Option<(u64, u64)> = None; // (index, offset)
+    let mut stop_index: Option<u64> = None;
+    for &index in &indices {
+        if stop_index.is_some() {
+            // Everything past a repair point is untrusted; normal
+            // crashes cannot produce segments here.
+            recovery.dropped_segments += 1;
+            fs::remove_file(segment_path(dir, index))?;
+            continue;
+        }
+        recovery.segments += 1;
+        let path = segment_path(dir, index);
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let (valid_len, segment_records, note) = scan_segment(&bytes);
+        records.extend(segment_records);
+        recovery.records = records.len();
+        if (valid_len as u64) < bytes.len() as u64 || note.is_some() {
+            recovery.torn_bytes += bytes.len() as u64 - valid_len as u64;
+            if recovery.note.is_none() {
+                recovery.note = note
+                    .map(|n| format!("segment {index}: {n}"))
+                    .or_else(|| Some(format!("segment {index}: torn tail truncated")));
+            }
+            if valid_len == 0 {
+                // Not even the header survived: nothing in this file
+                // is usable, and an empty shell would trip every
+                // future open, so remove it outright.
+                fs::remove_file(&path)?;
+            } else {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid_len as u64)?;
+                file.sync_all()?;
+            }
+            stop_index = Some(index);
+        }
+        if valid_len > 0 {
+            valid_through = Some((index, valid_len as u64));
+        }
+    }
+    Ok((records, recovery, indices, valid_through))
+}
+
+/// Salvages a pre-partition log directory read-only: the records are
+/// replayed, torn tails repaired in place, but nothing is ever appended
+/// there again. `Ok(None)` when the directory holds no segments.
+pub(crate) fn recover_legacy(dir: &Path) -> io::Result<Option<(Vec<WalRecord>, WalRecovery)>> {
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    let (records, recovery, indices, _) = recover_dir(dir)?;
+    if indices.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some((records, recovery)))
+}
+
+/// The pinned stripe count of a data directory, or `None` when no
+/// MANIFEST has been written yet (fresh directory, or one created
+/// before logs were partitioned).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the file
+/// exists but does not parse.
+pub fn read_manifest(data_dir: &Path) -> io::Result<Option<usize>> {
+    let path = data_dir.join("MANIFEST");
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    text.trim()
+        .strip_prefix(MANIFEST_PREFIX)
+        .and_then(|n| n.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(Some)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unrecognized MANIFEST in {}: {:?}", data_dir.display(), text.trim()),
+            )
+        })
+}
+
+fn write_manifest(data_dir: &Path, stripes: usize) -> io::Result<()> {
+    let tmp = data_dir.join("MANIFEST.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        writeln!(file, "{MANIFEST_PREFIX}{stripes}")?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, data_dir.join("MANIFEST"))?;
+    if let Ok(d) = File::open(data_dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Everything a partitioned open recovers: one append handle per
+/// stripe, the replayable records (legacy first, then per stripe), and
+/// the merged repair report.
+#[derive(Debug)]
+pub struct PartitionedOpen {
+    /// One [`Wal`] per stripe, indexed by stripe number.
+    pub partitions: Vec<Wal>,
+    /// Records salvaged from a pre-partition log, in append order.
+    pub legacy_records: Vec<WalRecord>,
+    /// Records salvaged per stripe, in that stripe's append order.
+    pub partition_records: Vec<Vec<WalRecord>>,
+    /// The merged repair report.
+    pub recovery: StoreRecovery,
+}
+
+/// Opens (creating if needed) a striped log under `data_dir`: one
+/// partition directory per stripe plus a read-only salvage of any
+/// pre-partition segments. The stripe count is pinned in `MANIFEST` on
+/// first open; reopening with a different count is refused, because
+/// splitting a series' records across partitions would break the
+/// per-stripe replay contract.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidInput` when `stripes`
+/// contradicts the MANIFEST. Torn or corrupt log tails are salvaged,
+/// not errors.
+pub fn open_partitions(
+    data_dir: &Path,
+    stripes: usize,
+    segment_bytes: u64,
+    fault: &FaultPlan,
+) -> io::Result<PartitionedOpen> {
+    let stripes = stripes.max(1);
+    fs::create_dir_all(data_dir)?;
+    match read_manifest(data_dir)? {
+        Some(pinned) if pinned != stripes => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "data dir {} was created with {pinned} stripe(s); \
+                     reopen with --stripes {pinned} (the count is pinned at first open)",
+                    data_dir.display()
+                ),
+            ));
+        }
+        Some(_) => {}
+        None => write_manifest(data_dir, stripes)?,
+    }
+    let log_root = data_dir.join("wal");
+    fs::create_dir_all(&log_root)?;
+    let legacy = recover_legacy(&log_root)?;
+    let mut partitions = Vec::with_capacity(stripes);
+    let mut partition_records = Vec::with_capacity(stripes);
+    let mut partition_recovery = Vec::with_capacity(stripes);
+    for index in 0..stripes {
+        let (wal, records, recovery) =
+            Wal::open_at(&partition_dir(data_dir, index), segment_bytes, fault.clone())?;
+        partitions.push(wal);
+        partition_records.push(records);
+        partition_recovery.push(recovery);
+    }
+    let (legacy_records, legacy_recovery) = match legacy {
+        Some((records, recovery)) => (records, Some(recovery)),
+        None => (Vec::new(), None),
+    };
+    Ok(PartitionedOpen {
+        partitions,
+        legacy_records,
+        partition_records,
+        recovery: StoreRecovery {
+            stripes,
+            legacy: legacy_recovery,
+            partitions: partition_recovery,
+        },
+    })
+}
+
+/// The write-ahead log: an append handle over the newest segment of one
+/// log directory (a stripe partition, or the whole log pre-striping).
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
@@ -164,6 +473,10 @@ pub struct Wal {
     current: File,
     current_index: u64,
     current_len: u64,
+    /// Whether buffered records await a [`Wal::commit`].
+    pending: bool,
+    /// Mirrors `current_index` for lock-free stats reads.
+    gauge: Arc<AtomicU64>,
     fault: FaultPlan,
     wedged: Option<String>,
 }
@@ -183,55 +496,22 @@ impl Wal {
         segment_bytes: u64,
         fault: FaultPlan,
     ) -> io::Result<(Wal, Vec<WalRecord>, WalRecovery)> {
-        let dir = data_dir.join("wal");
-        fs::create_dir_all(&dir)?;
+        Self::open_at(&data_dir.join("wal"), segment_bytes, fault)
+    }
 
-        let mut indices: Vec<u64> =
-            fs::read_dir(&dir)?.filter_map(|entry| segment_index(&entry.ok()?.path())).collect();
-        indices.sort_unstable();
-
-        let mut records = Vec::new();
-        let mut recovery = WalRecovery::default();
-        let mut valid_through: Option<(u64, u64)> = None; // (index, offset)
-        let mut stop_index: Option<u64> = None;
-        for &index in &indices {
-            if stop_index.is_some() {
-                // Everything past a repair point is untrusted; normal
-                // crashes cannot produce segments here.
-                recovery.dropped_segments += 1;
-                fs::remove_file(segment_path(&dir, index))?;
-                continue;
-            }
-            recovery.segments += 1;
-            let path = segment_path(&dir, index);
-            let mut bytes = Vec::new();
-            File::open(&path)?.read_to_end(&mut bytes)?;
-            let (valid_len, segment_records, note) = scan_segment(&bytes);
-            records.extend(segment_records);
-            recovery.records = records.len();
-            if (valid_len as u64) < bytes.len() as u64 || note.is_some() {
-                recovery.torn_bytes += bytes.len() as u64 - valid_len as u64;
-                if recovery.note.is_none() {
-                    recovery.note = note
-                        .map(|n| format!("segment {index}: {n}"))
-                        .or_else(|| Some(format!("segment {index}: torn tail truncated")));
-                }
-                if valid_len == 0 {
-                    // Not even the header survived: nothing in this file
-                    // is usable, and an empty shell would trip every
-                    // future open, so remove it outright.
-                    fs::remove_file(&path)?;
-                } else {
-                    let file = OpenOptions::new().write(true).open(&path)?;
-                    file.set_len(valid_len as u64)?;
-                    file.sync_all()?;
-                }
-                stop_index = Some(index);
-            }
-            if valid_len > 0 {
-                valid_through = Some((index, valid_len as u64));
-            }
-        }
+    /// Like [`Wal::open`], but on `dir` itself — the partitioned store
+    /// opens one handle per stripe directory.
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::open`].
+    pub fn open_at(
+        dir: &Path,
+        segment_bytes: u64,
+        fault: FaultPlan,
+    ) -> io::Result<(Wal, Vec<WalRecord>, WalRecovery)> {
+        fs::create_dir_all(dir)?;
+        let (records, recovery, indices, valid_through) = recover_dir(dir)?;
 
         let (current_index, current_len) = match valid_through {
             Some((index, len)) if len >= SEGMENT_HEADER_LEN => (index, len),
@@ -239,18 +519,20 @@ impl Wal {
             // header was torn): start a fresh one after the newest index.
             _ => {
                 let next = indices.last().map_or(1, |last| last + 1);
-                create_segment(&dir, next)?;
+                create_segment(dir, next)?;
                 (next, SEGMENT_HEADER_LEN)
             }
         };
-        let current = OpenOptions::new().append(true).open(segment_path(&dir, current_index))?;
+        let current = OpenOptions::new().append(true).open(segment_path(dir, current_index))?;
 
         let wal = Wal {
-            dir,
+            dir: dir.to_path_buf(),
             segment_bytes: segment_bytes.max(SEGMENT_HEADER_LEN + 1),
             current,
             current_index,
             current_len,
+            pending: false,
+            gauge: Arc::new(AtomicU64::new(current_index)),
             fault,
             wedged: None,
         };
@@ -266,6 +548,21 @@ impl Wal {
     /// wedged: every later append fails fast, and only a restart (which
     /// re-salvages the tail) clears the condition.
     pub fn append(&mut self, series: &str, seq: u64, blob: &[u8]) -> io::Result<()> {
+        self.append_buffered(series, seq, blob)?;
+        self.commit()
+    }
+
+    /// Stages one record in the current segment **without** fsyncing it.
+    /// The record is durable only after the next [`Wal::commit`]; the
+    /// caller must not acknowledge the upload before that commit
+    /// returns. Rotation syncs the outgoing segment first, so a commit
+    /// only ever needs to fsync the current file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error and wedges the log, exactly as
+    /// [`Wal::append`].
+    pub fn append_buffered(&mut self, series: &str, seq: u64, blob: &[u8]) -> io::Result<()> {
         if let Some(why) = &self.wedged {
             return Err(io::Error::other(format!("wal is wedged: {why}")));
         }
@@ -276,13 +573,49 @@ impl Wal {
         Ok(())
     }
 
+    /// Makes every record staged since the last commit durable with one
+    /// fsync. A no-op when nothing is staged.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error and wedges the log: none of the
+    /// staged records may be acknowledged, and restart salvage decides
+    /// what survived.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if let Some(why) = &self.wedged {
+            return Err(io::Error::other(format!("wal is wedged: {why}")));
+        }
+        if !self.pending {
+            return Ok(());
+        }
+        let result = self.fault.on_fsync().and_then(|()| self.current.sync_data());
+        match result {
+            Ok(()) => {
+                self.pending = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.wedged = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
     fn append_inner(&mut self, series: &str, seq: u64, blob: &[u8]) -> io::Result<()> {
         if self.current_len >= self.segment_bytes {
+            // Staged records may still sit unsynced in the outgoing
+            // file; sync it (outside the fault plan — injection indices
+            // count logical commits, not rotations) so commit() only
+            // ever has to fsync the current segment.
+            if self.pending {
+                self.current.sync_data()?;
+            }
             let next = self.current_index + 1;
             create_segment(&self.dir, next)?;
             self.current = OpenOptions::new().append(true).open(segment_path(&self.dir, next))?;
             self.current_index = next;
             self.current_len = SEGMENT_HEADER_LEN;
+            self.gauge.store(next, Ordering::Relaxed);
         }
         let body = encode_body(series, seq, blob);
         let mut record = Vec::with_capacity(RECORD_HEADER_LEN + body.len());
@@ -301,15 +634,21 @@ impl Wal {
                 return Err(io::Error::other("injected torn append"));
             }
         }
-        self.fault.on_fsync()?;
-        self.current.sync_data()?;
         self.current_len += record.len() as u64;
+        self.pending = true;
         Ok(())
     }
 
     /// The number of the segment currently appended to.
     pub fn current_segment(&self) -> u64 {
         self.current_index
+    }
+
+    /// A shared gauge mirroring [`Wal::current_segment`], readable
+    /// without the append handle (the stats listing reads it while the
+    /// group-commit worker owns the log).
+    pub fn segment_gauge(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.gauge)
     }
 
     /// Why the log is refusing appends, if it is.
@@ -388,6 +727,57 @@ mod tests {
             assert_eq!(record.seq, seq as u64);
             assert_eq!(record.blob, vec![seq as u8; 16]);
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn buffered_batches_commit_with_one_fsync_and_replay_whole() {
+        let dir = tmpdir("batch");
+        let fault = FaultPlan::none();
+        {
+            let (mut wal, _, _) = Wal::open(&dir, DEFAULT_SEGMENT_BYTES, fault.clone()).unwrap();
+            for seq in 0..6u64 {
+                wal.append_buffered("web", seq, &[seq as u8; 16]).unwrap();
+            }
+            wal.commit().unwrap();
+            // One fsync covered the whole batch.
+            assert_eq!(fault.fsyncs(), 1);
+            // An empty commit is free.
+            wal.commit().unwrap();
+            assert_eq!(fault.fsyncs(), 1);
+        }
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 6, "{recovery:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_mid_batch_keeps_every_staged_record() {
+        let dir = tmpdir("batch-rotate");
+        {
+            let (mut wal, _, _) = Wal::open(&dir, 64, FaultPlan::none()).unwrap();
+            for seq in 0..10u64 {
+                wal.append_buffered("s", seq, &[0u8; 32]).unwrap();
+            }
+            wal.commit().unwrap();
+            assert!(wal.current_segment() > 1, "never rotated");
+            assert_eq!(wal.segment_gauge().load(Ordering::Relaxed), wal.current_segment());
+        }
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 10, "{recovery:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_failed_commit_wedges_the_log() {
+        let dir = tmpdir("commit-wedge");
+        let fault = FaultPlan::new(FaultSpec { fail_fsync_at: Some(0), ..FaultSpec::default() });
+        let (mut wal, _, _) = Wal::open(&dir, DEFAULT_SEGMENT_BYTES, fault).unwrap();
+        wal.append_buffered("a", 0, &[1; 8]).unwrap();
+        assert!(wal.commit().is_err());
+        assert!(wal.wedged().is_some());
+        assert!(wal.append_buffered("a", 1, &[2; 8]).is_err());
+        assert!(wal.commit().is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -522,6 +912,66 @@ mod tests {
         let (mut wal, records, _) = open(&dir);
         assert!(records.is_empty());
         wal.append("a", 0, &[1; 4]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_pins_the_stripe_count() {
+        let dir = tmpdir("manifest");
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        let opened = open_partitions(&dir, 4, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap();
+        assert_eq!(opened.partitions.len(), 4);
+        assert_eq!(opened.recovery.stripes, 4);
+        assert_eq!(read_manifest(&dir).unwrap(), Some(4));
+        drop(opened);
+        // Same count reopens; a different count is refused.
+        open_partitions(&dir, 4, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap();
+        let err = open_partitions(&dir, 8, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("--stripes 4"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitions_isolate_records_per_stripe() {
+        let dir = tmpdir("partitions");
+        {
+            let mut opened =
+                open_partitions(&dir, 2, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap();
+            opened.partitions[0].append("left", 0, &[1; 8]).unwrap();
+            opened.partitions[1].append("right", 0, &[2; 8]).unwrap();
+            opened.partitions[1].append("right", 1, &[3; 8]).unwrap();
+        }
+        let opened = open_partitions(&dir, 2, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap();
+        assert_eq!(opened.partition_records[0].len(), 1);
+        assert_eq!(opened.partition_records[1].len(), 2);
+        assert_eq!(opened.recovery.records(), 3);
+        assert!(opened.legacy_records.is_empty());
+        let rendered = opened.recovery.to_string();
+        assert!(rendered.contains("across 2 stripe(s)"), "{rendered}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_segments_are_salvaged_read_only() {
+        let dir = tmpdir("legacy");
+        // A PR-5-era store: segments directly under wal/.
+        {
+            let (mut wal, _, _) = open(&dir);
+            wal.append("old", 0, &[7; 8]).unwrap();
+            wal.append("old", 1, &[8; 8]).unwrap();
+        }
+        let opened = open_partitions(&dir, 2, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap();
+        assert_eq!(opened.legacy_records.len(), 2);
+        assert_eq!(opened.recovery.records(), 2);
+        assert!(opened.recovery.legacy.is_some());
+        let rendered = opened.recovery.to_string();
+        assert!(rendered.contains("legacy"), "{rendered}");
+        drop(opened);
+        // The legacy segments are still there (still the durable copy)
+        // and still replay on the next open.
+        let opened = open_partitions(&dir, 2, DEFAULT_SEGMENT_BYTES, &FaultPlan::none()).unwrap();
+        assert_eq!(opened.legacy_records.len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -6,11 +6,15 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use proptest::prelude::*;
 
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
+use graphprof_monitor::{GmonData, RuntimeProfiler};
 use graphprof_server::wal::{Wal, WalRecord, WalRecovery};
-use graphprof_server::{FaultPlan, FaultSpec};
+use graphprof_server::{FaultPlan, FaultSpec, SeriesStore, StoreOptions};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -130,6 +134,125 @@ proptest! {
         drop(wal);
         let (_, after, _) = reopen(&dir);
         prop_assert_eq!(after.len(), recovered.len() + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// A tiny profiled executable plus distinct, mergeable profile windows
+/// of it — built once; validation runs on every store upload, so the
+/// striped property below needs real blobs.
+fn corpus() -> &'static (Executable, Vec<Vec<u8>>) {
+    static CORPUS: OnceLock<(Executable, Vec<Vec<u8>>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut b = graphprof_machine::Program::builder();
+        b.routine("main", |r| r.call_n("leaf", 200).work(500));
+        b.routine("leaf", |r| r.work(40));
+        let exe = b.build().unwrap().compile(&CompileOptions::profiled()).unwrap();
+        let tick = 10;
+        let config = MachineConfig { cycles_per_tick: tick, ..MachineConfig::default() };
+        let mut machine = Machine::with_config(exe.clone(), config);
+        let mut profiler = RuntimeProfiler::new(&exe, tick);
+        let mut blobs = Vec::new();
+        for i in 0..4u64 {
+            machine.run_for(&mut profiler, 1_500 + 700 * i).expect("runs");
+            blobs.push(profiler.snapshot().to_bytes());
+            profiler.reset();
+        }
+        (exe, blobs)
+    })
+}
+
+/// `(series index, blob index)` upload streams over a handful of series.
+fn arb_uploads() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..6, 0usize..4), 1..14)
+}
+
+const SERIES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+
+fn striped_opts(stripes: usize) -> StoreOptions {
+    StoreOptions {
+        stripes,
+        group_commit: Some(Duration::ZERO),
+        segment_bytes: 1 << 20,
+        ..StoreOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The striped crash contract: after uploading an arbitrary stream
+    /// of profiles across series at an arbitrary stripe count, truncate
+    /// one partition's tail segment at *any* byte and reopen. Per
+    /// series, replay must reconstitute an aggregate byte-identical to
+    /// the offline summation of a prefix of that series' uploads — the
+    /// acked prefix that survived the cut — and series on untouched
+    /// partitions must lose nothing.
+    #[test]
+    fn partition_truncation_replays_each_series_to_an_offline_prefix(
+        uploads in arb_uploads(),
+        stripes in 1usize..=4,
+        victim in any::<proptest::sample::Index>(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let (exe, blobs) = corpus();
+        let dir = tmpdir("striped");
+        let mut per_series: Vec<Vec<usize>> = vec![Vec::new(); SERIES.len()];
+        {
+            let (store, _) =
+                SeriesStore::open(exe.clone(), &dir, striped_opts(stripes)).expect("opens");
+            for &(s, b) in &uploads {
+                let seq = per_series[s].len() as u64;
+                store.upload(SERIES[s], seq, &blobs[b]).expect("upload accepted");
+                per_series[s].push(b);
+            }
+        }
+
+        // Truncate the victim partition's newest segment at any byte.
+        let p = victim.index(stripes);
+        let pdir = dir.join("wal").join(format!("p{p:03}"));
+        let mut segs: Vec<PathBuf> = fs::read_dir(&pdir)
+            .expect("partition dir exists")
+            .filter_map(|e| {
+                let path = e.ok()?.path();
+                (path.extension()? == "wal").then_some(path)
+            })
+            .collect();
+        segs.sort();
+        let seg = segs.last().expect("open always creates a segment");
+        let bytes = fs::read(seg).expect("segment reads");
+        let k = cut.index(bytes.len() + 1);
+        fs::write(seg, &bytes[..k]).expect("truncates");
+
+        let (store, recovery) =
+            SeriesStore::open(exe.clone(), &dir, striped_opts(stripes)).expect("reopens");
+        let mut survivors = 0usize;
+        for (s, blob_ids) in per_series.iter().enumerate() {
+            let n = store.series_total(SERIES[s]).unwrap_or(0) as usize;
+            prop_assert!(n <= blob_ids.len(), "{}: {} replayed of {}", SERIES[s], n, blob_ids.len());
+            if store.stripe_of(SERIES[s]) != p {
+                prop_assert_eq!(
+                    n, blob_ids.len(),
+                    "series {} is on an untouched partition and must lose nothing", SERIES[s]
+                );
+            }
+            if n > 0 {
+                let parsed: Vec<GmonData> = blob_ids[..n]
+                    .iter()
+                    .map(|&b| GmonData::from_bytes(&blobs[b]).expect("blob parses"))
+                    .collect();
+                let offline = graphprof::sum_profiles(parsed.iter()).expect("offline sum");
+                prop_assert_eq!(
+                    store.aggregate(SERIES[s]).expect("aggregate").to_bytes(),
+                    offline.to_bytes(),
+                    "series {} diverged from the offline sum of its surviving prefix", SERIES[s]
+                );
+            } else {
+                prop_assert!(store.aggregate(SERIES[s]).is_none());
+            }
+            survivors += n;
+        }
+        prop_assert_eq!(recovery.records(), survivors, "recovery counts what replay rebuilt");
         let _ = fs::remove_dir_all(&dir);
     }
 }

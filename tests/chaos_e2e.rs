@@ -9,6 +9,11 @@
 //! acknowledged uploads — no acknowledged upload is lost, no retried
 //! upload is double-counted — and once clients re-drive their unacked
 //! uploads, every upload is counted exactly once.
+//!
+//! Every scenario runs at stripes ∈ {1, 4}: sharding the ingest path
+//! (and group-committing the WAL) must not move any crash point. A
+//! single-series workload lands on one stripe either way, so the fault
+//! plan's operation indices are identical across stripe counts.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -23,6 +28,7 @@ use graphprof_workloads::paper::kernel_program;
 
 const TICK: u64 = 10;
 const TIMEOUT: Duration = Duration::from_secs(10);
+const STRIPE_COUNTS: [usize; 2] = [1, 4];
 
 fn kernel_exe() -> Executable {
     kernel_program(10_000_000).compile(&CompileOptions::profiled()).expect("compiles")
@@ -66,10 +72,11 @@ fn tmpdir(tag: &str) -> PathBuf {
     dir
 }
 
-fn durable(dir: &Path, fault: FaultPlan) -> ServerConfig {
+fn durable(dir: &Path, fault: FaultPlan, stripes: usize) -> ServerConfig {
     ServerConfig {
         data_dir: Some(dir.to_path_buf()),
         fault,
+        stripes,
         drain_grace: Duration::from_secs(1),
         ..ServerConfig::default()
     }
@@ -97,36 +104,45 @@ fn fast_retries(seed: u64) -> RetryPolicy {
 fn torn_record_crash_restart_keeps_the_acknowledged_prefix() {
     let exe = kernel_exe();
     let blobs = windows(&exe, 3);
-    let dir = tmpdir("torn");
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("torn-s{stripes}"));
 
-    let fault = FaultPlan::new(FaultSpec { torn_append_at: Some((2, 9)), ..FaultSpec::default() });
-    {
-        let handle = start(durable(&dir, fault.clone()));
+        let fault =
+            FaultPlan::new(FaultSpec { torn_append_at: Some((2, 9)), ..FaultSpec::default() });
+        {
+            let handle = start(durable(&dir, fault.clone(), stripes));
+            let mut client =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+            client.upload("web", 0, &blobs[0]).expect("accepted");
+            client.upload("web", 1, &blobs[1]).expect("accepted");
+            let err = client.upload("web", 2, &blobs[2]).expect_err("append tore");
+            assert!(err.to_string().contains("not durable"), "{err}");
+            drop(client);
+            handle.shutdown(); // the "crash": the torn tail is on disk
+        }
+        assert_eq!(
+            fault.trips().len(),
+            1,
+            "stripes={stripes}: the torn append must actually fire: {:?}",
+            fault.trips()
+        );
+
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        let recovery = handle.recovery().expect("durable server");
+        assert_eq!(recovery.records(), 2, "only the acknowledged uploads replay");
+        assert!(recovery.torn_bytes() > 0, "the torn tail was salvaged: {recovery:?}");
+
         let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
-        client.upload("web", 0, &blobs[0]).expect("accepted");
-        client.upload("web", 1, &blobs[1]).expect("accepted");
-        let err = client.upload("web", 2, &blobs[2]).expect_err("append tore");
-        assert!(err.to_string().contains("not durable"), "{err}");
-        drop(client);
-        handle.shutdown(); // the "crash": the torn tail is on disk
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs[..2]),
+            "restart must rebuild the acknowledged aggregate byte-identically"
+        );
+        // The torn upload was never acknowledged; its seq is free again.
+        assert_eq!(client.upload("web", 2, &blobs[2]).expect("retry lands"), 3);
+        assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs));
+        let _ = std::fs::remove_dir_all(&dir);
     }
-    assert_eq!(fault.trips().len(), 1, "the torn append must actually fire: {:?}", fault.trips());
-
-    let handle = start(durable(&dir, FaultPlan::none()));
-    let recovery = handle.recovery().expect("durable server");
-    assert_eq!(recovery.records, 2, "only the acknowledged uploads replay");
-    assert!(recovery.torn_bytes > 0, "the torn tail was salvaged: {recovery:?}");
-
-    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
-    assert_eq!(
-        client.fetch_sum("web").expect("aggregate"),
-        offline_sum(&blobs[..2]),
-        "restart must rebuild the acknowledged aggregate byte-identically"
-    );
-    // The torn upload was never acknowledged; its seq is free again.
-    assert_eq!(client.upload("web", 2, &blobs[2]).expect("retry lands"), 3);
-    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs));
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Crash point 2 — lost acknowledgment. The upload is made durable but
@@ -138,28 +154,31 @@ fn torn_record_crash_restart_keeps_the_acknowledged_prefix() {
 fn lost_ack_resolves_as_duplicate_never_double_counts() {
     let exe = kernel_exe();
     let blobs = windows(&exe, 1);
-    let dir = tmpdir("lost-ack");
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("lost-ack-s{stripes}"));
 
-    let fault = FaultPlan::new(FaultSpec { drop_frame_at: Some(0), ..FaultSpec::default() });
-    {
-        let handle = start(durable(&dir, fault.clone()));
-        let mut client = ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(7));
-        // First attempt: durable append, dropped ack, injected
-        // disconnect. Retry: deduplicated by (series, seq), answered
-        // with the existing total.
-        let total = client.upload("web", 0, &blobs[0]).expect("retry resolves the lost ack");
-        assert_eq!(total, 1, "the retried upload must not double-count");
-        assert_eq!(fault.trips().len(), 1, "the drop must actually fire: {:?}", fault.trips());
-        drop(client);
-        handle.shutdown();
+        let fault = FaultPlan::new(FaultSpec { drop_frame_at: Some(0), ..FaultSpec::default() });
+        {
+            let handle = start(durable(&dir, fault.clone(), stripes));
+            let mut client =
+                ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(7));
+            // First attempt: durable append, dropped ack, injected
+            // disconnect. Retry: deduplicated by (series, seq), answered
+            // with the existing total.
+            let total = client.upload("web", 0, &blobs[0]).expect("retry resolves the lost ack");
+            assert_eq!(total, 1, "the retried upload must not double-count");
+            assert_eq!(fault.trips().len(), 1, "the drop must fire: {:?}", fault.trips());
+            drop(client);
+            handle.shutdown();
+        }
+
+        // The ambiguity was resolved before the crash; the restart agrees.
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        assert_eq!(handle.recovery().expect("durable server").records(), 1);
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
+        let _ = std::fs::remove_dir_all(&dir);
     }
-
-    // The ambiguity was resolved before the crash; the restart agrees.
-    let handle = start(durable(&dir, FaultPlan::none()));
-    assert_eq!(handle.recovery().expect("durable server").records, 1);
-    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
-    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Crash point 3 — kill before the fsync'd upload is acknowledged. The
@@ -172,34 +191,39 @@ fn lost_ack_resolves_as_duplicate_never_double_counts() {
 fn kill_before_ack_then_restart_deduplicates_the_retry() {
     let exe = kernel_exe();
     let blobs = windows(&exe, 2);
-    let dir = tmpdir("kill-before-ack");
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("kill-before-ack-s{stripes}"));
 
-    {
-        let fault = FaultPlan::new(FaultSpec { drop_frame_at: Some(1), ..FaultSpec::default() });
-        let handle = start(durable(&dir, fault.clone()));
-        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
-        client.upload("web", 0, &blobs[0]).expect("accepted");
-        // Durable append, then the ack is dropped and the server dies.
-        let err = client.upload("web", 1, &blobs[1]).expect_err("ack never arrives");
-        assert!(matches!(err, ClientError::Disconnected), "{err:?}");
-        assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
-        drop(client);
-        handle.shutdown();
+        {
+            let fault =
+                FaultPlan::new(FaultSpec { drop_frame_at: Some(1), ..FaultSpec::default() });
+            let handle = start(durable(&dir, fault.clone(), stripes));
+            let mut client =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+            client.upload("web", 0, &blobs[0]).expect("accepted");
+            // Durable append, then the ack is dropped and the server dies.
+            let err = client.upload("web", 1, &blobs[1]).expect_err("ack never arrives");
+            assert!(matches!(err, ClientError::Disconnected), "{err:?}");
+            assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+            drop(client);
+            handle.shutdown();
+        }
+
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        // Both records were durable; both replay.
+        assert_eq!(handle.recovery().expect("durable server").records(), 2);
+        let mut client =
+            ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(11));
+        // The client retries the upload it never saw acknowledged.
+        let total = client.upload("web", 1, &blobs[1]).expect("retry deduplicates");
+        assert_eq!(total, 2, "replayed dedup state must absorb the retry");
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs),
+            "exactly the acknowledged uploads, no loss, no double count"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
-
-    let handle = start(durable(&dir, FaultPlan::none()));
-    // Both records were durable; both replay.
-    assert_eq!(handle.recovery().expect("durable server").records, 2);
-    let mut client = ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(11));
-    // The client retries the upload it never saw acknowledged.
-    let total = client.upload("web", 1, &blobs[1]).expect("retry deduplicates");
-    assert_eq!(total, 2, "replayed dedup state must absorb the retry");
-    assert_eq!(
-        client.fetch_sum("web").expect("aggregate"),
-        offline_sum(&blobs),
-        "exactly the acknowledged uploads, no loss, no double count"
-    );
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Crash point 4 — client-side disconnect mid-upload. The request frame
@@ -209,30 +233,32 @@ fn kill_before_ack_then_restart_deduplicates_the_retry() {
 fn mid_upload_disconnect_leaves_nothing_behind() {
     let exe = kernel_exe();
     let blobs = windows(&exe, 1);
-    let dir = tmpdir("mid-upload");
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("mid-upload-s{stripes}"));
 
-    let handle = start(durable(&dir, FaultPlan::none()));
-    let addr = handle.addr().to_string();
-    let fault =
-        FaultPlan::new(FaultSpec { truncate_frame_at: Some((0, 11)), ..FaultSpec::default() });
-    let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
-    client.set_fault(fault.clone());
-    let err = client.upload("web", 0, &blobs[0]).expect_err("cut mid-frame");
-    assert!(err.is_retryable(), "{err:?}");
-    assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        let addr = handle.addr().to_string();
+        let fault =
+            FaultPlan::new(FaultSpec { truncate_frame_at: Some((0, 11)), ..FaultSpec::default() });
+        let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
+        client.set_fault(fault.clone());
+        let err = client.upload("web", 0, &blobs[0]).expect_err("cut mid-frame");
+        assert!(err.is_retryable(), "{err:?}");
+        assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
 
-    // Nothing was accepted, so the retry is a fresh accept with seq 0.
-    let mut retry = Client::connect(&addr, TIMEOUT).expect("reconnects");
-    assert_eq!(retry.upload("web", 0, &blobs[0]).expect("accepted"), 1);
-    drop((client, retry));
-    handle.shutdown();
+        // Nothing was accepted, so the retry is a fresh accept with seq 0.
+        let mut retry = Client::connect(&addr, TIMEOUT).expect("reconnects");
+        assert_eq!(retry.upload("web", 0, &blobs[0]).expect("accepted"), 1);
+        drop((client, retry));
+        handle.shutdown();
 
-    // And the accept was durable.
-    let handle = start(durable(&dir, FaultPlan::none()));
-    assert_eq!(handle.recovery().expect("durable server").records, 1);
-    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
-    assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
-    let _ = std::fs::remove_dir_all(&dir);
+        // And the accept was durable.
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        assert_eq!(handle.recovery().expect("durable server").records(), 1);
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// The seeded sweep: every seed derives one deterministic fault — torn
@@ -240,46 +266,50 @@ fn mid_upload_disconnect_leaves_nothing_behind() {
 /// frames — injected into a durable server while a retrying client
 /// uploads four windows. Then the server crashes, restarts clean, and
 /// the client re-drives whatever was never acknowledged. End state for
-/// *every* seed: the aggregate is byte-identical to offline
-/// `sum_profiles` over all four uploads, each counted exactly once.
+/// *every* seed, at every stripe count: the aggregate is byte-identical
+/// to offline `sum_profiles` over all four uploads, each counted
+/// exactly once.
 #[test]
 fn seeded_fault_sweep_converges_to_exactly_once() {
     let exe = kernel_exe();
     let blobs = windows(&exe, 4);
     let offline = offline_sum(&blobs);
 
-    for seed in 0..12u64 {
-        let dir = tmpdir(&format!("sweep-{seed}"));
-        let fault = FaultPlan::seeded(seed);
-        let mut unacked: Vec<u64> = Vec::new();
-        {
-            let handle = start(durable(&dir, fault.clone()));
+    for stripes in STRIPE_COUNTS {
+        for seed in 0..12u64 {
+            let dir = tmpdir(&format!("sweep-s{stripes}-{seed}"));
+            let fault = FaultPlan::seeded(seed);
+            let mut unacked: Vec<u64> = Vec::new();
+            {
+                let handle = start(durable(&dir, fault.clone(), stripes));
+                let mut client =
+                    ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(seed));
+                for (seq, blob) in blobs.iter().enumerate() {
+                    if client.upload("web", seq as u64, blob).is_err() {
+                        unacked.push(seq as u64);
+                    }
+                }
+                handle.shutdown(); // the crash
+            }
+
+            // Restart clean; the client retries its unacknowledged uploads.
+            let handle = start(durable(&dir, FaultPlan::none(), stripes));
             let mut client =
                 ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(seed));
-            for (seq, blob) in blobs.iter().enumerate() {
-                if client.upload("web", seq as u64, blob).is_err() {
-                    unacked.push(seq as u64);
-                }
+            for &seq in &unacked {
+                client.upload("web", seq, &blobs[seq as usize]).unwrap_or_else(|e| {
+                    panic!("stripes {stripes} seed {seed}: retry of seq {seq} failed: {e}")
+                });
             }
-            handle.shutdown(); // the crash
+            assert_eq!(
+                client.fetch_sum("web").expect("aggregate"),
+                offline,
+                "stripes {stripes} seed {seed} (fault {:?}, trips {:?}): \
+                 aggregate diverged from offline sum",
+                fault.spec(),
+                fault.trips(),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
         }
-
-        // Restart clean; the client retries its unacknowledged uploads.
-        let handle = start(durable(&dir, FaultPlan::none()));
-        let mut client =
-            ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(seed));
-        for &seq in &unacked {
-            client
-                .upload("web", seq, &blobs[seq as usize])
-                .unwrap_or_else(|e| panic!("seed {seed}: retry of seq {seq} failed: {e}"));
-        }
-        assert_eq!(
-            client.fetch_sum("web").expect("aggregate"),
-            offline,
-            "seed {seed} (fault {:?}, trips {:?}): aggregate diverged from offline sum",
-            fault.spec(),
-            fault.trips(),
-        );
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,7 +12,9 @@ use graphprof::{Gprof, Options};
 use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
 use graphprof_monitor::{GmonData, RuntimeProfiler};
 use graphprof_server::frame::{HEADER_LEN, MAGIC, VERSION};
-use graphprof_server::{Client, KgmonVerb, MonRange, QueryKind, Response, Server, ServerConfig};
+use graphprof_server::{
+    Client, KgmonVerb, MonRange, QueryKind, Request, Response, Server, ServerConfig,
+};
 use graphprof_workloads::paper::kernel_program;
 
 const TICK: u64 = 10;
@@ -297,6 +299,71 @@ fn malformed_frames_and_disconnects_do_not_disturb_other_connections() {
 
     let summary = handle.shutdown();
     assert!(summary.frame_errors >= 3, "garbage, oversized, truncated: {summary:?}");
+}
+
+/// The cross-connection duplicate race: several connections upload the
+/// *same* `(series, seq)` at the same instant. Exactly one may be
+/// answered `Accepted` (0x82); every other racer must get `Duplicate`
+/// (0x83) carrying the committed total — never an error, never a second
+/// accept, and never a Duplicate answered before the winning upload is
+/// actually committed. Exercised at both stripe counts and at the wire
+/// level (raw `Request::Upload` round trips), since the race window is
+/// between connection handler threads.
+#[test]
+fn concurrent_same_seq_uploads_race_to_exactly_one_accept() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 1);
+    let offline = GmonData::from_bytes(&blobs[0]).unwrap().to_bytes();
+    for stripes in [1usize, 4] {
+        // Durable with the default (zero-window) group commit: the race
+        // window is between staging and the batch fsync, which only the
+        // batched lane has.
+        let dir = std::env::temp_dir()
+            .join(format!("graphprof-duprace-s{stripes}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let handle = start(
+            ServerConfig { stripes, data_dir: Some(dir.clone()), ..ServerConfig::default() },
+            &[],
+        );
+        let addr = handle.addr().to_string();
+        const RACERS: usize = 8;
+        let barrier = std::sync::Barrier::new(RACERS);
+        let responses: Vec<Response> = std::thread::scope(|s| {
+            let threads: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    let (addr, blob, barrier) = (addr.clone(), blobs[0].clone(), &barrier);
+                    s.spawn(move || {
+                        let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
+                        let request = Request::Upload { series: "race".to_string(), seq: 0, blob };
+                        barrier.wait();
+                        client.roundtrip(&request).expect("server answers every racer")
+                    })
+                })
+                .collect();
+            threads.into_iter().map(|t| t.join().unwrap()).collect()
+        });
+
+        let accepted = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Accepted { seq: 0, total: 1, .. }))
+            .count();
+        let duplicates = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Duplicate { seq: 0, total: 1, .. }))
+            .count();
+        assert_eq!((accepted, duplicates), (1, RACERS - 1), "stripes={stripes}: {responses:?}");
+
+        // Exactly one copy was folded in.
+        let mut client = Client::connect(&addr, TIMEOUT).expect("connects");
+        assert_eq!(client.fetch_sum("race").expect("aggregate"), offline);
+        let stats = client.stats().expect("stats");
+        assert!(stats.contains("1 uploads"), "{stats}");
+        assert!(stats.contains(&format!("{} rejects", RACERS - 1)), "{stats}");
+        drop(client);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// A duplicate sequence number answers as an idempotent success — the
