@@ -16,6 +16,12 @@
 //! determinism contract — so a number is only ever reported for a
 //! correct aggregate.
 //!
+//! A separate `delta_wire` section measures bytes-on-wire for one
+//! sparse streaming client shipping the same cumulative window stream
+//! as full blobs vs incremental deltas (varint+RLE), counted from the
+//! exact frame encodings and cross-checked byte-identical through the
+//! store in both modes.
+//!
 //! Usage: `serve [output.json]` (default `BENCH_serve.json`).
 
 use std::fmt::Write as _;
@@ -23,8 +29,9 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
-use graphprof_monitor::RuntimeProfiler;
-use graphprof_server::{Client, Server, ServerConfig};
+use graphprof_monitor::{encode_delta, GmonData, RuntimeProfiler};
+use graphprof_server::frame::encode_frame;
+use graphprof_server::{Client, Request, SeriesStore, Server, ServerConfig, DEFAULT_MAX_PAYLOAD};
 
 /// Sampling granularity of the generated windows.
 const TICK: u64 = 10;
@@ -87,6 +94,96 @@ fn workload() -> Result<Executable, String> {
         .map_err(|e| format!("building workload: {e}"))?
         .compile(&CompileOptions::profiled())
         .map_err(|e| format!("compiling workload: {e}"))
+}
+
+/// Exact bytes-on-wire per upload mode for a sparse streaming client: a
+/// continuously profiled host that never resets its profiler ships
+/// cumulative snapshots, so consecutive windows differ only where the
+/// short interval between them ran. Full mode re-sends the whole window
+/// every time; delta mode sends the first window full and every later
+/// one as a varint+RLE delta frame. Counted from the actual frame
+/// encodings (header included), and only reported after both transports
+/// fold to byte-identical aggregates through the real store.
+fn measure_delta_wire() -> Result<(usize, usize, usize), String> {
+    const STREAM: usize = 64;
+    // A wider program than the ingest workload: a service with many
+    // phases, where any short profiling interval sits inside a few of
+    // them. That is the sparse-streaming shape — a large window (many
+    // buckets, many arcs) of which each interval touches a sliver.
+    let mut b = graphprof_machine::Program::builder();
+    b.routine("main", |r| {
+        r.loop_n(1_000_000, |l| (0..16).fold(l, |l, i| l.call(format!("phase{i:02}"))))
+    });
+    for i in 0..16u32 {
+        b.routine(format!("phase{i:02}"), move |r| r.call_n("helper", 3).work(500 + 40 * i));
+    }
+    b.routine("helper", |r| r.work(60));
+    let exe = b
+        .build()
+        .map_err(|e| format!("building streaming workload: {e}"))?
+        .compile(&CompileOptions::profiled())
+        .map_err(|e| format!("compiling streaming workload: {e}"))?;
+    let exe = &exe;
+
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let mut profiler = RuntimeProfiler::new(exe, TICK);
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(STREAM);
+    for _ in 0..STREAM {
+        machine.run_for(&mut profiler, 2_000).map_err(|e| format!("running workload: {e}"))?;
+        blobs.push(profiler.snapshot().to_bytes());
+        // No reset: the stream is cumulative, the streaming shape.
+    }
+
+    let frame_len = |request: &Request| -> Result<usize, String> {
+        encode_frame(&request.to_frame(), DEFAULT_MAX_PAYLOAD)
+            .map(|bytes| bytes.len())
+            .map_err(|e| format!("encoding frame: {e}"))
+    };
+
+    let full_store = SeriesStore::new(exe.clone(), 8, 1);
+    let delta_store = SeriesStore::new(exe.clone(), 8, 1);
+    let mut full_wire = 0usize;
+    let mut delta_wire = 0usize;
+    let mut prev: Option<GmonData> = None;
+    for (seq, blob) in blobs.iter().enumerate() {
+        let seq = seq as u64;
+        full_wire +=
+            frame_len(&Request::Upload { series: "h0".to_string(), seq, blob: blob.clone() })?;
+        full_store.upload("h0", seq, blob).map_err(|e| format!("full upload {seq}: {e}"))?;
+
+        let window = GmonData::from_bytes(blob).map_err(|e| format!("window {seq}: {e}"))?;
+        match prev {
+            None => {
+                delta_wire += frame_len(&Request::Upload {
+                    series: "h0".to_string(),
+                    seq,
+                    blob: blob.clone(),
+                })?;
+                delta_store.upload("h0", seq, blob).map_err(|e| format!("seed upload: {e}"))?;
+            }
+            Some(ref base) => {
+                let body = encode_delta(base, &window).map_err(|e| format!("delta {seq}: {e}"))?;
+                delta_wire += frame_len(&Request::UploadDelta {
+                    series: "h0".to_string(),
+                    base_seq: seq - 1,
+                    seq,
+                    delta: body.clone(),
+                })?;
+                delta_store
+                    .upload_delta("h0", seq - 1, seq, &body)
+                    .map_err(|e| format!("delta upload {seq}: {e}"))?;
+            }
+        }
+        prev = Some(window);
+    }
+
+    let full_agg = full_store.aggregate("h0").ok_or("full aggregate missing")?.to_bytes();
+    let delta_agg = delta_store.aggregate("h0").ok_or("delta aggregate missing")?.to_bytes();
+    if full_agg != delta_agg {
+        return Err("delta-mode aggregate diverges from full-mode aggregate".to_string());
+    }
+    Ok((STREAM, full_wire, delta_wire))
 }
 
 fn run() -> Result<String, String> {
@@ -186,6 +283,8 @@ fn run() -> Result<String, String> {
         }
     }
 
+    let (delta_windows, full_wire, delta_wire) = measure_delta_wire()?;
+
     let rate = |name: &str, clients: usize| {
         rows.iter().find(|(n, c, _, _)| *n == name && *c == clients).map(|&(_, _, _, r)| r)
     };
@@ -230,12 +329,30 @@ fn run() -> Result<String, String> {
     let _ = writeln!(json, "    \"128_clients\": {:.2},", speedup(128));
     let _ = writeln!(json, "    \"256_clients\": {:.2}", speedup(256));
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"delta_wire\": {{");
+    let _ = writeln!(json, "    \"windows\": {delta_windows},");
+    let _ = writeln!(json, "    \"full_bytes\": {full_wire},");
+    let _ = writeln!(json, "    \"delta_bytes\": {delta_wire},");
+    let _ = writeln!(
+        json,
+        "    \"full_bytes_per_window\": {:.1},",
+        full_wire as f64 / delta_windows as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"delta_bytes_per_window\": {:.1},",
+        delta_wire as f64 / delta_windows as f64
+    );
+    let _ = writeln!(json, "    \"reduction\": {:.1}", full_wire as f64 / delta_wire as f64);
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"note\": \"fastest of {REPS} repetitions per point over one durable loopback \
          server (fresh WAL directory each repetition); after every repetition every series' \
          live aggregate was verified byte-identical to the offline sum of that client's \
-         windows in sequence order\""
+         windows in sequence order; delta_wire counts exact frame bytes for one sparse \
+         streaming client (cumulative snapshots) shipped full vs incremental, verified \
+         byte-identical through the store in both modes\""
     );
     let _ = writeln!(json, "}}");
     Ok(json)

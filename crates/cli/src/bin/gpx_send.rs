@@ -4,14 +4,14 @@
 use graphprof_cli::{send, Args, CliError};
 
 const USAGE: &str = "gpx-send <gmon...> --series NAME [--addr HOST:PORT] \
-                     [--seq-start N] [--timeout-ms N] [--retries N] [--retry-base-ms N]";
+                     [--seq-start N] [--delta] [--timeout-ms N] [--retries N] [--retry-base-ms N]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = Args::parse(
         &argv,
         &["series", "addr", "seq-start", "timeout-ms", "retries", "retry-base-ms"],
-        &[],
+        &["delta"],
     )
     .and_then(|args| send(&args));
     match result {

@@ -91,7 +91,7 @@ fn glob_matches(pattern: &str, name: &str) -> bool {
 /// order — and therefore the report — is reproducible; an expansion that
 /// matches nothing is a usage error, surfacing typos instead of silently
 /// thinning the sum.
-fn expand_gmon_paths(raw: &[String]) -> Result<Vec<String>, CliError> {
+pub(crate) fn expand_gmon_paths(raw: &[String]) -> Result<Vec<String>, CliError> {
     fn list_matching(
         dir: &Path,
         display: &str,

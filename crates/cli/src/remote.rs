@@ -12,8 +12,8 @@ use std::fs;
 use std::time::Duration;
 
 use graphprof_server::{
-    KgmonVerb, MonRange, QueryKind, ResilientClient, Response, RetryPolicy, Server, ServerConfig,
-    ServerHandle,
+    DeltaUploader, KgmonVerb, MonRange, QueryKind, ResilientClient, Response, RetryPolicy, Server,
+    ServerConfig, ServerHandle,
 };
 
 use crate::args::Args;
@@ -129,14 +129,23 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
 }
 
 /// `gpx-send <gmon...> --series NAME [--addr HOST:PORT] [--seq-start N]
-/// [--timeout-ms N] [--retries N] [--retry-base-ms N]`
+/// [--delta] [--timeout-ms N] [--retries N] [--retry-base-ms N]`
 ///
 /// Uploads one or more `gmon.out` files into a named series, assigning
 /// consecutive sequence numbers from `--seq-start` (default 0) in
-/// argument order. Transient transport failures retry with exponential
-/// backoff over a fresh connection; because the server deduplicates by
-/// (series, seq), a retry after a lost acknowledgment can never
-/// double-count an upload.
+/// argument order. Positionals expand like `graphprof`'s: a directory
+/// contributes its `gmon.out*` files and a `*`/`?` pattern matches its
+/// siblings, with an expansion that matches nothing rejected as a usage
+/// error instead of silently uploading nothing. Transient transport
+/// failures retry with exponential backoff over a fresh connection;
+/// because the server deduplicates by (series, seq), a retry after a
+/// lost acknowledgment can never double-count an upload.
+///
+/// With `--delta`, each window after the first ships as an incremental
+/// delta against the last acknowledged one whenever that is smaller on
+/// the wire; a server that cannot apply a delta (restart, unknown
+/// series) answers with a resync and the window is resent in full. The
+/// aggregate is byte-identical either way.
 ///
 /// # Errors
 ///
@@ -144,21 +153,31 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
 /// on a server-side reject — the binary exits non-zero with the
 /// rendered reason.
 pub fn send(args: &Args) -> Result<String, CliError> {
-    let paths = args.positionals();
-    if paths.is_empty() {
+    if args.positionals().is_empty() {
         return Err(CliError::Usage("gpx-send <gmon...> --series NAME".to_string()));
     }
+    let paths = crate::commands::expand_gmon_paths(args.positionals())?;
     let Some(series) = args.value("series") else {
         return Err(CliError::Usage("gpx-send needs --series NAME".to_string()));
     };
     let addr = args.value("addr").unwrap_or(DEFAULT_ADDR);
     let mut client = connect(args, addr)?;
     let seq_start = args.int_value("seq-start")?.unwrap_or(0);
+    let mut uploader = args.switch("delta").then(DeltaUploader::new);
     let mut out = String::new();
     for (seq, path) in (seq_start..).zip(paths.iter()) {
         let blob = fs::read(path).map_err(|e| CliError::io(path, e))?;
-        let total = client.upload(series, seq, &blob)?;
-        out.push_str(&format!("{series}[{seq}] <- {path} ({total} profiles aggregated)\n"));
+        let line = match uploader.as_mut() {
+            Some(uploader) => {
+                let (total, mode) = uploader.upload(&mut client, series, seq, &blob)?;
+                format!("{series}[{seq}] <- {path} ({total} profiles aggregated, {mode})\n")
+            }
+            None => {
+                let total = client.upload(series, seq, &blob)?;
+                format!("{series}[{seq}] <- {path} ({total} profiles aggregated)\n")
+            }
+        };
+        out.push_str(&line);
     }
     Ok(out)
 }

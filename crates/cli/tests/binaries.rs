@@ -605,6 +605,62 @@ fn serve_send_and_remote_through_the_binaries() {
 }
 
 #[test]
+fn send_rejects_a_glob_matching_nothing_as_usage() {
+    let dir = TempDir::new("sendglob");
+    // No server needed: the expansion is checked before any dial.
+    let out = run_bin("gpx-send", &[&dir.path("gmon.nope*"), "--series", "web"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("matches no files"), "{err}");
+    assert!(err.contains("gpx-send"), "usage text in: {err}");
+
+    // An empty directory is the same usage error, not a silent success.
+    let out = run_bin("gpx-send", &[&dir.path(""), "--series", "web"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("no gmon.out files"), "{}", stderr(&out));
+}
+
+#[test]
+fn send_delta_matches_full_uploads_through_the_binaries() {
+    let dir = TempDir::new("senddelta");
+    let src = dir.path("pipeline.s");
+    let exe = dir.path("pipeline.gpx");
+    fs::write(&src, SOURCE).expect("write source");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+
+    let mut gmons = Vec::new();
+    for i in 0..3 {
+        let gmon = dir.path(&format!("gmon.{i}"));
+        assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
+        gmons.push(gmon);
+    }
+
+    let (_serve, addr) = spawn_serve(&exe, &[]);
+
+    // The first window has no shadow and goes full; later ones delta.
+    let out = run_bin(
+        "gpx-send",
+        &[&gmons[0], &gmons[1], &gmons[2], "--series", "web", "--addr", &addr, "--delta"],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("web[0]") && text.contains(", full)"), "{text}");
+    assert!(text.contains("web[2]") && text.contains(", delta)"), "{text}");
+
+    // Delta transport must not change a byte of the aggregate.
+    let live_sum = dir.path("live.sum");
+    let out = run_bin("graphprof", &["remote", &addr, "sum", "web", "--out", &live_sum]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let offline_sum = dir.path("offline.sum");
+    let out = run_bin(
+        "graphprof",
+        &[&exe, &gmons[0], &gmons[1], &gmons[2], "--flat-only", "--sum", &offline_sum],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(fs::read(&live_sum).expect("live"), fs::read(&offline_sum).expect("offline"));
+}
+
+#[test]
 fn remote_kgmon_verbs_control_a_hosted_vm() {
     use std::time::{Duration, Instant};
 

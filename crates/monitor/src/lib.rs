@@ -14,6 +14,9 @@
 //!   the program clock;
 //! * [`gmon`] — the condensed profile file written when the program exits
 //!   (§3), readable and mergeable by the post-processor;
+//! * [`delta`] — the incremental encoding between consecutive profile
+//!   windows, so a streaming uploader ships only what changed since the
+//!   last acknowledged window;
 //! * [`control`] — the kgmon-style programmer's interface from the
 //!   retrospective: switch profiling on and off, extract data, and reset it
 //!   without taking the "kernel" down;
@@ -25,6 +28,7 @@
 
 pub mod arcs;
 pub mod control;
+pub mod delta;
 pub mod gmon;
 pub mod histogram;
 pub mod profiler;
@@ -33,6 +37,7 @@ pub mod stacks;
 
 pub use arcs::{ArcRecorder, ArcStats, CallSiteTable, CalleeTable, RawArc};
 pub use control::{KgmonTool, SharedProfiler};
+pub use delta::{apply_delta, encode_delta, DeltaError};
 pub use gmon::{GmonData, GmonError, SalvageReport, MIN_SALVAGE_LEN};
 pub use histogram::{Histogram, HistogramBuckets};
 pub use profiler::{MonitorCosts, RuntimeProfiler};

@@ -1,0 +1,160 @@
+//! Property-based tests for the window-delta codec, mirroring the wire
+//! codec's property suite: every encoding round-trips exactly, and any
+//! byte stream — truncated, bit-flipped, or random — either applies or
+//! returns a typed [`DeltaError`], never a panic and never a silently
+//! wrong window.
+
+use proptest::prelude::*;
+
+use graphprof_machine::Addr;
+use graphprof_monitor::delta::{
+    apply_count_deltas, apply_delta, encode_count_deltas, encode_delta, get_varint, put_varint,
+    zigzag_decode, zigzag_encode, DeltaError,
+};
+use graphprof_monitor::{GmonData, Histogram, RawArc};
+
+const BASE: u32 = 0x1000;
+const TEXT: u32 = 0x800;
+
+/// A window over the shared shape: sampled buckets plus an arc set. Arc
+/// counts key off the offset so two draws share and differ in arcs both.
+fn arb_window() -> impl Strategy<Value = GmonData> {
+    (
+        proptest::collection::vec((0u32..TEXT, 1u64..50), 0..40),
+        proptest::collection::vec((0u32..24, 0u32..8, 1u64..1000), 0..24),
+        0u64..5,
+    )
+        .prop_map(|(ticks, arcs, dropped)| {
+            let mut h = Histogram::new(Addr::new(BASE), TEXT, 2);
+            for &(off, n) in &ticks {
+                h.record(Addr::new(BASE + off), n);
+            }
+            let mut raw: Vec<RawArc> = arcs
+                .iter()
+                .map(|&(site, dest, count)| RawArc {
+                    from_pc: Addr::new(BASE + site * 8),
+                    self_pc: Addr::new(BASE + 0x400 + dest * 16),
+                    count,
+                })
+                .collect();
+            // GmonData::new sorts; deduplicate so the set is canonical.
+            raw.sort_by_key(|a| (a.from_pc, a.self_pc));
+            raw.dedup_by_key(|a| (a.from_pc, a.self_pc));
+            GmonData::new(10, h, raw).with_dropped_arcs(dropped)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Varints round-trip any u64 and consume exactly what they wrote,
+    /// even with arbitrary bytes following.
+    #[test]
+    fn varints_are_total_over_u64(v in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        buf.extend_from_slice(&tail);
+        let mut cursor = buf.as_slice();
+        prop_assert_eq!(get_varint(&mut cursor), Ok(v));
+        prop_assert_eq!(cursor, tail.as_slice());
+    }
+
+    /// Varint decoding is total over arbitrary bytes: a value or a typed
+    /// error, never a panic.
+    #[test]
+    fn varint_decoding_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut cursor = bytes.as_slice();
+        let _ = get_varint(&mut cursor);
+    }
+
+    /// Zigzag is a bijection on i64.
+    #[test]
+    fn zigzag_is_a_bijection(v in any::<i64>(), u in any::<u64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        prop_assert_eq!(zigzag_encode(zigzag_decode(u)), u);
+    }
+
+    /// The bucket RLE is the identity: decode(encode(base, next)) == next
+    /// for any pair of equal-length count arrays — including counts that
+    /// shrink, since windows are independent snapshots.
+    #[test]
+    fn count_rle_round_trips(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..256),
+        sparsify in proptest::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let base: Vec<u64> = pairs.iter().map(|&(b, _)| b).collect();
+        // Most real windows change few buckets; mask some pairs equal so
+        // the run-length paths (long skips, short bursts) all exercise.
+        let next: Vec<u64> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, n))| if sparsify.get(i).copied().unwrap_or(false) { b } else { n })
+            .collect();
+        let mut body = Vec::new();
+        encode_count_deltas(&base, &next, &mut body);
+        let mut cursor = body.as_slice();
+        prop_assert_eq!(apply_count_deltas(&base, &mut cursor), Ok(next));
+        prop_assert!(cursor.is_empty(), "the RLE must consume exactly its own bytes");
+    }
+
+    /// The full window delta reconstitutes `next` byte-identically from
+    /// `base`, for any two windows over the same shape.
+    #[test]
+    fn window_deltas_round_trip(base in arb_window(), next in arb_window()) {
+        let body = encode_delta(&base, &next).expect("same shape encodes");
+        let rebuilt = apply_delta(&base, &body).expect("applies");
+        prop_assert_eq!(rebuilt.to_bytes(), next.to_bytes());
+    }
+
+    /// Every proper prefix of a valid delta body is a typed error — the
+    /// shape of a connection cut mid-frame.
+    #[test]
+    fn every_truncation_is_a_typed_error(base in arb_window(), next in arb_window()) {
+        let body = encode_delta(&base, &next).expect("same shape encodes");
+        for len in 0..body.len() {
+            match apply_delta(&base, &body[..len]) {
+                Err(
+                    DeltaError::Truncated
+                    | DeltaError::Corrupt { .. }
+                    | DeltaError::BadMagic
+                    | DeltaError::UnsupportedVersion { .. },
+                ) => {}
+                other => prop_assert!(
+                    false,
+                    "prefix {} of {} gave {:?}",
+                    len,
+                    body.len(),
+                    other
+                ),
+            }
+        }
+    }
+
+    /// Single-byte corruption never panics and never silently yields a
+    /// wrong window: the result is a typed error, or a decode whose
+    /// re-encoding is internally consistent (the flipped byte described a
+    /// different — but valid — window).
+    #[test]
+    fn corruption_is_typed_or_consistent(
+        base in arb_window(),
+        next in arb_window(),
+        index in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut body = encode_delta(&base, &next).expect("same shape encodes");
+        let i = index.index(body.len());
+        body[i] ^= xor;
+        if let Ok(window) = apply_delta(&base, &body) {
+            // Whatever decoded is a well-formed window in its own right.
+            let bytes = window.to_bytes();
+            prop_assert_eq!(GmonData::from_bytes(&bytes).expect("valid window"), window);
+        }
+    }
+
+    /// Arbitrary bytes fed to `apply_delta` never panic.
+    #[test]
+    fn garbage_bodies_never_panic(base in arb_window(), bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = apply_delta(&base, &bytes);
+    }
+}

@@ -6,10 +6,19 @@
 //! exceeded, server-side reject — surfaces as a distinct, renderable
 //! [`ClientError`] so the CLI front ends can exit non-zero with a real
 //! message instead of a panic.
+//!
+//! [`DeltaUploader`] layers incremental uploads on top: it shadows the
+//! last acknowledged window per series and ships each new window as a
+//! [`graphprof_monitor::delta`] body when that is smaller than the full
+//! blob, falling back to a full upload whenever the server answers
+//! [`DeltaOutcome::Resync`].
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use graphprof_monitor::{encode_delta, GmonData};
 
 use crate::fault::FaultPlan;
 use crate::frame::{read_frame, write_frame, write_frame_faulty, WireError, DEFAULT_MAX_PAYLOAD};
@@ -208,6 +217,45 @@ impl Client {
         }
     }
 
+    /// Uploads an incremental window: `delta` encodes sequence `seq` of
+    /// `series` against the already-acknowledged window `base_seq` (see
+    /// [`graphprof_monitor::delta`]). The server reconstitutes the full
+    /// window before validating and folding it, so the aggregate is
+    /// byte-identical to a full-blob upload of the same window.
+    ///
+    /// A [`DeltaOutcome::Resync`] answer is flow control, not an error:
+    /// the server's last applied window is not `base_seq` (restart,
+    /// missed window, fresh series), so the caller must resend this
+    /// window as a full blob.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejects (undecodable delta, lint failure, storage
+    /// failure) surface as [`ClientError::Rejected`].
+    pub fn upload_delta(
+        &mut self,
+        series: &str,
+        base_seq: u64,
+        seq: u64,
+        delta: &[u8],
+    ) -> Result<DeltaOutcome, ClientError> {
+        let request = Request::UploadDelta {
+            series: series.to_string(),
+            base_seq,
+            seq,
+            delta: delta.to_vec(),
+        };
+        match self.expect_ok(&request)? {
+            // Duplicate means a retried delta whose first attempt was
+            // durable: the window is in, counted once.
+            Response::Accepted { total, .. } | Response::Duplicate { total, .. } => {
+                Ok(DeltaOutcome::Accepted { total })
+            }
+            Response::Resync { expected, .. } => Ok(DeltaOutcome::Resync { expected }),
+            _ => Err(ClientError::Unexpected("non-accepted")),
+        }
+    }
+
     /// Fetches a rendered listing of a series aggregate.
     ///
     /// # Errors
@@ -273,6 +321,25 @@ impl Client {
             _ => Err(ClientError::Unexpected("non-text")),
         }
     }
+}
+
+/// What the server did with a delta upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The window was reconstituted and folded (or was already in from a
+    /// prior attempt); `total` profiles are now aggregated.
+    Accepted {
+        /// Profiles now in the aggregate.
+        total: u64,
+    },
+    /// The server cannot apply the delta: its last applied window is
+    /// `expected` (`None` for a series it has never seen), not the
+    /// client's base. Resend the window as a full blob.
+    Resync {
+        /// The server's last applied sequence number, when the series
+        /// exists.
+        expected: Option<u64>,
+    },
 }
 
 /// How a [`ResilientClient`] retries: bounded attempts with exponential
@@ -413,6 +480,24 @@ impl ResilientClient {
         self.run(|c| c.upload(series, seq, blob))
     }
 
+    /// [`Client::upload_delta`], with retry. Safe for the same reason as
+    /// [`ResilientClient::upload`]: the server dedups by (series, seq),
+    /// and a retry that arrives after the shadow moved on answers
+    /// `Resync`, which the caller resolves with a full upload.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn upload_delta(
+        &mut self,
+        series: &str,
+        base_seq: u64,
+        seq: u64,
+        delta: &[u8],
+    ) -> Result<DeltaOutcome, ClientError> {
+        self.run(|c| c.upload_delta(series, base_seq, seq, delta))
+    }
+
     /// [`Client::query_text`], with retry (reads are idempotent).
     ///
     /// # Errors
@@ -484,5 +569,92 @@ impl ResilientClient {
         } else {
             self.run(|c| c.kgmon(vm, verb.clone()))
         }
+    }
+}
+
+/// How one window actually traveled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadMode {
+    /// A full blob: no shadow yet, the delta would not have been
+    /// smaller, or the window's shape changed.
+    Full,
+    /// An incremental delta against the last acknowledged window.
+    Delta,
+    /// A full blob resent after the server answered `Resync`.
+    FullResync,
+}
+
+impl std::fmt::Display for UploadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UploadMode::Full => "full",
+            UploadMode::Delta => "delta",
+            UploadMode::FullResync => "full (resync)",
+        })
+    }
+}
+
+/// The client side of incremental uploads: a per-series shadow of the
+/// last acknowledged window, so each new window ships as a delta when
+/// that is smaller, falling back to a full blob whenever the server
+/// asks for a resync.
+///
+/// The shadow only advances on acknowledged uploads, mirroring the
+/// server's stripe shadow: after any mix of retries, disconnects, and
+/// server restarts the two either agree (deltas flow) or disagree in a
+/// way the server detects (`Resync` → one full blob re-aligns them).
+#[derive(Default)]
+pub struct DeltaUploader {
+    shadows: HashMap<String, (u64, GmonData)>,
+}
+
+impl DeltaUploader {
+    /// An uploader with no shadows: every series' first upload is full.
+    pub fn new() -> Self {
+        DeltaUploader::default()
+    }
+
+    /// Uploads `blob` as sequence `seq` of `series`, as a delta when
+    /// possible; returns the aggregate total and how the window
+    /// traveled.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`]; on error the shadow is unchanged,
+    /// so the caller can retry the same window later.
+    pub fn upload(
+        &mut self,
+        client: &mut ResilientClient,
+        series: &str,
+        seq: u64,
+        blob: &[u8],
+    ) -> Result<(u64, UploadMode), ClientError> {
+        // An unparseable blob cannot seed a shadow; send it as-is and
+        // let the server name the reject.
+        let Ok(window) = GmonData::from_bytes(blob) else {
+            return Ok((client.upload(series, seq, blob)?, UploadMode::Full));
+        };
+        if let Some((base_seq, base)) = self.shadows.get(series) {
+            // Shape changes (retuned histogram, different tick) encode
+            // as errors, not as deltas: fall through to a full upload.
+            if let Ok(body) = encode_delta(base, &window) {
+                if body.len() < blob.len() {
+                    match client.upload_delta(series, *base_seq, seq, &body)? {
+                        DeltaOutcome::Accepted { total } => {
+                            self.shadows.insert(series.to_string(), (seq, window));
+                            return Ok((total, UploadMode::Delta));
+                        }
+                        DeltaOutcome::Resync { .. } => {
+                            let total = client.upload(series, seq, blob)?;
+                            self.shadows.insert(series.to_string(), (seq, window));
+                            return Ok((total, UploadMode::FullResync));
+                        }
+                    }
+                }
+            }
+        }
+        let total = client.upload(series, seq, blob)?;
+        self.shadows.insert(series.to_string(), (seq, window));
+        Ok((total, UploadMode::Full))
     }
 }

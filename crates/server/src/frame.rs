@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   b"GPRS"     4 bytes
-//! version u16 LE      currently 1
+//! version u16 LE      1 or 2
 //! kind    u8          message discriminant (see `proto`)
 //! flags   u8          reserved, 0
 //! len     u32 LE      payload length in bytes
@@ -16,6 +16,13 @@
 //! length *before* allocating or reading a payload: an oversized or
 //! garbage frame is rejected after twelve bytes, which is what lets the
 //! server drop a hostile connection without ever buffering its payload.
+//!
+//! Version 2 added the delta-upload message pair. The version a frame
+//! carries is the version its *kind* needs: legacy kinds still travel
+//! as version 1 and readers accept the whole
+//! [`MIN_VERSION`]`..=`[`VERSION`] range, so a version-1 client keeps
+//! working against a version-2 server — it only ever receives version-2
+//! frames in reply to version-2 requests it cannot send.
 
 use std::error::Error;
 use std::fmt;
@@ -23,8 +30,15 @@ use std::io::{Read, Write};
 
 /// Frame magic: "GPRS" (graphprof-serve).
 pub const MAGIC: [u8; 4] = *b"GPRS";
-/// Protocol version carried in every frame header.
-pub const VERSION: u16 = 1;
+/// Newest protocol version this side speaks (delta uploads).
+pub const VERSION: u16 = 2;
+/// Oldest protocol version readers still accept.
+pub const MIN_VERSION: u16 = 1;
+/// Message kinds that exist only in version 2 of the protocol: the
+/// delta-upload request and the resync response (see `proto`). Frames
+/// of every other kind are written as version 1, so old peers keep
+/// decoding everything a new peer can send them.
+const V2_KINDS: [u8; 2] = [0x06, 0x84];
 /// Fixed header size preceding every payload.
 pub const HEADER_LEN: usize = 12;
 /// Default cap on payload length enforced by readers.
@@ -145,9 +159,10 @@ pub fn encode_frame(frame: &Frame, max_payload: usize) -> Result<Vec<u8>, WireEr
     if frame.payload.len() > max_payload {
         return Err(WireError::Oversized { len: frame.payload.len(), max: max_payload });
     }
+    let version = if V2_KINDS.contains(&frame.kind) { VERSION } else { MIN_VERSION };
     let mut bytes = Vec::with_capacity(HEADER_LEN + frame.payload.len());
     bytes.extend_from_slice(&MAGIC);
-    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&version.to_le_bytes());
     bytes.push(frame.kind);
     bytes.push(0);
     bytes.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
@@ -212,7 +227,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>
         return Err(WireError::BadMagic);
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion { version });
     }
     let kind = header[6];
@@ -275,6 +290,18 @@ mod tests {
             read_frame(&mut buf.as_slice(), 64),
             Err(WireError::UnsupportedVersion { version: 99 })
         ));
+    }
+
+    #[test]
+    fn version_tracks_what_the_kind_needs() {
+        // Legacy kinds stay on version 1 so old readers decode them;
+        // the delta-upload pair rides version 2; readers take both.
+        for (kind, version) in [(0x01u8, 1u16), (0x80, 1), (0x06, 2), (0x84, 2)] {
+            let bytes = encode_frame(&Frame::new(kind, vec![]), 64).unwrap();
+            assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), version, "kind {kind:#x}");
+            let frame = read_frame(&mut bytes.as_slice(), 64).unwrap().unwrap();
+            assert_eq!(frame.kind, kind);
+        }
     }
 
     #[test]

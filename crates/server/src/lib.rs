@@ -20,6 +20,10 @@
 //! * **wire** — a small length-prefixed, versioned frame protocol
 //!   ([`frame`]) with one codec shared by server and clients; malformed
 //!   input is rejected per-connection and never reaches the accept loop.
+//!   Streaming clients can ship each window as an incremental delta
+//!   against the last acknowledged one ([`DeltaUploader`]); the server
+//!   reconstitutes the full window before folding, so delta uploads
+//!   change wire bytes, never aggregates.
 //!
 //! See `docs/SERVER.md` for the frame layout, the verb set, the limits,
 //! and the determinism contract.
@@ -33,7 +37,9 @@ pub mod server;
 pub mod store;
 pub mod wal;
 
-pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
+pub use client::{
+    Client, ClientError, DeltaOutcome, DeltaUploader, ResilientClient, RetryPolicy, UploadMode,
+};
 pub use fault::{FaultPlan, FaultSpec};
 pub use frame::{Frame, WireError, DEFAULT_MAX_PAYLOAD};
 pub use proto::{KgmonVerb, MonRange, QueryKind, Request, Response};

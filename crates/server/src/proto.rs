@@ -3,8 +3,11 @@
 //! Two planes share one connection:
 //!
 //! * the **data plane** — [`Request::Upload`] feeds `gmon.out` blobs into
-//!   named series; [`Request::Query`] and [`Request::Diff`] read rendered
-//!   listings or the raw aggregate back out;
+//!   named series, and [`Request::UploadDelta`] ships only what changed
+//!   since the last applied window (answered with [`Response::Resync`]
+//!   when the server cannot reconstitute from the named base);
+//!   [`Request::Query`] and [`Request::Diff`] read rendered listings or
+//!   the raw aggregate back out;
 //! * the **control plane** — [`Request::Kgmon`] remotes the kgmon verbs
 //!   (on/off, moncontrol, extract, reset) to a VM hosted in the server.
 //!
@@ -29,6 +32,9 @@ pub mod kind {
     pub const KGMON: u8 = 0x04;
     /// Fetch the server's per-series counters.
     pub const STATS: u8 = 0x05;
+    /// Upload one profile window as a delta against the series' last
+    /// applied window (protocol version 2).
+    pub const UPLOAD_DELTA: u8 = 0x06;
 
     /// Response: upload accepted.
     pub const ACCEPTED: u8 = 0x80;
@@ -39,6 +45,10 @@ pub mod kind {
     /// Response: this (series, seq) was already uploaded; the aggregate
     /// is unchanged. Success for a retrying client, not an error.
     pub const DUPLICATE: u8 = 0x83;
+    /// Response: a delta upload's `base_seq` is not the series' last
+    /// applied window — the client must resend a full blob (protocol
+    /// version 2). Flow control, not an error.
+    pub const RESYNC: u8 = 0x84;
     /// Response: the request was rejected.
     pub const ERROR: u8 = 0xFF;
 }
@@ -100,6 +110,20 @@ pub enum Request {
         /// Raw `gmon.out` bytes.
         blob: Vec<u8>,
     },
+    /// Upload sequence number `seq` of `series` as a delta body (see
+    /// `graphprof_monitor::delta`) against the window the server last
+    /// applied for the series, which the client believes is `base_seq`.
+    /// Answered with [`Response::Resync`] when that belief is stale.
+    UploadDelta {
+        /// Series name.
+        series: String,
+        /// Sequence number of the window the delta was encoded against.
+        base_seq: u64,
+        /// Client-assigned sequence number of the window being uploaded.
+        seq: u64,
+        /// Encoded delta body.
+        delta: Vec<u8>,
+    },
     /// Read a series aggregate back out.
     Query {
         /// Series name.
@@ -148,6 +172,19 @@ pub enum Response {
         seq: u64,
         /// Profiles currently in the series aggregate.
         total: u64,
+    },
+    /// A delta upload named a `base_seq` that is not the series' last
+    /// applied window, so the server cannot reconstitute it. The client
+    /// falls back to uploading the same `seq` as one full blob. Flow
+    /// control, not an error: nothing was folded or charged.
+    Resync {
+        /// Series the delta was aimed at.
+        series: String,
+        /// The sequence number the client tried to upload.
+        seq: u64,
+        /// The base the server could have accepted — the series' last
+        /// applied seq — or `None` when the series has no window yet.
+        expected: Option<u64>,
     },
     /// Rendered text (listing, diff, stats, kgmon status).
     Text(String),
@@ -228,6 +265,13 @@ impl Request {
                 put_blob(&mut p, blob);
                 kind::UPLOAD
             }
+            Request::UploadDelta { series, base_seq, seq, delta } => {
+                put_str(&mut p, series);
+                p.put_u64_le(*base_seq);
+                p.put_u64_le(*seq);
+                put_blob(&mut p, delta);
+                kind::UPLOAD_DELTA
+            }
             Request::Query { series, kind } => {
                 put_str(&mut p, series);
                 p.put_u8(match kind {
@@ -291,6 +335,13 @@ impl Request {
                 let seq = get_u64(data)?;
                 let blob = get_blob(data)?;
                 finish(data, Request::Upload { series, seq, blob })
+            }
+            kind::UPLOAD_DELTA => {
+                let series = get_str(data)?;
+                let base_seq = get_u64(data)?;
+                let seq = get_u64(data)?;
+                let delta = get_blob(data)?;
+                finish(data, Request::UploadDelta { series, base_seq, seq, delta })
             }
             kind::QUERY => {
                 let series = get_str(data)?;
@@ -362,6 +413,18 @@ impl Response {
                 p.put_u64_le(*total);
                 kind::DUPLICATE
             }
+            Response::Resync { series, seq, expected } => {
+                put_str(&mut p, series);
+                p.put_u64_le(*seq);
+                match expected {
+                    Some(base) => {
+                        p.put_u8(1);
+                        p.put_u64_le(*base);
+                    }
+                    None => p.put_u8(0),
+                }
+                kind::RESYNC
+            }
             Response::Text(text) => {
                 put_blob(&mut p, text.as_bytes());
                 kind::TEXT
@@ -404,6 +467,20 @@ impl Response {
                 let total = get_u64(data)?;
                 finish(data, Response::Duplicate { series, seq, total })
             }
+            kind::RESYNC => {
+                let series = get_str(data)?;
+                let seq = get_u64(data)?;
+                let expected = match get_u8(data)? {
+                    0 => None,
+                    1 => Some(get_u64(data)?),
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown resync base tag {other}"
+                        )))
+                    }
+                };
+                finish(data, Response::Resync { series, seq, expected })
+            }
             kind::TEXT => {
                 let t = text(data)?;
                 finish(data, Response::Text(t))
@@ -429,6 +506,8 @@ mod tests {
         vec![
             Request::Upload { series: "web".into(), seq: 3, blob: vec![1, 2, 3] },
             Request::Upload { series: String::new(), seq: u64::MAX, blob: vec![] },
+            Request::UploadDelta { series: "web".into(), base_seq: 2, seq: 3, delta: vec![9, 8] },
+            Request::UploadDelta { series: String::new(), base_seq: 0, seq: 0, delta: vec![] },
             Request::Query { series: "web".into(), kind: QueryKind::Flat },
             Request::Query { series: "web".into(), kind: QueryKind::Graph },
             Request::Query { series: "web".into(), kind: QueryKind::Sum },
@@ -465,6 +544,8 @@ mod tests {
         let responses = vec![
             Response::Accepted { series: "web".into(), seq: 9, total: 10 },
             Response::Duplicate { series: "web".into(), seq: 9, total: 10 },
+            Response::Resync { series: "web".into(), seq: 9, expected: Some(8) },
+            Response::Resync { series: "web".into(), seq: 0, expected: None },
             Response::Text("flat profile:\n".into()),
             Response::Blob(vec![0xDE, 0xAD]),
             Response::Error("no such series".into()),

@@ -370,6 +370,22 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
             }
             Err(reason) => Response::Error(reason.to_string()),
         },
+        Request::UploadDelta { series, base_seq, seq, delta } => {
+            match shared.store.upload_delta(&series, base_seq, seq, &delta) {
+                Ok(total) => Response::Accepted { series, seq, total },
+                Err(RejectReason::DuplicateSeq(seq)) => {
+                    let total = shared.store.series_total(&series).unwrap_or(0);
+                    Response::Duplicate { series, seq, total }
+                }
+                // Flow control, not an error: the client's base is not
+                // the stripe's last applied window, so the delta cannot
+                // be reconstituted. The client resends a full blob.
+                Err(RejectReason::ResyncRequired { expected, .. }) => {
+                    Response::Resync { series, seq, expected }
+                }
+                Err(reason) => Response::Error(reason.to_string()),
+            }
+        }
         Request::Query { series, kind } => query(shared, &series, kind),
         Request::Diff { before, after } => diff(shared, &before, &after),
         Request::Kgmon { vm, verb } => kgmon(shared, &vm, verb),

@@ -30,10 +30,20 @@
 //! for the first upload's outcome instead of being answered while that
 //! outcome is still undecided.
 //!
+//! **Delta uploads.** A streaming client may ship a window as a delta
+//! against the series' last applied window ([`SeriesStore::upload_delta`]).
+//! Each series keeps a *shadow* of that window inside its stripe; the
+//! delta is applied to the shadow and the reconstituted bytes enter the
+//! ordinary upload pipeline, so everything downstream — lint, WAL,
+//! dedup, group commit, recovery — is byte-for-byte oblivious to how
+//! the window traveled. A stale `base_seq` gets the typed
+//! [`RejectReason::ResyncRequired`] and the client falls back to one
+//! full blob.
+//!
 //! The store never keeps raw blobs: per series it holds O(log n) partial
 //! aggregates, the set of sequence numbers seen (for duplicate
-//! rejection), and the upload/reject/byte counters behind the `stats`
-//! verb.
+//! rejection), the upload/reject/byte counters behind the `stats`
+//! verb, and the one parsed shadow window delta reconstitution needs.
 //!
 //! Two analyzer error classes are *tolerated and flagged* rather than
 //! rejected: `call-count-mismatch` and `scc-count-imbalance`. Live
@@ -85,6 +95,17 @@ pub enum RejectReason {
     /// The write-ahead log could not make the upload durable. Nothing
     /// was folded in; the client may retry (possibly after a restart).
     StorageFailed(String),
+    /// A delta upload named a `base_seq` that is not the stripe's last
+    /// applied window for the series, so the full window cannot be
+    /// reconstituted. Flow control, not a fault: nothing is charged,
+    /// and the client answers by resending the window as a full blob.
+    ResyncRequired {
+        /// The base the client encoded against.
+        base_seq: u64,
+        /// The series' actual last applied seq, or `None` when the
+        /// series has no applied window at all.
+        expected: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -102,6 +123,13 @@ impl std::fmt::Display for RejectReason {
             RejectReason::BadSeriesName => write!(f, "series names must be 1..=128 bytes"),
             RejectReason::StorageFailed(e) => {
                 write!(f, "upload not durable, retry later: {e}")
+            }
+            RejectReason::ResyncRequired { base_seq, expected } => {
+                write!(f, "delta base {base_seq} is not the last applied window")?;
+                if let Some(expected) = expected {
+                    write!(f, " ({expected} is)")?;
+                }
+                write!(f, "; resend a full window")
             }
         }
     }
@@ -163,6 +191,12 @@ struct Series {
     stats: SeriesStats,
     /// Tolerated analyzer error codes seen on accepted uploads.
     flag_codes: BTreeSet<&'static str>,
+    /// The last window folded into the aggregate, in arrival order,
+    /// with its seq: the base a delta upload is reconstituted against.
+    /// Rebuilt naturally by WAL replay (replay rides the same fold
+    /// path), so delta streams survive a restart with at most one
+    /// resync round trip.
+    shadow: Option<(u64, GmonData)>,
 }
 
 #[derive(Debug, Default)]
@@ -205,6 +239,7 @@ impl StripeState {
         flags: BTreeSet<&'static str>,
     ) -> Result<u64, RejectReason> {
         let entry = self.series.get_mut(series).expect("staged series was reserved");
+        let shadow = gmon.clone();
         if let Err(e) = entry.acc.push(gmon) {
             // The record is on disk but cannot fold; replay rejects it
             // just as deterministically. The seq stays unclaimed so the
@@ -213,6 +248,7 @@ impl StripeState {
             entry.stats.rejects += 1;
             return Err(RejectReason::Unmergeable(e.to_string()));
         }
+        entry.shadow = Some((seq, shadow));
         entry.seen_seqs.insert(seq);
         entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
         entry.stats.uploads += 1;
@@ -433,6 +469,65 @@ impl SeriesStore {
         }
     }
 
+    /// Uploads sequence `seq` of `series` as a delta body (see
+    /// `graphprof_monitor::delta`) against the window the series last
+    /// applied, which the client believes is `base_seq`. The full
+    /// window is reconstituted from the owning stripe's shadow copy
+    /// and pushed through the ordinary [`SeriesStore::upload`]
+    /// pipeline, so validation, WAL records, dedup, group commit, and
+    /// recovery all see exactly the bytes a full-blob upload of the
+    /// same window would have carried — the aggregate is byte-identical
+    /// either way, and the WAL never stores deltas.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::ResyncRequired`] when `base_seq` is not the
+    /// series' last applied seq (nothing folded, nothing charged — the
+    /// client resends a full blob); [`RejectReason::DuplicateSeq`]
+    /// when `seq` was already folded (the retried delta is
+    /// acknowledged without reapplying anything); a decode failure is
+    /// [`RejectReason::Unparseable`]; everything after reconstitution
+    /// rejects exactly as [`SeriesStore::upload`] does.
+    pub fn upload_delta(
+        &self,
+        series: &str,
+        base_seq: u64,
+        seq: u64,
+        delta: &[u8],
+    ) -> Result<u64, RejectReason> {
+        let base = {
+            let mut state = self.stripe_state(series);
+            let Some(entry) = state.series.get_mut(series) else {
+                return Err(RejectReason::ResyncRequired { base_seq, expected: None });
+            };
+            // A retried delta whose original did commit: the shadow has
+            // moved past base_seq, but the client's window is already
+            // in — acknowledge as a duplicate, exactly like a retried
+            // full upload.
+            if entry.seen_seqs.contains(&seq) {
+                entry.stats.rejects += 1;
+                return Err(RejectReason::DuplicateSeq(seq));
+            }
+            match &entry.shadow {
+                Some((shadow_seq, window)) if *shadow_seq == base_seq => window.clone(),
+                shadow => {
+                    let expected = shadow.as_ref().map(|&(s, _)| s);
+                    return Err(RejectReason::ResyncRequired { base_seq, expected });
+                }
+            }
+        };
+        // Reconstitute outside the stripe lock — decode cost must not
+        // serialize the stripe's other series.
+        match graphprof_monitor::apply_delta(&base, delta) {
+            Ok(window) => self.upload(series, seq, &window.to_bytes()),
+            Err(e) => {
+                let mut state = self.stripe_state(series);
+                state.charge_reject(series);
+                Err(RejectReason::Unparseable(format!("delta does not decode: {e}")))
+            }
+        }
+    }
+
     /// Replay of one recovered record: the in-memory fold path (the
     /// record is already on disk), with rejections discarded by the
     /// caller.
@@ -478,11 +573,13 @@ impl SeriesStore {
                 return Err(RejectReason::StorageFailed(e.to_string()));
             }
         }
+        let shadow = gmon.clone();
         if let Err(e) = entry.acc.push(gmon) {
             entry.seen_seqs.remove(&seq);
             entry.stats.rejects += 1;
             return Err(RejectReason::Unmergeable(e.to_string()));
         }
+        entry.shadow = Some((seq, shadow));
         entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
         entry.stats.uploads += 1;
         entry.stats.bytes += blob.len() as u64;
@@ -981,6 +1078,129 @@ mod tests {
         assert_eq!((seq, total), (6, 2));
         let (seq, _) = store.upload_auto_seq("fresh", &blob).unwrap();
         assert_eq!(seq, 0);
+    }
+
+    /// A program long enough to slice into many profile windows.
+    fn kernel_exe() -> Executable {
+        graphprof_workloads::paper::kernel_program(10_000_000)
+            .compile(&CompileOptions::profiled())
+            .unwrap()
+    }
+
+    /// Distinct windows of one run (same shape, different contents), so
+    /// a wrong delta reconstruction shows in the aggregate bytes.
+    fn windows(exe: &Executable, n: usize) -> Vec<GmonData> {
+        let config = graphprof_machine::MachineConfig { cycles_per_tick: 10, ..Default::default() };
+        let mut machine = graphprof_machine::Machine::with_config(exe.clone(), config);
+        let mut profiler = graphprof_monitor::RuntimeProfiler::new(exe, 10);
+        (0..n)
+            .map(|i| {
+                machine.run_for(&mut profiler, 20_000 + 7_000 * i as u64).unwrap();
+                let w = profiler.snapshot();
+                profiler.reset();
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_uploads_match_full_uploads_byte_for_byte() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 4);
+        let full = SeriesStore::new(exe.clone(), 8, 1);
+        let delta = SeriesStore::new(exe, 8, 1);
+        for (seq, w) in stream.iter().enumerate() {
+            let seq = seq as u64;
+            full.upload("web", seq, &w.to_bytes()).unwrap();
+            if seq == 0 {
+                delta.upload("web", seq, &w.to_bytes()).unwrap();
+            } else {
+                let body = graphprof_monitor::encode_delta(&stream[seq as usize - 1], w).unwrap();
+                delta.upload_delta("web", seq - 1, seq, &body).unwrap();
+            }
+        }
+        assert_eq!(
+            delta.aggregate("web").unwrap().to_bytes(),
+            full.aggregate("web").unwrap().to_bytes()
+        );
+        let stats = delta.stats("web").unwrap();
+        assert_eq!((stats.uploads, stats.rejects), (4, 0));
+        // Reconstitution re-derives the full window, so accepted bytes
+        // match the full-blob path too.
+        assert_eq!(stats.bytes, full.stats("web").unwrap().bytes);
+    }
+
+    #[test]
+    fn stale_or_unknown_bases_require_resync_without_charging() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 3);
+        let store = SeriesStore::new(exe, 8, 1);
+        let body = graphprof_monitor::encode_delta(&stream[0], &stream[1]).unwrap();
+        // Unknown series: no shadow at all.
+        assert_eq!(
+            store.upload_delta("web", 0, 1, &body),
+            Err(RejectReason::ResyncRequired { base_seq: 0, expected: None })
+        );
+        store.upload("web", 0, &stream[0].to_bytes()).unwrap();
+        store.upload("web", 1, &stream[1].to_bytes()).unwrap();
+        // Stale base: the shadow is seq 1 now.
+        let stale = graphprof_monitor::encode_delta(&stream[0], &stream[2]).unwrap();
+        assert_eq!(
+            store.upload_delta("web", 0, 2, &stale),
+            Err(RejectReason::ResyncRequired { base_seq: 0, expected: Some(1) })
+        );
+        // Resync is flow control: nothing was charged or folded.
+        let stats = store.stats("web").unwrap();
+        assert_eq!((stats.uploads, stats.rejects), (2, 0));
+        // The aligned delta goes through.
+        let aligned = graphprof_monitor::encode_delta(&stream[1], &stream[2]).unwrap();
+        assert_eq!(store.upload_delta("web", 1, 2, &aligned), Ok(3));
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_deltas_are_typed_and_charged() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 2);
+        let store = SeriesStore::new(exe, 8, 1);
+        store.upload("web", 0, &stream[0].to_bytes()).unwrap();
+        let body = graphprof_monitor::encode_delta(&stream[0], &stream[1]).unwrap();
+        assert_eq!(store.upload_delta("web", 0, 1, &body), Ok(2));
+        // A retried delta after a lost ack: duplicate, not resync, even
+        // though the shadow moved on — the client's window is in.
+        assert_eq!(store.upload_delta("web", 0, 1, &body), Err(RejectReason::DuplicateSeq(1)));
+        // A body that does not decode is an unparseable upload.
+        let err = store.upload_delta("web", 1, 2, b"garbage").unwrap_err();
+        assert!(matches!(err, RejectReason::Unparseable(_)), "{err:?}");
+        let stats = store.stats("web").unwrap();
+        assert_eq!((stats.uploads, stats.rejects), (2, 2));
+        assert_eq!(store.series_total("web"), Some(2));
+    }
+
+    #[test]
+    fn shadows_are_rebuilt_by_replay_so_deltas_survive_restart() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 3);
+        let dir = tmpdir("delta-replay");
+        {
+            let (store, _) =
+                SeriesStore::open(exe.clone(), &dir, durable_opts(1, Some(Duration::ZERO)))
+                    .unwrap();
+            store.upload("web", 0, &stream[0].to_bytes()).unwrap();
+            let body = graphprof_monitor::encode_delta(&stream[0], &stream[1]).unwrap();
+            store.upload_delta("web", 0, 1, &body).unwrap();
+        }
+        let (store, recovery) =
+            SeriesStore::open(exe.clone(), &dir, durable_opts(1, Some(Duration::ZERO))).unwrap();
+        // The WAL stored full windows, never delta bodies: replay needs
+        // no base to recover both records.
+        assert_eq!(recovery.records(), 2);
+        // And the replayed shadow is the last window in log order, so
+        // the client's next delta applies without a resync.
+        let body = graphprof_monitor::encode_delta(&stream[1], &stream[2]).unwrap();
+        assert_eq!(store.upload_delta("web", 1, 2, &body), Ok(3));
+        let offline = graphprof::sum_profiles(stream.iter()).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {

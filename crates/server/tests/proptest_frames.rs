@@ -43,6 +43,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         ("[a-z]{0,16}", any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256))
             .prop_map(|(series, seq, blob)| Request::Upload { series, seq, blob }),
+        ("[a-z]{0,16}", any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(series, base_seq, seq, delta)| Request::UploadDelta {
+                series,
+                base_seq,
+                seq,
+                delta
+            }),
         ("[a-z]{0,16}", arb_query_kind())
             .prop_map(|(series, kind)| Request::Query { series, kind }),
         ("[a-z]{0,16}", "[a-z]{0,16}").prop_map(|(before, after)| Request::Diff { before, after }),
@@ -55,6 +62,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         ("[a-z]{0,16}", any::<u64>(), any::<u64>())
             .prop_map(|(series, seq, total)| Response::Accepted { series, seq, total }),
+        ("[a-z]{0,16}", any::<u64>(), prop_oneof![Just(None), any::<u64>().prop_map(Some)])
+            .prop_map(|(series, seq, expected)| Response::Resync { series, seq, expected }),
         ".{0,64}".prop_map(Response::Text),
         proptest::collection::vec(any::<u8>(), 0..512).prop_map(Response::Blob),
         ".{0,64}".prop_map(Response::Error),

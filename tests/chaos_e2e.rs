@@ -19,10 +19,10 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
-use graphprof_monitor::{GmonData, RuntimeProfiler};
+use graphprof_monitor::{encode_delta, GmonData, RuntimeProfiler};
 use graphprof_server::{
-    Client, ClientError, FaultPlan, FaultSpec, ResilientClient, RetryPolicy, Server, ServerConfig,
-    ServerHandle,
+    Client, ClientError, DeltaOutcome, DeltaUploader, FaultPlan, FaultSpec, ResilientClient,
+    RetryPolicy, Server, ServerConfig, ServerHandle, UploadMode,
 };
 use graphprof_workloads::paper::kernel_program;
 
@@ -258,6 +258,137 @@ fn mid_upload_disconnect_leaves_nothing_behind() {
         let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
         assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs[..1]));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash point 5 — kill before the ack of a *delta* upload. The
+/// reconstituted full window was durable, the ack never arrived, and
+/// the server died. The restart replays the full window (the WAL never
+/// holds delta bodies) plus its dedup state, so the client's retried
+/// delta resolves as a duplicate: counted exactly once, byte-identical
+/// to the offline sum.
+#[test]
+fn kill_before_ack_mid_delta_deduplicates_the_retry() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 2);
+    let parsed: Vec<GmonData> =
+        blobs.iter().map(|b| GmonData::from_bytes(b).expect("window parses")).collect();
+    let delta = encode_delta(&parsed[0], &parsed[1]).expect("same shape encodes");
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("delta-kill-s{stripes}"));
+
+        {
+            let fault =
+                FaultPlan::new(FaultSpec { drop_frame_at: Some(1), ..FaultSpec::default() });
+            let handle = start(durable(&dir, fault.clone(), stripes));
+            let mut client =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+            client.upload("web", 0, &blobs[0]).expect("accepted");
+            // Durable fold, then the delta's ack is dropped and the
+            // server dies before any retry.
+            let err = client.upload_delta("web", 0, 1, &delta).expect_err("ack never arrives");
+            assert!(matches!(err, ClientError::Disconnected), "{err:?}");
+            assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+            drop(client);
+            handle.shutdown();
+        }
+
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        assert_eq!(handle.recovery().expect("durable server").records(), 2);
+        let mut client =
+            ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(13));
+        // The retried delta resolves against replayed dedup state.
+        assert_eq!(
+            client.upload_delta("web", 0, 1, &delta).expect("retry deduplicates"),
+            DeltaOutcome::Accepted { total: 2 }
+        );
+        assert_eq!(client.fetch_sum("web").expect("aggregate"), offline_sum(&blobs));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash point 6 — dropped ack mid-stream forces a duplicate delta. The
+/// uploader's retry re-sends the same delta body over a fresh
+/// connection; the server absorbs it as a duplicate and the stream
+/// continues in delta mode, converging to the offline sum.
+#[test]
+fn dropped_delta_ack_retries_as_duplicate_never_double_counts() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 3);
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("delta-drop-s{stripes}"));
+
+        // Response 0 is seq 0's full-upload ack; response 1 is the
+        // first delta's ack — drop that one.
+        let fault = FaultPlan::new(FaultSpec { drop_frame_at: Some(1), ..FaultSpec::default() });
+        let handle = start(durable(&dir, fault.clone(), stripes));
+        let mut client =
+            ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(17));
+        let mut uploader = DeltaUploader::new();
+
+        let mut modes = Vec::new();
+        for (seq, blob) in blobs.iter().enumerate() {
+            let (_, mode) =
+                uploader.upload(&mut client, "web", seq as u64, blob).expect("upload resolves");
+            modes.push(mode);
+        }
+        assert_eq!(fault.trips().len(), 1, "the drop must fire: {:?}", fault.trips());
+        assert_eq!(
+            modes,
+            vec![UploadMode::Full, UploadMode::Delta, UploadMode::Delta],
+            "stripes={stripes}: the retried delta stays a delta"
+        );
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs),
+            "stripes={stripes}: duplicate delta must not double-count"
+        );
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash point 7 — a server restart that loses state (an in-memory
+/// server dies) leaves the uploader's base stale. The new server
+/// answers `Resync`, the uploader re-seeds it with one full window, and
+/// the stream converges: the new server's aggregate is byte-identical
+/// to the offline sum over exactly the windows it acknowledged.
+#[test]
+fn stale_base_after_restart_converges_via_resync() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 4);
+    for stripes in STRIPE_COUNTS {
+        let in_memory = || ServerConfig {
+            stripes,
+            drain_grace: Duration::from_secs(1),
+            ..ServerConfig::default()
+        };
+        let mut uploader = DeltaUploader::new();
+
+        {
+            let handle = start(in_memory());
+            let mut client =
+                ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(19));
+            let (_, m0) = uploader.upload(&mut client, "web", 0, &blobs[0]).expect("seq 0");
+            let (_, m1) = uploader.upload(&mut client, "web", 1, &blobs[1]).expect("seq 1");
+            assert_eq!((m0, m1), (UploadMode::Full, UploadMode::Delta));
+            handle.shutdown(); // the crash: nothing was durable
+        }
+
+        let handle = start(in_memory());
+        let mut client =
+            ResilientClient::new(&handle.addr().to_string(), TIMEOUT, fast_retries(23));
+        // The uploader still shadows seq 1; the new server has nothing.
+        let (_, m2) = uploader.upload(&mut client, "web", 2, &blobs[2]).expect("seq 2");
+        assert_eq!(m2, UploadMode::FullResync, "stripes={stripes}: stale base must resync");
+        let (_, m3) = uploader.upload(&mut client, "web", 3, &blobs[3]).expect("seq 3");
+        assert_eq!(m3, UploadMode::Delta, "stripes={stripes}: deltas resume after the resync");
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs[2..]),
+            "stripes={stripes}: exactly the windows the new server acknowledged"
+        );
+        handle.shutdown();
     }
 }
 

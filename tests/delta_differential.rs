@@ -1,0 +1,287 @@
+//! Differential tests of delta-mode uploads against full-blob uploads:
+//! the same window sequence, driven through both transports into two
+//! durable servers, must land byte-identically — per-series aggregates,
+//! and the aggregates rebuilt from WAL replay after a restart. Forced
+//! resyncs, duplicate retries, and out-of-order arrivals are part of
+//! the sequence, because the wire encoding is only allowed to change
+//! wire bytes, never what the server folds.
+//!
+//! Every scenario runs at stripes ∈ {1, 4}, mirroring the chaos suite:
+//! sharding the ingest path must not move a single byte either.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use graphprof_machine::{CompileOptions, Executable, Machine, MachineConfig};
+use graphprof_monitor::{encode_delta, GmonData};
+use graphprof_server::{
+    Client, DeltaOutcome, DeltaUploader, FaultPlan, ResilientClient, RetryPolicy, Server,
+    ServerConfig, ServerHandle, UploadMode,
+};
+use graphprof_workloads::paper::kernel_program;
+
+const TICK: u64 = 10;
+const TIMEOUT: Duration = Duration::from_secs(10);
+const STRIPE_COUNTS: [usize; 2] = [1, 4];
+
+fn kernel_exe() -> Executable {
+    kernel_program(10_000_000).compile(&CompileOptions::profiled()).expect("compiles")
+}
+
+/// Distinct profile windows of one run (same shape, different
+/// contents), so a wrong delta reconstruction shows in the bytes.
+fn windows(exe: &Executable, n: usize) -> Vec<Vec<u8>> {
+    let config = MachineConfig { cycles_per_tick: TICK, ..MachineConfig::default() };
+    let mut machine = Machine::with_config(exe.clone(), config);
+    let mut profiler = graphprof_monitor::RuntimeProfiler::new(exe, TICK);
+    let mut blobs = Vec::with_capacity(n);
+    for i in 0..n {
+        machine.run_for(&mut profiler, 20_000 + 7_000 * i as u64).expect("runs");
+        blobs.push(profiler.snapshot().to_bytes());
+        profiler.reset();
+    }
+    blobs
+}
+
+fn offline_sum(blobs: &[Vec<u8>]) -> Vec<u8> {
+    graphprof::sum_profiles(
+        blobs
+            .iter()
+            .map(|b| GmonData::from_bytes(b).expect("window parses"))
+            .collect::<Vec<_>>()
+            .iter(),
+    )
+    .expect("offline sum")
+    .to_bytes()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "graphprof-delta-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable(dir: &Path, stripes: usize) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        stripes,
+        drain_grace: Duration::from_secs(1),
+        fault: FaultPlan::none(),
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    Server::start(config, kernel_exe(), &[]).expect("binds an ephemeral port")
+}
+
+fn client(handle: &ServerHandle) -> ResilientClient {
+    ResilientClient::new(&handle.addr().to_string(), TIMEOUT, RetryPolicy::none())
+}
+
+/// A tiny deterministic generator (splitmix64) for interleavings.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The core differential: a randomized multi-series window sequence is
+/// driven once as full blobs and once through [`DeltaUploader`]; the
+/// per-series aggregates must be byte-identical to each other and to
+/// the offline sum, live and again after a crash-free restart replays
+/// the WAL (which must hold full windows, never delta bodies).
+#[test]
+fn delta_and_full_transports_land_byte_identically() {
+    let exe = kernel_exe();
+    let series = ["web", "db", "batch"];
+    let per_series = 5usize;
+    let stream = windows(&exe, series.len() * per_series);
+
+    for stripes in STRIPE_COUNTS {
+        let full_dir = tmpdir(&format!("full-s{stripes}"));
+        let delta_dir = tmpdir(&format!("delta-s{stripes}"));
+
+        // Deal the stream across the series, then draw a randomized
+        // interleaving that keeps each series' seq order (deltas chain
+        // per series, but series interleave arbitrarily on the wire).
+        let mut by_series: Vec<Vec<(u64, &Vec<u8>)>> = vec![Vec::new(); series.len()];
+        for (i, blob) in stream.iter().enumerate() {
+            by_series[i % series.len()].push(((i / series.len()) as u64, blob));
+        }
+        let mut rng = Rng(42 + stripes as u64);
+        let mut cursors = vec![0usize; series.len()];
+        let mut plan: Vec<(usize, u64, &Vec<u8>)> = Vec::new();
+        while plan.len() < stream.len() {
+            let mut s = (rng.next() % series.len() as u64) as usize;
+            while cursors[s] == by_series[s].len() {
+                s = (s + 1) % series.len();
+            }
+            let (seq, blob) = by_series[s][cursors[s]];
+            cursors[s] += 1;
+            plan.push((s, seq, blob));
+        }
+
+        {
+            let full_handle = start(durable(&full_dir, stripes));
+            let delta_handle = start(durable(&delta_dir, stripes));
+            let mut full_client = client(&full_handle);
+            let mut delta_client = client(&delta_handle);
+            let mut uploader = DeltaUploader::new();
+
+            let mut modes = Vec::new();
+            for &(s, seq, blob) in &plan {
+                full_client.upload(series[s], seq, blob).expect("full upload");
+                let (_, mode) =
+                    uploader.upload(&mut delta_client, series[s], seq, blob).expect("delta upload");
+                modes.push(mode);
+            }
+            // The transport actually exercised deltas: everything after
+            // each series' first window shipped incrementally.
+            let deltas = modes.iter().filter(|m| **m == UploadMode::Delta).count();
+            assert_eq!(
+                deltas,
+                plan.len() - series.len(),
+                "stripes={stripes}: expected all non-first windows as deltas: {modes:?}"
+            );
+
+            for (s, name) in series.iter().enumerate() {
+                let expected =
+                    offline_sum(&by_series[s].iter().map(|&(_, b)| b.clone()).collect::<Vec<_>>());
+                let full = full_client.fetch_sum(name).expect("full aggregate");
+                let delta = delta_client.fetch_sum(name).expect("delta aggregate");
+                assert_eq!(full, expected, "stripes={stripes}: full vs offline for {name}");
+                assert_eq!(delta, expected, "stripes={stripes}: delta vs offline for {name}");
+            }
+            full_handle.shutdown();
+            delta_handle.shutdown();
+        }
+
+        // WAL replay identity: both stores rebuild the same aggregates,
+        // and the delta store replays the same number of (full-window)
+        // records as the full store — the log never holds delta bodies.
+        let full_handle = start(durable(&full_dir, stripes));
+        let delta_handle = start(durable(&delta_dir, stripes));
+        let full_rec = full_handle.recovery().expect("durable").records();
+        let delta_rec = delta_handle.recovery().expect("durable").records();
+        assert_eq!(full_rec, plan.len(), "stripes={stripes}");
+        assert_eq!(delta_rec, plan.len(), "stripes={stripes}");
+        let mut full_client = client(&full_handle);
+        let mut delta_client = client(&delta_handle);
+        for name in series {
+            assert_eq!(
+                full_client.fetch_sum(name).expect("full aggregate"),
+                delta_client.fetch_sum(name).expect("delta aggregate"),
+                "stripes={stripes}: replayed aggregates diverge for {name}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&delta_dir);
+    }
+}
+
+/// A forced resync mid-stream: one window slips past the uploader (an
+/// out-of-band full upload moves the server's shadow), so the next
+/// delta's base is stale. The server answers `Resync`, the uploader
+/// falls back to one full blob, and the stream continues in delta mode
+/// — with the aggregate still byte-identical to the offline sum.
+#[test]
+fn stale_base_forces_one_full_resync_then_deltas_resume() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 5);
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("resync-s{stripes}"));
+        let handle = start(durable(&dir, stripes));
+        let mut rc = client(&handle);
+        let mut uploader = DeltaUploader::new();
+
+        let (_, m0) = uploader.upload(&mut rc, "web", 0, &blobs[0]).expect("seq 0");
+        let (_, m1) = uploader.upload(&mut rc, "web", 1, &blobs[1]).expect("seq 1");
+        assert_eq!((m0, m1), (UploadMode::Full, UploadMode::Delta));
+
+        // Out of band: another sender ships seq 2 in full. The server's
+        // shadow is now seq 2; the uploader still shadows seq 1.
+        let mut other = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        other.upload("web", 2, &blobs[2]).expect("out-of-band full upload");
+
+        let (_, m3) = uploader.upload(&mut rc, "web", 3, &blobs[3]).expect("seq 3");
+        assert_eq!(m3, UploadMode::FullResync, "stale base must fall back to a full blob");
+        // Re-aligned: deltas flow again.
+        let (total, m4) = uploader.upload(&mut rc, "web", 4, &blobs[4]).expect("seq 4");
+        assert_eq!(m4, UploadMode::Delta);
+        assert_eq!(total, 5);
+
+        assert_eq!(
+            rc.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs),
+            "stripes={stripes}: resync fallback changed the aggregate"
+        );
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Out-of-order retries: a delta for a (series, seq) the server already
+/// folded — the retry after a lost ack — answers `Duplicate` and counts
+/// nothing twice, even when the shadow has since moved on; a delta
+/// whose base has not arrived yet answers `Resync`, never a misfold.
+#[test]
+fn duplicate_and_out_of_order_deltas_never_double_count() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 4);
+    let parsed: Vec<GmonData> =
+        blobs.iter().map(|b| GmonData::from_bytes(b).expect("parses")).collect();
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("dup-s{stripes}"));
+        let handle = start(durable(&dir, stripes));
+        let mut rc = client(&handle);
+
+        rc.upload("web", 0, &blobs[0]).expect("seq 0 full");
+        let d1 = encode_delta(&parsed[0], &parsed[1]).expect("encodes");
+        assert_eq!(
+            rc.upload_delta("web", 0, 1, &d1).expect("seq 1 delta"),
+            DeltaOutcome::Accepted { total: 2 }
+        );
+
+        // A delta against a base the server has not applied (seq 2 is
+        // missing): resync, not a guess.
+        let d3 = encode_delta(&parsed[2], &parsed[3]).expect("encodes");
+        assert_eq!(
+            rc.upload_delta("web", 2, 3, &d3).expect("roundtrips"),
+            DeltaOutcome::Resync { expected: Some(1) }
+        );
+
+        // The retry of seq 1's delta after a lost ack: duplicate → the
+        // existing total, nothing folded twice.
+        assert_eq!(
+            rc.upload_delta("web", 0, 1, &d1).expect("retry roundtrips"),
+            DeltaOutcome::Accepted { total: 2 }
+        );
+
+        // Fill the gap and finish the stream in order.
+        let d2 = encode_delta(&parsed[1], &parsed[2]).expect("encodes");
+        assert_eq!(
+            rc.upload_delta("web", 1, 2, &d2).expect("seq 2 delta"),
+            DeltaOutcome::Accepted { total: 3 }
+        );
+        assert_eq!(
+            rc.upload_delta("web", 2, 3, &d3).expect("seq 3 delta"),
+            DeltaOutcome::Accepted { total: 4 }
+        );
+
+        assert_eq!(rc.fetch_sum("web").expect("aggregate"), offline_sum(&blobs));
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
