@@ -1,0 +1,187 @@
+//! Regression-gate benchmark: `BENCH_regress.json`.
+//!
+//! Times `graphprof-regress::compare` — the full gate: two analyses
+//! (lint, call-graph propagation), per-routine sample moments, and the
+//! three comparators — over workloads of increasing size, plus the
+//! server-side path (`remote regress` over a loopback connection
+//! against retained windows) for one representative workload.
+//!
+//! Before any number is reported, each case is cross-checked against
+//! the gate's own contract: a profile compared with itself must come
+//! back clean, and the same profile folded twice (every routine's work
+//! doubled) must regress. A timing for a gate that answers wrongly is
+//! worthless, so wrong answers abort the bench.
+//!
+//! Usage: `regress [output.json]` (default `BENCH_regress.json`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use graphprof_machine::{CompileOptions, Executable, Program};
+use graphprof_monitor::profiler::profile_to_completion;
+use graphprof_monitor::GmonData;
+use graphprof_regress::{compare, CompareOptions};
+use graphprof_server::{RegressScope, ReportFormat, Server, ServerConfig};
+use graphprof_workloads::synthetic::{layered_dag, DagParams};
+use graphprof_workloads::{paper, synthetic};
+
+/// Timed repetitions per measurement; the fastest repetition wins.
+const REPS: usize = 7;
+/// Windows uploaded into the server-side series.
+const WINDOWS: u64 = 4;
+/// Per-call client deadline for the server-side path.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_regress.json".to_string());
+    let report = match run() {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("regress: {msg}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("regress: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{report}");
+    eprintln!("wrote {out_path}");
+}
+
+fn fastest(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Case {
+    workload: &'static str,
+    routines: usize,
+    samples: u64,
+    compare_ms: f64,
+}
+
+fn case(workload: &'static str, program: Program) -> Result<Case, String> {
+    let exe: Executable = program
+        .compile(&CompileOptions::profiled())
+        .map_err(|e| format!("{workload}: compile: {e}"))?;
+    let (gmon, _): (GmonData, _) =
+        profile_to_completion(exe.clone(), 32).map_err(|e| format!("{workload}: run: {e}"))?;
+    let mut doubled =
+        GmonData::from_bytes(&gmon.to_bytes()).map_err(|e| format!("{workload}: reparse: {e}"))?;
+    doubled.merge(&gmon).map_err(|e| format!("{workload}: merge: {e}"))?;
+
+    // Contract gate: self-comparison clean, doubled work regressed.
+    let opts = CompareOptions::default();
+    let same = compare(&exe, &gmon, &gmon, &opts).map_err(|e| format!("{workload}: {e}"))?;
+    if !same.is_clean() {
+        return Err(format!("{workload}: gate flagged a profile against itself"));
+    }
+    let slow = compare(&exe, &gmon, &doubled, &opts).map_err(|e| format!("{workload}: {e}"))?;
+    if slow.is_clean() {
+        return Err(format!("{workload}: gate missed a doubled workload"));
+    }
+
+    let compare_s = fastest(|| {
+        black_box(compare(&exe, &gmon, &doubled, &opts).expect("comparable"));
+    });
+    Ok(Case {
+        workload,
+        routines: exe.symbols().iter().count(),
+        samples: gmon.histogram().total(),
+        compare_ms: compare_s * 1e3,
+    })
+}
+
+/// The server-side path: windows uploaded into a retaining server, then
+/// `remote regress --baseline` timed over a loopback connection — the
+/// wire codec, the handler, the trailing-baseline fold, and the engine.
+fn remote_case() -> Result<f64, String> {
+    let exe = paper::kernel_program(40)
+        .compile(&CompileOptions::profiled())
+        .map_err(|e| format!("remote: compile: {e}"))?;
+    let (gmon, _) =
+        profile_to_completion(exe.clone(), 32).map_err(|e| format!("remote: run: {e}"))?;
+    let blob = gmon.to_bytes();
+
+    let config = ServerConfig {
+        retain: WINDOWS as usize,
+        drain_grace: Duration::from_secs(1),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, exe, &[]).map_err(|e| format!("remote: start: {e}"))?;
+    let mut client = graphprof_server::Client::connect(&handle.addr().to_string(), TIMEOUT)
+        .map_err(|e| format!("remote: connect: {e}"))?;
+    for seq in 0..WINDOWS {
+        client.upload("web", seq, &blob).map_err(|e| format!("remote: upload: {e}"))?;
+    }
+
+    // Identical windows: the baseline comparison must be clean.
+    let thresholds = graphprof_regress::Thresholds::default();
+    let (regressed, _) = client
+        .regress("web", "web", RegressScope::Baseline(2), &thresholds, ReportFormat::Text)
+        .map_err(|e| format!("remote: regress: {e}"))?;
+    if regressed {
+        return Err("remote: gate flagged identical retained windows".to_string());
+    }
+
+    let best = fastest(|| {
+        black_box(
+            client
+                .regress("web", "web", RegressScope::Baseline(2), &thresholds, ReportFormat::Text)
+                .expect("server answers"),
+        );
+    });
+    drop(client);
+    handle.shutdown();
+    Ok(best * 1e3)
+}
+
+fn run() -> Result<String, String> {
+    let cases = [
+        case("figure2", paper::figure2_program(8))?,
+        case("kernel", paper::kernel_program(40))?,
+        case(
+            "dag-small",
+            layered_dag(0x5eed, DagParams { layers: 4, width: 8, ..DagParams::default() }),
+        )?,
+        case(
+            "dag-wide",
+            layered_dag(0x5eed, DagParams { layers: 6, width: 24, ..DagParams::default() }),
+        )?,
+        case("fan-out-indirect", synthetic::fan_out_indirect_program(12, 20))?,
+    ];
+    let remote_ms = remote_case()?;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"regress\",");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"routines\": {}, \"samples\": {}, \
+             \"compare_ms\": {:.3}}}{comma}",
+            c.workload, c.routines, c.samples, c.compare_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"remote_baseline_ms\": {remote_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"fastest of {REPS} repetitions; compare_ms is the offline engine (two \
+         analyses + moments + three comparators) on a doubled-workload pair; \
+         remote_baseline_ms is one remote regress --baseline 2 roundtrip over loopback \
+         against {WINDOWS} retained windows; every case cross-checked (self clean, doubled \
+         regressed) before timing\""
+    );
+    let _ = writeln!(json, "}}");
+    Ok(json)
+}

@@ -3,7 +3,7 @@
 //! the paper and retrospective.
 
 use graphprof_cli::args::normalize_jobs_shorthand;
-use graphprof_cli::{analyze, check, remote, report, serve, Args, CliError};
+use graphprof_cli::{analyze, check, regress, remote, report, serve, Args, CliError};
 
 const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--flat-only|--graph-only] [--no-static] \
@@ -12,8 +12,9 @@ const USAGE: &str = "graphprof <prog.gpx> <gmon.out|dir|pattern...> \
                      [--cps N] [--sum file] [--coverage] [--annotate] [--brief] [--dot file] [--tsv prefix] [--jobs N]\n\
                      graphprof check <prog.gpx> <gmon.out> [--jobs N] [--salvage]\n\
                      graphprof analyze <prog.gpx> <gmon.out> [--jobs N] [--salvage] [--deny CODES] [--warn CODES] [--allow CODES] [--json FILE]\n\
-                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N] [--data-dir DIR] [--wal-segment-bytes N] [--stripes N] [--group-commit-ms N | --no-group-commit]\n\
-                     graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|stats> [...] [--vm NAME] [--timeout-ms N] [--retries N] [--retry-base-ms N]";
+                     graphprof regress <prog.gpx> <before> <after> [--min-sigma S] [--min-ticks T] [--min-pct P] [--json FILE]\n\
+                     graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES] [--timeout-ms N] [--jobs N] [--data-dir DIR] [--wal-segment-bytes N] [--stripes N] [--group-commit-ms N | --no-group-commit] [--retain K]\n\
+                     graphprof remote <addr> <on|off|status|reset|extract|moncontrol|flat|graph|sum|diff|regress|stats> [...] [--vm NAME] [--timeout-ms N] [--retries N] [--retry-base-ms N] [--window N | --baseline K] [--min-sigma S] [--min-ticks T] [--min-pct P] [--json]";
 
 fn fail(e: &CliError) -> ! {
     match e {
@@ -44,6 +45,7 @@ fn serve_main(argv: &[String]) -> ! {
             "wal-segment-bytes",
             "stripes",
             "group-commit-ms",
+            "retain",
         ],
         &["no-group-commit"],
     )
@@ -66,14 +68,28 @@ fn serve_main(argv: &[String]) -> ! {
 fn remote_main(argv: &[String]) -> ! {
     let result = Args::parse(
         argv,
-        &["vm", "timeout-ms", "out", "into", "range", "routine", "retries", "retry-base-ms"],
-        &["off"],
+        &[
+            "vm",
+            "timeout-ms",
+            "out",
+            "into",
+            "range",
+            "routine",
+            "retries",
+            "retry-base-ms",
+            "window",
+            "baseline",
+            "min-sigma",
+            "min-ticks",
+            "min-pct",
+        ],
+        &["off", "json"],
     )
     .and_then(|args| remote(&args));
     match result {
-        Ok(output) => {
-            print!("{output}");
-            std::process::exit(0);
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            std::process::exit(i32::from(outcome.regressed));
         }
         Err(e) => fail(&e),
     }
@@ -95,6 +111,26 @@ fn main() {
             Ok(report) => {
                 print!("{}", report.output);
                 if !report.is_clean() {
+                    std::process::exit(1);
+                }
+            }
+            Err(CliError::Usage(msg)) => {
+                eprintln!("{msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("graphprof: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("regress") {
+        let parsed = Args::parse(&argv[1..], &["min-sigma", "min-ticks", "min-pct", "json"], &[]);
+        match parsed.and_then(|args| regress(&args)) {
+            Ok(outcome) => {
+                print!("{}", outcome.output);
+                if outcome.regressed {
                     std::process::exit(1);
                 }
             }

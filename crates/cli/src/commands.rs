@@ -464,6 +464,109 @@ pub fn analyze(args: &Args) -> Result<AnalyzeOutcome, CliError> {
     })
 }
 
+/// The outcome of `graphprof regress`: the rendered report plus the
+/// verdict the binary's exit code derives from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressOutcome {
+    /// The rendered report (ranked text).
+    pub output: String,
+    /// True when any routine cleared every threshold.
+    pub regressed: bool,
+}
+
+impl RegressOutcome {
+    /// Whether the gate passes (no regression flagged).
+    pub fn is_clean(&self) -> bool {
+        !self.regressed
+    }
+}
+
+/// Parses a float-valued flag like `--min-sigma 2.5`.
+fn float_value(args: &Args, name: &str) -> Result<Option<f64>, CliError> {
+    match args.value(name) {
+        None => Ok(None),
+        Some(raw) => {
+            raw.parse::<f64>().ok().filter(|v| v.is_finite() && *v >= 0.0).map(Some).ok_or_else(
+                || CliError::Usage(format!("--{name} expects a non-negative number, got `{raw}`")),
+            )
+        }
+    }
+}
+
+/// Reads the regression-gate thresholds shared by `graphprof regress`
+/// and `graphprof remote regress` from `--min-sigma`, `--min-ticks`,
+/// and `--min-pct`.
+pub(crate) fn parse_thresholds(args: &Args) -> Result<graphprof_regress::Thresholds, CliError> {
+    let mut t = graphprof_regress::Thresholds::default();
+    if let Some(v) = float_value(args, "min-sigma")? {
+        t.min_sigma = v;
+    }
+    if let Some(v) = float_value(args, "min-ticks")? {
+        t.min_ticks = v;
+    }
+    if let Some(v) = float_value(args, "min-pct")? {
+        t.min_pct = v;
+    }
+    Ok(t)
+}
+
+/// `graphprof regress <prog.gpx> <before> <after> [--min-sigma S]
+/// [--min-ticks T] [--min-pct P] [--json FILE]`
+///
+/// The offline statistical regression gate: compares two profiles of one
+/// executable and flags only movements beyond sampling noise (see
+/// `docs/REGRESSION.md`). `<before>` and `<after>` expand like
+/// `graphprof`'s profile positionals — a file, a directory of
+/// `gmon.out*` files, or a `*`/`?` pattern. When the before side expands
+/// to K files they form a trailing baseline: the after profile is scored
+/// against their per-window mean, whose noise shrinks as 1/K. Multiple
+/// after files are summed as one run.
+///
+/// The report ranks every routine (regressions first, by sigma);
+/// `--json FILE` additionally writes the versioned
+/// `graphprof-regress-report/1` document. The binary exits 1 on a
+/// regression, 0 when clean, 2 on usage errors.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage or I/O problems, and for
+/// incomparable profiles (different sampling periods).
+pub fn regress(args: &Args) -> Result<RegressOutcome, CliError> {
+    let [exe_path, before_raw, after_raw] = args.positionals() else {
+        return Err(CliError::Usage(
+            "graphprof regress <prog.gpx> <before> <after> [--min-sigma S] [--json FILE]"
+                .to_string(),
+        ));
+    };
+    let thresholds = parse_thresholds(args)?;
+    let exe = load_executable(exe_path)?;
+    let load_side = |raw: &String| -> Result<(Gmon, u64), CliError> {
+        let paths = expand_gmon_paths(std::slice::from_ref(raw))?;
+        let mut merged: Option<Gmon> = None;
+        for path in &paths {
+            let gmon = Gmon::from_bytes(&read(path)?)?;
+            match merged.as_mut() {
+                None => merged = Some(gmon),
+                Some(sum) => sum.merge(&gmon).map_err(|e| {
+                    CliError::Usage(format!("cannot sum `{path}` into the side: {e}"))
+                })?,
+            }
+        }
+        Ok((merged.expect("expansion is never empty"), paths.len() as u64))
+    };
+    let (before, before_windows) = load_side(before_raw)?;
+    let (after, _) = load_side(after_raw)?;
+    let opts = graphprof_regress::CompareOptions { thresholds, before_windows };
+    let report = graphprof_regress::compare(&exe, &before, &after, &opts)?;
+    if let Some(json_path) = args.value("json") {
+        write(json_path, report.to_json(before_raw, after_raw).to_pretty().as_bytes())?;
+    }
+    Ok(RegressOutcome {
+        output: report.render_text(before_raw, after_raw),
+        regressed: !report.is_clean(),
+    })
+}
+
 /// `gpx-dis <prog.gpx>` — prints a symbol-annotated disassembly listing.
 ///
 /// # Errors

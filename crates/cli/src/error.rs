@@ -45,6 +45,8 @@ pub enum CliError {
     /// A remote call to a collection server failed: connection refused,
     /// deadline exceeded, or a server-side reject.
     Remote(graphprof_server::ClientError),
+    /// Two profiles could not be compared by the regression gate.
+    Regress(graphprof_regress::CompareError),
 }
 
 impl fmt::Display for CliError {
@@ -67,6 +69,7 @@ impl fmt::Display for CliError {
                 Ok(())
             }
             CliError::Remote(e) => write!(f, "remote error: {e}"),
+            CliError::Regress(e) => write!(f, "regression gate error: {e}"),
         }
     }
 }
@@ -85,6 +88,7 @@ impl Error for CliError {
             CliError::Analyze(e) => Some(e),
             CliError::Verify { .. } => None,
             CliError::Remote(e) => Some(e),
+            CliError::Regress(e) => Some(e),
         }
     }
 }
@@ -107,6 +111,7 @@ from_error!(Interp, InterpError);
 from_error!(Decode, DecodeError);
 from_error!(Analyze, AnalyzeError);
 from_error!(Remote, graphprof_server::ClientError);
+from_error!(Regress, graphprof_regress::CompareError);
 
 impl CliError {
     /// Wraps an I/O error with the path it concerned.

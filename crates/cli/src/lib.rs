@@ -14,8 +14,11 @@
 //!   profile against its executable and exits non-zero on inconsistency;
 //!   `analyze` adds the whole-program call-graph analysis behind a
 //!   configurable `--deny/--warn/--allow` rule gate with JSON output;
+//!   `regress` is the statistical regression gate over two profiles
+//!   (sampling-noise sigmas, exit 1 on a real slowdown);
 //!   its `serve` subcommand hosts the continuous-profiling collection
-//!   server and `remote` drives one (kgmon verbs and queries);
+//!   server and `remote` drives one (kgmon verbs, queries, and the
+//!   same regression gate over server-retained windows);
 //! * `gpx-send` — uploads gmon files into a running collection server.
 //!
 //! The command implementations live here as library functions that take
@@ -29,7 +32,8 @@ pub mod remote;
 
 pub use args::Args;
 pub use commands::{
-    analyze, assemble, check, disassemble, report, run, AnalyzeOutcome, CheckReport,
+    analyze, assemble, check, disassemble, regress, report, run, AnalyzeOutcome, CheckReport,
+    RegressOutcome,
 };
 pub use error::CliError;
-pub use remote::{remote, send, serve, DEFAULT_ADDR};
+pub use remote::{remote, send, serve, RemoteOutcome, DEFAULT_ADDR};

@@ -12,8 +12,8 @@ use std::fs;
 use std::time::Duration;
 
 use graphprof_server::{
-    DeltaUploader, KgmonVerb, MonRange, QueryKind, ResilientClient, Response, RetryPolicy, Server,
-    ServerConfig, ServerHandle,
+    DeltaUploader, KgmonVerb, MonRange, QueryKind, RegressScope, ReportFormat, ResilientClient,
+    Response, RetryPolicy, Server, ServerConfig, ServerHandle,
 };
 
 use crate::args::Args;
@@ -48,7 +48,7 @@ fn connect(args: &Args, addr: &str) -> Result<ResilientClient, CliError> {
 /// `graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--jobs N]
 /// [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES]
 /// [--timeout-ms N] [--data-dir DIR] [--wal-segment-bytes N]
-/// [--stripes N] [--group-commit-ms N | --no-group-commit]`
+/// [--stripes N] [--group-commit-ms N | --no-group-commit] [--retain K]`
 ///
 /// Starts the collection server for one executable: uploads are
 /// validated against it and `--vm` hosts named profiled VMs running it
@@ -59,7 +59,10 @@ fn connect(args: &Args, addr: &str) -> Result<ResilientClient, CliError> {
 /// over `--stripes` (default 4, pinned per data directory) and durable
 /// uploads are group-committed — one fsync per batch, held open
 /// `--group-commit-ms` (default 0: flush as fast as the commit worker
-/// drains); `--no-group-commit` restores one fsync per upload. Returns
+/// drains); `--no-group-commit` restores one fsync per upload. With
+/// `--retain K` every series additionally keeps its last K uploaded
+/// windows — rebuilt by WAL replay when durable — for
+/// `remote regress --window/--baseline` queries. Returns
 /// the running handle plus a banner line (`serving <prog> on <addr>
 /// (<v> hosted VM(s), <s> stripe(s))`, then per-stripe recovery lines
 /// when durable); the binary prints the banner and parks until killed.
@@ -108,10 +111,14 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
     } else if let Some(ms) = args.int_value("group-commit-ms")? {
         config.group_commit = Some(Duration::from_millis(ms));
     }
+    if let Some(k) = args.int_value("retain")? {
+        config.retain = k as usize;
+    }
 
     let vms: Vec<String> = args.values("vm").to_vec();
     let durable = config.data_dir.is_some();
     let stripes = config.stripes.clamp(1, 256);
+    let retain = config.retain;
     let handle = Server::start(config, exe, &vms).map_err(|e| {
         CliError::io(format!("start on {}", args.value("bind").unwrap_or(DEFAULT_ADDR)), e)
     })?;
@@ -120,6 +127,9 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
         handle.addr(),
         vms.len()
     );
+    if retain > 0 {
+        banner.push_str(&format!("\nretaining the last {retain} window(s) per series"));
+    }
     if durable {
         if let Some(recovery) = handle.recovery() {
             banner.push_str(&format!("\n{recovery}"));
@@ -197,6 +207,23 @@ fn parse_range(text: &str) -> Result<MonRange, CliError> {
     Ok(MonRange::Addrs(parse(from.trim())?, parse(to.trim())?))
 }
 
+/// What `graphprof remote` produced: the text to print plus the verdict
+/// bit of a `regress` verb (always clean for every other verb), which
+/// the binary turns into exit code 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteOutcome {
+    /// The rendered output.
+    pub output: String,
+    /// True only when a `regress` verb flagged a regression.
+    pub regressed: bool,
+}
+
+impl RemoteOutcome {
+    fn clean(output: String) -> Self {
+        RemoteOutcome { output, regressed: false }
+    }
+}
+
 /// `graphprof remote <addr> <verb> [...]`
 ///
 /// The remote kgmon tool plus remote queries, one verb per invocation:
@@ -206,7 +233,17 @@ fn parse_range(text: &str) -> Result<MonRange, CliError> {
 ///   `extract [--out FILE] [--into SERIES]`,
 ///   `moncontrol (--off | --range FROM:TO | --routine NAME)`;
 /// * data plane: `flat <series>`, `graph <series>`,
-///   `sum <series> --out FILE`, `diff <before> <after>`, `stats`.
+///   `sum <series> --out FILE`, `diff <before> <after> [--json]`,
+///   `regress <before> <after> [--window N | --baseline K]
+///   [--min-sigma S] [--min-ticks T] [--min-pct P] [--json]`, `stats`.
+///
+/// `regress` runs the statistical regression gate server-side (see
+/// `docs/REGRESSION.md`): by default over the two series' whole
+/// aggregates, with `--window N` over each series' N-th newest retained
+/// window, or with `--baseline K` scoring the after series' newest
+/// window against the mean of up to K windows preceding the before
+/// series' newest (both need the server running with `--retain`). The
+/// outcome carries the verdict; the binary exits 1 on a regression.
 ///
 /// Transient transport failures retry with backoff (`--retries`,
 /// `--retry-base-ms`); `extract --into` retries only its dial, because
@@ -215,8 +252,9 @@ fn parse_range(text: &str) -> Result<MonRange, CliError> {
 /// # Errors
 ///
 /// Returns [`CliError::Remote`] when the retry budget is exhausted or
-/// on a server-side reject.
-pub fn remote(args: &Args) -> Result<String, CliError> {
+/// on a server-side reject — including diff or regress against a series
+/// the server does not have.
+pub fn remote(args: &Args) -> Result<RemoteOutcome, CliError> {
     let [addr, verb, rest @ ..] = args.positionals() else {
         return Err(CliError::Usage("graphprof remote <addr> <verb> [...]".to_string()));
     };
@@ -237,22 +275,24 @@ pub fn remote(args: &Args) -> Result<String, CliError> {
         }
     };
 
+    let format = if args.switch("json") { ReportFormat::Json } else { ReportFormat::Text };
+
     match verb.as_str() {
         "on" => {
             expect_no_rest("on")?;
-            kgmon_text(&mut client, KgmonVerb::On)
+            kgmon_text(&mut client, KgmonVerb::On).map(RemoteOutcome::clean)
         }
         "off" => {
             expect_no_rest("off")?;
-            kgmon_text(&mut client, KgmonVerb::Off)
+            kgmon_text(&mut client, KgmonVerb::Off).map(RemoteOutcome::clean)
         }
         "status" => {
             expect_no_rest("status")?;
-            kgmon_text(&mut client, KgmonVerb::Status)
+            kgmon_text(&mut client, KgmonVerb::Status).map(RemoteOutcome::clean)
         }
         "reset" => {
             expect_no_rest("reset")?;
-            kgmon_text(&mut client, KgmonVerb::Reset)
+            kgmon_text(&mut client, KgmonVerb::Reset).map(RemoteOutcome::clean)
         }
         "extract" => {
             expect_no_rest("extract")?;
@@ -270,9 +310,9 @@ pub fn remote(args: &Args) -> Result<String, CliError> {
                     if let Some(series) = stored {
                         out.push_str(&format!("stored into series `{series}`\n"));
                     }
-                    Ok(out)
+                    Ok(RemoteOutcome::clean(out))
                 }
-                _ => Ok(String::new()),
+                _ => Ok(RemoteOutcome::clean(String::new())),
             }
         }
         "moncontrol" => {
@@ -287,14 +327,14 @@ pub fn remote(args: &Args) -> Result<String, CliError> {
                             .to_string(),
                     )),
                 };
-            kgmon_text(&mut client, KgmonVerb::Moncontrol(range))
+            kgmon_text(&mut client, KgmonVerb::Moncontrol(range)).map(RemoteOutcome::clean)
         }
         "flat" | "graph" => {
             let [series] = rest else {
                 return Err(CliError::Usage(format!("remote {verb} <series>")));
             };
             let kind = if verb == "flat" { QueryKind::Flat } else { QueryKind::Graph };
-            Ok(client.query_text(series, kind)?)
+            Ok(RemoteOutcome::clean(client.query_text(series, kind)?))
         }
         "sum" => {
             let [series] = rest else {
@@ -305,17 +345,43 @@ pub fn remote(args: &Args) -> Result<String, CliError> {
             };
             let bytes = client.fetch_sum(series)?;
             fs::write(path, &bytes).map_err(|e| CliError::io(path, e))?;
-            Ok(format!("{path}: {} bytes of aggregate profile\n", bytes.len()))
+            Ok(RemoteOutcome::clean(format!(
+                "{path}: {} bytes of aggregate profile\n",
+                bytes.len()
+            )))
         }
         "diff" => {
             let [before, after] = rest else {
-                return Err(CliError::Usage("remote diff <before> <after>".to_string()));
+                return Err(CliError::Usage("remote diff <before> <after> [--json]".to_string()));
             };
-            Ok(client.diff(before, after)?)
+            Ok(RemoteOutcome::clean(client.diff(before, after, format)?))
+        }
+        "regress" => {
+            let [before, after] = rest else {
+                return Err(CliError::Usage(
+                    "remote regress <before> <after> [--window N | --baseline K]".to_string(),
+                ));
+            };
+            let scope = match (args.int_value("window")?, args.int_value("baseline")?) {
+                (None, None) => RegressScope::Aggregate,
+                (Some(n), None) if n >= 1 => RegressScope::Window(n),
+                (None, Some(k)) if k >= 1 => RegressScope::Baseline(k),
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "remote regress takes at most one of --window N, --baseline K".to_string(),
+                    ))
+                }
+                _ => {
+                    return Err(CliError::Usage("--window and --baseline count from 1".to_string()))
+                }
+            };
+            let thresholds = crate::commands::parse_thresholds(args)?;
+            let (regressed, report) = client.regress(before, after, scope, &thresholds, format)?;
+            Ok(RemoteOutcome { output: report, regressed })
         }
         "stats" => {
             expect_no_rest("stats")?;
-            Ok(client.stats()?)
+            Ok(RemoteOutcome::clean(client.stats()?))
         }
         other => Err(CliError::Usage(format!("unknown remote verb `{other}`"))),
     }

@@ -782,6 +782,97 @@ fn remote_failures_exit_1_with_rendered_errors() {
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
 }
 
+/// The regression gate through both verbs: a seed-replay pair (two
+/// identical deterministic runs) exits 0, a perturbed after-side exits
+/// 1, the JSON report is the versioned document, and nonexistent
+/// series are remote rejects that exit 1.
+#[test]
+fn regress_gate_through_the_binaries() {
+    let dir = TempDir::new("regress");
+    let src = dir.path("pipeline.s");
+    let exe = dir.path("pipeline.gpx");
+    fs::write(&src, SOURCE).expect("write source");
+    assert!(run_bin("gpx-as", &[&src, "--out", &exe]).status.success());
+
+    // Deterministic machine, identical seeds: replayed runs are
+    // byte-identical profiles.
+    let mut gmons = Vec::new();
+    for i in 0..2 {
+        let gmon = dir.path(&format!("gmon.{i}"));
+        assert!(run_bin("gpx-run", &[&exe, "--profile", &gmon, "--tick", "10"]).status.success());
+        gmons.push(gmon);
+    }
+    assert_eq!(fs::read(&gmons[0]).unwrap(), fs::read(&gmons[1]).unwrap(), "replay determinism");
+
+    // Offline verb, identical pair: clean, exit 0.
+    let out = run_bin("graphprof", &["regress", &exe, &gmons[0], &gmons[1]]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("CLEAN"), "{}", stdout(&out));
+
+    // Perturbed after-side (the same run folded twice: every routine
+    // doubles): regressed, exit 1, and the JSON document says so too.
+    for name in ["slow.1", "slow.2"] {
+        fs::copy(&gmons[0], dir.path(name)).expect("copy");
+    }
+    let json = dir.path("report.json");
+    let slow_glob = dir.path("slow.*");
+    let out = run_bin("graphprof", &["regress", &exe, &gmons[0], &slow_glob, "--json", &json]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+    let doc = fs::read_to_string(&json).expect("json written");
+    assert!(doc.contains("graphprof-regress-report/1"), "{doc}");
+    assert!(doc.contains("\"exit\": 1"), "{doc}");
+
+    // Missing arguments are usage errors (exit 2).
+    let out = run_bin("graphprof", &["regress", &exe, &gmons[0]]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    // The remote verb against a retaining server: same verdicts.
+    let (_serve, addr) = spawn_serve(&exe, &["--retain", "2"]);
+    for series in ["base", "same"] {
+        let out = run_bin("gpx-send", &[&gmons[0], "--series", series, "--addr", &addr]);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    let out = run_bin(
+        "gpx-send",
+        &[&dir.path("slow.1"), &dir.path("slow.2"), "--series", "slow", "--addr", &addr],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = run_bin("graphprof", &["remote", &addr, "regress", "base", "same"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("CLEAN"), "{}", stdout(&out));
+    let out = run_bin("graphprof", &["remote", &addr, "regress", "base", "slow", "--json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stdout(&out).contains("graphprof-regress-report/1"), "{}", stdout(&out));
+
+    // Retained windows serve the scoped comparisons.
+    let out = run_bin("graphprof", &["remote", &addr, "regress", "base", "same", "--window", "1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out =
+        run_bin("graphprof", &["remote", &addr, "regress", "slow", "slow", "--baseline", "1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // The diff verb renders the same pair as the versioned JSON diff.
+    let out = run_bin("graphprof", &["remote", &addr, "diff", "base", "slow", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("graphprof-diff/1"), "{}", stdout(&out));
+
+    // Nonexistent series are server rejects: exit 1, reason rendered.
+    for verb in ["diff", "regress"] {
+        let out = run_bin("graphprof", &["remote", &addr, verb, "ghost", "base"]);
+        assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+        assert!(stderr(&out).contains("no such series"), "{}", stderr(&out));
+    }
+
+    // Conflicting scopes are usage errors.
+    let out = run_bin(
+        "graphprof",
+        &["remote", &addr, "regress", "base", "same", "--window", "1", "--baseline", "2"],
+    );
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
 #[test]
 fn prof_style_instrumentation_and_selection() {
     let dir = TempDir::new("profsel");

@@ -60,6 +60,58 @@ pub fn assign_self_cycles(
     (out, unattributed)
 }
 
+/// Charges histogram *sample moments* to routines — the statistical
+/// counterpart of [`assign_self_cycles`].
+///
+/// The paper's error analysis (§3.2, retrospective §4) treats each
+/// bucket's count as a statistical estimate whose expected error grows
+/// with the square root of the number of samples. To score a self-time
+/// delta in sigmas rather than raw ticks, a consumer needs per-routine
+/// first and second moments: for a bucket holding `c` samples of which
+/// fraction `f` overlaps a routine, the routine receives mean `c·f` and
+/// variance `c·f²` (each sample is an independent draw landing in the
+/// routine with probability `f`, so the apportioned share has variance
+/// `c·f·(1-f) ≤ c·f²` + the Poisson variance of the count itself; `c·f²`
+/// is the standard gprof-style `error ∝ √samples` model).
+///
+/// Returns per-symbol `(samples, variance)` in ticks² (indexed by
+/// [`SymbolId`] order) plus the `(samples, variance)` that could not be
+/// attributed to any routine.
+pub fn assign_sample_moments(
+    histogram: &Histogram,
+    symbols: &SymbolTable,
+) -> (Vec<(f64, f64)>, (f64, f64)) {
+    let mut out = vec![(0.0, 0.0); symbols.len()];
+    let mut unattributed = (histogram.missed() as f64, histogram.missed() as f64);
+    let syms: Vec<_> = symbols.iter().collect();
+    let mut lower = 0usize;
+    for (i, count) in histogram.iter_nonzero() {
+        let (bucket_start, bucket_end) = histogram.bucket_range(i);
+        let samples = count as f64;
+        let bucket_len = f64::from(bucket_end.get() - bucket_start.get());
+        // Buckets come in address order, so the scan cursor only advances.
+        while lower < syms.len() && syms[lower].1.end() <= bucket_start {
+            lower += 1;
+        }
+        let mut attributed = 0.0;
+        let mut j = lower;
+        while j < syms.len() && syms[j].1.addr() < bucket_end {
+            let overlap_start = syms[j].1.addr().max(bucket_start);
+            let overlap_end = syms[j].1.end().min(bucket_end);
+            let overlap = f64::from(overlap_end.get() - overlap_start.get());
+            let fraction = overlap / bucket_len;
+            let (mean, var) = &mut out[syms[j].0.index()];
+            *mean += samples * fraction;
+            *var += samples * fraction * fraction;
+            attributed += samples * fraction;
+            j += 1;
+        }
+        unattributed.0 += samples - attributed;
+        unattributed.1 += samples - attributed;
+    }
+    (out, unattributed)
+}
+
 /// A call graph resolved from raw arc records.
 #[derive(Debug, Clone)]
 pub struct ResolvedGraph {
@@ -161,6 +213,50 @@ mod tests {
         // the bucket.
         assert!(self_cycles[0] > 0.0);
         assert!(self_cycles[1] > 0.0);
+    }
+
+    #[test]
+    fn moments_of_a_fine_histogram_equal_the_counts() {
+        // f = 1 inside a routine, so mean and variance are both the raw
+        // sample count — the √samples noise model's base case.
+        let exe = exe_two_routines();
+        let symbols = exe.symbols();
+        let (_, main) = symbols.by_name("main").unwrap();
+        let (_, leaf) = symbols.by_name("leaf").unwrap();
+        let text_len = exe.end().checked_sub(exe.base()).unwrap();
+        let mut h = Histogram::new(exe.base(), text_len, 0);
+        h.record(main.addr(), 16);
+        h.record(leaf.addr(), 48);
+        let (moments, unattributed) = assign_sample_moments(&h, symbols);
+        assert_eq!(moments[0], (16.0, 16.0));
+        assert_eq!(moments[1], (48.0, 48.0));
+        assert_eq!(unattributed, (0.0, 0.0));
+    }
+
+    #[test]
+    fn moments_of_a_boundary_bucket_shrink_quadratically() {
+        let exe = exe_two_routines();
+        let symbols = exe.symbols();
+        let (_, main) = symbols.by_name("main").unwrap();
+        let text_len = exe.end().checked_sub(exe.base()).unwrap();
+        let shift = 5; // 32-byte buckets spanning the main/leaf boundary
+        let mut h = Histogram::new(exe.base(), text_len, shift);
+        h.record(main.addr(), 32);
+        let (moments, unattributed) = assign_sample_moments(&h, symbols);
+        let mean: f64 = moments.iter().map(|m| m.0).sum::<f64>() + unattributed.0;
+        assert!((mean - 32.0).abs() < 1e-9, "all samples accounted");
+        for &(m, v) in &moments {
+            // variance = c·f² ≤ mean = c·f, strictly less when f < 1.
+            assert!(v <= m + 1e-12, "({m}, {v})");
+            if m > 0.0 && m < 32.0 {
+                assert!(v < m, "a partial overlap must shrink the variance");
+            }
+        }
+        // Moments agree with the cycle assignment's apportioning.
+        let (self_cycles, _) = assign_self_cycles(&h, symbols, 1);
+        for (i, &(m, _)) in moments.iter().enumerate() {
+            assert!((m - self_cycles[i]).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use graphprof_monitor::{encode_delta, GmonData};
 
 use crate::fault::FaultPlan;
 use crate::frame::{read_frame, write_frame, write_frame_faulty, WireError, DEFAULT_MAX_PAYLOAD};
-use crate::proto::{KgmonVerb, QueryKind, Request, Response};
+use crate::proto::{KgmonVerb, QueryKind, RegressScope, ReportFormat, Request, Response};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -285,16 +285,56 @@ impl Client {
         }
     }
 
-    /// Fetches the rendered diff of two series aggregates.
+    /// Fetches the rendered diff of two series aggregates, as text or as
+    /// the `graphprof-diff/1` JSON document.
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::Rejected`] when either series is unknown.
-    pub fn diff(&mut self, before: &str, after: &str) -> Result<String, ClientError> {
-        let request = Request::Diff { before: before.to_string(), after: after.to_string() };
+    pub fn diff(
+        &mut self,
+        before: &str,
+        after: &str,
+        format: ReportFormat,
+    ) -> Result<String, ClientError> {
+        let request =
+            Request::Diff { before: before.to_string(), after: after.to_string(), format };
         match self.expect_ok(&request)? {
             Response::Text(text) => Ok(text),
             _ => Err(ClientError::Unexpected("non-text")),
+        }
+    }
+
+    /// Runs the server-side regression gate over two series and returns
+    /// the verdict bit plus the rendered report (text or the versioned
+    /// `graphprof-regress-report/1` JSON, per `format`). Thresholds are
+    /// plain floats; they travel as ×1000 fixed-point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] for unknown series, a missing
+    /// retained window, or a too-shallow baseline.
+    pub fn regress(
+        &mut self,
+        before: &str,
+        after: &str,
+        scope: RegressScope,
+        thresholds: &graphprof_regress::Thresholds,
+        format: ReportFormat,
+    ) -> Result<(bool, String), ClientError> {
+        let to_milli = |x: f64| (x * 1000.0).round().max(0.0) as u64;
+        let request = Request::Regress {
+            before: before.to_string(),
+            after: after.to_string(),
+            scope,
+            min_sigma_milli: to_milli(thresholds.min_sigma),
+            min_ticks_milli: to_milli(thresholds.min_ticks),
+            min_pct_milli: to_milli(thresholds.min_pct),
+            format,
+        };
+        match self.expect_ok(&request)? {
+            Response::Regress { regressed, report } => Ok((regressed, report)),
+            _ => Err(ClientError::Unexpected("non-regress")),
         }
     }
 
@@ -521,8 +561,29 @@ impl ResilientClient {
     /// # Errors
     ///
     /// See [`ResilientClient::run`].
-    pub fn diff(&mut self, before: &str, after: &str) -> Result<String, ClientError> {
-        self.run(|c| c.diff(before, after))
+    pub fn diff(
+        &mut self,
+        before: &str,
+        after: &str,
+        format: ReportFormat,
+    ) -> Result<String, ClientError> {
+        self.run(|c| c.diff(before, after, format))
+    }
+
+    /// [`Client::regress`], with retry (reads are idempotent).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn regress(
+        &mut self,
+        before: &str,
+        after: &str,
+        scope: RegressScope,
+        thresholds: &graphprof_regress::Thresholds,
+        format: ReportFormat,
+    ) -> Result<(bool, String), ClientError> {
+        self.run(|c| c.regress(before, after, scope, thresholds, format))
     }
 
     /// [`Client::stats`], with retry (reads are idempotent).

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   b"GPRS"     4 bytes
-//! version u16 LE      1 or 2
+//! version u16 LE      1, 2, or 3
 //! kind    u8          message discriminant (see `proto`)
 //! flags   u8          reserved, 0
 //! len     u32 LE      payload length in bytes
@@ -17,12 +17,13 @@
 //! garbage frame is rejected after twelve bytes, which is what lets the
 //! server drop a hostile connection without ever buffering its payload.
 //!
-//! Version 2 added the delta-upload message pair. The version a frame
-//! carries is the version its *kind* needs: legacy kinds still travel
-//! as version 1 and readers accept the whole
-//! [`MIN_VERSION`]`..=`[`VERSION`] range, so a version-1 client keeps
-//! working against a version-2 server — it only ever receives version-2
-//! frames in reply to version-2 requests it cannot send.
+//! Version 2 added the delta-upload message pair; version 3 added the
+//! regress request/response pair and taught the diff request to carry a
+//! report format. The version a frame carries is the version its *kind*
+//! needs: legacy kinds still travel as version 1 and readers accept the
+//! whole [`MIN_VERSION`]`..=`[`VERSION`] range, so a version-1 client
+//! keeps working against a version-3 server — it only ever receives
+//! newer frames in reply to newer requests it cannot send.
 
 use std::error::Error;
 use std::fmt;
@@ -30,15 +31,18 @@ use std::io::{Read, Write};
 
 /// Frame magic: "GPRS" (graphprof-serve).
 pub const MAGIC: [u8; 4] = *b"GPRS";
-/// Newest protocol version this side speaks (delta uploads).
-pub const VERSION: u16 = 2;
+/// Newest protocol version this side speaks (regression gate).
+pub const VERSION: u16 = 3;
 /// Oldest protocol version readers still accept.
 pub const MIN_VERSION: u16 = 1;
-/// Message kinds that exist only in version 2 of the protocol: the
+/// Message kinds introduced by version 2 of the protocol: the
 /// delta-upload request and the resync response (see `proto`). Frames
-/// of every other kind are written as version 1, so old peers keep
-/// decoding everything a new peer can send them.
+/// of every other legacy kind are written as version 1, so old peers
+/// keep decoding everything a new peer can send them.
 const V2_KINDS: [u8; 2] = [0x06, 0x84];
+/// Message kinds that need version 3: the regress request/response
+/// pair, and the diff request now that it carries a report format.
+const V3_KINDS: [u8; 3] = [0x03, 0x07, 0x85];
 /// Fixed header size preceding every payload.
 pub const HEADER_LEN: usize = 12;
 /// Default cap on payload length enforced by readers.
@@ -159,7 +163,13 @@ pub fn encode_frame(frame: &Frame, max_payload: usize) -> Result<Vec<u8>, WireEr
     if frame.payload.len() > max_payload {
         return Err(WireError::Oversized { len: frame.payload.len(), max: max_payload });
     }
-    let version = if V2_KINDS.contains(&frame.kind) { VERSION } else { MIN_VERSION };
+    let version = if V3_KINDS.contains(&frame.kind) {
+        VERSION
+    } else if V2_KINDS.contains(&frame.kind) {
+        2
+    } else {
+        MIN_VERSION
+    };
     let mut bytes = Vec::with_capacity(HEADER_LEN + frame.payload.len());
     bytes.extend_from_slice(&MAGIC);
     bytes.extend_from_slice(&version.to_le_bytes());
@@ -295,8 +305,11 @@ mod tests {
     #[test]
     fn version_tracks_what_the_kind_needs() {
         // Legacy kinds stay on version 1 so old readers decode them;
-        // the delta-upload pair rides version 2; readers take both.
-        for (kind, version) in [(0x01u8, 1u16), (0x80, 1), (0x06, 2), (0x84, 2)] {
+        // the delta-upload pair rides version 2; the regress pair and
+        // the format-carrying diff ride version 3; readers take all.
+        for (kind, version) in
+            [(0x01u8, 1u16), (0x80, 1), (0x06, 2), (0x84, 2), (0x03, 3), (0x07, 3), (0x85, 3)]
+        {
             let bytes = encode_frame(&Frame::new(kind, vec![]), 64).unwrap();
             assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), version, "kind {kind:#x}");
             let frame = read_frame(&mut bytes.as_slice(), 64).unwrap().unwrap();

@@ -42,7 +42,7 @@ pub use client::{
 };
 pub use fault::{FaultPlan, FaultSpec};
 pub use frame::{Frame, WireError, DEFAULT_MAX_PAYLOAD};
-pub use proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
+pub use proto::{KgmonVerb, MonRange, QueryKind, RegressScope, ReportFormat, Request, Response};
 pub use server::{DrainSummary, Server, ServerConfig, ServerHandle};
 pub use store::{RejectReason, SeriesStats, SeriesStore, StoreOptions};
 pub use wal::{StoreRecovery, Wal, WalRecord, WalRecovery};

@@ -7,7 +7,9 @@
 //!   since the last applied window (answered with [`Response::Resync`]
 //!   when the server cannot reconstitute from the named base);
 //!   [`Request::Query`] and [`Request::Diff`] read rendered listings or
-//!   the raw aggregate back out;
+//!   the raw aggregate back out, and [`Request::Regress`] runs the
+//!   statistical regression gate over two series server-side (protocol
+//!   version 3);
 //! * the **control plane** — [`Request::Kgmon`] remotes the kgmon verbs
 //!   (on/off, moncontrol, extract, reset) to a VM hosted in the server.
 //!
@@ -35,6 +37,9 @@ pub mod kind {
     /// Upload one profile window as a delta against the series' last
     /// applied window (protocol version 2).
     pub const UPLOAD_DELTA: u8 = 0x06;
+    /// Run the statistical regression gate over two series (protocol
+    /// version 3).
+    pub const REGRESS: u8 = 0x07;
 
     /// Response: upload accepted.
     pub const ACCEPTED: u8 = 0x80;
@@ -49,8 +54,34 @@ pub mod kind {
     /// applied window — the client must resend a full blob (protocol
     /// version 2). Flow control, not an error.
     pub const RESYNC: u8 = 0x84;
+    /// Response: a rendered regression report plus its verdict bit
+    /// (protocol version 3).
+    pub const REGRESS_REPORT: u8 = 0x85;
     /// Response: the request was rejected.
     pub const ERROR: u8 = 0xFF;
+}
+
+/// How a server-rendered report should be formatted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable text (the default, and what version-1 peers get).
+    #[default]
+    Text,
+    /// The versioned machine-readable JSON document.
+    Json,
+}
+
+/// Which retained view of each series a [`Request::Regress`] compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressScope {
+    /// The whole-series aggregates (everything ever folded in).
+    Aggregate,
+    /// The `n`-th newest retained window of each series (1 = newest).
+    Window(u64),
+    /// A trailing baseline: the mean of up to `k` retained windows of
+    /// the `before` series preceding its newest, against the `after`
+    /// series' newest window.
+    Baseline(u64),
 }
 
 /// What a [`Request::Query`] should return.
@@ -137,6 +168,29 @@ pub enum Request {
         before: String,
         /// Comparison series.
         after: String,
+        /// Report rendering. Encoded as a trailing byte that is optional
+        /// on decode — a version-1 peer's byte-identical diff request
+        /// still decodes, as [`ReportFormat::Text`].
+        format: ReportFormat,
+    },
+    /// Run the statistical regression gate over two series
+    /// (`before` → `after`) and return the rendered report plus its
+    /// verdict. Thresholds travel as ×1000 fixed-point integers.
+    Regress {
+        /// Baseline series.
+        before: String,
+        /// Comparison series.
+        after: String,
+        /// Which retained view of each series to compare.
+        scope: RegressScope,
+        /// Minimum significance in milli-sigmas (`--min-sigma` × 1000).
+        min_sigma_milli: u64,
+        /// Minimum absolute movement in milli-ticks (`--min-ticks` × 1000).
+        min_ticks_milli: u64,
+        /// Minimum relative movement in milli-percent (`--min-pct` × 1000).
+        min_pct_milli: u64,
+        /// Report rendering.
+        format: ReportFormat,
     },
     /// Drive a hosted VM's kgmon tool. An empty `vm` name resolves to
     /// the server's only VM when exactly one is hosted.
@@ -185,6 +239,14 @@ pub enum Response {
         /// The base the server could have accepted — the series' last
         /// applied seq — or `None` when the series has no window yet.
         expected: Option<u64>,
+    },
+    /// A regression report: the verdict bit a CI gate exits on, plus the
+    /// rendered report (text or JSON, per the request's format).
+    Regress {
+        /// True when the gate flagged at least one routine.
+        regressed: bool,
+        /// The rendered report.
+        report: String,
     },
     /// Rendered text (listing, diff, stats, kgmon status).
     Text(String),
@@ -246,6 +308,21 @@ fn get_u8(data: &mut &[u8]) -> Result<u8, WireError> {
     Ok(data.get_u8())
 }
 
+fn put_format(out: &mut Vec<u8>, format: ReportFormat) {
+    out.put_u8(match format {
+        ReportFormat::Text => 0,
+        ReportFormat::Json => 1,
+    });
+}
+
+fn get_format(data: &mut &[u8]) -> Result<ReportFormat, WireError> {
+    match get_u8(data)? {
+        0 => Ok(ReportFormat::Text),
+        1 => Ok(ReportFormat::Json),
+        other => Err(WireError::Malformed(format!("unknown report format {other}"))),
+    }
+}
+
 fn finish<T>(data: &[u8], value: T) -> Result<T, WireError> {
     if data.has_remaining() {
         Err(WireError::Malformed(format!("{} trailing payload bytes", data.remaining())))
@@ -281,10 +358,39 @@ impl Request {
                 });
                 kind::QUERY
             }
-            Request::Diff { before, after } => {
+            Request::Diff { before, after, format } => {
                 put_str(&mut p, before);
                 put_str(&mut p, after);
+                put_format(&mut p, *format);
                 kind::DIFF
+            }
+            Request::Regress {
+                before,
+                after,
+                scope,
+                min_sigma_milli,
+                min_ticks_milli,
+                min_pct_milli,
+                format,
+            } => {
+                put_str(&mut p, before);
+                put_str(&mut p, after);
+                match scope {
+                    RegressScope::Aggregate => p.put_u8(0),
+                    RegressScope::Window(n) => {
+                        p.put_u8(1);
+                        p.put_u64_le(*n);
+                    }
+                    RegressScope::Baseline(k) => {
+                        p.put_u8(2);
+                        p.put_u64_le(*k);
+                    }
+                }
+                p.put_u64_le(*min_sigma_milli);
+                p.put_u64_le(*min_ticks_milli);
+                p.put_u64_le(*min_pct_milli);
+                put_format(&mut p, *format);
+                kind::REGRESS
             }
             Request::Kgmon { vm, verb } => {
                 put_str(&mut p, vm);
@@ -358,7 +464,41 @@ impl Request {
             kind::DIFF => {
                 let before = get_str(data)?;
                 let after = get_str(data)?;
-                finish(data, Request::Diff { before, after })
+                // The format byte arrived in protocol version 3; its
+                // absence is a version-1 peer asking for text.
+                let format =
+                    if data.has_remaining() { get_format(data)? } else { ReportFormat::Text };
+                finish(data, Request::Diff { before, after, format })
+            }
+            kind::REGRESS => {
+                let before = get_str(data)?;
+                let after = get_str(data)?;
+                let scope = match get_u8(data)? {
+                    0 => RegressScope::Aggregate,
+                    1 => RegressScope::Window(get_u64(data)?),
+                    2 => RegressScope::Baseline(get_u64(data)?),
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown regress scope tag {other}"
+                        )))
+                    }
+                };
+                let min_sigma_milli = get_u64(data)?;
+                let min_ticks_milli = get_u64(data)?;
+                let min_pct_milli = get_u64(data)?;
+                let format = get_format(data)?;
+                finish(
+                    data,
+                    Request::Regress {
+                        before,
+                        after,
+                        scope,
+                        min_sigma_milli,
+                        min_ticks_milli,
+                        min_pct_milli,
+                        format,
+                    },
+                )
             }
             kind::KGMON => {
                 let vm = get_str(data)?;
@@ -425,6 +565,11 @@ impl Response {
                 }
                 kind::RESYNC
             }
+            Response::Regress { regressed, report } => {
+                p.put_u8(u8::from(*regressed));
+                put_blob(&mut p, report.as_bytes());
+                kind::REGRESS_REPORT
+            }
             Response::Text(text) => {
                 put_blob(&mut p, text.as_bytes());
                 kind::TEXT
@@ -481,6 +626,19 @@ impl Response {
                 };
                 finish(data, Response::Resync { series, seq, expected })
             }
+            kind::REGRESS_REPORT => {
+                let regressed = match get_u8(data)? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown regress verdict {other}"
+                        )))
+                    }
+                };
+                let report = text(data)?;
+                finish(data, Response::Regress { regressed, report })
+            }
             kind::TEXT => {
                 let t = text(data)?;
                 finish(data, Response::Text(t))
@@ -511,7 +669,35 @@ mod tests {
             Request::Query { series: "web".into(), kind: QueryKind::Flat },
             Request::Query { series: "web".into(), kind: QueryKind::Graph },
             Request::Query { series: "web".into(), kind: QueryKind::Sum },
-            Request::Diff { before: "v1".into(), after: "v2".into() },
+            Request::Diff { before: "v1".into(), after: "v2".into(), format: ReportFormat::Text },
+            Request::Diff { before: "v1".into(), after: "v2".into(), format: ReportFormat::Json },
+            Request::Regress {
+                before: "v1".into(),
+                after: "v2".into(),
+                scope: RegressScope::Aggregate,
+                min_sigma_milli: 3000,
+                min_ticks_milli: 1000,
+                min_pct_milli: 5000,
+                format: ReportFormat::Text,
+            },
+            Request::Regress {
+                before: "a".into(),
+                after: "b".into(),
+                scope: RegressScope::Window(2),
+                min_sigma_milli: 0,
+                min_ticks_milli: 0,
+                min_pct_milli: 0,
+                format: ReportFormat::Json,
+            },
+            Request::Regress {
+                before: "s".into(),
+                after: "s".into(),
+                scope: RegressScope::Baseline(u64::MAX),
+                min_sigma_milli: u64::MAX,
+                min_ticks_milli: 1,
+                min_pct_milli: 2,
+                format: ReportFormat::Json,
+            },
             Request::Kgmon { vm: "kernel".into(), verb: KgmonVerb::On },
             Request::Kgmon { vm: String::new(), verb: KgmonVerb::Off },
             Request::Kgmon { vm: "k".into(), verb: KgmonVerb::Status },
@@ -546,6 +732,8 @@ mod tests {
             Response::Duplicate { series: "web".into(), seq: 9, total: 10 },
             Response::Resync { series: "web".into(), seq: 9, expected: Some(8) },
             Response::Resync { series: "web".into(), seq: 0, expected: None },
+            Response::Regress { regressed: true, report: "verdict: REGRESSED".into() },
+            Response::Regress { regressed: false, report: String::new() },
             Response::Text("flat profile:\n".into()),
             Response::Blob(vec![0xDE, 0xAD]),
             Response::Error("no such series".into()),
@@ -562,12 +750,37 @@ mod tests {
             let frame = req.to_frame();
             for len in 0..frame.payload.len() {
                 let cut = Frame::new(frame.kind, frame.payload[..len].to_vec());
+                // One benign prefix by design: a diff missing only its
+                // trailing format byte is a valid version-1 diff request
+                // and decodes as text format.
+                if frame.kind == kind::DIFF && len == frame.payload.len() - 1 {
+                    assert!(
+                        matches!(
+                            Request::from_frame(&cut),
+                            Ok(Request::Diff { format: ReportFormat::Text, .. })
+                        ),
+                        "{req:?} cut to {len}"
+                    );
+                    continue;
+                }
                 assert!(
                     matches!(Request::from_frame(&cut), Err(WireError::Malformed(_))),
                     "{req:?} cut to {len}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn a_version_1_diff_without_a_format_byte_decodes_as_text() {
+        let mut p = Vec::new();
+        put_str(&mut p, "v1");
+        put_str(&mut p, "v2");
+        let req = Request::from_frame(&Frame::new(kind::DIFF, p)).unwrap();
+        assert_eq!(
+            req,
+            Request::Diff { before: "v1".into(), after: "v2".into(), format: ReportFormat::Text }
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use graphprof_monitor::{KgmonTool, SharedProfiler};
 
 use crate::fault::FaultPlan;
 use crate::frame::{read_frame, write_frame, write_frame_faulty, DEFAULT_MAX_PAYLOAD};
-use crate::proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
+use crate::proto::{KgmonVerb, MonRange, QueryKind, RegressScope, ReportFormat, Request, Response};
 use crate::store::{RejectReason, SeriesStore, StoreOptions};
 use crate::wal::{StoreRecovery, DEFAULT_SEGMENT_BYTES};
 
@@ -70,6 +70,10 @@ pub struct ServerConfig {
     /// group-commit batch (the default, with a zero window); `None`
     /// fsyncs every upload individually.
     pub group_commit: Option<Duration>,
+    /// Per-series retained windows (`--retain K`): each series keeps its
+    /// last K uploaded windows for window-vs-window and trailing-baseline
+    /// regression queries. Zero (the default) retains nothing.
+    pub retain: usize,
     /// Fault-injection schedule for the store and the response path.
     /// [`FaultPlan::none`] (the default) injects nothing.
     pub fault: FaultPlan,
@@ -91,6 +95,7 @@ impl Default for ServerConfig {
             wal_segment_bytes: DEFAULT_SEGMENT_BYTES,
             stripes: 4,
             group_commit: Some(Duration::ZERO),
+            retain: 0,
             fault: FaultPlan::none(),
         }
     }
@@ -171,6 +176,7 @@ impl Server {
             stripes: config.stripes,
             group_commit: config.group_commit,
             segment_bytes: config.wal_segment_bytes,
+            retain: config.retain,
             fault: config.fault.clone(),
         };
         let (store, recovery) = match &config.data_dir {
@@ -387,7 +393,23 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
             }
         }
         Request::Query { series, kind } => query(shared, &series, kind),
-        Request::Diff { before, after } => diff(shared, &before, &after),
+        Request::Diff { before, after, format } => diff(shared, &before, &after, format),
+        Request::Regress {
+            before,
+            after,
+            scope,
+            min_sigma_milli,
+            min_ticks_milli,
+            min_pct_milli,
+            format,
+        } => {
+            let thresholds = graphprof_regress::Thresholds {
+                min_sigma: min_sigma_milli as f64 / 1000.0,
+                min_ticks: min_ticks_milli as f64 / 1000.0,
+                min_pct: min_pct_milli as f64 / 1000.0,
+            };
+            regress(shared, &before, &after, scope, thresholds, format)
+        }
         Request::Kgmon { vm, verb } => kgmon(shared, &vm, verb),
         Request::Stats => {
             let mut text = shared.store.render_stats();
@@ -427,15 +449,98 @@ fn query(shared: &Shared, series: &str, kind: QueryKind) -> Response {
     }
 }
 
-fn diff(shared: &Shared, before: &str, after: &str) -> Response {
+fn diff(shared: &Shared, before: &str, after: &str, format: ReportFormat) -> Response {
     let (Some(a), Some(b)) = (shared.store.aggregate(before), shared.store.aggregate(after)) else {
         return Response::Error(format!("no such series `{before}` and/or `{after}`"));
     };
     let gprof = Gprof::new(analysis_options(shared));
     let exe = shared.store.executable();
     match (gprof.analyze(exe, &a), gprof.analyze(exe, &b)) {
-        (Ok(a), Ok(b)) => Response::Text(diff_profiles(&a, &b).render()),
+        (Ok(a), Ok(b)) => {
+            let diff = diff_profiles(&a, &b);
+            Response::Text(match format {
+                ReportFormat::Text => diff.render(),
+                ReportFormat::Json => graphprof_regress::diff_to_json(&diff).to_pretty(),
+            })
+        }
         (Err(e), _) | (_, Err(e)) => Response::Error(format!("analysis failed: {e}")),
+    }
+}
+
+/// The `remote regress` handler: resolves each side per the scope, then
+/// runs the shared [`graphprof_regress`] engine over the pair. Unknown
+/// series, missing windows, and too-shallow baselines are typed rejects
+/// ([`Response::Error`]) — the client maps them to a remote error, not a
+/// regression verdict.
+fn regress(
+    shared: &Shared,
+    before: &str,
+    after: &str,
+    scope: RegressScope,
+    thresholds: graphprof_regress::Thresholds,
+    format: ReportFormat,
+) -> Response {
+    let store = &shared.store;
+    let missing = |series: &str| Response::Error(format!("no such series `{series}`"));
+    let (before_gmon, before_windows, after_gmon) = match scope {
+        RegressScope::Aggregate => {
+            let Some(b) = store.aggregate(before) else {
+                return missing(before);
+            };
+            let Some(a) = store.aggregate(after) else {
+                return missing(after);
+            };
+            (b, 1, a)
+        }
+        RegressScope::Window(n) => {
+            if store.aggregate(before).is_none() {
+                return missing(before);
+            }
+            if store.aggregate(after).is_none() {
+                return missing(after);
+            }
+            let Some(b) = store.window(before, n) else {
+                return Response::Error(format!(
+                    "series `{before}` has no retained window {n} (is the server running with --retain?)"
+                ));
+            };
+            let Some(a) = store.window(after, n) else {
+                return Response::Error(format!(
+                    "series `{after}` has no retained window {n} (is the server running with --retain?)"
+                ));
+            };
+            (b, 1, a)
+        }
+        RegressScope::Baseline(k) => {
+            if store.aggregate(before).is_none() {
+                return missing(before);
+            }
+            if store.aggregate(after).is_none() {
+                return missing(after);
+            }
+            let Some((sum, folded)) = store.baseline(before, k) else {
+                return Response::Error(format!(
+                    "series `{before}` has too few retained windows for a baseline of {k} (is the server running with --retain?)"
+                ));
+            };
+            let Some(a) = store.window(after, 1) else {
+                return Response::Error(format!(
+                    "series `{after}` has no retained window (is the server running with --retain?)"
+                ));
+            };
+            (sum, folded, a)
+        }
+    };
+    let opts = graphprof_regress::CompareOptions { thresholds, before_windows };
+    match graphprof_regress::compare(store.executable(), &before_gmon, &after_gmon, &opts) {
+        Ok(report) => Response::Regress {
+            regressed: !report.is_clean(),
+            report: match format {
+                ReportFormat::Text => report.render_text(before, after),
+                ReportFormat::Json => report.to_json(before, after).to_pretty(),
+            },
+        },
+        Err(e) => Response::Error(e.to_string()),
     }
 }
 

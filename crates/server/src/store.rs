@@ -55,7 +55,7 @@
 //! `flagged` counter says how many uploads carried any, and the `stats`
 //! listing marks such series with an `!analyzer:` suffix.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -166,6 +166,11 @@ pub struct StoreOptions {
     pub group_commit: Option<Duration>,
     /// Size at which WAL segments rotate, in bytes.
     pub segment_bytes: u64,
+    /// How many recent per-series windows each stripe retains beyond
+    /// the aggregate (`--retain K`). Zero keeps none; the ring is
+    /// rebuilt by WAL replay and compacted past `K`, and feeds
+    /// window-vs-window and trailing-baseline `regress` queries.
+    pub retain: usize,
     /// Fault-injection schedule threaded into every stripe's WAL.
     pub fault: FaultPlan,
 }
@@ -178,6 +183,7 @@ impl Default for StoreOptions {
             stripes: 1,
             group_commit: Some(Duration::ZERO),
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            retain: 0,
             fault: FaultPlan::none(),
         }
     }
@@ -197,11 +203,35 @@ struct Series {
     /// path), so delta streams survive a restart with at most one
     /// resync round trip.
     shadow: Option<(u64, GmonData)>,
+    /// The last `retain` folded windows in fold order (oldest first),
+    /// each with its seq. Like the shadow, rebuilt for free by WAL
+    /// replay; compacted as windows fall off the back.
+    windows: VecDeque<(u64, GmonData)>,
+}
+
+impl Series {
+    /// Bookkeeping shared by both fold-success paths: records the
+    /// window in the retention ring (compacting past `retain`) and
+    /// advances the delta shadow.
+    fn note_window(&mut self, retain: usize, seq: u64, window: GmonData) {
+        if retain > 0 {
+            self.windows.push_back((seq, window.clone()));
+            while self.windows.len() > retain {
+                self.windows.pop_front();
+            }
+        }
+        self.shadow = Some((seq, window));
+    }
 }
 
 #[derive(Debug, Default)]
 pub(crate) struct StripeState {
     series: BTreeMap<String, Series>,
+    /// Window-retention depth, copied from [`StoreOptions::retain`] at
+    /// construction so the commit worker's fold path (which has no
+    /// access to the options) applies the same policy as the locked
+    /// path.
+    retain: usize,
     /// Rejects that could not be charged to an existing series.
     orphan_rejects: u64,
     /// `(series, seq)` pairs staged on the commit queue but not yet
@@ -238,6 +268,7 @@ impl StripeState {
         gmon: GmonData,
         flags: BTreeSet<&'static str>,
     ) -> Result<u64, RejectReason> {
+        let retain = self.retain;
         let entry = self.series.get_mut(series).expect("staged series was reserved");
         let shadow = gmon.clone();
         if let Err(e) = entry.acc.push(gmon) {
@@ -248,7 +279,7 @@ impl StripeState {
             entry.stats.rejects += 1;
             return Err(RejectReason::Unmergeable(e.to_string()));
         }
-        entry.shadow = Some((seq, shadow));
+        entry.note_window(retain, seq, shadow);
         entry.seen_seqs.insert(seq);
         entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
         entry.stats.uploads += 1;
@@ -331,11 +362,18 @@ impl SeriesStore {
     pub fn with_options(exe: Executable, opts: StoreOptions) -> Self {
         let stripes = opts.stripes.max(1);
         let checker = graphprof_analysis::ProfileChecker::build_jobs(&exe, opts.jobs.max(1));
+        let stripe_shared: Vec<Arc<StripeShared>> = (0..stripes)
+            .map(|_| {
+                let shared = Arc::new(StripeShared::default());
+                shared.state.lock().unwrap_or_else(PoisonError::into_inner).retain = opts.retain;
+                shared
+            })
+            .collect();
         SeriesStore {
             exe,
             checker,
             max_series: opts.max_series.max(1),
-            stripes: (0..stripes).map(|_| Arc::new(StripeShared::default())).collect(),
+            stripes: stripe_shared,
             lanes: (0..stripes).map(|_| Lane::Memory).collect(),
             series_count: AtomicUsize::new(0),
         }
@@ -415,7 +453,15 @@ impl SeriesStore {
         Self::open(
             exe,
             data_dir,
-            StoreOptions { max_series, jobs, stripes: 1, group_commit: None, segment_bytes, fault },
+            StoreOptions {
+                max_series,
+                jobs,
+                stripes: 1,
+                group_commit: None,
+                segment_bytes,
+                retain: 0,
+                fault,
+            },
         )
     }
 
@@ -558,6 +604,7 @@ impl SeriesStore {
             }
         };
         self.ensure_series(&mut state, series)?;
+        let retain = state.retain;
         let entry = state.series.get_mut(series).expect("just ensured");
         if !entry.seen_seqs.insert(seq) {
             entry.stats.rejects += 1;
@@ -579,7 +626,7 @@ impl SeriesStore {
             entry.stats.rejects += 1;
             return Err(RejectReason::Unmergeable(e.to_string()));
         }
-        entry.shadow = Some((seq, shadow));
+        entry.note_window(retain, seq, shadow);
         entry.next_auto_seq = entry.next_auto_seq.max(seq + 1);
         entry.stats.uploads += 1;
         entry.stats.bytes += blob.len() as u64;
@@ -793,6 +840,60 @@ impl SeriesStore {
     /// analyzed clean.
     pub fn flags(&self, series: &str) -> Option<Vec<&'static str>> {
         self.stripe_state(series).series.get(series).map(|s| s.flag_codes.iter().copied().collect())
+    }
+
+    /// Serialized retained windows of a series, oldest first, each with
+    /// its seq — the byte-exact view chaos tests compare across a crash
+    /// and restart. `None` for an unknown series; empty when the store
+    /// retains nothing (`retain = 0`) or nothing has folded yet.
+    pub fn retained_windows(&self, series: &str) -> Option<Vec<(u64, Vec<u8>)>> {
+        let state = self.stripe_state(series);
+        let s = state.series.get(series)?;
+        Some(s.windows.iter().map(|(seq, w)| (*seq, w.to_bytes())).collect())
+    }
+
+    /// The `n`-th most recent retained window of a series (`1` = the
+    /// newest). `None` when the series is unknown or does not retain
+    /// that many windows.
+    pub fn window(&self, series: &str, n: u64) -> Option<GmonData> {
+        if n == 0 {
+            return None;
+        }
+        let state = self.stripe_state(series);
+        let s = state.series.get(series)?;
+        let len = s.windows.len() as u64;
+        if n > len {
+            return None;
+        }
+        Some(s.windows[(len - n) as usize].1.clone())
+    }
+
+    /// A trailing baseline: the sum of up to `k` retained windows
+    /// *preceding* the newest one, plus how many actually folded in.
+    /// The newest window is deliberately excluded so `regress s s
+    /// --baseline K` compares the latest window against its own recent
+    /// past. `None` when the series is unknown, fewer than two windows
+    /// are retained, or the windows refuse to merge.
+    pub fn baseline(&self, series: &str, k: u64) -> Option<(GmonData, u64)> {
+        if k == 0 {
+            return None;
+        }
+        let state = self.stripe_state(series);
+        let s = state.series.get(series)?;
+        if s.windows.len() < 2 {
+            return None;
+        }
+        let trailing = &s.windows.as_slices();
+        let all: Vec<&GmonData> =
+            trailing.0.iter().chain(trailing.1.iter()).map(|(_, w)| w).collect();
+        let candidates = &all[..all.len() - 1];
+        let take = (k as usize).min(candidates.len());
+        let picked = &candidates[candidates.len() - take..];
+        let mut sum = picked[0].clone();
+        for window in &picked[1..] {
+            sum.merge(window).ok()?;
+        }
+        Some((sum, take as u64))
     }
 
     /// Renders the `stats` verb: one line per series (merged across
@@ -1200,6 +1301,83 @@ mod tests {
         assert_eq!(store.upload_delta("web", 1, 2, &body), Ok(3));
         let offline = graphprof::sum_profiles(stream.iter()).unwrap();
         assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_ring_keeps_the_last_k_windows_in_fold_order() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 5);
+        let store =
+            SeriesStore::with_options(exe, StoreOptions { retain: 3, ..StoreOptions::default() });
+        for (seq, w) in stream.iter().enumerate() {
+            store.upload("web", seq as u64, &w.to_bytes()).unwrap();
+        }
+        let ring = store.retained_windows("web").unwrap();
+        assert_eq!(ring.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        for (i, (_, bytes)) in ring.iter().enumerate() {
+            assert_eq!(bytes, &stream[i + 2].to_bytes(), "window {i}");
+        }
+        // window(n): 1 = newest.
+        assert_eq!(store.window("web", 1).unwrap().to_bytes(), stream[4].to_bytes());
+        assert_eq!(store.window("web", 3).unwrap().to_bytes(), stream[2].to_bytes());
+        assert!(store.window("web", 4).is_none(), "compacted past retain");
+        assert!(store.window("web", 0).is_none());
+        assert!(store.window("nope", 1).is_none());
+    }
+
+    #[test]
+    fn zero_retention_keeps_no_ring() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 2);
+        let store = SeriesStore::new(exe, 8, 1);
+        for (seq, w) in stream.iter().enumerate() {
+            store.upload("web", seq as u64, &w.to_bytes()).unwrap();
+        }
+        assert_eq!(store.retained_windows("web"), Some(vec![]));
+        assert!(store.window("web", 1).is_none());
+        assert!(store.baseline("web", 2).is_none());
+    }
+
+    #[test]
+    fn baseline_is_the_trailing_sum_excluding_the_newest_window() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 4);
+        let store =
+            SeriesStore::with_options(exe, StoreOptions { retain: 4, ..StoreOptions::default() });
+        for (seq, w) in stream.iter().enumerate() {
+            store.upload("web", seq as u64, &w.to_bytes()).unwrap();
+        }
+        // k = 2: windows 1 and 2 (3 is the newest, excluded).
+        let (sum, k) = store.baseline("web", 2).unwrap();
+        assert_eq!(k, 2);
+        let offline = graphprof::sum_profiles(stream[1..3].iter()).unwrap();
+        assert_eq!(sum.to_bytes(), offline.to_bytes());
+        // k larger than available clamps to what precedes the newest.
+        let (sum, k) = store.baseline("web", 99).unwrap();
+        assert_eq!(k, 3);
+        let offline = graphprof::sum_profiles(stream[..3].iter()).unwrap();
+        assert_eq!(sum.to_bytes(), offline.to_bytes());
+        assert!(store.baseline("web", 0).is_none());
+        assert!(store.baseline("nope", 2).is_none());
+    }
+
+    #[test]
+    fn retention_ring_is_rebuilt_byte_identically_by_replay() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 4);
+        let dir = tmpdir("retain-replay");
+        let opts = || StoreOptions { retain: 2, ..durable_opts(2, Some(Duration::ZERO)) };
+        let before = {
+            let (store, _) = SeriesStore::open(exe.clone(), &dir, opts()).unwrap();
+            for (seq, w) in stream.iter().enumerate() {
+                store.upload("web", seq as u64, &w.to_bytes()).unwrap();
+            }
+            store.retained_windows("web").unwrap()
+        };
+        let (store, recovery) = SeriesStore::open(exe, &dir, opts()).unwrap();
+        assert_eq!(recovery.records(), 4);
+        assert_eq!(store.retained_windows("web").unwrap(), before);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

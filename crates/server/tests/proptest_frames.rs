@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use graphprof_server::frame::{
     read_frame, write_frame, Frame, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
 };
-use graphprof_server::proto::{KgmonVerb, MonRange, QueryKind, Request, Response};
+use graphprof_server::proto::{
+    kind, KgmonVerb, MonRange, QueryKind, RegressScope, ReportFormat, Request, Response,
+};
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..2048))
@@ -39,6 +41,18 @@ fn arb_verb() -> impl Strategy<Value = KgmonVerb> {
     ]
 }
 
+fn arb_format() -> impl Strategy<Value = ReportFormat> {
+    prop_oneof![Just(ReportFormat::Text), Just(ReportFormat::Json)]
+}
+
+fn arb_scope() -> impl Strategy<Value = RegressScope> {
+    prop_oneof![
+        Just(RegressScope::Aggregate),
+        any::<u64>().prop_map(RegressScope::Window),
+        any::<u64>().prop_map(RegressScope::Baseline),
+    ]
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         ("[a-z]{0,16}", any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256))
@@ -52,7 +66,28 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }),
         ("[a-z]{0,16}", arb_query_kind())
             .prop_map(|(series, kind)| Request::Query { series, kind }),
-        ("[a-z]{0,16}", "[a-z]{0,16}").prop_map(|(before, after)| Request::Diff { before, after }),
+        ("[a-z]{0,16}", "[a-z]{0,16}", arb_format())
+            .prop_map(|(before, after, format)| Request::Diff { before, after, format }),
+        (
+            ("[a-z]{0,16}", "[a-z]{0,16}", arb_scope(), arb_format()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |(
+                    (before, after, scope, format),
+                    (min_sigma_milli, min_ticks_milli, min_pct_milli),
+                )| {
+                    Request::Regress {
+                        before,
+                        after,
+                        scope,
+                        min_sigma_milli,
+                        min_ticks_milli,
+                        min_pct_milli,
+                        format,
+                    }
+                }
+            ),
         ("[a-z]{0,8}", arb_verb()).prop_map(|(vm, verb)| Request::Kgmon { vm, verb }),
         Just(Request::Stats),
     ]
@@ -64,6 +99,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             .prop_map(|(series, seq, total)| Response::Accepted { series, seq, total }),
         ("[a-z]{0,16}", any::<u64>(), prop_oneof![Just(None), any::<u64>().prop_map(Some)])
             .prop_map(|(series, seq, expected)| Response::Resync { series, seq, expected }),
+        (any::<bool>(), ".{0,64}")
+            .prop_map(|(regressed, report)| Response::Regress { regressed, report }),
         ".{0,64}".prop_map(Response::Text),
         proptest::collection::vec(any::<u8>(), 0..512).prop_map(Response::Blob),
         ".{0,64}".prop_map(Response::Error),
@@ -175,12 +212,24 @@ proptest! {
     }
 
     /// Truncating a valid message payload at any point is `Malformed`,
-    /// never a panic or a bogus decode of trailing garbage.
+    /// never a panic or a bogus decode of trailing garbage — except the
+    /// one prefix the protocol blesses: a diff missing only its trailing
+    /// format byte is a valid version-1 diff request (text format).
     #[test]
     fn truncated_messages_are_malformed(request in arb_request()) {
         let frame = request.to_frame();
         for len in 0..frame.payload.len() {
             let cut = Frame::new(frame.kind, frame.payload[..len].to_vec());
+            if frame.kind == kind::DIFF && len == frame.payload.len() - 1 {
+                prop_assert!(
+                    matches!(
+                        Request::from_frame(&cut),
+                        Ok(Request::Diff { format: ReportFormat::Text, .. })
+                    ),
+                    "{request:?} cut to {len}"
+                );
+                continue;
+            }
             prop_assert!(
                 matches!(Request::from_frame(&cut), Err(WireError::Malformed(_))),
                 "{request:?} cut to {len}"

@@ -90,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nlive aggregate == offline sum_profiles: {}", live == offline);
 
     // Snapshot diffs across series compare any two aggregates.
-    let diff = uploader.diff("kernel-snaps", "web")?;
+    let diff = uploader.diff("kernel-snaps", "web", graphprof_server::ReportFormat::Text)?;
     println!("\ndiff of `kernel-snaps` -> `web` (head):");
     for line in diff.lines().take(6) {
         println!("  {line}");

@@ -392,6 +392,77 @@ fn stale_base_after_restart_converges_via_resync() {
     }
 }
 
+/// Crash point 8 — kill before the ack of an upload on a server that
+/// retains windows. The record was durable, so the restart must rebuild
+/// not just the aggregate but the whole retention ring, byte for byte —
+/// and a `remote regress --baseline` answered from replayed windows
+/// must be identical to the one the dying server answered.
+#[test]
+fn kill_before_ack_replays_the_retention_ring_byte_identically() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 3);
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("retain-kill-s{stripes}"));
+        let retained = |cfg: ServerConfig| ServerConfig { retain: 3, ..cfg };
+
+        let (ring_before, verdict_before, report_before) = {
+            let fault =
+                FaultPlan::new(FaultSpec { drop_frame_at: Some(2), ..FaultSpec::default() });
+            let handle = start(retained(durable(&dir, fault.clone(), stripes)));
+            let mut client =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+            client.upload("web", 0, &blobs[0]).expect("accepted");
+            client.upload("web", 1, &blobs[1]).expect("accepted");
+            // Durable fold, dropped ack: the window is in the ring even
+            // though the client never heard so.
+            let err = client.upload("web", 2, &blobs[2]).expect_err("ack never arrives");
+            assert!(matches!(err, ClientError::Disconnected), "{err:?}");
+            assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+
+            let ring = handle.store().retained_windows("web").expect("retention on");
+            assert_eq!(ring.len(), 3, "all three durable folds are retained");
+            let mut probe =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("reconnects");
+            let (verdict, report) = probe
+                .regress(
+                    "web",
+                    "web",
+                    graphprof_server::RegressScope::Baseline(2),
+                    &graphprof_regress::Thresholds::default(),
+                    graphprof_server::ReportFormat::Text,
+                )
+                .expect("baseline regress before the crash");
+            drop((client, probe));
+            handle.shutdown(); // the crash
+            (ring, verdict, report)
+        };
+
+        let handle = start(retained(durable(&dir, FaultPlan::none(), stripes)));
+        assert_eq!(handle.recovery().expect("durable server").records(), 3);
+        assert_eq!(
+            handle.store().retained_windows("web").expect("retention on"),
+            ring_before,
+            "stripes={stripes}: replay must rebuild the window ring byte-identically"
+        );
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        let (verdict, report) = client
+            .regress(
+                "web",
+                "web",
+                graphprof_server::RegressScope::Baseline(2),
+                &graphprof_regress::Thresholds::default(),
+                graphprof_server::ReportFormat::Text,
+            )
+            .expect("baseline regress after the restart");
+        assert_eq!(
+            (verdict, report),
+            (verdict_before, report_before),
+            "stripes={stripes}: the gate's answer must survive the restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// The seeded sweep: every seed derives one deterministic fault — torn
 /// or failed appends, failed fsyncs, dropped/torn/corrupted response
 /// frames — injected into a durable server while a retrying client

@@ -143,7 +143,18 @@ fn diff_of_two_series_matches_offline_diff() {
         &gprof.analyze(&exe, &parse(2..4)).unwrap(),
     )
     .render();
-    assert_eq!(client.diff("before", "after").expect("diff"), offline);
+    assert_eq!(
+        client.diff("before", "after", graphprof_server::ReportFormat::Text).expect("diff"),
+        offline
+    );
+    // And the JSON rendering is the parseable versioned document.
+    let json =
+        client.diff("before", "after", graphprof_server::ReportFormat::Json).expect("json diff");
+    let doc = graphprof_analysis::json::parse(&json).expect("parses");
+    assert_eq!(
+        doc.get("schema").and_then(graphprof_analysis::json::Value::as_str),
+        Some("graphprof-diff/1")
+    );
 }
 
 /// The control plane: remote kgmon verbs against a VM hosted in the
@@ -363,6 +374,162 @@ fn concurrent_same_seq_uploads_race_to_exactly_one_accept() {
         drop(client);
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The server-side regression gate end to end: identical series come
+/// back clean and byte-identical to the offline engine, a series with
+/// more folded work regresses (in text and in the versioned JSON), and
+/// retained windows serve the `--window` and `--baseline` scopes.
+#[test]
+fn remote_regress_gates_series_against_retained_windows() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 4);
+    let handle = start(ServerConfig { jobs: 1, retain: 3, ..ServerConfig::default() }, &[]);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+
+    // `base` and `same` hold identical windows; `slow` folds two more.
+    for (seq, blob) in blobs[..2].iter().enumerate() {
+        client.upload("base", seq as u64, blob).expect("accepted");
+        client.upload("same", seq as u64, blob).expect("accepted");
+    }
+    for (seq, blob) in blobs.iter().enumerate() {
+        client.upload("slow", seq as u64, blob).expect("accepted");
+    }
+
+    let parse = |range: std::ops::Range<usize>| {
+        graphprof::sum_profiles(
+            blobs[range]
+                .iter()
+                .map(|b| GmonData::from_bytes(b).unwrap())
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+        .unwrap()
+    };
+
+    // Identical aggregates: clean, and byte-identical to the offline
+    // engine over the same summed windows.
+    let (regressed, report) = client
+        .regress(
+            "base",
+            "same",
+            graphprof_server::RegressScope::Aggregate,
+            &graphprof_regress::Thresholds::default(),
+            graphprof_server::ReportFormat::Text,
+        )
+        .expect("regress");
+    assert!(!regressed, "{report}");
+    let offline = graphprof_regress::compare(
+        &exe,
+        &parse(0..2),
+        &parse(0..2),
+        &graphprof_regress::CompareOptions::default(),
+    )
+    .unwrap()
+    .render_text("base", "same");
+    assert_eq!(report, offline);
+
+    // Twice the folded work is a regression, and the JSON rendering is
+    // the versioned document with the matching verdict.
+    let (regressed, report) = client
+        .regress(
+            "base",
+            "slow",
+            graphprof_server::RegressScope::Aggregate,
+            &graphprof_regress::Thresholds::default(),
+            graphprof_server::ReportFormat::Json,
+        )
+        .expect("regress");
+    assert!(regressed, "{report}");
+    let doc = graphprof_analysis::json::parse(&report).expect("parses");
+    use graphprof_analysis::json::Value;
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("graphprof-regress-report/1"));
+    assert_eq!(doc.get("exit").and_then(Value::as_int), Some(1));
+
+    // Window scope: the newest retained window of a series against
+    // itself is clean; a depth past the ring is a typed reject that
+    // points at --retain.
+    let (regressed, report) = client
+        .regress(
+            "base",
+            "base",
+            graphprof_server::RegressScope::Window(1),
+            &graphprof_regress::Thresholds::default(),
+            graphprof_server::ReportFormat::Text,
+        )
+        .expect("newest window vs itself");
+    assert!(!regressed, "{report}");
+    let err = client
+        .regress(
+            "base",
+            "base",
+            graphprof_server::RegressScope::Window(5),
+            &graphprof_regress::Thresholds::default(),
+            graphprof_server::ReportFormat::Text,
+        )
+        .expect_err("past the ring");
+    assert!(err.to_string().contains("--retain"), "{err}");
+
+    // Baseline scope: three identical windows — the newest against the
+    // mean of the two before it is clean.
+    for seq in 0..3u64 {
+        client.upload("steady", seq, &blobs[0]).expect("accepted");
+    }
+    let (regressed, report) = client
+        .regress(
+            "steady",
+            "steady",
+            graphprof_server::RegressScope::Baseline(2),
+            &graphprof_regress::Thresholds::default(),
+            graphprof_server::ReportFormat::Text,
+        )
+        .expect("baseline");
+    assert!(!regressed, "{report}");
+
+    // Unknown series are typed rejects for diff and regress alike, and
+    // the connection survives every one of them.
+    for (before, after) in [("nope", "base"), ("base", "nope")] {
+        let err = client
+            .diff(before, after, graphprof_server::ReportFormat::Text)
+            .expect_err("unknown series");
+        assert!(err.to_string().contains("no such series"), "{err}");
+        let err = client
+            .regress(
+                before,
+                after,
+                graphprof_server::RegressScope::Aggregate,
+                &graphprof_regress::Thresholds::default(),
+                graphprof_server::ReportFormat::Text,
+            )
+            .expect_err("unknown series");
+        assert!(err.to_string().contains("no such series"), "{err}");
+    }
+    client.stats().expect("still usable");
+}
+
+/// Without `--retain` the window and baseline scopes are typed rejects
+/// (the aggregate is all a default server keeps), never panics.
+#[test]
+fn window_scopes_without_retention_are_typed_rejects() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 1);
+    let handle = start(ephemeral(1), &[]);
+    let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+    client.upload("web", 0, &blobs[0]).expect("accepted");
+    for scope in
+        [graphprof_server::RegressScope::Window(1), graphprof_server::RegressScope::Baseline(1)]
+    {
+        let err = client
+            .regress(
+                "web",
+                "web",
+                scope,
+                &graphprof_regress::Thresholds::default(),
+                graphprof_server::ReportFormat::Text,
+            )
+            .expect_err("no retention configured");
+        assert!(err.to_string().contains("--retain"), "{err}");
     }
 }
 
