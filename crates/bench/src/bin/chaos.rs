@@ -10,6 +10,12 @@
 //! byte-identical to the offline `sum_profiles` fold over the
 //! acknowledged uploads before reporting a number.
 //!
+//! A second series measures the same crash with a checkpoint taken just
+//! before it: recovery is then snapshot-load plus replay of the (empty)
+//! WAL suffix, so its cost is bounded by the live state size instead of
+//! growing with the log — the number the `--checkpoint-bytes` /
+//! `--checkpoint-records` flags exist to buy.
+//!
 //! Usage: `chaos [output.json]` (default `BENCH_chaos.json`).
 
 use std::fmt::Write as _;
@@ -48,6 +54,26 @@ fn main() {
     eprintln!("wrote {out_path}");
 }
 
+/// Every file under `dir` (recursively) whose name ends in `.{ext}`,
+/// as `(path, length)` pairs; empty when the directory is missing.
+fn walk_files(dir: &std::path::Path, ext: &str) -> Result<Vec<(std::path::PathBuf, u64)>, String> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("ls {}: {e}", d.display()))?;
+            let meta = entry.metadata().map_err(|e| format!("stat: {e}"))?;
+            if meta.is_dir() {
+                stack.push(entry.path());
+            } else if entry.path().extension().is_some_and(|e| e == ext) {
+                found.push((entry.path(), meta.len()));
+            }
+        }
+    }
+    Ok(found)
+}
+
 fn run() -> Result<String, String> {
     let exe = kernel_program(10_000_000)
         .compile(&CompileOptions::profiled())
@@ -67,7 +93,7 @@ fn run() -> Result<String, String> {
     let host_cpus =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
 
-    let mut rows: Vec<(usize, usize, u64, f64)> = Vec::new();
+    let mut rows: Vec<(usize, usize, u64, f64, f64, u64)> = Vec::new();
     for &uploads in &POINTS {
         let payload: Vec<&Vec<u8>> = (0..uploads).map(|i| &blobs[i % WINDOWS]).collect();
         let offline = graphprof::sum_profile_bytes(
@@ -88,8 +114,12 @@ fn run() -> Result<String, String> {
 
             // Populate the log, tearing the (uploads+1)th append so every
             // recovery also pays for a torn-tail salvage.
+            // The torn append wedges the stripe, which fires an automatic
+            // heal checkpoint; fail it so the log survives intact and the
+            // reopen below really measures a full replay.
             let fault = FaultPlan::new(FaultSpec {
                 torn_append_at: Some((uploads as u64, 9)),
+                fail_snapshot_at: Some(0),
                 ..FaultSpec::default()
             });
             {
@@ -104,13 +134,9 @@ fn run() -> Result<String, String> {
                 let _ = store.upload("web", uploads as u64, payload[0]); // tears
             }
 
-            let wal_dir = dir.join("wal");
-            segments = std::fs::read_dir(&wal_dir).map_err(|e| format!("ls: {e}"))?.count();
-            wal_bytes = std::fs::read_dir(&wal_dir)
-                .map_err(|e| format!("ls: {e}"))?
-                .filter_map(|f| f.ok()?.metadata().ok())
-                .map(|m| m.len())
-                .sum();
+            let found = walk_files(&dir.join("wal"), "wal")?;
+            segments = found.len();
+            wal_bytes = found.iter().map(|(_, len)| len).sum();
 
             let start = Instant::now();
             let (recovered, recovery) =
@@ -134,8 +160,64 @@ fn run() -> Result<String, String> {
             best = best.min(elapsed);
             let _ = std::fs::remove_dir_all(&dir);
         }
+        // Same crash, but with a checkpoint right before it: recovery
+        // loads the snapshot and replays only the WAL suffix.
+        let mut best_ck = Duration::MAX;
+        let mut snapshot_bytes = 0u64;
+        for rep in 0..REPS {
+            let dir = std::env::temp_dir()
+                .join(format!("graphprof-bench-chaos-ck-{}-{uploads}-{rep}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir: {e}"))?;
+
+            let fault = FaultPlan::new(FaultSpec {
+                torn_append_at: Some((uploads as u64, 9)),
+                fail_snapshot_at: Some(1),
+                ..FaultSpec::default()
+            });
+            {
+                let (store, _) =
+                    SeriesStore::with_wal(exe.clone(), 8, 1, &dir, SEGMENT_BYTES, fault)
+                        .map_err(|e| format!("open: {e}"))?;
+                for (seq, blob) in payload.iter().enumerate() {
+                    store
+                        .upload("web", seq as u64, blob)
+                        .map_err(|e| format!("upload {seq}: {e}"))?;
+                }
+                let report = store.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+                if report.failed > 0 {
+                    return Err(format!("checkpoint failed: {report:?}"));
+                }
+                let _ = store.upload("web", uploads as u64, payload[0]); // tears
+            }
+
+            snapshot_bytes = walk_files(&dir, "gpsn")?.iter().map(|(_, len)| len).sum();
+
+            let start = Instant::now();
+            let (recovered, recovery) =
+                SeriesStore::with_wal(exe.clone(), 8, 1, &dir, SEGMENT_BYTES, FaultPlan::none())
+                    .map_err(|e| format!("checkpointed recovery open: {e}"))?;
+            let elapsed = start.elapsed();
+
+            if recovery.snapshots_loaded != 1 {
+                return Err(format!("expected a snapshot restore, got {recovery:?}"));
+            }
+            if recovery.records() != recovery.covered_records {
+                return Err(format!("expected an empty replay suffix, got {recovery:?}"));
+            }
+            let live = recovered
+                .aggregate("web")
+                .ok_or_else(|| "no aggregate after checkpointed recovery".to_string())?
+                .to_bytes();
+            if live != offline {
+                return Err(format!("checkpointed recovery diverges at {uploads} uploads"));
+            }
+            best_ck = best_ck.min(elapsed);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
         let ms = best.as_secs_f64() * 1e3;
-        rows.push((uploads, segments, wal_bytes, ms));
+        let ck_ms = best_ck.as_secs_f64() * 1e3;
+        rows.push((uploads, segments, wal_bytes, ms, ck_ms, snapshot_bytes));
     }
 
     let mut json = String::new();
@@ -148,14 +230,18 @@ fn run() -> Result<String, String> {
          \"cycles_per_tick\": {TICK}}},"
     );
     let _ = writeln!(json, "  \"results\": [");
-    for (i, (uploads, segments, wal_bytes, ms)) in rows.iter().enumerate() {
+    for (i, (uploads, segments, wal_bytes, ms, ck_ms, snapshot_bytes)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let per_sec = *uploads as f64 / (ms / 1e3);
+        let speedup = ms / ck_ms;
         let _ = writeln!(
             json,
             "    {{\"replayed_uploads\": {uploads}, \"segments\": {segments}, \
              \"wal_bytes\": {wal_bytes}, \"recovery_ms\": {ms:.3}, \
-             \"replays_per_sec\": {per_sec:.1}}}{comma}"
+             \"replays_per_sec\": {per_sec:.1}, \
+             \"checkpointed_recovery_ms\": {ck_ms:.3}, \
+             \"snapshot_bytes\": {snapshot_bytes}, \
+             \"checkpoint_speedup\": {speedup:.1}}}{comma}"
         );
     }
     let _ = writeln!(json, "  ],");
@@ -163,7 +249,9 @@ fn run() -> Result<String, String> {
         json,
         "  \"note\": \"fastest of {REPS} recoveries per point; every recovery salvages a \
          torn final record and its aggregate was verified byte-identical to the offline \
-         sum of the acknowledged uploads before being reported\""
+         sum of the acknowledged uploads before being reported. checkpointed_recovery_ms \
+         restarts the same store after a pre-crash checkpoint: snapshot load + empty WAL \
+         suffix, bounded by live state size instead of log length\""
     );
     let _ = writeln!(json, "}}");
     Ok(json)

@@ -48,7 +48,8 @@ fn connect(args: &Args, addr: &str) -> Result<ResilientClient, CliError> {
 /// `graphprof serve <prog.gpx> [--bind ADDR] [--vm NAME]... [--jobs N]
 /// [--max-frame BYTES] [--max-series N] [--tick N] [--slice CYCLES]
 /// [--timeout-ms N] [--data-dir DIR] [--wal-segment-bytes N]
-/// [--stripes N] [--group-commit-ms N | --no-group-commit] [--retain K]`
+/// [--stripes N] [--group-commit-ms N | --no-group-commit] [--retain K]
+/// [--checkpoint-bytes N] [--checkpoint-records N]`
 ///
 /// Starts the collection server for one executable: uploads are
 /// validated against it and `--vm` hosts named profiled VMs running it
@@ -62,10 +63,15 @@ fn connect(args: &Args, addr: &str) -> Result<ResilientClient, CliError> {
 /// drains); `--no-group-commit` restores one fsync per upload. With
 /// `--retain K` every series additionally keeps its last K uploaded
 /// windows — rebuilt by WAL replay when durable — for
-/// `remote regress --window/--baseline` queries. Returns
+/// `remote regress --window/--baseline` queries. With
+/// `--checkpoint-bytes N` / `--checkpoint-records N` each stripe
+/// snapshots its state and compacts the covered WAL segments once that
+/// much log has accumulated since its last checkpoint (either threshold
+/// triggers; `remote checkpoint` forces one on demand). Returns
 /// the running handle plus a banner line (`serving <prog> on <addr>
-/// (<v> hosted VM(s), <s> stripe(s))`, then per-stripe recovery lines
-/// when durable); the binary prints the banner and parks until killed.
+/// (<v> hosted VM(s), <s> stripe(s))`, then the checkpoint policy and
+/// per-stripe recovery lines when durable); the binary prints the
+/// banner and parks until killed.
 ///
 /// # Errors
 ///
@@ -114,11 +120,19 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
     if let Some(k) = args.int_value("retain")? {
         config.retain = k as usize;
     }
+    if let Some(n) = args.int_value("checkpoint-bytes")? {
+        config.checkpoint_bytes = Some(n);
+    }
+    if let Some(n) = args.int_value("checkpoint-records")? {
+        config.checkpoint_records = Some(n);
+    }
 
     let vms: Vec<String> = args.values("vm").to_vec();
     let durable = config.data_dir.is_some();
     let stripes = config.stripes.clamp(1, 256);
     let retain = config.retain;
+    let checkpoint_bytes = config.checkpoint_bytes;
+    let checkpoint_records = config.checkpoint_records;
     let handle = Server::start(config, exe, &vms).map_err(|e| {
         CliError::io(format!("start on {}", args.value("bind").unwrap_or(DEFAULT_ADDR)), e)
     })?;
@@ -131,6 +145,20 @@ pub fn serve(args: &Args) -> Result<(ServerHandle, String), CliError> {
         banner.push_str(&format!("\nretaining the last {retain} window(s) per series"));
     }
     if durable {
+        match (checkpoint_bytes, checkpoint_records) {
+            (Some(b), Some(r)) => banner.push_str(&format!(
+                "\ncheckpointing each stripe every {b} WAL byte(s) or {r} record(s)"
+            )),
+            (Some(b), None) => {
+                banner.push_str(&format!("\ncheckpointing each stripe every {b} WAL byte(s)"));
+            }
+            (None, Some(r)) => {
+                banner.push_str(&format!("\ncheckpointing each stripe every {r} WAL record(s)"));
+            }
+            (None, None) => {
+                banner.push_str("\ncheckpointing on demand only (`graphprof remote checkpoint`)");
+            }
+        }
         if let Some(recovery) = handle.recovery() {
             banner.push_str(&format!("\n{recovery}"));
         }
@@ -235,7 +263,11 @@ impl RemoteOutcome {
 /// * data plane: `flat <series>`, `graph <series>`,
 ///   `sum <series> --out FILE`, `diff <before> <after> [--json]`,
 ///   `regress <before> <after> [--window N | --baseline K]
-///   [--min-sigma S] [--min-ticks T] [--min-pct P] [--json]`, `stats`.
+///   [--min-sigma S] [--min-ticks T] [--min-pct P] [--json]`, `stats`;
+/// * admin: `checkpoint` — snapshot every stripe and compact the
+///   covered WAL segments (the server must be running with
+///   `--data-dir`); a stripe whose snapshot fails keeps serving on the
+///   WAL alone and is reported in the rendered counts.
 ///
 /// `regress` runs the statistical regression gate server-side (see
 /// `docs/REGRESSION.md`): by default over the two series' whole
@@ -382,6 +414,21 @@ pub fn remote(args: &Args) -> Result<RemoteOutcome, CliError> {
         "stats" => {
             expect_no_rest("stats")?;
             Ok(RemoteOutcome::clean(client.stats()?))
+        }
+        "checkpoint" => {
+            expect_no_rest("checkpoint")?;
+            let (stripes, removed, healed, failed) = client.checkpoint()?;
+            let mut out =
+                format!("checkpointed {stripes} stripe(s), removed {removed} WAL segment(s)\n");
+            if healed > 0 {
+                out.push_str(&format!("healed {healed} wedged stripe(s)\n"));
+            }
+            if failed > 0 {
+                out.push_str(&format!(
+                    "{failed} stripe(s) failed to snapshot and stay on the WAL\n"
+                ));
+            }
+            Ok(RemoteOutcome::clean(out))
         }
         other => Err(CliError::Usage(format!("unknown remote verb `{other}`"))),
     }

@@ -197,6 +197,22 @@ impl ProfileAccumulator {
         Ok(())
     }
 
+    /// Rebuilds an accumulator from a previously computed aggregate and
+    /// the number of profiles it summed.
+    ///
+    /// Because [`GmonData::merge`] is commutative and associative, an
+    /// accumulator holding `{aggregate}` as its only level behaves
+    /// exactly like one that folded the original `count` profiles: its
+    /// [`aggregate`](ProfileAccumulator::aggregate) returns the stored
+    /// sum byte-for-byte, and every subsequent push merges into the same
+    /// running total the original accumulator would have produced. A
+    /// checkpointed collector uses this to restore a series from its
+    /// snapshot and keep folding the WAL suffix on top.
+    pub fn from_aggregate(aggregate: GmonData, count: u64) -> Self {
+        let shape = ProfileShape::of(&aggregate);
+        ProfileAccumulator { levels: vec![Some(aggregate)], count, shape: Some(shape) }
+    }
+
     /// The sum of everything pushed so far, without consuming the
     /// accumulator (more pushes may follow).
     ///
@@ -312,6 +328,36 @@ mod tests {
             acc.aggregate().unwrap().to_bytes()
         };
         assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn restored_accumulator_continues_byte_identically() {
+        let runs: Vec<GmonData> = (1..=11).map(|i| profile(i, 5 * i + 2)).collect();
+        for split in 1..runs.len() {
+            let mut full = ProfileAccumulator::new();
+            runs.iter().cloned().for_each(|p| full.push(p).unwrap());
+            let mut prefix = ProfileAccumulator::new();
+            runs[..split].iter().cloned().for_each(|p| prefix.push(p).unwrap());
+            let mut restored =
+                ProfileAccumulator::from_aggregate(prefix.aggregate().unwrap(), prefix.count());
+            assert_eq!(
+                restored.aggregate().unwrap().to_bytes(),
+                prefix.aggregate().unwrap().to_bytes(),
+                "split={split}: restore is the identity before any push"
+            );
+            runs[split..].iter().cloned().for_each(|p| restored.push(p).unwrap());
+            assert_eq!(restored.count(), runs.len() as u64);
+            assert_eq!(
+                restored.aggregate().unwrap().to_bytes(),
+                full.aggregate().unwrap().to_bytes(),
+                "split={split}"
+            );
+        }
+        // A restored accumulator still rejects shape mismatches.
+        let mut restored = ProfileAccumulator::from_aggregate(profile(2, 2), 1);
+        let odd = GmonData::new(99, Histogram::new(Addr::new(0x1000), 32, 0), vec![]);
+        assert!(matches!(restored.push(odd), Err(AnalyzeError::Gmon(_))));
+        assert_eq!(restored.count(), 1);
     }
 
     #[test]

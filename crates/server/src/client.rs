@@ -361,6 +361,24 @@ impl Client {
             _ => Err(ClientError::Unexpected("non-text")),
         }
     }
+
+    /// Asks the server to checkpoint every stripe: snapshot its state,
+    /// compact the covered WAL segments, and heal any wedged stripe.
+    /// Returns `(stripes, segments_removed, healed, failed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] when the server runs without a
+    /// data directory (nothing to checkpoint). Per-stripe snapshot
+    /// failures are reported in the `failed` count, not as errors.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64, u64, u64), ClientError> {
+        match self.expect_ok(&Request::Checkpoint)? {
+            Response::CheckpointDone { stripes, segments_removed, healed, failed } => {
+                Ok((stripes, segments_removed, healed, failed))
+            }
+            _ => Err(ClientError::Unexpected("non-checkpoint")),
+        }
+    }
 }
 
 /// What the server did with a delta upload.
@@ -593,6 +611,17 @@ impl ResilientClient {
     /// See [`ResilientClient::run`].
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.run(|c| c.stats())
+    }
+
+    /// [`Client::checkpoint`], with retry (a checkpoint is idempotent:
+    /// a repeated sweep over already-compacted stripes finds nothing
+    /// more to remove).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResilientClient::run`].
+    pub fn checkpoint(&mut self) -> Result<(u64, u64, u64, u64), ClientError> {
+        self.run(|c| c.checkpoint())
     }
 
     /// [`Client::kgmon`]. Extract-into-series is **not** idempotent (the

@@ -38,6 +38,14 @@ pub struct FaultSpec {
     /// XOR 0xFF into byte `offset` of the nth outbound frame (the frame
     /// is still sent whole).
     pub corrupt_frame_at: Option<(u64, usize)>,
+    /// Fail the nth snapshot body write outright with an ENOSPC-shaped
+    /// error (no bytes written) — the disk-full case a checkpoint must
+    /// survive by staying on the WAL.
+    pub fail_snapshot_at: Option<u64>,
+    /// Write only the first `keep` bytes of the nth snapshot body, then
+    /// fail — a short write, as a crash or full disk mid-snapshot
+    /// leaves. The truncated temp file must never be loaded.
+    pub short_snapshot_write_at: Option<(u64, usize)>,
 }
 
 /// What the plan decided for one WAL append.
@@ -49,6 +57,17 @@ pub enum AppendFault {
     Fail,
     /// Write only this many bytes, then fail.
     Torn(usize),
+}
+
+/// What the plan decided for one snapshot body write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// Write the snapshot normally.
+    Proceed,
+    /// Fail without writing anything (ENOSPC-shaped).
+    Fail,
+    /// Write only this many bytes, then fail.
+    Short(usize),
 }
 
 /// What the plan decided for one outbound frame.
@@ -68,6 +87,7 @@ struct FaultState {
     appends: AtomicU64,
     fsyncs: AtomicU64,
     frames: AtomicU64,
+    snapshots: AtomicU64,
     trips: Mutex<Vec<String>>,
 }
 
@@ -141,6 +161,11 @@ impl FaultPlan {
         self.state.fsyncs.load(Ordering::SeqCst)
     }
 
+    /// How many snapshot body writes the plan has observed.
+    pub fn snapshots(&self) -> u64 {
+        self.state.snapshots.load(Ordering::SeqCst)
+    }
+
     /// Every fault injected so far, in firing order — so tests assert
     /// the fault fired instead of passing vacuously.
     pub fn trips(&self) -> Vec<String> {
@@ -178,6 +203,26 @@ impl FaultPlan {
             return Err(std::io::Error::other("injected fsync failure"));
         }
         Ok(())
+    }
+
+    /// Consults the plan for the next snapshot body write of `len`
+    /// bytes. Counted separately from WAL appends and fsyncs, so
+    /// snapshot faults never perturb the append/fsync schedules the
+    /// chaos seeds and group-commit tests pin down.
+    pub fn on_snapshot_write(&self, len: usize) -> SnapshotFault {
+        let n = self.state.snapshots.fetch_add(1, Ordering::SeqCst);
+        if self.state.spec.fail_snapshot_at == Some(n) {
+            self.trip(format!("snapshot {n}: failed (no space)"));
+            return SnapshotFault::Fail;
+        }
+        if let Some((at, keep)) = self.state.spec.short_snapshot_write_at {
+            if at == n {
+                let keep = keep.min(len.saturating_sub(1));
+                self.trip(format!("snapshot {n}: short write of {keep} of {len} bytes"));
+                return SnapshotFault::Short(keep);
+            }
+        }
+        SnapshotFault::Proceed
     }
 
     /// Consults the plan for the next outbound frame, corrupting the
@@ -261,6 +306,29 @@ mod tests {
             FaultPlan::new(FaultSpec { torn_append_at: Some((0, 1000)), ..FaultSpec::default() });
         // `keep` beyond the record is clamped so the record still tears.
         assert_eq!(plan.on_append(10), AppendFault::Torn(9));
+    }
+
+    #[test]
+    fn snapshot_faults_fire_on_their_own_counter() {
+        let plan = FaultPlan::new(FaultSpec {
+            fail_snapshot_at: Some(0),
+            fail_fsync_at: Some(0),
+            ..FaultSpec::default()
+        });
+        // The snapshot schedule is independent of the fsync schedule.
+        assert_eq!(plan.on_snapshot_write(100), SnapshotFault::Fail);
+        assert_eq!(plan.on_snapshot_write(100), SnapshotFault::Proceed);
+        assert!(plan.on_fsync().is_err());
+        assert_eq!(plan.snapshots(), 2);
+
+        let plan = FaultPlan::new(FaultSpec {
+            short_snapshot_write_at: Some((1, 1000)),
+            ..FaultSpec::default()
+        });
+        assert_eq!(plan.on_snapshot_write(10), SnapshotFault::Proceed);
+        // `keep` beyond the body is clamped so the write still tears.
+        assert_eq!(plan.on_snapshot_write(10), SnapshotFault::Short(9));
+        assert_eq!(plan.trips().len(), 1);
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //!
 //! Version 2 added the delta-upload message pair; version 3 added the
 //! regress request/response pair and taught the diff request to carry a
-//! report format. The version a frame carries is the version its *kind*
-//! needs: legacy kinds still travel as version 1 and readers accept the
-//! whole [`MIN_VERSION`]`..=`[`VERSION`] range, so a version-1 client
-//! keeps working against a version-3 server — it only ever receives
-//! newer frames in reply to newer requests it cannot send.
+//! report format; version 4 added the checkpoint admin verb. The
+//! version a frame carries is the version its *kind* needs: legacy
+//! kinds still travel as version 1 and readers accept the whole
+//! [`MIN_VERSION`]`..=`[`VERSION`] range, so a version-1 client keeps
+//! working against a version-4 server — it only ever receives newer
+//! frames in reply to newer requests it cannot send.
 
 use std::error::Error;
 use std::fmt;
@@ -32,7 +33,7 @@ use std::io::{Read, Write};
 /// Frame magic: "GPRS" (graphprof-serve).
 pub const MAGIC: [u8; 4] = *b"GPRS";
 /// Newest protocol version this side speaks (regression gate).
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
 /// Oldest protocol version readers still accept.
 pub const MIN_VERSION: u16 = 1;
 /// Message kinds introduced by version 2 of the protocol: the
@@ -43,6 +44,9 @@ const V2_KINDS: [u8; 2] = [0x06, 0x84];
 /// Message kinds that need version 3: the regress request/response
 /// pair, and the diff request now that it carries a report format.
 const V3_KINDS: [u8; 3] = [0x03, 0x07, 0x85];
+/// Message kinds that need version 4: the checkpoint admin
+/// request/response pair.
+const V4_KINDS: [u8; 2] = [0x08, 0x86];
 /// Fixed header size preceding every payload.
 pub const HEADER_LEN: usize = 12;
 /// Default cap on payload length enforced by readers.
@@ -163,8 +167,10 @@ pub fn encode_frame(frame: &Frame, max_payload: usize) -> Result<Vec<u8>, WireEr
     if frame.payload.len() > max_payload {
         return Err(WireError::Oversized { len: frame.payload.len(), max: max_payload });
     }
-    let version = if V3_KINDS.contains(&frame.kind) {
+    let version = if V4_KINDS.contains(&frame.kind) {
         VERSION
+    } else if V3_KINDS.contains(&frame.kind) {
+        3
     } else if V2_KINDS.contains(&frame.kind) {
         2
     } else {
@@ -306,10 +312,19 @@ mod tests {
     fn version_tracks_what_the_kind_needs() {
         // Legacy kinds stay on version 1 so old readers decode them;
         // the delta-upload pair rides version 2; the regress pair and
-        // the format-carrying diff ride version 3; readers take all.
-        for (kind, version) in
-            [(0x01u8, 1u16), (0x80, 1), (0x06, 2), (0x84, 2), (0x03, 3), (0x07, 3), (0x85, 3)]
-        {
+        // the format-carrying diff ride version 3; the checkpoint pair
+        // rides version 4; readers take all.
+        for (kind, version) in [
+            (0x01u8, 1u16),
+            (0x80, 1),
+            (0x06, 2),
+            (0x84, 2),
+            (0x03, 3),
+            (0x07, 3),
+            (0x85, 3),
+            (0x08, 4),
+            (0x86, 4),
+        ] {
             let bytes = encode_frame(&Frame::new(kind, vec![]), 64).unwrap();
             assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), version, "kind {kind:#x}");
             let frame = read_frame(&mut bytes.as_slice(), 64).unwrap().unwrap();

@@ -127,6 +127,13 @@ impl Committer {
         }
     }
 
+    /// The stripe's WAL. A checkpoint locks this *first* (the same
+    /// order the commit leader uses) as its quiesce point: no batch
+    /// can commit between the state freeze and the log compaction.
+    pub(crate) fn wal(&self) -> &Mutex<Wal> {
+        &self.wal
+    }
+
     /// Stages one upload and sees it through a commit. On return `true`
     /// the upload's waiter holds its outcome: either this thread led
     /// the batch containing it, or it followed a leader who did.

@@ -34,6 +34,7 @@ pub mod frame;
 mod group;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
 pub mod store;
 pub mod wal;
 
@@ -44,5 +45,5 @@ pub use fault::{FaultPlan, FaultSpec};
 pub use frame::{Frame, WireError, DEFAULT_MAX_PAYLOAD};
 pub use proto::{KgmonVerb, MonRange, QueryKind, RegressScope, ReportFormat, Request, Response};
 pub use server::{DrainSummary, Server, ServerConfig, ServerHandle};
-pub use store::{RejectReason, SeriesStats, SeriesStore, StoreOptions};
+pub use store::{CheckpointReport, RejectReason, SeriesStats, SeriesStore, StoreOptions};
 pub use wal::{StoreRecovery, Wal, WalRecord, WalRecovery};

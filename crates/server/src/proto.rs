@@ -40,6 +40,9 @@ pub mod kind {
     /// Run the statistical regression gate over two series (protocol
     /// version 3).
     pub const REGRESS: u8 = 0x07;
+    /// Checkpoint every stripe: snapshot its state and compact the WAL
+    /// segments the snapshot covers (protocol version 4).
+    pub const CHECKPOINT: u8 = 0x08;
 
     /// Response: upload accepted.
     pub const ACCEPTED: u8 = 0x80;
@@ -57,6 +60,9 @@ pub mod kind {
     /// Response: a rendered regression report plus its verdict bit
     /// (protocol version 3).
     pub const REGRESS_REPORT: u8 = 0x85;
+    /// Response: what a checkpoint sweep did, per
+    /// [`Response::CheckpointDone`] (protocol version 4).
+    pub const CHECKPOINT_DONE: u8 = 0x86;
     /// Response: the request was rejected.
     pub const ERROR: u8 = 0xFF;
 }
@@ -202,6 +208,11 @@ pub enum Request {
     },
     /// Fetch per-series upload/reject/byte counters.
     Stats,
+    /// Checkpoint every stripe: snapshot its state, delete the WAL
+    /// segments the snapshot covers, and heal any wedged stripe. A
+    /// stripe whose snapshot fails keeps serving on its WAL and is
+    /// counted in the response, never an error.
+    Checkpoint,
 }
 
 /// A decoded response.
@@ -247,6 +258,18 @@ pub enum Response {
         regressed: bool,
         /// The rendered report.
         report: String,
+    },
+    /// What a checkpoint sweep did across the store's stripes.
+    CheckpointDone {
+        /// Stripes the sweep covered.
+        stripes: u64,
+        /// WAL segments deleted because a snapshot now covers them.
+        segments_removed: u64,
+        /// Wedged stripes healed back to accepting uploads.
+        healed: u64,
+        /// Stripes whose snapshot failed (still serving on the WAL;
+        /// retried with backoff).
+        failed: u64,
     },
     /// Rendered text (listing, diff, stats, kgmon status).
     Text(String),
@@ -422,6 +445,7 @@ impl Request {
                 kind::KGMON
             }
             Request::Stats => kind::STATS,
+            Request::Checkpoint => kind::CHECKPOINT,
         };
         Frame::new(kind, p)
     }
@@ -531,6 +555,7 @@ impl Request {
                 finish(data, Request::Kgmon { vm, verb })
             }
             kind::STATS => finish(data, Request::Stats),
+            kind::CHECKPOINT => finish(data, Request::Checkpoint),
             other => Err(WireError::Malformed(format!("unknown request kind {other:#04x}"))),
         }
     }
@@ -569,6 +594,13 @@ impl Response {
                 p.put_u8(u8::from(*regressed));
                 put_blob(&mut p, report.as_bytes());
                 kind::REGRESS_REPORT
+            }
+            Response::CheckpointDone { stripes, segments_removed, healed, failed } => {
+                p.put_u64_le(*stripes);
+                p.put_u64_le(*segments_removed);
+                p.put_u64_le(*healed);
+                p.put_u64_le(*failed);
+                kind::CHECKPOINT_DONE
             }
             Response::Text(text) => {
                 put_blob(&mut p, text.as_bytes());
@@ -638,6 +670,13 @@ impl Response {
                 };
                 let report = text(data)?;
                 finish(data, Response::Regress { regressed, report })
+            }
+            kind::CHECKPOINT_DONE => {
+                let stripes = get_u64(data)?;
+                let segments_removed = get_u64(data)?;
+                let healed = get_u64(data)?;
+                let failed = get_u64(data)?;
+                finish(data, Response::CheckpointDone { stripes, segments_removed, healed, failed })
             }
             kind::TEXT => {
                 let t = text(data)?;
@@ -714,6 +753,7 @@ mod tests {
                 verb: KgmonVerb::Moncontrol(MonRange::Routine("disk".into())),
             },
             Request::Stats,
+            Request::Checkpoint,
         ]
     }
 
@@ -734,6 +774,13 @@ mod tests {
             Response::Resync { series: "web".into(), seq: 0, expected: None },
             Response::Regress { regressed: true, report: "verdict: REGRESSED".into() },
             Response::Regress { regressed: false, report: String::new() },
+            Response::CheckpointDone { stripes: 4, segments_removed: 9, healed: 1, failed: 0 },
+            Response::CheckpointDone {
+                stripes: u64::MAX,
+                segments_removed: 0,
+                healed: 0,
+                failed: u64::MAX,
+            },
             Response::Text("flat profile:\n".into()),
             Response::Blob(vec![0xDE, 0xAD]),
             Response::Error("no such series".into()),

@@ -74,6 +74,15 @@ pub struct ServerConfig {
     /// last K uploaded windows for window-vs-window and trailing-baseline
     /// regression queries. Zero (the default) retains nothing.
     pub retain: usize,
+    /// Checkpoint a stripe automatically after this many accepted
+    /// payload bytes (`--checkpoint-bytes`). `None` disables the byte
+    /// trigger.
+    pub checkpoint_bytes: Option<u64>,
+    /// Checkpoint a stripe automatically after this many accepted
+    /// uploads (`--checkpoint-records`). `None` disables the record
+    /// trigger; with both triggers off, only `remote checkpoint`
+    /// compacts the WAL.
+    pub checkpoint_records: Option<u64>,
     /// Fault-injection schedule for the store and the response path.
     /// [`FaultPlan::none`] (the default) injects nothing.
     pub fault: FaultPlan,
@@ -96,6 +105,8 @@ impl Default for ServerConfig {
             stripes: 4,
             group_commit: Some(Duration::ZERO),
             retain: 0,
+            checkpoint_bytes: None,
+            checkpoint_records: None,
             fault: FaultPlan::none(),
         }
     }
@@ -177,6 +188,8 @@ impl Server {
             group_commit: config.group_commit,
             segment_bytes: config.wal_segment_bytes,
             retain: config.retain,
+            checkpoint_bytes: config.checkpoint_bytes,
+            checkpoint_records: config.checkpoint_records,
             fault: config.fault.clone(),
         };
         let (store, recovery) = match &config.data_dir {
@@ -411,6 +424,15 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
             regress(shared, &before, &after, scope, thresholds, format)
         }
         Request::Kgmon { vm, verb } => kgmon(shared, &vm, verb),
+        Request::Checkpoint => match shared.store.checkpoint() {
+            Ok(report) => Response::CheckpointDone {
+                stripes: report.stripes,
+                segments_removed: report.segments_removed,
+                healed: report.healed,
+                failed: report.failed,
+            },
+            Err(e) => Response::Error(e.to_string()),
+        },
         Request::Stats => {
             let mut text = shared.store.render_stats();
             text.push_str(&format!(

@@ -1,0 +1,544 @@
+//! GPSN stripe snapshots: the checkpoint half of crash-safe compaction.
+//!
+//! A checkpoint serializes one stripe's entire replay-derived state —
+//! per-series aggregate, dedup high-water index, retention ring, delta
+//! shadow, counters — together with the WAL position it covers, into a
+//! single atomically-written generation file:
+//!
+//! ```text
+//! <data-dir>/snap/p000/snap-00000001.gpsn   = stripe 0, generation 1
+//! <data-dir>/snap/p001/snap-00000007.gpsn   = stripe 1, generation 7 …
+//! ```
+//!
+//! Once a generation is durable (temp file + fsync + rename + directory
+//! fsync, the same idiom WAL segments use), every WAL segment wholly at
+//! or below the covered position can be deleted: recovery loads the
+//! newest decodable snapshot and replays only the WAL suffix past it,
+//! byte-identical to a full replay because the snapshot *is* the full
+//! replay of the prefix, frozen.
+//!
+//! The file is fully checksummed (trailing FNV-1a 64 over everything
+//! before it), so a half-written generation — crash or short write —
+//! never loads: [`load_newest`] walks generations newest-first and the
+//! first one that decodes wins, falling back to an older generation or
+//! to plain full replay. Older generations are pruned only *after* the
+//! new one is durable, so there is no crash point without a loadable
+//! snapshot once one has ever been written.
+//!
+//! ```text
+//! snapshot = magic b"GPSN" · version u16 LE · reserved u16 LE
+//!          · covered_segment u64 LE · covered_offset u64 LE
+//!          · orphan_rejects u64 LE · series_count u32 LE · series*
+//!          · fnv1a64(everything above) u64 LE
+//! series   = name (u16 LE len + UTF-8) · fold_count u64 LE
+//!          · aggregate (u32 LE len + gmon bytes; len 0 = empty)
+//!          · next_auto_seq u64 LE · seen (u32 LE count + u64 LE each)
+//!          · uploads u64 · rejects u64 · bytes u64 · flagged u64
+//!          · flags (u8 count + (u16 LE len + UTF-8) each)
+//!          · shadow (u8 present + seq u64 + u32 LE len + gmon bytes)
+//!          · windows (u32 LE count + (seq u64 + u32 LE len + gmon)*)
+//! ```
+//!
+//! Snapshot writes consult the fault plan through their own hook
+//! ([`FaultPlan::on_snapshot_write`]) with its own counter, so injected
+//! snapshot failures never perturb the append/fsync schedules the chaos
+//! seeds pin down.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut};
+use graphprof_monitor::GmonData;
+
+use crate::fault::{FaultPlan, SnapshotFault};
+use crate::wal::fnv1a64;
+
+const SNAPSHOT_MAGIC: [u8; 4] = *b"GPSN";
+const SNAPSHOT_VERSION: u16 = 1;
+
+/// One series' frozen state inside a stripe snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// The series name.
+    pub name: String,
+    /// Profiles folded into the aggregate.
+    pub count: u64,
+    /// The folded aggregate; `None` when nothing has folded in (a
+    /// series can exist with only rejects charged against it).
+    pub aggregate: Option<GmonData>,
+    /// The next sequence number auto-seq uploads probe.
+    pub next_auto_seq: u64,
+    /// The dedup index: every sequence number ever accepted.
+    pub seen_seqs: Vec<u64>,
+    /// Uploads accepted.
+    pub uploads: u64,
+    /// Uploads refused.
+    pub rejects: u64,
+    /// Payload bytes accepted.
+    pub bytes: u64,
+    /// Accepted uploads that carried tolerated analyzer errors.
+    pub flagged: u64,
+    /// Tolerated analyzer codes seen on accepted uploads.
+    pub flags: Vec<String>,
+    /// The delta-upload shadow: the last applied window with its seq.
+    pub shadow: Option<(u64, GmonData)>,
+    /// The `--retain` ring, oldest first, each window with its seq.
+    pub windows: Vec<(u64, GmonData)>,
+}
+
+/// One stripe's full frozen state plus the WAL position it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripeSnapshot {
+    /// The WAL `(segment index, byte offset)` this snapshot covers:
+    /// recovery replays only records strictly past it.
+    pub covered: (u64, u64),
+    /// Rejects that could not be charged to an existing series.
+    pub orphan_rejects: u64,
+    /// Every series the stripe held, in name order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// The directory stripe `index` snapshots into, under `<data-dir>/snap`.
+pub fn stripe_dir(data_dir: &Path, index: usize) -> PathBuf {
+    data_dir.join("snap").join(format!("p{index:03}"))
+}
+
+fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snap-{generation:08}.gpsn"))
+}
+
+fn snapshot_generation(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".gpsn")?;
+    digits.parse().ok()
+}
+
+fn generations(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut generations: Vec<u64> = match fs::read_dir(dir) {
+        Ok(entries) => {
+            entries.filter_map(|entry| snapshot_generation(&entry.ok()?.path())).collect()
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    generations.sort_unstable();
+    Ok(generations)
+}
+
+fn put_gmon(out: &mut Vec<u8>, gmon: &GmonData) {
+    let bytes = gmon.to_bytes();
+    out.put_u32_le(bytes.len() as u32);
+    out.put_slice(&bytes);
+}
+
+/// Serializes one stripe snapshot, checksum included.
+pub fn encode(snapshot: &StripeSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.put_slice(&SNAPSHOT_MAGIC);
+    out.put_u16_le(SNAPSHOT_VERSION);
+    out.put_u16_le(0);
+    out.put_u64_le(snapshot.covered.0);
+    out.put_u64_le(snapshot.covered.1);
+    out.put_u64_le(snapshot.orphan_rejects);
+    out.put_u32_le(snapshot.series.len() as u32);
+    for series in &snapshot.series {
+        out.put_u16_le(series.name.len() as u16);
+        out.put_slice(series.name.as_bytes());
+        out.put_u64_le(series.count);
+        match &series.aggregate {
+            Some(aggregate) => put_gmon(&mut out, aggregate),
+            None => out.put_u32_le(0),
+        }
+        out.put_u64_le(series.next_auto_seq);
+        out.put_u32_le(series.seen_seqs.len() as u32);
+        for &seq in &series.seen_seqs {
+            out.put_u64_le(seq);
+        }
+        out.put_u64_le(series.uploads);
+        out.put_u64_le(series.rejects);
+        out.put_u64_le(series.bytes);
+        out.put_u64_le(series.flagged);
+        out.put_u8(series.flags.len() as u8);
+        for flag in &series.flags {
+            out.put_u16_le(flag.len() as u16);
+            out.put_slice(flag.as_bytes());
+        }
+        match &series.shadow {
+            Some((seq, window)) => {
+                out.put_u8(1);
+                out.put_u64_le(*seq);
+                put_gmon(&mut out, window);
+            }
+            None => out.put_u8(0),
+        }
+        out.put_u32_le(series.windows.len() as u32);
+        for (seq, window) in &series.windows {
+            out.put_u64_le(*seq);
+            put_gmon(&mut out, window);
+        }
+    }
+    let checksum = fnv1a64(&out);
+    out.put_u64_le(checksum);
+    out
+}
+
+fn get_gmon(buf: &mut &[u8]) -> Option<Option<GmonData>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if len == 0 {
+        return Some(None);
+    }
+    if buf.remaining() < len {
+        return None;
+    }
+    let gmon = GmonData::from_bytes(&buf[..len]).ok()?;
+    buf.advance(len);
+    Some(Some(gmon))
+}
+
+fn get_string(buf: &mut &[u8]) -> Option<String> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let s = String::from_utf8(buf[..len].to_vec()).ok()?;
+    buf.advance(len);
+    Some(s)
+}
+
+/// Decodes a snapshot image. `None` for anything that is not a whole,
+/// checksum-valid, parseable GPSN file — a torn or corrupted generation
+/// simply does not exist as far as recovery is concerned.
+pub fn decode(bytes: &[u8]) -> Option<StripeSnapshot> {
+    if bytes.len() < 8 + 8 || bytes[..4] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let checksum = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv1a64(body) != checksum {
+        return None;
+    }
+    let mut buf = &body[4..];
+    if buf.get_u16_le() != SNAPSHOT_VERSION {
+        return None;
+    }
+    buf.advance(2);
+    if buf.remaining() < 8 + 8 + 8 + 4 {
+        return None;
+    }
+    let covered = (buf.get_u64_le(), buf.get_u64_le());
+    let orphan_rejects = buf.get_u64_le();
+    let series_count = buf.get_u32_le() as usize;
+    let mut series = Vec::with_capacity(series_count.min(4096));
+    for _ in 0..series_count {
+        let name = get_string(&mut buf)?;
+        if buf.remaining() < 8 {
+            return None;
+        }
+        let count = buf.get_u64_le();
+        let aggregate = get_gmon(&mut buf)?;
+        if buf.remaining() < 8 + 4 {
+            return None;
+        }
+        let next_auto_seq = buf.get_u64_le();
+        let seen_count = buf.get_u32_le() as usize;
+        if buf.remaining() < seen_count.checked_mul(8)? {
+            return None;
+        }
+        let seen_seqs: Vec<u64> = (0..seen_count).map(|_| buf.get_u64_le()).collect();
+        if buf.remaining() < 4 * 8 + 1 {
+            return None;
+        }
+        let uploads = buf.get_u64_le();
+        let rejects = buf.get_u64_le();
+        let bytes_accepted = buf.get_u64_le();
+        let flagged = buf.get_u64_le();
+        let flag_count = buf.get_u8() as usize;
+        let mut flags = Vec::with_capacity(flag_count);
+        for _ in 0..flag_count {
+            flags.push(get_string(&mut buf)?);
+        }
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let shadow = if buf.get_u8() != 0 {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let seq = buf.get_u64_le();
+            Some((seq, get_gmon(&mut buf)??))
+        } else {
+            None
+        };
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let window_count = buf.get_u32_le() as usize;
+        let mut windows = Vec::with_capacity(window_count.min(4096));
+        for _ in 0..window_count {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let seq = buf.get_u64_le();
+            windows.push((seq, get_gmon(&mut buf)??));
+        }
+        series.push(SeriesSnapshot {
+            name,
+            count,
+            aggregate,
+            next_auto_seq,
+            seen_seqs,
+            uploads,
+            rejects,
+            bytes: bytes_accepted,
+            flagged,
+            flags,
+            shadow,
+            windows,
+        });
+    }
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(StripeSnapshot { covered, orphan_rejects, series })
+}
+
+/// Writes a new snapshot generation atomically — temp file, fsync,
+/// rename, directory fsync — routing the body write through the fault
+/// plan's snapshot hook, then prunes every older generation. Pruning
+/// happens strictly after the new generation is durable, so a crash at
+/// any byte of this function leaves at least one loadable generation
+/// (or none at all, which recovery answers with a full replay).
+///
+/// Returns the generation number written.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error — including the injected
+/// ENOSPC-shaped failure and short write. A failed write may leave a
+/// `.tmp` file behind; [`load_newest`] never looks at temp files, and
+/// the next attempt overwrites it.
+pub fn write_snapshot(dir: &Path, snapshot: &StripeSnapshot, fault: &FaultPlan) -> io::Result<u64> {
+    fs::create_dir_all(dir)?;
+    let generation = generations(dir)?.last().map_or(1, |last| last + 1);
+    let bytes = encode(snapshot);
+    let tmp = dir.join(format!("snap-{generation:08}.tmp"));
+    {
+        let mut file = File::create(&tmp)?;
+        match fault.on_snapshot_write(bytes.len()) {
+            SnapshotFault::Proceed => file.write_all(&bytes)?,
+            SnapshotFault::Fail => {
+                drop(file);
+                let _ = fs::remove_file(&tmp);
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected snapshot failure: no space left on device",
+                ));
+            }
+            SnapshotFault::Short(keep) => {
+                // Write the short prefix for real — a crashed or
+                // disk-full snapshot leaves exactly this debris, and
+                // recovery must ignore it.
+                file.write_all(&bytes[..keep])?;
+                let _ = file.sync_all();
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected snapshot short write: no space left on device",
+                ));
+            }
+        }
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, snapshot_path(dir, generation))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    // The new generation is durable; older ones are now redundant.
+    for old in generations(dir)?.into_iter().filter(|&g| g < generation) {
+        let _ = fs::remove_file(snapshot_path(dir, old));
+    }
+    Ok(generation)
+}
+
+/// Loads the newest decodable snapshot generation, falling back over
+/// torn or corrupt ones. `Ok(None)` when no generation loads (no
+/// snapshot yet, or every file is damaged) — the caller falls back to a
+/// full WAL replay.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error for anything other than a missing
+/// directory. Damaged snapshot files are skipped, never errors.
+pub fn load_newest(dir: &Path) -> io::Result<Option<(u64, StripeSnapshot)>> {
+    let mut generations = generations(dir)?;
+    generations.reverse();
+    for generation in generations {
+        let path = snapshot_path(dir, generation);
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        }
+        if let Some(snapshot) = decode(&bytes) {
+            return Ok(Some((generation, snapshot)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+    use graphprof_machine::Addr;
+    use graphprof_monitor::{Histogram, RawArc};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graphprof-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn gmon(samples: u64, count: u64) -> GmonData {
+        let mut h = Histogram::new(Addr::new(0x1000), 32, 0);
+        h.record(Addr::new(0x1004), samples);
+        GmonData::new(
+            50,
+            h,
+            vec![RawArc { from_pc: Addr::NULL, self_pc: Addr::new(0x1000), count }],
+        )
+    }
+
+    fn sample_snapshot() -> StripeSnapshot {
+        StripeSnapshot {
+            covered: (3, 4096),
+            orphan_rejects: 2,
+            series: vec![
+                SeriesSnapshot {
+                    name: "web".to_string(),
+                    count: 3,
+                    aggregate: Some(gmon(9, 30)),
+                    next_auto_seq: 5,
+                    seen_seqs: vec![0, 1, 4],
+                    uploads: 3,
+                    rejects: 1,
+                    bytes: 4242,
+                    flagged: 1,
+                    flags: vec!["call-count-mismatch".to_string()],
+                    shadow: Some((4, gmon(3, 10))),
+                    windows: vec![(1, gmon(2, 8)), (4, gmon(3, 10))],
+                },
+                SeriesSnapshot {
+                    name: "empty".to_string(),
+                    count: 0,
+                    aggregate: None,
+                    next_auto_seq: 0,
+                    seen_seqs: vec![],
+                    uploads: 0,
+                    rejects: 3,
+                    bytes: 0,
+                    flagged: 0,
+                    flags: vec![],
+                    shadow: None,
+                    windows: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snapshot = sample_snapshot();
+        let bytes = encode(&snapshot);
+        assert_eq!(decode(&bytes), Some(snapshot));
+    }
+
+    #[test]
+    fn any_truncation_or_flip_fails_to_decode() {
+        let bytes = encode(&sample_snapshot());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_none(), "cut at {cut} decoded");
+        }
+        // Flip one byte at a sample of offsets: the checksum catches it.
+        for offset in (0..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0xFF;
+            assert!(decode(&corrupt).is_none(), "flip at {offset} decoded");
+        }
+    }
+
+    #[test]
+    fn generations_load_newest_first_and_fall_back_over_damage() {
+        let dir = tmpdir("generations");
+        let mut old = sample_snapshot();
+        old.covered = (1, 100);
+        let new = sample_snapshot();
+        assert_eq!(write_snapshot(&dir, &old, &FaultPlan::none()).unwrap(), 1);
+        // Generation 1 is pruned once 2 is durable; recreate it by hand
+        // to prove the fall-back order.
+        assert_eq!(write_snapshot(&dir, &new, &FaultPlan::none()).unwrap(), 2);
+        fs::write(snapshot_path(&dir, 1), encode(&old)).unwrap();
+        let (generation, loaded) = load_newest(&dir).unwrap().unwrap();
+        assert_eq!((generation, loaded.covered), (2, new.covered));
+        // Damage the newest: the older one wins.
+        let bytes = fs::read(snapshot_path(&dir, 2)).unwrap();
+        fs::write(snapshot_path(&dir, 2), &bytes[..bytes.len() / 2]).unwrap();
+        let (generation, loaded) = load_newest(&dir).unwrap().unwrap();
+        assert_eq!((generation, loaded.covered), (1, old.covered));
+        // Damage everything: no snapshot, not an error.
+        fs::write(snapshot_path(&dir, 1), b"junk").unwrap();
+        assert!(load_newest(&dir).unwrap().is_none());
+        // A missing directory is simply no snapshot.
+        assert!(load_newest(&dir.join("missing")).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_failures_leave_no_loadable_generation() {
+        let dir = tmpdir("faults");
+        let snapshot = sample_snapshot();
+        let fault = FaultPlan::new(FaultSpec {
+            fail_snapshot_at: Some(0),
+            short_snapshot_write_at: Some((1, 40)),
+            ..FaultSpec::default()
+        });
+        let err = write_snapshot(&dir, &snapshot, &fault).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(load_newest(&dir).unwrap().is_none());
+        // The short write leaves real debris — a truncated temp file —
+        // which load ignores.
+        let err = write_snapshot(&dir, &snapshot, &fault).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(load_newest(&dir).unwrap().is_none());
+        assert_eq!(fault.trips().len(), 2);
+        // The third attempt (fault schedule exhausted) succeeds and
+        // overwrites the debris.
+        let generation = write_snapshot(&dir, &snapshot, &fault).unwrap();
+        let (loaded_generation, loaded) = load_newest(&dir).unwrap().unwrap();
+        assert_eq!(loaded_generation, generation);
+        assert_eq!(loaded, snapshot);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_keeps_only_the_newest_generation() {
+        let dir = tmpdir("prune");
+        let snapshot = sample_snapshot();
+        for _ in 0..3 {
+            write_snapshot(&dir, &snapshot, &FaultPlan::none()).unwrap();
+        }
+        assert_eq!(generations(&dir).unwrap(), vec![3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

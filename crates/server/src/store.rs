@@ -58,8 +58,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::io;
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -69,6 +69,7 @@ use graphprof_monitor::GmonData;
 
 use crate::fault::FaultPlan;
 use crate::group::{CommitWaiter, Committer, Staged};
+use crate::snapshot::{self, SeriesSnapshot, StripeSnapshot};
 use crate::wal::{self, open_partitions, StoreRecovery, Wal, DEFAULT_SEGMENT_BYTES};
 
 /// Why an upload was refused. The connection stays usable after any of
@@ -171,6 +172,15 @@ pub struct StoreOptions {
     /// rebuilt by WAL replay and compacted past `K`, and feeds
     /// window-vs-window and trailing-baseline `regress` queries.
     pub retain: usize,
+    /// Checkpoint a stripe automatically once this many payload bytes
+    /// have been accepted since its last checkpoint (`--checkpoint-bytes`).
+    /// `None` disables the byte trigger.
+    pub checkpoint_bytes: Option<u64>,
+    /// Checkpoint a stripe automatically once this many uploads have
+    /// been accepted since its last checkpoint (`--checkpoint-records`).
+    /// `None` disables the record trigger. With both triggers `None`,
+    /// checkpoints only happen on the explicit `remote checkpoint` verb.
+    pub checkpoint_records: Option<u64>,
     /// Fault-injection schedule threaded into every stripe's WAL.
     pub fault: FaultPlan,
 }
@@ -184,6 +194,8 @@ impl Default for StoreOptions {
             group_commit: Some(Duration::ZERO),
             segment_bytes: DEFAULT_SEGMENT_BYTES,
             retain: 0,
+            checkpoint_bytes: None,
+            checkpoint_records: None,
             fault: FaultPlan::none(),
         }
     }
@@ -329,6 +341,48 @@ impl std::fmt::Debug for Lane {
     }
 }
 
+/// What one [`SeriesStore::checkpoint`] sweep did across all stripes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Stripes the sweep covered.
+    pub stripes: u64,
+    /// WAL segments deleted because a snapshot now covers them.
+    pub segments_removed: u64,
+    /// Wedged stripes healed back to accepting uploads.
+    pub healed: u64,
+    /// Stripes whose snapshot write failed (they keep serving on the
+    /// WAL alone and will be retried).
+    pub failed: u64,
+}
+
+/// Per-stripe checkpoint bookkeeping, all lock-free so the stats
+/// listing and the serve banner read it while uploads are in flight.
+#[derive(Debug, Default)]
+struct CheckpointGauges {
+    /// Uploads accepted since the last successful checkpoint.
+    records_since: AtomicU64,
+    /// Payload bytes accepted since the last successful checkpoint.
+    bytes_since: AtomicU64,
+    /// Successful checkpoints.
+    checkpoints: AtomicU64,
+    /// Snapshot writes that failed (and were retried with backoff).
+    failures: AtomicU64,
+    /// Wedged-WAL heals performed by a checkpoint.
+    healed: AtomicU64,
+    /// The covered segment index of the newest snapshot.
+    covered_segment: AtomicU64,
+    /// Consecutive snapshot failures; each doubles the auto-checkpoint
+    /// threshold (deterministic, data-volume-measured backoff). Reset
+    /// by the next success.
+    failed_streak: AtomicU64,
+    /// `StorageFailed` uploads since the last heal; heal attempts fire
+    /// at powers of two of this counter (1st, 2nd, 4th, 8th … failure).
+    storage_failures: AtomicU64,
+    /// At most one checkpoint per stripe at a time; racing triggers
+    /// return without doing anything.
+    checkpointing: AtomicBool,
+}
+
 /// The collection server's series store. All methods take `&self`;
 /// each stripe's internal lock serializes its own mutations, so
 /// connection handlers share the store freely and only contend when
@@ -345,6 +399,16 @@ pub struct SeriesStore {
     /// Series created across all stripes, bounding `max_series`
     /// globally without a global lock.
     series_count: AtomicUsize,
+    /// Set for durable stores: the root the per-stripe snapshot
+    /// directories live under.
+    data_dir: Option<PathBuf>,
+    /// Fault-injection schedule, threaded into snapshot writes.
+    fault: FaultPlan,
+    /// Auto-checkpoint thresholds (see [`StoreOptions`]).
+    checkpoint_bytes: Option<u64>,
+    checkpoint_records: Option<u64>,
+    /// Per-stripe checkpoint counters, indexed like `lanes`.
+    gauges: Vec<CheckpointGauges>,
 }
 
 impl SeriesStore {
@@ -376,6 +440,11 @@ impl SeriesStore {
             stripes: stripe_shared,
             lanes: (0..stripes).map(|_| Lane::Memory).collect(),
             series_count: AtomicUsize::new(0),
+            data_dir: None,
+            checkpoint_bytes: opts.checkpoint_bytes,
+            checkpoint_records: opts.checkpoint_records,
+            fault: opts.fault,
+            gauges: (0..stripes).map(|_| CheckpointGauges::default()).collect(),
         }
     }
 
@@ -401,27 +470,70 @@ impl SeriesStore {
         opts: StoreOptions,
     ) -> io::Result<(Self, StoreRecovery)> {
         let opened = open_partitions(data_dir, opts.stripes, opts.segment_bytes, &opts.fault)?;
-        let mut store = Self::with_options(
-            exe,
-            StoreOptions { stripes: opened.recovery.stripes, ..opts.clone() },
-        );
+        let mut recovery = opened.recovery;
+        let mut store =
+            Self::with_options(exe, StoreOptions { stripes: recovery.stripes, ..opts.clone() });
+        store.data_dir = Some(data_dir.to_path_buf());
+        // Seed each stripe from its newest decodable snapshot, if any;
+        // replay then folds only the WAL suffix past the snapshot's
+        // covered position. An undecodable or missing snapshot falls
+        // back to full replay — the WAL below a snapshot is only ever
+        // deleted *after* that snapshot is durable.
+        let mut covered: Vec<Option<(u64, u64)>> = vec![None; store.stripes.len()];
+        for (index, slot) in covered.iter_mut().enumerate() {
+            let snap_dir = snapshot::stripe_dir(data_dir, index);
+            if let Some((_, snap)) = snapshot::load_newest(&snap_dir)? {
+                let position = snap.covered;
+                store.restore_stripe(index, snap);
+                store.gauges[index].covered_segment.store(position.0, Ordering::SeqCst);
+                *slot = Some(position);
+                recovery.snapshots_loaded += 1;
+            }
+        }
         // Replay rejections are fine: a record whose fold failed after
         // it was logged replays to the same deterministic rejection.
         // Legacy (pre-stripe) records go first — they predate every
         // partition record — then each partition in its own append
         // order; the dedup index makes any cross-log repeat harmless.
+        // A stripe restored from a snapshot already holds the legacy
+        // records' effect (its snapshot froze the fully replayed state,
+        // and legacy segments are read-only, never compacted), so they
+        // replay only into stripes with no snapshot.
         for record in &opened.legacy_records {
+            if covered[store.stripe_of(&record.series)].is_some() {
+                continue;
+            }
             let _ = store.replay(&record.series, record.seq, &record.blob);
         }
-        for records in &opened.partition_records {
-            for record in records {
+        for (index, records) in opened.partition_records.iter().enumerate() {
+            let positions = &opened.partition_positions[index];
+            for (record, position) in records.iter().zip(positions) {
+                if let Some(covered) = covered[index] {
+                    if *position <= covered {
+                        recovery.covered_records += 1;
+                        continue;
+                    }
+                }
                 let _ = store.replay(&record.series, record.seq, &record.blob);
+            }
+        }
+        // A crash between a healing snapshot and its segment rotation
+        // (or a compaction that emptied the directory) can leave the
+        // WAL positioned *under* its snapshot; push it past the covered
+        // segment so no future append can land at an already-covered
+        // position.
+        let mut partitions = opened.partitions;
+        for (index, wal) in partitions.iter_mut().enumerate() {
+            if let Some(position) = covered[index] {
+                if wal.position() < position {
+                    wal.rotate_to(position.0 + 1)?;
+                }
             }
         }
         // Attach the durable lanes only now, so replay is never
         // re-logged.
         let mut lanes = Vec::with_capacity(store.stripes.len());
-        for (index, wal) in opened.partitions.into_iter().enumerate() {
+        for (index, wal) in partitions.into_iter().enumerate() {
             let gauge = wal.segment_gauge();
             lanes.push(match opts.group_commit {
                 None => Lane::Sync { wal: Mutex::new(wal), gauge },
@@ -432,7 +544,7 @@ impl SeriesStore {
             });
         }
         store.lanes = lanes;
-        Ok((store, opened.recovery))
+        Ok((store, recovery))
     }
 
     /// The pre-stripe durable constructor: one stripe, one fsync per
@@ -460,6 +572,8 @@ impl SeriesStore {
                 group_commit: None,
                 segment_bytes,
                 retain: 0,
+                checkpoint_bytes: None,
+                checkpoint_records: None,
                 fault,
             },
         )
@@ -502,7 +616,7 @@ impl SeriesStore {
         // work must not serialize concurrent clients.
         let checked = self.validate(blob);
         let index = self.stripe_of(series);
-        match &self.lanes[index] {
+        let result = match &self.lanes[index] {
             Lane::Batched { committer, .. } => {
                 self.upload_batched(&self.stripes[index], committer, series, seq, blob, checked)
             }
@@ -512,7 +626,13 @@ impl SeriesStore {
             Lane::Memory => {
                 self.upload_locked(&self.stripes[index], None, series, seq, blob, checked)
             }
+        };
+        match &result {
+            Ok(_) => self.note_durable_upload(index, blob.len() as u64),
+            Err(RejectReason::StorageFailed(_)) => self.note_storage_failure(index),
+            Err(_) => {}
         }
+        result
     }
 
     /// Uploads sequence `seq` of `series` as a delta body (see
@@ -896,6 +1016,244 @@ impl SeriesStore {
         Some((sum, take as u64))
     }
 
+    /// Checkpoints every stripe: freezes its state under the stripe
+    /// and WAL locks, writes an atomic snapshot (temp + fsync +
+    /// rename), deletes the WAL segments the snapshot now covers, and
+    /// — when the stripe's WAL was wedged by an earlier storage fault
+    /// — rotates to a fresh segment so the stripe accepts uploads
+    /// again without a restart.
+    ///
+    /// Degrades instead of wedging: a stripe whose snapshot write
+    /// fails keeps serving on its WAL alone, the failure is counted in
+    /// [`CheckpointReport::failed`] (and retried with backoff by the
+    /// automatic triggers), and the sweep continues to the next
+    /// stripe.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` when the store has no data directory (in-memory
+    /// stores have nothing to checkpoint). Per-stripe I/O failures are
+    /// *not* errors — they are the degraded mode this subsystem exists
+    /// for.
+    pub fn checkpoint(&self) -> io::Result<CheckpointReport> {
+        if self.data_dir.is_none() || !self.is_durable() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "checkpoint requires a durable store (--data-dir)",
+            ));
+        }
+        let mut report = CheckpointReport::default();
+        for index in 0..self.stripes.len() {
+            report.stripes += 1;
+            match self.checkpoint_stripe(index) {
+                Ok(Some((removed, healed))) => {
+                    report.segments_removed += removed;
+                    report.healed += healed;
+                }
+                Ok(None) => {}
+                Err(_) => report.failed += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Checkpoints one stripe, unless another checkpoint of it is
+    /// already in flight (then: `Ok(None)`, the racer's snapshot
+    /// covers us). Returns `(segments_removed, healed)` on success.
+    /// Success resets the since-checkpoint gauges and the failure
+    /// backoff; failure advances both failure counters and leaves the
+    /// stripe serving on its WAL.
+    fn checkpoint_stripe(&self, index: usize) -> io::Result<Option<(u64, u64)>> {
+        let Some(data_dir) = &self.data_dir else {
+            return Ok(None);
+        };
+        let gauges = &self.gauges[index];
+        if gauges.checkpointing.swap(true, Ordering::SeqCst) {
+            return Ok(None);
+        }
+        // Lock order matches the lane's own upload path, so a
+        // checkpoint can never deadlock with in-flight uploads.
+        let result = match &self.lanes[index] {
+            Lane::Memory => Ok(None),
+            Lane::Sync { wal, .. } => {
+                // Sync-lane uploads lock the stripe state, then the
+                // WAL inside it.
+                let mut state =
+                    self.stripes[index].state.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+                self.checkpoint_quiesced(data_dir, index, &mut state, &mut wal).map(Some)
+            }
+            Lane::Batched { committer, .. } => {
+                // The commit worker locks the WAL, then the stripe
+                // state: same order here. Taking the WAL lock first is
+                // also the quiesce point — no batch can commit between
+                // the freeze and the compaction.
+                let mut wal = committer.wal().lock().unwrap_or_else(PoisonError::into_inner);
+                let mut state =
+                    self.stripes[index].state.lock().unwrap_or_else(PoisonError::into_inner);
+                self.checkpoint_quiesced(data_dir, index, &mut state, &mut wal).map(Some)
+            }
+        };
+        match &result {
+            Ok(Some(_)) => {
+                gauges.records_since.store(0, Ordering::SeqCst);
+                gauges.bytes_since.store(0, Ordering::SeqCst);
+                gauges.failed_streak.store(0, Ordering::SeqCst);
+                gauges.storage_failures.store(0, Ordering::SeqCst);
+                gauges.checkpoints.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(None) => {}
+            Err(_) => {
+                gauges.failures.fetch_add(1, Ordering::SeqCst);
+                gauges.failed_streak.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        gauges.checkpointing.store(false, Ordering::SeqCst);
+        result
+    }
+
+    /// The quiesced core: both the stripe lock and its WAL are held,
+    /// so the frozen state and the WAL position are one consistent
+    /// cut. Nothing is deleted before the snapshot is durable; a crash
+    /// at any point leaves either the old snapshot + uncompacted WAL
+    /// or the new snapshot + (possibly partially) compacted WAL, and
+    /// both recover byte-identically.
+    fn checkpoint_quiesced(
+        &self,
+        data_dir: &Path,
+        index: usize,
+        state: &mut StripeState,
+        wal: &mut Wal,
+    ) -> io::Result<(u64, u64)> {
+        // A wedged WAL has acknowledged nothing since the wedge, so the
+        // snapshot covers everything up to a *fresh* segment past it;
+        // once the snapshot is durable the wedged tail (staged but
+        // never acknowledged) is safe to drop — clients retry.
+        let wedged = wal.wedged().is_some();
+        let covered =
+            if wedged { (wal.position().0 + 1, wal::SEGMENT_HEADER_LEN) } else { wal.position() };
+        let snapshot = self.freeze_stripe(state, covered);
+        let snap_dir = snapshot::stripe_dir(data_dir, index);
+        snapshot::write_snapshot(&snap_dir, &snapshot, &self.fault)?;
+        // Durability point passed: compact, then heal.
+        let removed = wal.remove_segments_below(covered.0)? as u64;
+        let mut healed = 0u64;
+        if wedged {
+            wal.rotate_to(covered.0)?;
+            self.gauges[index].healed.fetch_add(1, Ordering::SeqCst);
+            healed = 1;
+        }
+        self.gauges[index].covered_segment.store(covered.0, Ordering::SeqCst);
+        Ok((removed, healed))
+    }
+
+    /// One stripe's state as a [`StripeSnapshot`], frozen under its
+    /// lock.
+    fn freeze_stripe(&self, state: &StripeState, covered: (u64, u64)) -> StripeSnapshot {
+        let series = state
+            .series
+            .iter()
+            .map(|(name, s)| SeriesSnapshot {
+                name: name.clone(),
+                count: s.acc.count(),
+                aggregate: s.acc.aggregate().ok(),
+                next_auto_seq: s.next_auto_seq,
+                seen_seqs: s.seen_seqs.iter().copied().collect(),
+                uploads: s.stats.uploads,
+                rejects: s.stats.rejects,
+                bytes: s.stats.bytes,
+                flagged: s.stats.flagged,
+                flags: s.flag_codes.iter().map(|c| (*c).to_string()).collect(),
+                shadow: s.shadow.clone(),
+                windows: s.windows.iter().cloned().collect(),
+            })
+            .collect();
+        StripeSnapshot { covered, orphan_rejects: state.orphan_rejects, series }
+    }
+
+    /// Rebuilds one stripe's state from a loaded snapshot (the inverse
+    /// of [`SeriesStore::freeze_stripe`]). Runs before WAL replay and
+    /// before the lanes attach, so nothing contends for the stripe
+    /// lock yet. The retention ring is truncated to the *current*
+    /// `--retain` (shrinking the flag drops the oldest windows, same
+    /// as the live compaction; growing it cannot resurrect windows the
+    /// snapshot never kept).
+    fn restore_stripe(&self, index: usize, snapshot: StripeSnapshot) {
+        let mut state = self.stripes[index].state.lock().unwrap_or_else(PoisonError::into_inner);
+        let retain = state.retain;
+        state.orphan_rejects = snapshot.orphan_rejects;
+        for series in snapshot.series {
+            let mut entry = Series {
+                acc: match series.aggregate {
+                    Some(aggregate) => ProfileAccumulator::from_aggregate(aggregate, series.count),
+                    None => ProfileAccumulator::default(),
+                },
+                seen_seqs: series.seen_seqs.iter().copied().collect(),
+                next_auto_seq: series.next_auto_seq,
+                stats: SeriesStats {
+                    uploads: series.uploads,
+                    rejects: series.rejects,
+                    bytes: series.bytes,
+                    flagged: series.flagged,
+                },
+                // Flags round-trip as strings; map them back onto the
+                // tolerated set (an unknown code — from a future
+                // version, say — is dropped rather than invented).
+                flag_codes: series
+                    .flags
+                    .iter()
+                    .filter_map(|f| Self::TOLERATED.iter().copied().find(|t| *t == f.as_str()))
+                    .collect(),
+                shadow: series.shadow,
+                windows: series.windows.into_iter().collect(),
+            };
+            while entry.windows.len() > retain {
+                entry.windows.pop_front();
+            }
+            self.series_count.fetch_add(1, Ordering::SeqCst);
+            state.series.insert(series.name, entry);
+        }
+    }
+
+    /// Called after every durably acknowledged upload: advances the
+    /// since-checkpoint gauges and fires the automatic checkpoint when
+    /// a configured threshold is crossed. Each consecutive snapshot
+    /// failure doubles the thresholds — deterministic backoff measured
+    /// in data volume, not time, so a full disk is retried ever more
+    /// sparsely while the stripe keeps serving on the WAL alone.
+    fn note_durable_upload(&self, index: usize, bytes: u64) {
+        if self.data_dir.is_none() || matches!(self.lanes[index], Lane::Memory) {
+            return;
+        }
+        let gauges = &self.gauges[index];
+        let records = gauges.records_since.fetch_add(1, Ordering::SeqCst) + 1;
+        let bytes = gauges.bytes_since.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        let scale = 1u64 << gauges.failed_streak.load(Ordering::SeqCst).min(16);
+        let due = |threshold: Option<u64>, n: u64| {
+            threshold.is_some_and(|t| n >= t.max(1).saturating_mul(scale))
+        };
+        if due(self.checkpoint_records, records) || due(self.checkpoint_bytes, bytes) {
+            let _ = self.checkpoint_stripe(index);
+        }
+    }
+
+    /// A `StorageFailed` upload means the stripe's WAL is (or just
+    /// became) wedged; a successful checkpoint heals it without a
+    /// restart. Heal attempts fire on the 1st, 2nd, 4th, 8th, …
+    /// failure since the last success — deterministic backoff with no
+    /// timers, costing one snapshot attempt per doubling of rejected
+    /// uploads. (The upload-volume trigger cannot fire here: a wedged
+    /// stripe acknowledges nothing.)
+    fn note_storage_failure(&self, index: usize) {
+        if self.data_dir.is_none() {
+            return;
+        }
+        let n = self.gauges[index].storage_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if n.is_power_of_two() {
+            let _ = self.checkpoint_stripe(index);
+        }
+    }
+
     /// Renders the `stats` verb: one line per series (merged across
     /// stripes, sorted by name) plus totals, then the stripe layout —
     /// series count and, for durable stores, the WAL segment gauge per
@@ -951,8 +1309,32 @@ impl SeriesStore {
             let _ = write!(out, "stripe {index}: {count} series");
             if let Some(gauge) = self.lanes[index].gauge() {
                 let _ = write!(out, ", wal segments: {}", gauge.load(Ordering::Relaxed));
+                if self.data_dir.is_some() {
+                    let g = &self.gauges[index];
+                    let segments = gauge
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(g.covered_segment.load(Ordering::Relaxed));
+                    let _ = write!(
+                        out,
+                        ", since checkpoint: {segments} seg/{} rec/{} B",
+                        g.records_since.load(Ordering::Relaxed),
+                        g.bytes_since.load(Ordering::Relaxed),
+                    );
+                }
             }
             out.push('\n');
+        }
+        if self.data_dir.is_some() && self.is_durable() {
+            let (mut checkpoints, mut failures, mut healed) = (0u64, 0u64, 0u64);
+            for g in &self.gauges {
+                checkpoints += g.checkpoints.load(Ordering::Relaxed);
+                failures += g.failures.load(Ordering::Relaxed);
+                healed += g.healed.load(Ordering::Relaxed);
+            }
+            let _ = writeln!(
+                out,
+                "checkpoints: {checkpoints}, snapshot failures: {failures}, wedges healed: {healed}"
+            );
         }
         out
     }
@@ -1426,8 +1808,11 @@ mod tests {
         let blob = blob(&exe);
         let dir = tmpdir("rollback");
         {
+            // The snapshot fault keeps the automatic wedge-heal from
+            // clearing the fault before the retry observes it.
             let fault = FaultPlan::new(crate::fault::FaultSpec {
                 fail_append_at: Some(0),
+                fail_snapshot_at: Some(0),
                 ..Default::default()
             });
             let (store, _) =
@@ -1454,8 +1839,11 @@ mod tests {
         let blob = blob(&exe);
         let dir = tmpdir("torn");
         {
+            // The snapshot fault blocks the automatic wedge-heal, so
+            // the torn tail is still on disk for the restart to salvage.
             let fault = FaultPlan::new(crate::fault::FaultSpec {
                 torn_append_at: Some((2, 9)),
+                fail_snapshot_at: Some(0),
                 ..Default::default()
             });
             let (store, _) =
@@ -1634,6 +2022,202 @@ mod tests {
         assert!(
             listing.contains(&format!("stripe {stripe}: 1 series, wal segments: 1")),
             "{listing}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal_and_recovery_replays_only_the_suffix() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("checkpoint-compact");
+        // Tiny segments so the log rotates and the checkpoint has whole
+        // segments to delete.
+        let opts = || StoreOptions { segment_bytes: 64, ..durable_opts(2, Some(Duration::ZERO)) };
+        {
+            let (store, _) = SeriesStore::open(exe.clone(), &dir, opts()).unwrap();
+            for seq in 0..3 {
+                store.upload("web", seq, &blob).unwrap();
+            }
+            let report = store.checkpoint().unwrap();
+            assert_eq!(report.stripes, 2);
+            assert!(report.segments_removed > 0, "{report:?}");
+            assert_eq!((report.healed, report.failed), (0, 0), "{report:?}");
+            // Everything after the checkpoint is the replay suffix.
+            store.upload("web", 3, &blob).unwrap();
+            store.upload("api", 0, &blob).unwrap();
+        }
+        let (store, recovery) = SeriesStore::open(exe.clone(), &dir, opts()).unwrap();
+        assert_eq!(recovery.snapshots_loaded, 2, "{recovery:?}");
+        // Only whole segments compact, so the current segment's covered
+        // tail record is still scanned — but skipped, not replayed.
+        assert_eq!(recovery.records() - recovery.covered_records, 2, "{recovery:?}");
+        assert_eq!(recovery.covered_records, 1, "{recovery:?}");
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 4)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        assert_eq!(store.aggregate("api").unwrap().to_bytes(), parsed.to_bytes());
+        // The snapshot carried the dedup index: a pre-checkpoint seq is
+        // still a duplicate, never a double count.
+        assert_eq!(store.upload("web", 1, &blob), Err(RejectReason::DuplicateSeq(1)));
+        assert_eq!(store.series_total("web"), Some(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_failed_snapshot_degrades_to_wal_only_service() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("checkpoint-enospc");
+        let fault = FaultPlan::new(crate::fault::FaultSpec {
+            fail_snapshot_at: Some(0),
+            ..Default::default()
+        });
+        let opts = StoreOptions {
+            segment_bytes: 64,
+            fault: fault.clone(),
+            ..durable_opts(1, Some(Duration::ZERO))
+        };
+        let (store, _) = SeriesStore::open(exe.clone(), &dir, opts).unwrap();
+        for seq in 0..3 {
+            store.upload("web", seq, &blob).unwrap();
+        }
+        let report = store.checkpoint().unwrap();
+        assert_eq!((report.failed, report.segments_removed), (1, 0), "{report:?}");
+        assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+        // Degraded, not down: the stripe keeps serving on its WAL.
+        store.upload("web", 3, &blob).unwrap();
+        let listing = store.render_stats();
+        assert!(listing.contains("snapshot failures: 1"), "{listing}");
+        // The retry (the injected fault is spent) compacts as usual.
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert!(report.segments_removed > 0, "{report:?}");
+        drop(store);
+        let (store, recovery) =
+            SeriesStore::open(exe.clone(), &dir, durable_opts(1, Some(Duration::ZERO))).unwrap();
+        assert_eq!(
+            recovery.records(),
+            recovery.covered_records,
+            "the second checkpoint covered everything: {recovery:?}"
+        );
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 4)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_explicit_checkpoint_heals_a_wedged_wal_without_a_restart() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("checkpoint-heal");
+        // The append fault wedges the WAL; the snapshot fault makes the
+        // *automatic* heal attempt (fired by the first StorageFailed)
+        // fail, so the stripe is still wedged when the admin verb runs.
+        let fault = FaultPlan::new(crate::fault::FaultSpec {
+            fail_append_at: Some(1),
+            fail_snapshot_at: Some(0),
+            ..Default::default()
+        });
+        let opts = StoreOptions { fault: fault.clone(), ..durable_opts(1, Some(Duration::ZERO)) };
+        let (store, _) = SeriesStore::open(exe.clone(), &dir, opts).unwrap();
+        store.upload("web", 0, &blob).unwrap();
+        assert!(matches!(store.upload("web", 1, &blob), Err(RejectReason::StorageFailed(_))));
+        let report = store.checkpoint().unwrap();
+        assert_eq!((report.healed, report.failed), (1, 0), "{report:?}");
+        // Healed in place: the unacknowledged seq retries successfully.
+        assert_eq!(store.upload("web", 1, &blob), Ok(2));
+        let listing = store.render_stats();
+        assert!(listing.contains("wedges healed: 1"), "{listing}");
+        drop(store);
+        let (store, _) =
+            SeriesStore::open(exe.clone(), &dir, durable_opts(1, Some(Duration::ZERO))).unwrap();
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 2)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_first_storage_failure_fires_an_automatic_heal() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("checkpoint-auto-heal");
+        let fault = FaultPlan::new(crate::fault::FaultSpec {
+            fail_append_at: Some(1),
+            ..Default::default()
+        });
+        let opts = StoreOptions { fault: fault.clone(), ..durable_opts(1, Some(Duration::ZERO)) };
+        let (store, _) = SeriesStore::open(exe.clone(), &dir, opts).unwrap();
+        store.upload("web", 0, &blob).unwrap();
+        // The failed upload wedges the WAL *and* triggers a heal
+        // attempt; with the snapshot path healthy, the very next retry
+        // goes through — no restart, no admin intervention.
+        assert!(matches!(store.upload("web", 1, &blob), Err(RejectReason::StorageFailed(_))));
+        assert_eq!(store.upload("web", 1, &blob), Ok(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpoints_fire_on_the_record_threshold() {
+        let exe = exe();
+        let blob = blob(&exe);
+        let dir = tmpdir("checkpoint-auto");
+        let opts = || StoreOptions {
+            segment_bytes: 64,
+            checkpoint_records: Some(2),
+            ..durable_opts(1, Some(Duration::ZERO))
+        };
+        {
+            let (store, _) = SeriesStore::open(exe.clone(), &dir, opts()).unwrap();
+            for seq in 0..4 {
+                store.upload("web", seq, &blob).unwrap();
+            }
+            let listing = store.render_stats();
+            assert!(listing.contains("checkpoints: 2"), "{listing}");
+        }
+        let (store, recovery) = SeriesStore::open(exe.clone(), &dir, opts()).unwrap();
+        assert_eq!(recovery.snapshots_loaded, 1, "{recovery:?}");
+        assert_eq!(
+            recovery.records(),
+            recovery.covered_records,
+            "the 4th upload closed the second checkpoint: {recovery:?}"
+        );
+        let parsed = GmonData::from_bytes(&blob).unwrap();
+        let offline = graphprof::sum_profiles(std::iter::repeat_n(&parsed, 4)).unwrap();
+        assert_eq!(store.aggregate("web").unwrap().to_bytes(), offline.to_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_stores_refuse_to_checkpoint() {
+        let store = SeriesStore::new(exe(), 8, 1);
+        assert_eq!(store.checkpoint().unwrap_err().kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn restored_retention_rings_respect_the_current_retain() {
+        let exe = kernel_exe();
+        let stream = windows(&exe, 5);
+        let dir = tmpdir("checkpoint-retain");
+        let opts = |retain: usize| StoreOptions { retain, ..durable_opts(1, Some(Duration::ZERO)) };
+        {
+            let (store, _) = SeriesStore::open(exe.clone(), &dir, opts(3)).unwrap();
+            for (seq, w) in stream.iter().enumerate() {
+                store.upload("web", seq as u64, &w.to_bytes()).unwrap();
+            }
+            store.checkpoint().unwrap();
+        }
+        // Shrinking --retain across the restart drops the oldest
+        // snapshot windows, exactly like the live ring would.
+        let (store, recovery) = SeriesStore::open(exe.clone(), &dir, opts(2)).unwrap();
+        assert_eq!(recovery.snapshots_loaded, 1, "{recovery:?}");
+        let ring = store.retained_windows("web").unwrap();
+        assert_eq!(
+            ring,
+            vec![(3, stream[3].to_bytes()), (4, stream[4].to_bytes())],
+            "the last 2 of the snapshot's 3"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

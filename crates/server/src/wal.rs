@@ -56,7 +56,7 @@ use crate::fault::{AppendFault, FaultPlan};
 
 const SEGMENT_MAGIC: [u8; 4] = *b"GPWL";
 const SEGMENT_VERSION: u16 = 1;
-const SEGMENT_HEADER_LEN: u64 = 8;
+pub(crate) const SEGMENT_HEADER_LEN: u64 = 8;
 const RECORD_HEADER_LEN: usize = 12;
 const MANIFEST_PREFIX: &str = "graphprof-wal/1 stripes=";
 
@@ -122,6 +122,15 @@ pub struct StoreRecovery {
     pub legacy: Option<WalRecovery>,
     /// Per-stripe recovery, indexed by stripe number.
     pub partitions: Vec<WalRecovery>,
+    /// Stripes that recovered from a checkpoint snapshot (replaying
+    /// only the WAL suffix past it) rather than by full replay. Filled
+    /// in by the store, which owns snapshot loading.
+    pub snapshots_loaded: usize,
+    /// Scanned records a snapshot already covered, skipped instead of
+    /// replayed (compaction deletes only *whole* segments, so the
+    /// current segment's covered tail stays in the log). Filled in by
+    /// the store.
+    pub covered_records: usize,
 }
 
 impl StoreRecovery {
@@ -160,10 +169,16 @@ impl std::fmt::Display for StoreRecovery {
         write!(
             f,
             "wal: {} record(s) replayed from {} segment(s) across {} stripe(s)",
-            self.records(),
+            self.records() - self.covered_records,
             self.segments(),
             self.stripes,
         )?;
+        if self.snapshots_loaded > 0 {
+            write!(f, ", {} stripe(s) restored from checkpoint snapshots", self.snapshots_loaded)?;
+        }
+        if self.covered_records > 0 {
+            write!(f, ", {} record(s) already covered by snapshots", self.covered_records)?;
+        }
         let summary = WalRecovery {
             torn_bytes: self.torn_bytes(),
             dropped_segments: self.dropped_segments(),
@@ -275,12 +290,14 @@ fn create_segment(dir: &Path, index: u64) -> io::Result<PathBuf> {
 
 /// Scans every segment in `dir`, truncating torn tails and deleting
 /// segments past a mid-log corruption. Returns the surviving records in
-/// append order, the repair report, the segment indices found, and the
+/// append order (paired with their `(segment index, end offset)`
+/// positions, so a checkpointed store can replay only the suffix past
+/// its snapshot), the repair report, the segment indices found, and the
 /// newest valid (index, byte length) to resume appending at.
 #[allow(clippy::type_complexity)]
 fn recover_dir(
     dir: &Path,
-) -> io::Result<(Vec<WalRecord>, WalRecovery, Vec<u64>, Option<(u64, u64)>)> {
+) -> io::Result<(Vec<(WalRecord, (u64, u64))>, WalRecovery, Vec<u64>, Option<(u64, u64)>)> {
     let mut indices: Vec<u64> =
         fs::read_dir(dir)?.filter_map(|entry| segment_index(&entry.ok()?.path())).collect();
     indices.sort_unstable();
@@ -302,7 +319,7 @@ fn recover_dir(
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
         let (valid_len, segment_records, note) = scan_segment(&bytes);
-        records.extend(segment_records);
+        records.extend(segment_records.into_iter().map(|(r, end)| (r, (index, end))));
         recovery.records = records.len();
         if (valid_len as u64) < bytes.len() as u64 || note.is_some() {
             recovery.torn_bytes += bytes.len() as u64 - valid_len as u64;
@@ -341,7 +358,7 @@ pub(crate) fn recover_legacy(dir: &Path) -> io::Result<Option<(Vec<WalRecord>, W
     if indices.is_empty() {
         return Ok(None);
     }
-    Ok(Some((records, recovery)))
+    Ok(Some((records.into_iter().map(|(r, _)| r).collect(), recovery)))
 }
 
 /// The pinned stripe count of a data directory, or `None` when no
@@ -397,6 +414,11 @@ pub struct PartitionedOpen {
     pub legacy_records: Vec<WalRecord>,
     /// Records salvaged per stripe, in that stripe's append order.
     pub partition_records: Vec<Vec<WalRecord>>,
+    /// Per stripe, parallel to `partition_records`: each record's
+    /// `(segment index, end byte offset)` — the coordinates a snapshot's
+    /// covered position is compared against, so a checkpointed store
+    /// replays only records past its snapshot.
+    pub partition_positions: Vec<Vec<(u64, u64)>>,
     /// The merged repair report.
     pub recovery: StoreRecovery,
 }
@@ -440,12 +462,14 @@ pub fn open_partitions(
     let legacy = recover_legacy(&log_root)?;
     let mut partitions = Vec::with_capacity(stripes);
     let mut partition_records = Vec::with_capacity(stripes);
+    let mut partition_positions = Vec::with_capacity(stripes);
     let mut partition_recovery = Vec::with_capacity(stripes);
     for index in 0..stripes {
-        let (wal, records, recovery) =
-            Wal::open_at(&partition_dir(data_dir, index), segment_bytes, fault.clone())?;
+        let (wal, records, positions, recovery) =
+            Wal::open_positioned(&partition_dir(data_dir, index), segment_bytes, fault.clone())?;
         partitions.push(wal);
         partition_records.push(records);
+        partition_positions.push(positions);
         partition_recovery.push(recovery);
     }
     let (legacy_records, legacy_recovery) = match legacy {
@@ -456,10 +480,13 @@ pub fn open_partitions(
         partitions,
         legacy_records,
         partition_records,
+        partition_positions,
         recovery: StoreRecovery {
             stripes,
             legacy: legacy_recovery,
             partitions: partition_recovery,
+            snapshots_loaded: 0,
+            covered_records: 0,
         },
     })
 }
@@ -510,8 +537,32 @@ impl Wal {
         segment_bytes: u64,
         fault: FaultPlan,
     ) -> io::Result<(Wal, Vec<WalRecord>, WalRecovery)> {
+        let (wal, records, _, recovery) = Self::open_positioned(dir, segment_bytes, fault)?;
+        Ok((wal, records, recovery))
+    }
+
+    /// [`Wal::open_at`] plus each record's `(segment index, end byte
+    /// offset)` position, parallel to the records — the coordinates a
+    /// checkpointed store compares against its snapshot's covered
+    /// position to replay only the WAL suffix.
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::open`].
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn open_positioned(
+        dir: &Path,
+        segment_bytes: u64,
+        fault: FaultPlan,
+    ) -> io::Result<(Wal, Vec<WalRecord>, Vec<(u64, u64)>, WalRecovery)> {
         fs::create_dir_all(dir)?;
-        let (records, recovery, indices, valid_through) = recover_dir(dir)?;
+        let (positioned, recovery, indices, valid_through) = recover_dir(dir)?;
+        let mut records = Vec::with_capacity(positioned.len());
+        let mut positions = Vec::with_capacity(positioned.len());
+        for (record, position) in positioned {
+            records.push(record);
+            positions.push(position);
+        }
 
         let (current_index, current_len) = match valid_through {
             Some((index, len)) if len >= SEGMENT_HEADER_LEN => (index, len),
@@ -536,7 +587,7 @@ impl Wal {
             fault,
             wedged: None,
         };
-        Ok((wal, records, recovery))
+        Ok((wal, records, positions, recovery))
     }
 
     /// Appends one upload record and makes it durable (fsync) before
@@ -655,12 +706,75 @@ impl Wal {
     pub fn wedged(&self) -> Option<&str> {
         self.wedged.as_deref()
     }
+
+    /// The append position: `(current segment index, byte length of the
+    /// current segment)`. Between commits on a non-wedged log this is
+    /// exactly the durable high-water mark — every record at or below it
+    /// has been fsynced, nothing above it exists — which is what a
+    /// checkpoint records as its covered position.
+    pub fn position(&self) -> (u64, u64) {
+        (self.current_index, self.current_len)
+    }
+
+    /// Deletes every segment with index below `bound`, oldest first, and
+    /// syncs the directory. Deleting in ascending order means a crash
+    /// partway leaves a *contiguous missing prefix* — exactly what a
+    /// completed compaction leaves — so recovery (which treats index
+    /// gaps at the front as compacted, not corrupt) is unaffected at
+    /// every crash point. Works on a wedged log too: the covered prefix
+    /// is durable in the snapshot regardless of the tail's health.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error. A partial deletion is safe:
+    /// the remaining segments still replay.
+    pub fn remove_segments_below(&mut self, bound: u64) -> io::Result<usize> {
+        let mut indices: Vec<u64> = fs::read_dir(&self.dir)?
+            .filter_map(|entry| segment_index(&entry.ok()?.path()))
+            .filter(|&index| index < bound)
+            .collect();
+        indices.sort_unstable();
+        let removed = indices.len();
+        for index in indices {
+            fs::remove_file(segment_path(&self.dir, index))?;
+        }
+        if removed > 0 {
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Abandons the current segment and starts appending to a fresh one
+    /// with index at least `min_index`, clearing any wedge. This is the
+    /// heal half of a checkpoint: once a snapshot covers everything ever
+    /// acknowledged, the old tail — wedged, torn, or already deleted —
+    /// is irrelevant, and a brand-new segment gives the stripe a clean
+    /// file position to trust again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the log stays wedged (or
+    /// becomes wedged) on failure.
+    pub fn rotate_to(&mut self, min_index: u64) -> io::Result<()> {
+        let next = (self.current_index + 1).max(min_index);
+        create_segment(&self.dir, next)?;
+        self.current = OpenOptions::new().append(true).open(segment_path(&self.dir, next))?;
+        self.current_index = next;
+        self.current_len = SEGMENT_HEADER_LEN;
+        self.pending = false;
+        self.gauge.store(next, Ordering::Relaxed);
+        self.wedged = None;
+        Ok(())
+    }
 }
 
 /// Scans one segment image: returns the byte length of the valid prefix,
-/// the records inside it, and a description of the first defect (if the
-/// prefix does not cover the whole image).
-fn scan_segment(bytes: &[u8]) -> (usize, Vec<WalRecord>, Option<String>) {
+/// the records inside it (each paired with the byte offset just past its
+/// end — the position checkpoints compare against), and a description of
+/// the first defect (if the prefix does not cover the whole image).
+fn scan_segment(bytes: &[u8]) -> (usize, Vec<(WalRecord, u64)>, Option<String>) {
     let mut records = Vec::new();
     if bytes.len() < SEGMENT_HEADER_LEN as usize
         || bytes[..4] != SEGMENT_MAGIC
@@ -685,8 +799,8 @@ fn scan_segment(bytes: &[u8]) -> (usize, Vec<WalRecord>, Option<String>) {
         let Some(record) = decode_body(body) else {
             return (offset, records, Some("record body does not decode".to_string()));
         };
-        records.push(record);
         offset += RECORD_HEADER_LEN + len;
+        records.push((record, offset as u64));
     }
     (offset, records, None)
 }
@@ -900,6 +1014,66 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert!(recovery.torn_bytes > 0);
         wal.append("a", 1, &[2; 8]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_removes_the_covered_prefix_and_replay_resumes_after_it() {
+        let dir = tmpdir("compact");
+        {
+            let (mut wal, _, _) = Wal::open(&dir, 64, FaultPlan::none()).unwrap();
+            for seq in 0..10u64 {
+                wal.append("s", seq, &[0u8; 32]).unwrap();
+            }
+            let (index, len) = wal.position();
+            assert!(index > 1);
+            assert!(len > SEGMENT_HEADER_LEN);
+            // Compact everything below the current segment.
+            let removed = wal.remove_segments_below(index).unwrap();
+            assert_eq!(removed as u64, index - 1);
+            // Idempotent: nothing left below the bound.
+            assert_eq!(wal.remove_segments_below(index).unwrap(), 0);
+            wal.append("s", 10, &[0u8; 32]).unwrap();
+        }
+        // The gap at the front is compaction, not corruption: the
+        // surviving suffix replays, and every position lands in the
+        // surviving segments.
+        let (wal, records, positions, recovery) =
+            Wal::open_positioned(&dir.join("wal"), 64, FaultPlan::none()).unwrap();
+        assert!(recovery.note.is_none(), "{recovery:?}");
+        assert_eq!(recovery.dropped_segments, 0);
+        assert_eq!(records.len(), positions.len());
+        assert!(!records.is_empty());
+        assert_eq!(records.last().unwrap().seq, 10);
+        let (index, len) = wal.position();
+        assert_eq!(*positions.last().unwrap(), (index, len));
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotate_to_clears_a_wedge_and_skips_past_the_bound() {
+        let dir = tmpdir("rotate-heal");
+        let fault =
+            FaultPlan::new(FaultSpec { torn_append_at: Some((1, 3)), ..FaultSpec::default() });
+        let (mut wal, _, _) = Wal::open(&dir, DEFAULT_SEGMENT_BYTES, fault).unwrap();
+        wal.append("a", 0, &[1; 8]).unwrap();
+        assert!(wal.append("a", 1, &[2; 8]).is_err());
+        assert!(wal.wedged().is_some());
+        let wedged_index = wal.position().0;
+        // Heal: drop the wedged segment, rotate past it, append again.
+        wal.remove_segments_below(wedged_index + 1).unwrap();
+        wal.rotate_to(wedged_index + 1).unwrap();
+        assert!(wal.wedged().is_none());
+        assert_eq!(wal.position(), (wedged_index + 1, SEGMENT_HEADER_LEN));
+        wal.append("a", 1, &[2; 8]).unwrap();
+        drop(wal);
+        // Only the post-heal append survives; the torn tail is gone
+        // with its segment.
+        let (_, records, recovery) = open(&dir);
+        assert_eq!(records.len(), 1, "{recovery:?}");
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(recovery.torn_bytes, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -107,8 +107,13 @@ fn torn_record_crash_restart_keeps_the_acknowledged_prefix() {
     for stripes in STRIPE_COUNTS {
         let dir = tmpdir(&format!("torn-s{stripes}"));
 
-        let fault =
-            FaultPlan::new(FaultSpec { torn_append_at: Some((2, 9)), ..FaultSpec::default() });
+        // The torn append fires an automatic heal checkpoint; fail it
+        // too, so the torn tail survives for the restart to salvage.
+        let fault = FaultPlan::new(FaultSpec {
+            torn_append_at: Some((2, 9)),
+            fail_snapshot_at: Some(0),
+            ..FaultSpec::default()
+        });
         {
             let handle = start(durable(&dir, fault.clone(), stripes));
             let mut client =
@@ -122,8 +127,8 @@ fn torn_record_crash_restart_keeps_the_acknowledged_prefix() {
         }
         assert_eq!(
             fault.trips().len(),
-            1,
-            "stripes={stripes}: the torn append must actually fire: {:?}",
+            2,
+            "stripes={stripes}: the torn append and the blocked heal must fire: {:?}",
             fault.trips()
         );
 
@@ -458,6 +463,147 @@ fn kill_before_ack_replays_the_retention_ring_byte_identically() {
             (verdict, report),
             (verdict_before, report_before),
             "stripes={stripes}: the gate's answer must survive the restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash point 9 — kill mid-snapshot. A checkpoint's snapshot body
+/// write tears partway (as a kill -9 mid-write would), the server
+/// crashes with the partial temp file on disk, and the restart ignores
+/// it: full replay rebuilds the byte-identical aggregate. A clean
+/// checkpoint then compacts the log, and the *next* restart recovers
+/// from the snapshot plus an empty suffix — still byte-identical.
+#[test]
+fn kill_mid_snapshot_falls_back_to_full_replay_then_checkpoints_clean() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 3);
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("snap-kill-s{stripes}"));
+        let small_segments = |cfg: ServerConfig| ServerConfig { wal_segment_bytes: 512, ..cfg };
+
+        // Snapshot write #n is stripe n (the sweep goes in stripe
+        // order): tear the one belonging to the series under test.
+        let web_stripe = graphprof_server::SeriesStore::with_options(
+            exe.clone(),
+            graphprof_server::StoreOptions { stripes, ..Default::default() },
+        )
+        .stripe_of("web") as u64;
+        let fault = FaultPlan::new(FaultSpec {
+            short_snapshot_write_at: Some((web_stripe, 24)),
+            ..FaultSpec::default()
+        });
+        {
+            let handle = start(small_segments(durable(&dir, fault.clone(), stripes)));
+            let mut client =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+            for (seq, blob) in blobs.iter().enumerate() {
+                client.upload("web", seq as u64, blob).expect("accepted");
+            }
+            let (swept, removed, _, failed) = client.checkpoint().expect("sweep runs");
+            assert_eq!(swept, stripes as u64);
+            assert_eq!(
+                (removed, failed),
+                (0, 1),
+                "stripes={stripes}: the torn snapshot must compact nothing"
+            );
+            assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+            drop(client);
+            handle.shutdown(); // the crash: a partial snapshot temp is on disk
+        }
+
+        let handle = start(small_segments(durable(&dir, FaultPlan::none(), stripes)));
+        let recovery = handle.recovery().expect("durable server");
+        assert_eq!(recovery.records(), 3, "full replay: the series' snapshot never landed");
+        assert_eq!(recovery.covered_records, 0, "{recovery:?}");
+        assert_eq!(recovery.snapshots_loaded, stripes - 1, "{recovery:?}");
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs),
+            "stripes={stripes}: restart after a torn snapshot must lose nothing"
+        );
+        // A healthy checkpoint compacts the replayed log...
+        let (_, removed, healed, failed) = client.checkpoint().expect("sweep runs");
+        assert!(removed > 0, "stripes={stripes}: rotated segments must compact");
+        assert_eq!((healed, failed), (0, 0));
+        drop(client);
+        handle.shutdown();
+
+        // ...and the next restart recovers from the snapshot alone.
+        let handle = start(small_segments(durable(&dir, FaultPlan::none(), stripes)));
+        let recovery = handle.recovery().expect("durable server");
+        assert!(recovery.snapshots_loaded >= 1, "{recovery:?}");
+        assert_eq!(
+            recovery.records(),
+            recovery.covered_records,
+            "nothing was uploaded past the checkpoint: {recovery:?}"
+        );
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs),
+            "stripes={stripes}: snapshot recovery must be byte-identical to replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash point 10 — the snapshot fails (disk full) and the stripe keeps
+/// serving on the WAL alone. The failure is surfaced in `stats`, later
+/// uploads are acknowledged and durable, and a crash+restart loses
+/// nothing: graceful degradation, not an outage.
+#[test]
+fn failed_snapshot_degrades_to_wal_only_without_losing_uploads() {
+    let exe = kernel_exe();
+    let blobs = windows(&exe, 4);
+    for stripes in STRIPE_COUNTS {
+        let dir = tmpdir(&format!("snap-enospc-s{stripes}"));
+
+        // The sweep snapshots stripes in order, one write each, so
+        // write #n is stripe n: aim the no-space fault at the stripe
+        // that owns the series under test.
+        let web_stripe = graphprof_server::SeriesStore::with_options(
+            exe.clone(),
+            graphprof_server::StoreOptions { stripes, ..Default::default() },
+        )
+        .stripe_of("web") as u64;
+        let fault = FaultPlan::new(FaultSpec {
+            fail_snapshot_at: Some(web_stripe),
+            ..FaultSpec::default()
+        });
+        {
+            let handle = start(durable(&dir, fault.clone(), stripes));
+            let mut client =
+                Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+            client.upload("web", 0, &blobs[0]).expect("accepted");
+            client.upload("web", 1, &blobs[1]).expect("accepted");
+            let (_, removed, _, failed) = client.checkpoint().expect("sweep runs");
+            assert_eq!(fault.trips().len(), 1, "{:?}", fault.trips());
+            assert!(failed >= 1, "stripes={stripes}: the no-space snapshot must be counted");
+            assert_eq!(removed, 0, "a failed snapshot must never compact");
+            // Degraded, not down: ingest continues on the WAL alone.
+            client.upload("web", 2, &blobs[2]).expect("accepted in degraded mode");
+            client.upload("web", 3, &blobs[3]).expect("accepted in degraded mode");
+            let stats = client.stats().expect("stats");
+            assert!(stats.contains("snapshot failures: 1"), "{stats}");
+            drop(client);
+            handle.shutdown(); // the crash, with no snapshot ever written
+        }
+
+        let handle = start(durable(&dir, FaultPlan::none(), stripes));
+        let recovery = handle.recovery().expect("durable server");
+        assert_eq!(recovery.records(), 4, "every acknowledged upload was WAL-durable");
+        assert_eq!(
+            recovery.covered_records, 0,
+            "the series' stripe never snapshotted: {recovery:?}"
+        );
+        assert_eq!(recovery.snapshots_loaded, stripes - 1, "{recovery:?}");
+        let mut client = Client::connect(&handle.addr().to_string(), TIMEOUT).expect("connects");
+        assert_eq!(
+            client.fetch_sum("web").expect("aggregate"),
+            offline_sum(&blobs),
+            "stripes={stripes}: WAL-only degradation must lose nothing"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
